@@ -1,0 +1,33 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated FLEX/32 (see DESIGN.md for the per-experiment index and
+// EXPERIMENTS.md for paper-vs-measured results).
+//
+// Usage:
+//
+//	experiments [-run e1|e2|...|e8|all] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run (e1..e8 or all)")
+	list := flag.Bool("list", false, "list the experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Names {
+			fmt.Printf("%-4s %s\n", n, experiments.Describe(n))
+		}
+		return
+	}
+	if err := experiments.Run(*run, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,183 @@
+// Command pisces is the PISCES 2 configuration and execution environment
+// (paper, Sections 9 and 11).  It builds or loads a configuration (the
+// mapping of the virtual machine onto the simulated FLEX/32), boots the
+// virtual machine with a set of built-in demonstration tasktypes, and then
+// enters the menu-driven execution environment where tasks can be initiated,
+// killed, sent messages, and inspected.
+//
+// Usage:
+//
+//	pisces [-config file] [-clusters n] [-slots k] [-forces "7,8,9"]
+//	       [-trace events] [-save file] [-show] [-script file]
+//
+// Examples:
+//
+//	pisces -clusters 4 -slots 4 -show            # show the configuration and exit
+//	pisces -config section9 -script run.txt      # run a scripted session
+//	pisces -clusters 2 -slots 2                  # interactive session
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	pisces "repro"
+	"repro/internal/config"
+)
+
+func main() {
+	configPath := flag.String("config", "", "configuration file to load, or the name \"section9\"")
+	clusters := flag.Int("clusters", 2, "number of clusters (when not loading a configuration)")
+	slots := flag.Int("slots", 4, "user-task slots per cluster")
+	forces := flag.String("forces", "", "comma-separated secondary PEs for cluster 1 forces")
+	traceEvents := flag.String("trace", "", "comma-separated trace events to enable (e.g. MSG-SEND,FORCE-SPLIT)")
+	save := flag.String("save", "", "save the configuration to this file and exit")
+	show := flag.Bool("show", false, "print the configuration summary and exit")
+	script := flag.String("script", "", "read execution-environment commands from this file instead of stdin")
+	menu := flag.Bool("menu", false, "build the configuration interactively through the configuration-environment menus")
+	flag.Parse()
+
+	if err := run(*configPath, *clusters, *slots, *forces, *traceEvents, *save, *show, *menu, *script); err != nil {
+		fmt.Fprintf(os.Stderr, "pisces: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(configPath string, clusters, slots int, forces, traceEvents, save string, show, menu bool, script string) error {
+	var cfg *pisces.Configuration
+	var err error
+	if menu {
+		builder := config.NewBuilder(pisces.FlexDefaultConfig(), os.Stdin, os.Stdout)
+		cfg, err = builder.Build("menu")
+	} else {
+		cfg, err = buildConfiguration(configPath, clusters, slots, forces, traceEvents)
+	}
+	if err != nil {
+		return err
+	}
+
+	if show {
+		fmt.Print(cfg.String())
+		return nil
+	}
+	if save != "" {
+		f, err := os.Create(save)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := cfg.Save(f); err != nil {
+			return err
+		}
+		fmt.Printf("configuration saved to %s\n", save)
+		return nil
+	}
+
+	vm, err := pisces.NewVM(cfg, pisces.Options{UserOutput: os.Stdout})
+	if err != nil {
+		return err
+	}
+	defer vm.Shutdown()
+	registerDemoTasks(vm)
+
+	env := pisces.NewEnvironment(vm, os.Stdout)
+	fmt.Print(cfg.String())
+	fmt.Print(pisces.ExecMenu())
+
+	if script != "" {
+		f, err := os.Open(script)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return env.Repl(f, false)
+	}
+	return env.Repl(os.Stdin, true)
+}
+
+func buildConfiguration(configPath string, clusters, slots int, forces, traceEvents string) (*pisces.Configuration, error) {
+	var cfg *pisces.Configuration
+	switch {
+	case configPath == "section9":
+		cfg = pisces.Section9Configuration()
+	case configPath != "":
+		f, err := os.Open(configPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		cfg, err = pisces.LoadConfiguration(f)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		cfg = pisces.SimpleConfiguration(clusters, slots)
+		if forces != "" {
+			var pes []int
+			for _, s := range strings.Split(forces, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil {
+					return nil, fmt.Errorf("bad -forces value %q", s)
+				}
+				pes = append(pes, n)
+			}
+			cfg = cfg.WithForces(1, pes...)
+		}
+	}
+	if traceEvents != "" {
+		for _, ev := range strings.Split(traceEvents, ",") {
+			cfg.TraceEvents = append(cfg.TraceEvents, strings.ToUpper(strings.TrimSpace(ev)))
+		}
+	}
+	return cfg, nil
+}
+
+// registerDemoTasks registers a few tasktypes so interactive sessions have
+// something to initiate: a greeter, a worker that reports to its parent, and
+// a force-based summation.
+func registerDemoTasks(vm *pisces.VM) {
+	vm.Register("hello", func(t *pisces.Task) {
+		t.Printf("hello from task %s in cluster %d\n", t.ID(), t.Cluster())
+	})
+	vm.Register("spawner", func(t *pisces.Task) {
+		for i := 0; i < 3; i++ {
+			if err := t.Initiate(pisces.Other(), "hello"); err != nil {
+				t.Printf("spawner: %v\n", err)
+				if err := t.Initiate(pisces.Same(), "hello"); err != nil {
+					t.Printf("spawner: %v\n", err)
+				}
+			}
+		}
+	})
+	vm.Register("force-sum", func(t *pisces.Task) {
+		n := int64(100000)
+		if len(t.Args()) > 0 {
+			if v, err := pisces.AsInt(t.Arg(0)); err == nil {
+				n = v
+			}
+		}
+		common, err := t.NewSharedCommon("sum", 1, 0)
+		if err != nil {
+			t.Printf("force-sum: %v\n", err)
+			return
+		}
+		lock, err := t.NewLock("sumlk")
+		if err != nil {
+			t.Printf("force-sum: %v\n", err)
+			return
+		}
+		err = t.ForceSplit(func(m *pisces.ForceMember) {
+			local := 0.0
+			m.Presched(1, int(n), 1, func(i int) { local += float64(i) })
+			m.Critical(lock, func() { common.SetReal(0, common.Real(0)+local) })
+		})
+		if err != nil {
+			t.Printf("force-sum: %v\n", err)
+			return
+		}
+		t.Printf("force-sum: sum of 1..%d = %.0f\n", n, common.Real(0))
+	})
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	pisces "repro"
+)
+
+func TestBuildConfigurationVariants(t *testing.T) {
+	// Section 9 canned configuration.
+	cfg, err := buildConfiguration("section9", 0, 0, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Clusters) != 4 || cfg.Cluster(3).ForceSize() != 10 {
+		t.Fatalf("section9 configuration wrong: %+v", cfg)
+	}
+
+	// Simple configuration with forces and trace events.
+	cfg, err = buildConfiguration("", 2, 3, "7, 8", "msg-send,force-split")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Cluster(1).ForceSize() != 3 || cfg.Cluster(2).Slots != 3 {
+		t.Fatalf("simple configuration wrong: %+v", cfg)
+	}
+	if len(cfg.TraceEvents) != 2 || cfg.TraceEvents[0] != "MSG-SEND" {
+		t.Fatalf("trace events = %v", cfg.TraceEvents)
+	}
+
+	// Saved file round trip through -config.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "saved.cfg")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	loaded, err := buildConfiguration(path, 0, 0, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Cluster(1).ForceSize() != 3 {
+		t.Fatalf("loaded configuration wrong: %+v", loaded)
+	}
+
+	// Errors: bad forces list, missing file.
+	if _, err := buildConfiguration("", 2, 3, "seven", ""); err == nil {
+		t.Error("bad forces list accepted")
+	}
+	if _, err := buildConfiguration(filepath.Join(dir, "missing.cfg"), 0, 0, "", ""); err == nil {
+		t.Error("missing configuration file accepted")
+	}
+}
+
+func TestRunShowAndSave(t *testing.T) {
+	dir := t.TempDir()
+	saved := filepath.Join(dir, "out.cfg")
+	if err := run("", 2, 2, "", "", saved, false, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(saved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "pisces-configuration") {
+		t.Errorf("saved file malformed: %q", string(data))
+	}
+	// -show exits before booting anything.
+	if err := run("", 3, 2, "", "", "", true, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Invalid trace event surfaces as a boot error in a scripted run.
+	script := filepath.Join(dir, "script.txt")
+	if err := os.WriteFile(script, []byte("0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", 2, 2, "", "NOT-AN-EVENT", "", false, false, script); err == nil {
+		t.Error("invalid trace event accepted at boot")
+	}
+}
+
+func TestRunScriptedSession(t *testing.T) {
+	dir := t.TempDir()
+	script := filepath.Join(dir, "session.txt")
+	cmds := strings.Join([]string{
+		"help",
+		"initiate hello cluster 2",
+		"initiate force-sum cluster 1 1000",
+		"tasks",
+		"loading",
+		"0",
+	}, "\n") + "\n"
+	if err := os.WriteFile(script, []byte(cmds), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", 2, 3, "7,8", "", "", false, false, script); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDemoTasksRegistered(t *testing.T) {
+	vm, err := pisces.NewVM(pisces.SimpleConfiguration(2, 2), pisces.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vm.Shutdown()
+	registerDemoTasks(vm)
+	names := vm.TaskTypes()
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"hello", "spawner", "force-sum"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("demo tasktype %q not registered (have %v)", want, names)
+		}
+	}
+	if _, err := vm.Run("hello", pisces.Any()); err != nil {
+		t.Fatal(err)
+	}
+	vm.WaitIdle()
+}

@@ -1,0 +1,92 @@
+// Command piscesfc is the Pisces Fortran preprocessor (paper, Section 10):
+// it reads Pisces Fortran source and writes standard Fortran 77 with embedded
+// calls on the PISCES run-time library.
+//
+// Usage:
+//
+//	piscesfc [-o output.f] [-prefix PS] [-keep-comments] [-list] [input.pf]
+//
+// With no input file the source is read from standard input; with no -o the
+// generated Fortran is written to standard output.  -list prints the
+// tasktypes found instead of translating.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/pfc"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default: standard output)")
+	prefix := flag.String("prefix", "PS", "run-time library name prefix")
+	keep := flag.Bool("keep-comments", false, "copy full-line comments into the output")
+	list := flag.Bool("list", false, "list the tasktypes found and exit")
+	stubs := flag.Bool("stubs", false, "write Fortran stubs for the PISCES run-time library interface and exit")
+	flag.Parse()
+
+	if err := run(*out, *prefix, *keep, *list, *stubs, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "piscesfc: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(outPath, prefix string, keepComments, list, stubs bool, args []string) error {
+	if stubs {
+		return writeOutput(outPath, pfc.RuntimeStubs(pfc.Options{RuntimePrefix: prefix}))
+	}
+
+	var src []byte
+	var err error
+	switch len(args) {
+	case 0:
+		src, err = io.ReadAll(os.Stdin)
+	case 1:
+		src, err = os.ReadFile(args[0])
+	default:
+		return fmt.Errorf("at most one input file may be given")
+	}
+	if err != nil {
+		return err
+	}
+
+	res, err := pfc.Preprocess(string(src), pfc.Options{RuntimePrefix: prefix, KeepComments: keepComments})
+	if err != nil {
+		return err
+	}
+
+	if list {
+		for _, tt := range res.Program.TaskTypes {
+			force := ""
+			if tt.UsesForce {
+				force = "  (uses FORCESPLIT)"
+			}
+			fmt.Printf("tasktype %-16s params=%v handlers=%v signals=%v%s\n",
+				tt.Name, tt.Params, tt.Handlers, tt.Signals, force)
+		}
+		return nil
+	}
+
+	return writeOutput(outPath, res.Fortran)
+}
+
+// writeOutput writes text to the named file, or to standard output when no
+// file was given.
+func writeOutput(outPath, text string) error {
+	if outPath == "" {
+		_, err := io.WriteString(os.Stdout, text)
+		return err
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	if _, err := io.WriteString(f, text); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

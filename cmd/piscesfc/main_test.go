@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testSource = `TASKTYPE MAIN
+      FORCESPLIT
+      TO PARENT SEND OK
+END TASKTYPE
+`
+
+func TestRunTranslatesFile(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "prog.pf")
+	out := filepath.Join(dir, "prog.f")
+	if err := os.WriteFile(in, []byte(testSource), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(out, "PS", false, false, false, []string{in}); err != nil {
+		t.Fatal(err)
+	}
+	generated, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"SUBROUTINE PTMAIN", "CALL PSFORK", "CALL PSRGST('MAIN', PTMAIN)"} {
+		if !strings.Contains(string(generated), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunStubs(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "stubs.f")
+	if err := run(out, "PX", false, false, true, nil); err != nil {
+		t.Fatal(err)
+	}
+	generated, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(generated), "SUBROUTINE PXINIT") {
+		t.Error("stub output missing runtime entry")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	// Too many input files.
+	if err := run("", "PS", false, false, false, []string{"a", "b"}); err == nil {
+		t.Error("two inputs accepted")
+	}
+	// Missing input file.
+	if err := run("", "PS", false, false, false, []string{filepath.Join(dir, "missing.pf")}); err == nil {
+		t.Error("missing input accepted")
+	}
+	// Bad source.
+	bad := filepath.Join(dir, "bad.pf")
+	if err := os.WriteFile(bad, []byte("END TASKTYPE\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", "PS", false, false, false, []string{bad}); err == nil {
+		t.Error("bad source accepted")
+	}
+	// Unwritable output path.
+	good := filepath.Join(dir, "good.pf")
+	if err := os.WriteFile(good, []byte(testSource), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(filepath.Join(dir, "no-such-dir", "out.f"), "PS", false, false, false, []string{good}); err == nil {
+		t.Error("unwritable output accepted")
+	}
+}

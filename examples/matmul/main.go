@@ -1,0 +1,122 @@
+// matmul: force-based matrix multiplication, the Section 7 programming model.
+//
+// One task owns the problem.  It executes a FORCESPLIT, after which every
+// force member computes a share of the result rows — PRESCHED for a regular
+// partition and SELFSCHED for dynamic load balancing — synchronising with a
+// BARRIER between phases and accumulating a checksum in a SHARED COMMON block
+// under a CRITICAL section.  The same program text runs unchanged whatever
+// force size the configuration provides, which is the central property of the
+// force construct.
+//
+// Run with:
+//
+//	go run ./examples/matmul [-n 96] [-forcepes 6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	pisces "repro"
+)
+
+func main() {
+	n := flag.Int("n", 96, "matrix dimension")
+	forcePEs := flag.Int("forcepes", 6, "number of secondary PEs to run force members (0 = no splitting)")
+	flag.Parse()
+
+	// One cluster on PE 3; secondary PEs 7, 8, ... run the force members.
+	cfg := pisces.SimpleConfiguration(1, 2)
+	if *forcePEs > 0 {
+		pes := make([]int, 0, *forcePEs)
+		for pe := 7; pe < 7+*forcePEs && pe <= 20; pe++ {
+			pes = append(pes, pe)
+		}
+		cfg = cfg.WithForces(1, pes...)
+	}
+
+	vm, err := pisces.NewVM(cfg, pisces.Options{UserOutput: os.Stdout})
+	if err != nil {
+		log.Fatalf("boot: %v", err)
+	}
+	defer vm.Shutdown()
+
+	size := *n
+	vm.Register("matmul", func(t *pisces.Task) {
+		// Operand matrices are ordinary task-local data; the checksum lives
+		// in SHARED COMMON so every force member can add to it.
+		a := make([]float64, size*size)
+		b := make([]float64, size*size)
+		c := make([]float64, size*size)
+		for i := range a {
+			a[i] = float64(i%7) * 0.5
+			b[i] = float64(i%5) * 0.25
+		}
+		common, err := t.NewSharedCommon("checksum", 1, 0)
+		if err != nil {
+			t.Printf("matmul: %v\n", err)
+			return
+		}
+		lock, err := t.NewLock("checklk")
+		if err != nil {
+			t.Printf("matmul: %v\n", err)
+			return
+		}
+
+		machine := t.VM().Machine()
+		startTicks := machine.MaxTicks()
+
+		err = t.ForceSplit(func(m *pisces.ForceMember) {
+			// Phase 1: PRESCHED over result rows.
+			m.Presched(1, size, 1, func(row int) {
+				computeRow(a, b, c, size, row-1)
+				m.Charge(int64(size)) // one tick per inner row pass
+			})
+			// Every member reports its share at the barrier; the primary
+			// resets the checksum before phase 2.
+			m.Barrier(func() { common.SetReal(0, 0) })
+
+			// Phase 2: SELFSCHED over rows for the checksum — dynamic load
+			// balancing over deliberately irregular work.
+			local := 0.0
+			m.Selfsched(1, size, 1, func(row int) {
+				s := 0.0
+				for k := 0; k < size; k++ {
+					s += c[(row-1)*size+k]
+				}
+				local += s
+				m.Charge(int64(size % (row + 1)))
+			})
+			m.Critical(lock, func() { common.SetReal(0, common.Real(0)+local) })
+			m.Barrier(nil)
+		})
+		if err != nil {
+			t.Printf("matmul: %v\n", err)
+			return
+		}
+
+		elapsed := machine.MaxTicks() - startTicks
+		t.Printf("matmul %dx%d with a force of %d members: checksum %.2f, %d simulated ticks\n",
+			size, size, 1+len(cfg.Cluster(1).SecondaryPEs), common.Real(0), elapsed)
+	})
+
+	if _, err := vm.Run("matmul", pisces.OnCluster(1)); err != nil {
+		log.Fatalf("run: %v", err)
+	}
+	vm.WaitIdle()
+	vm.FlushUserOutput()
+	fmt.Printf("force size from configuration: %d member(s)\n", cfg.Cluster(1).ForceSize())
+}
+
+// computeRow computes one row of C = A*B.
+func computeRow(a, b, c []float64, n, row int) {
+	for j := 0; j < n; j++ {
+		s := 0.0
+		for k := 0; k < n; k++ {
+			s += a[row*n+k] * b[k*n+j]
+		}
+		c[row*n+j] = s
+	}
+}

@@ -1,0 +1,43 @@
+// piscesfortran: the Section 10 tool chain.  This example reads the Pisces
+// Fortran program shipped next to it (program.pf), lists the tasktypes the
+// preprocessor finds, and prints the standard Fortran 77 it generates — the
+// text the Unix f77 compiler would compile against the PISCES run-time
+// library on the real FLEX/32.
+//
+// Run with:
+//
+//	go run ./examples/piscesfortran [-src examples/piscesfortran/program.pf]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/pfc"
+)
+
+func main() {
+	src := flag.String("src", "examples/piscesfortran/program.pf", "Pisces Fortran source file")
+	flag.Parse()
+
+	text, err := os.ReadFile(*src)
+	if err != nil {
+		log.Fatalf("read source: %v", err)
+	}
+	res, err := pfc.Preprocess(string(text), pfc.Options{KeepComments: true})
+	if err != nil {
+		log.Fatalf("preprocess: %v", err)
+	}
+
+	fmt.Println("tasktypes found:")
+	for _, tt := range res.Program.TaskTypes {
+		fmt.Printf("  %-10s params=%v handlers=%v signals=%v force=%v shared-commons=%d\n",
+			tt.Name, tt.Params, tt.Handlers, tt.Signals, tt.UsesForce, len(tt.SharedCommons))
+	}
+	fmt.Println()
+	fmt.Println("generated Fortran 77 with PISCES run-time calls:")
+	fmt.Println("------------------------------------------------")
+	fmt.Print(res.Fortran)
+}

@@ -1,0 +1,128 @@
+// structural: the Section 14 target application in miniature.  The paper's
+// planned first real use of PISCES 2 was "porting a large existing finite
+// element/structural analysis code to the FLEX ... with a minimum of effort".
+// This example stands in for that port with a plane-stress-style relaxation:
+// the displacement field of a clamped plate under a point load is solved by
+// successive over-relaxation, parallelised the way the paper intends such
+// ports to be parallelised —
+//
+//   - the global stiffness/displacement arrays stay where they are (owned by
+//     the analysis task), and
+//   - the sweep over the mesh is parallelised with a FORCESPLIT and PRESCHED
+//     loops over mesh rows, with a BARRIER between red/black half-sweeps and
+//     a CRITICAL section accumulating the global residual in SHARED COMMON.
+//
+// Run with:
+//
+//	go run ./examples/structural [-n 80] [-iters 200] [-forcepes 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	pisces "repro"
+)
+
+func main() {
+	n := flag.Int("n", 80, "mesh dimension (n x n nodes)")
+	iters := flag.Int("iters", 200, "relaxation sweeps")
+	forcePEs := flag.Int("forcepes", 8, "secondary PEs running force members")
+	flag.Parse()
+
+	cfg := pisces.SimpleConfiguration(1, 2)
+	if *forcePEs > 0 {
+		pes := make([]int, 0, *forcePEs)
+		for pe := 7; pe < 7+*forcePEs && pe <= 20; pe++ {
+			pes = append(pes, pe)
+		}
+		cfg = cfg.WithForces(1, pes...)
+	}
+	vm, err := pisces.NewVM(cfg, pisces.Options{UserOutput: os.Stdout})
+	if err != nil {
+		log.Fatalf("boot: %v", err)
+	}
+	defer vm.Shutdown()
+
+	size, sweeps := *n, *iters
+	vm.Register("analysis", func(t *pisces.Task) {
+		// Displacement field and load vector.  The plate is clamped on all
+		// edges; a unit point load is applied at the centre node.
+		u := make([]float64, size*size)
+		f := make([]float64, size*size)
+		f[(size/2)*size+size/2] = 1.0
+
+		common, err := t.NewSharedCommon("residual", 1, 0)
+		if err != nil {
+			t.Printf("analysis: %v\n", err)
+			return
+		}
+		lock, err := t.NewLock("residual-lock")
+		if err != nil {
+			t.Printf("analysis: %v\n", err)
+			return
+		}
+
+		const omega = 1.7 // over-relaxation factor
+		machine := t.VM().Machine()
+		start := machine.MaxTicks()
+
+		err = t.ForceSplit(func(m *pisces.ForceMember) {
+			for sweep := 0; sweep < sweeps; sweep++ {
+				// Red/black half-sweeps so members never update neighbouring
+				// nodes concurrently.
+				for colour := 0; colour < 2; colour++ {
+					local := 0.0
+					m.Presched(2, size-1, 1, func(row int) {
+						for col := 2; col < size; col++ {
+							if (row+col)%2 != colour {
+								continue
+							}
+							idx := (row-1)*size + (col - 1)
+							r := f[idx] + u[idx-size] + u[idx+size] + u[idx-1] + u[idx+1] - 4*u[idx]
+							u[idx] += omega * r / 4
+							if a := math.Abs(r); a > local {
+								local = a
+							}
+						}
+						m.Charge(int64(size))
+					})
+					m.Critical(lock, func() {
+						if local > common.Real(0) {
+							common.SetReal(0, local)
+						}
+					})
+					m.Barrier(nil)
+				}
+				// The primary resets the residual tracker between sweeps
+				// (keeping the value of the final sweep at the end).
+				if sweep < sweeps-1 {
+					m.Barrier(func() { common.SetReal(0, 0) })
+				}
+			}
+		})
+		if err != nil {
+			t.Printf("analysis: %v\n", err)
+			return
+		}
+
+		elapsed := machine.MaxTicks() - start
+		centre := u[(size/2)*size+size/2]
+		t.Printf("structural analysis %dx%d, %d sweeps, force of %d: centre displacement %.6f, residual %.3e, %d ticks\n",
+			size, size, sweeps, cfg.Cluster(1).ForceSize(), centre, common.Real(0), elapsed)
+		if err := t.SendParent("analysis-done", pisces.Real(centre)); err != nil {
+			t.Printf("analysis: %v\n", err)
+		}
+	})
+
+	if _, err := vm.Run("analysis", pisces.OnCluster(1)); err != nil {
+		log.Fatalf("run: %v", err)
+	}
+	vm.WaitIdle()
+	vm.FlushUserOutput()
+	fmt.Printf("simulated machine: %d total ticks across %d PEs\n",
+		vm.Machine().TotalTicks(), vm.Machine().NumPE())
+}

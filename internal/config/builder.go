@@ -1,0 +1,202 @@
+package config
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/flex"
+	"repro/internal/trace"
+)
+
+// Builder is the interactive part of the configuration environment:
+// "Configurations are created within the PISCES 2 environment via a series of
+// menus" (paper, Section 9).  The menus ask, for each run,
+//
+//  1. how many clusters to use and their numbers,
+//  2. the primary FLEX PE for each cluster,
+//  3. the secondary FLEX PEs to run force members for each cluster,
+//  4. the number of slots in each cluster,
+//
+// plus the execution time limit and trace settings kept with the
+// configuration.  Answers are read line-by-line from an io.Reader, so the
+// same code drives an interactive terminal session (cmd/pisces) and scripted
+// or tested sessions.  Empty answers take the offered default.
+type Builder struct {
+	machine flex.Config
+	in      *bufio.Scanner
+	out     io.Writer
+}
+
+// NewBuilder creates a builder for the given machine description, reading
+// menu answers from in and writing prompts to out.
+func NewBuilder(machine flex.Config, in io.Reader, out io.Writer) *Builder {
+	return &Builder{machine: machine, in: bufio.NewScanner(in), out: out}
+}
+
+// Build runs the menu dialogue and returns the resulting configuration,
+// validated against the machine.
+func (b *Builder) Build(name string) (*Configuration, error) {
+	cfg := &Configuration{Name: name}
+	fmt.Fprintf(b.out, "PISCES 2 CONFIGURATION ENVIRONMENT — building configuration %q\n", name)
+	fmt.Fprintf(b.out, "MMOS PEs available for user tasks: %d..%d\n", b.machine.UnixPEs+1, b.machine.NumPE)
+
+	nClusters, err := b.askInt(fmt.Sprintf("number of clusters (1..%d)", MaxClusters), 2, 1, MaxClusters)
+	if err != nil {
+		return nil, err
+	}
+
+	usedPrimary := map[int]bool{}
+	for i := 1; i <= nClusters; i++ {
+		fmt.Fprintf(b.out, "-- cluster %d --\n", i)
+		defPE := b.machine.UnixPEs + i
+		for usedPrimary[defPE] && defPE < b.machine.NumPE {
+			defPE++
+		}
+		primary, err := b.askInt(fmt.Sprintf("primary PE for cluster %d", i), defPE, b.machine.UnixPEs+1, b.machine.NumPE)
+		if err != nil {
+			return nil, err
+		}
+		usedPrimary[primary] = true
+		slots, err := b.askInt(fmt.Sprintf("user-task slots in cluster %d", i), 4, 1, 64)
+		if err != nil {
+			return nil, err
+		}
+		secondaries, err := b.askPEList(fmt.Sprintf("secondary PEs running force members for cluster %d (comma separated, empty for none)", i))
+		if err != nil {
+			return nil, err
+		}
+		cfg.Clusters = append(cfg.Clusters, Cluster{Number: i, PrimaryPE: primary, Slots: slots, SecondaryPEs: secondaries})
+	}
+
+	limit, err := b.askDuration("execution time limit (e.g. 90s, empty for none)")
+	if err != nil {
+		return nil, err
+	}
+	cfg.TimeLimit = limit
+
+	events, err := b.askTraceEvents()
+	if err != nil {
+		return nil, err
+	}
+	cfg.TraceEvents = events
+
+	if err := cfg.Validate(b.machine); err != nil {
+		return nil, fmt.Errorf("config: the configuration built from the menu answers is invalid: %w", err)
+	}
+	fmt.Fprintf(b.out, "configuration complete:\n%s", cfg.String())
+	return cfg, nil
+}
+
+// answer reads one line; io.EOF ends the dialogue.
+func (b *Builder) answer(prompt string) (string, error) {
+	fmt.Fprintf(b.out, "%s: ", prompt)
+	if !b.in.Scan() {
+		if err := b.in.Err(); err != nil {
+			return "", err
+		}
+		return "", io.ErrUnexpectedEOF
+	}
+	return strings.TrimSpace(b.in.Text()), nil
+}
+
+func (b *Builder) askInt(prompt string, def, min, max int) (int, error) {
+	for {
+		ans, err := b.answer(fmt.Sprintf("%s [%d]", prompt, def))
+		if err != nil {
+			return 0, err
+		}
+		if ans == "" {
+			return def, nil
+		}
+		v, err := strconv.Atoi(ans)
+		if err != nil || v < min || v > max {
+			fmt.Fprintf(b.out, "  please answer with a number between %d and %d\n", min, max)
+			continue
+		}
+		return v, nil
+	}
+}
+
+func (b *Builder) askPEList(prompt string) ([]int, error) {
+	for {
+		ans, err := b.answer(prompt + " []")
+		if err != nil {
+			return nil, err
+		}
+		if ans == "" {
+			return nil, nil
+		}
+		pes, err := splitInts(ans, ",")
+		if err != nil {
+			fmt.Fprintf(b.out, "  please answer with comma-separated PE numbers\n")
+			continue
+		}
+		ok := true
+		for _, pe := range pes {
+			if pe <= b.machine.UnixPEs || pe > b.machine.NumPE {
+				fmt.Fprintf(b.out, "  PE %d is not an MMOS PE (%d..%d)\n", pe, b.machine.UnixPEs+1, b.machine.NumPE)
+				ok = false
+			}
+		}
+		if !ok {
+			continue
+		}
+		return pes, nil
+	}
+}
+
+func (b *Builder) askDuration(prompt string) (time.Duration, error) {
+	for {
+		ans, err := b.answer(prompt + " []")
+		if err != nil {
+			return 0, err
+		}
+		if ans == "" {
+			return 0, nil
+		}
+		d, err := time.ParseDuration(ans)
+		if err != nil || d < 0 {
+			fmt.Fprintf(b.out, "  please answer with a duration such as 90s or 5m\n")
+			continue
+		}
+		return d, nil
+	}
+}
+
+func (b *Builder) askTraceEvents() ([]string, error) {
+	names := make([]string, 0, len(trace.Kinds()))
+	for _, k := range trace.Kinds() {
+		names = append(names, k.String())
+	}
+	for {
+		ans, err := b.answer(fmt.Sprintf("trace events to enable (%s; ALL; empty for none) []", strings.Join(names, ", ")))
+		if err != nil {
+			return nil, err
+		}
+		if ans == "" {
+			return nil, nil
+		}
+		if strings.EqualFold(ans, "ALL") {
+			return append([]string(nil), names...), nil
+		}
+		var out []string
+		ok := true
+		for _, part := range strings.Split(ans, ",") {
+			ev := strings.ToUpper(strings.TrimSpace(part))
+			if _, err := trace.ParseKind(ev); err != nil {
+				fmt.Fprintf(b.out, "  unknown trace event %q\n", ev)
+				ok = false
+				break
+			}
+			out = append(out, ev)
+		}
+		if !ok {
+			continue
+		}
+		return out, nil
+	}
+}

@@ -1,0 +1,128 @@
+package config
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/flex"
+)
+
+// script joins menu answers with newlines.
+func script(answers ...string) string { return strings.Join(answers, "\n") + "\n" }
+
+func TestBuilderFullDialogue(t *testing.T) {
+	answers := script(
+		"2",                     // number of clusters
+		"3",                     // cluster 1 primary PE
+		"4",                     // cluster 1 slots
+		"7,8,9",                 // cluster 1 secondaries
+		"4",                     // cluster 2 primary PE
+		"2",                     // cluster 2 slots
+		"",                      // cluster 2 secondaries: none
+		"90s",                   // time limit
+		"MSG-SEND, FORCE-SPLIT", // trace events
+	)
+	var out bytes.Buffer
+	b := NewBuilder(flex.DefaultConfig(), strings.NewReader(answers), &out)
+	cfg, err := b.Build("menu-built")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "menu-built" || len(cfg.Clusters) != 2 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	c1 := cfg.Cluster(1)
+	if c1.PrimaryPE != 3 || c1.Slots != 4 || !reflect.DeepEqual(c1.SecondaryPEs, []int{7, 8, 9}) {
+		t.Errorf("cluster 1 = %+v", c1)
+	}
+	c2 := cfg.Cluster(2)
+	if c2.PrimaryPE != 4 || c2.Slots != 2 || len(c2.SecondaryPEs) != 0 {
+		t.Errorf("cluster 2 = %+v", c2)
+	}
+	if cfg.TimeLimit != 90*time.Second {
+		t.Errorf("time limit = %v", cfg.TimeLimit)
+	}
+	if !reflect.DeepEqual(cfg.TraceEvents, []string{"MSG-SEND", "FORCE-SPLIT"}) {
+		t.Errorf("trace events = %v", cfg.TraceEvents)
+	}
+	if err := cfg.Validate(flex.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"CONFIGURATION ENVIRONMENT", "cluster 1", "configuration complete"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("menu transcript missing %q", want)
+		}
+	}
+}
+
+func TestBuilderDefaultsAndAllTrace(t *testing.T) {
+	// Empty answers accept every default; "ALL" enables every trace event.
+	answers := script(
+		"",    // clusters: default 2
+		"",    // cluster 1 primary: default 3
+		"",    // cluster 1 slots: default 4
+		"",    // cluster 1 secondaries: none
+		"",    // cluster 2 primary: default 4
+		"",    // cluster 2 slots: default 4
+		"",    // cluster 2 secondaries: none
+		"",    // no time limit
+		"ALL", // all trace events
+	)
+	b := NewBuilder(flex.DefaultConfig(), strings.NewReader(answers), &bytes.Buffer{})
+	cfg, err := b.Build("defaults")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Clusters) != 2 || cfg.Cluster(1).PrimaryPE != 3 || cfg.Cluster(2).PrimaryPE != 4 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+	if cfg.TimeLimit != 0 {
+		t.Errorf("time limit = %v", cfg.TimeLimit)
+	}
+	if len(cfg.TraceEvents) != 8 {
+		t.Errorf("ALL should enable 8 events, got %v", cfg.TraceEvents)
+	}
+}
+
+func TestBuilderReprompstOnBadAnswers(t *testing.T) {
+	// Bad answers are re-asked rather than failing the dialogue: a cluster
+	// count out of range, a primary PE on a Unix PE, a malformed secondary
+	// list, an unparseable duration, and an unknown trace event.
+	answers := script(
+		"99", "1", // bad cluster counts, then accept 1 valid
+		"1", "oops", "5", // bad primary answers, then PE 5
+		"0", "3", // bad slot count, then 3
+		"7,x", "2,7", "7", // malformed, then unix PE in list, then valid
+		"soon", "10s", // bad duration, then valid
+		"NOT-AN-EVENT", "LOCK", // unknown event, then valid
+	)
+	var out bytes.Buffer
+	b := NewBuilder(flex.DefaultConfig(), strings.NewReader(answers), &out)
+	cfg, err := b.Build("retries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Clusters) != 1 {
+		t.Fatalf("clusters = %d", len(cfg.Clusters))
+	}
+	cl := cfg.Cluster(1)
+	if cl.PrimaryPE != 5 || cl.Slots != 3 || !reflect.DeepEqual(cl.SecondaryPEs, []int{7}) {
+		t.Errorf("cluster = %+v", cl)
+	}
+	if cfg.TimeLimit != 10*time.Second || !reflect.DeepEqual(cfg.TraceEvents, []string{"LOCK"}) {
+		t.Errorf("limit %v events %v", cfg.TimeLimit, cfg.TraceEvents)
+	}
+	if !strings.Contains(out.String(), "please answer") {
+		t.Error("transcript does not show re-prompts")
+	}
+}
+
+func TestBuilderEOF(t *testing.T) {
+	b := NewBuilder(flex.DefaultConfig(), strings.NewReader("2\n"), &bytes.Buffer{})
+	if _, err := b.Build("eof"); err == nil {
+		t.Fatal("truncated dialogue should fail")
+	}
+}

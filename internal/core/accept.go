@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/msgcodec"
+	"repro/internal/trace"
+)
+
+// Forever, used as the Delay of an AcceptSpec, waits indefinitely for the
+// requested messages (no DELAY clause timeout).
+const Forever = time.Duration(-1)
+
+// All, used as a TypeCount count, accepts every message of the type that has
+// already been received ("may specify 'ALL' to indicate that all messages of
+// that type that have been received should be processed").
+const All = -1
+
+// AnyMessage, used as a TypeCount type, matches any message type not listed
+// explicitly in the same ACCEPT.  The controllers use it to field whatever
+// the user tasks send them; it is an extension over the paper's ACCEPT.
+const AnyMessage = anyType
+
+// TypeCount names one message type in an ACCEPT statement together with the
+// number of messages of that type required.  Count 0 means the type
+// contributes to the statement's shared Total; Count > 0 requires that many
+// messages of this type; Count == All drains whatever has already arrived.
+type TypeCount struct {
+	Type  string
+	Count int
+}
+
+// AcceptSpec is the Pisces Fortran ACCEPT statement:
+//
+//	ACCEPT <number> OF
+//	   <message type 1>
+//	   <message type 2> ...
+//	DELAY <time value> THEN <statement sequence>
+//	END ACCEPT
+type AcceptSpec struct {
+	// Total is the <number> of messages to accept across all listed types
+	// whose Count is 0.  Ignored when every type carries its own count.
+	Total int
+	// Types lists the message types taken from the in-queue by this ACCEPT.
+	Types []TypeCount
+	// Delay is the DELAY clause: how long to wait for messages that have not
+	// yet arrived.  Zero uses the system-provided timeout; Forever disables
+	// the timeout.
+	Delay time.Duration
+	// OnTimeout, if non-nil, is the THEN statement sequence executed when the
+	// wait exceeds Delay.
+	OnTimeout func(*Task)
+}
+
+// AcceptResult reports what an ACCEPT statement processed.
+type AcceptResult struct {
+	// Accepted lists the accepted messages in acceptance order (handler
+	// types included — the handler has already run for them).
+	Accepted []*Message
+	// ByType groups the accepted messages by message type.
+	ByType map[string][]*Message
+	// TimedOut reports that the DELAY expired before the requested messages
+	// all arrived.
+	TimedOut bool
+}
+
+// Count returns the number of accepted messages of the given type.
+func (r *AcceptResult) Count(msgType string) int { return len(r.ByType[msgType]) }
+
+// First returns the first accepted message of the given type, or nil.
+func (r *AcceptResult) First(msgType string) *Message {
+	if ms := r.ByType[msgType]; len(ms) > 0 {
+		return ms[0]
+	}
+	return nil
+}
+
+// AcceptOne accepts a single message of any of the listed types, waiting with
+// the system default timeout.  It is the most common ACCEPT form.
+func (t *Task) AcceptOne(types ...string) (*Message, error) {
+	spec := AcceptSpec{Total: 1}
+	for _, ty := range types {
+		spec.Types = append(spec.Types, TypeCount{Type: ty})
+	}
+	res, err := t.Accept(spec)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Accepted) == 0 {
+		return nil, fmt.Errorf("core: ACCEPT timed out waiting for %v", types)
+	}
+	return res.Accepted[0], nil
+}
+
+// AcceptN accepts n messages of the single listed type.
+func (t *Task) AcceptN(n int, msgType string) (*AcceptResult, error) {
+	return t.Accept(AcceptSpec{Types: []TypeCount{{Type: msgType, Count: n}}})
+}
+
+// acceptState tracks the remaining requirements of one ACCEPT statement.
+type acceptState struct {
+	perType    map[string]int  // remaining per-type counts; All means drain-only
+	sharedType map[string]bool // types charged against the shared total
+	needTotal  int             // remaining shared total
+}
+
+func newAcceptState(spec AcceptSpec) (*acceptState, error) {
+	st := &acceptState{
+		perType:    make(map[string]int, len(spec.Types)),
+		sharedType: make(map[string]bool),
+	}
+	for _, tc := range spec.Types {
+		if _, dup := st.perType[tc.Type]; dup {
+			return nil, fmt.Errorf("core: ACCEPT lists message type %q twice", tc.Type)
+		}
+		switch {
+		case tc.Count == All:
+			st.perType[tc.Type] = All
+		case tc.Count > 0:
+			st.perType[tc.Type] = tc.Count
+		default:
+			st.perType[tc.Type] = 0
+			st.sharedType[tc.Type] = true
+		}
+	}
+	if len(st.sharedType) > 0 {
+		st.needTotal = spec.Total
+		if st.needTotal <= 0 {
+			st.needTotal = 1
+		}
+	}
+	return st, nil
+}
+
+// satisfied reports whether every requirement has been met.
+func (st *acceptState) satisfied() bool {
+	if st.needTotal > 0 {
+		return false
+	}
+	for ty, n := range st.perType {
+		if st.sharedType[ty] || n == All {
+			continue
+		}
+		if n > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// drain takes whatever matching messages are currently queued, processes
+// them, and updates the remaining requirements.
+func (st *acceptState) drain(t *Task, res *AcceptResult) {
+	taken, remaining := t.rec.queue.takeMatching(st.perType, st.sharedType, st.needTotal)
+	st.needTotal = remaining
+	for _, m := range taken {
+		key := m.Type
+		if _, listed := st.perType[key]; !listed {
+			key = anyType
+		}
+		if n := st.perType[key]; n > 0 {
+			st.perType[key] = n - 1
+		}
+		t.processAccepted(m, res)
+	}
+}
+
+// Accept executes an ACCEPT statement: messages of the listed types are taken
+// from the in-queue in arrival order and processed (handler types through
+// their handler, signal types by counting) until the requested numbers have
+// been processed.  If the messages have not yet arrived the task waits,
+// releasing its PE; waiting is bounded by the DELAY clause.
+func (t *Task) Accept(spec AcceptSpec) (*AcceptResult, error) {
+	t.checkKilled()
+	if len(spec.Types) == 0 {
+		return nil, fmt.Errorf("core: ACCEPT statement lists no message types")
+	}
+	st, err := newAcceptState(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	timeout := spec.Delay
+	if timeout == 0 {
+		timeout = t.vm.opts.AcceptTimeout
+	}
+	var deadline time.Time
+	if timeout != Forever {
+		deadline = time.Now().Add(timeout)
+	}
+
+	res := &AcceptResult{ByType: make(map[string][]*Message)}
+	for {
+		t.checkKilled()
+		st.drain(t, res)
+		if st.satisfied() {
+			return res, nil
+		}
+
+		// Wait for more messages, the deadline, or a kill.
+		var timer *time.Timer
+		var timerCh <-chan time.Time
+		if !deadline.IsZero() {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				return t.acceptTimeout(spec, st, res)
+			}
+			timer = time.NewTimer(remaining)
+			timerCh = timer.C
+		}
+		timedOut := false
+		t.blockFn(func() {
+			select {
+			case <-t.rec.queue.wake:
+			case <-timerCh:
+				timedOut = true
+			case <-t.rec.killCh:
+			}
+		})
+		if timer != nil {
+			timer.Stop()
+		}
+		if timedOut {
+			// One final drain before reporting the timeout, in case messages
+			// arrived in the same instant.
+			st.drain(t, res)
+			if st.satisfied() {
+				return res, nil
+			}
+			return t.acceptTimeout(spec, st, res)
+		}
+	}
+}
+
+// acceptTimeout finishes an ACCEPT whose DELAY expired: "the task continues
+// execution, starting with the statement sequence given in the DELAY clause
+// (or with a system-generated 'timeout' message)".
+func (t *Task) acceptTimeout(spec AcceptSpec, st *acceptState, res *AcceptResult) (*AcceptResult, error) {
+	res.TimedOut = true
+	if spec.OnTimeout != nil {
+		spec.OnTimeout(t)
+	}
+	return res, nil
+}
+
+// processAccepted runs the handler (if the type has one), updates SENDER,
+// records the trace event, charges ticks, and recovers the message's
+// shared-memory storage.
+func (t *Task) processAccepted(m *Message, res *AcceptResult) {
+	t.lastSender = m.Sender
+	packets := 0
+	if m.heapBytes > msgcodec.HeaderBytes {
+		packets = (m.heapBytes - msgcodec.HeaderBytes) / msgcodec.PacketBytes
+	}
+	t.Charge(int64(costAcceptMsg + costAcceptPacket*packets))
+	t.vm.msgsAccpt.Add(1)
+	t.vm.record(trace.MsgAccept, t.ID(), m.Sender, t.rec.cluster.primary,
+		fmt.Sprintf("msgtype=%s args=%d", m.Type, len(m.Args)))
+	if h, ok := t.handlers[m.Type]; ok {
+		h(t, m)
+	}
+	t.vm.releaseMessage(m)
+	res.Accepted = append(res.Accepted, m)
+	res.ByType[m.Type] = append(res.ByType[m.Type], m)
+}

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/flex"
+	"repro/internal/mmos"
+	"repro/internal/trace"
+)
+
+// slotState is what occupies one slot of a cluster.
+type slotState struct {
+	rec *taskRec // nil when the slot is free
+}
+
+// taskRec is the run-time's record of one task (user task or controller).
+type taskRec struct {
+	id           TaskID
+	tasktype     string
+	parent       TaskID
+	cluster      *clusterRT
+	slot         int
+	queue        *inQueue
+	done         chan struct{}
+	isController bool
+	localBytes   int
+
+	mu     sync.Mutex
+	proc   *mmos.Proc
+	killed bool
+	killCh chan struct{}
+}
+
+func (r *taskRec) setProc(p *mmos.Proc) {
+	r.mu.Lock()
+	r.proc = p
+	r.mu.Unlock()
+}
+
+func (r *taskRec) getProc() *mmos.Proc {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.proc
+}
+
+// kill marks the task killed and wakes it if it is blocked in an ACCEPT.
+func (r *taskRec) kill() {
+	r.mu.Lock()
+	already := r.killed
+	r.killed = true
+	r.mu.Unlock()
+	if !already {
+		close(r.killCh)
+	}
+}
+
+func (r *taskRec) isKilled() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.killed
+}
+
+// pendingInit is an initiation request waiting for a free slot: "If no slots
+// are available in the cluster, the task controller will hold the initiate
+// request until another task terminates" (Section 6).
+type pendingInit struct {
+	tasktype string
+	parent   TaskID
+	args     []Value
+	reply    chan TaskID
+}
+
+// clusterRT is the run-time structure of one virtual-machine cluster.
+type clusterRT struct {
+	vm  *VM
+	cfg config.Cluster
+
+	primary     *flex.PE
+	secondaries []*flex.PE
+
+	controllerID TaskID
+	terminal     bool // hosts the user and file controllers
+
+	mu      sync.Mutex
+	slots   []slotState // index 0 .. reserved-1: controllers; then user slots
+	userLo  int         // index of the first user slot
+	pending []pendingInit
+}
+
+func newClusterRT(vm *VM, cfg config.Cluster, terminal bool) (*clusterRT, error) {
+	primary := vm.machine.PE(cfg.PrimaryPE)
+	if primary == nil {
+		return nil, fmt.Errorf("%w: cluster %d primary PE %d", ErrNoSuchCluster, cfg.Number, cfg.PrimaryPE)
+	}
+	rt := &clusterRT{vm: vm, cfg: cfg, primary: primary, terminal: terminal}
+	for _, pe := range cfg.SecondaryPEs {
+		p := vm.machine.PE(pe)
+		if p == nil {
+			return nil, fmt.Errorf("core: cluster %d secondary PE %d does not exist", cfg.Number, pe)
+		}
+		rt.secondaries = append(rt.secondaries, p)
+	}
+	rt.userLo = reservedSlots(terminal)
+	rt.slots = make([]slotState, rt.userLo+cfg.Slots)
+	return rt, nil
+}
+
+// Number returns the cluster number.
+func (c *clusterRT) Number() int { return c.cfg.Number }
+
+// forceSize returns the number of members a FORCESPLIT in this cluster
+// produces.
+func (c *clusterRT) forceSize() int { return 1 + len(c.secondaries) }
+
+// freeSlots returns the number of user slots currently unoccupied.
+func (c *clusterRT) freeSlots() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for i := c.userLo; i < len(c.slots); i++ {
+		if c.slots[i].rec == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// occupiedSlots returns the records occupying slots, keyed by slot index.
+func (c *clusterRT) occupiedSlots() map[int]*taskRec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[int]*taskRec)
+	for i, s := range c.slots {
+		if s.rec != nil {
+			out[i] = s.rec
+		}
+	}
+	return out
+}
+
+// pendingCount returns the number of initiate requests waiting for a slot.
+func (c *clusterRT) pendingCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// placeController installs a controller task record in a reserved slot and
+// returns the slot index used.
+func (c *clusterRT) placeController(rec *taskRec) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := 0; i < c.userLo; i++ {
+		if c.slots[i].rec == nil {
+			c.slots[i].rec = rec
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("core: cluster %d has no free controller slot", c.cfg.Number)
+}
+
+// request handles one initiation request: start the task immediately if a
+// user slot is free, otherwise queue the request until a task terminates.
+func (c *clusterRT) request(req pendingInit) error {
+	c.mu.Lock()
+	slot := c.findFreeUserSlotLocked()
+	if slot < 0 {
+		c.pending = append(c.pending, req)
+		c.mu.Unlock()
+		return nil
+	}
+	// Reserve the slot before releasing the lock; startTask fills it in.
+	c.slots[slot].rec = reservedMarker
+	c.mu.Unlock()
+	return c.startTask(slot, req)
+}
+
+// reservedMarker occupies a slot between reservation and task start.
+var reservedMarker = &taskRec{}
+
+func (c *clusterRT) findFreeUserSlotLocked() int {
+	for i := c.userLo; i < len(c.slots); i++ {
+		if c.slots[i].rec == nil {
+			return i
+		}
+	}
+	return -1
+}
+
+// startTask spawns the task's process in the given (already reserved) slot.
+func (c *clusterRT) startTask(slot int, req pendingInit) error {
+	vm := c.vm
+	if vm.terminated() {
+		c.clearSlot(slot)
+		if req.reply != nil {
+			req.reply <- NilTask
+		}
+		return ErrVMTerminated
+	}
+	tt, ok := vm.taskType(req.tasktype)
+	if !ok {
+		c.clearSlot(slot)
+		if req.reply != nil {
+			req.reply <- NilTask
+		}
+		return fmt.Errorf("%w: %q", ErrUnknownTaskType, req.tasktype)
+	}
+	id := TaskID{Cluster: c.cfg.Number, Slot: slot, Unique: vm.nextUnique()}
+	rec := &taskRec{
+		id:         id,
+		tasktype:   tt.Name,
+		parent:     req.parent,
+		cluster:    c,
+		slot:       slot,
+		queue:      newInQueue(),
+		done:       make(chan struct{}),
+		killCh:     make(chan struct{}),
+		localBytes: tt.LocalBytes,
+	}
+	c.mu.Lock()
+	c.slots[slot].rec = rec
+	c.mu.Unlock()
+	vm.registerTask(rec)
+	vm.userTasks.Add(1)
+	vm.initiated.Add(1)
+
+	body := func(p *mmos.Proc) {
+		rec.setProc(p)
+		p.Charge(costTaskInit)
+		vm.record(trace.TaskInit, id, req.parent, c.primary, "type="+tt.Name)
+		if req.reply != nil {
+			req.reply <- id
+		}
+		ctx := newTask(vm, rec, req.args)
+		defer vm.finishTask(rec, ctx)
+		tt.Body(ctx)
+	}
+	_, err := vm.kernel.Spawn(c.primary, tt.Name+"/"+id.String(), tt.LocalBytes, body)
+	if err != nil {
+		// Could not create the process (local memory exhausted): undo.
+		vm.unregisterTask(id)
+		vm.userTasks.Done()
+		c.clearSlot(slot)
+		if req.reply != nil {
+			req.reply <- NilTask
+		}
+		return fmt.Errorf("core: starting task %s: %w", tt.Name, err)
+	}
+	return nil
+}
+
+func (c *clusterRT) clearSlot(slot int) {
+	c.mu.Lock()
+	c.slots[slot].rec = nil
+	c.mu.Unlock()
+}
+
+// finishTask is the common termination path for user tasks: it recovers from
+// kill panics and user panics, recovers queued message storage, frees the
+// slot, and starts a pending initiation if one is waiting.
+func (vm *VM) finishTask(rec *taskRec, ctx *Task) {
+	c := rec.cluster
+
+	r := recover()
+	info := "normal"
+	switch r.(type) {
+	case nil:
+	case killSentinel:
+		info = "killed"
+	default:
+		info = fmt.Sprintf("panic: %v", r)
+		vm.userPrintf("task %s (%s) failed: %v\n", rec.id, rec.tasktype, r)
+	}
+
+	if p := rec.getProc(); p != nil {
+		p.Charge(costTaskTerm)
+	}
+	vm.record(trace.TaskTerm, rec.id, NilTask, c.primary, info)
+
+	// Recover shared-memory storage of unaccepted messages and of any arrays
+	// the task still owns.
+	for _, m := range rec.queue.close() {
+		vm.releaseMessage(m)
+	}
+	vm.arrays.dropOwner(rec.id, vm)
+
+	vm.unregisterTask(rec.id)
+	vm.completed.Add(1)
+	close(rec.done)
+
+	// Free the slot and start a pending request if one is waiting.  In the
+	// FLEX implementation the task controller performed this bookkeeping; the
+	// slot table lives in shared memory, so the terminating task's run-time
+	// updates it directly here and the controller remains responsible only
+	// for fielding new INITIATE requests.
+	c.mu.Lock()
+	c.slots[rec.slot].rec = nil
+	nextSlot := -1
+	var next *pendingInit
+	if len(c.pending) > 0 {
+		if slot := c.findFreeUserSlotLocked(); slot >= 0 {
+			n := c.pending[0]
+			c.pending = c.pending[1:]
+			c.slots[slot].rec = reservedMarker
+			next, nextSlot = &n, slot
+		}
+	}
+	c.mu.Unlock()
+	if next != nil {
+		if err := c.startTask(nextSlot, *next); err != nil {
+			vm.userPrintf("pisces: deferred initiate of %s failed: %v\n", next.tasktype, err)
+		}
+	}
+
+	vm.userTasks.Done()
+}
+
+// userPrintf writes a line to the user terminal output, if configured.
+func (vm *VM) userPrintf(format string, args ...any) {
+	if vm.opts.UserOutput != nil {
+		fmt.Fprintf(vm.opts.UserOutput, format, args...)
+	}
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mmos"
+)
+
+// Controller tasktype names, visible in the execution environment's displays.
+const (
+	TaskControllerType = "pisces.task-controller"
+	UserControllerType = "pisces.user-controller"
+	FileControllerType = "pisces.file-controller"
+)
+
+// startControllers spawns the operating system of the virtual machine: "The
+// operating system is represented as a set of 'controller' tasks that run in
+// slots in the clusters" (Section 5).  Every cluster gets a task controller;
+// the terminal cluster also gets the user controller and the file controller.
+func (vm *VM) startControllers() error {
+	for _, n := range vm.clusterNumbers() {
+		cl, _ := vm.cluster(n)
+		ctrlID, err := vm.startController(cl, TaskControllerType, vm.taskControllerBody(cl))
+		if err != nil {
+			return err
+		}
+		cl.controllerID = ctrlID
+		if cl.terminal {
+			userID, err := vm.startController(cl, UserControllerType, vm.userControllerBody())
+			if err != nil {
+				return err
+			}
+			vm.userCtrl = userID
+			fileID, err := vm.startController(cl, FileControllerType, vm.fileControllerBody())
+			if err != nil {
+				return err
+			}
+			vm.fileCtrl = fileID
+			vm.files.owner = fileID
+		}
+	}
+	return nil
+}
+
+// startController creates one controller task in a reserved slot of the
+// cluster and spawns its process on the cluster's primary PE.
+func (vm *VM) startController(cl *clusterRT, tasktype string, body func(*Task)) (TaskID, error) {
+	rec := &taskRec{
+		tasktype:     tasktype,
+		cluster:      cl,
+		queue:        newInQueue(),
+		done:         make(chan struct{}),
+		killCh:       make(chan struct{}),
+		isController: true,
+		localBytes:   DefaultTaskLocalBytes,
+	}
+	slot, err := cl.placeController(rec)
+	if err != nil {
+		return NilTask, err
+	}
+	rec.slot = slot
+	rec.id = TaskID{Cluster: cl.cfg.Number, Slot: slot, Unique: vm.nextUnique()}
+	rec.parent = rec.id // controllers are their own parents
+	vm.registerTask(rec)
+
+	ready := make(chan struct{})
+	procBody := func(p *mmos.Proc) {
+		rec.setProc(p)
+		close(ready)
+		defer vm.finishController(rec)
+		ctx := newTask(vm, rec, nil)
+		body(ctx)
+	}
+	if _, err := vm.kernel.Spawn(cl.primary, tasktype+"/"+rec.id.String(), rec.localBytes, procBody); err != nil {
+		vm.unregisterTask(rec.id)
+		cl.clearSlot(slot)
+		return NilTask, fmt.Errorf("core: starting %s in cluster %d: %w", tasktype, cl.cfg.Number, err)
+	}
+	<-ready
+	return rec.id, nil
+}
+
+// finishController tears a controller down at shutdown.
+func (vm *VM) finishController(rec *taskRec) {
+	if r := recover(); r != nil {
+		if _, isKill := r.(killSentinel); !isKill {
+			vm.userPrintf("pisces: controller %s failed: %v\n", rec.id, r)
+		}
+	}
+	for _, m := range rec.queue.close() {
+		vm.releaseMessage(m)
+	}
+	vm.unregisterTask(rec.id)
+	rec.cluster.clearSlot(rec.slot)
+	close(rec.done)
+}
+
+// taskControllerBody is the body of a cluster's task controller, "responsible
+// for initiating, terminating, and monitoring the operation of user tasks
+// within their cluster" (Section 5).  It fields INITIATE requests, starting
+// the task when a slot is free and holding the request otherwise.
+func (vm *VM) taskControllerBody(cl *clusterRT) func(*Task) {
+	return func(t *Task) {
+		t.OnMessage(msgInitRequest, func(t *Task, m *Message) {
+			req, err := decodeInitRequest(m)
+			if err != nil {
+				vm.userPrintf("pisces: task controller %s: bad initiate request: %v\n", t.ID(), err)
+				return
+			}
+			if err := cl.request(req); err != nil {
+				vm.userPrintf("pisces: task controller %s: %v\n", t.ID(), err)
+			}
+		})
+		for {
+			res, err := t.Accept(AcceptSpec{
+				Total: 1,
+				Types: []TypeCount{{Type: msgInitRequest}, {Type: msgTaskDone}, {Type: msgShutdown}},
+				Delay: Forever,
+			})
+			if err != nil {
+				return
+			}
+			if res.Count(msgShutdown) > 0 {
+				return
+			}
+		}
+	}
+}
+
+// decodeInitRequest unpacks the arguments of an initiate-request message:
+// tasktype name, parent taskid, a reserved argument, then the user arguments.
+func decodeInitRequest(m *Message) (pendingInit, error) {
+	if m.NumArgs() < 3 {
+		return pendingInit{}, fmt.Errorf("initiate request with %d arguments", m.NumArgs())
+	}
+	tasktype, err := AsStr(m.Arg(0))
+	if err != nil {
+		return pendingInit{}, err
+	}
+	parent, err := AsID(m.Arg(1))
+	if err != nil {
+		return pendingInit{}, err
+	}
+	return pendingInit{
+		tasktype: tasktype,
+		parent:   parent,
+		args:     m.Args[3:],
+		reply:    m.replyID,
+	}, nil
+}
+
+// userControllerBody is the body of the user controller, "responsible for
+// control of communication with user terminals that are directly accessible
+// from their cluster" (Section 5).  Messages sent TO USER are written to the
+// configured output; "print" messages are written verbatim, any other type is
+// shown with its type and arguments.
+func (vm *VM) userControllerBody() func(*Task) {
+	return func(t *Task) {
+		printMsg := func(t *Task, m *Message) {
+			if m.Type == "print" && m.NumArgs() == 1 {
+				if s, err := AsStr(m.Arg(0)); err == nil {
+					vm.userPrintf("%s", s)
+					return
+				}
+			}
+			vm.userPrintf("[%s -> USER] %s %s\n", m.Sender, m.Type, formatArgs(m.Args))
+		}
+		for {
+			// The user controller fields whatever user tasks choose to send
+			// TO USER, so it accepts any message type.
+			res, err := t.Accept(AcceptSpec{
+				Total: 1,
+				Types: []TypeCount{{Type: AnyMessage}},
+				Delay: Forever,
+			})
+			if err != nil {
+				return
+			}
+			if res.Count(msgShutdown) > 0 {
+				return
+			}
+			for _, m := range res.Accepted {
+				switch m.Type {
+				case msgShutdown:
+				case msgUserSync:
+					if m.syncCh != nil {
+						close(m.syncCh)
+					}
+				default:
+					printMsg(t, m)
+				}
+			}
+		}
+	}
+}
+
+// formatArgs renders message arguments for terminal display.
+func formatArgs(args []Value) string {
+	out := "("
+	for i, a := range args {
+		if i > 0 {
+			out += ", "
+		}
+		switch {
+		case a.Kind == 0:
+			out += "?"
+		default:
+			out += formatValue(a)
+		}
+	}
+	return out + ")"
+}
+
+func formatValue(v Value) string {
+	switch v.Kind {
+	case kindInteger:
+		return fmt.Sprintf("%d", v.Integer)
+	case kindReal:
+		return fmt.Sprintf("%g", v.Real)
+	case kindLogical:
+		return fmt.Sprintf("%v", v.Logical)
+	case kindCharacter:
+		return fmt.Sprintf("%q", v.Character)
+	case kindTaskID:
+		return taskIDFromCodec(v.TaskID).String()
+	case kindWindow:
+		return fmt.Sprintf("WINDOW(owner=%s array=%d)", taskIDFromCodec(v.Window.Owner), v.Window.ArrayID)
+	case kindIntArray:
+		return fmt.Sprintf("INTEGER[%d]", len(v.IntArray))
+	case kindRealArray:
+		return fmt.Sprintf("REAL[%d]", len(v.RealArray))
+	}
+	return "?"
+}
+
+// fileControllerBody is the body of the file controller, "responsible for
+// control of access to the files on disks directly accessible from their
+// cluster" (Section 5).  It owns the file-resident arrays created through
+// VM.CreateFileArray and services window read and write requests on them; the
+// run-time routes those requests through vm.files, so the controller's
+// message loop only needs to stay alive (and answer directory queries) until
+// shutdown.
+func (vm *VM) fileControllerBody() func(*Task) {
+	return func(t *Task) {
+		t.OnMessage("directory", func(t *Task, m *Message) {
+			names := vm.files.names()
+			_ = t.SendSender("directory-reply", Str(fmt.Sprintf("%v", names)))
+		})
+		for {
+			res, err := t.Accept(AcceptSpec{
+				Total: 1,
+				Types: []TypeCount{{Type: "directory"}, {Type: msgShutdown}},
+				Delay: Forever,
+			})
+			if err != nil {
+				return
+			}
+			if res.Count(msgShutdown) > 0 {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/config"
+)
+
+// forceConfig is a single cluster on PE 3 with 3 secondary PEs, so forces
+// have 4 members.
+func forceConfig() *config.Configuration {
+	return config.Simple(1, 2).WithForces(1, 10, 11, 12)
+}
+
+func TestForceSplitMemberCount(t *testing.T) {
+	vm := newTestVM(t, forceConfig(), Options{})
+	runTaskBodyOn(t, vm, func(task *Task) error {
+		var members int32
+		seen := make([]atomic.Bool, 8)
+		err := task.ForceSplit(func(m *ForceMember) {
+			atomic.AddInt32(&members, 1)
+			seen[m.Member()].Store(true)
+			if m.Members() != 4 {
+				t.Errorf("member %d sees force size %d, want 4", m.Member(), m.Members())
+			}
+			if (m.Member() == 0) != m.IsPrimary() {
+				t.Errorf("IsPrimary wrong for member %d", m.Member())
+			}
+			if m.IsPrimary() && m.PE() != 3 {
+				t.Errorf("primary member on PE %d, want 3", m.PE())
+			}
+			if !m.IsPrimary() && (m.PE() < 10 || m.PE() > 12) {
+				t.Errorf("secondary member on PE %d, want 10..12", m.PE())
+			}
+			m.Charge(10)
+		})
+		if err != nil {
+			return err
+		}
+		if members != 4 {
+			t.Errorf("force ran %d members, want 4", members)
+		}
+		for i := 0; i < 4; i++ {
+			if !seen[i].Load() {
+				t.Errorf("member index %d never ran", i)
+			}
+		}
+		return nil
+	})
+}
+
+func TestForceSplitWithoutSecondaries(t *testing.T) {
+	// "Allocate no secondary PE's to run forces for cluster 1.  A task
+	// executing a FORCESPLIT in cluster 1 will then cause no parallel
+	// splitting."
+	vm := newTestVM(t, config.Simple(1, 2), Options{})
+	runTaskBodyOn(t, vm, func(task *Task) error {
+		count := 0
+		err := task.ForceSplit(func(m *ForceMember) {
+			count++
+			if m.Members() != 1 || !m.IsPrimary() {
+				t.Errorf("degenerate force: members=%d primary=%v", m.Members(), m.IsPrimary())
+			}
+		})
+		if err != nil {
+			return err
+		}
+		if count != 1 {
+			t.Errorf("region ran %d times, want 1", count)
+		}
+		return nil
+	})
+}
+
+func TestForceSecondaryPEsRunConcurrently(t *testing.T) {
+	vm := newTestVM(t, forceConfig(), Options{})
+	runTaskBodyOn(t, vm, func(task *Task) error {
+		var inside, peak atomic.Int32
+		return task.ForceSplit(func(m *ForceMember) {
+			cur := inside.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			// Rendezvous so every member is inside the region at once.
+			m.Barrier(func() {
+				if got := peak.Load(); got != 4 {
+					t.Errorf("only %d members were concurrently active, want 4", got)
+				}
+			})
+			inside.Add(-1)
+		})
+	})
+}
+
+func TestBarrierPrimaryRunsBody(t *testing.T) {
+	vm := newTestVM(t, forceConfig(), Options{})
+	runTaskBodyOn(t, vm, func(task *Task) error {
+		var bodyRuns atomic.Int32
+		var afterBody atomic.Int32
+		err := task.ForceSplit(func(m *ForceMember) {
+			for iter := 0; iter < 3; iter++ {
+				m.Barrier(func() { bodyRuns.Add(1) })
+				// Every member must observe the body of iteration iter done.
+				if got := bodyRuns.Load(); got != int32(iter+1) {
+					t.Errorf("member %d iter %d: body runs = %d", m.Member(), iter, got)
+				}
+				afterBody.Add(1)
+			}
+		})
+		if err != nil {
+			return err
+		}
+		if bodyRuns.Load() != 3 {
+			t.Errorf("barrier body ran %d times, want 3 (primary only)", bodyRuns.Load())
+		}
+		if afterBody.Load() != 12 {
+			t.Errorf("post-barrier section ran %d times, want 12", afterBody.Load())
+		}
+		return nil
+	})
+}
+
+func TestCriticalMutualExclusion(t *testing.T) {
+	vm := newTestVM(t, forceConfig(), Options{})
+	runTaskBodyOn(t, vm, func(task *Task) error {
+		lock, err := task.NewLock("sum-lock")
+		if err != nil {
+			return err
+		}
+		common, err := task.NewSharedCommon("sums", 1, 1)
+		if err != nil {
+			return err
+		}
+		const perMember = 200
+		err = task.ForceSplit(func(m *ForceMember) {
+			for i := 0; i < perMember; i++ {
+				m.Critical(lock, func() {
+					// Unsynchronised read-modify-write, protected only by the
+					// CRITICAL section.
+					common.SetInt(0, common.Int(0)+1)
+				})
+			}
+		})
+		if err != nil {
+			return err
+		}
+		if got := common.Int(0); got != 4*perMember {
+			t.Errorf("critical-protected counter = %d, want %d", got, 4*perMember)
+		}
+		return nil
+	})
+}
+
+func TestPreschedPartitionAcrossMembers(t *testing.T) {
+	vm := newTestVM(t, forceConfig(), Options{})
+	runTaskBodyOn(t, vm, func(task *Task) error {
+		const n = 103
+		var mu sync.Mutex
+		counts := make(map[int]int)
+		err := task.ForceSplit(func(m *ForceMember) {
+			if err := m.Presched(1, n, 1, func(i int) {
+				mu.Lock()
+				counts[i]++
+				mu.Unlock()
+			}); err != nil {
+				t.Errorf("presched: %v", err)
+			}
+		})
+		if err != nil {
+			return err
+		}
+		if len(counts) != n {
+			t.Errorf("presched covered %d iterations, want %d", len(counts), n)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Errorf("iteration %d executed %d times", i, c)
+			}
+		}
+		return nil
+	})
+}
+
+func TestSelfschedPartitionAndRepeatedLoops(t *testing.T) {
+	vm := newTestVM(t, forceConfig(), Options{})
+	runTaskBodyOn(t, vm, func(task *Task) error {
+		const n = 97
+		const rounds = 3
+		var total atomic.Int64
+		var mu sync.Mutex
+		perRound := make([]map[int]int, rounds)
+		for r := range perRound {
+			perRound[r] = make(map[int]int)
+		}
+		err := task.ForceSplit(func(m *ForceMember) {
+			for r := 0; r < rounds; r++ {
+				m.Barrier(nil)
+				did, err := m.Selfsched(1, n, 1, func(i int) {
+					mu.Lock()
+					perRound[r][i]++
+					mu.Unlock()
+				})
+				if err != nil {
+					t.Errorf("selfsched: %v", err)
+				}
+				total.Add(int64(did))
+			}
+		})
+		if err != nil {
+			return err
+		}
+		if total.Load() != int64(n*rounds) {
+			t.Errorf("selfsched executed %d iterations, want %d", total.Load(), n*rounds)
+		}
+		for r := 0; r < rounds; r++ {
+			if len(perRound[r]) != n {
+				t.Errorf("round %d covered %d iterations, want %d", r, len(perRound[r]), n)
+			}
+			for i, c := range perRound[r] {
+				if c != 1 {
+					t.Errorf("round %d iteration %d executed %d times", r, i, c)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestParseg(t *testing.T) {
+	vm := newTestVM(t, forceConfig(), Options{})
+	runTaskBodyOn(t, vm, func(task *Task) error {
+		var runs [6]atomic.Int32
+		segs := make([]func(), 6)
+		for i := range segs {
+			segs[i] = func() { runs[i].Add(1) }
+		}
+		if err := task.ForceSplit(func(m *ForceMember) {
+			if err := m.Parseg(segs...); err != nil {
+				t.Errorf("parseg: %v", err)
+			}
+		}); err != nil {
+			return err
+		}
+		for i := range runs {
+			if got := runs[i].Load(); got != 1 {
+				t.Errorf("segment %d ran %d times, want 1", i, got)
+			}
+		}
+		return nil
+	})
+}
+
+func TestSharedCommonVisibleToAllMembers(t *testing.T) {
+	vm := newTestVM(t, forceConfig(), Options{})
+	runTaskBodyOn(t, vm, func(task *Task) error {
+		common, err := task.NewSharedCommon("grid", 16, 0)
+		if err != nil {
+			return err
+		}
+		if common.Name() != "grid" || len(common.Reals()) != 16 || len(common.Ints()) != 0 {
+			t.Errorf("common shape wrong: %q %d %d", common.Name(), len(common.Reals()), len(common.Ints()))
+		}
+		err = task.ForceSplit(func(m *ForceMember) {
+			// Each member fills its presched share...
+			m.Presched(1, 16, 1, func(i int) { common.SetReal(i-1, float64(i)) })
+			m.Barrier(nil)
+			// ...and then every member must see the whole array filled.
+			for i := 0; i < 16; i++ {
+				if common.Real(i) != float64(i+1) {
+					t.Errorf("member %d sees element %d = %v", m.Member(), i, common.Real(i))
+				}
+			}
+		})
+		return err
+	})
+}
+
+func TestSharedCommonAccountingAndErrors(t *testing.T) {
+	vm := newTestVM(t, forceConfig(), Options{})
+	runTaskBodyOn(t, vm, func(task *Task) error {
+		before := vm.Machine().Shared().Usage().CommonUsed
+		if _, err := task.NewSharedCommon("block", 100, 50); err != nil {
+			return err
+		}
+		after := vm.Machine().Shared().Usage().CommonUsed
+		if after-before != 8*150 {
+			t.Errorf("SHARED COMMON charged %d bytes, want %d", after-before, 8*150)
+		}
+		if _, err := task.NewSharedCommon("bad", -1, 0); err == nil {
+			t.Error("negative extent accepted")
+		}
+		// Exhausting the SHARED COMMON region must fail cleanly.
+		if _, err := task.NewSharedCommon("huge", 1<<22, 0); err == nil {
+			t.Error("oversized SHARED COMMON accepted")
+		}
+		return nil
+	})
+}
+
+func TestForceSplitPropagatesMemberFailure(t *testing.T) {
+	vm := newTestVM(t, forceConfig(), Options{})
+	errs := make(chan error, 1)
+	vm.Register("force-fails", func(task *Task) {
+		errs <- task.ForceSplit(func(m *ForceMember) {
+			if m.Member() == 2 {
+				panic("member 2 exploded")
+			}
+		})
+	})
+	if _, err := vm.Run("force-fails", OnCluster(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errs; err == nil {
+		t.Fatal("force member panic was not reported")
+	}
+}
+
+func TestLockTracingAndDoubleUnlockPanics(t *testing.T) {
+	vm := newTestVM(t, config.Simple(1, 1), Options{})
+	runTaskBodyOn(t, vm, func(task *Task) error {
+		lock, err := task.NewLock("l")
+		if err != nil {
+			return err
+		}
+		if lock.Name() != "l" {
+			t.Errorf("lock name %q", lock.Name())
+		}
+		defer func() {
+			if recover() == nil {
+				t.Error("unlocking an unlocked lock should panic")
+			}
+		}()
+		lock.unlockOn(nil, task.ID(), nil)
+		return nil
+	})
+}
+
+func BenchmarkForceBarrier(b *testing.B) {
+	vm, err := NewVM(forceConfig(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer vm.Shutdown()
+	done := make(chan struct{})
+	vm.Register("bench", func(task *Task) {
+		task.ForceSplit(func(m *ForceMember) {
+			for i := 0; i < b.N; i++ {
+				m.Barrier(nil)
+			}
+		})
+		close(done)
+	})
+	if _, err := vm.Initiate("bench", OnCluster(1)); err != nil {
+		b.Fatal(err)
+	}
+	<-done
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"sync"
+)
+
+// System message types used by the run-time itself.  They use a reserved
+// prefix so they cannot collide with applications' message types.
+const (
+	msgInitRequest = "pisces.initiate"
+	msgTaskDone    = "pisces.task-done"
+	msgShutdown    = "pisces.shutdown"
+	msgUserOutput  = "pisces.user-output"
+	msgUserSync    = "pisces.user-sync"
+
+	// anyType is the wildcard message type usable in ACCEPT statements; it
+	// matches any message type not listed explicitly (exported as
+	// AnyMessage).
+	anyType = "*"
+)
+
+// Message is one message in a task's in-queue.  "Messages consist of a header
+// and a list of packets containing the arguments" (Section 11); the heap
+// fields record the shared-memory bytes charged for the message so they can
+// be recovered when the message is accepted or deleted.
+type Message struct {
+	// Type is the message type named in the SEND statement.
+	Type string
+	// Sender is the taskid of the sending task; "whenever a task receives a
+	// message from another task, the taskid of the sender is included as part
+	// of the message" (Section 6).
+	Sender TaskID
+	// Args carries the argument list.
+	Args []Value
+
+	// seq orders messages by arrival for the in-queue.
+	seq uint64
+	// heapOff/heapBytes record the shared-memory heap allocation backing the
+	// message while it waits in the in-queue.
+	heapOff   int
+	heapBytes int
+	// replyID, when non-nil, is an internal channel used by the run-time's
+	// own initiate requests to return the new task's id to the initiator.
+	replyID chan TaskID
+	// syncCh, when non-nil, is closed by the user controller once this
+	// message has been processed (used by VM.FlushUserOutput).
+	syncCh chan struct{}
+}
+
+// Arg returns argument i, or a zero Value if out of range.
+func (m *Message) Arg(i int) Value {
+	if i < 0 || i >= len(m.Args) {
+		return Value{}
+	}
+	return m.Args[i]
+}
+
+// NumArgs returns the number of arguments in the message.
+func (m *Message) NumArgs() int { return len(m.Args) }
+
+// inQueue is a task's in-queue: "Messages are queued in an in-queue for the
+// receiver in order of arrival" (Section 6).
+type inQueue struct {
+	mu     sync.Mutex
+	msgs   []*Message
+	wake   chan struct{} // buffered(1): pulsed on every enqueue
+	closed bool
+}
+
+func newInQueue() *inQueue {
+	return &inQueue{wake: make(chan struct{}, 1)}
+}
+
+// put appends a message and pulses the wake channel.  It reports false if the
+// queue has been closed (receiver terminated).
+func (q *inQueue) put(m *Message) bool {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	q.msgs = append(q.msgs, m)
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// close marks the queue closed and returns the messages still waiting so
+// their heap storage can be recovered.
+func (q *inQueue) close() []*Message {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	out := q.msgs
+	q.msgs = nil
+	return out
+}
+
+// snapshot returns a copy of the queued messages, oldest first.
+func (q *inQueue) snapshot() []*Message {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]*Message, len(q.msgs))
+	copy(out, q.msgs)
+	return out
+}
+
+// len returns the number of waiting messages.
+func (q *inQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.msgs)
+}
+
+// takeMatching removes and returns messages that satisfy an ACCEPT statement,
+// in arrival order.  perType maps message types to the number still wanted
+// (a negative count means "all available", the ALL form); sharedType marks
+// types charged against the statement's shared total, of which at most
+// sharedBudget messages are taken.  The remaining shared budget is returned.
+// perType counts are not modified; the caller updates its own bookkeeping
+// from the returned messages.
+func (q *inQueue) takeMatching(perType map[string]int, sharedType map[string]bool, sharedBudget int) ([]*Message, int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	taken := make(map[string]int)
+	var out []*Message
+	var rest []*Message
+	for _, m := range q.msgs {
+		key := m.Type
+		n, listed := perType[key]
+		if !listed {
+			// The wildcard entry "*" (used by controllers) matches any
+			// message type not listed explicitly.
+			if wn, ok := perType[anyType]; ok {
+				key, n, listed = anyType, wn, true
+			}
+		}
+		take := false
+		switch {
+		case !listed:
+		case n < 0: // ALL: drain everything of this type
+			take = true
+		case n > taken[key]: // per-type count not yet met
+			take = true
+		case sharedType[key] && sharedBudget > 0:
+			take = true
+			sharedBudget--
+		}
+		if take {
+			taken[key]++
+			out = append(out, m)
+		} else {
+			rest = append(rest, m)
+		}
+	}
+	q.msgs = rest
+	return out, sharedBudget
+}
+
+// removeType removes all messages of the given type ("" removes every
+// message) and returns them, for the DELETE MESSAGES operation of the
+// execution environment.
+func (q *inQueue) removeType(msgType string) []*Message {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if msgType == "" {
+		out := q.msgs
+		q.msgs = nil
+		return out
+	}
+	var removed, rest []*Message
+	for _, m := range q.msgs {
+		if m.Type == msgType {
+			removed = append(removed, m)
+		} else {
+			rest = append(rest, m)
+		}
+	}
+	q.msgs = rest
+	return removed
+}

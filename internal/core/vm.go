@@ -1,0 +1,624 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/flex"
+	"repro/internal/mmos"
+	"repro/internal/trace"
+)
+
+// Errors returned by the run-time.
+var (
+	// ErrUnknownTaskType is returned when initiating a tasktype that was
+	// never registered.
+	ErrUnknownTaskType = errors.New("core: unknown tasktype")
+	// ErrNoSuchTask is returned when sending to a taskid that is not running.
+	ErrNoSuchTask = errors.New("core: no such task")
+	// ErrNoSuchCluster is returned for placements naming a cluster that is
+	// not part of the configuration.
+	ErrNoSuchCluster = errors.New("core: no such cluster")
+	// ErrNoOtherCluster is returned for the OTHER placement when the
+	// configuration has a single cluster.
+	ErrNoOtherCluster = errors.New("core: no other cluster available")
+	// ErrVMTerminated is returned for operations on a VM that has shut down.
+	ErrVMTerminated = errors.New("core: virtual machine terminated")
+	// ErrHeapExhausted wraps message-heap allocation failures.
+	ErrHeapExhausted = errors.New("core: shared-memory message heap exhausted")
+	// ErrKilled is reported for tasks terminated by KILL A TASK or by the
+	// run's time limit.
+	ErrKilled = errors.New("core: task killed")
+)
+
+// TaskType is a registered task type: a name and the Go function that serves
+// as the Pisces Fortran tasktype body.
+type TaskType struct {
+	// Name is the tasktype name used in INITIATE statements.
+	Name string
+	// Body is run for each initiated task of this type.
+	Body func(*Task)
+	// LocalBytes is the simulated local-memory footprint of one task of this
+	// type; 0 uses DefaultTaskLocalBytes.
+	LocalBytes int
+}
+
+// Options tune the virtual machine.  The zero value gives sensible defaults.
+type Options struct {
+	// UserOutput receives lines sent "TO USER"; nil discards them.
+	UserOutput io.Writer
+	// AcceptTimeout is the system-provided timeout used when an ACCEPT
+	// statement has no DELAY clause.  Zero means 5 seconds.
+	AcceptTimeout time.Duration
+	// SystemLocalBytes is the per-PE local-memory footprint of the PISCES
+	// system; zero means DefaultSystemLocalBytes.
+	SystemLocalBytes int
+	// TraceSinks are attached to the trace recorder in addition to any sinks
+	// added later through Tracer().
+	TraceSinks []trace.Sink
+}
+
+// VM is one booted PISCES 2 virtual machine: a configuration mapped onto a
+// simulated FLEX/32, with controllers running and tasktypes registered.
+type VM struct {
+	machine *flex.Machine
+	kernel  *mmos.Kernel
+	cfg     *config.Configuration
+	opts    Options
+	tracer  *trace.Recorder
+
+	mu        sync.Mutex
+	tasktypes map[string]TaskType
+	tasks     map[TaskID]*taskRec
+	clusters  map[int]*clusterRT
+	started   bool
+	stopped   bool
+
+	arrays   *arrayStore
+	files    *fileStore
+	fileCtrl TaskID
+	userCtrl TaskID
+
+	uniqueCtr  atomic.Int64
+	msgSeq     atomic.Uint64
+	userTasks  sync.WaitGroup
+	tableBytes int
+
+	timeLimitTimer *time.Timer
+
+	// statistics
+	initiated   atomic.Int64
+	completed   atomic.Int64
+	msgsSent    atomic.Int64
+	msgsAccpt   atomic.Int64
+	windowOps   atomic.Int64
+	windowBytes atomic.Int64
+}
+
+// NewVM boots a virtual machine for the given configuration on a fresh
+// simulated FLEX/32 with the default hardware description.
+func NewVM(cfg *config.Configuration, opts Options) (*VM, error) {
+	return NewVMOn(flex.MustNewMachine(flex.DefaultConfig()), cfg, opts)
+}
+
+// NewVMOn boots a virtual machine for the given configuration on an existing
+// simulated machine.  It validates the configuration, allocates the system
+// tables in shared memory, charges the PISCES system's local-memory footprint
+// to every PE the configuration uses, and starts the controller tasks.
+func NewVMOn(machine *flex.Machine, cfg *config.Configuration, opts Options) (*VM, error) {
+	if err := cfg.Validate(machine.Config()); err != nil {
+		return nil, err
+	}
+	if opts.AcceptTimeout <= 0 {
+		opts.AcceptTimeout = 5 * time.Second
+	}
+	if opts.SystemLocalBytes <= 0 {
+		opts.SystemLocalBytes = DefaultSystemLocalBytes
+	}
+	vm := &VM{
+		machine:   machine,
+		kernel:    mmos.NewKernel(machine),
+		cfg:       cfg.Clone(),
+		opts:      opts,
+		tracer:    trace.NewRecorder(opts.TraceSinks...),
+		tasktypes: make(map[string]TaskType),
+		tasks:     make(map[TaskID]*taskRec),
+		clusters:  make(map[int]*clusterRT),
+	}
+	vm.arrays = newArrayStore()
+	vm.files = newFileStore()
+
+	for _, ev := range cfg.TraceEvents {
+		k, err := trace.ParseKind(ev)
+		if err != nil {
+			return nil, err
+		}
+		vm.tracer.EnableKind(k, true)
+	}
+
+	// System tables: one VM header, one record per cluster, one per slot
+	// (including the controller slots).
+	tableBytes := bytesVMHeader
+	for _, cl := range cfg.Clusters {
+		tableBytes += bytesClusterRecord + (cl.Slots+reservedSlots(cl.Number == lowestCluster(cfg)))*bytesSlotRecord
+	}
+	if err := machine.Shared().AllocTable(tableBytes); err != nil {
+		return nil, fmt.Errorf("core: allocating system tables: %w", err)
+	}
+	vm.tableBytes = tableBytes
+
+	// Charge the PISCES system's code+data to every PE the configuration uses.
+	for _, pe := range cfg.UsedPEs() {
+		if err := machine.PE(pe).AllocLocal(opts.SystemLocalBytes); err != nil {
+			return nil, fmt.Errorf("core: loading PISCES system on PE %d: %w", pe, err)
+		}
+	}
+
+	// Build the cluster run-time structures.
+	for _, cl := range cfg.Clusters {
+		rt, err := newClusterRT(vm, cl, cl.Number == lowestCluster(cfg))
+		if err != nil {
+			return nil, err
+		}
+		vm.clusters[cl.Number] = rt
+	}
+
+	if err := vm.startControllers(); err != nil {
+		return nil, err
+	}
+	vm.mu.Lock()
+	vm.started = true
+	vm.mu.Unlock()
+
+	if cfg.TimeLimit > 0 {
+		vm.timeLimitTimer = time.AfterFunc(cfg.TimeLimit, vm.timeLimitExpired)
+	}
+	return vm, nil
+}
+
+// reservedSlots returns the number of controller slots in a cluster: every
+// cluster has a task controller; the terminal cluster additionally hosts the
+// user controller and the file controller.
+func reservedSlots(terminalCluster bool) int {
+	if terminalCluster {
+		return 3
+	}
+	return 1
+}
+
+func lowestCluster(cfg *config.Configuration) int {
+	nums := cfg.ClusterNumbers()
+	return nums[0]
+}
+
+// Machine returns the simulated FLEX/32 the VM runs on.
+func (vm *VM) Machine() *flex.Machine { return vm.machine }
+
+// Kernel returns the MMOS kernel.
+func (vm *VM) Kernel() *mmos.Kernel { return vm.kernel }
+
+// Configuration returns (a copy of) the configuration the VM was booted with.
+func (vm *VM) Configuration() *config.Configuration { return vm.cfg.Clone() }
+
+// Tracer returns the VM's trace recorder, for enabling events and attaching
+// sinks (the CHANGE TRACE OPTIONS menu entry).
+func (vm *VM) Tracer() *trace.Recorder { return vm.tracer }
+
+// UserControllerID returns the taskid of the user controller; it is the
+// parent of tasks initiated from the execution environment.
+func (vm *VM) UserControllerID() TaskID { return vm.userCtrl }
+
+// FileControllerID returns the taskid of the file controller, the owner of
+// file-resident arrays.
+func (vm *VM) FileControllerID() TaskID { return vm.fileCtrl }
+
+// Register makes a tasktype available for initiation.  Registering a name
+// twice replaces the previous definition; registration after tasks are
+// running is allowed (the preprocessor emits all registrations up front).
+func (vm *VM) Register(name string, body func(*Task)) {
+	vm.RegisterType(TaskType{Name: name, Body: body})
+}
+
+// RegisterType registers a fully specified tasktype.
+func (vm *VM) RegisterType(tt TaskType) {
+	if tt.LocalBytes <= 0 {
+		tt.LocalBytes = DefaultTaskLocalBytes
+	}
+	vm.mu.Lock()
+	vm.tasktypes[tt.Name] = tt
+	vm.mu.Unlock()
+}
+
+// taskType looks up a registered tasktype.
+func (vm *VM) taskType(name string) (TaskType, bool) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	tt, ok := vm.tasktypes[name]
+	return tt, ok
+}
+
+// TaskTypes returns the registered tasktype names, sorted.
+func (vm *VM) TaskTypes() []string {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	out := make([]string, 0, len(vm.tasktypes))
+	for name := range vm.tasktypes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// nextUnique returns the next unique number for a taskid.
+func (vm *VM) nextUnique() int { return int(vm.uniqueCtr.Add(1)) }
+
+// registerTask records a running task so messages can be routed to it.
+func (vm *VM) registerTask(rec *taskRec) {
+	vm.mu.Lock()
+	vm.tasks[rec.id] = rec
+	vm.mu.Unlock()
+}
+
+// unregisterTask removes a task from the routing table.
+func (vm *VM) unregisterTask(id TaskID) {
+	vm.mu.Lock()
+	delete(vm.tasks, id)
+	vm.mu.Unlock()
+}
+
+// lookupTask finds the record of a running task.
+func (vm *VM) lookupTask(id TaskID) (*taskRec, bool) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	rec, ok := vm.tasks[id]
+	return rec, ok
+}
+
+// cluster returns the run-time structure for cluster n.
+func (vm *VM) cluster(n int) (*clusterRT, bool) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	cl, ok := vm.clusters[n]
+	return cl, ok
+}
+
+// clusterNumbers returns the configured cluster numbers in ascending order.
+func (vm *VM) clusterNumbers() []int {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	out := make([]int, 0, len(vm.clusters))
+	for n := range vm.clusters {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// terminated reports whether the VM has been shut down.
+func (vm *VM) terminated() bool {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	return vm.stopped
+}
+
+// Initiate requests initiation of a top-level task from the execution
+// environment (menu option "INITIATE A TASK").  The request is sent to the
+// task controller of the placed cluster exactly as a task-issued INITIATE
+// would be; the call then waits until a slot is assigned and returns the new
+// task's id.  The new task's parent is the user controller, so its replies
+// "TO PARENT" reach the user terminal.
+func (vm *VM) Initiate(tasktype string, placement Placement, args ...Value) (TaskID, error) {
+	if vm.terminated() {
+		return NilTask, ErrVMTerminated
+	}
+	if _, ok := vm.taskType(tasktype); !ok {
+		return NilTask, fmt.Errorf("%w: %q", ErrUnknownTaskType, tasktype)
+	}
+	cl, err := vm.placeCluster(placement, 0)
+	if err != nil {
+		return NilTask, err
+	}
+	reply := make(chan TaskID, 1)
+	msg := &Message{
+		Type:    msgInitRequest,
+		Sender:  vm.userCtrl,
+		Args:    []Value{Str(tasktype), ID(vm.userCtrl), Ints(nil)},
+		seq:     vm.msgSeq.Add(1),
+		replyID: reply,
+	}
+	msg.Args = append(msg.Args, args...)
+	if err := vm.deliverSystem(cl.controllerID, msg); err != nil {
+		return NilTask, err
+	}
+	id := <-reply
+	if id.IsNil() {
+		return NilTask, ErrVMTerminated
+	}
+	return id, nil
+}
+
+// Run initiates a top-level task, waits for it to terminate, and returns its
+// id.  It is the convenience used by examples and experiments.
+func (vm *VM) Run(tasktype string, placement Placement, args ...Value) (TaskID, error) {
+	id, err := vm.Initiate(tasktype, placement, args...)
+	if err != nil {
+		return NilTask, err
+	}
+	return id, vm.WaitTask(id)
+}
+
+// WaitTask blocks until the task with the given id has terminated.  Waiting
+// on an id that is not running returns immediately.
+func (vm *VM) WaitTask(id TaskID) error {
+	rec, ok := vm.lookupTask(id)
+	if !ok {
+		return nil
+	}
+	<-rec.done
+	return nil
+}
+
+// WaitIdle blocks until every user task initiated so far has terminated.
+func (vm *VM) WaitIdle() { vm.userTasks.Wait() }
+
+// FlushUserOutput blocks until the user controller has processed every
+// message queued before the call, so terminal output sent with Println or
+// SendUser has been written to the configured output.  It is a convenience
+// for examples and experiments that interleave their own printing with task
+// output.
+func (vm *VM) FlushUserOutput() {
+	rec, ok := vm.lookupTask(vm.userCtrl)
+	if !ok {
+		return
+	}
+	ch := make(chan struct{})
+	msg := &Message{Type: msgUserSync, Sender: vm.userCtrl, seq: vm.msgSeq.Add(1), syncCh: ch}
+	if !rec.queue.put(msg) {
+		return
+	}
+	<-ch
+}
+
+// placeCluster resolves a Placement to a cluster, given the initiating
+// cluster (0 when the initiator is the execution environment).
+func (vm *VM) placeCluster(p Placement, from int) (*clusterRT, error) {
+	nums := vm.clusterNumbers()
+	switch p.kind {
+	case placeCluster:
+		cl, ok := vm.cluster(p.cluster)
+		if !ok {
+			return nil, fmt.Errorf("%w: %d", ErrNoSuchCluster, p.cluster)
+		}
+		return cl, nil
+	case placeSame:
+		if from == 0 {
+			from = nums[0]
+		}
+		cl, ok := vm.cluster(from)
+		if !ok {
+			return nil, fmt.Errorf("%w: %d", ErrNoSuchCluster, from)
+		}
+		return cl, nil
+	case placeOther:
+		best := vm.leastLoaded(nums, from)
+		if best == nil {
+			return nil, ErrNoOtherCluster
+		}
+		return best, nil
+	default: // placeAny
+		best := vm.leastLoaded(nums, 0)
+		if best == nil {
+			return nil, ErrNoSuchCluster
+		}
+		return best, nil
+	}
+}
+
+// leastLoaded returns the cluster with the most free user slots, excluding
+// cluster `exclude` (0 excludes nothing).  Ties go to the lowest number.
+func (vm *VM) leastLoaded(nums []int, exclude int) *clusterRT {
+	var best *clusterRT
+	bestFree := -1
+	for _, n := range nums {
+		if n == exclude {
+			continue
+		}
+		cl, ok := vm.cluster(n)
+		if !ok {
+			continue
+		}
+		if free := cl.freeSlots(); free > bestFree {
+			best, bestFree = cl, free
+		}
+	}
+	return best
+}
+
+// deliverSystem puts a run-time message directly into the destination task's
+// in-queue, charging the shared-memory heap for it like any other message.
+func (vm *VM) deliverSystem(dest TaskID, msg *Message) error {
+	rec, ok := vm.lookupTask(dest)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchTask, dest)
+	}
+	if err := vm.chargeMessage(msg); err != nil {
+		return err
+	}
+	if !rec.queue.put(msg) {
+		vm.releaseMessage(msg)
+		return fmt.Errorf("%w: %s", ErrNoSuchTask, dest)
+	}
+	return nil
+}
+
+// chargeMessage allocates the message's shared-memory footprint.
+func (vm *VM) chargeMessage(msg *Message) error {
+	size, err := encodedSize(msg.Args)
+	if err != nil {
+		return err
+	}
+	off, err := vm.machine.Shared().Heap().Alloc(size)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrHeapExhausted, err)
+	}
+	msg.heapOff = off
+	msg.heapBytes = size
+	return nil
+}
+
+// releaseMessage frees the message's shared-memory footprint.
+func (vm *VM) releaseMessage(msg *Message) {
+	if msg.heapBytes > 0 {
+		_ = vm.machine.Shared().Heap().Free(msg.heapOff)
+		msg.heapBytes = 0
+	}
+}
+
+// record emits a trace event on behalf of a task, stamping it with the task's
+// PE clock.
+func (vm *VM) record(kind trace.Kind, task TaskID, other TaskID, pe *flex.PE, info string) {
+	ev := trace.Event{Kind: kind, Task: task.String(), Info: info}
+	if !other.IsNil() {
+		ev.Other = other.String()
+	}
+	if pe != nil {
+		ev.PE = pe.ID()
+		ev.Ticks = pe.Ticks()
+	}
+	vm.tracer.Record(ev)
+}
+
+// timeLimitExpired enforces the configuration's execution time limit by
+// killing every user task still running.
+func (vm *VM) timeLimitExpired() {
+	for _, info := range vm.RunningTasks() {
+		if !info.Controller {
+			_ = vm.Kill(info.ID)
+		}
+	}
+}
+
+// Shutdown terminates the run (menu option "TERMINATE THE RUN"): every user
+// task is killed, controllers are stopped, and the system tables are
+// released.  The VM cannot be used afterwards.
+func (vm *VM) Shutdown() {
+	vm.mu.Lock()
+	if vm.stopped {
+		vm.mu.Unlock()
+		return
+	}
+	vm.stopped = true
+	vm.mu.Unlock()
+
+	if vm.timeLimitTimer != nil {
+		vm.timeLimitTimer.Stop()
+	}
+
+	// Snapshot every task record so the teardown below can also wait for the
+	// underlying MMOS processes to exit.
+	vm.mu.Lock()
+	var all []*taskRec
+	for _, rec := range vm.tasks {
+		all = append(all, rec)
+	}
+	vm.mu.Unlock()
+
+	// Kill user tasks and wait for them to drain.
+	for _, rec := range all {
+		if !rec.isController {
+			rec.kill()
+		}
+	}
+	vm.userTasks.Wait()
+
+	// Stop the controllers.
+	for _, rec := range all {
+		if !rec.isController {
+			continue
+		}
+		msg := &Message{Type: msgShutdown, Sender: vm.userCtrl, seq: vm.msgSeq.Add(1)}
+		// Shutdown must succeed even if the message heap is exhausted, so the
+		// message is delivered without charging the heap.
+		rec.queue.put(msg)
+	}
+	for _, rec := range all {
+		if rec.isController {
+			<-rec.done
+		}
+	}
+	// Wait for the MMOS processes themselves so the kernel is quiescent when
+	// Shutdown returns.
+	for _, rec := range all {
+		if p := rec.getProc(); p != nil {
+			<-p.Done()
+		}
+	}
+	vm.machine.Shared().FreeTable(vm.tableBytes)
+}
+
+// Stats summarises run-time activity.
+type Stats struct {
+	TasksInitiated   int64
+	TasksCompleted   int64
+	MessagesSent     int64
+	MessagesAccepted int64
+}
+
+// Stats returns run-time counters.
+func (vm *VM) Stats() Stats {
+	return Stats{
+		TasksInitiated:   vm.initiated.Load(),
+		TasksCompleted:   vm.completed.Load(),
+		MessagesSent:     vm.msgsSent.Load(),
+		MessagesAccepted: vm.msgsAccpt.Load(),
+	}
+}
+
+// Placement is the <cluster> part of an INITIATE statement.
+type Placement struct {
+	kind    placementKind
+	cluster int
+}
+
+type placementKind int
+
+const (
+	placeAny placementKind = iota
+	placeCluster
+	placeOther
+	placeSame
+)
+
+// OnCluster places the new task on the given cluster number
+// ("CLUSTER <number>").
+func OnCluster(n int) Placement { return Placement{kind: placeCluster, cluster: n} }
+
+// Any lets the system choose a cluster ("ANY").
+func Any() Placement { return Placement{kind: placeAny} }
+
+// Other places the new task on a cluster different from the initiator's
+// ("OTHER").
+func Other() Placement { return Placement{kind: placeOther} }
+
+// Same places the new task on the initiator's cluster ("SAME").
+func Same() Placement { return Placement{kind: placeSame} }
+
+// String renders the placement in Pisces Fortran syntax.
+func (p Placement) String() string {
+	switch p.kind {
+	case placeCluster:
+		return fmt.Sprintf("CLUSTER %d", p.cluster)
+	case placeOther:
+		return "OTHER"
+	case placeSame:
+		return "SAME"
+	default:
+		return "ANY"
+	}
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+)
+
+// RunE2 reproduces Figure 1 of the paper — the virtual machine organisation —
+// by booting a three-cluster configuration, populating some slots with user
+// tasks (leaving others free), and rendering the live structure: task
+// controllers in every cluster, the user controller in the terminal cluster,
+// user tasks in occupied slots, "<not in use>" slots, and the message-passing
+// network joining the clusters.
+func RunE2(w io.Writer) error {
+	cfg := config.Simple(3, 3)
+	vm, err := core.NewVM(cfg, core.Options{AcceptTimeout: 5 * time.Second})
+	if err != nil {
+		return err
+	}
+	defer vm.Shutdown()
+
+	// A couple of user tasks occupy slots while the figure is rendered; they
+	// simply wait for a message that arrives when the experiment is done.
+	started := make(chan core.TaskID, 4)
+	vm.Register("user-task", func(t *core.Task) {
+		started <- t.ID()
+		_, _ = t.Accept(core.AcceptSpec{Total: 1, Types: []core.TypeCount{{Type: "finish"}}, Delay: core.Forever})
+	})
+	var ids []core.TaskID
+	for _, cl := range []int{1, 1, 3} {
+		id, err := vm.Initiate("user-task", core.OnCluster(cl))
+		if err != nil {
+			return err
+		}
+		ids = append(ids, id)
+	}
+	for range ids {
+		<-started
+	}
+
+	vm.RenderFigure1(w)
+
+	for _, id := range ids {
+		_ = vm.SendFromUser(id, "finish")
+	}
+	vm.WaitIdle()
+	return nil
+}

@@ -1,0 +1,240 @@
+// Package memory provides a simple explicit heap allocator over a fixed byte
+// arena.  The PISCES 2 run-time system keeps three kinds of state in the
+// FLEX/32 shared memory: system tables, a message heap with explicit
+// allocation and deallocation, and statically allocated SHARED COMMON blocks
+// (paper, Section 11, "Shared Memory Use").  This package implements the
+// message-heap part: a first-fit free-list allocator with coalescing, plus the
+// accounting (bytes in use, high-water mark, allocation counts) needed by the
+// Section 13 storage-overhead experiment.
+//
+// The allocator hands out offsets into the arena rather than Go pointers so
+// that callers can treat the arena exactly the way the original system treated
+// physical shared memory: a flat array of bytes addressed by offset.
+package memory
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrOutOfMemory is returned by Alloc when no free block is large enough.
+var ErrOutOfMemory = errors.New("memory: arena exhausted")
+
+// ErrBadFree is returned by Free when the offset does not correspond to a
+// live allocation.
+var ErrBadFree = errors.New("memory: free of unallocated offset")
+
+// headerSize is the per-allocation bookkeeping overhead, in bytes.  The real
+// FLEX run-time kept a small header on every message-heap block; we model the
+// same cost so storage measurements include it.
+const headerSize = 8
+
+// align rounds sizes up to 8-byte boundaries, matching the packet granularity
+// used by the message system.
+const align = 8
+
+// block describes one region of the arena, either free or allocated.
+type block struct {
+	off  int // offset of the usable region (after the header)
+	size int // usable size in bytes
+	free bool
+}
+
+// Allocator is a first-fit free-list allocator over a fixed-size arena.
+// The zero value is not usable; call New.
+//
+// Allocator is safe for concurrent use; in the simulated machine many PEs
+// allocate message blocks from the single shared memory at once.
+type Allocator struct {
+	mu     sync.Mutex
+	arena  []byte
+	blocks []block // ordered by offset
+
+	inUse     int
+	highWater int
+	allocs    uint64
+	frees     uint64
+	failures  uint64
+}
+
+// New creates an allocator managing size bytes of arena.
+func New(size int) *Allocator {
+	if size < headerSize {
+		size = headerSize
+	}
+	a := &Allocator{arena: make([]byte, size)}
+	a.blocks = []block{{off: headerSize, size: size - headerSize, free: true}}
+	return a
+}
+
+// Size returns the total arena size in bytes.
+func (a *Allocator) Size() int { return len(a.arena) }
+
+// Alloc reserves n usable bytes and returns the offset of the reserved region.
+// The region is zeroed.
+func (a *Allocator) Alloc(n int) (int, error) {
+	if n <= 0 {
+		n = align
+	}
+	n = roundUp(n)
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	for i := range a.blocks {
+		if !a.blocks[i].free || a.blocks[i].size < n {
+			continue
+		}
+		off := a.blocks[i].off
+		// Split the block if the remainder is large enough to be useful.
+		rem := a.blocks[i].size - n
+		if rem >= headerSize+align {
+			newBlock := block{off: off + n + headerSize, size: rem - headerSize, free: true}
+			a.blocks[i].size = n
+			a.blocks[i].free = false
+			a.blocks = append(a.blocks, block{})
+			copy(a.blocks[i+2:], a.blocks[i+1:])
+			a.blocks[i+1] = newBlock
+		} else {
+			a.blocks[i].free = false
+			n = a.blocks[i].size
+		}
+		zero(a.arena[off : off+n])
+		a.inUse += n + headerSize
+		if a.inUse > a.highWater {
+			a.highWater = a.inUse
+		}
+		a.allocs++
+		return off, nil
+	}
+	a.failures++
+	return 0, fmt.Errorf("%w: requested %d bytes, %d in use of %d", ErrOutOfMemory, n, a.inUse, len(a.arena))
+}
+
+// Free releases the allocation at offset off, coalescing adjacent free blocks.
+func (a *Allocator) Free(off int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	i := a.find(off)
+	if i < 0 || a.blocks[i].free {
+		return fmt.Errorf("%w: offset %d", ErrBadFree, off)
+	}
+	a.blocks[i].free = true
+	a.inUse -= a.blocks[i].size + headerSize
+	a.frees++
+	a.coalesce(i)
+	return nil
+}
+
+// find returns the index of the block whose usable region starts at off, or -1.
+func (a *Allocator) find(off int) int {
+	lo, hi := 0, len(a.blocks)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case a.blocks[mid].off == off:
+			return mid
+		case a.blocks[mid].off < off:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return -1
+}
+
+// coalesce merges the block at index i with free neighbours.
+func (a *Allocator) coalesce(i int) {
+	// Merge with the following block first so the index stays valid.
+	for i+1 < len(a.blocks) && a.blocks[i+1].free {
+		a.blocks[i].size += a.blocks[i+1].size + headerSize
+		a.blocks = append(a.blocks[:i+1], a.blocks[i+2:]...)
+	}
+	for i > 0 && a.blocks[i-1].free {
+		a.blocks[i-1].size += a.blocks[i].size + headerSize
+		a.blocks = append(a.blocks[:i], a.blocks[i+1:]...)
+		i--
+	}
+}
+
+// Bytes returns the usable bytes of the allocation at offset off with length n.
+// The caller must not retain the slice across a Free of the same offset.
+func (a *Allocator) Bytes(off, n int) []byte {
+	return a.arena[off : off+n]
+}
+
+// Stats is a snapshot of allocator accounting.
+type Stats struct {
+	ArenaSize  int    // total bytes managed
+	InUse      int    // bytes currently allocated, including headers
+	HighWater  int    // maximum of InUse over the allocator's lifetime
+	FreeBytes  int    // usable bytes currently free
+	Allocs     uint64 // successful Alloc calls
+	Frees      uint64 // successful Free calls
+	Failures   uint64 // Alloc calls that returned ErrOutOfMemory
+	FreeBlocks int    // number of free blocks (fragmentation indicator)
+	LargestRun int    // largest single free block
+}
+
+// Stats returns a snapshot of the allocator's accounting counters.
+func (a *Allocator) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := Stats{
+		ArenaSize: len(a.arena),
+		InUse:     a.inUse,
+		HighWater: a.highWater,
+		Allocs:    a.allocs,
+		Frees:     a.frees,
+		Failures:  a.failures,
+	}
+	for _, b := range a.blocks {
+		if b.free {
+			s.FreeBytes += b.size
+			s.FreeBlocks++
+			if b.size > s.LargestRun {
+				s.LargestRun = b.size
+			}
+		}
+	}
+	return s
+}
+
+// InUse returns the number of bytes currently allocated, including headers.
+func (a *Allocator) InUse() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inUse
+}
+
+// HighWater returns the maximum number of bytes ever simultaneously allocated.
+func (a *Allocator) HighWater() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.highWater
+}
+
+// Reset returns the allocator to its initial, fully free state.  The
+// high-water mark and cumulative counters are preserved so long-run
+// experiments can report them after repeated phases.
+func (a *Allocator) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.blocks = []block{{off: headerSize, size: len(a.arena) - headerSize, free: true}}
+	a.inUse = 0
+}
+
+func roundUp(n int) int {
+	if r := n % align; r != 0 {
+		n += align - r
+	}
+	return n
+}
+
+func zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}

@@ -1,0 +1,309 @@
+package memory
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocBasic(t *testing.T) {
+	a := New(4096)
+	off, err := a.Alloc(100)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if off < headerSize {
+		t.Fatalf("offset %d overlaps the first header", off)
+	}
+	if got := a.InUse(); got < 100 {
+		t.Fatalf("InUse = %d, want >= 100", got)
+	}
+	if err := a.Free(off); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if got := a.InUse(); got != 0 {
+		t.Fatalf("InUse after free = %d, want 0", got)
+	}
+}
+
+func TestAllocZeroesMemory(t *testing.T) {
+	a := New(1024)
+	off, err := a.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a.Bytes(off, 64)
+	for i := range b {
+		b[i] = 0xFF
+	}
+	if err := a.Free(off); err != nil {
+		t.Fatal(err)
+	}
+	off2, err := a.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range a.Bytes(off2, 64) {
+		if v != 0 {
+			t.Fatalf("byte %d not zeroed after reuse: %#x", i, v)
+		}
+	}
+}
+
+func TestAllocRoundsUp(t *testing.T) {
+	a := New(1024)
+	off, err := a.Alloc(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.InUse(); got != align+headerSize {
+		t.Fatalf("InUse = %d, want %d", got, align+headerSize)
+	}
+	if err := a.Free(off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	a := New(256)
+	var offs []int
+	for {
+		off, err := a.Alloc(32)
+		if err != nil {
+			if !errors.Is(err, ErrOutOfMemory) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			break
+		}
+		offs = append(offs, off)
+	}
+	if len(offs) == 0 {
+		t.Fatal("no allocations succeeded at all")
+	}
+	st := a.Stats()
+	if st.Failures == 0 {
+		t.Fatal("expected at least one recorded failure")
+	}
+	for _, off := range offs {
+		if err := a.Free(off); err != nil {
+			t.Fatalf("Free(%d): %v", off, err)
+		}
+	}
+	// After freeing everything, a large allocation should succeed again
+	// (coalescing restored one big block).
+	if _, err := a.Alloc(st.ArenaSize / 2); err != nil {
+		t.Fatalf("allocation after full free failed: %v", err)
+	}
+}
+
+func TestDoubleFree(t *testing.T) {
+	a := New(1024)
+	off, err := a.Alloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(off); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(off); !errors.Is(err, ErrBadFree) {
+		t.Fatalf("double free: got %v, want ErrBadFree", err)
+	}
+	if err := a.Free(12345); !errors.Is(err, ErrBadFree) {
+		t.Fatalf("bogus free: got %v, want ErrBadFree", err)
+	}
+}
+
+func TestCoalescingRestoresLargestRun(t *testing.T) {
+	a := New(8192)
+	initial := a.Stats().LargestRun
+	var offs []int
+	for i := 0; i < 16; i++ {
+		off, err := a.Alloc(128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs = append(offs, off)
+	}
+	// Free in an interleaved order to exercise both coalescing directions.
+	order := []int{1, 3, 5, 7, 9, 11, 13, 15, 0, 2, 4, 6, 8, 10, 12, 14}
+	for _, i := range order {
+		if err := a.Free(offs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := a.Stats()
+	if st.FreeBlocks != 1 {
+		t.Fatalf("FreeBlocks = %d, want 1 after full coalescing", st.FreeBlocks)
+	}
+	if st.LargestRun != initial {
+		t.Fatalf("LargestRun = %d, want %d", st.LargestRun, initial)
+	}
+}
+
+func TestHighWaterMark(t *testing.T) {
+	a := New(4096)
+	o1, _ := a.Alloc(512)
+	o2, _ := a.Alloc(512)
+	hw := a.HighWater()
+	if hw < 1024 {
+		t.Fatalf("high water %d, want >= 1024", hw)
+	}
+	a.Free(o1)
+	a.Free(o2)
+	if a.HighWater() != hw {
+		t.Fatalf("high water changed after frees: %d != %d", a.HighWater(), hw)
+	}
+	if a.InUse() != 0 {
+		t.Fatalf("in use %d after freeing everything", a.InUse())
+	}
+}
+
+func TestReset(t *testing.T) {
+	a := New(2048)
+	for i := 0; i < 4; i++ {
+		if _, err := a.Alloc(64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Reset()
+	if a.InUse() != 0 {
+		t.Fatalf("InUse after Reset = %d", a.InUse())
+	}
+	if _, err := a.Alloc(1024); err != nil {
+		t.Fatalf("large alloc after Reset failed: %v", err)
+	}
+}
+
+// TestStatsFreeAccounting checks the identity: arena = in-use + free + headers
+// of free blocks + leading header reserve.
+func TestStatsAccounting(t *testing.T) {
+	a := New(4096)
+	var offs []int
+	for i := 0; i < 7; i++ {
+		off, err := a.Alloc(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs = append(offs, off)
+	}
+	a.Free(offs[2])
+	a.Free(offs[4])
+	st := a.Stats()
+	total := st.InUse + st.FreeBytes + st.FreeBlocks*headerSize
+	if total != st.ArenaSize {
+		t.Fatalf("accounting mismatch: inUse %d + free %d + headers = %d, arena %d",
+			st.InUse, st.FreeBytes, total, st.ArenaSize)
+	}
+}
+
+// Property: any sequence of allocations followed by freeing all of them
+// returns the allocator to zero bytes in use with a single free block.
+func TestQuickAllocFreeAll(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		a := New(1 << 20)
+		var offs []int
+		for _, s := range sizes {
+			n := int(s%2048) + 1
+			off, err := a.Alloc(n)
+			if err != nil {
+				// Exhaustion is acceptable behaviour; stop allocating.
+				break
+			}
+			offs = append(offs, off)
+		}
+		for _, off := range offs {
+			if err := a.Free(off); err != nil {
+				return false
+			}
+		}
+		st := a.Stats()
+		return st.InUse == 0 && st.FreeBlocks == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: live allocations never overlap each other.
+func TestQuickNoOverlap(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := New(1 << 16)
+		type alloc struct{ off, size int }
+		var live []alloc
+		for i := 0; i < int(count); i++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				k := rng.Intn(len(live))
+				if err := a.Free(live[k].off); err != nil {
+					return false
+				}
+				live = append(live[:k], live[k+1:]...)
+				continue
+			}
+			n := rng.Intn(512) + 1
+			off, err := a.Alloc(n)
+			if err != nil {
+				continue
+			}
+			live = append(live, alloc{off, roundUp(n)})
+		}
+		for i := range live {
+			for j := i + 1; j < len(live); j++ {
+				ai, aj := live[i], live[j]
+				if ai.off < aj.off+aj.size && aj.off < ai.off+ai.size {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAllocFree(b *testing.B) {
+	a := New(1 << 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		off, err := a.Alloc(128)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Free(off); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllocFreeFragmented(b *testing.B) {
+	a := New(1 << 20)
+	// Pre-fragment the arena.
+	var pins []int
+	for i := 0; i < 200; i++ {
+		off, err := a.Alloc(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i%2 == 0 {
+			pins = append(pins, off)
+		} else if err := a.Free(off); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off, err := a.Alloc(48)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Free(off); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for _, off := range pins {
+		a.Free(off)
+	}
+}

@@ -1,0 +1,255 @@
+// Package mmos simulates MMOS, the "simple Unix-like kernel" that the FLEX/32
+// runs on PEs 3-20 (paper, Section 11).  The PISCES 2 run-time library uses
+// MMOS only for a few services: process creation and termination, terminal
+// input/output, storage allocation, and "swapping the CPU among ready
+// processes".  This package provides exactly those services over the
+// simulated machine in internal/flex.
+//
+// A Proc is the kernel's view of one running program: it is bound to a PE,
+// and it must hold the PE's CPU to execute.  All PISCES blocking operations
+// (ACCEPT waits, barriers, critical regions, waiting for a free slot) release
+// the CPU while the process is blocked, which is what bounds the degree of
+// multiprogramming on each PE to the slot counts chosen in the configuration.
+package mmos
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/flex"
+)
+
+// State is the scheduling state of a process.
+type State int32
+
+// Process states.
+const (
+	// Ready means the process exists but does not currently hold its PE's CPU.
+	Ready State = iota
+	// Running means the process holds its PE's CPU.
+	Running
+	// Blocked means the process is waiting on an event (message arrival,
+	// barrier, lock, slot) and has released the CPU.
+	Blocked
+	// Exited means the process has terminated.
+	Exited
+)
+
+// String returns the conventional short name of the state.
+func (s State) String() string {
+	switch s {
+	case Ready:
+		return "READY"
+	case Running:
+		return "RUNNING"
+	case Blocked:
+		return "BLOCKED"
+	case Exited:
+		return "EXITED"
+	}
+	return fmt.Sprintf("State(%d)", int32(s))
+}
+
+// Kernel is the per-machine MMOS instance.
+type Kernel struct {
+	machine *flex.Machine
+
+	mu     sync.Mutex
+	nextID int
+	procs  map[int]*Proc
+
+	spawned     atomic.Int64
+	exited      atomic.Int64
+	cpuSwitches atomic.Int64
+}
+
+// NewKernel creates a kernel controlling the given machine.
+func NewKernel(m *flex.Machine) *Kernel {
+	return &Kernel{machine: m, procs: make(map[int]*Proc), nextID: 1}
+}
+
+// Machine returns the machine this kernel controls.
+func (k *Kernel) Machine() *flex.Machine { return k.machine }
+
+// Proc is one MMOS process.
+type Proc struct {
+	kernel *Kernel
+	id     int
+	name   string
+	pe     *flex.PE
+
+	state  atomic.Int32
+	done   chan struct{}
+	doneMu sync.Once
+
+	localBytes int // local memory charged at spawn, released at exit
+}
+
+// Spawn creates a process named name on PE pe and runs body in a new
+// goroutine.  localBytes of the PE's local memory are charged to the process
+// for its lifetime (program text + data, as in the paper's storage
+// measurements).  The body receives the Proc and runs with the CPU already
+// held; it must use Yield/Block for scheduling points and must not return
+// while blocked.  Spawn returns once the process exists (not once it has run).
+func (k *Kernel) Spawn(pe *flex.PE, name string, localBytes int, body func(*Proc)) (*Proc, error) {
+	if pe == nil {
+		return nil, fmt.Errorf("mmos: spawn %q on nil PE", name)
+	}
+	if pe.IsUnix() {
+		return nil, fmt.Errorf("mmos: PE %d runs Unix only and cannot host PISCES processes", pe.ID())
+	}
+	if localBytes > 0 {
+		if err := pe.AllocLocal(localBytes); err != nil {
+			return nil, fmt.Errorf("mmos: spawn %q: %w", name, err)
+		}
+	}
+
+	k.mu.Lock()
+	id := k.nextID
+	k.nextID++
+	p := &Proc{kernel: k, id: id, name: name, pe: pe, done: make(chan struct{}), localBytes: localBytes}
+	p.state.Store(int32(Ready))
+	k.procs[id] = p
+	k.mu.Unlock()
+
+	pe.BindProc()
+	k.spawned.Add(1)
+
+	go func() {
+		p.acquireCPU()
+		defer p.exit()
+		body(p)
+	}()
+	return p, nil
+}
+
+// exit tears the process down: releases the CPU if held, releases local
+// memory, and marks the process exited.
+func (p *Proc) exit() {
+	if State(p.state.Load()) == Running {
+		p.releaseCPU()
+	}
+	p.state.Store(int32(Exited))
+	if p.localBytes > 0 {
+		p.pe.FreeLocal(p.localBytes)
+	}
+	p.pe.UnbindProc()
+	p.kernel.exited.Add(1)
+	p.kernel.mu.Lock()
+	delete(p.kernel.procs, p.id)
+	p.kernel.mu.Unlock()
+	p.doneMu.Do(func() { close(p.done) })
+}
+
+// ID returns the kernel-assigned process id.
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// PE returns the processor the process is bound to.
+func (p *Proc) PE() *flex.PE { return p.pe }
+
+// State returns the process's scheduling state.
+func (p *Proc) State() State { return State(p.state.Load()) }
+
+// Done returns a channel closed when the process has exited.
+func (p *Proc) Done() <-chan struct{} { return p.done }
+
+func (p *Proc) acquireCPU() {
+	p.pe.Acquire()
+	p.state.Store(int32(Running))
+	p.kernel.cpuSwitches.Add(1)
+}
+
+func (p *Proc) releaseCPU() {
+	p.state.Store(int32(Ready))
+	p.pe.Release()
+}
+
+// Charge advances the PE clock by n ticks on behalf of this process.  The
+// caller must be Running.
+func (p *Proc) Charge(n int64) {
+	p.pe.Charge(n)
+}
+
+// Yield releases the CPU so other ready processes on the same PE can run,
+// then re-acquires it.  This is MMOS "swapping the CPU among ready
+// processes"; the PISCES run-time yields at every statement-level runtime
+// call so the slot-bounded multiprogramming of a cluster's primary PE is
+// visible in the simulation.
+func (p *Proc) Yield() {
+	p.Charge(1)
+	p.releaseCPU()
+	p.acquireCPU()
+}
+
+// Block releases the CPU, waits until wake is closed (or receives a value),
+// then re-acquires the CPU.  Every blocking PISCES primitive is built on
+// Block so that a blocked task never occupies its PE.
+func (p *Proc) Block(wake <-chan struct{}) {
+	p.state.Store(int32(Blocked))
+	p.pe.Release()
+	<-wake
+	p.pe.Acquire()
+	p.state.Store(int32(Running))
+	p.kernel.cpuSwitches.Add(1)
+}
+
+// BlockFn releases the CPU, runs wait (which must block until the awaited
+// condition holds), then re-acquires the CPU.
+func (p *Proc) BlockFn(wait func()) {
+	p.state.Store(int32(Blocked))
+	p.pe.Release()
+	wait()
+	p.pe.Acquire()
+	p.state.Store(int32(Running))
+	p.kernel.cpuSwitches.Add(1)
+}
+
+// Stats is a snapshot of kernel-wide counters.
+type Stats struct {
+	Live        int
+	Spawned     int64
+	Exited      int64
+	CPUSwitches int64
+}
+
+// Stats returns kernel counters.
+func (k *Kernel) Stats() Stats {
+	k.mu.Lock()
+	live := len(k.procs)
+	k.mu.Unlock()
+	return Stats{
+		Live:        live,
+		Spawned:     k.spawned.Load(),
+		Exited:      k.exited.Load(),
+		CPUSwitches: k.cpuSwitches.Load(),
+	}
+}
+
+// Procs returns a snapshot of the live processes, for the execution
+// environment's displays.
+func (k *Kernel) Procs() []*Proc {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]*Proc, 0, len(k.procs))
+	for _, p := range k.procs {
+		out = append(out, p)
+	}
+	return out
+}
+
+// ProcsOnPE returns the live processes bound to PE number pe.
+func (k *Kernel) ProcsOnPE(pe int) []*Proc {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	var out []*Proc
+	for _, p := range k.procs {
+		if p.pe.ID() == pe {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+package mmos
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/flex"
+)
+
+func newKernel(t testing.TB) *Kernel {
+	t.Helper()
+	return NewKernel(flex.MustNewMachine(flex.DefaultConfig()))
+}
+
+func TestSpawnRunsBody(t *testing.T) {
+	k := newKernel(t)
+	pe := k.Machine().PE(3)
+	var ran atomic.Bool
+	p, err := k.Spawn(pe, "worker", 0, func(p *Proc) {
+		ran.Store(true)
+		p.Charge(5)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-p.Done()
+	if !ran.Load() {
+		t.Fatal("body did not run")
+	}
+	if p.State() != Exited {
+		t.Fatalf("state = %v, want Exited", p.State())
+	}
+	if pe.Ticks() < 5 {
+		t.Fatalf("ticks = %d, want >= 5", pe.Ticks())
+	}
+	st := k.Stats()
+	if st.Spawned != 1 || st.Exited != 1 || st.Live != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSpawnOnUnixPERejected(t *testing.T) {
+	k := newKernel(t)
+	if _, err := k.Spawn(k.Machine().PE(1), "bad", 0, func(*Proc) {}); err == nil {
+		t.Fatal("spawn on Unix PE should fail")
+	}
+	if _, err := k.Spawn(nil, "bad", 0, func(*Proc) {}); err == nil {
+		t.Fatal("spawn on nil PE should fail")
+	}
+}
+
+func TestSpawnChargesLocalMemory(t *testing.T) {
+	k := newKernel(t)
+	pe := k.Machine().PE(4)
+	release := make(chan struct{})
+	p, err := k.Spawn(pe, "holder", 4096, func(p *Proc) {
+		p.BlockFn(func() { <-release })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the process to block so memory is definitely charged.
+	waitState(t, p, Blocked)
+	used, _, _ := pe.LocalStats()
+	if used != 4096 {
+		t.Fatalf("local used = %d, want 4096", used)
+	}
+	close(release)
+	<-p.Done()
+	used, _, _ = pe.LocalStats()
+	if used != 0 {
+		t.Fatalf("local used after exit = %d, want 0", used)
+	}
+
+	// A spawn whose local memory cannot be satisfied must fail cleanly.
+	if _, err := k.Spawn(pe, "huge", flex.LocalMemoryBytes+1, func(*Proc) {}); err == nil {
+		t.Fatal("expected local memory exhaustion at spawn")
+	}
+}
+
+func waitState(t *testing.T, p *Proc, want State) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if p.State() == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("process %q never reached state %v (now %v)", p.Name(), want, p.State())
+}
+
+// TestSinglePEMultiprogramming verifies that two processes bound to the same
+// PE never execute simultaneously: the observed concurrency inside the
+// critical body is always 1.
+func TestSinglePEMultiprogramming(t *testing.T) {
+	k := newKernel(t)
+	pe := k.Machine().PE(5)
+	var inside, maxInside atomic.Int32
+	var wg sync.WaitGroup
+	body := func(p *Proc) {
+		for i := 0; i < 50; i++ {
+			cur := inside.Add(1)
+			for {
+				prev := maxInside.Load()
+				if cur <= prev || maxInside.CompareAndSwap(prev, cur) {
+					break
+				}
+			}
+			inside.Add(-1)
+			p.Yield()
+		}
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		p, err := k.Spawn(pe, "mp", 0, func(p *Proc) { defer wg.Done(); body(p) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = p
+	}
+	wg.Wait()
+	if maxInside.Load() != 1 {
+		t.Fatalf("observed %d processes running simultaneously on one PE", maxInside.Load())
+	}
+}
+
+// TestTwoPEsRunConcurrently verifies that processes on different PEs can
+// overlap in time.
+func TestTwoPEsRunConcurrently(t *testing.T) {
+	k := newKernel(t)
+	var both sync.WaitGroup
+	both.Add(2)
+	barrier := make(chan struct{})
+	meet := func(p *Proc) {
+		both.Done()
+		p.BlockFn(func() { <-barrier })
+	}
+	p1, err := k.Spawn(k.Machine().PE(3), "a", 0, meet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := k.Spawn(k.Machine().PE(4), "b", 0, meet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { both.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("processes on different PEs failed to run concurrently")
+	}
+	close(barrier)
+	<-p1.Done()
+	<-p2.Done()
+}
+
+func TestBlockReleasesCPU(t *testing.T) {
+	k := newKernel(t)
+	pe := k.Machine().PE(6)
+	wake := make(chan struct{})
+	blocker, err := k.Spawn(pe, "blocker", 0, func(p *Proc) {
+		p.Block(wake)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, blocker, Blocked)
+
+	// While the first process is blocked, another process on the same PE
+	// must be able to run to completion.
+	var ran atomic.Bool
+	runner, err := k.Spawn(pe, "runner", 0, func(p *Proc) { ran.Store(true) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-runner.Done()
+	if !ran.Load() {
+		t.Fatal("second process did not run while first was blocked")
+	}
+	close(wake)
+	<-blocker.Done()
+}
+
+func TestProcsViews(t *testing.T) {
+	k := newKernel(t)
+	release := make(chan struct{})
+	var ps []*Proc
+	for i := 0; i < 3; i++ {
+		p, err := k.Spawn(k.Machine().PE(3+i), "view", 0, func(p *Proc) {
+			p.BlockFn(func() { <-release })
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+	for _, p := range ps {
+		waitState(t, p, Blocked)
+	}
+	if got := len(k.Procs()); got != 3 {
+		t.Fatalf("live procs = %d, want 3", got)
+	}
+	if got := len(k.ProcsOnPE(4)); got != 1 {
+		t.Fatalf("procs on PE 4 = %d, want 1", got)
+	}
+	if got := k.Machine().PE(4).BoundProcs(); got != 1 {
+		t.Fatalf("bound procs on PE 4 = %d, want 1", got)
+	}
+	close(release)
+	for _, p := range ps {
+		<-p.Done()
+	}
+	if got := len(k.Procs()); got != 0 {
+		t.Fatalf("live procs after exit = %d, want 0", got)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	cases := map[State]string{Ready: "READY", Running: "RUNNING", Blocked: "BLOCKED", Exited: "EXITED", State(99): "State(99)"}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func BenchmarkSpawnExit(b *testing.B) {
+	k := newKernel(b)
+	pe := k.Machine().PE(3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p, err := k.Spawn(pe, "bench", 0, func(*Proc) {})
+		if err != nil {
+			b.Fatal(err)
+		}
+		<-p.Done()
+	}
+}
+
+func BenchmarkYield(b *testing.B) {
+	k := newKernel(b)
+	pe := k.Machine().PE(3)
+	done := make(chan struct{})
+	_, err := k.Spawn(pe, "bench", 0, func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Yield()
+		}
+		close(done)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	<-done
+}

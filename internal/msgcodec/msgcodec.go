@@ -1,0 +1,420 @@
+// Package msgcodec encodes and decodes the argument lists carried by PISCES 2
+// messages.  In the FLEX/32 implementation "Messages consist of a header and
+// a list of packets containing the arguments" and live in a shared-memory
+// heap "with explicit allocation/deallocation as messages are sent and
+// accepted" (paper, Section 11).  This package defines the wire layout —
+// a fixed-size header plus fixed-size packets — so that the run-time can
+// charge the exact number of shared-memory bytes for every message and
+// recover them when the message is accepted, which is what the Section 13
+// storage measurements depend on.
+//
+// Supported argument types mirror the Pisces Fortran types: INTEGER, REAL
+// (stored as float64, Fortran DOUBLE PRECISION), LOGICAL, CHARACTER strings,
+// TASKID values, WINDOW values, and one-dimensional INTEGER and REAL arrays.
+package msgcodec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ArgKind identifies the type of one message argument.
+type ArgKind uint8
+
+// Argument kinds.
+const (
+	KindInteger ArgKind = iota + 1
+	KindReal
+	KindLogical
+	KindCharacter
+	KindTaskID
+	KindWindow
+	KindIntArray
+	KindRealArray
+)
+
+// String returns the Pisces Fortran name of the kind.
+func (k ArgKind) String() string {
+	switch k {
+	case KindInteger:
+		return "INTEGER"
+	case KindReal:
+		return "REAL"
+	case KindLogical:
+		return "LOGICAL"
+	case KindCharacter:
+		return "CHARACTER"
+	case KindTaskID:
+		return "TASKID"
+	case KindWindow:
+		return "WINDOW"
+	case KindIntArray:
+		return "INTEGER-ARRAY"
+	case KindRealArray:
+		return "REAL-ARRAY"
+	}
+	return fmt.Sprintf("ArgKind(%d)", uint8(k))
+}
+
+// TaskIDValue is the codec-level representation of a TASKID: cluster number,
+// slot number, and unique number (paper, Section 6).
+type TaskIDValue struct {
+	Cluster int32
+	Slot    int32
+	Unique  int32
+}
+
+// WindowValue is the codec-level representation of a WINDOW: "the taskid of
+// the owner, the address of the array, and a descriptor for the subarray"
+// (paper, Section 8).
+type WindowValue struct {
+	Owner   TaskIDValue
+	ArrayID int32
+	Row1    int32
+	Row2    int32
+	Col1    int32
+	Col2    int32
+}
+
+// Layout constants.  The original system used fixed-size packets chained off
+// a header; 32-byte packets with an 8-byte argument descriptor are a faithful
+// model and keep the arithmetic simple.
+const (
+	// HeaderBytes is the fixed size of a message header in shared memory:
+	// message type, sender taskid, destination taskid, argument count, and
+	// queue linkage.
+	HeaderBytes = 64
+	// PacketBytes is the size of each argument packet.
+	PacketBytes = 32
+	// packetPayload is the usable payload of a packet after its descriptor.
+	packetPayload = PacketBytes - 8
+)
+
+// ErrCorrupt is returned when decoding malformed bytes.
+var ErrCorrupt = errors.New("msgcodec: corrupt message encoding")
+
+// Arg is one argument value.  Exactly one field is meaningful, selected by Kind.
+type Arg struct {
+	Kind      ArgKind
+	Integer   int64
+	Real      float64
+	Logical   bool
+	Character string
+	TaskID    TaskIDValue
+	Window    WindowValue
+	IntArray  []int64
+	RealArray []float64
+}
+
+// Int returns an INTEGER argument.
+func Int(v int64) Arg { return Arg{Kind: KindInteger, Integer: v} }
+
+// Real returns a REAL argument.
+func Real(v float64) Arg { return Arg{Kind: KindReal, Real: v} }
+
+// Logical returns a LOGICAL argument.
+func Logical(v bool) Arg { return Arg{Kind: KindLogical, Logical: v} }
+
+// Str returns a CHARACTER argument.
+func Str(v string) Arg { return Arg{Kind: KindCharacter, Character: v} }
+
+// TaskID returns a TASKID argument.
+func TaskID(v TaskIDValue) Arg { return Arg{Kind: KindTaskID, TaskID: v} }
+
+// Window returns a WINDOW argument.
+func Window(v WindowValue) Arg { return Arg{Kind: KindWindow, Window: v} }
+
+// Ints returns an INTEGER array argument.
+func Ints(v []int64) Arg { return Arg{Kind: KindIntArray, IntArray: v} }
+
+// Reals returns a REAL array argument.
+func Reals(v []float64) Arg { return Arg{Kind: KindRealArray, RealArray: v} }
+
+// payloadBytes returns the number of payload bytes the argument needs.
+func (a Arg) payloadBytes() (int, error) {
+	switch a.Kind {
+	case KindInteger, KindReal:
+		return 8, nil
+	case KindLogical:
+		return 1, nil
+	case KindCharacter:
+		return len(a.Character), nil
+	case KindTaskID:
+		return 12, nil
+	case KindWindow:
+		return 12 + 4 + 16, nil
+	case KindIntArray:
+		return 8 * len(a.IntArray), nil
+	case KindRealArray:
+		return 8 * len(a.RealArray), nil
+	default:
+		return 0, fmt.Errorf("msgcodec: unknown argument kind %d", a.Kind)
+	}
+}
+
+// Packets returns the number of fixed-size packets the argument occupies.
+func (a Arg) Packets() (int, error) {
+	n, err := a.payloadBytes()
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return 1, nil
+	}
+	return (n + packetPayload - 1) / packetPayload, nil
+}
+
+// EncodedSize returns the number of shared-memory bytes a message with the
+// given arguments occupies: one header plus the packets of every argument.
+// This is the quantity charged against the message heap when the message is
+// sent and released when it is accepted.
+func EncodedSize(args []Arg) (int, error) {
+	total := HeaderBytes
+	for _, a := range args {
+		p, err := a.Packets()
+		if err != nil {
+			return 0, err
+		}
+		total += p * PacketBytes
+	}
+	return total, nil
+}
+
+// Encode serialises the argument list.  The layout is:
+//
+//	uint16 argument count
+//	for each argument: uint8 kind, uint32 payload length, payload bytes
+//
+// Encode is used both to move argument bytes through the simulated shared
+// memory and to give messages a deterministic, testable wire form.
+func Encode(args []Arg) ([]byte, error) {
+	buf := make([]byte, 2, 64)
+	binary.BigEndian.PutUint16(buf[0:2], uint16(len(args)))
+	for _, a := range args {
+		payload, err := a.encodePayload()
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, byte(a.Kind))
+		var lenb [4]byte
+		binary.BigEndian.PutUint32(lenb[:], uint32(len(payload)))
+		buf = append(buf, lenb[:]...)
+		buf = append(buf, payload...)
+	}
+	return buf, nil
+}
+
+func (a Arg) encodePayload() ([]byte, error) {
+	switch a.Kind {
+	case KindInteger:
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(a.Integer))
+		return b[:], nil
+	case KindReal:
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], math.Float64bits(a.Real))
+		return b[:], nil
+	case KindLogical:
+		if a.Logical {
+			return []byte{1}, nil
+		}
+		return []byte{0}, nil
+	case KindCharacter:
+		return []byte(a.Character), nil
+	case KindTaskID:
+		return encodeTaskID(a.TaskID), nil
+	case KindWindow:
+		out := encodeTaskID(a.Window.Owner)
+		out = appendInt32(out, a.Window.ArrayID)
+		out = appendInt32(out, a.Window.Row1)
+		out = appendInt32(out, a.Window.Row2)
+		out = appendInt32(out, a.Window.Col1)
+		out = appendInt32(out, a.Window.Col2)
+		return out, nil
+	case KindIntArray:
+		out := make([]byte, 0, 8*len(a.IntArray))
+		for _, v := range a.IntArray {
+			var b [8]byte
+			binary.BigEndian.PutUint64(b[:], uint64(v))
+			out = append(out, b[:]...)
+		}
+		return out, nil
+	case KindRealArray:
+		out := make([]byte, 0, 8*len(a.RealArray))
+		for _, v := range a.RealArray {
+			var b [8]byte
+			binary.BigEndian.PutUint64(b[:], math.Float64bits(v))
+			out = append(out, b[:]...)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("msgcodec: unknown argument kind %d", a.Kind)
+	}
+}
+
+func encodeTaskID(t TaskIDValue) []byte {
+	out := make([]byte, 0, 12)
+	out = appendInt32(out, t.Cluster)
+	out = appendInt32(out, t.Slot)
+	out = appendInt32(out, t.Unique)
+	return out
+}
+
+func appendInt32(b []byte, v int32) []byte {
+	var x [4]byte
+	binary.BigEndian.PutUint32(x[:], uint32(v))
+	return append(b, x[:]...)
+}
+
+// Decode reverses Encode.
+func Decode(data []byte) ([]Arg, error) {
+	if len(data) < 2 {
+		return nil, fmt.Errorf("%w: short buffer", ErrCorrupt)
+	}
+	count := int(binary.BigEndian.Uint16(data[0:2]))
+	pos := 2
+	args := make([]Arg, 0, count)
+	for i := 0; i < count; i++ {
+		if pos+5 > len(data) {
+			return nil, fmt.Errorf("%w: truncated argument %d header", ErrCorrupt, i)
+		}
+		kind := ArgKind(data[pos])
+		n := int(binary.BigEndian.Uint32(data[pos+1 : pos+5]))
+		pos += 5
+		if pos+n > len(data) {
+			return nil, fmt.Errorf("%w: truncated argument %d payload", ErrCorrupt, i)
+		}
+		payload := data[pos : pos+n]
+		pos += n
+		a, err := decodePayload(kind, payload)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-pos)
+	}
+	return args, nil
+}
+
+func decodePayload(kind ArgKind, payload []byte) (Arg, error) {
+	switch kind {
+	case KindInteger:
+		if len(payload) != 8 {
+			return Arg{}, fmt.Errorf("%w: INTEGER payload %d bytes", ErrCorrupt, len(payload))
+		}
+		return Int(int64(binary.BigEndian.Uint64(payload))), nil
+	case KindReal:
+		if len(payload) != 8 {
+			return Arg{}, fmt.Errorf("%w: REAL payload %d bytes", ErrCorrupt, len(payload))
+		}
+		return Real(math.Float64frombits(binary.BigEndian.Uint64(payload))), nil
+	case KindLogical:
+		if len(payload) != 1 {
+			return Arg{}, fmt.Errorf("%w: LOGICAL payload %d bytes", ErrCorrupt, len(payload))
+		}
+		return Logical(payload[0] != 0), nil
+	case KindCharacter:
+		return Str(string(payload)), nil
+	case KindTaskID:
+		t, err := decodeTaskID(payload)
+		if err != nil {
+			return Arg{}, err
+		}
+		return TaskID(t), nil
+	case KindWindow:
+		if len(payload) != 32 {
+			return Arg{}, fmt.Errorf("%w: WINDOW payload %d bytes", ErrCorrupt, len(payload))
+		}
+		owner, err := decodeTaskID(payload[0:12])
+		if err != nil {
+			return Arg{}, err
+		}
+		w := WindowValue{
+			Owner:   owner,
+			ArrayID: int32(binary.BigEndian.Uint32(payload[12:16])),
+			Row1:    int32(binary.BigEndian.Uint32(payload[16:20])),
+			Row2:    int32(binary.BigEndian.Uint32(payload[20:24])),
+			Col1:    int32(binary.BigEndian.Uint32(payload[24:28])),
+			Col2:    int32(binary.BigEndian.Uint32(payload[28:32])),
+		}
+		return Window(w), nil
+	case KindIntArray:
+		if len(payload)%8 != 0 {
+			return Arg{}, fmt.Errorf("%w: INTEGER array payload %d bytes", ErrCorrupt, len(payload))
+		}
+		vals := make([]int64, len(payload)/8)
+		for i := range vals {
+			vals[i] = int64(binary.BigEndian.Uint64(payload[i*8 : i*8+8]))
+		}
+		return Ints(vals), nil
+	case KindRealArray:
+		if len(payload)%8 != 0 {
+			return Arg{}, fmt.Errorf("%w: REAL array payload %d bytes", ErrCorrupt, len(payload))
+		}
+		vals := make([]float64, len(payload)/8)
+		for i := range vals {
+			vals[i] = math.Float64frombits(binary.BigEndian.Uint64(payload[i*8 : i*8+8]))
+		}
+		return Reals(vals), nil
+	default:
+		return Arg{}, fmt.Errorf("%w: unknown argument kind %d", ErrCorrupt, kind)
+	}
+}
+
+func decodeTaskID(payload []byte) (TaskIDValue, error) {
+	if len(payload) < 12 {
+		return TaskIDValue{}, fmt.Errorf("%w: TASKID payload %d bytes", ErrCorrupt, len(payload))
+	}
+	return TaskIDValue{
+		Cluster: int32(binary.BigEndian.Uint32(payload[0:4])),
+		Slot:    int32(binary.BigEndian.Uint32(payload[4:8])),
+		Unique:  int32(binary.BigEndian.Uint32(payload[8:12])),
+	}, nil
+}
+
+// Equal reports whether two arguments have the same kind and value.
+func Equal(a, b Arg) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case KindInteger:
+		return a.Integer == b.Integer
+	case KindReal:
+		return a.Real == b.Real || (math.IsNaN(a.Real) && math.IsNaN(b.Real))
+	case KindLogical:
+		return a.Logical == b.Logical
+	case KindCharacter:
+		return a.Character == b.Character
+	case KindTaskID:
+		return a.TaskID == b.TaskID
+	case KindWindow:
+		return a.Window == b.Window
+	case KindIntArray:
+		if len(a.IntArray) != len(b.IntArray) {
+			return false
+		}
+		for i := range a.IntArray {
+			if a.IntArray[i] != b.IntArray[i] {
+				return false
+			}
+		}
+		return true
+	case KindRealArray:
+		if len(a.RealArray) != len(b.RealArray) {
+			return false
+		}
+		for i := range a.RealArray {
+			av, bv := a.RealArray[i], b.RealArray[i]
+			if av != bv && !(math.IsNaN(av) && math.IsNaN(bv)) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

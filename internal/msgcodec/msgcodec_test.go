@@ -1,0 +1,247 @@
+package msgcodec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sampleArgs() []Arg {
+	return []Arg{
+		Int(42),
+		Int(-7),
+		Real(3.14159),
+		Real(math.Inf(1)),
+		Logical(true),
+		Logical(false),
+		Str("hello, FLEX/32"),
+		Str(""),
+		TaskID(TaskIDValue{Cluster: 2, Slot: 5, Unique: 1234}),
+		Window(WindowValue{
+			Owner:   TaskIDValue{Cluster: 1, Slot: 1, Unique: 9},
+			ArrayID: 3, Row1: 1, Row2: 100, Col1: 10, Col2: 20,
+		}),
+		Ints([]int64{1, -2, 3, 4, 5}),
+		Reals([]float64{0.5, -0.25, 1e10}),
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	args := sampleArgs()
+	data, err := Encode(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(args) {
+		t.Fatalf("decoded %d args, want %d", len(got), len(args))
+	}
+	for i := range args {
+		if !Equal(args[i], got[i]) {
+			t.Errorf("arg %d: got %+v, want %+v", i, got[i], args[i])
+		}
+	}
+}
+
+func TestEncodeEmptyArgList(t *testing.T) {
+	data, err := Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("decoded %d args from empty list", len(got))
+	}
+	size, err := EncodedSize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != HeaderBytes {
+		t.Fatalf("empty message size = %d, want header only (%d)", size, HeaderBytes)
+	}
+}
+
+func TestEncodedSizePacketArithmetic(t *testing.T) {
+	cases := []struct {
+		arg         Arg
+		wantPackets int
+	}{
+		{Int(1), 1},
+		{Real(2.5), 1},
+		{Logical(true), 1},
+		{Str("x"), 1},
+		{Str("this string is longer than twenty-four bytes of payload"), 3},
+		{TaskID(TaskIDValue{}), 1},
+		{Window(WindowValue{}), 2},
+		{Ints(make([]int64, 3)), 1},
+		{Ints(make([]int64, 4)), 2},
+		{Reals(make([]float64, 100)), 34},
+		{Ints(nil), 1},
+	}
+	for i, c := range cases {
+		p, err := c.arg.Packets()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != c.wantPackets {
+			t.Errorf("case %d (%s): packets = %d, want %d", i, c.arg.Kind, p, c.wantPackets)
+		}
+	}
+	size, err := EncodedSize([]Arg{Int(1), Str("abc")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != HeaderBytes+2*PacketBytes {
+		t.Fatalf("size = %d, want %d", size, HeaderBytes+2*PacketBytes)
+	}
+}
+
+func TestEncodedSizeUnknownKind(t *testing.T) {
+	if _, err := EncodedSize([]Arg{{Kind: ArgKind(99)}}); err == nil {
+		t.Fatal("unknown kind accepted by EncodedSize")
+	}
+	if _, err := Encode([]Arg{{Kind: ArgKind(99)}}); err == nil {
+		t.Fatal("unknown kind accepted by Encode")
+	}
+}
+
+func TestDecodeCorruptInputs(t *testing.T) {
+	good, err := Encode(sampleArgs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]byte{
+		nil,
+		{0},
+		good[:5],
+		good[:len(good)-3],
+		append(append([]byte{}, good...), 0xFF),
+		{0, 1, 99, 0, 0, 0, 1, 0}, // unknown kind
+	}
+	for i, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("case %d: corrupt input decoded without error", i)
+		}
+	}
+}
+
+func TestArgKindString(t *testing.T) {
+	kinds := []ArgKind{KindInteger, KindReal, KindLogical, KindCharacter, KindTaskID, KindWindow, KindIntArray, KindRealArray}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("kind %d has empty or duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if ArgKind(0).String() == "" || ArgKind(200).String() == "" {
+		t.Fatal("unknown kinds should still produce a diagnostic name")
+	}
+}
+
+func TestEqualDistinguishesValues(t *testing.T) {
+	if Equal(Int(1), Int(2)) {
+		t.Error("Equal(1,2)")
+	}
+	if Equal(Int(1), Real(1)) {
+		t.Error("different kinds compared equal")
+	}
+	if !Equal(Real(math.NaN()), Real(math.NaN())) {
+		t.Error("NaN payloads should compare equal for round-trip checks")
+	}
+	if Equal(Ints([]int64{1, 2}), Ints([]int64{1, 3})) {
+		t.Error("different int arrays compared equal")
+	}
+	if Equal(Ints([]int64{1, 2}), Ints([]int64{1})) {
+		t.Error("different length arrays compared equal")
+	}
+	if Equal(Reals([]float64{1}), Reals([]float64{2})) {
+		t.Error("different real arrays compared equal")
+	}
+	if !Equal(Str("a"), Str("a")) || Equal(Str("a"), Str("b")) {
+		t.Error("string equality wrong")
+	}
+	if Equal(Logical(true), Logical(false)) {
+		t.Error("logical equality wrong")
+	}
+	w1 := Window(WindowValue{ArrayID: 1})
+	w2 := Window(WindowValue{ArrayID: 2})
+	if Equal(w1, w2) {
+		t.Error("window equality wrong")
+	}
+	t1 := TaskID(TaskIDValue{Cluster: 1})
+	t2 := TaskID(TaskIDValue{Cluster: 2})
+	if Equal(t1, t2) {
+		t.Error("taskid equality wrong")
+	}
+}
+
+// Property: scalar arguments always round-trip through Encode/Decode.
+func TestQuickScalarRoundTrip(t *testing.T) {
+	f := func(i int64, r float64, l bool, s string, c, sl, u int32) bool {
+		args := []Arg{
+			Int(i), Real(r), Logical(l), Str(s),
+			TaskID(TaskIDValue{Cluster: c, Slot: sl, Unique: u}),
+		}
+		data, err := Encode(args)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(data)
+		if err != nil || len(got) != len(args) {
+			return false
+		}
+		for i := range args {
+			if !Equal(args[i], got[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: arrays round-trip and the encoded size grows monotonically with
+// the number of array elements.
+func TestQuickArrayRoundTripAndSize(t *testing.T) {
+	f := func(ints []int64, reals []float64) bool {
+		args := []Arg{Ints(ints), Reals(reals)}
+		data, err := Encode(args)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(data)
+		if err != nil || !Equal(got[0], args[0]) || !Equal(got[1], args[1]) {
+			return false
+		}
+		small, err1 := EncodedSize([]Arg{Ints(ints)})
+		larger, err2 := EncodedSize([]Arg{Ints(append([]int64{0, 0, 0, 0}, ints...))})
+		return err1 == nil && err2 == nil && larger > small
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	args := sampleArgs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data, err := Encode(args)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,545 @@
+package pfc
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Parse parses Pisces Fortran source text into a Program.
+func Parse(src string) (*Program, error) {
+	p := &parser{lines: splitLines(src)}
+	return p.parseProgram()
+}
+
+// splitLines splits source text into lines without their line endings.
+func splitLines(src string) []string {
+	lines := strings.Split(src, "\n")
+	for i, l := range lines {
+		lines[i] = strings.TrimRight(l, "\r")
+	}
+	return lines
+}
+
+type parser struct {
+	lines []string
+	pos   int // index of the next line to consume
+}
+
+// peek returns the next line without consuming it; ok is false at EOF.
+func (p *parser) peek() (string, int, bool) {
+	if p.pos >= len(p.lines) {
+		return "", 0, false
+	}
+	return p.lines[p.pos], p.pos + 1, true
+}
+
+func (p *parser) next() (string, int, bool) {
+	line, n, ok := p.peek()
+	if ok {
+		p.pos++
+	}
+	return line, n, ok
+}
+
+// isComment reports whether the line is a full-line Fortran comment.
+func isComment(line string) bool {
+	if len(line) == 0 {
+		return false
+	}
+	switch line[0] {
+	case 'C', 'c', '*':
+		return true
+	}
+	return strings.HasPrefix(strings.TrimSpace(line), "!")
+}
+
+// keywords returns the upper-cased, whitespace-normalised form of the
+// statement for keyword matching (full-line comments return "").
+func keywords(line string) string {
+	if isComment(line) {
+		return ""
+	}
+	return strings.ToUpper(strings.Join(strings.Fields(line), " "))
+}
+
+func (p *parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for {
+		line, lineNo, ok := p.next()
+		if !ok {
+			return prog, nil
+		}
+		kw := keywords(line)
+		switch {
+		case kw == "TASKTYPE" || strings.HasPrefix(kw, "TASKTYPE "):
+			tt, err := p.parseTaskType(line, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			prog.TaskTypes = append(prog.TaskTypes, tt)
+		case kw == "END TASKTYPE":
+			return nil, errf(lineNo, "END TASKTYPE without a matching TASKTYPE")
+		default:
+			prog.Other = append(prog.Other, Line{Number: lineNo, Text: line})
+		}
+	}
+}
+
+// parseTaskType parses a TASKTYPE header and its body up to END TASKTYPE.
+func (p *parser) parseTaskType(header string, lineNo int) (*TaskTypeDef, error) {
+	name, params, err := parseHeader(header, lineNo)
+	if err != nil {
+		return nil, err
+	}
+	tt := &TaskTypeDef{Name: name, Params: params, Line: lineNo}
+	body, terminator, err := p.parseBody(tt, []string{"END TASKTYPE"})
+	if err != nil {
+		return nil, err
+	}
+	if terminator != "END TASKTYPE" {
+		return nil, errf(lineNo, "TASKTYPE %s is never closed by END TASKTYPE", name)
+	}
+	tt.Body = body
+	return tt, nil
+}
+
+// parseHeader parses "TASKTYPE <name> [(p1, p2, ...)]".
+func parseHeader(line string, lineNo int) (string, []string, error) {
+	rest := strings.TrimSpace(line)
+	rest = rest[len("TASKTYPE"):]
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return "", nil, errf(lineNo, "TASKTYPE needs a name")
+	}
+	name := rest
+	var params []string
+	if i := strings.Index(rest, "("); i >= 0 {
+		if !strings.HasSuffix(rest, ")") {
+			return "", nil, errf(lineNo, "unbalanced parameter list in TASKTYPE header")
+		}
+		name = strings.TrimSpace(rest[:i])
+		params = splitArgs(rest[i+1 : len(rest)-1])
+	}
+	if name == "" || strings.ContainsAny(name, " \t()") {
+		return "", nil, errf(lineNo, "malformed TASKTYPE name %q", name)
+	}
+	return strings.ToUpper(name), params, nil
+}
+
+// parseBody parses statements until one of the terminators is reached.  The
+// consumed terminator keyword string is returned.
+func (p *parser) parseBody(tt *TaskTypeDef, terminators []string) ([]Stmt, string, error) {
+	var out []Stmt
+	for {
+		line, lineNo, ok := p.next()
+		if !ok {
+			return out, "", nil
+		}
+		kw := keywords(line)
+		for _, term := range terminators {
+			if kw == term || (term == "NEXTSEG" && kw == "NEXTSEG") {
+				return out, term, nil
+			}
+		}
+		stmt, err := p.parseStmt(tt, line, lineNo, kw)
+		if err != nil {
+			return nil, "", err
+		}
+		out = append(out, stmt)
+	}
+}
+
+// parseStmt parses one statement (which may itself consume further lines for
+// block constructs).
+func (p *parser) parseStmt(tt *TaskTypeDef, line string, lineNo int, kw string) (Stmt, error) {
+	switch {
+	case kw == "":
+		return Stmt{Kind: StmtFortran, Line: lineNo, Text: line}, nil
+
+	case strings.HasPrefix(kw, "ON "):
+		return parseInitiate(line, lineNo)
+
+	case strings.HasPrefix(kw, "TO "):
+		return parseSend(line, lineNo)
+
+	case strings.HasPrefix(kw, "ACCEPT"):
+		return p.parseAccept(tt, line, lineNo)
+
+	case kw == "FORCESPLIT":
+		tt.UsesForce = true
+		return Stmt{Kind: StmtForceSplit, Line: lineNo}, nil
+
+	case kw == "BARRIER":
+		body, term, err := p.parseBody(tt, []string{"END BARRIER"})
+		if err != nil {
+			return Stmt{}, err
+		}
+		if term != "END BARRIER" {
+			return Stmt{}, errf(lineNo, "BARRIER is never closed by END BARRIER")
+		}
+		return Stmt{Kind: StmtBarrier, Line: lineNo, Body: body}, nil
+
+	case strings.HasPrefix(kw, "CRITICAL"):
+		lockVar := strings.TrimSpace(strings.TrimPrefix(kw, "CRITICAL"))
+		if lockVar == "" {
+			return Stmt{}, errf(lineNo, "CRITICAL needs a lock variable")
+		}
+		body, term, err := p.parseBody(tt, []string{"END CRITICAL"})
+		if err != nil {
+			return Stmt{}, err
+		}
+		if term != "END CRITICAL" {
+			return Stmt{}, errf(lineNo, "CRITICAL is never closed by END CRITICAL")
+		}
+		return Stmt{Kind: StmtCritical, Line: lineNo, LockVar: lockVar, Body: body}, nil
+
+	case kw == "PARSEG":
+		return p.parseParseg(tt, lineNo)
+
+	case strings.HasPrefix(kw, "PRESCHED DO") || strings.HasPrefix(kw, "SELFSCHED DO"):
+		return parseScheduledDo(line, lineNo, kw)
+
+	case strings.HasPrefix(kw, "SHARED COMMON"):
+		decl, err := parseSharedCommon(line, lineNo)
+		if err != nil {
+			return Stmt{}, err
+		}
+		tt.SharedCommons = append(tt.SharedCommons, decl)
+		return Stmt{Kind: StmtFortran, Line: lineNo, Text: sharedCommonFortran(decl)}, nil
+
+	case strings.HasPrefix(kw, "LOCK "):
+		names := splitArgs(strings.TrimSpace(line[strings.Index(strings.ToUpper(line), "LOCK")+4:]))
+		tt.Locks = append(tt.Locks, upperAll(names)...)
+		return Stmt{Kind: StmtFortran, Line: lineNo,
+			Text: "      INTEGER " + strings.Join(upperAll(names), ", ") + "\nC PISCES: LOCK variable(s)"}, nil
+
+	case strings.HasPrefix(kw, "TASKID "):
+		names := splitArgs(strings.TrimSpace(line[strings.Index(strings.ToUpper(line), "TASKID")+6:]))
+		tt.TaskIDVars = append(tt.TaskIDVars, upperAll(names)...)
+		return Stmt{Kind: StmtFortran, Line: lineNo,
+			Text: declareTriples(names, 3) + "\nC PISCES: TASKID variable(s)"}, nil
+
+	case strings.HasPrefix(kw, "WINDOW "):
+		names := splitArgs(strings.TrimSpace(line[strings.Index(strings.ToUpper(line), "WINDOW")+6:]))
+		tt.WindowVars = append(tt.WindowVars, upperAll(names)...)
+		return Stmt{Kind: StmtFortran, Line: lineNo,
+			Text: declareTriples(names, 8) + "\nC PISCES: WINDOW variable(s)"}, nil
+
+	case strings.HasPrefix(kw, "HANDLER "):
+		name := strings.ToUpper(strings.TrimSpace(strings.TrimPrefix(kw, "HANDLER ")))
+		if name == "" {
+			return Stmt{}, errf(lineNo, "HANDLER needs a message type name")
+		}
+		tt.Handlers = append(tt.Handlers, name)
+		return Stmt{Kind: StmtFortran, Line: lineNo,
+			Text: "      EXTERNAL " + name + "\n      CALL PSHNDL('" + name + "', " + name + ")"}, nil
+
+	case strings.HasPrefix(kw, "SIGNAL "):
+		name := strings.ToUpper(strings.TrimSpace(strings.TrimPrefix(kw, "SIGNAL ")))
+		if name == "" {
+			return Stmt{}, errf(lineNo, "SIGNAL needs a message type name")
+		}
+		tt.Signals = append(tt.Signals, name)
+		return Stmt{Kind: StmtFortran, Line: lineNo, Text: "      CALL PSSGNL('" + name + "')"}, nil
+
+	case kw == "HANDLER" || kw == "SIGNAL":
+		return Stmt{}, errf(lineNo, "%s needs a message type name", kw)
+
+	case kw == "END ACCEPT" || kw == "END BARRIER" || kw == "END CRITICAL" || kw == "ENDSEG" || kw == "NEXTSEG":
+		return Stmt{}, errf(lineNo, "%s without a matching opening statement", kw)
+
+	default:
+		return Stmt{Kind: StmtFortran, Line: lineNo, Text: line}, nil
+	}
+}
+
+// parseInitiate parses "ON <cluster> INITIATE <tasktype>(<args>)".
+func parseInitiate(line string, lineNo int) (Stmt, error) {
+	kw := keywords(line)
+	idx := strings.Index(kw, " INITIATE ")
+	if idx < 0 {
+		if strings.HasSuffix(kw, " INITIATE") {
+			return Stmt{}, errf(lineNo, "INITIATE needs a tasktype name")
+		}
+		// "ON ..." without INITIATE is ordinary Fortran; pass it through.
+		return Stmt{Kind: StmtFortran, Line: lineNo, Text: line}, nil
+	}
+	if idx < 3 {
+		return Stmt{}, errf(lineNo, "INITIATE needs a placement between ON and INITIATE")
+	}
+	placement := strings.TrimSpace(kw[3:idx])
+	if err := validPlacement(placement); err != nil {
+		return Stmt{}, errf(lineNo, "bad INITIATE placement %q: %v", placement, err)
+	}
+	callPart := strings.TrimSpace(kw[idx+len(" INITIATE "):])
+	name, args, err := parseCall(callPart, lineNo)
+	if err != nil {
+		return Stmt{}, err
+	}
+	return Stmt{Kind: StmtInitiate, Line: lineNo, Placement: placement, TaskType: name, Args: args}, nil
+}
+
+func validPlacement(p string) error {
+	switch {
+	case p == "ANY" || p == "OTHER" || p == "SAME":
+		return nil
+	case strings.HasPrefix(p, "CLUSTER "):
+		if strings.TrimSpace(strings.TrimPrefix(p, "CLUSTER ")) == "" {
+			return errf(0, "CLUSTER placement needs a number")
+		}
+		return nil
+	default:
+		return errf(0, "expected CLUSTER <n>, ANY, OTHER, or SAME")
+	}
+}
+
+// parseSend parses "TO <dest> SEND <msgtype>(<args>)".
+func parseSend(line string, lineNo int) (Stmt, error) {
+	kw := keywords(line)
+	idx := strings.Index(kw, " SEND ")
+	if idx < 0 {
+		return Stmt{Kind: StmtFortran, Line: lineNo, Text: line}, nil
+	}
+	if idx < 3 {
+		return Stmt{}, errf(lineNo, "SEND needs a destination between TO and SEND")
+	}
+	dest := strings.TrimSpace(kw[3:idx])
+	if dest == "" {
+		return Stmt{}, errf(lineNo, "SEND needs a destination")
+	}
+	callPart := strings.TrimSpace(kw[idx+len(" SEND "):])
+	name, args, err := parseCall(callPart, lineNo)
+	if err != nil {
+		return Stmt{}, err
+	}
+	return Stmt{Kind: StmtSend, Line: lineNo, Dest: dest, MsgType: name, Args: args}, nil
+}
+
+// parseCall parses "<name>" or "<name>(<args>)".
+func parseCall(s string, lineNo int) (string, []string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return "", nil, errf(lineNo, "missing name")
+	}
+	i := strings.Index(s, "(")
+	if i < 0 {
+		if strings.ContainsAny(s, " \t") {
+			return "", nil, errf(lineNo, "malformed name %q", s)
+		}
+		return s, nil, nil
+	}
+	if !strings.HasSuffix(s, ")") {
+		return "", nil, errf(lineNo, "unbalanced argument list in %q", s)
+	}
+	name := strings.TrimSpace(s[:i])
+	if name == "" || strings.ContainsAny(name, " \t") {
+		return "", nil, errf(lineNo, "malformed name %q", name)
+	}
+	return name, splitArgs(s[i+1 : len(s)-1]), nil
+}
+
+// parseScheduledDo parses "PRESCHED DO <label> <var> = <lo>, <hi>[, <step>]"
+// and the SELFSCHED form.
+func parseScheduledDo(line string, lineNo int, kw string) (Stmt, error) {
+	kind := StmtPreschedDo
+	rest := strings.TrimPrefix(kw, "PRESCHED DO")
+	if strings.HasPrefix(kw, "SELFSCHED DO") {
+		kind = StmtSelfschedDo
+		rest = strings.TrimPrefix(kw, "SELFSCHED DO")
+	}
+	rest = strings.TrimSpace(rest)
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return Stmt{}, errf(lineNo, "malformed scheduled DO statement")
+	}
+	label := fields[0]
+	control := strings.TrimSpace(strings.TrimPrefix(rest, label))
+	eq := strings.Index(control, "=")
+	if eq < 0 {
+		return Stmt{}, errf(lineNo, "scheduled DO needs a control variable assignment")
+	}
+	doVar := strings.TrimSpace(control[:eq])
+	bounds := splitArgs(control[eq+1:])
+	if doVar == "" || len(bounds) < 2 || len(bounds) > 3 {
+		return Stmt{}, errf(lineNo, "scheduled DO needs <var> = <lo>, <hi>[, <step>]")
+	}
+	st := Stmt{Kind: kind, Line: lineNo, DoLabel: label, DoVar: doVar, DoLo: bounds[0], DoHi: bounds[1], DoStep: "1"}
+	if len(bounds) == 3 {
+		st.DoStep = bounds[2]
+	}
+	return st, nil
+}
+
+// parseAccept parses the block form
+//
+//	ACCEPT <number> OF
+//	  <type> [<count>|ALL]
+//	  ...
+//	DELAY <expr> THEN
+//	  <stmts>
+//	END ACCEPT
+//
+// and the single-line form "ACCEPT <number> OF <type1>, <type2>, ...".
+func (p *parser) parseAccept(tt *TaskTypeDef, line string, lineNo int) (Stmt, error) {
+	kw := keywords(line)
+	rest := strings.TrimSpace(strings.TrimPrefix(kw, "ACCEPT"))
+	acc := &AcceptStmt{}
+	ofIdx := strings.Index(rest, "OF")
+	if ofIdx < 0 {
+		return Stmt{}, errf(lineNo, "ACCEPT needs an OF clause")
+	}
+	acc.Total = strings.TrimSpace(rest[:ofIdx])
+	inline := strings.TrimSpace(rest[ofIdx+2:])
+	if inline != "" {
+		// Single-line form.
+		for _, ty := range splitArgs(inline) {
+			at, err := parseAcceptType(ty, lineNo)
+			if err != nil {
+				return Stmt{}, err
+			}
+			acc.Types = append(acc.Types, at)
+		}
+		return Stmt{Kind: StmtAccept, Line: lineNo, Accept: acc}, nil
+	}
+
+	// Block form: message types until DELAY or END ACCEPT.
+	for {
+		l, n, ok := p.next()
+		if !ok {
+			return Stmt{}, errf(lineNo, "ACCEPT is never closed by END ACCEPT")
+		}
+		k := keywords(l)
+		switch {
+		case k == "":
+			continue // comment or blank line inside the type list
+		case k == "END ACCEPT":
+			return Stmt{Kind: StmtAccept, Line: lineNo, Accept: acc}, nil
+		case strings.HasPrefix(k, "DELAY"):
+			delayRest := strings.TrimSpace(strings.TrimPrefix(k, "DELAY"))
+			if !strings.HasSuffix(delayRest, "THEN") {
+				return Stmt{}, errf(n, "DELAY clause must end with THEN")
+			}
+			acc.Delay = strings.TrimSpace(strings.TrimSuffix(delayRest, "THEN"))
+			body, term, err := p.parseBody(tt, []string{"END ACCEPT"})
+			if err != nil {
+				return Stmt{}, err
+			}
+			if term != "END ACCEPT" {
+				return Stmt{}, errf(lineNo, "ACCEPT is never closed by END ACCEPT")
+			}
+			acc.OnTimeout = body
+			return Stmt{Kind: StmtAccept, Line: lineNo, Accept: acc}, nil
+		default:
+			at, err := parseAcceptType(strings.TrimSpace(l), n)
+			if err != nil {
+				return Stmt{}, err
+			}
+			acc.Types = append(acc.Types, at)
+		}
+	}
+}
+
+// parseAcceptType parses one message-type entry: "<name>", "<name> <count>",
+// or "<name> ALL" / "ALL <name>".
+func parseAcceptType(s string, lineNo int) (AcceptType, error) {
+	fields := strings.Fields(strings.ToUpper(s))
+	switch len(fields) {
+	case 1:
+		return AcceptType{Name: fields[0]}, nil
+	case 2:
+		if fields[0] == "ALL" {
+			return AcceptType{Name: fields[1], Count: "ALL"}, nil
+		}
+		return AcceptType{Name: fields[0], Count: fields[1]}, nil
+	default:
+		return AcceptType{}, errf(lineNo, "malformed ACCEPT message type entry %q", s)
+	}
+}
+
+// parseParseg parses PARSEG ... NEXTSEG ... ENDSEG.
+func (p *parser) parseParseg(tt *TaskTypeDef, lineNo int) (Stmt, error) {
+	var segments [][]Stmt
+	for {
+		body, term, err := p.parseBody(tt, []string{"NEXTSEG", "ENDSEG"})
+		if err != nil {
+			return Stmt{}, err
+		}
+		segments = append(segments, body)
+		switch term {
+		case "ENDSEG":
+			return Stmt{Kind: StmtParseg, Line: lineNo, Segments: segments}, nil
+		case "NEXTSEG":
+			continue
+		default:
+			return Stmt{}, errf(lineNo, "PARSEG is never closed by ENDSEG")
+		}
+	}
+}
+
+// parseSharedCommon parses "SHARED COMMON /name/ a, b(10), c".
+func parseSharedCommon(line string, lineNo int) (SharedCommonDecl, error) {
+	kw := keywords(line)
+	rest := strings.TrimSpace(strings.TrimPrefix(kw, "SHARED COMMON"))
+	if !strings.HasPrefix(rest, "/") {
+		return SharedCommonDecl{}, errf(lineNo, "SHARED COMMON needs a /name/ block name")
+	}
+	end := strings.Index(rest[1:], "/")
+	if end < 0 {
+		return SharedCommonDecl{}, errf(lineNo, "unterminated SHARED COMMON block name")
+	}
+	name := strings.TrimSpace(rest[1 : 1+end])
+	vars := splitArgs(rest[end+2:])
+	if name == "" {
+		return SharedCommonDecl{}, errf(lineNo, "SHARED COMMON needs a block name")
+	}
+	return SharedCommonDecl{Name: name, Vars: vars, Line: lineNo}, nil
+}
+
+func sharedCommonFortran(d SharedCommonDecl) string {
+	return "      COMMON /" + d.Name + "/ " + strings.Join(d.Vars, ", ") +
+		"\nC PISCES: COMMON /" + d.Name + "/ is allocated in shared memory"
+}
+
+// splitArgs splits a comma-separated list at the top parenthesis level.
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	start := 0
+	for i, c := range s {
+		switch c {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+func upperAll(ss []string) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = strings.ToUpper(s)
+	}
+	return out
+}
+
+// declareTriples emits an INTEGER declaration giving each name n words of
+// storage (TASKID values occupy 3 integers, WINDOW values 8).
+func declareTriples(names []string, n int) string {
+	parts := make([]string, len(names))
+	for i, name := range names {
+		parts[i] = strings.ToUpper(strings.TrimSpace(name)) + "(" + strconv.Itoa(n) + ")"
+	}
+	return "      INTEGER " + strings.Join(parts, ", ")
+}

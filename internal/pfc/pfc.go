@@ -1,0 +1,215 @@
+// Package pfc implements the Pisces Fortran preprocessor (paper, Sections 10
+// and 11): "A preprocessor converts Pisces Fortran programs into standard
+// Fortran 77, with embedded calls on the Pisces run-time library.  The Unix
+// Fortran compiler then compiles the preprocessed programs."
+//
+// A Pisces Fortran program is a set of TASKTYPE definitions in which ordinary
+// Fortran 77 and the Pisces extensions are intermixed.  The preprocessor
+// recognises the extension statements described in the paper —
+//
+//	TASKTYPE <name> (<params>) ... END TASKTYPE
+//	ON <cluster> INITIATE <tasktype> (<args>)
+//	TO <taskid> SEND <msgtype> (<args>)
+//	ACCEPT <number> OF <msgtype>... DELAY <t> THEN ... END ACCEPT
+//	SIGNAL <msgtype> / HANDLER <msgtype> declarations
+//	FORCESPLIT
+//	SHARED COMMON /<name>/ <list>
+//	LOCK <names>
+//	BARRIER ... END BARRIER
+//	CRITICAL <lock> ... END CRITICAL
+//	PRESCHED DO <n> <var> = <lo>, <hi>[, <step>]
+//	SELFSCHED DO <n> <var> = <lo>, <hi>[, <step>]
+//	PARSEG / NEXTSEG / ENDSEG
+//	TASKID <names> / WINDOW <names> declarations
+//
+// — and rewrites each of them into standard Fortran with CALL statements on
+// the PISCES run-time library, passing every other line through unchanged.
+// Ordinary Fortran 77 subprograms therefore require no changes, exactly as
+// the paper promises.
+package pfc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Options tune the preprocessor output.
+type Options struct {
+	// RuntimePrefix is prepended to generated run-time entry points;
+	// the default "PS" yields names such as PSINIT and PSSEND.
+	RuntimePrefix string
+	// KeepComments controls whether full-line comments are copied through.
+	KeepComments bool
+}
+
+func (o Options) prefix() string {
+	if o.RuntimePrefix == "" {
+		return "PS"
+	}
+	return o.RuntimePrefix
+}
+
+// Error is a preprocessing error with source position.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("pisces fortran: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Result is the outcome of preprocessing one source file.
+type Result struct {
+	// Fortran is the generated standard Fortran 77 text.
+	Fortran string
+	// Program is the parsed structure of the source.
+	Program *Program
+}
+
+// Preprocess translates Pisces Fortran source text into standard Fortran 77
+// with calls on the PISCES run-time library.
+func Preprocess(src string, opts Options) (*Result, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	out, err := Emit(prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Fortran: out, Program: prog}, nil
+}
+
+// --- program structure -------------------------------------------------------
+
+// Program is a parsed Pisces Fortran source file.
+type Program struct {
+	// TaskTypes lists the tasktype definitions in source order.
+	TaskTypes []*TaskTypeDef
+	// Other holds source lines outside any TASKTYPE (ordinary subroutines,
+	// handler subroutines, comments), in source order, passed through.
+	Other []Line
+}
+
+// TaskTypeNames returns the names of the declared tasktypes.
+func (p *Program) TaskTypeNames() []string {
+	out := make([]string, len(p.TaskTypes))
+	for i, tt := range p.TaskTypes {
+		out[i] = tt.Name
+	}
+	return out
+}
+
+// TaskType returns the definition of the named tasktype, or nil.
+func (p *Program) TaskType(name string) *TaskTypeDef {
+	for _, tt := range p.TaskTypes {
+		if strings.EqualFold(tt.Name, name) {
+			return tt
+		}
+	}
+	return nil
+}
+
+// TaskTypeDef is one TASKTYPE ... END TASKTYPE definition.
+type TaskTypeDef struct {
+	Name   string
+	Params []string
+	Line   int
+	// Body is the statement sequence of the tasktype.
+	Body []Stmt
+	// Handlers and Signals are the declared message types.
+	Handlers []string
+	Signals  []string
+	// SharedCommons, Locks, TaskIDVars, WindowVars are declared names.
+	SharedCommons []SharedCommonDecl
+	Locks         []string
+	TaskIDVars    []string
+	WindowVars    []string
+	// UsesForce reports whether the body contains a FORCESPLIT.
+	UsesForce bool
+}
+
+// SharedCommonDecl is a SHARED COMMON /name/ list declaration.
+type SharedCommonDecl struct {
+	Name string
+	Vars []string
+	Line int
+}
+
+// Line is one passed-through source line.
+type Line struct {
+	Number int
+	Text   string
+}
+
+// StmtKind identifies the kind of a parsed statement.
+type StmtKind int
+
+// Statement kinds.
+const (
+	StmtFortran StmtKind = iota // ordinary Fortran line, passed through
+	StmtInitiate
+	StmtSend
+	StmtAccept
+	StmtForceSplit
+	StmtBarrier
+	StmtCritical
+	StmtPreschedDo
+	StmtSelfschedDo
+	StmtParseg
+)
+
+// Stmt is one parsed statement of a tasktype body.
+type Stmt struct {
+	Kind StmtKind
+	Line int
+
+	// StmtFortran
+	Text string
+
+	// StmtInitiate
+	Placement string // "CLUSTER n" | "ANY" | "OTHER" | "SAME"
+	TaskType  string
+	Args      []string
+
+	// StmtSend
+	Dest    string // "PARENT" | "SELF" | "SENDER" | "USER" | "TCONTR n" | "ALL" | "ALL CLUSTER n" | variable
+	MsgType string
+
+	// StmtAccept
+	Accept *AcceptStmt
+
+	// StmtBarrier, StmtCritical, StmtParseg bodies
+	Body     []Stmt
+	LockVar  string   // StmtCritical
+	Segments [][]Stmt // StmtParseg
+
+	// StmtPreschedDo / StmtSelfschedDo
+	DoLabel string
+	DoVar   string
+	DoLo    string
+	DoHi    string
+	DoStep  string
+}
+
+// AcceptStmt is a parsed ACCEPT statement.
+type AcceptStmt struct {
+	// Total is the <number> OF expression ("" when per-type counts are used).
+	Total string
+	// Types lists the accepted message types with their counts ("" = use the
+	// total, "ALL" = all received).
+	Types []AcceptType
+	// Delay is the DELAY expression ("" = system default).
+	Delay string
+	// OnTimeout is the DELAY ... THEN statement sequence.
+	OnTimeout []Stmt
+}
+
+// AcceptType is one message-type entry of an ACCEPT statement.
+type AcceptType struct {
+	Name  string
+	Count string // "", a number/expression, or "ALL"
+}

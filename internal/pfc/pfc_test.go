@@ -1,0 +1,354 @@
+package pfc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// sampleProgram exercises every Pisces Fortran extension the paper describes.
+const sampleProgram = `C A small Pisces Fortran program: a host task partitions work over
+C worker tasks and a force.
+TASKTYPE HOST(N)
+      INTEGER N, I
+      TASKID WORKERS(4)
+      WINDOW W
+      SIGNAL DONE
+      HANDLER RESULT
+      DO 5 I = 1, 4
+      ON CLUSTER 2 INITIATE WORKER(I, N)
+5     CONTINUE
+      ON ANY INITIATE WORKER(5, N)
+      TO USER SEND STATUS('STARTED')
+      ACCEPT 5 OF
+        RESULT
+        DONE
+      DELAY 10 THEN
+        TO USER SEND STATUS('TIMEOUT')
+      END ACCEPT
+      TO ALL SEND SHUTDOWN
+END TASKTYPE
+
+TASKTYPE WORKER(ME, N)
+      INTEGER ME, N, I, J
+      REAL SUM
+      LOCK SUMLK
+      SHARED COMMON /RESULTS/ TOTAL, COUNT(100)
+      FORCESPLIT
+      PRESCHED DO 10 I = 1, N
+      SUM = SUM + FLOAT(I)
+10    CONTINUE
+      SELFSCHED DO 20 J = 1, N, 2
+      SUM = SUM + 1.0
+20    CONTINUE
+      BARRIER
+        TOTAL = 0.0
+      END BARRIER
+      CRITICAL SUMLK
+        TOTAL = TOTAL + SUM
+      END CRITICAL
+      PARSEG
+        COUNT(1) = 1
+      NEXTSEG
+        COUNT(2) = 2
+      ENDSEG
+      TO PARENT SEND RESULT(SUM)
+      TO TCONTR 1 SEND STATISTICS(ME)
+END TASKTYPE
+
+      SUBROUTINE RESULT(X)
+      REAL X
+      RETURN
+      END
+`
+
+func TestParseSampleProgram(t *testing.T) {
+	prog, err := Parse(sampleProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prog.TaskTypeNames(); !reflect.DeepEqual(got, []string{"HOST", "WORKER"}) {
+		t.Fatalf("tasktypes = %v", got)
+	}
+
+	host := prog.TaskType("host")
+	if host == nil {
+		t.Fatal("tasktype HOST not found (lookup should be case-insensitive)")
+	}
+	if !reflect.DeepEqual(host.Params, []string{"N"}) {
+		t.Errorf("HOST params = %v", host.Params)
+	}
+	if !reflect.DeepEqual(host.Signals, []string{"DONE"}) || !reflect.DeepEqual(host.Handlers, []string{"RESULT"}) {
+		t.Errorf("HOST declarations: signals %v handlers %v", host.Signals, host.Handlers)
+	}
+	if !reflect.DeepEqual(host.TaskIDVars, []string{"WORKERS(4)"}) {
+		t.Errorf("HOST taskid vars = %v", host.TaskIDVars)
+	}
+	if len(host.WindowVars) != 1 || host.UsesForce {
+		t.Errorf("HOST window vars %v, uses force %v", host.WindowVars, host.UsesForce)
+	}
+
+	worker := prog.TaskType("WORKER")
+	if worker == nil || !worker.UsesForce {
+		t.Fatal("WORKER should use a force")
+	}
+	if len(worker.SharedCommons) != 1 || worker.SharedCommons[0].Name != "RESULTS" {
+		t.Errorf("shared commons = %+v", worker.SharedCommons)
+	}
+	if !reflect.DeepEqual(worker.Locks, []string{"SUMLK"}) {
+		t.Errorf("locks = %v", worker.Locks)
+	}
+
+	// Statement kinds present in HOST.
+	kinds := map[StmtKind]int{}
+	for _, st := range host.Body {
+		kinds[st.Kind]++
+	}
+	if kinds[StmtInitiate] != 2 {
+		t.Errorf("HOST initiate statements = %d, want 2", kinds[StmtInitiate])
+	}
+	if kinds[StmtSend] != 2 { // STATUS + broadcast SHUTDOWN (timeout send is nested)
+		t.Errorf("HOST send statements = %d, want 2", kinds[StmtSend])
+	}
+	if kinds[StmtAccept] != 1 {
+		t.Errorf("HOST accept statements = %d, want 1", kinds[StmtAccept])
+	}
+
+	// The ACCEPT statement structure.
+	var acc *AcceptStmt
+	for _, st := range host.Body {
+		if st.Kind == StmtAccept {
+			acc = st.Accept
+		}
+	}
+	if acc == nil || acc.Total != "5" || len(acc.Types) != 2 || acc.Delay != "10" || len(acc.OnTimeout) != 1 {
+		t.Fatalf("accept = %+v", acc)
+	}
+
+	// Scheduled DO statements in WORKER.
+	var pres, selfs *Stmt
+	for i, st := range worker.Body {
+		switch st.Kind {
+		case StmtPreschedDo:
+			pres = &worker.Body[i]
+		case StmtSelfschedDo:
+			selfs = &worker.Body[i]
+		}
+	}
+	if pres == nil || pres.DoLabel != "10" || pres.DoVar != "I" || pres.DoLo != "1" || pres.DoHi != "N" || pres.DoStep != "1" {
+		t.Errorf("presched = %+v", pres)
+	}
+	if selfs == nil || selfs.DoLabel != "20" || selfs.DoStep != "2" {
+		t.Errorf("selfsched = %+v", selfs)
+	}
+
+	// The ordinary handler subroutine passes through outside tasktypes.
+	foundSub := false
+	for _, l := range prog.Other {
+		if strings.Contains(l.Text, "SUBROUTINE RESULT") {
+			foundSub = true
+		}
+	}
+	if !foundSub {
+		t.Error("handler subroutine not preserved outside tasktypes")
+	}
+}
+
+func TestEmitSampleProgram(t *testing.T) {
+	res, err := Preprocess(sampleProgram, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Fortran
+
+	wantFragments := []string{
+		"SUBROUTINE PTHOST(N)",
+		"SUBROUTINE PTWORKER(ME, N)",
+		"CALL PSINIT('WORKER', 'CLUSTER', 2)",
+		"CALL PSINIT('WORKER', 'ANY', 0)",
+		"CALL PSMSGA(I",
+		"CALL PSSEND('STATUS', 'USER', 0)",
+		"CALL PSSEND('SHUTDOWN', 'ALL', 0)",
+		"CALL PSSEND('RESULT', 'PARENT', 0)",
+		"CALL PSSEND('STATISTICS', 'TCONTR', 1)",
+		"CALL PSACIN",
+		"CALL PSACTY('RESULT', 0)",
+		"CALL PSACTY('DONE', 0)",
+		"CALL PSACGO(5, 10, PSTIME)",
+		"CALL PSFORK",
+		"CALL PSBARR(PSPRIM)",
+		"CALL PSBARX",
+		"CALL PSLOCK(SUMLK)",
+		"CALL PSUNLK(SUMLK)",
+		"DO 10 I = (1) + (PSMEMB()-1)*(1), N, (1)*PSNMEM()",
+		"CALL PSSSIN(1, N, 2)",
+		"CALL PSSSNX(J, PSDONE)",
+		"IF (.NOT. PSSEG(1, 2)) GOTO",
+		"COMMON /RESULTS/ TOTAL, COUNT(100)",
+		"CALL PSHNDL('RESULT', RESULT)",
+		"CALL PSSGNL('DONE')",
+		"CALL PSEXIT",
+		"SUBROUTINE PSRGTT",
+		"CALL PSRGST('HOST', PTHOST)",
+		"CALL PSRGST('WORKER', PTWORKER)",
+		"SUBROUTINE RESULT(X)",
+	}
+	for _, want := range wantFragments {
+		if !strings.Contains(f, want) {
+			t.Errorf("generated Fortran missing %q", want)
+		}
+	}
+	// No Pisces keywords may survive in the output as statements.
+	for _, forbidden := range []string{"FORCESPLIT", "END TASKTYPE", "PRESCHED", "SELFSCHED", "END ACCEPT", "NEXTSEG"} {
+		for _, line := range strings.Split(f, "\n") {
+			if isComment(line) {
+				continue
+			}
+			if strings.Contains(strings.ToUpper(line), forbidden) {
+				t.Errorf("untranslated Pisces statement %q in output line %q", forbidden, line)
+			}
+		}
+	}
+	// The SELFSCHED loop terminator must have been rewritten into a back jump.
+	if !strings.Contains(f, "GOTO 9000") {
+		t.Error("SELFSCHED loop closure missing")
+	}
+}
+
+func TestEmitCustomPrefixAndComments(t *testing.T) {
+	res, err := Preprocess(sampleProgram, Options{RuntimePrefix: "PX", KeepComments: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Fortran, "CALL PXFORK") || !strings.Contains(res.Fortran, "CALL PXINIT") {
+		t.Error("custom runtime prefix not applied")
+	}
+	if !strings.Contains(res.Fortran, "C A small Pisces Fortran program") {
+		t.Error("KeepComments did not preserve the leading comment")
+	}
+}
+
+func TestParserErrors(t *testing.T) {
+	cases := map[string]string{
+		"unclosed tasktype":   "TASKTYPE T\n      X = 1\n",
+		"stray end tasktype":  "END TASKTYPE\n",
+		"bad header":          "TASKTYPE \n",
+		"unbalanced params":   "TASKTYPE T(A, B\nEND TASKTYPE\n",
+		"bad placement":       "TASKTYPE T\nON NOWHERE INITIATE W(1)\nEND TASKTYPE\n",
+		"initiate no args":    "TASKTYPE T\nON ANY INITIATE \nEND TASKTYPE\n",
+		"unbalanced call":     "TASKTYPE T\nON ANY INITIATE W(1\nEND TASKTYPE\n",
+		"send no dest":        "TASKTYPE T\nTO  SEND M(1)\nEND TASKTYPE\n",
+		"accept without of":   "TASKTYPE T\nACCEPT 3\nEND TASKTYPE\n",
+		"unclosed accept":     "TASKTYPE T\nACCEPT 1 OF\n  M\n",
+		"delay without then":  "TASKTYPE T\nACCEPT 1 OF\n M\nDELAY 5\nEND ACCEPT\nEND TASKTYPE\n",
+		"bad accept entry":    "TASKTYPE T\nACCEPT 1 OF\n M 3 EXTRA\nEND ACCEPT\nEND TASKTYPE\n",
+		"critical no lock":    "TASKTYPE T\nCRITICAL\nEND CRITICAL\nEND TASKTYPE\n",
+		"stray end critical":  "TASKTYPE T\nEND CRITICAL\nEND TASKTYPE\n",
+		"stray nextseg":       "TASKTYPE T\nNEXTSEG\nEND TASKTYPE\n",
+		"bad presched":        "TASKTYPE T\nPRESCHED DO 10\nEND TASKTYPE\n",
+		"presched no equals":  "TASKTYPE T\nPRESCHED DO 10 I 1, 5\nEND TASKTYPE\n",
+		"presched bad bounds": "TASKTYPE T\nPRESCHED DO 10 I = 1\nEND TASKTYPE\n",
+		"shared common name":  "TASKTYPE T\nSHARED COMMON X, Y\nEND TASKTYPE\n",
+		"shared common slash": "TASKTYPE T\nSHARED COMMON /BLK X, Y\nEND TASKTYPE\n",
+		"handler no name":     "TASKTYPE T\nHANDLER \nEND TASKTYPE\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: expected a parse error", name)
+		} else if _, ok := err.(*Error); !ok {
+			t.Errorf("%s: error %v is not a *pfc.Error", name, err)
+		}
+	}
+}
+
+func TestSelfschedWithoutTerminatorIsRejected(t *testing.T) {
+	src := "TASKTYPE T\nFORCESPLIT\nSELFSCHED DO 30 I = 1, 10\n      X = I\nEND TASKTYPE\n"
+	if _, err := Preprocess(src, Options{}); err == nil {
+		t.Fatal("SELFSCHED DO without its terminating label should be rejected at emit time")
+	}
+}
+
+func TestOrdinaryFortranPassesThroughUnchanged(t *testing.T) {
+	src := `TASKTYPE PLAIN
+      INTEGER I, J
+      J = 0
+      DO 10 I = 1, 10
+      J = J + I
+10    CONTINUE
+      IF (J .GT. 50) THEN
+        J = 50
+      END IF
+END TASKTYPE
+`
+	res, err := Preprocess(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"J = J + I", "10    CONTINUE", "IF (J .GT. 50) THEN", "END IF"} {
+		if !strings.Contains(res.Fortran, want) {
+			t.Errorf("pass-through line %q missing", want)
+		}
+	}
+}
+
+func TestSplitArgs(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"A", []string{"A"}},
+		{"A, B, C", []string{"A", "B", "C"}},
+		{"F(X, Y), B", []string{"F(X, Y)", "B"}},
+		{"A(1,2), B(I, J(3))", []string{"A(1,2)", "B(I, J(3))"}},
+	}
+	for _, c := range cases {
+		got := splitArgs(c.in)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("splitArgs(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStatementLabel(t *testing.T) {
+	cases := map[string]string{
+		"10    CONTINUE":    "10",
+		"      X = 1":       "",
+		"5     Y(2) = 3":    "5",
+		"100":               "",
+		"  20  Z = 1":       "20",
+		"C a comment line ": "",
+	}
+	for line, want := range cases {
+		if got := statementLabel(line); got != want {
+			t.Errorf("statementLabel(%q) = %q, want %q", line, got, want)
+		}
+	}
+}
+
+// Property: preprocessing is deterministic and ordinary Fortran assignment
+// lines always survive verbatim.
+func TestQuickPassThroughStability(t *testing.T) {
+	f := func(a, b uint8) bool {
+		line := "      X" + strings.Repeat("X", int(a%4)) + " = " + strings.Repeat("1+", int(b%4)) + "1"
+		src := "TASKTYPE T\n" + line + "\nEND TASKTYPE\n"
+		r1, err1 := Preprocess(src, Options{})
+		r2, err2 := Preprocess(src, Options{})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return r1.Fortran == r2.Fortran && strings.Contains(r1.Fortran, line)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPreprocess(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Preprocess(sampleProgram, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package pfc
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestRuntimeEntriesCoverEmittedCalls(t *testing.T) {
+	// Every run-time call the emitter can generate must be declared in the
+	// runtime interface table.
+	res, err := Preprocess(sampleProgram, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	declared := map[string]bool{}
+	for _, e := range RuntimeEntries() {
+		declared["PS"+e.Name] = true
+	}
+	callRe := regexp.MustCompile(`\bCALL (PS[A-Z0-9]+)`)
+	funcRe := regexp.MustCompile(`\b(PS[A-Z0-9]+)\(`)
+	for _, m := range callRe.FindAllStringSubmatch(res.Fortran, -1) {
+		if !declared[m[1]] {
+			t.Errorf("emitted CALL %s has no runtime interface entry", m[1])
+		}
+	}
+	for _, m := range funcRe.FindAllStringSubmatch(res.Fortran, -1) {
+		name := m[1]
+		if strings.HasPrefix(name, "PSRGTT") { // the generated registration subroutine itself
+			continue
+		}
+		if !declared[name] && name != "PSPRIM" && name != "PSTIME" && name != "PSDONE" {
+			t.Errorf("emitted reference %s has no runtime interface entry", name)
+		}
+	}
+}
+
+func TestRuntimeEntriesWellFormed(t *testing.T) {
+	entries := RuntimeEntries()
+	if len(entries) < 15 {
+		t.Fatalf("suspiciously few runtime entries: %d", len(entries))
+	}
+	seen := map[string]bool{}
+	for _, e := range entries {
+		if e.Name == "" || e.Doc == "" {
+			t.Errorf("entry %+v missing name or doc", e)
+		}
+		if seen[e.Name] {
+			t.Errorf("duplicate entry %s", e.Name)
+		}
+		seen[e.Name] = true
+		switch e.Kind {
+		case "subroutine", "integer function", "logical function":
+		default:
+			t.Errorf("entry %s has unknown kind %q", e.Name, e.Kind)
+		}
+	}
+	for _, required := range []string{"INIT", "SEND", "ACGO", "FORK", "BARR", "LOCK", "UNLK", "SSNX", "MEMB", "NMEM", "SEG", "RGST", "EXIT"} {
+		if !seen[required] {
+			t.Errorf("runtime interface missing %s", required)
+		}
+	}
+}
+
+func TestRuntimeStubs(t *testing.T) {
+	stubs := RuntimeStubs(Options{})
+	for _, want := range []string{
+		"SUBROUTINE PSINIT(TTYPE, PLACE, CLUSTR)",
+		"SUBROUTINE PSSEND(MTYPE, DEST, DESTNO)",
+		"INTEGER FUNCTION PSMEMB()",
+		"LOGICAL FUNCTION PSSEG(ISEG, NSEG)",
+		"SUBROUTINE PSFORK",
+		"LOGICAL TIMOUT",
+	} {
+		if !strings.Contains(stubs, want) {
+			t.Errorf("stubs missing %q", want)
+		}
+	}
+	// Every declared entry must have a stub, and END must balance the
+	// declarations.
+	for _, e := range RuntimeEntries() {
+		if !strings.Contains(stubs, "PS"+e.Name) {
+			t.Errorf("no stub for PS%s", e.Name)
+		}
+	}
+	if strings.Count(stubs, "\n      END\n") != len(RuntimeEntries()) {
+		t.Errorf("stub END count %d != %d entries", strings.Count(stubs, "\n      END\n"), len(RuntimeEntries()))
+	}
+	// Custom prefixes flow through.
+	if !strings.Contains(RuntimeStubs(Options{RuntimePrefix: "PX"}), "SUBROUTINE PXINIT") {
+		t.Error("custom prefix not applied to stubs")
+	}
+}

@@ -1,0 +1,300 @@
+// Package trace implements the execution-tracing facility of PISCES 2
+// (paper, Section 12).  The user may choose from a fixed list of significant
+// event types — task initiation and termination, message send and accept,
+// lock and unlock, barrier entry, and force split — and for each enabled
+// event a trace line is displayed or written to a file containing the type of
+// event, the taskid of the relevant task (or tasks), a clock reading (PE
+// number and "ticks" count), and other relevant information.  Tracing may be
+// turned on and off per event type and per task; trace files can be studied
+// off-line for timing analyses.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind identifies one of the traceable event types listed in Section 12.
+type Kind int
+
+// The eight traceable event kinds of Section 12.
+const (
+	TaskInit Kind = iota
+	TaskTerm
+	MsgSend
+	MsgAccept
+	Lock
+	Unlock
+	BarrierEnter
+	ForceSplit
+	numKinds
+)
+
+// Kinds returns all traceable event kinds in declaration order.
+func Kinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// String returns the event-type label used on trace lines.
+func (k Kind) String() string {
+	switch k {
+	case TaskInit:
+		return "TASK-INIT"
+	case TaskTerm:
+		return "TASK-TERM"
+	case MsgSend:
+		return "MSG-SEND"
+	case MsgAccept:
+		return "MSG-ACCEPT"
+	case Lock:
+		return "LOCK"
+	case Unlock:
+		return "UNLOCK"
+	case BarrierEnter:
+		return "BARRIER"
+	case ForceSplit:
+		return "FORCE-SPLIT"
+	}
+	return fmt.Sprintf("EVENT(%d)", int(k))
+}
+
+// ParseKind converts a label produced by Kind.String back to a Kind.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range Kinds() {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown event kind %q", s)
+}
+
+// Event is one trace record.
+type Event struct {
+	Kind  Kind
+	Task  string // taskid of the relevant task, already formatted
+	Other string // taskid of a second involved task (message peer), may be empty
+	PE    int    // processor number of the clock reading
+	Ticks int64  // tick count of the clock reading
+	Info  string // other relevant information for the event type
+	Seq   uint64 // global sequence number assigned by the recorder
+}
+
+// Line renders the event in the trace-line layout of Section 12:
+// event type, taskid(s), clock reading (PE and ticks), other information.
+func (e Event) Line() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-11s task=%-12s", e.Kind, e.Task)
+	if e.Other != "" {
+		fmt.Fprintf(&b, " peer=%-12s", e.Other)
+	}
+	fmt.Fprintf(&b, " %-6s %-15s", fmt.Sprintf("pe=%d", e.PE), fmt.Sprintf("ticks=%d", e.Ticks))
+	if e.Info != "" {
+		fmt.Fprintf(&b, " %s", e.Info)
+	}
+	return b.String()
+}
+
+// Sink receives enabled trace events.  The Recorder calls Emit sequentially
+// under its own lock, so implementations need not be safe for concurrent use.
+type Sink interface {
+	Emit(Event)
+}
+
+// WriterSink writes one trace line per event to an io.Writer (the "display on
+// screen" and "send to a file" options of Section 12).
+type WriterSink struct{ W io.Writer }
+
+// Emit writes the event's trace line.
+func (s WriterSink) Emit(e Event) { fmt.Fprintln(s.W, e.Line()) }
+
+// MemorySink retains events in memory for off-line analysis and for tests.
+type MemorySink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit appends the event.
+func (s *MemorySink) Emit(e Event) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events in emission order.
+func (s *MemorySink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.events))
+	copy(out, s.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (s *MemorySink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// Reset discards all recorded events.
+func (s *MemorySink) Reset() {
+	s.mu.Lock()
+	s.events = nil
+	s.mu.Unlock()
+}
+
+// Recorder applies the per-kind and per-task filters and fans enabled events
+// out to sinks.  The zero value is a recorder with everything disabled and no
+// sinks; NewRecorder returns one with all kinds disabled.
+type Recorder struct {
+	mu        sync.Mutex
+	kindOn    [numKinds]bool
+	taskOff   map[string]bool // tasks explicitly disabled
+	onlyTasks map[string]bool // if non-empty, only these tasks are traced
+	sinks     []Sink
+	seq       uint64
+	dropped   uint64
+}
+
+// NewRecorder returns a recorder with all event kinds disabled and the given
+// sinks attached.
+func NewRecorder(sinks ...Sink) *Recorder {
+	return &Recorder{sinks: sinks}
+}
+
+// AddSink attaches an additional sink.
+func (r *Recorder) AddSink(s Sink) {
+	r.mu.Lock()
+	r.sinks = append(r.sinks, s)
+	r.mu.Unlock()
+}
+
+// EnableKind turns tracing of kind k on or off ("Tracing may be turned on and
+// off for each type of event").
+func (r *Recorder) EnableKind(k Kind, on bool) {
+	if k < 0 || k >= numKinds {
+		return
+	}
+	r.mu.Lock()
+	r.kindOn[k] = on
+	r.mu.Unlock()
+}
+
+// EnableAll turns every event kind on or off.
+func (r *Recorder) EnableAll(on bool) {
+	r.mu.Lock()
+	for i := range r.kindOn {
+		r.kindOn[i] = on
+	}
+	r.mu.Unlock()
+}
+
+// KindEnabled reports whether kind k is currently traced.
+func (r *Recorder) KindEnabled(k Kind) bool {
+	if k < 0 || k >= numKinds {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.kindOn[k]
+}
+
+// EnableTask turns tracing for a particular task on or off ("and each task").
+// Disabling a task suppresses its events regardless of kind settings.
+func (r *Recorder) EnableTask(task string, on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.taskOff == nil {
+		r.taskOff = make(map[string]bool)
+	}
+	if on {
+		delete(r.taskOff, task)
+	} else {
+		r.taskOff[task] = true
+	}
+}
+
+// RestrictToTasks limits tracing to the listed tasks.  Calling it with no
+// arguments removes the restriction.
+func (r *Recorder) RestrictToTasks(tasks ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(tasks) == 0 {
+		r.onlyTasks = nil
+		return
+	}
+	r.onlyTasks = make(map[string]bool, len(tasks))
+	for _, t := range tasks {
+		r.onlyTasks[t] = true
+	}
+}
+
+// Record emits the event to all sinks if its kind and task are enabled.
+func (r *Recorder) Record(e Event) {
+	r.mu.Lock()
+	if !r.kindOn[e.Kind] || r.taskOff[e.Task] || (r.onlyTasks != nil && !r.onlyTasks[e.Task]) {
+		r.dropped++
+		r.mu.Unlock()
+		return
+	}
+	r.seq++
+	e.Seq = r.seq
+	sinks := r.sinks
+	r.mu.Unlock()
+	for _, s := range sinks {
+		s.Emit(e)
+	}
+}
+
+// Dropped returns the number of events suppressed by filters.
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Emitted returns the number of events that passed the filters.
+func (r *Recorder) Emitted() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Settings describes the current trace configuration in a human-readable way,
+// for the execution environment's "CHANGE TRACE OPTIONS" display.
+func (r *Recorder) Settings() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	for i, on := range r.kindOn {
+		state := "off"
+		if on {
+			state = "ON"
+		}
+		fmt.Fprintf(&b, "%-11s %s\n", Kind(i), state)
+	}
+	if len(r.taskOff) > 0 {
+		tasks := make([]string, 0, len(r.taskOff))
+		for t := range r.taskOff {
+			tasks = append(tasks, t)
+		}
+		sort.Strings(tasks)
+		fmt.Fprintf(&b, "disabled tasks: %s\n", strings.Join(tasks, ", "))
+	}
+	if len(r.onlyTasks) > 0 {
+		tasks := make([]string, 0, len(r.onlyTasks))
+		for t := range r.onlyTasks {
+			tasks = append(tasks, t)
+		}
+		sort.Strings(tasks)
+		fmt.Fprintf(&b, "restricted to tasks: %s\n", strings.Join(tasks, ", "))
+	}
+	return b.String()
+}

@@ -1,0 +1,216 @@
+// Package pisces is the public API of the PISCES 2 parallel programming
+// environment reproduction.  It re-exports the pieces an application needs:
+//
+//   - configurations (the programmer-controlled mapping of the virtual
+//     machine onto the simulated FLEX/32 hardware, Section 9 of the paper),
+//   - the virtual machine itself with tasktypes, INITIATE/SEND/ACCEPT
+//     message passing, forces, and windows (Sections 4-8),
+//   - the execution environment (Section 11) and the tracing facility
+//     (Section 12),
+//   - the Pisces Fortran preprocessor (Section 10).
+//
+// A minimal program:
+//
+//	cfg := pisces.SimpleConfiguration(2, 4)
+//	vm, err := pisces.NewVM(cfg, pisces.Options{UserOutput: os.Stdout})
+//	if err != nil { ... }
+//	defer vm.Shutdown()
+//
+//	vm.Register("hello", func(t *pisces.Task) {
+//		t.Printf("hello from task %s in cluster %d\n", t.ID(), t.Cluster())
+//	})
+//	vm.Run("hello", pisces.OnCluster(2))
+//
+// See the examples directory for window-based data partitioning, forces, and
+// dynamic task pipelines.
+package pisces
+
+import (
+	"io"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/flex"
+	"repro/internal/pfc"
+	"repro/internal/rect"
+	"repro/internal/trace"
+)
+
+// Core virtual-machine types.
+type (
+	// VM is a booted PISCES 2 virtual machine.
+	VM = core.VM
+	// Options tune the virtual machine.
+	Options = core.Options
+	// Task is the run-time context of one running task.
+	Task = core.Task
+	// TaskID identifies a task as <cluster, slot, unique>.
+	TaskID = core.TaskID
+	// TaskType describes a registered tasktype.
+	TaskType = core.TaskType
+	// Placement is the ON <cluster> part of an INITIATE statement.
+	Placement = core.Placement
+	// Value is one message or task argument.
+	Value = core.Value
+	// Message is one received message.
+	Message = core.Message
+	// Handler is a HANDLER subroutine for a message type.
+	Handler = core.Handler
+	// AcceptSpec is the ACCEPT statement.
+	AcceptSpec = core.AcceptSpec
+	// AcceptResult reports what an ACCEPT processed.
+	AcceptResult = core.AcceptResult
+	// TypeCount names one message type in an ACCEPT statement.
+	TypeCount = core.TypeCount
+	// Force and ForceMember are the FORCESPLIT constructs.
+	Force = core.Force
+	// ForceMember is the per-member context inside a force.
+	ForceMember = core.ForceMember
+	// Lock is a LOCK variable for CRITICAL sections.
+	Lock = core.Lock
+	// Common is a SHARED COMMON block.
+	Common = core.Common
+	// Window is a generalized pointer to a rectangular subregion of an array.
+	Window = core.Window
+	// Array is a two-dimensional REAL array owned by a task.
+	Array = core.Array
+	// Rect is the rectangular-subregion descriptor used by windows.
+	Rect = rect.Rect
+	// Configuration is a virtual-machine-to-hardware mapping.
+	Configuration = config.Configuration
+	// ClusterConfig is the mapping of one cluster onto hardware.
+	ClusterConfig = config.Cluster
+	// Environment is the menu-driven execution environment.
+	Environment = exec.Environment
+	// TaskInfo, PELoad, and SystemStorage are execution-environment views.
+	TaskInfo = core.TaskInfo
+	// PELoad describes one processor's loading.
+	PELoad = core.PELoad
+	// SystemStorage reports the Section 13 storage-overhead quantities.
+	SystemStorage = core.SystemStorage
+	// Stats reports run-time activity counters.
+	Stats = core.Stats
+)
+
+// NewVM boots a virtual machine for the configuration on a simulated
+// FLEX/32 with the default (NASA Langley) hardware description.
+func NewVM(cfg *Configuration, opts Options) (*VM, error) { return core.NewVM(cfg, opts) }
+
+// Forever and All are the special ACCEPT delay and count values; AnyMessage
+// is the wildcard message type.
+const (
+	Forever    = core.Forever
+	All        = core.All
+	AnyMessage = core.AnyMessage
+)
+
+// Placements.
+var (
+	// OnCluster places a new task on a specific cluster ("CLUSTER <n>").
+	OnCluster = core.OnCluster
+	// Any lets the system choose a cluster ("ANY").
+	Any = core.Any
+	// Other places the task on a different cluster than the initiator's
+	// ("OTHER").
+	Other = core.Other
+	// Same places the task on the initiator's cluster ("SAME").
+	Same = core.Same
+)
+
+// Value constructors and accessors.
+var (
+	Int   = core.Int
+	Real  = core.Real
+	Bool  = core.Bool
+	Str   = core.Str
+	ID    = core.ID
+	Ints  = core.Ints
+	Reals = core.Reals
+	Win   = core.Win
+
+	AsInt   = core.AsInt
+	AsReal  = core.AsReal
+	AsBool  = core.AsBool
+	AsStr   = core.AsStr
+	AsID    = core.AsID
+	AsInts  = core.AsInts
+	AsReals = core.AsReals
+	AsWin   = core.AsWin
+
+	MustInt   = core.MustInt
+	MustReal  = core.MustReal
+	MustStr   = core.MustStr
+	MustID    = core.MustID
+	MustReals = core.MustReals
+	MustWin   = core.MustWin
+)
+
+// ParseTaskID parses the "cluster.slot.unique" textual form of a taskid.
+func ParseTaskID(s string) (TaskID, error) { return core.ParseTaskID(s) }
+
+// NewRect returns the rectangle [r1..r2] x [c1..c2] (1-based, inclusive).
+func NewRect(r1, r2, c1, c2 int) Rect { return rect.New(r1, r2, c1, c2) }
+
+// WholeRect returns the rectangle covering an entire rows x cols array.
+func WholeRect(rows, cols int) Rect { return rect.Whole(rows, cols) }
+
+// SimpleConfiguration returns an n-cluster configuration with `slots` user
+// slots per cluster and no force PEs, mapped onto PEs 3..(2+n).
+func SimpleConfiguration(n, slots int) *Configuration { return config.Simple(n, slots) }
+
+// Section9Configuration returns the worked mapping example of Section 9 of
+// the paper (4 clusters, forces on PEs 7-20).
+func Section9Configuration() *Configuration { return config.Section9Example() }
+
+// LoadConfiguration reads a configuration saved by Configuration.Save.
+func LoadConfiguration(r io.Reader) (*Configuration, error) { return config.Load(r) }
+
+// NewEnvironment creates a menu-driven execution environment over a VM.
+func NewEnvironment(vm *VM, out io.Writer) *Environment { return exec.New(vm, out) }
+
+// ExecMenu returns the execution environment's option menu text.
+func ExecMenu() string { return exec.Menu() }
+
+// Preprocess translates Pisces Fortran source into standard Fortran 77 with
+// calls on the PISCES run-time library.
+func Preprocess(src string) (string, error) {
+	res, err := pfc.Preprocess(src, pfc.Options{})
+	if err != nil {
+		return "", err
+	}
+	return res.Fortran, nil
+}
+
+// Tracing.
+type (
+	// TraceEvent is one trace record.
+	TraceEvent = trace.Event
+	// TraceKind identifies a traceable event type.
+	TraceKind = trace.Kind
+	// TraceSink receives enabled trace events.
+	TraceSink = trace.Sink
+	// MemoryTraceSink retains trace events in memory.
+	MemoryTraceSink = trace.MemorySink
+	// WriterTraceSink writes trace lines to an io.Writer.
+	WriterTraceSink = trace.WriterSink
+)
+
+// Traceable event kinds (Section 12).
+const (
+	TraceTaskInit     = trace.TaskInit
+	TraceTaskTerm     = trace.TaskTerm
+	TraceMsgSend      = trace.MsgSend
+	TraceMsgAccept    = trace.MsgAccept
+	TraceLock         = trace.Lock
+	TraceUnlock       = trace.Unlock
+	TraceBarrierEnter = trace.BarrierEnter
+	TraceForceSplit   = trace.ForceSplit
+)
+
+// AnalyzeTrace summarises trace events for off-line study.
+func AnalyzeTrace(events []TraceEvent) trace.Analysis { return trace.Analyze(events) }
+
+// FlexDefaultConfig returns the simulated FLEX/32 hardware description
+// (20 PEs, 1 MiB local memory each, 2.25 MiB shared memory).
+func FlexDefaultConfig() flex.Config { return flex.DefaultConfig() }

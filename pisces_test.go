@@ -1,0 +1,204 @@
+package pisces_test
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	pisces "repro"
+)
+
+// syncWriter is a goroutine-safe buffer for user-controller output.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestPublicAPIEndToEnd exercises the whole public surface the way the README
+// quickstart does: configuration, boot, tasktypes, messages, forces, windows,
+// tracing, the execution environment, and the preprocessor.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	out := &syncWriter{}
+	traceSink := &pisces.MemoryTraceSink{}
+
+	cfg := pisces.SimpleConfiguration(2, 4).WithForces(1, 7, 8, 9)
+	cfg.TraceEvents = []string{"TASK-INIT", "FORCE-SPLIT", "MSG-SEND"}
+	vm, err := pisces.NewVM(cfg, pisces.Options{
+		UserOutput:    out,
+		AcceptTimeout: 5 * time.Second,
+		TraceSinks:    []pisces.TraceSink{traceSink},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vm.Shutdown()
+
+	// A worker that doubles the values visible through a window it receives.
+	vm.Register("doubler", func(task *pisces.Task) {
+		m, err := task.AcceptOne("window")
+		if err != nil {
+			panic(err)
+		}
+		w := pisces.MustWin(m.Arg(0))
+		data, err := task.ReadWindow(w)
+		if err != nil {
+			panic(err)
+		}
+		for i := range data {
+			data[i] *= 2
+		}
+		if err := task.WriteWindow(w, data); err != nil {
+			panic(err)
+		}
+		if err := task.SendSender("done"); err != nil {
+			panic(err)
+		}
+	})
+
+	// The main task: owns an array, uses a force to fill it, then hands
+	// halves to doubler tasks through windows.
+	vm.Register("main", func(task *pisces.Task) {
+		arr, err := task.NewArray("field", 8, 8)
+		if err != nil {
+			panic(err)
+		}
+		common, err := task.NewSharedCommon("acc", 1, 0)
+		if err != nil {
+			panic(err)
+		}
+		lock, err := task.NewLock("acc-lock")
+		if err != nil {
+			panic(err)
+		}
+		err = task.ForceSplit(func(m *pisces.ForceMember) {
+			m.Presched(1, 8, 1, func(row int) {
+				for col := 1; col <= 8; col++ {
+					arr.Set(row, col, 1)
+				}
+			})
+			m.Critical(lock, func() { common.SetReal(0, common.Real(0)+1) })
+			m.Barrier(nil)
+		})
+		if err != nil {
+			panic(err)
+		}
+		if common.Real(0) != 4 {
+			panic("force members did not all contribute")
+		}
+
+		whole, err := task.WholeWindow(arr)
+		if err != nil {
+			panic(err)
+		}
+		halves, err := whole.RowBands(2)
+		if err != nil {
+			panic(err)
+		}
+		for _, h := range halves {
+			id, err := task.InitiateWait(pisces.Other(), "doubler")
+			if err != nil {
+				panic(err)
+			}
+			if err := task.Send(id, "window", pisces.Win(h)); err != nil {
+				panic(err)
+			}
+		}
+		if _, err := task.AcceptN(2, "done"); err != nil {
+			panic(err)
+		}
+		v, _ := arr.Get(5, 5)
+		task.Printf("main finished: element(5,5) = %v, force members = %d\n", v, 4)
+	})
+
+	id, err := vm.Run("main", pisces.OnCluster(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Cluster != 1 {
+		t.Fatalf("main placed on cluster %d", id.Cluster)
+	}
+	vm.WaitIdle()
+	vm.FlushUserOutput()
+
+	if !strings.Contains(out.String(), "element(5,5) = 2") {
+		t.Fatalf("user output missing result: %q", out.String())
+	}
+
+	// Tracing captured what the configuration asked for.
+	analysis := pisces.AnalyzeTrace(traceSink.Events())
+	if analysis.CountByKind[pisces.TraceForceSplit] == 0 || analysis.CountByKind[pisces.TraceTaskInit] == 0 {
+		t.Errorf("trace analysis missing events: %+v", analysis.CountByKind)
+	}
+
+	// Execution-environment views over the same VM.
+	var envOut bytes.Buffer
+	env := pisces.NewEnvironment(vm, &envOut)
+	for _, cmd := range []string{"tasks", "loading", "dump", "figure1"} {
+		if err := env.Execute(cmd); err != nil {
+			t.Fatalf("exec %q: %v", cmd, err)
+		}
+	}
+	if !strings.Contains(envOut.String(), "VIRTUAL MACHINE ORGANIZATION") {
+		t.Error("environment figure1 output missing")
+	}
+
+	// Storage report stays inside the paper's bounds.
+	storage := vm.SystemStorage()
+	if storage.LocalPercent >= 2.5 || storage.TablePercent >= 0.3 {
+		t.Errorf("storage overhead out of bounds: %+v", storage)
+	}
+}
+
+func TestPreprocessorFacade(t *testing.T) {
+	fortran, err := pisces.Preprocess("TASKTYPE T\nFORCESPLIT\nTO PARENT SEND OK\nEND TASKTYPE\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"SUBROUTINE PTT", "CALL PSFORK", "CALL PSSEND('OK', 'PARENT', 0)"} {
+		if !strings.Contains(fortran, want) {
+			t.Errorf("generated Fortran missing %q", want)
+		}
+	}
+	if _, err := pisces.Preprocess("END TASKTYPE\n"); err == nil {
+		t.Error("bad source accepted")
+	}
+}
+
+func TestConfigurationFacade(t *testing.T) {
+	cfg := pisces.Section9Configuration()
+	var buf bytes.Buffer
+	if err := cfg.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := pisces.LoadConfiguration(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Cluster(3).ForceSize() != 10 {
+		t.Fatalf("loaded configuration wrong: %+v", loaded.Cluster(3))
+	}
+	if _, err := pisces.ParseTaskID("2.3.7"); err != nil {
+		t.Fatal(err)
+	}
+	if pisces.FlexDefaultConfig().NumPE != 20 {
+		t.Error("machine description should have 20 PEs")
+	}
+	r := pisces.NewRect(1, 4, 2, 5)
+	if r.Size() != 16 || pisces.WholeRect(3, 3).Size() != 9 {
+		t.Error("rect helpers wrong")
+	}
+}
