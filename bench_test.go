@@ -261,6 +261,43 @@ func BenchmarkForceSplit(b *testing.B) {
 	<-done
 }
 
+// BenchmarkPFIInterpret measures the Pisces Fortran interpreter's hot path:
+// compiling a fixed .pf program and executing it (task initiation, a DO loop,
+// message send/accept) on a pre-booted VM.  Later PRs use this to track
+// interpreter regressions.
+func BenchmarkPFIInterpret(b *testing.B) {
+	src := `TASKTYPE MAIN
+      INTEGER I, S
+      S = 0
+      DO 10 I = 1, 100
+      S = S + I * I
+10    CONTINUE
+      ON ANY INITIATE ECHO(S)
+      ACCEPT 1 OF REPLY
+END TASKTYPE
+TASKTYPE ECHO(V)
+      INTEGER V
+      TO PARENT SEND REPLY(V)
+END TASKTYPE
+`
+	vm, err := pisces.NewVM(pisces.SimpleConfiguration(2, 4), pisces.Options{AcceptTimeout: 30 * time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer vm.Shutdown()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog, err := pisces.CompileSource(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := prog.Run(vm, pisces.InterpretOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkPreprocessor measures the Pisces Fortran preprocessor on a small
 // program (Section 10 tooling).
 func BenchmarkPreprocessor(b *testing.B) {

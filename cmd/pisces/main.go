@@ -9,26 +9,44 @@
 //
 //	pisces [-config file] [-clusters n] [-slots k] [-forces "7,8,9"]
 //	       [-trace events] [-save file] [-show] [-script file]
+//	pisces run [-clusters n] [-slots k] [-forces "7,8,9"] [-main T]
+//	       [-stats] <program.pf>
+//
+// The run form interprets a Pisces Fortran program directly on the in-memory
+// virtual machine (paper, Section 10, without the Fortran compiler leg).
 //
 // Examples:
 //
 //	pisces -clusters 4 -slots 4 -show            # show the configuration and exit
 //	pisces -config section9 -script run.txt      # run a scripted session
 //	pisces -clusters 2 -slots 2                  # interactive session
+//	pisces run examples/sumsq.pf                 # interpret a .pf program
+//	pisces run -forces 7,8 -stats examples/sumsq.pf
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	pisces "repro"
 	"repro/internal/config"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "run" {
+		if err := runInterpreted(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "pisces: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	configPath := flag.String("config", "", "configuration file to load, or the name \"section9\"")
 	clusters := flag.Int("clusters", 2, "number of clusters (when not loading a configuration)")
 	slots := flag.Int("slots", 4, "user-task slots per cluster")
@@ -96,6 +114,77 @@ func run(configPath string, clusters, slots int, forces, traceEvents, save strin
 		return env.Repl(f, false)
 	}
 	return env.Repl(os.Stdin, true)
+}
+
+// runInterpreted implements "pisces run [flags] <program.pf>": boot a VM and
+// interpret the Pisces Fortran program on it.
+func runInterpreted(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pisces run", flag.ContinueOnError)
+	clusters := fs.Int("clusters", 2, "number of clusters")
+	slots := fs.Int("slots", 4, "user-task slots per cluster")
+	forces := fs.String("forces", "", "comma-separated secondary PEs for cluster 1 forces")
+	traceEvents := fs.String("trace", "", "comma-separated trace events to enable")
+	mainTT := fs.String("main", "", "entry tasktype (default MAIN, else the first tasktype)")
+	showStats := fs.Bool("stats", false, "print the interpreter activity counters after the run")
+	acceptTimeout := fs.Duration("accept-timeout", 30*time.Second,
+		"system-provided timeout for ACCEPT statements without a DELAY clause")
+	// The FlagSet's own printing is suppressed so parse errors surface exactly
+	// once (through main's error path) and -h exits 0 with the usage text.
+	fs.SetOutput(io.Discard)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fs.SetOutput(out)
+			fs.Usage()
+			return nil
+		}
+		return err
+	}
+	if *acceptTimeout <= 0 {
+		return fmt.Errorf("-accept-timeout must be positive")
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: pisces run [flags] <program.pf>")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cfg, err := buildConfiguration("", *clusters, *slots, *forces, *traceEvents)
+	if err != nil {
+		return err
+	}
+	opts := pisces.Options{UserOutput: out, AcceptTimeout: *acceptTimeout}
+	if *traceEvents != "" {
+		// Enabled trace kinds display on the user's terminal (Section 12).
+		// Trace events are emitted from task goroutines concurrently with
+		// terminal output, so both go through one serialised writer.
+		sw := &syncWriter{w: out}
+		opts.UserOutput = sw
+		opts.TraceSinks = []pisces.TraceSink{pisces.WriterTraceSink{W: sw}}
+	}
+	vm, err := pisces.NewVM(cfg, opts)
+	if err != nil {
+		return err
+	}
+	defer vm.Shutdown()
+	prog, err := pisces.Interpret(vm, string(src), pisces.InterpretOptions{Main: *mainTT})
+	if prog != nil && *showStats {
+		fmt.Fprint(out, prog.StatsTable())
+	}
+	return err
+}
+
+// syncWriter serialises concurrent writers (trace sinks, the user
+// controller) onto one underlying writer.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
 }
 
 func buildConfiguration(configPath string, clusters, slots int, forces, traceEvents string) (*pisces.Configuration, error) {

@@ -105,6 +105,58 @@ func TestRunScriptedSession(t *testing.T) {
 	}
 }
 
+// TestRunInterpretsExampleProgram is the golden test for the acceptance
+// path: "pisces run examples/sumsq.pf" interprets a Pisces Fortran program
+// end-to-end on the in-memory VM (INITIATE, SEND/ACCEPT, FORCESPLIT, and a
+// PRESCHED DO loop), producing the expected terminal output.
+func TestRunInterpretsExampleProgram(t *testing.T) {
+	example := filepath.Join("..", "..", "examples", "sumsq.pf")
+
+	var out strings.Builder
+	if err := runInterpreted([]string{example}, &out); err != nil {
+		t.Fatal(err)
+	}
+	want := "WORKERS 4\nTOTAL 338350\nFORCE MEMBERS 1\nFORCE TOTAL 338350\n"
+	if out.String() != want {
+		t.Errorf("pisces run output:\n%q\nwant:\n%q", out.String(), want)
+	}
+
+	// With secondary PEs the FORCESPLIT spreads over a three-member force.
+	out.Reset()
+	if err := runInterpreted([]string{"-forces", "7,8", "-stats", example}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"WORKERS 4\n", "TOTAL 338350\n", "FORCE MEMBERS 3\n", "FORCE TOTAL 338350\n",
+		"interpreter activity", "forcesplits", "loop.iterations",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("pisces run -forces output missing %q:\n%s", want, got)
+		}
+	}
+
+	// -trace attaches a sink, so enabled events actually display.
+	out.Reset()
+	if err := runInterpreted([]string{"-trace", "MSG-SEND", example}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "MSG-SEND") {
+		t.Errorf("pisces run -trace produced no trace lines:\n%s", out.String())
+	}
+
+	// Errors: missing file, missing argument, unknown entry tasktype.
+	if err := runInterpreted([]string{"missing.pf"}, &out); err == nil {
+		t.Error("missing program file accepted")
+	}
+	if err := runInterpreted([]string{}, &out); err == nil {
+		t.Error("missing program argument accepted")
+	}
+	if err := runInterpreted([]string{"-main", "NOSUCH", example}, &out); err == nil {
+		t.Error("unknown -main tasktype accepted")
+	}
+}
+
 func TestDemoTasksRegistered(t *testing.T) {
 	vm, err := pisces.NewVM(pisces.SimpleConfiguration(2, 2), pisces.Options{})
 	if err != nil {

@@ -130,6 +130,9 @@ type Force struct {
 
 	mu  sync.Mutex
 	ops []any // collective-operation instances, indexed per member
+
+	abortOnce sync.Once
+	aborted   chan struct{} // closed by Abort
 }
 
 // Members returns the number of force members.  "The number of parallel tasks
@@ -185,7 +188,7 @@ func (t *Task) ForceSplit(region func(*ForceMember)) error {
 	t.checkKilled()
 	cl := t.rec.cluster
 	members := cl.forceSize()
-	f := &Force{task: t, members: members}
+	f := &Force{task: t, members: members, aborted: make(chan struct{})}
 
 	// Reserve each member's local-memory footprint up front so that either
 	// the whole force starts or the FORCESPLIT fails cleanly before any
@@ -269,6 +272,26 @@ func (m *ForceMember) collectiveOp(create func() any) any {
 	return f.ops[idx]
 }
 
+// Abort marks the force as no longer able to synchronise: every BARRIER —
+// including any a member is already blocked in — degrades to a non-waiting
+// statement whose body still runs on the primary member.  A member that must
+// skip part of the region containing collective operations (an interpreter
+// member whose statement failed, for instance) calls Abort so the remaining
+// members are not stranded waiting for arrivals that will never come.
+func (m *ForceMember) Abort() {
+	m.force.abortOnce.Do(func() { close(m.force.aborted) })
+}
+
+// Aborted reports whether the force has been aborted.
+func (m *ForceMember) Aborted() bool {
+	select {
+	case <-m.force.aborted:
+		return true
+	default:
+		return false
+	}
+}
+
 // barrierInstance is one BARRIER statement execution.
 type barrierInstance struct {
 	mu      sync.Mutex
@@ -283,6 +306,17 @@ type barrierInstance struct {
 // continue."  A nil body is an empty barrier.
 func (m *ForceMember) Barrier(body func()) {
 	f := m.force
+	if m.Aborted() {
+		// An aborted force cannot synchronise: do not wait for (or count
+		// toward) arrivals, but keep the primary's body running so the
+		// region's output still flows.  The check precedes collectiveOp — a
+		// member that skipped part of the region has a misaligned op index,
+		// and pairing it with another statement's instance would panic.
+		if m.IsPrimary() && body != nil {
+			body()
+		}
+		return
+	}
 	b := m.collectiveOp(func() any {
 		return &barrierInstance{allIn: make(chan struct{}), bodyRun: make(chan struct{})}
 	}).(*barrierInstance)
@@ -297,7 +331,12 @@ func (m *ForceMember) Barrier(body func()) {
 	if last {
 		close(b.allIn)
 	} else {
-		m.block(func() { <-b.allIn })
+		m.block(func() {
+			select {
+			case <-b.allIn:
+			case <-f.aborted:
+			}
+		})
 	}
 
 	if m.IsPrimary() {
@@ -306,7 +345,12 @@ func (m *ForceMember) Barrier(body func()) {
 		}
 		close(b.bodyRun)
 	} else {
-		m.block(func() { <-b.bodyRun })
+		m.block(func() {
+			select {
+			case <-b.bodyRun:
+			case <-f.aborted:
+			}
+		})
 	}
 }
 
@@ -356,6 +400,13 @@ func (c *selfschedCounter) Next() (int, bool) {
 // iterations are complete.  It returns the number of iterations this member
 // executed, which is how the loop's load balance is measured.
 func (m *ForceMember) Selfsched(lo, hi, step int, body func(i int)) (int, error) {
+	if m.Aborted() {
+		// Degraded mode (see Abort): op indices may be misaligned, so the
+		// shared counter cannot be paired up.  No member runs any iteration —
+		// running them locally could double-execute work another member
+		// claimed from the shared counter just before observing the abort.
+		return 0, nil
+	}
 	ctr := m.collectiveOp(func() any { return &selfschedCounter{} }).(*selfschedCounter)
 	return loops.Selfsched(lo, hi, step, ctr, body)
 }

@@ -24,20 +24,38 @@ import "fmt"
 // ordered list of iteration index values.  A zero step is invalid.  Like
 // Fortran DO, the loop body executes zero times when the bounds are crossed.
 func Iterations(lo, hi, step int) ([]int, error) {
-	if step == 0 {
-		return nil, fmt.Errorf("loops: DO loop step must be nonzero")
-	}
 	var out []int
+	if err := ForEach(lo, hi, step, func(i int) bool {
+		out = append(out, i)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForEach calls body for each index value of the (lo, hi, step) DO loop in
+// order, without materialising the iteration list; body returning false stops
+// the loop early.  It is the allocation-free form of Iterations used by the
+// interpreter's sequential DO loops.
+func ForEach(lo, hi, step int, body func(i int) bool) error {
+	if step == 0 {
+		return fmt.Errorf("loops: DO loop step must be nonzero")
+	}
 	if step > 0 {
 		for i := lo; i <= hi; i += step {
-			out = append(out, i)
+			if !body(i) {
+				return nil
+			}
 		}
 	} else {
 		for i := lo; i >= hi; i += step {
-			out = append(out, i)
+			if !body(i) {
+				return nil
+			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // Count returns the number of iterations of a (lo, hi, step) DO loop without

@@ -42,6 +42,33 @@ func TestIterations(t *testing.T) {
 	if _, err := Count(1, 5, 0); err == nil {
 		t.Error("zero step should be rejected by Count")
 	}
+	// ForEach visits the same sequence as Iterations without materialising it.
+	for _, c := range cases {
+		var got []int
+		if err := ForEach(c.lo, c.hi, c.step, func(i int) bool {
+			got = append(got, i)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ForEach(%d,%d,%d) visited %v, want %v", c.lo, c.hi, c.step, got, c.want)
+		}
+	}
+	// Early stop.
+	var seen []int
+	if err := ForEach(1, 10, 1, func(i int) bool {
+		seen = append(seen, i)
+		return i < 3
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seen, []int{1, 2, 3}) {
+		t.Errorf("ForEach early stop visited %v", seen)
+	}
+	if err := ForEach(1, 5, 0, func(int) bool { return true }); err == nil {
+		t.Error("zero step should be rejected by ForEach")
+	}
 }
 
 func TestPreschedPaperExample(t *testing.T) {

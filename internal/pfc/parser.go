@@ -41,8 +41,9 @@ func (p *parser) next() (string, int, bool) {
 	return line, n, ok
 }
 
-// isComment reports whether the line is a full-line Fortran comment.
-func isComment(line string) bool {
+// IsComment reports whether the line is a full-line Fortran comment.  It is
+// shared with internal/pfi, which skips the same comment forms.
+func IsComment(line string) bool {
 	if len(line) == 0 {
 		return false
 	}
@@ -56,7 +57,7 @@ func isComment(line string) bool {
 // keywords returns the upper-cased, whitespace-normalised form of the
 // statement for keyword matching (full-line comments return "").
 func keywords(line string) string {
-	if isComment(line) {
+	if IsComment(line) {
 		return ""
 	}
 	return strings.ToUpper(strings.Join(strings.Fields(line), " "))
@@ -118,7 +119,7 @@ func parseHeader(line string, lineNo int) (string, []string, error) {
 			return "", nil, errf(lineNo, "unbalanced parameter list in TASKTYPE header")
 		}
 		name = strings.TrimSpace(rest[:i])
-		params = splitArgs(rest[i+1 : len(rest)-1])
+		params = SplitArgs(rest[i+1 : len(rest)-1])
 	}
 	if name == "" || strings.ContainsAny(name, " \t()") {
 		return "", nil, errf(lineNo, "malformed TASKTYPE name %q", name)
@@ -205,25 +206,22 @@ func (p *parser) parseStmt(tt *TaskTypeDef, line string, lineNo int, kw string) 
 			return Stmt{}, err
 		}
 		tt.SharedCommons = append(tt.SharedCommons, decl)
-		return Stmt{Kind: StmtFortran, Line: lineNo, Text: sharedCommonFortran(decl)}, nil
+		return Stmt{Kind: StmtSharedCommon, Line: lineNo, SharedCommon: decl}, nil
 
 	case strings.HasPrefix(kw, "LOCK "):
-		names := splitArgs(strings.TrimSpace(line[strings.Index(strings.ToUpper(line), "LOCK")+4:]))
-		tt.Locks = append(tt.Locks, upperAll(names)...)
-		return Stmt{Kind: StmtFortran, Line: lineNo,
-			Text: "      INTEGER " + strings.Join(upperAll(names), ", ") + "\nC PISCES: LOCK variable(s)"}, nil
+		names := UpperAll(SplitArgs(strings.TrimSpace(line[strings.Index(strings.ToUpper(line), "LOCK")+4:])))
+		tt.Locks = append(tt.Locks, names...)
+		return Stmt{Kind: StmtLockDecl, Line: lineNo, Names: names}, nil
 
 	case strings.HasPrefix(kw, "TASKID "):
-		names := splitArgs(strings.TrimSpace(line[strings.Index(strings.ToUpper(line), "TASKID")+6:]))
-		tt.TaskIDVars = append(tt.TaskIDVars, upperAll(names)...)
-		return Stmt{Kind: StmtFortran, Line: lineNo,
-			Text: declareTriples(names, 3) + "\nC PISCES: TASKID variable(s)"}, nil
+		names := UpperAll(SplitArgs(strings.TrimSpace(line[strings.Index(strings.ToUpper(line), "TASKID")+6:])))
+		tt.TaskIDVars = append(tt.TaskIDVars, names...)
+		return Stmt{Kind: StmtTaskIDDecl, Line: lineNo, Names: names}, nil
 
 	case strings.HasPrefix(kw, "WINDOW "):
-		names := splitArgs(strings.TrimSpace(line[strings.Index(strings.ToUpper(line), "WINDOW")+6:]))
-		tt.WindowVars = append(tt.WindowVars, upperAll(names)...)
-		return Stmt{Kind: StmtFortran, Line: lineNo,
-			Text: declareTriples(names, 8) + "\nC PISCES: WINDOW variable(s)"}, nil
+		names := UpperAll(SplitArgs(strings.TrimSpace(line[strings.Index(strings.ToUpper(line), "WINDOW")+6:])))
+		tt.WindowVars = append(tt.WindowVars, names...)
+		return Stmt{Kind: StmtWindowDecl, Line: lineNo, Names: names}, nil
 
 	case strings.HasPrefix(kw, "HANDLER "):
 		name := strings.ToUpper(strings.TrimSpace(strings.TrimPrefix(kw, "HANDLER ")))
@@ -231,8 +229,7 @@ func (p *parser) parseStmt(tt *TaskTypeDef, line string, lineNo int, kw string) 
 			return Stmt{}, errf(lineNo, "HANDLER needs a message type name")
 		}
 		tt.Handlers = append(tt.Handlers, name)
-		return Stmt{Kind: StmtFortran, Line: lineNo,
-			Text: "      EXTERNAL " + name + "\n      CALL PSHNDL('" + name + "', " + name + ")"}, nil
+		return Stmt{Kind: StmtHandlerDecl, Line: lineNo, MsgType: name}, nil
 
 	case strings.HasPrefix(kw, "SIGNAL "):
 		name := strings.ToUpper(strings.TrimSpace(strings.TrimPrefix(kw, "SIGNAL ")))
@@ -240,7 +237,7 @@ func (p *parser) parseStmt(tt *TaskTypeDef, line string, lineNo int, kw string) 
 			return Stmt{}, errf(lineNo, "SIGNAL needs a message type name")
 		}
 		tt.Signals = append(tt.Signals, name)
-		return Stmt{Kind: StmtFortran, Line: lineNo, Text: "      CALL PSSGNL('" + name + "')"}, nil
+		return Stmt{Kind: StmtSignalDecl, Line: lineNo, MsgType: name}, nil
 
 	case kw == "HANDLER" || kw == "SIGNAL":
 		return Stmt{}, errf(lineNo, "%s needs a message type name", kw)
@@ -335,7 +332,7 @@ func parseCall(s string, lineNo int) (string, []string, error) {
 	if name == "" || strings.ContainsAny(name, " \t") {
 		return "", nil, errf(lineNo, "malformed name %q", name)
 	}
-	return name, splitArgs(s[i+1 : len(s)-1]), nil
+	return name, SplitArgs(s[i+1 : len(s)-1]), nil
 }
 
 // parseScheduledDo parses "PRESCHED DO <label> <var> = <lo>, <hi>[, <step>]"
@@ -359,7 +356,7 @@ func parseScheduledDo(line string, lineNo int, kw string) (Stmt, error) {
 		return Stmt{}, errf(lineNo, "scheduled DO needs a control variable assignment")
 	}
 	doVar := strings.TrimSpace(control[:eq])
-	bounds := splitArgs(control[eq+1:])
+	bounds := SplitArgs(control[eq+1:])
 	if doVar == "" || len(bounds) < 2 || len(bounds) > 3 {
 		return Stmt{}, errf(lineNo, "scheduled DO needs <var> = <lo>, <hi>[, <step>]")
 	}
@@ -392,7 +389,7 @@ func (p *parser) parseAccept(tt *TaskTypeDef, line string, lineNo int) (Stmt, er
 	inline := strings.TrimSpace(rest[ofIdx+2:])
 	if inline != "" {
 		// Single-line form.
-		for _, ty := range splitArgs(inline) {
+		for _, ty := range SplitArgs(inline) {
 			at, err := parseAcceptType(ty, lineNo)
 			if err != nil {
 				return Stmt{}, err
@@ -488,7 +485,7 @@ func parseSharedCommon(line string, lineNo int) (SharedCommonDecl, error) {
 		return SharedCommonDecl{}, errf(lineNo, "unterminated SHARED COMMON block name")
 	}
 	name := strings.TrimSpace(rest[1 : 1+end])
-	vars := splitArgs(rest[end+2:])
+	vars := SplitArgs(rest[end+2:])
 	if name == "" {
 		return SharedCommonDecl{}, errf(lineNo, "SHARED COMMON needs a block name")
 	}
@@ -500,17 +497,29 @@ func sharedCommonFortran(d SharedCommonDecl) string {
 		"\nC PISCES: COMMON /" + d.Name + "/ is allocated in shared memory"
 }
 
-// splitArgs splits a comma-separated list at the top parenthesis level.
-func splitArgs(s string) []string {
+// SplitArgs splits a comma-separated list at the top parenthesis level,
+// leaving commas inside parentheses and quoted CHARACTER literals alone.  It
+// is shared with internal/pfi, which parses the same argument-list syntax.
+func SplitArgs(s string) []string {
 	s = strings.TrimSpace(s)
 	if s == "" {
 		return nil
 	}
 	var out []string
 	depth := 0
+	inStr := byte(0)
 	start := 0
-	for i, c := range s {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if inStr != 0 {
+			if c == inStr {
+				inStr = 0
+			}
+			continue
+		}
 		switch c {
+		case '\'', '"':
+			inStr = c
 		case '(':
 			depth++
 		case ')':
@@ -522,11 +531,12 @@ func splitArgs(s string) []string {
 			}
 		}
 	}
-	out = append(out, strings.TrimSpace(s[start:]))
-	return out
+	return append(out, strings.TrimSpace(s[start:]))
 }
 
-func upperAll(ss []string) []string {
+// UpperAll upper-cases every element of a list of names.  It is shared with
+// internal/pfi.
+func UpperAll(ss []string) []string {
 	out := make([]string, len(ss))
 	for i, s := range ss {
 		out[i] = strings.ToUpper(s)
@@ -535,11 +545,18 @@ func upperAll(ss []string) []string {
 }
 
 // declareTriples emits an INTEGER declaration giving each name n words of
-// storage (TASKID values occupy 3 integers, WINDOW values 8).
+// storage (TASKID values occupy 3 integers, WINDOW values 8).  An entry that
+// already carries array extents, such as "IDS(4)", becomes a two-dimensional
+// block "IDS(3, 4)" — n words per element.
 func declareTriples(names []string, n int) string {
 	parts := make([]string, len(names))
 	for i, name := range names {
-		parts[i] = strings.ToUpper(strings.TrimSpace(name)) + "(" + strconv.Itoa(n) + ")"
+		name = strings.ToUpper(strings.TrimSpace(name))
+		if j := strings.Index(name, "("); j >= 0 && strings.HasSuffix(name, ")") {
+			parts[i] = name[:j] + "(" + strconv.Itoa(n) + ", " + strings.TrimSpace(name[j+1:len(name)-1]) + ")"
+			continue
+		}
+		parts[i] = name + "(" + strconv.Itoa(n) + ")"
 	}
 	return "      INTEGER " + strings.Join(parts, ", ")
 }

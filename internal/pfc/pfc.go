@@ -26,6 +26,13 @@
 // the PISCES run-time library, passing every other line through unchanged.
 // Ordinary Fortran 77 subprograms therefore require no changes, exactly as
 // the paper promises.
+//
+// Parse produces a faithful statement-level AST (every Pisces extension is a
+// structured Stmt, never pre-rendered text), which has two consumers: Emit in
+// this package generates the Fortran 77 translation, and internal/pfi
+// interprets the same AST directly on an in-memory virtual machine, so .pf
+// programs can be executed end-to-end without a Fortran compiler.  See
+// internal/pfi for the execution path.
 package pfc
 
 import (
@@ -160,6 +167,12 @@ const (
 	StmtPreschedDo
 	StmtSelfschedDo
 	StmtParseg
+	StmtSharedCommon // SHARED COMMON /name/ list
+	StmtLockDecl     // LOCK <names>
+	StmtTaskIDDecl   // TASKID <names>
+	StmtWindowDecl   // WINDOW <names>
+	StmtHandlerDecl  // HANDLER <msgtype>
+	StmtSignalDecl   // SIGNAL <msgtype>
 )
 
 // Stmt is one parsed statement of a tasktype body.
@@ -175,9 +188,17 @@ type Stmt struct {
 	TaskType  string
 	Args      []string
 
-	// StmtSend
+	// StmtSend; MsgType is also the message type of StmtHandlerDecl and
+	// StmtSignalDecl.
 	Dest    string // "PARENT" | "SELF" | "SENDER" | "USER" | "TCONTR n" | "ALL" | "ALL CLUSTER n" | variable
 	MsgType string
+
+	// StmtSharedCommon
+	SharedCommon SharedCommonDecl
+
+	// StmtLockDecl, StmtTaskIDDecl, StmtWindowDecl declared names (upper-cased;
+	// TASKID and WINDOW entries may carry array extents such as "IDS(4)").
+	Names []string
 
 	// StmtAccept
 	Accept *AcceptStmt

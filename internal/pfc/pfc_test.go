@@ -185,6 +185,9 @@ func TestEmitSampleProgram(t *testing.T) {
 		"CALL PSSSIN(1, N, 2)",
 		"CALL PSSSNX(J, PSDONE)",
 		"IF (.NOT. PSSEG(1, 2)) GOTO",
+		// TASKID arrays take 3 integers per element, WINDOW values 8.
+		"INTEGER WORKERS(3, 4)",
+		"INTEGER W(8)",
 		"COMMON /RESULTS/ TOTAL, COUNT(100)",
 		"CALL PSHNDL('RESULT', RESULT)",
 		"CALL PSSGNL('DONE')",
@@ -202,7 +205,7 @@ func TestEmitSampleProgram(t *testing.T) {
 	// No Pisces keywords may survive in the output as statements.
 	for _, forbidden := range []string{"FORCESPLIT", "END TASKTYPE", "PRESCHED", "SELFSCHED", "END ACCEPT", "NEXTSEG"} {
 		for _, line := range strings.Split(f, "\n") {
-			if isComment(line) {
+			if IsComment(line) {
 				continue
 			}
 			if strings.Contains(strings.ToUpper(line), forbidden) {
@@ -302,11 +305,14 @@ func TestSplitArgs(t *testing.T) {
 		{"A, B, C", []string{"A", "B", "C"}},
 		{"F(X, Y), B", []string{"F(X, Y)", "B"}},
 		{"A(1,2), B(I, J(3))", []string{"A(1,2)", "B(I, J(3))"}},
+		// Commas inside CHARACTER literals do not split.
+		{"'A,B', C", []string{"'A,B'", "C"}},
+		{"X, 'IT''S, OK', Y", []string{"X", "'IT''S, OK'", "Y"}},
 	}
 	for _, c := range cases {
-		got := splitArgs(c.in)
+		got := SplitArgs(c.in)
 		if !reflect.DeepEqual(got, c.want) {
-			t.Errorf("splitArgs(%q) = %v, want %v", c.in, got, c.want)
+			t.Errorf("SplitArgs(%q) = %v, want %v", c.in, got, c.want)
 		}
 	}
 }

@@ -1,0 +1,857 @@
+package pfi
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/msgcodec"
+)
+
+// valKind is the run-time type of an interpreter value, mirroring the Pisces
+// Fortran data types.
+type valKind uint8
+
+const (
+	kInt valKind = iota
+	kReal
+	kBool
+	kStr
+	kTaskID
+	kWindow
+)
+
+func (k valKind) String() string {
+	switch k {
+	case kInt:
+		return "INTEGER"
+	case kReal:
+		return "REAL"
+	case kBool:
+		return "LOGICAL"
+	case kStr:
+		return "CHARACTER"
+	case kTaskID:
+		return "TASKID"
+	case kWindow:
+		return "WINDOW"
+	}
+	return "?"
+}
+
+// value is one interpreter value.
+type value struct {
+	kind valKind
+	i    int64
+	r    float64
+	b    bool
+	s    string
+	id   core.TaskID
+	win  core.Window
+}
+
+func intVal(v int64) value          { return value{kind: kInt, i: v} }
+func realVal(v float64) value       { return value{kind: kReal, r: v} }
+func boolVal(v bool) value          { return value{kind: kBool, b: v} }
+func strVal(v string) value         { return value{kind: kStr, s: v} }
+func idVal(v core.TaskID) value     { return value{kind: kTaskID, id: v} }
+func winVal(v core.Window) value    { return value{kind: kWindow, win: v} }
+func zeroVal(k valKind) value       { return value{kind: k} }
+func implicitKind(name string) valKind {
+	if name != "" && name[0] >= 'I' && name[0] <= 'N' {
+		return kInt
+	}
+	return kReal
+}
+
+// toInt converts a numeric value to INTEGER (truncating, as Fortran does).
+func (v value) toInt() (int64, error) {
+	switch v.kind {
+	case kInt:
+		return v.i, nil
+	case kReal:
+		return int64(v.r), nil
+	}
+	return 0, fmt.Errorf("%s value where a number is required", v.kind)
+}
+
+// toReal converts a numeric value to REAL.
+func (v value) toReal() (float64, error) {
+	switch v.kind {
+	case kInt:
+		return float64(v.i), nil
+	case kReal:
+		return v.r, nil
+	}
+	return 0, fmt.Errorf("%s value where a number is required", v.kind)
+}
+
+// truth returns the LOGICAL interpretation of the value.
+func (v value) truth() (bool, error) {
+	if v.kind != kBool {
+		return false, fmt.Errorf("%s value where a LOGICAL is required", v.kind)
+	}
+	return v.b, nil
+}
+
+// format renders the value for PRINT/WRITE output.
+func (v value) format() string {
+	switch v.kind {
+	case kInt:
+		return strconv.FormatInt(v.i, 10)
+	case kReal:
+		return strconv.FormatFloat(v.r, 'g', -1, 64)
+	case kBool:
+		if v.b {
+			return "T"
+		}
+		return "F"
+	case kStr:
+		return v.s
+	case kTaskID:
+		return v.id.String()
+	case kWindow:
+		return v.win.String()
+	}
+	return "?"
+}
+
+// convert coerces a value to the declared kind of its destination.  Numeric
+// kinds inter-convert (Fortran assignment conversion); everything else must
+// match exactly.
+func convert(v value, k valKind) (value, error) {
+	if v.kind == k {
+		return v, nil
+	}
+	switch {
+	case k == kInt && v.kind == kReal:
+		return intVal(int64(v.r)), nil
+	case k == kReal && v.kind == kInt:
+		return realVal(float64(v.i)), nil
+	}
+	return value{}, fmt.Errorf("cannot assign %s value to %s variable", v.kind, k)
+}
+
+// array is one declared array: 1-based, one- or two-dimensional, of a single
+// element kind.  Arrays are shared by reference between force members, so
+// they double as the shared data of a force region (SHARED COMMON arrays in
+// particular).
+type array struct {
+	kind valKind
+	rows int
+	cols int // 0 for a one-dimensional array
+	data []value
+}
+
+func newArray(kind valKind, rows, cols int) *array {
+	n := rows
+	if cols > 0 {
+		n = rows * cols
+	}
+	a := &array{kind: kind, rows: rows, cols: cols, data: make([]value, n)}
+	for i := range a.data {
+		a.data[i] = zeroVal(kind)
+	}
+	return a
+}
+
+func (a *array) offset(name string, idx []int64) (int, error) {
+	if a.cols == 0 {
+		if len(idx) != 1 {
+			return 0, fmt.Errorf("array %s needs 1 subscript, got %d", name, len(idx))
+		}
+		if idx[0] < 1 || idx[0] > int64(a.rows) {
+			return 0, fmt.Errorf("subscript %d outside array %s(%d)", idx[0], name, a.rows)
+		}
+		return int(idx[0] - 1), nil
+	}
+	if len(idx) != 2 {
+		return 0, fmt.Errorf("array %s needs 2 subscripts, got %d", name, len(idx))
+	}
+	if idx[0] < 1 || idx[0] > int64(a.rows) || idx[1] < 1 || idx[1] > int64(a.cols) {
+		return 0, fmt.Errorf("subscripts (%d,%d) outside array %s(%d,%d)", idx[0], idx[1], name, a.rows, a.cols)
+	}
+	// Column-major order, as Fortran stores arrays.
+	return int((idx[1]-1))*a.rows + int(idx[0]-1), nil
+}
+
+// sharedCell is one SHARED COMMON scalar: a mutex-protected cell shared by
+// every member of a force (the program is still responsible for higher-level
+// synchronisation through BARRIER and CRITICAL, exactly as in the paper).
+type sharedCell struct {
+	mu sync.Mutex
+	v  value
+}
+
+func (c *sharedCell) load() value {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+func (c *sharedCell) store(v value) {
+	c.mu.Lock()
+	c.v = v
+	c.mu.Unlock()
+}
+
+// frame holds one task's (or one force member's) variables.  Scalars are
+// per-frame; arrays and shared cells are shared by reference when a frame is
+// copied for a force member, which gives SHARED COMMON its paper semantics
+// while keeping ordinary scalars member-private.
+type frame struct {
+	vars   map[string]value
+	kinds  map[string]valKind
+	arrays map[string]*array
+	shared map[string]*sharedCell
+}
+
+func newFrame() *frame {
+	return &frame{
+		vars:   make(map[string]value),
+		kinds:  make(map[string]valKind),
+		arrays: make(map[string]*array),
+		shared: make(map[string]*sharedCell),
+	}
+}
+
+// copyForMember clones the frame for a secondary force member: scalars are
+// copied (member-private), arrays and shared cells are shared by reference.
+func (f *frame) copyForMember() *frame {
+	g := newFrame()
+	for k, v := range f.vars {
+		g.vars[k] = v
+	}
+	for k, v := range f.kinds {
+		g.kinds[k] = v
+	}
+	for k, v := range f.arrays {
+		g.arrays[k] = v
+	}
+	for k, v := range f.shared {
+		g.shared[k] = v
+	}
+	return g
+}
+
+// declaredKind returns the kind a scalar name would take on first assignment.
+func (f *frame) declaredKind(name string) valKind {
+	if k, ok := f.kinds[name]; ok {
+		return k
+	}
+	return implicitKind(name)
+}
+
+// --- expression evaluation ---------------------------------------------------
+
+func (st *execState) eval(e expr) (value, error) {
+	switch e := e.(type) {
+	case litE:
+		return e.v, nil
+	case nameE:
+		return st.evalName(e.name)
+	case callE:
+		return st.evalCall(e)
+	case unE:
+		x, err := st.eval(e.x)
+		if err != nil {
+			return value{}, err
+		}
+		return applyUnary(e.op, x)
+	case binE:
+		x, err := st.eval(e.x)
+		if err != nil {
+			return value{}, err
+		}
+		y, err := st.eval(e.y)
+		if err != nil {
+			return value{}, err
+		}
+		return applyBinary(e.op, x, y)
+	}
+	return value{}, fmt.Errorf("internal error: unknown expression %T", e)
+}
+
+func (st *execState) evalName(name string) (value, error) {
+	if v, ok := st.f.vars[name]; ok {
+		return v, nil
+	}
+	if c, ok := st.f.shared[name]; ok {
+		return c.load(), nil
+	}
+	if _, ok := st.f.arrays[name]; ok {
+		return value{}, fmt.Errorf("array %s used without subscripts", name)
+	}
+	if v, ok, err := st.intrinsic(name, nil); ok {
+		return v, err
+	}
+	return value{}, fmt.Errorf("variable %s used before it is set", name)
+}
+
+func (st *execState) evalCall(e callE) (value, error) {
+	if a, ok := st.f.arrays[e.name]; ok {
+		idx, err := st.evalSubscripts(e.args)
+		if err != nil {
+			return value{}, err
+		}
+		off, err := a.offset(e.name, idx)
+		if err != nil {
+			return value{}, err
+		}
+		return a.data[off], nil
+	}
+	args := make([]value, len(e.args))
+	for i, a := range e.args {
+		v, err := st.eval(a)
+		if err != nil {
+			return value{}, err
+		}
+		args[i] = v
+	}
+	if v, ok, err := st.intrinsic(e.name, args); ok {
+		return v, err
+	}
+	return value{}, fmt.Errorf("%s is neither a declared array nor a known function", e.name)
+}
+
+func (st *execState) evalSubscripts(args []expr) ([]int64, error) {
+	idx := make([]int64, len(args))
+	for i, a := range args {
+		v, err := st.eval(a)
+		if err != nil {
+			return nil, err
+		}
+		n, err := v.toInt()
+		if err != nil {
+			return nil, err
+		}
+		idx[i] = n
+	}
+	return idx, nil
+}
+
+// evalInt evaluates an expression and converts to INTEGER.
+func (st *execState) evalInt(e expr) (int64, error) {
+	v, err := st.eval(e)
+	if err != nil {
+		return 0, err
+	}
+	return v.toInt()
+}
+
+// assign stores a value into a scalar, shared cell, or array element.
+func (st *execState) assign(name string, index []expr, v value) error {
+	if index == nil {
+		if c, ok := st.f.shared[name]; ok {
+			cv, err := convert(v, c.load().kind)
+			if err != nil {
+				return fmt.Errorf("%s: %v", name, err)
+			}
+			c.store(cv)
+			return nil
+		}
+		if _, ok := st.f.arrays[name]; ok {
+			return fmt.Errorf("array %s assigned without subscripts", name)
+		}
+		cv, err := convert(v, st.f.declaredKind(name))
+		if err != nil {
+			return fmt.Errorf("%s: %v", name, err)
+		}
+		st.f.vars[name] = cv
+		return nil
+	}
+	a, ok := st.f.arrays[name]
+	if !ok {
+		return fmt.Errorf("%s is not a declared array", name)
+	}
+	idx, err := st.evalSubscripts(index)
+	if err != nil {
+		return err
+	}
+	off, err := a.offset(name, idx)
+	if err != nil {
+		return err
+	}
+	cv, err := convert(v, a.kind)
+	if err != nil {
+		return fmt.Errorf("%s: %v", name, err)
+	}
+	a.data[off] = cv
+	return nil
+}
+
+// --- operators ---------------------------------------------------------------
+
+func applyUnary(op string, x value) (value, error) {
+	switch op {
+	case "-":
+		switch x.kind {
+		case kInt:
+			return intVal(-x.i), nil
+		case kReal:
+			return realVal(-x.r), nil
+		}
+		return value{}, fmt.Errorf("unary - applied to %s value", x.kind)
+	case "NOT":
+		b, err := x.truth()
+		if err != nil {
+			return value{}, err
+		}
+		return boolVal(!b), nil
+	}
+	return value{}, fmt.Errorf("internal error: unknown unary operator %q", op)
+}
+
+func applyBinary(op string, x, y value) (value, error) {
+	switch op {
+	case "+", "-", "*", "/", "**":
+		return applyArith(op, x, y)
+	case "EQ", "NE", "LT", "LE", "GT", "GE":
+		return applyCompare(op, x, y)
+	case "AND", "OR", "EQV", "NEQV":
+		a, err := x.truth()
+		if err != nil {
+			return value{}, err
+		}
+		b, err := y.truth()
+		if err != nil {
+			return value{}, err
+		}
+		switch op {
+		case "AND":
+			return boolVal(a && b), nil
+		case "OR":
+			return boolVal(a || b), nil
+		case "EQV":
+			return boolVal(a == b), nil
+		default:
+			return boolVal(a != b), nil
+		}
+	}
+	return value{}, fmt.Errorf("internal error: unknown operator %q", op)
+}
+
+// applyArith implements Fortran numeric rules: INTEGER op INTEGER stays
+// INTEGER (including truncating division); mixed operands promote to REAL.
+func applyArith(op string, x, y value) (value, error) {
+	if x.kind == kInt && y.kind == kInt {
+		switch op {
+		case "+":
+			return intVal(x.i + y.i), nil
+		case "-":
+			return intVal(x.i - y.i), nil
+		case "*":
+			return intVal(x.i * y.i), nil
+		case "/":
+			if y.i == 0 {
+				return value{}, fmt.Errorf("INTEGER division by zero")
+			}
+			return intVal(x.i / y.i), nil
+		case "**":
+			return intPow(x.i, y.i)
+		}
+	}
+	a, err := x.toReal()
+	if err != nil {
+		return value{}, fmt.Errorf("operator %s: %v", opSource(op), err)
+	}
+	b, err := y.toReal()
+	if err != nil {
+		return value{}, fmt.Errorf("operator %s: %v", opSource(op), err)
+	}
+	switch op {
+	case "+":
+		return realVal(a + b), nil
+	case "-":
+		return realVal(a - b), nil
+	case "*":
+		return realVal(a * b), nil
+	case "/":
+		if b == 0 {
+			return value{}, fmt.Errorf("REAL division by zero")
+		}
+		return realVal(a / b), nil
+	case "**":
+		return realVal(math.Pow(a, b)), nil
+	}
+	return value{}, fmt.Errorf("internal error: unknown arithmetic operator %q", op)
+}
+
+func intPow(base, exp int64) (value, error) {
+	if exp < 0 {
+		if base == 0 {
+			return value{}, fmt.Errorf("0 ** negative exponent")
+		}
+		// Fortran INTEGER ** negative truncates toward zero.
+		switch base {
+		case 1:
+			return intVal(1), nil
+		case -1:
+			if exp%2 == 0 {
+				return intVal(1), nil
+			}
+			return intVal(-1), nil
+		default:
+			return intVal(0), nil
+		}
+	}
+	// Exponentiation by squaring: O(log exp) even for absurd exponents.
+	result := int64(1)
+	for exp > 0 {
+		if exp&1 == 1 {
+			result *= base
+		}
+		base *= base
+		exp >>= 1
+	}
+	return intVal(result), nil
+}
+
+func applyCompare(op string, x, y value) (value, error) {
+	// TASKID and CHARACTER values support equality comparison.
+	if x.kind == kTaskID && y.kind == kTaskID {
+		switch op {
+		case "EQ":
+			return boolVal(x.id == y.id), nil
+		case "NE":
+			return boolVal(x.id != y.id), nil
+		}
+		return value{}, fmt.Errorf("TASKID values only compare with .EQ./.NE.")
+	}
+	if x.kind == kStr && y.kind == kStr {
+		switch op {
+		case "EQ":
+			return boolVal(x.s == y.s), nil
+		case "NE":
+			return boolVal(x.s != y.s), nil
+		case "LT":
+			return boolVal(x.s < y.s), nil
+		case "LE":
+			return boolVal(x.s <= y.s), nil
+		case "GT":
+			return boolVal(x.s > y.s), nil
+		default:
+			return boolVal(x.s >= y.s), nil
+		}
+	}
+	a, err := x.toReal()
+	if err != nil {
+		return value{}, fmt.Errorf("comparison .%s.: %v", op, err)
+	}
+	b, err := y.toReal()
+	if err != nil {
+		return value{}, fmt.Errorf("comparison .%s.: %v", op, err)
+	}
+	switch op {
+	case "EQ":
+		return boolVal(a == b), nil
+	case "NE":
+		return boolVal(a != b), nil
+	case "LT":
+		return boolVal(a < b), nil
+	case "LE":
+		return boolVal(a <= b), nil
+	case "GT":
+		return boolVal(a > b), nil
+	default:
+		return boolVal(a >= b), nil
+	}
+}
+
+func opSource(op string) string {
+	switch op {
+	case "+", "-", "*", "/", "**":
+		return op
+	default:
+		return "." + op + "."
+	}
+}
+
+// --- intrinsics --------------------------------------------------------------
+
+// intrinsicAliases maps the classic Fortran type-specific generic names onto
+// the base intrinsic.
+var intrinsicAliases = map[string]string{
+	"IABS": "ABS", "DABS": "ABS",
+	"AMOD": "MOD",
+	"MIN0": "MIN", "AMIN0": "MIN", "AMIN1": "MIN", "MIN1": "MIN",
+	"MAX0": "MAX", "AMAX0": "MAX", "AMAX1": "MAX", "MAX1": "MAX",
+	"FLOAT": "REAL", "DBLE": "REAL",
+	"IFIX": "INT", "IDINT": "INT",
+	"ALOG": "LOG", "DLOG": "LOG", "DSQRT": "SQRT", "DEXP": "EXP",
+	"DSIN": "SIN", "DCOS": "COS",
+}
+
+// intrinsic evaluates a built-in function.  The boolean result reports
+// whether the name is an intrinsic at all (so undeclared variables and
+// unknown functions produce their own errors).
+func (st *execState) intrinsic(name string, args []value) (value, bool, error) {
+	if base, ok := intrinsicAliases[name]; ok {
+		name = base
+	}
+	fail := func(format string, a ...any) (value, bool, error) {
+		return value{}, true, fmt.Errorf(name+": "+format, a...)
+	}
+	switch name {
+	// --- Pisces run-time queries ---
+	case "SELF":
+		return idVal(st.t.ID()), true, nil
+	case "PARENT":
+		return idVal(st.t.Parent()), true, nil
+	case "SENDER":
+		return idVal(st.t.Sender()), true, nil
+	case "CLUSTER":
+		return intVal(int64(st.t.Cluster())), true, nil
+	case "MEMBER":
+		// 1-based, matching the paper's "the Ith force member".
+		if st.m == nil {
+			return intVal(1), true, nil
+		}
+		return intVal(int64(st.m.Member() + 1)), true, nil
+	case "MEMBERS":
+		if st.m == nil {
+			return intVal(1), true, nil
+		}
+		return intVal(int64(st.m.Members())), true, nil
+	case "QLEN":
+		return intVal(int64(st.t.QueueLength())), true, nil
+
+	// --- last ACCEPT result ---
+	case "TIMEDOUT":
+		if st.lastAccept == nil {
+			return boolVal(false), true, nil
+		}
+		return boolVal(st.lastAccept.TimedOut), true, nil
+	case "NMSG":
+		if len(args) != 1 || args[0].kind != kStr {
+			return fail("needs one CHARACTER message-type argument")
+		}
+		if st.lastAccept == nil {
+			return intVal(0), true, nil
+		}
+		return intVal(int64(st.lastAccept.Count(strings.ToUpper(args[0].s)))), true, nil
+	case "MSGI", "MSGR", "MSGS", "MSGT", "MSGW":
+		v, err := st.msgArg(name, args)
+		return v, true, err
+
+	// --- windows ---
+	case "WROWS", "WCOLS":
+		if len(args) != 1 || args[0].kind != kWindow {
+			return fail("needs one WINDOW argument")
+		}
+		if name == "WROWS" {
+			return intVal(int64(args[0].win.Rows())), true, nil
+		}
+		return intVal(int64(args[0].win.Cols())), true, nil
+
+	// --- numeric intrinsics ---
+	case "ABS":
+		if len(args) != 1 {
+			return fail("needs one argument")
+		}
+		if args[0].kind == kInt {
+			if args[0].i < 0 {
+				return intVal(-args[0].i), true, nil
+			}
+			return args[0], true, nil
+		}
+		r, err := args[0].toReal()
+		if err != nil {
+			return fail("%v", err)
+		}
+		return realVal(math.Abs(r)), true, nil
+	case "MOD":
+		if len(args) != 2 {
+			return fail("needs two arguments")
+		}
+		if args[0].kind == kInt && args[1].kind == kInt {
+			if args[1].i == 0 {
+				return fail("division by zero")
+			}
+			return intVal(args[0].i % args[1].i), true, nil
+		}
+		a, err1 := args[0].toReal()
+		b, err2 := args[1].toReal()
+		if err1 != nil || err2 != nil || b == 0 {
+			return fail("bad arguments")
+		}
+		return realVal(math.Mod(a, b)), true, nil
+	case "MIN", "MAX":
+		if len(args) < 2 {
+			return fail("needs at least two arguments")
+		}
+		allInt := true
+		for _, a := range args {
+			if a.kind != kInt {
+				allInt = false
+			}
+		}
+		if allInt {
+			// Compare on int64 directly: going through float64 loses
+			// precision above 2**53.
+			best := args[0].i
+			for _, a := range args[1:] {
+				if (name == "MIN" && a.i < best) || (name == "MAX" && a.i > best) {
+					best = a.i
+				}
+			}
+			return intVal(best), true, nil
+		}
+		best, err := args[0].toReal()
+		if err != nil {
+			return fail("%v", err)
+		}
+		for _, a := range args[1:] {
+			r, err := a.toReal()
+			if err != nil {
+				return fail("%v", err)
+			}
+			if (name == "MIN" && r < best) || (name == "MAX" && r > best) {
+				best = r
+			}
+		}
+		return realVal(best), true, nil
+	case "INT":
+		if len(args) != 1 {
+			return fail("needs one argument")
+		}
+		n, err := args[0].toInt()
+		if err != nil {
+			return fail("%v", err)
+		}
+		return intVal(n), true, nil
+	case "NINT":
+		if len(args) != 1 {
+			return fail("needs one argument")
+		}
+		r, err := args[0].toReal()
+		if err != nil {
+			return fail("%v", err)
+		}
+		return intVal(int64(math.Round(r))), true, nil
+	case "REAL":
+		if len(args) != 1 {
+			return fail("needs one argument")
+		}
+		r, err := args[0].toReal()
+		if err != nil {
+			return fail("%v", err)
+		}
+		return realVal(r), true, nil
+	case "SQRT", "EXP", "LOG", "SIN", "COS":
+		if len(args) != 1 {
+			return fail("needs one argument")
+		}
+		r, err := args[0].toReal()
+		if err != nil {
+			return fail("%v", err)
+		}
+		switch name {
+		case "SQRT":
+			if r < 0 {
+				return fail("negative argument %g", r)
+			}
+			return realVal(math.Sqrt(r)), true, nil
+		case "EXP":
+			return realVal(math.Exp(r)), true, nil
+		case "LOG":
+			if r <= 0 {
+				return fail("non-positive argument %g", r)
+			}
+			return realVal(math.Log(r)), true, nil
+		case "SIN":
+			return realVal(math.Sin(r)), true, nil
+		default:
+			return realVal(math.Cos(r)), true, nil
+		}
+	}
+	return value{}, false, nil
+}
+
+// msgArg implements MSGI/MSGR/MSGS/MSGT/MSGW('TYPE', i, j): the j-th argument
+// of the i-th accepted message of the given type from the task's most recent
+// ACCEPT statement (both indices 1-based).
+func (st *execState) msgArg(name string, args []value) (value, error) {
+	if len(args) != 3 || args[0].kind != kStr {
+		return value{}, fmt.Errorf("%s needs ('TYPE', message, argument)", name)
+	}
+	msgType := strings.ToUpper(args[0].s)
+	i, err1 := args[1].toInt()
+	j, err2 := args[2].toInt()
+	if err1 != nil || err2 != nil {
+		return value{}, fmt.Errorf("%s indices must be INTEGER", name)
+	}
+	if st.lastAccept == nil {
+		return value{}, fmt.Errorf("%s used before any ACCEPT", name)
+	}
+	msgs := st.lastAccept.ByType[msgType]
+	if i < 1 || i > int64(len(msgs)) {
+		return value{}, fmt.Errorf("%s: message %d of type %s not accepted (have %d)", name, i, msgType, len(msgs))
+	}
+	m := msgs[i-1]
+	if j < 1 || j > int64(len(m.Args)) {
+		return value{}, fmt.Errorf("%s: message %s has %d arguments, asked for %d", name, msgType, len(m.Args), j)
+	}
+	v, err := fromCoreValue(m.Args[j-1])
+	if err != nil {
+		return value{}, fmt.Errorf("%s: %v", name, err)
+	}
+	want := map[string]valKind{"MSGI": kInt, "MSGR": kReal, "MSGS": kStr, "MSGT": kTaskID, "MSGW": kWindow}[name]
+	cv, err := convert(v, want)
+	if err != nil {
+		return value{}, fmt.Errorf("%s: %v", name, err)
+	}
+	return cv, nil
+}
+
+// --- core.Value conversions --------------------------------------------------
+
+// fromCoreValue converts a message/initiation argument to an interpreter
+// value.  Array arguments are handled separately by bindParam.
+func fromCoreValue(v core.Value) (value, error) {
+	switch v.Kind {
+	case msgcodec.KindInteger:
+		return intVal(v.Integer), nil
+	case msgcodec.KindReal:
+		return realVal(v.Real), nil
+	case msgcodec.KindLogical:
+		return boolVal(v.Logical), nil
+	case msgcodec.KindCharacter:
+		return strVal(v.Character), nil
+	case msgcodec.KindTaskID:
+		id, err := core.AsID(v)
+		if err != nil {
+			return value{}, err
+		}
+		return idVal(id), nil
+	case msgcodec.KindWindow:
+		w, err := core.AsWin(v)
+		if err != nil {
+			return value{}, err
+		}
+		return winVal(w), nil
+	}
+	return value{}, fmt.Errorf("%s argument has no scalar interpreter form", v.Kind)
+}
+
+// toCoreValue converts an interpreter value to a message argument.
+func toCoreValue(v value) (core.Value, error) {
+	switch v.kind {
+	case kInt:
+		return core.Int(v.i), nil
+	case kReal:
+		return core.Real(v.r), nil
+	case kBool:
+		return core.Bool(v.b), nil
+	case kStr:
+		return core.Str(v.s), nil
+	case kTaskID:
+		return core.ID(v.id), nil
+	case kWindow:
+		return core.Win(v.win), nil
+	}
+	return core.Value{}, fmt.Errorf("internal error: unknown value kind %d", v.kind)
+}

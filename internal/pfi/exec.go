@@ -1,0 +1,914 @@
+package pfi
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/loops"
+)
+
+// ctlKind is the control-flow outcome of executing a statement sequence.
+type ctlKind int
+
+const (
+	ctlNext   ctlKind = iota
+	ctlGoto           // transfer to a statement label (propagates outward until found)
+	ctlStop           // STOP: terminate the task
+	ctlReturn         // RETURN/END: terminate the task body normally
+)
+
+type ctl struct {
+	kind  ctlKind
+	label string
+}
+
+var ctlOK = ctl{kind: ctlNext}
+
+// lockTable is the task-level LOCK variable registry, shared by every member
+// of the task's forces.
+type lockTable struct {
+	mu     sync.Mutex
+	byName map[string]*core.Lock
+}
+
+// get returns the named lock, creating it on first use.
+func (lt *lockTable) get(t *core.Task, name string) (*core.Lock, error) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if l, ok := lt.byName[name]; ok {
+		return l, nil
+	}
+	l, err := t.NewLock(name)
+	if err != nil {
+		return nil, err
+	}
+	lt.byName[name] = l
+	return l, nil
+}
+
+// stickyErr collects the first error raised inside a FORCESPLIT region.
+// Inside a region, a failing statement is recorded and skipped rather than
+// aborting the member: an aborting member would desert the force and leave
+// the others waiting forever at the next BARRIER, turning a reportable error
+// into a deadlock.  Skipping one statement keeps every member aligned on the
+// region's collective operations, and the recorded error fails the task once
+// the force has joined.
+type stickyErr struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (s *stickyErr) record(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+func (s *stickyErr) get() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// execState is the execution context of one task (or one force member of a
+// task): the frame, the optional member handle, and the most recent ACCEPT
+// result for the MSG* intrinsics.
+type execState struct {
+	p          *Program
+	tp         *taskProgram
+	t          *core.Task
+	m          *core.ForceMember
+	f          *frame
+	locks      *lockTable
+	lastAccept *core.AcceptResult
+	forceSize  int        // cached cluster force size; 0 = not yet computed
+	sticky     *stickyErr // non-nil inside a FORCESPLIT region
+}
+
+// requirePrimary guards message and terminal operations inside a force
+// region: only the primary member owns the task's message machinery.
+func (st *execState) requirePrimary(op string) error {
+	if st.m != nil && !st.m.IsPrimary() {
+		return fmt.Errorf("%s inside a FORCESPLIT region is limited to the primary member (use a BARRIER body)", op)
+	}
+	return nil
+}
+
+// execSeq executes a statement sequence, resolving GOTOs whose target label
+// is in this sequence and propagating every other control transfer outward.
+// Inside a force region (sticky mode) a failing statement is recorded and
+// skipped so the member stays aligned on the region's collectives.
+func (st *execState) execSeq(ns []node) (ctl, error) {
+	pc := 0
+	for pc < len(ns) {
+		c, err := st.execNode(&ns[pc])
+		if err != nil {
+			if st.sticky != nil {
+				st.sticky.record(st.memberErr(err))
+				if st.m != nil && subtreeHasCollective(&ns[pc]) {
+					// Skipping a statement that contains collective
+					// operations would strand the other members at them;
+					// degrade the whole force's synchronisation instead.
+					st.m.Abort()
+				}
+				pc++
+				continue
+			}
+			return ctl{}, err
+		}
+		switch c.kind {
+		case ctlNext:
+			pc++
+		case ctlGoto:
+			if i, ok := findLabel(ns, c.label); ok {
+				pc = i
+				continue
+			}
+			return c, nil
+		default:
+			return c, nil
+		}
+	}
+	return ctlOK, nil
+}
+
+// memberErr stamps an error with the force-member number when raised inside
+// a region.
+func (st *execState) memberErr(err error) error {
+	if st.m != nil {
+		return fmt.Errorf("force member %d: %w", st.m.Member()+1, err)
+	}
+	return err
+}
+
+// subtreeHasCollective reports whether a statement subtree contains a
+// construct other members synchronise on (BARRIER, or the shared iteration
+// counter of SELFSCHED DO).
+func subtreeHasCollective(n *node) bool {
+	if n.kind == nBarrier || n.kind == nSelfsched {
+		return true
+	}
+	for i := range n.body {
+		if subtreeHasCollective(&n.body[i]) {
+			return true
+		}
+	}
+	for i := range n.elseBody {
+		if subtreeHasCollective(&n.elseBody[i]) {
+			return true
+		}
+	}
+	for _, seg := range n.segments {
+		for i := range seg {
+			if subtreeHasCollective(&seg[i]) {
+				return true
+			}
+		}
+	}
+	if n.accept != nil {
+		for i := range n.accept.onTimeout {
+			if subtreeHasCollective(&n.accept.onTimeout[i]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func findLabel(ns []node, label string) (int, bool) {
+	for i := range ns {
+		if ns[i].label == label {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// execNode executes one statement node.
+func (st *execState) execNode(n *node) (ctl, error) {
+	st.p.cs.statements.Inc()
+	c, err := st.execNodeInner(n)
+	if err != nil && n.line > 0 {
+		if _, ok := err.(*Error); !ok {
+			err = &Error{Line: n.line, Msg: err.Error()}
+		}
+	}
+	return c, err
+}
+
+func (st *execState) execNodeInner(n *node) (ctl, error) {
+	switch n.kind {
+	case nAssign:
+		v, err := st.eval(n.rhs)
+		if err != nil {
+			return ctl{}, err
+		}
+		return ctlOK, st.assign(n.name, n.index, v)
+
+	case nIf:
+		v, err := st.eval(n.cond)
+		if err != nil {
+			return ctl{}, err
+		}
+		b, err := v.truth()
+		if err != nil {
+			return ctl{}, fmt.Errorf("IF condition: %v", err)
+		}
+		if b {
+			return st.execSeq(n.body)
+		}
+		return st.execSeq(n.elseBody)
+
+	case nDo:
+		return st.execDo(n)
+
+	case nGoto:
+		return ctl{kind: ctlGoto, label: n.target}, nil
+
+	case nContinue:
+		return ctlOK, nil
+
+	case nStop:
+		if n.stopX != nil {
+			v, err := st.eval(n.stopX)
+			if err != nil {
+				return ctl{}, err
+			}
+			if err := st.printLine("STOP " + v.format()); err != nil {
+				return ctl{}, err
+			}
+		}
+		return ctl{kind: ctlStop}, nil
+
+	case nReturn:
+		return ctl{kind: ctlReturn}, nil
+
+	case nPrint:
+		return ctlOK, st.execPrint(n)
+
+	case nDecl:
+		return ctlOK, st.execDecl(n)
+
+	case nCall:
+		return ctlOK, st.execCall(n)
+
+	case nInitiate:
+		return ctlOK, st.execInitiate(n)
+
+	case nSend:
+		return ctlOK, st.execSend(n)
+
+	case nAccept:
+		return st.execAccept(n)
+
+	case nForce:
+		return st.execForce(n)
+
+	case nBarrier:
+		return st.execBarrier(n)
+
+	case nCritical:
+		return st.execCritical(n)
+
+	case nPresched, nSelfsched:
+		return st.execScheduledDo(n)
+
+	case nParseg:
+		return st.execParseg(n)
+
+	case nSharedCommon:
+		return ctlOK, st.execSharedCommon(n)
+
+	case nLockDecl:
+		for _, d := range n.decls {
+			if _, err := st.locks.get(st.t, d.name); err != nil {
+				return ctl{}, err
+			}
+		}
+		return ctlOK, nil
+
+	case nSignalDecl:
+		// Task.Signal mutates task-level state; inside a force only the
+		// primary (the member that may ACCEPT) registers the declaration —
+		// concurrent members would race on the task's signal table.
+		if st.m == nil || st.m.IsPrimary() {
+			st.t.Signal(n.name)
+		}
+		return ctlOK, nil
+
+	case nHandlerDecl:
+		// The interpreter has no Fortran handler subroutines; handler-declared
+		// message types are counted like signals and their arguments remain
+		// readable through the MSG* intrinsics after an ACCEPT.
+		return ctlOK, nil
+	}
+	return ctl{}, fmt.Errorf("internal error: unknown node kind %d", n.kind)
+}
+
+// --- ordinary statements -----------------------------------------------------
+
+func (st *execState) execDo(n *node) (ctl, error) {
+	lo, hi, step, err := st.loopBounds(n)
+	if err != nil {
+		return ctl{}, err
+	}
+	var brk ctl
+	var bodyErr error
+	err = loops.ForEach(lo, hi, step, func(i int) bool {
+		st.p.cs.loopIterations.Inc()
+		if e := st.assign(n.name, nil, intVal(int64(i))); e != nil {
+			bodyErr = e
+			return false
+		}
+		c, e := st.execSeq(n.body)
+		if e != nil {
+			bodyErr = e
+			return false
+		}
+		if c.kind != ctlNext {
+			brk = c
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return ctl{}, err
+	}
+	if bodyErr != nil {
+		return ctl{}, bodyErr
+	}
+	if brk.kind != ctlNext {
+		return brk, nil
+	}
+	return ctlOK, nil
+}
+
+func (st *execState) loopBounds(n *node) (lo, hi, step int, err error) {
+	l, err := st.evalInt(n.lo)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	h, err := st.evalInt(n.hi)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	s, err := st.evalInt(n.step)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return int(l), int(h), int(s), nil
+}
+
+func (st *execState) execPrint(n *node) error {
+	if err := st.requirePrimary("PRINT"); err != nil {
+		return err
+	}
+	parts := make([]string, len(n.items))
+	for i, e := range n.items {
+		v, err := st.eval(e)
+		if err != nil {
+			return err
+		}
+		parts[i] = v.format()
+	}
+	st.p.cs.prints.Inc()
+	return st.printLine(strings.Join(parts, " "))
+}
+
+// printLine sends one line of output to the user terminal by way of the user
+// controller, as "TO USER SEND" does.
+func (st *execState) printLine(line string) error {
+	return st.t.SendUser("print", core.Str(line+"\n"))
+}
+
+func (st *execState) execDecl(n *node) error {
+	for _, d := range n.decls {
+		if len(d.dims) == 0 {
+			st.f.kinds[d.name] = d.kind
+			if c, ok := st.f.shared[d.name]; ok {
+				cv, err := convert(c.load(), d.kind)
+				if err != nil {
+					return fmt.Errorf("%s: %v", d.name, err)
+				}
+				c.store(cv)
+				continue
+			}
+			if v, ok := st.f.vars[d.name]; ok {
+				cv, err := convert(v, d.kind)
+				if err != nil {
+					return fmt.Errorf("%s: %v", d.name, err)
+				}
+				st.f.vars[d.name] = cv
+			}
+			continue
+		}
+		rows, cols, err := st.arrayExtents(d)
+		if err != nil {
+			return err
+		}
+		if a, ok := st.f.arrays[d.name]; ok {
+			// Re-declaration (typing a SHARED COMMON array, or the required
+			// declaration of an array-valued tasktype parameter): re-kind and
+			// reshape the existing storage in place, preserving its values in
+			// Fortran storage order, so every sharer sees the change and
+			// INITIATE-passed data survives — including 1-D message arrays
+			// bound to parameters declared two-dimensional.
+			n := rows
+			if cols > 0 {
+				n = rows * cols
+			}
+			if len(a.data) != n {
+				return fmt.Errorf("array %s re-declared with conflicting extents", d.name)
+			}
+			for i := range a.data {
+				cv, err := convert(a.data[i], d.kind)
+				if err != nil {
+					return fmt.Errorf("%s: %v", d.name, err)
+				}
+				a.data[i] = cv
+			}
+			a.kind = d.kind
+			a.rows, a.cols = rows, cols
+			continue
+		}
+		st.f.arrays[d.name] = newArray(d.kind, rows, cols)
+	}
+	return nil
+}
+
+func (st *execState) arrayExtents(d declItem) (rows, cols int, err error) {
+	r, err := st.evalInt(d.dims[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	if r < 1 {
+		return 0, 0, fmt.Errorf("array %s has non-positive extent %d", d.name, r)
+	}
+	rows = int(r)
+	if len(d.dims) == 2 {
+		cv, err := st.evalInt(d.dims[1])
+		if err != nil {
+			return 0, 0, err
+		}
+		if cv < 1 {
+			return 0, 0, fmt.Errorf("array %s has non-positive extent %d", d.name, cv)
+		}
+		cols = int(cv)
+	}
+	return rows, cols, nil
+}
+
+func (st *execState) execCall(n *node) error {
+	switch n.name {
+	case "CHARGE":
+		ticks, err := st.evalInt(n.items[0])
+		if err != nil {
+			return err
+		}
+		if st.m != nil {
+			st.m.Charge(ticks)
+		} else {
+			st.t.Charge(ticks)
+		}
+		return nil
+	case "YIELD":
+		if st.m == nil {
+			st.t.Yield()
+		}
+		return nil
+	}
+	return fmt.Errorf("internal error: unknown CALL %s", n.name)
+}
+
+// --- Pisces statements -------------------------------------------------------
+
+func (st *execState) execInitiate(n *node) error {
+	if err := st.requirePrimary("INITIATE"); err != nil {
+		return err
+	}
+	var placement core.Placement
+	switch n.placement {
+	case placeAny:
+		placement = core.Any()
+	case placeOther:
+		placement = core.Other()
+	case placeSame:
+		placement = core.Same()
+	case placeCluster:
+		cl, err := st.evalInt(n.clusterX)
+		if err != nil {
+			return err
+		}
+		placement = core.OnCluster(int(cl))
+	}
+	args, err := st.evalSendArgs(n.items)
+	if err != nil {
+		return err
+	}
+	st.p.cs.initiates.Inc()
+	return st.t.Initiate(placement, n.name, args...)
+}
+
+func (st *execState) execSend(n *node) error {
+	if err := st.requirePrimary("SEND"); err != nil {
+		return err
+	}
+	args, err := st.evalSendArgs(n.items)
+	if err != nil {
+		return err
+	}
+	st.p.cs.sends.Inc()
+	switch n.dest {
+	case destParent:
+		return st.t.SendParent(n.name, args...)
+	case destSelf:
+		return st.t.SendSelf(n.name, args...)
+	case destSender:
+		return st.t.SendSender(n.name, args...)
+	case destUser:
+		return st.t.SendUser(n.name, args...)
+	case destAll:
+		return st.t.Broadcast(n.name, args...)
+	case destAllCluster:
+		cl, err := st.evalInt(n.clusterX)
+		if err != nil {
+			return err
+		}
+		return st.t.BroadcastCluster(int(cl), n.name, args...)
+	case destTContr:
+		cl, err := st.evalInt(n.clusterX)
+		if err != nil {
+			return err
+		}
+		return st.t.SendTaskController(int(cl), n.name, args...)
+	default:
+		v, err := st.eval(n.destX)
+		if err != nil {
+			return err
+		}
+		if v.kind != kTaskID {
+			return fmt.Errorf("SEND destination is %s, not a TASKID", v.kind)
+		}
+		return st.t.Send(v.id, n.name, args...)
+	}
+}
+
+// evalSendArgs evaluates message/initiation arguments; a bare array name
+// passes the whole array as an INTEGER or REAL array argument.
+func (st *execState) evalSendArgs(items []expr) ([]core.Value, error) {
+	out := make([]core.Value, len(items))
+	for i, e := range items {
+		if ne, ok := e.(nameE); ok {
+			if a, ok := st.f.arrays[ne.name]; ok {
+				cv, err := arrayToCore(ne.name, a)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = cv
+				continue
+			}
+		}
+		v, err := st.eval(e)
+		if err != nil {
+			return nil, err
+		}
+		cv, err := toCoreValue(v)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = cv
+	}
+	return out, nil
+}
+
+func arrayToCore(name string, a *array) (core.Value, error) {
+	switch a.kind {
+	case kInt:
+		vs := make([]int64, len(a.data))
+		for i, v := range a.data {
+			vs[i] = v.i
+		}
+		return core.Ints(vs), nil
+	case kReal:
+		vs := make([]float64, len(a.data))
+		for i, v := range a.data {
+			vs[i] = v.r
+		}
+		return core.Reals(vs), nil
+	}
+	return core.Value{}, fmt.Errorf("array %s of kind %s cannot be a message argument", name, a.kind)
+}
+
+func (st *execState) execAccept(n *node) (ctl, error) {
+	if err := st.requirePrimary("ACCEPT"); err != nil {
+		return ctl{}, err
+	}
+	spec := core.AcceptSpec{}
+	if n.accept.total != nil {
+		total, err := st.evalInt(n.accept.total)
+		if err != nil {
+			return ctl{}, err
+		}
+		spec.Total = int(total)
+	}
+	for _, ty := range n.accept.types {
+		tc := core.TypeCount{Type: ty.name}
+		switch {
+		case ty.all:
+			tc.Count = core.All
+		case ty.count != nil:
+			cnt, err := st.evalInt(ty.count)
+			if err != nil {
+				return ctl{}, err
+			}
+			tc.Count = int(cnt)
+		}
+		spec.Types = append(spec.Types, tc)
+	}
+	if n.accept.delay != nil {
+		secs, err := st.eval(n.accept.delay)
+		if err != nil {
+			return ctl{}, err
+		}
+		s, err := secs.toReal()
+		if err != nil {
+			return ctl{}, fmt.Errorf("DELAY: %v", err)
+		}
+		spec.Delay = time.Duration(s * float64(time.Second))
+		if spec.Delay <= 0 {
+			spec.Delay = time.Nanosecond
+		}
+	}
+	res, err := st.t.Accept(spec)
+	if err != nil {
+		return ctl{}, err
+	}
+	st.lastAccept = res
+	st.p.cs.accepts.Inc()
+	if res.TimedOut {
+		st.p.cs.acceptTimeouts.Inc()
+		// The DELAY ... THEN sequence runs with the ACCEPT's result already
+		// installed, so TIMEDOUT(), NMSG, and MSG* reflect this ACCEPT.
+		if len(n.accept.onTimeout) > 0 {
+			return st.execSeq(n.accept.onTimeout)
+		}
+	}
+	return ctlOK, nil
+}
+
+// forceMembers returns the force size of the task's cluster (1 + the
+// cluster's secondary PEs), computed once per task: Configuration() clones
+// the whole mapping, too costly to repeat on every FORCESPLIT.
+func (st *execState) forceMembers() int {
+	if st.forceSize == 0 {
+		st.forceSize = 1
+		cfg := st.t.VM().Configuration()
+		if cl := cfg.Cluster(st.t.Cluster()); cl != nil {
+			st.forceSize = cl.ForceSize()
+		}
+	}
+	return st.forceSize
+}
+
+func (st *execState) execForce(n *node) (ctl, error) {
+	if st.m != nil {
+		return ctl{}, fmt.Errorf("nested FORCESPLIT")
+	}
+	st.p.cs.forceSplits.Inc()
+	// Pre-copy the secondary members' frames so no member reads the primary's
+	// frame while the primary is already executing the region.
+	members := st.forceMembers()
+	frames := make([]*frame, members)
+	for i := 1; i < members; i++ {
+		frames[i] = st.f.copyForMember()
+	}
+	sticky := &stickyErr{}
+	// Captured once before the split: every member reads the same pre-split
+	// ACCEPT result (MSG*/NMSG/TIMEDOUT intrinsics), so region control flow
+	// that depends on it stays identical across the force.  The primary's
+	// post-region result is written back only after ForceSplit has joined.
+	preAccept := st.lastAccept
+	primAccept := preAccept
+	err := st.t.ForceSplit(func(m *core.ForceMember) {
+		sub := &execState{p: st.p, tp: st.tp, t: st.t, m: m, locks: st.locks,
+			sticky: sticky, lastAccept: preAccept}
+		if m.IsPrimary() {
+			sub.f = st.f
+		} else {
+			sub.f = frames[m.Member()]
+		}
+		c, _ := sub.execSeq(n.body) // statement errors are in sticky
+		if m.IsPrimary() {
+			primAccept = sub.lastAccept
+		}
+		// A control transfer out of the region deserts the force — the other
+		// members would wait forever at their next barrier — so it is an
+		// error for every member, the primary included.
+		switch c.kind {
+		case ctlGoto:
+			sticky.record(sub.memberErr(fmt.Errorf("GOTO %s escapes the FORCESPLIT region", c.label)))
+		case ctlStop, ctlReturn:
+			sticky.record(sub.memberErr(fmt.Errorf("STOP/RETURN inside a FORCESPLIT region would desert the force")))
+		}
+	})
+	if err != nil {
+		return ctl{}, err
+	}
+	// The primary continues as the task after the force: state it changed in
+	// the region (its latest ACCEPT) must survive.
+	st.lastAccept = primAccept
+	if err := sticky.get(); err != nil {
+		return ctl{}, err
+	}
+	return ctlOK, nil
+}
+
+func (st *execState) execBarrier(n *node) (ctl, error) {
+	st.p.cs.barriers.Inc()
+	if st.m == nil {
+		return st.execSeq(n.body)
+	}
+	var c ctl
+	var err error
+	st.m.Barrier(func() { c, err = st.execSeq(n.body) })
+	if err != nil {
+		return ctl{}, err
+	}
+	if c.kind != ctlNext {
+		// The body ran on the primary only; transferring control out of it
+		// would take the primary somewhere the other members are not going.
+		return ctl{}, fmt.Errorf("control transfer out of a BARRIER body is not allowed")
+	}
+	return ctlOK, nil
+}
+
+func (st *execState) execCritical(n *node) (ctl, error) {
+	st.p.cs.criticals.Inc()
+	if st.m == nil {
+		// Outside a force the task is the only possible holder; the body runs
+		// directly.
+		return st.execSeq(n.body)
+	}
+	l, err := st.locks.get(st.t, n.name)
+	if err != nil {
+		return ctl{}, err
+	}
+	var c ctl
+	var bodyErr error
+	st.m.Critical(l, func() { c, bodyErr = st.execSeq(n.body) })
+	if bodyErr != nil {
+		return ctl{}, bodyErr
+	}
+	return c, nil
+}
+
+func (st *execState) execScheduledDo(n *node) (ctl, error) {
+	lo, hi, step, err := st.loopBounds(n)
+	if err != nil {
+		// execSeq's sticky handler aborts the force for us: this node is a
+		// collective the member cannot execute.
+		return ctl{}, err
+	}
+	var brk ctl
+	var bodyErr error
+	aborted := false
+	iter := func(i int) {
+		if aborted {
+			return
+		}
+		st.p.cs.loopIterations.Inc()
+		if e := st.assign(n.name, nil, intVal(int64(i))); e != nil {
+			bodyErr, aborted = e, true
+			return
+		}
+		c, e := st.execSeq(n.body)
+		if e != nil {
+			bodyErr, aborted = e, true
+			return
+		}
+		if c.kind != ctlNext {
+			brk, aborted = c, true
+		}
+	}
+	if st.m != nil {
+		if n.kind == nPresched {
+			err = st.m.Presched(lo, hi, step, iter)
+		} else {
+			_, err = st.m.Selfsched(lo, hi, step, iter)
+		}
+	} else {
+		// Outside a force the scheduled loop degenerates to the whole
+		// iteration space, exactly as a one-member force would run it.
+		err = loops.ForEach(lo, hi, step, func(i int) bool {
+			iter(i)
+			return !aborted
+		})
+	}
+	if err != nil {
+		return ctl{}, err
+	}
+	if bodyErr != nil {
+		return ctl{}, bodyErr
+	}
+	if brk.kind != ctlNext {
+		if st.m != nil {
+			// The transfer fired on one member's iteration only; following it
+			// would diverge this member from the rest of the force.
+			return ctl{}, fmt.Errorf("control transfer out of a scheduled DO loop is not allowed inside a force")
+		}
+		return brk, nil
+	}
+	return ctlOK, nil
+}
+
+func (st *execState) execParseg(n *node) (ctl, error) {
+	var brk ctl
+	var bodyErr error
+	aborted := false
+	run := func(seg []node) {
+		if aborted {
+			return
+		}
+		c, e := st.execSeq(seg)
+		if e != nil {
+			bodyErr, aborted = e, true
+			return
+		}
+		if c.kind != ctlNext {
+			brk, aborted = c, true
+		}
+	}
+	if st.m != nil {
+		fns := make([]func(), len(n.segments))
+		for i, seg := range n.segments {
+			seg := seg
+			fns[i] = func() { run(seg) }
+		}
+		if err := st.m.Parseg(fns...); err != nil {
+			return ctl{}, err
+		}
+	} else {
+		for _, seg := range n.segments {
+			run(seg)
+		}
+	}
+	if bodyErr != nil {
+		return ctl{}, bodyErr
+	}
+	if brk.kind != ctlNext {
+		if st.m != nil {
+			// The transfer fired in one member's segment only.
+			return ctl{}, fmt.Errorf("control transfer out of a PARSEG segment is not allowed inside a force")
+		}
+		return brk, nil
+	}
+	return ctlOK, nil
+}
+
+// execSharedCommon declares the block's variables as shared storage: arrays
+// become frame arrays (shared by reference between members), scalars become
+// mutex-protected shared cells.
+func (st *execState) execSharedCommon(n *node) error {
+	if st.m != nil {
+		// Member frames were copied at the split; storage created now would be
+		// member-private, silently breaking the block's sharing semantics.
+		return fmt.Errorf("SHARED COMMON /%s/ must be declared before FORCESPLIT", n.name)
+	}
+	for _, d := range n.decls {
+		if len(d.dims) > 0 {
+			if _, ok := st.f.arrays[d.name]; ok {
+				continue // already declared (re-execution or prior typing)
+			}
+			kind := d.kind
+			if k, ok := st.f.kinds[d.name]; ok {
+				kind = k
+			}
+			rows, cols, err := st.arrayExtents(d)
+			if err != nil {
+				return err
+			}
+			st.f.arrays[d.name] = newArray(kind, rows, cols)
+			continue
+		}
+		if _, ok := st.f.shared[d.name]; ok {
+			continue
+		}
+		kind := st.f.declaredKind(d.name)
+		cell := &sharedCell{v: zeroVal(kind)}
+		if v, ok := st.f.vars[d.name]; ok {
+			cv, err := convert(v, kind)
+			if err != nil {
+				return fmt.Errorf("%s: %v", d.name, err)
+			}
+			cell.v = cv
+			delete(st.f.vars, d.name)
+		}
+		st.f.shared[d.name] = cell
+	}
+	return nil
+}

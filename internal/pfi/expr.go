@@ -1,0 +1,240 @@
+package pfi
+
+import "strings"
+
+// The expression representation: a small tree evaluated by execState.eval.
+// An expression is parsed by a Pratt (top-down operator precedence) parser —
+// a fitting choice for a reproduction of a Pratt paper.
+type expr interface{ isExpr() }
+
+// litE is a literal value.
+type litE struct{ v value }
+
+// nameE is a bare identifier: a scalar variable or a no-argument intrinsic
+// such as SELF or SENDER.
+type nameE struct{ name string }
+
+// callE is NAME(args): an array element reference or an intrinsic call —
+// Fortran syntax does not distinguish the two, so the evaluator resolves the
+// name against the frame first.
+type callE struct {
+	name string
+	args []expr
+}
+
+// unE and binE are operator applications; op is the canonical operator name
+// from the lexer.
+type unE struct {
+	op string
+	x  expr
+}
+type binE struct {
+	op   string
+	x, y expr
+}
+
+func (litE) isExpr()  {}
+func (nameE) isExpr() {}
+func (callE) isExpr() {}
+func (unE) isExpr()   {}
+func (binE) isExpr()  {}
+
+// binding powers, low to high.  ** is right-associative; unary +/- bind like
+// their binary forms (Fortran: -A*B is -(A*B), -A**2 is -(A**2)).
+var binPower = map[string]int{
+	"EQV": 10, "NEQV": 10,
+	"OR":  20,
+	"AND": 30,
+	"EQ":  50, "NE": 50, "LT": 50, "LE": 50, "GT": 50, "GE": 50,
+	"+": 60, "-": 60,
+	"*": 70, "/": 70,
+	"**": 90,
+}
+
+type exprParser struct {
+	toks []token
+	pos  int
+	line int
+}
+
+// parseExprString parses one complete expression from source text.
+func parseExprString(src string, line int) (expr, error) {
+	toks, err := lexExpr(src, line)
+	if err != nil {
+		return nil, err
+	}
+	p := &exprParser{toks: toks, line: line}
+	e, err := p.parse(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tEOF {
+		return nil, errf(line, "unexpected %q after expression in %q", p.peek().text, src)
+	}
+	return e, nil
+}
+
+// parseExprList parses a comma-separated expression list; an empty string is
+// an empty list.
+func parseExprList(src string, line int) ([]expr, error) {
+	if strings.TrimSpace(src) == "" {
+		return nil, nil
+	}
+	toks, err := lexExpr(src, line)
+	if err != nil {
+		return nil, err
+	}
+	p := &exprParser{toks: toks, line: line}
+	var out []expr
+	for {
+		e, err := p.parse(0)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		if p.peek().kind == tOp && p.peek().text == "," {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.peek().kind != tEOF {
+		return nil, errf(line, "unexpected %q in expression list %q", p.peek().text, src)
+	}
+	return out, nil
+}
+
+func (p *exprParser) peek() token { return p.toks[p.pos] }
+
+func (p *exprParser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+// parse implements precedence climbing: parse a prefix operand, then consume
+// binary operators with binding power above min.
+func (p *exprParser) parse(min int) (expr, error) {
+	left, err := p.parsePrefix()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tOp {
+			return left, nil
+		}
+		bp, ok := binPower[t.text]
+		if !ok || bp <= min {
+			return left, nil
+		}
+		p.pos++
+		// Right-associative ** parses its right side at bp-1 so A**B**C is
+		// A**(B**C); everything else is left-associative.
+		rightMin := bp
+		if t.text == "**" {
+			rightMin = bp - 1
+		}
+		right, err := p.parse(rightMin)
+		if err != nil {
+			return nil, err
+		}
+		left = binE{op: t.text, x: left, y: right}
+	}
+}
+
+func (p *exprParser) parsePrefix() (expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tInt:
+		return litE{v: intVal(t.i)}, nil
+	case tReal:
+		return litE{v: realVal(t.r)}, nil
+	case tLogic:
+		return litE{v: boolVal(t.b)}, nil
+	case tStr:
+		return litE{v: strVal(t.s)}, nil
+	case tName:
+		if p.peek().kind == tOp && p.peek().text == "(" {
+			p.pos++
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			return callE{name: t.text, args: args}, nil
+		}
+		return nameE{name: t.text}, nil
+	case tOp:
+		switch t.text {
+		case "(":
+			e, err := p.parse(0)
+			if err != nil {
+				return nil, err
+			}
+			if c := p.next(); c.kind != tOp || c.text != ")" {
+				return nil, errf(p.line, "missing closing parenthesis")
+			}
+			return e, nil
+		case "-", "+":
+			// Unary +/- parse their operand just above additive power so
+			// -A*B groups as -(A*B) but -A+B as (-A)+B.
+			x, err := p.parse(60)
+			if err != nil {
+				return nil, err
+			}
+			if t.text == "+" {
+				return x, nil
+			}
+			return unE{op: "-", x: x}, nil
+		case "NOT":
+			x, err := p.parse(40)
+			if err != nil {
+				return nil, err
+			}
+			return unE{op: "NOT", x: x}, nil
+		}
+	}
+	return nil, errf(p.line, "unexpected token %q in expression", tokenText(t))
+}
+
+// parseArgs parses "args)" after an opening parenthesis, allowing an empty
+// argument list for no-argument intrinsics such as MEMBERS().
+func (p *exprParser) parseArgs() ([]expr, error) {
+	if t := p.peek(); t.kind == tOp && t.text == ")" {
+		p.pos++
+		return nil, nil
+	}
+	var args []expr
+	for {
+		a, err := p.parse(0)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		t := p.next()
+		if t.kind != tOp {
+			return nil, errf(p.line, "malformed argument list")
+		}
+		switch t.text {
+		case ",":
+			continue
+		case ")":
+			return args, nil
+		default:
+			return nil, errf(p.line, "unexpected %q in argument list", t.text)
+		}
+	}
+}
+
+func tokenText(t token) string {
+	switch t.kind {
+	case tEOF:
+		return "end of expression"
+	case tStr:
+		return "'" + t.s + "'"
+	default:
+		return t.text
+	}
+}

@@ -1,0 +1,230 @@
+package pfi
+
+import (
+	"strconv"
+	"strings"
+)
+
+// tokKind classifies one expression token.
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tName
+	tInt
+	tReal
+	tStr
+	tLogic
+	tOp
+)
+
+// token is one lexed expression token.  Operator tokens carry a canonical
+// name in text: relational operators are normalised to EQ/NE/LT/LE/GT/GE
+// whether written as .EQ. or ==, and the logical operators to AND/OR/NOT/
+// EQV/NEQV.
+type token struct {
+	kind tokKind
+	text string // identifier (upper-cased) or canonical operator
+	i    int64
+	r    float64
+	b    bool
+	s    string
+}
+
+// dottedWords are the keywords allowed between dots: operators plus the
+// logical literals.
+var dottedWords = map[string]bool{
+	"EQ": true, "NE": true, "LT": true, "LE": true, "GT": true, "GE": true,
+	"AND": true, "OR": true, "NOT": true, "EQV": true, "NEQV": true,
+	"TRUE": true, "FALSE": true,
+}
+
+// lexExpr tokenises one Fortran expression (or expression list).
+func lexExpr(src string, line int) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case isLetter(c):
+			j := i + 1
+			for j < n && isIdentChar(src[j]) {
+				j++
+			}
+			toks = append(toks, token{kind: tName, text: strings.ToUpper(src[i:j])})
+			i = j
+		case isDigit(c):
+			tok, j, err := lexNumber(src, i, line)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, tok)
+			i = j
+		case c == '.':
+			if i+1 < n && isDigit(src[i+1]) {
+				tok, j, err := lexNumber(src, i, line)
+				if err != nil {
+					return nil, err
+				}
+				toks = append(toks, tok)
+				i = j
+				break
+			}
+			word, j, ok := dottedWordAt(src, i)
+			if !ok {
+				return nil, errf(line, "malformed dotted operator at %q", src[i:])
+			}
+			switch word {
+			case "TRUE":
+				toks = append(toks, token{kind: tLogic, b: true})
+			case "FALSE":
+				toks = append(toks, token{kind: tLogic, b: false})
+			default:
+				toks = append(toks, token{kind: tOp, text: word})
+			}
+			i = j
+		case c == '\'' || c == '"':
+			s, j, err := lexString(src, i, line)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tStr, s: s})
+			i = j
+		default:
+			op, j, err := lexSymbol(src, i, line)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tOp, text: op})
+			i = j
+		}
+	}
+	return append(toks, token{kind: tEOF}), nil
+}
+
+// lexNumber scans an integer or real literal starting at i.  A '.' ends the
+// number when it begins a dotted operator (so 1.EQ.2 lexes as 1 .EQ. 2).
+func lexNumber(src string, i, line int) (token, int, error) {
+	j := i
+	isReal := false
+	for j < len(src) && isDigit(src[j]) {
+		j++
+	}
+	if j < len(src) && src[j] == '.' {
+		if _, _, isOp := dottedWordAt(src, j); !isOp {
+			isReal = true
+			j++
+			for j < len(src) && isDigit(src[j]) {
+				j++
+			}
+		}
+	}
+	// Exponent part: E/D with optional sign and at least one digit.
+	if j < len(src) && (src[j] == 'E' || src[j] == 'e' || src[j] == 'D' || src[j] == 'd') {
+		k := j + 1
+		if k < len(src) && (src[k] == '+' || src[k] == '-') {
+			k++
+		}
+		if k < len(src) && isDigit(src[k]) {
+			for k < len(src) && isDigit(src[k]) {
+				k++
+			}
+			isReal = true
+			j = k
+		}
+	}
+	text := src[i:j]
+	if isReal {
+		norm := strings.NewReplacer("D", "E", "d", "e").Replace(text)
+		v, err := strconv.ParseFloat(norm, 64)
+		if err != nil {
+			return token{}, 0, errf(line, "bad REAL literal %q", text)
+		}
+		return token{kind: tReal, r: v}, j, nil
+	}
+	v, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return token{}, 0, errf(line, "bad INTEGER literal %q", text)
+	}
+	return token{kind: tInt, i: v}, j, nil
+}
+
+// dottedWordAt reports whether src[i:] starts a .WORD. sequence with WORD in
+// the dotted-keyword set, returning the word and the index past the closing
+// dot.
+func dottedWordAt(src string, i int) (string, int, bool) {
+	if i >= len(src) || src[i] != '.' {
+		return "", 0, false
+	}
+	j := i + 1
+	for j < len(src) && isLetter(src[j]) {
+		j++
+	}
+	if j >= len(src) || src[j] != '.' || j == i+1 {
+		return "", 0, false
+	}
+	word := strings.ToUpper(src[i+1 : j])
+	if !dottedWords[word] {
+		return "", 0, false
+	}
+	return word, j + 1, true
+}
+
+// lexString scans a quoted character literal; a doubled quote is an escape.
+func lexString(src string, i, line int) (string, int, error) {
+	quote := src[i]
+	var b strings.Builder
+	j := i + 1
+	for j < len(src) {
+		if src[j] == quote {
+			if j+1 < len(src) && src[j+1] == quote {
+				b.WriteByte(quote)
+				j += 2
+				continue
+			}
+			return b.String(), j + 1, nil
+		}
+		b.WriteByte(src[j])
+		j++
+	}
+	return "", 0, errf(line, "unterminated character literal")
+}
+
+// lexSymbol scans one symbolic operator, normalising modern relational forms
+// to the canonical dotted names.
+func lexSymbol(src string, i, line int) (string, int, error) {
+	two := ""
+	if i+1 < len(src) {
+		two = src[i : i+2]
+	}
+	switch two {
+	case "**":
+		return "**", i + 2, nil
+	case "==":
+		return "EQ", i + 2, nil
+	case "/=":
+		return "NE", i + 2, nil
+	case "<=":
+		return "LE", i + 2, nil
+	case ">=":
+		return "GE", i + 2, nil
+	}
+	switch src[i] {
+	case '+', '-', '*', '/', '(', ')', ',':
+		return string(src[i]), i + 1, nil
+	case '<':
+		return "LT", i + 1, nil
+	case '>':
+		return "GT", i + 1, nil
+	}
+	return "", 0, errf(line, "unexpected character %q in expression", string(src[i]))
+}
+
+func isLetter(c byte) bool { return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') }
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+func isIdentChar(c byte) bool {
+	return isLetter(c) || isDigit(c) || c == '_' || c == '$'
+}

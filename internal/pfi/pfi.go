@@ -1,0 +1,331 @@
+// Package pfi is the Pisces Fortran interpreter: it executes Pisces Fortran
+// (.pf) programs directly on an in-memory core.VM, with no Fortran compiler
+// in the loop.  Where internal/pfc translates a program into Fortran 77 plus
+// run-time-library calls (the paper's Section 10 tool chain for the real
+// FLEX/32), pfi closes the loop for the reproduction: both consume the same
+// statement-level AST from pfc.Parse, and pfi maps every Pisces statement
+// onto the Go run-time —
+//
+//	ON <placement> INITIATE <tasktype>(<args>)  -> Task.Initiate
+//	TO <dest> SEND <msgtype>(<args>)            -> Task.Send and friends
+//	ACCEPT ... DELAY ... THEN ... END ACCEPT    -> Task.Accept
+//	FORCESPLIT                                  -> Task.ForceSplit (the rest of
+//	                                               the sequence is the region)
+//	BARRIER / CRITICAL / PARSEG                 -> ForceMember equivalents
+//	PRESCHED DO / SELFSCHED DO                  -> ForceMember.Presched/Selfsched
+//	SHARED COMMON / LOCK / TASKID / WINDOW      -> shared frames, core.Lock,
+//	                                               TASKID and WINDOW values
+//
+// The ordinary Fortran 77 subset covers what the paper's example programs
+// use: INTEGER/REAL/LOGICAL/CHARACTER declarations, DIMENSION, assignments,
+// arithmetic/relational/logical expressions, one- and two-dimensional arrays,
+// logical and block IF, DO loops (label and END DO forms, including nested
+// loops sharing one terminator), GOTO, CONTINUE, STOP, RETURN, and
+// list-directed PRINT/WRITE.  Fixed-form continuation lines, FORMAT, and
+// user subprograms are not interpreted (lines outside TASKTYPE definitions
+// are ignored); handler-declared message types behave like signals, with
+// their arguments readable through the MSG* intrinsics; statement labels
+// belong on ordinary Fortran lines (put a labelled CONTINUE before a Pisces
+// statement to make it a GOTO target).
+//
+// Inside a FORCESPLIT region, message and terminal statements (INITIATE,
+// SEND, ACCEPT, PRINT) are limited to the primary member, and a failing
+// statement is recorded and skipped rather than aborting the member — an
+// aborting member would strand the others at the next BARRIER — with the
+// first recorded error failing the task once the force has joined.  STOP,
+// RETURN, and GOTOs out of the region desert the force and are errors for
+// every member.
+//
+// Beyond the standard numeric intrinsics, programs can query the run-time:
+// SELF, PARENT, SENDER (taskids), CLUSTER, MEMBER, MEMBERS, QLEN, and — after
+// an ACCEPT — TIMEDOUT(), NMSG('T'), and MSGI/MSGR/MSGS/MSGT/MSGW('T', i, j)
+// for the j-th argument of the i-th accepted message of type T.
+//
+// Interpreter activity is counted through a stats.Counters set (statements,
+// initiates, sends, accepts, force splits, loop iterations, ...), exposed by
+// Program.Counters for reports and regression tracking.
+package pfi
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/msgcodec"
+	"repro/internal/pfc"
+	"repro/internal/stats"
+)
+
+// Error is a compile- or run-time error with a source line number.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("pfi: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Options tune how a compiled program runs.
+type Options struct {
+	// Main names the tasktype initiated as the program's entry point.  Empty
+	// selects the tasktype named MAIN, or the first tasktype in the source.
+	Main string
+	// Placement is the cluster placement of the main task; the zero value is
+	// ANY.
+	Placement core.Placement
+}
+
+// taskProgram is one compiled TASKTYPE.
+type taskProgram struct {
+	name   string
+	params []string
+	body   []node
+	line   int
+}
+
+// counterSet holds resolved handles into the program's stats.Counters so hot
+// interpreter paths bump them without a map lookup.
+type counterSet struct {
+	tasksStarted   *stats.Counter
+	tasksCompleted *stats.Counter
+	statements     *stats.Counter
+	initiates      *stats.Counter
+	sends          *stats.Counter
+	accepts        *stats.Counter
+	acceptTimeouts *stats.Counter
+	forceSplits    *stats.Counter
+	barriers       *stats.Counter
+	criticals      *stats.Counter
+	loopIterations *stats.Counter
+	prints         *stats.Counter
+}
+
+// Program is a compiled Pisces Fortran program, ready to register its
+// tasktypes on a VM and run.
+type Program struct {
+	// Source is the parsed pfc program the interpreter was compiled from.
+	Source *pfc.Program
+
+	tasks    []*taskProgram
+	byName   map[string]*taskProgram
+	counters *stats.Counters
+	cs       counterSet
+
+	mu     sync.Mutex
+	runErr error
+}
+
+// Compile parses and compiles Pisces Fortran source text.
+func Compile(src string) (*Program, error) {
+	parsed, err := pfc.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(parsed.TaskTypes) == 0 {
+		return nil, errf(1, "program declares no TASKTYPE")
+	}
+	p := &Program{
+		Source:   parsed,
+		byName:   make(map[string]*taskProgram),
+		counters: stats.NewCounters(),
+	}
+	p.cs = counterSet{
+		tasksStarted:   p.counters.Counter("tasks.started"),
+		tasksCompleted: p.counters.Counter("tasks.completed"),
+		statements:     p.counters.Counter("statements"),
+		initiates:      p.counters.Counter("initiates"),
+		sends:          p.counters.Counter("sends"),
+		accepts:        p.counters.Counter("accepts"),
+		acceptTimeouts: p.counters.Counter("accept.timeouts"),
+		forceSplits:    p.counters.Counter("forcesplits"),
+		barriers:       p.counters.Counter("barriers"),
+		criticals:      p.counters.Counter("criticals"),
+		loopIterations: p.counters.Counter("loop.iterations"),
+		prints:         p.counters.Counter("prints"),
+	}
+	for _, tt := range parsed.TaskTypes {
+		body, err := compileBody(tt.Body)
+		if err != nil {
+			return nil, fmt.Errorf("tasktype %s: %w", tt.Name, err)
+		}
+		tp := &taskProgram{
+			name:   tt.Name,
+			params: pfc.UpperAll(tt.Params),
+			body:   body,
+			line:   tt.Line,
+		}
+		if _, dup := p.byName[tp.name]; dup {
+			return nil, errf(tt.Line, "tasktype %s defined twice", tt.Name)
+		}
+		p.tasks = append(p.tasks, tp)
+		p.byName[tp.name] = tp
+	}
+	return p, nil
+}
+
+// TaskTypes returns the compiled tasktype names, sorted.
+func (p *Program) TaskTypes() []string {
+	out := make([]string, 0, len(p.tasks))
+	for _, tp := range p.tasks {
+		out = append(out, tp.name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Counters returns the interpreter's activity counters.
+func (p *Program) Counters() *stats.Counters { return p.counters }
+
+// StatsTable renders the interpreter counters as a report table.
+func (p *Program) StatsTable() string {
+	return p.counters.Table("interpreter activity").String()
+}
+
+// Err returns the first run-time error any interpreted task hit, if any.
+func (p *Program) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.runErr
+}
+
+func (p *Program) fail(tp *taskProgram, t *core.Task, err error) {
+	p.mu.Lock()
+	if p.runErr == nil {
+		p.runErr = fmt.Errorf("tasktype %s (task %s): %w", tp.name, t.ID(), err)
+	}
+	p.mu.Unlock()
+	// Surface the failure on the user terminal too, like a crashed task would.
+	_ = t.SendUser("print", core.Str(fmt.Sprintf("*** PFI error in TASKTYPE %s: %v\n", tp.name, err)))
+}
+
+// Register registers every compiled tasktype on the VM, so INITIATE
+// statements (and the execution environment) can start interpreted tasks.
+func (p *Program) Register(vm *core.VM) {
+	for _, tp := range p.tasks {
+		vm.Register(tp.name, p.taskBody(tp))
+	}
+}
+
+// taskBody builds the Go tasktype body that interprets one task.
+func (p *Program) taskBody(tp *taskProgram) func(*core.Task) {
+	return func(t *core.Task) {
+		p.cs.tasksStarted.Inc()
+		st := &execState{
+			p:     p,
+			tp:    tp,
+			t:     t,
+			f:     newFrame(),
+			locks: &lockTable{byName: make(map[string]*core.Lock)},
+		}
+		if err := st.bindParams(); err != nil {
+			p.fail(tp, t, err)
+			return
+		}
+		c, err := st.execSeq(tp.body)
+		if err != nil {
+			p.fail(tp, t, err)
+			return
+		}
+		if c.kind == ctlGoto {
+			p.fail(tp, t, fmt.Errorf("GOTO %s: no such statement label reachable in TASKTYPE %s", c.label, tp.name))
+			return
+		}
+		p.cs.tasksCompleted.Inc()
+	}
+}
+
+// bindParams binds the INITIATE argument list to the tasktype's parameters.
+func (st *execState) bindParams() error {
+	args := st.t.Args()
+	if len(args) > len(st.tp.params) {
+		return fmt.Errorf("tasktype %s takes %d parameter(s), initiated with %d argument(s)",
+			st.tp.name, len(st.tp.params), len(args))
+	}
+	for i, param := range st.tp.params {
+		if i >= len(args) {
+			return fmt.Errorf("tasktype %s takes %d parameter(s), initiated with %d argument(s)",
+				st.tp.name, len(st.tp.params), len(args))
+		}
+		v := args[i]
+		switch v.Kind {
+		case msgcodec.KindIntArray:
+			a := newArray(kInt, len(v.IntArray), 0)
+			for j, x := range v.IntArray {
+				a.data[j] = intVal(x)
+			}
+			st.f.arrays[param] = a
+		case msgcodec.KindRealArray:
+			a := newArray(kReal, len(v.RealArray), 0)
+			for j, x := range v.RealArray {
+				a.data[j] = realVal(x)
+			}
+			st.f.arrays[param] = a
+		default:
+			val, err := fromCoreValue(v)
+			if err != nil {
+				return fmt.Errorf("parameter %s: %v", param, err)
+			}
+			st.f.kinds[param] = val.kind
+			st.f.vars[param] = val
+		}
+	}
+	return nil
+}
+
+// MainTaskType resolves the program's entry tasktype: the explicit name if
+// given, else MAIN, else the first tasktype in the source.
+func (p *Program) MainTaskType(main string) (string, error) {
+	if main != "" {
+		name := strings.ToUpper(main)
+		if _, ok := p.byName[name]; !ok {
+			return "", fmt.Errorf("pfi: tasktype %q not found (have %v)", main, p.TaskTypes())
+		}
+		return name, nil
+	}
+	if _, ok := p.byName["MAIN"]; ok {
+		return "MAIN", nil
+	}
+	return p.tasks[0].name, nil
+}
+
+// Run registers the program's tasktypes on the VM, initiates the main
+// tasktype with the given arguments, and waits until every task the program
+// started has terminated and its terminal output has been flushed.  It
+// returns the first run-time error any interpreted task hit.  A program may
+// be Run repeatedly (each Run reports only its own errors; the activity
+// counters accumulate across runs).
+func (p *Program) Run(vm *core.VM, opts Options, args ...core.Value) error {
+	p.mu.Lock()
+	p.runErr = nil
+	p.mu.Unlock()
+	p.Register(vm)
+	main, err := p.MainTaskType(opts.Main)
+	if err != nil {
+		return err
+	}
+	if _, err := vm.Run(main, opts.Placement, args...); err != nil {
+		return err
+	}
+	vm.WaitIdle()
+	vm.FlushUserOutput()
+	return p.Err()
+}
+
+// Interpret compiles the source and runs it on the VM in one call: the
+// "pisces run" path.
+func Interpret(vm *core.VM, src string, opts Options, args ...core.Value) (*Program, error) {
+	p, err := Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Run(vm, opts, args...); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+

@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is one monotonically named run-time counter.  The zero value is
+// ready to use; Add and Load are safe for concurrent use, so hot interpreter
+// and run-time paths can hold a *Counter and bump it without locking.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.n.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.n.Load() }
+
+// Counters is a named set of activity counters.  Registration order is
+// remembered so reports render deterministically.  It backs the interpreter
+// counters of internal/pfi and is reusable by any subsystem that wants cheap
+// named counters with table rendering.
+type Counters struct {
+	mu     sync.Mutex
+	order  []string
+	byName map[string]*Counter
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{byName: make(map[string]*Counter)}
+}
+
+// Counter returns the counter with the given name, registering it on first
+// use.  The returned pointer may be retained and bumped lock-free.
+func (s *Counters) Counter(name string) *Counter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.byName[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	s.byName[name] = c
+	s.order = append(s.order, name)
+	return c
+}
+
+// Get returns the current count of the named counter (0 if never registered).
+func (s *Counters) Get(name string) int64 {
+	s.mu.Lock()
+	c, ok := s.byName[name]
+	s.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return c.Load()
+}
+
+// Names returns the registered counter names in registration order.
+func (s *Counters) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.order...)
+}
+
+// Snapshot returns the current value of every registered counter.
+func (s *Counters) Snapshot() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.byName))
+	for name, c := range s.byName {
+		out[name] = c.Load()
+	}
+	return out
+}
+
+// Table renders the counters as a fixed-width report table in registration
+// order.
+func (s *Counters) Table(title string) *Table {
+	t := NewTable(title, "counter", "count")
+	for _, name := range s.Names() {
+		t.AddRowf(name, s.Get(name))
+	}
+	return t
+}

@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCountersBasics(t *testing.T) {
+	s := NewCounters()
+	a := s.Counter("alpha")
+	b := s.Counter("beta")
+	a.Inc()
+	a.Add(4)
+	b.Add(2)
+	if s.Counter("alpha") != a {
+		t.Error("Counter should return the same counter for the same name")
+	}
+	if got := s.Get("alpha"); got != 5 {
+		t.Errorf("alpha = %d, want 5", got)
+	}
+	if got := s.Get("missing"); got != 0 {
+		t.Errorf("missing = %d, want 0", got)
+	}
+	snap := s.Snapshot()
+	if snap["alpha"] != 5 || snap["beta"] != 2 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	if names := s.Names(); len(names) != 2 || names[0] != "alpha" || names[1] != "beta" {
+		t.Errorf("names = %v, want registration order", names)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	s := NewCounters()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := s.Counter("shared")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Get("shared"); got != 8000 {
+		t.Errorf("shared = %d, want 8000", got)
+	}
+}
+
+func TestCountersTable(t *testing.T) {
+	s := NewCounters()
+	s.Counter("statements").Add(12)
+	s.Counter("sends").Add(3)
+	out := s.Table("interpreter activity").String()
+	if !strings.Contains(out, "interpreter activity") ||
+		!strings.Contains(out, "statements") || !strings.Contains(out, "12") {
+		t.Errorf("table rendering wrong:\n%s", out)
+	}
+	// Registration order, not alphabetical.
+	if strings.Index(out, "statements") > strings.Index(out, "sends") {
+		t.Errorf("counters not in registration order:\n%s", out)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/flex"
 	"repro/internal/pfc"
+	"repro/internal/pfi"
 	"repro/internal/rect"
 	"repro/internal/trace"
 )
@@ -180,6 +181,27 @@ func Preprocess(src string) (string, error) {
 		return "", err
 	}
 	return res.Fortran, nil
+}
+
+// The Pisces Fortran interpreter (internal/pfi): .pf programs executed
+// directly on an in-memory VM, no Fortran compiler required.
+type (
+	// InterpretedProgram is a compiled Pisces Fortran program.
+	InterpretedProgram = pfi.Program
+	// InterpretOptions select the entry tasktype and its placement.
+	InterpretOptions = pfi.Options
+)
+
+// CompileSource compiles Pisces Fortran source text for direct interpretation
+// on a VM.  Register the result on a VM (or call Run) to execute it.
+func CompileSource(src string) (*InterpretedProgram, error) { return pfi.Compile(src) }
+
+// Interpret compiles Pisces Fortran source and runs it end-to-end on the VM:
+// the program's tasktypes are registered, the main tasktype is initiated, and
+// the call returns once every task the program started has terminated.  The
+// returned program exposes the interpreter's activity counters.
+func Interpret(vm *VM, src string, opts InterpretOptions, args ...Value) (*InterpretedProgram, error) {
+	return pfi.Interpret(vm, src, opts, args...)
 }
 
 // Tracing.
