@@ -18,6 +18,7 @@ import (
 // table: PISCES system share of local memory, system-table share of shared
 // memory, and message-heap recovery.
 func BenchmarkE1StorageOverhead(b *testing.B) {
+	b.ReportAllocs()
 	var local, table float64
 	var recovered int
 	for i := 0; i < b.N; i++ {
@@ -37,6 +38,7 @@ func BenchmarkE1StorageOverhead(b *testing.B) {
 // BenchmarkE2Figure1 regenerates Figure 1 (the virtual-machine organisation
 // rendering) from a live system.
 func BenchmarkE2Figure1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if err := experiments.RunE2(io.Discard); err != nil {
 			b.Fatal(err)
@@ -48,6 +50,7 @@ func BenchmarkE2Figure1(b *testing.B) {
 // including the live FORCESPLIT member counts for the three mapping variants
 // (no secondaries, 5 secondaries, 9 shared secondaries).
 func BenchmarkE3MappingVariants(b *testing.B) {
+	b.ReportAllocs()
 	var mp8 float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.RunE3(io.Discard)
@@ -63,11 +66,13 @@ func BenchmarkE3MappingVariants(b *testing.B) {
 // performance series (the timing measurements the paper defers): speedup of
 // the regular and irregular workloads at the largest force size.
 func BenchmarkE4ForcePresched(b *testing.B) {
+	b.ReportAllocs()
 	benchE4(b, "PRESCHED")
 }
 
 // BenchmarkE4ForceSelfsched is the SELFSCHED half of the E4 series.
 func BenchmarkE4ForceSelfsched(b *testing.B) {
+	b.ReportAllocs()
 	benchE4(b, "SELFSCHED")
 }
 
@@ -95,6 +100,7 @@ func benchE4(b *testing.B, discipline string) {
 // BenchmarkE5MessagePingPong measures the message-system round trip of the
 // E5 table.
 func BenchmarkE5MessagePingPong(b *testing.B) {
+	b.ReportAllocs()
 	vm, err := pisces.NewVM(pisces.SimpleConfiguration(2, 2), pisces.Options{AcceptTimeout: 30 * time.Second})
 	if err != nil {
 		b.Fatal(err)
@@ -144,6 +150,7 @@ func BenchmarkE5MessagePingPong(b *testing.B) {
 
 // BenchmarkE5MessageFanIn measures many-to-one delivery from the E5 table.
 func BenchmarkE5MessageFanIn(b *testing.B) {
+	b.ReportAllocs()
 	p := experiments.DefaultE5Params()
 	p.PingPongRounds = 50
 	p.FanInSenders = 4
@@ -163,6 +170,7 @@ func BenchmarkE5MessageFanIn(b *testing.B) {
 // BenchmarkE6WindowPartitioning regenerates the Section 8 window-vs-shipping
 // comparison and reports the traffic ratio.
 func BenchmarkE6WindowPartitioning(b *testing.B) {
+	b.ReportAllocs()
 	p := experiments.E6Params{N: 64, Groups: 2, WorkersPerGroup: 2}
 	var ratio float64
 	for i := 0; i < b.N; i++ {
@@ -179,11 +187,13 @@ func BenchmarkE6WindowPartitioning(b *testing.B) {
 // Section 3 comparison between automatic (SCHEDULE-style) and
 // programmer-controlled (PISCES) mapping of the same layered task graph.
 func BenchmarkE7ScheduleBaseline(b *testing.B) {
+	b.ReportAllocs()
 	benchE7(b, true)
 }
 
 // BenchmarkE7PiscesMapped is the PISCES half of the E7 comparison.
 func BenchmarkE7PiscesMapped(b *testing.B) {
+	b.ReportAllocs()
 	benchE7(b, false)
 }
 
@@ -207,6 +217,7 @@ func benchE7(b *testing.B, scheduleSide bool) {
 // BenchmarkE8Trace regenerates the Section 12 trace demonstration and reports
 // how many events the run produced.
 func BenchmarkE8Trace(b *testing.B) {
+	b.ReportAllocs()
 	var events float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.RunE8(io.Discard)
@@ -221,6 +232,7 @@ func BenchmarkE8Trace(b *testing.B) {
 // BenchmarkTaskInitiation measures the cost of the INITIATE path through the
 // task controller (used in the E5 discussion of run-time overheads).
 func BenchmarkTaskInitiation(b *testing.B) {
+	b.ReportAllocs()
 	vm, err := pisces.NewVM(pisces.SimpleConfiguration(2, 4), pisces.Options{AcceptTimeout: 30 * time.Second})
 	if err != nil {
 		b.Fatal(err)
@@ -238,6 +250,7 @@ func BenchmarkTaskInitiation(b *testing.B) {
 // BenchmarkForceSplit measures the cost of FORCESPLIT plus a barrier for a
 // four-member force (the fixed overhead visible in the E4 series).
 func BenchmarkForceSplit(b *testing.B) {
+	b.ReportAllocs()
 	cfg := pisces.SimpleConfiguration(1, 2).WithForces(1, 7, 8, 9)
 	vm, err := pisces.NewVM(cfg, pisces.Options{AcceptTimeout: 30 * time.Second})
 	if err != nil {
@@ -261,12 +274,35 @@ func BenchmarkForceSplit(b *testing.B) {
 	<-done
 }
 
-// BenchmarkPFIInterpret measures the Pisces Fortran interpreter's hot path:
-// compiling a fixed .pf program and executing it (task initiation, a DO loop,
-// message send/accept) on a pre-booted VM.  Later PRs use this to track
-// interpreter regressions.
+// BenchmarkPFIInterpret measures the interpreter's end-to-end CompileSource
+// + Run path on a pre-booted VM, exactly as `pisces run` drives it.  Since
+// the compiled-program cache, CompileSource is a cache hit after the first
+// iteration, so in steady state this tracks cache lookup + execution (task
+// initiation, a DO loop, message send/accept); BenchmarkPFICompileOnly
+// isolates the real compile pipeline and BenchmarkPFIRunCached the pure
+// execution half.  Later PRs use all three to track interpreter regressions.
 func BenchmarkPFIInterpret(b *testing.B) {
-	src := `TASKTYPE MAIN
+	vm, err := pisces.NewVM(pisces.SimpleConfiguration(2, 4), pisces.Options{AcceptTimeout: 30 * time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer vm.Shutdown()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog, err := pisces.CompileSource(pfiBenchSource)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := prog.Run(vm, pisces.InterpretOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// pfiBenchSource is the fixed program used by the PFI pipeline benchmarks:
+// task initiation, a DO loop, and a message send/accept round trip.
+const pfiBenchSource = `TASKTYPE MAIN
       INTEGER I, S
       S = 0
       DO 10 I = 1, 100
@@ -280,18 +316,35 @@ TASKTYPE ECHO(V)
       TO PARENT SEND REPLY(V)
 END TASKTYPE
 `
+
+// BenchmarkPFICompileOnly measures the full compilation pipeline — lexing,
+// parsing, slot resolution, closure code generation — with the compiled-code
+// cache bypassed, so compile cost is tracked separately from execution.
+func BenchmarkPFICompileOnly(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := pisces.CompileSourceUncached(pfiBenchSource); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPFIRunCached measures pure execution: the program is compiled
+// once and re-Run on a warm VM, the steady state of `pisces run -repeat` and
+// of any embedding that reuses a compiled program.
+func BenchmarkPFIRunCached(b *testing.B) {
 	vm, err := pisces.NewVM(pisces.SimpleConfiguration(2, 4), pisces.Options{AcceptTimeout: 30 * time.Second})
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer vm.Shutdown()
+	prog, err := pisces.CompileSource(pfiBenchSource)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		prog, err := pisces.CompileSource(src)
-		if err != nil {
-			b.Fatal(err)
-		}
 		if err := prog.Run(vm, pisces.InterpretOptions{}); err != nil {
 			b.Fatal(err)
 		}

@@ -126,6 +126,7 @@ func runInterpreted(args []string, out io.Writer) error {
 	traceEvents := fs.String("trace", "", "comma-separated trace events to enable")
 	mainTT := fs.String("main", "", "entry tasktype (default MAIN, else the first tasktype)")
 	showStats := fs.Bool("stats", false, "print the interpreter activity counters after the run")
+	repeat := fs.Int("repeat", 1, "run the program this many times on the same VM (compiled once)")
 	acceptTimeout := fs.Duration("accept-timeout", 30*time.Second,
 		"system-provided timeout for ACCEPT statements without a DELAY clause")
 	// The FlagSet's own printing is suppressed so parse errors surface exactly
@@ -141,6 +142,9 @@ func runInterpreted(args []string, out io.Writer) error {
 	}
 	if *acceptTimeout <= 0 {
 		return fmt.Errorf("-accept-timeout must be positive")
+	}
+	if *repeat < 1 {
+		return fmt.Errorf("-repeat must be at least 1")
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: pisces run [flags] <program.pf>")
@@ -167,8 +171,17 @@ func runInterpreted(args []string, out io.Writer) error {
 		return err
 	}
 	defer vm.Shutdown()
-	prog, err := pisces.Interpret(vm, string(src), pisces.InterpretOptions{Main: *mainTT})
-	if prog != nil && *showStats {
+	// Compile once (the program cache makes later compiles of the same
+	// source free anyway) and run the requested number of times; the
+	// activity counters accumulate across runs.
+	prog, err := pisces.CompileSource(string(src))
+	if err != nil {
+		return err
+	}
+	for i := 0; i < *repeat && err == nil; i++ {
+		err = prog.Run(vm, pisces.InterpretOptions{Main: *mainTT})
+	}
+	if *showStats {
 		fmt.Fprint(out, prog.StatsTable())
 	}
 	return err

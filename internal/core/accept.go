@@ -98,39 +98,75 @@ func (t *Task) AcceptN(n int, msgType string) (*AcceptResult, error) {
 	return t.Accept(AcceptSpec{Types: []TypeCount{{Type: msgType, Count: n}}})
 }
 
-// acceptState tracks the remaining requirements of one ACCEPT statement.
-type acceptState struct {
-	perType    map[string]int  // remaining per-type counts; All means drain-only
-	sharedType map[string]bool // types charged against the shared total
-	needTotal  int             // remaining shared total
+// typeReq is the remaining requirement for one message type of an ACCEPT
+// statement.
+type typeReq struct {
+	name   string
+	count  int  // remaining per-type count; All means drain everything
+	shared bool // charged against the statement's shared total
 }
 
-func newAcceptState(spec AcceptSpec) (*acceptState, error) {
-	st := &acceptState{
-		perType:    make(map[string]int, len(spec.Types)),
-		sharedType: make(map[string]bool),
-	}
+// acceptState tracks the remaining requirements of one ACCEPT statement.  It
+// is a small slice — ACCEPT statements list a handful of types — scanned
+// linearly, so matching allocates nothing; each Task keeps one acceptState
+// that is reset per ACCEPT, so the steady-state accept path performs no
+// per-call map or state allocation at all.
+type acceptState struct {
+	reqs      []typeReq
+	wildcard  int        // index into reqs of the anyType entry, or -1
+	needTotal int        // remaining shared total
+	scratch   []*Message // reusable takeMatching output buffer
+}
+
+// reset re-arms the state for one ACCEPT statement, reusing its storage.
+func (st *acceptState) reset(spec AcceptSpec) error {
+	st.reqs = st.reqs[:0]
+	st.wildcard = -1
+	st.needTotal = 0
+	hasShared := false
 	for _, tc := range spec.Types {
-		if _, dup := st.perType[tc.Type]; dup {
-			return nil, fmt.Errorf("core: ACCEPT lists message type %q twice", tc.Type)
+		for i := range st.reqs {
+			if st.reqs[i].name == tc.Type {
+				return fmt.Errorf("core: ACCEPT lists message type %q twice", tc.Type)
+			}
 		}
+		r := typeReq{name: tc.Type}
 		switch {
 		case tc.Count == All:
-			st.perType[tc.Type] = All
+			r.count = All
 		case tc.Count > 0:
-			st.perType[tc.Type] = tc.Count
+			r.count = tc.Count
 		default:
-			st.perType[tc.Type] = 0
-			st.sharedType[tc.Type] = true
+			r.shared = true
+			hasShared = true
 		}
+		if tc.Type == anyType {
+			st.wildcard = len(st.reqs)
+		}
+		st.reqs = append(st.reqs, r)
 	}
-	if len(st.sharedType) > 0 {
+	if hasShared {
 		st.needTotal = spec.Total
 		if st.needTotal <= 0 {
 			st.needTotal = 1
 		}
 	}
-	return st, nil
+	return nil
+}
+
+// match resolves a message type to its requirement entry: the explicit entry
+// if the type is listed, else the wildcard entry (resolved once at reset, not
+// per message), else nil.
+func (st *acceptState) match(msgType string) *typeReq {
+	for i := range st.reqs {
+		if st.reqs[i].name == msgType {
+			return &st.reqs[i]
+		}
+	}
+	if st.wildcard >= 0 {
+		return &st.reqs[st.wildcard]
+	}
+	return nil
 }
 
 // satisfied reports whether every requirement has been met.
@@ -138,32 +174,31 @@ func (st *acceptState) satisfied() bool {
 	if st.needTotal > 0 {
 		return false
 	}
-	for ty, n := range st.perType {
-		if st.sharedType[ty] || n == All {
+	for i := range st.reqs {
+		r := &st.reqs[i]
+		if r.shared || r.count == All {
 			continue
 		}
-		if n > 0 {
+		if r.count > 0 {
 			return false
 		}
 	}
 	return true
 }
 
-// drain takes whatever matching messages are currently queued, processes
-// them, and updates the remaining requirements.
+// drain takes whatever matching messages are currently queued and processes
+// them; takeMatching updates the remaining requirements in place.
 func (st *acceptState) drain(t *Task, res *AcceptResult) {
-	taken, remaining := t.rec.queue.takeMatching(st.perType, st.sharedType, st.needTotal)
-	st.needTotal = remaining
+	taken := t.rec.queue.takeMatching(st, st.scratch[:0])
 	for _, m := range taken {
-		key := m.Type
-		if _, listed := st.perType[key]; !listed {
-			key = anyType
-		}
-		if n := st.perType[key]; n > 0 {
-			st.perType[key] = n - 1
-		}
 		t.processAccepted(m, res)
 	}
+	// Keep the grown buffer but drop the message pointers: the messages now
+	// belong to the result, and a task-lifetime scratch must not pin them.
+	for i := range taken {
+		taken[i] = nil
+	}
+	st.scratch = taken[:0]
 }
 
 // Accept executes an ACCEPT statement: messages of the listed types are taken
@@ -176,8 +211,18 @@ func (t *Task) Accept(spec AcceptSpec) (*AcceptResult, error) {
 	if len(spec.Types) == 0 {
 		return nil, fmt.Errorf("core: ACCEPT statement lists no message types")
 	}
-	st, err := newAcceptState(spec)
-	if err != nil {
+	// Reuse the task's accept state unless this is a re-entrant ACCEPT (from
+	// a message handler or an OnTimeout callback) whose outer statement still
+	// owns it.
+	var st *acceptState
+	if t.accActive {
+		st = new(acceptState)
+	} else {
+		st = &t.acc
+		t.accActive = true
+		defer func() { t.accActive = false }()
+	}
+	if err := st.reset(spec); err != nil {
 		return nil, err
 	}
 
@@ -255,8 +300,10 @@ func (t *Task) processAccepted(m *Message, res *AcceptResult) {
 	}
 	t.Charge(int64(costAcceptMsg + costAcceptPacket*packets))
 	t.vm.msgsAccpt.Add(1)
-	t.vm.record(trace.MsgAccept, t.ID(), m.Sender, t.rec.cluster.primary,
-		fmt.Sprintf("msgtype=%s args=%d", m.Type, len(m.Args)))
+	if t.vm.tracing(trace.MsgAccept) {
+		t.vm.record(trace.MsgAccept, t.ID(), m.Sender, t.rec.cluster.primary,
+			fmt.Sprintf("msgtype=%s args=%d", m.Type, len(m.Args)))
+	}
 	if h, ok := t.handlers[m.Type]; ok {
 		h(t, m)
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/config"
 	"repro/internal/flex"
@@ -16,6 +17,9 @@ type slotState struct {
 }
 
 // taskRec is the run-time's record of one task (user task or controller).
+// The proc pointer and the kill flag are atomics: every run-time entry point
+// a task makes (Charge, Send, Accept, ...) reads both, so mutexing them
+// would put two lock round trips on the message hot path.
 type taskRec struct {
 	id           TaskID
 	tasktype     string
@@ -27,40 +31,27 @@ type taskRec struct {
 	isController bool
 	localBytes   int
 
-	mu     sync.Mutex
-	proc   *mmos.Proc
-	killed bool
+	proc   atomic.Pointer[mmos.Proc]
+	killed atomic.Bool
+	killMu sync.Mutex // serialises kill's close(killCh)
 	killCh chan struct{}
 }
 
-func (r *taskRec) setProc(p *mmos.Proc) {
-	r.mu.Lock()
-	r.proc = p
-	r.mu.Unlock()
-}
+func (r *taskRec) setProc(p *mmos.Proc) { r.proc.Store(p) }
 
-func (r *taskRec) getProc() *mmos.Proc {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.proc
-}
+func (r *taskRec) getProc() *mmos.Proc { return r.proc.Load() }
 
 // kill marks the task killed and wakes it if it is blocked in an ACCEPT.
 func (r *taskRec) kill() {
-	r.mu.Lock()
-	already := r.killed
-	r.killed = true
-	r.mu.Unlock()
+	r.killMu.Lock()
+	already := r.killed.Swap(true)
 	if !already {
 		close(r.killCh)
 	}
+	r.killMu.Unlock()
 }
 
-func (r *taskRec) isKilled() bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.killed
-}
+func (r *taskRec) isKilled() bool { return r.killed.Load() }
 
 // pendingInit is an initiation request waiting for a free slot: "If no slots
 // are available in the cluster, the task controller will hold the initiate
@@ -229,7 +220,9 @@ func (c *clusterRT) startTask(slot int, req pendingInit) error {
 	body := func(p *mmos.Proc) {
 		rec.setProc(p)
 		p.Charge(costTaskInit)
-		vm.record(trace.TaskInit, id, req.parent, c.primary, "type="+tt.Name)
+		if vm.tracing(trace.TaskInit) {
+			vm.record(trace.TaskInit, id, req.parent, c.primary, "type="+tt.Name)
+		}
 		if req.reply != nil {
 			req.reply <- id
 		}
@@ -283,6 +276,7 @@ func (vm *VM) finishTask(rec *taskRec, ctx *Task) {
 	// the task still owns.
 	for _, m := range rec.queue.close() {
 		vm.releaseMessage(m)
+		recycleMessage(m)
 	}
 	vm.arrays.dropOwner(rec.id, vm)
 

@@ -89,6 +89,7 @@ func (vm *VM) finishController(rec *taskRec) {
 	}
 	for _, m := range rec.queue.close() {
 		vm.releaseMessage(m)
+		recycleMessage(m)
 	}
 	vm.unregisterTask(rec.id)
 	rec.cluster.clearSlot(rec.slot)
@@ -123,6 +124,10 @@ func (vm *VM) taskControllerBody(cl *clusterRT) func(*Task) {
 			if res.Count(msgShutdown) > 0 {
 				return
 			}
+			// The controller fully owns its accepted messages: the initiate
+			// handler has already run (retaining only the argument slice, never
+			// the header), so the headers go back to the pool.
+			t.RecycleAccept(res)
 		}
 	}
 }
@@ -190,6 +195,7 @@ func (vm *VM) userControllerBody() func(*Task) {
 					printMsg(t, m)
 				}
 			}
+			t.RecycleAccept(res)
 		}
 	}
 }
@@ -258,6 +264,7 @@ func (vm *VM) fileControllerBody() func(*Task) {
 			if res.Count(msgShutdown) > 0 {
 				return
 			}
+			t.RecycleAccept(res)
 		}
 	}
 }

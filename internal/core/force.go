@@ -204,7 +204,9 @@ func (t *Task) ForceSplit(region func(*ForceMember)) error {
 	}
 
 	t.Charge(costForceSplit)
-	t.vm.record(trace.ForceSplit, t.ID(), NilTask, cl.primary, fmt.Sprintf("members=%d", members))
+	if t.vm.tracing(trace.ForceSplit) {
+		t.vm.record(trace.ForceSplit, t.ID(), NilTask, cl.primary, fmt.Sprintf("members=%d", members))
+	}
 
 	var wg sync.WaitGroup
 	panics := make([]any, members)
@@ -322,7 +324,9 @@ func (m *ForceMember) Barrier(body func()) {
 	}).(*barrierInstance)
 
 	m.Charge(costBarrier)
-	f.task.vm.record(trace.BarrierEnter, m.taskID, NilTask, m.pe, fmt.Sprintf("member=%d", m.index))
+	if f.task.vm.tracing(trace.BarrierEnter) {
+		f.task.vm.record(trace.BarrierEnter, m.taskID, NilTask, m.pe, fmt.Sprintf("member=%d", m.index))
+	}
 
 	b.mu.Lock()
 	b.arrived++

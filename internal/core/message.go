@@ -58,17 +58,78 @@ func (m *Message) Arg(i int) Value {
 // NumArgs returns the number of arguments in the message.
 func (m *Message) NumArgs() int { return len(m.Args) }
 
+// messagePool recycles Message headers on the send/accept hot path.  Only the
+// header is pooled: Args always points at the sender's freshly built argument
+// slice, so a recycled header never aliases live argument data.
+var messagePool = sync.Pool{New: func() any { return new(Message) }}
+
+// newMessage builds a message from the pool.
+func newMessage(msgType string, sender TaskID, args []Value, seq uint64) *Message {
+	m := messagePool.Get().(*Message)
+	*m = Message{Type: msgType, Sender: sender, Args: args, seq: seq}
+	return m
+}
+
+// recycleMessage returns a message header to the pool.  The caller must be
+// the message's sole owner: messages handed out through AcceptResult must
+// never be recycled while the result is still readable.
+func recycleMessage(m *Message) {
+	*m = Message{}
+	messagePool.Put(m)
+}
+
+// RecycleAccept returns the messages of an AcceptResult to the run-time's
+// message pool and empties the result.  It is an optional optimisation for
+// callers that fully own the result (the interpreter's ACCEPT statement, the
+// controllers): after the call the result and its messages must not be read
+// again.
+func (t *Task) RecycleAccept(res *AcceptResult) {
+	if res == nil {
+		return
+	}
+	for _, m := range res.Accepted {
+		recycleMessage(m)
+	}
+	res.Accepted = nil
+	res.ByType = nil
+}
+
 // inQueue is a task's in-queue: "Messages are queued in an in-queue for the
-// receiver in order of arrival" (Section 6).
+// receiver in order of arrival" (Section 6).  The queue is a power-of-two
+// ring buffer so steady-state SEND/ACCEPT traffic neither appends (growing
+// the backing array) nor shifts messages.
 type inQueue struct {
 	mu     sync.Mutex
-	msgs   []*Message
+	buf    []*Message    // ring storage; len(buf) is a power of two
+	head   int           // index of the oldest message
+	n      int           // number of queued messages
 	wake   chan struct{} // buffered(1): pulsed on every enqueue
 	closed bool
 }
 
+// initialQueueCap pre-sizes the ring so fan-in bursts (several senders per
+// receiver, as in E5) do not grow the buffer message by message.
+const initialQueueCap = 16
+
 func newInQueue() *inQueue {
-	return &inQueue{wake: make(chan struct{}, 1)}
+	return &inQueue{wake: make(chan struct{}, 1), buf: make([]*Message, initialQueueCap)}
+}
+
+// at returns the i-th queued message, oldest first.  Callers hold q.mu.
+func (q *inQueue) at(i int) *Message { return q.buf[(q.head+i)&(len(q.buf)-1)] }
+
+// set stores the i-th queued message slot.  Callers hold q.mu.
+func (q *inQueue) set(i int, m *Message) { q.buf[(q.head+i)&(len(q.buf)-1)] = m }
+
+// grow doubles the ring, re-linearising the queued messages.  Callers hold
+// q.mu.
+func (q *inQueue) grow() {
+	nb := make([]*Message, 2*len(q.buf))
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.at(i)
+	}
+	q.buf = nb
+	q.head = 0
 }
 
 // put appends a message and pulses the wake channel.  It reports false if the
@@ -79,7 +140,11 @@ func (q *inQueue) put(m *Message) bool {
 		q.mu.Unlock()
 		return false
 	}
-	q.msgs = append(q.msgs, m)
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.set(q.n, m)
+	q.n++
 	q.mu.Unlock()
 	select {
 	case q.wake <- struct{}{}:
@@ -94,17 +159,25 @@ func (q *inQueue) close() []*Message {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.closed = true
-	out := q.msgs
-	q.msgs = nil
+	out := make([]*Message, 0, q.n)
+	for i := 0; i < q.n; i++ {
+		out = append(out, q.at(i))
+		q.set(i, nil)
+	}
+	q.head, q.n = 0, 0
 	return out
 }
 
-// snapshot returns a copy of the queued messages, oldest first.
-func (q *inQueue) snapshot() []*Message {
+// snapshot copies the queued messages by value, oldest first, for display
+// views.  Headers are copied because a queued message may be accepted — and
+// its header recycled — while the caller is still reading the snapshot.
+func (q *inQueue) snapshot() []Message {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	out := make([]*Message, len(q.msgs))
-	copy(out, q.msgs)
+	out := make([]Message, q.n)
+	for i := 0; i < q.n; i++ {
+		out[i] = *q.at(i)
+	}
 	return out
 }
 
@@ -112,52 +185,47 @@ func (q *inQueue) snapshot() []*Message {
 func (q *inQueue) len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.msgs)
+	return q.n
 }
 
-// takeMatching removes and returns messages that satisfy an ACCEPT statement,
-// in arrival order.  perType maps message types to the number still wanted
-// (a negative count means "all available", the ALL form); sharedType marks
-// types charged against the statement's shared total, of which at most
-// sharedBudget messages are taken.  The remaining shared budget is returned.
-// perType counts are not modified; the caller updates its own bookkeeping
-// from the returned messages.
-func (q *inQueue) takeMatching(perType map[string]int, sharedType map[string]bool, sharedBudget int) ([]*Message, int) {
+// takeMatching removes and returns the messages that satisfy the remaining
+// requirements of an ACCEPT statement, in arrival order, appending them to
+// out (a scratch buffer the caller reuses).  Matching is driven by the
+// acceptState's type-request slice — no per-call allocation — and the
+// state's remaining counts and shared budget are updated in place.  Messages
+// that are not taken are compacted in place, preserving order.
+func (q *inQueue) takeMatching(st *acceptState, out []*Message) []*Message {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	taken := make(map[string]int)
-	var out []*Message
-	var rest []*Message
-	for _, m := range q.msgs {
-		key := m.Type
-		n, listed := perType[key]
-		if !listed {
-			// The wildcard entry "*" (used by controllers) matches any
-			// message type not listed explicitly.
-			if wn, ok := perType[anyType]; ok {
-				key, n, listed = anyType, wn, true
+	kept := 0
+	for i := 0; i < q.n; i++ {
+		m := q.at(i)
+		r := st.match(m.Type)
+		take := false
+		if r != nil {
+			switch {
+			case r.count == All: // ALL: drain everything of this type
+				take = true
+			case r.count > 0: // per-type count not yet met
+				take = true
+				r.count--
+			case r.shared && st.needTotal > 0:
+				take = true
+				st.needTotal--
 			}
 		}
-		take := false
-		switch {
-		case !listed:
-		case n < 0: // ALL: drain everything of this type
-			take = true
-		case n > taken[key]: // per-type count not yet met
-			take = true
-		case sharedType[key] && sharedBudget > 0:
-			take = true
-			sharedBudget--
-		}
 		if take {
-			taken[key]++
 			out = append(out, m)
 		} else {
-			rest = append(rest, m)
+			q.set(kept, m)
+			kept++
 		}
 	}
-	q.msgs = rest
-	return out, sharedBudget
+	for i := kept; i < q.n; i++ {
+		q.set(i, nil)
+	}
+	q.n = kept
+	return out
 }
 
 // removeType removes all messages of the given type ("" removes every
@@ -166,19 +234,20 @@ func (q *inQueue) takeMatching(perType map[string]int, sharedType map[string]boo
 func (q *inQueue) removeType(msgType string) []*Message {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if msgType == "" {
-		out := q.msgs
-		q.msgs = nil
-		return out
-	}
-	var removed, rest []*Message
-	for _, m := range q.msgs {
-		if m.Type == msgType {
+	var removed []*Message
+	kept := 0
+	for i := 0; i < q.n; i++ {
+		m := q.at(i)
+		if msgType == "" || m.Type == msgType {
 			removed = append(removed, m)
 		} else {
-			rest = append(rest, m)
+			q.set(kept, m)
+			kept++
 		}
 	}
-	q.msgs = rest
+	for i := kept; i < q.n; i++ {
+		q.set(i, nil)
+	}
+	q.n = kept
 	return removed
 }

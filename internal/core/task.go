@@ -34,6 +34,11 @@ type Task struct {
 	handlers   map[string]Handler
 	signals    map[string]bool
 
+	// acc is the task's reusable ACCEPT matching state; accActive guards it
+	// against re-entrant Accept calls from handlers or timeout callbacks.
+	acc       acceptState
+	accActive bool
+
 	arraySeq int32
 	lockSeq  int
 }
@@ -156,19 +161,17 @@ func (t *Task) initiate(placement Placement, tasktype string, args []Value, repl
 	if err != nil {
 		return err
 	}
-	msg := &Message{
-		Type:    msgInitRequest,
-		Sender:  t.ID(),
-		Args:    append([]Value{Str(tasktype), ID(t.ID()), Ints(nil)}, args...),
-		seq:     t.vm.msgSeq.Add(1),
-		replyID: reply,
-	}
+	msg := newMessage(msgInitRequest, t.ID(),
+		append([]Value{Str(tasktype), ID(t.ID()), Ints(nil)}, args...), t.vm.msgSeq.Add(1))
+	msg.replyID = reply
 	t.Charge(costSendHeader)
 	if err := t.vm.deliverSystem(cl.controllerID, msg); err != nil {
 		return err
 	}
-	t.vm.record(trace.MsgSend, t.ID(), cl.controllerID, t.rec.cluster.primary,
-		fmt.Sprintf("msgtype=%s initiate=%s placement=%q", msgInitRequest, tasktype, placement))
+	if t.vm.tracing(trace.MsgSend) {
+		t.vm.record(trace.MsgSend, t.ID(), cl.controllerID, t.rec.cluster.primary,
+			fmt.Sprintf("msgtype=%s initiate=%s placement=%q", msgInitRequest, tasktype, placement))
+	}
 	return nil
 }
 
@@ -260,8 +263,9 @@ func (t *Task) sendInternal(to TaskID, msgType string, args []Value) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoSuchTask, to)
 	}
-	msg := &Message{Type: msgType, Sender: t.ID(), Args: args, seq: t.vm.msgSeq.Add(1)}
+	msg := newMessage(msgType, t.ID(), args, t.vm.msgSeq.Add(1))
 	if err := t.vm.chargeMessage(msg); err != nil {
+		recycleMessage(msg)
 		return err
 	}
 	// Snapshot the size before delivery: once the message is in the
@@ -271,12 +275,15 @@ func (t *Task) sendInternal(to TaskID, msgType string, args []Value) error {
 	packets := (size - msgcodec.HeaderBytes) / msgcodec.PacketBytes
 	if !rec.queue.put(msg) {
 		t.vm.releaseMessage(msg)
+		recycleMessage(msg)
 		return fmt.Errorf("%w: %s", ErrNoSuchTask, to)
 	}
 	t.Charge(int64(costSendHeader + costSendPacket*packets))
 	t.vm.msgsSent.Add(1)
-	t.vm.record(trace.MsgSend, t.ID(), to, t.rec.cluster.primary,
-		fmt.Sprintf("msgtype=%s args=%d bytes=%d", msgType, len(args), size))
+	if t.vm.tracing(trace.MsgSend) {
+		t.vm.record(trace.MsgSend, t.ID(), to, t.rec.cluster.primary,
+			fmt.Sprintf("msgtype=%s args=%d bytes=%d", msgType, len(args), size))
+	}
 	return nil
 }
 

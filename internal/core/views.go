@@ -82,7 +82,7 @@ func (vm *VM) SendFromUser(to TaskID, msgType string, args ...Value) error {
 	if vm.terminated() {
 		return ErrVMTerminated
 	}
-	msg := &Message{Type: msgType, Sender: vm.userCtrl, Args: args, seq: vm.msgSeq.Add(1)}
+	msg := newMessage(msgType, vm.userCtrl, args, vm.msgSeq.Add(1))
 	if err := vm.deliverSystem(to, msg); err != nil {
 		return err
 	}
@@ -108,7 +108,8 @@ func (vm *VM) MessageQueue(id TaskID) ([]QueuedMessage, error) {
 	}
 	msgs := rec.queue.snapshot()
 	out := make([]QueuedMessage, len(msgs))
-	for i, m := range msgs {
+	for i := range msgs {
+		m := &msgs[i]
 		out[i] = QueuedMessage{Type: m.Type, Sender: m.Sender, Args: len(m.Args), Bytes: m.heapBytes}
 	}
 	return out, nil
@@ -126,6 +127,7 @@ func (vm *VM) DeleteMessages(id TaskID, msgType string) (int, error) {
 	removed := rec.queue.removeType(msgType)
 	for _, m := range removed {
 		vm.releaseMessage(m)
+		recycleMessage(m)
 	}
 	return len(removed), nil
 }

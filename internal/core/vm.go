@@ -325,14 +325,9 @@ func (vm *VM) Initiate(tasktype string, placement Placement, args ...Value) (Tas
 		return NilTask, err
 	}
 	reply := make(chan TaskID, 1)
-	msg := &Message{
-		Type:    msgInitRequest,
-		Sender:  vm.userCtrl,
-		Args:    []Value{Str(tasktype), ID(vm.userCtrl), Ints(nil)},
-		seq:     vm.msgSeq.Add(1),
-		replyID: reply,
-	}
-	msg.Args = append(msg.Args, args...)
+	msg := newMessage(msgInitRequest, vm.userCtrl,
+		append([]Value{Str(tasktype), ID(vm.userCtrl), Ints(nil)}, args...), vm.msgSeq.Add(1))
+	msg.replyID = reply
 	if err := vm.deliverSystem(cl.controllerID, msg); err != nil {
 		return NilTask, err
 	}
@@ -378,8 +373,10 @@ func (vm *VM) FlushUserOutput() {
 		return
 	}
 	ch := make(chan struct{})
-	msg := &Message{Type: msgUserSync, Sender: vm.userCtrl, seq: vm.msgSeq.Add(1), syncCh: ch}
+	msg := newMessage(msgUserSync, vm.userCtrl, nil, vm.msgSeq.Add(1))
+	msg.syncCh = ch
 	if !rec.queue.put(msg) {
+		recycleMessage(msg)
 		return
 	}
 	<-ch
@@ -442,16 +439,20 @@ func (vm *VM) leastLoaded(nums []int, exclude int) *clusterRT {
 
 // deliverSystem puts a run-time message directly into the destination task's
 // in-queue, charging the shared-memory heap for it like any other message.
+// On failure the message is recycled; the caller must not reuse it.
 func (vm *VM) deliverSystem(dest TaskID, msg *Message) error {
 	rec, ok := vm.lookupTask(dest)
 	if !ok {
+		recycleMessage(msg)
 		return fmt.Errorf("%w: %s", ErrNoSuchTask, dest)
 	}
 	if err := vm.chargeMessage(msg); err != nil {
+		recycleMessage(msg)
 		return err
 	}
 	if !rec.queue.put(msg) {
 		vm.releaseMessage(msg)
+		recycleMessage(msg)
 		return fmt.Errorf("%w: %s", ErrNoSuchTask, dest)
 	}
 	return nil
@@ -480,9 +481,18 @@ func (vm *VM) releaseMessage(msg *Message) {
 	}
 }
 
+// tracing reports whether events of the given kind are currently recorded.
+// Hot paths check it before building an event (taskid rendering, Sprintf
+// info strings), so disabled tracing costs one atomic load per event.
+func (vm *VM) tracing(kind trace.Kind) bool { return vm.tracer.Wants(kind) }
+
 // record emits a trace event on behalf of a task, stamping it with the task's
-// PE clock.
+// PE clock.  Callers on hot paths guard with vm.tracing(kind) so the event's
+// info string is never formatted when the kind is disabled.
 func (vm *VM) record(kind trace.Kind, task TaskID, other TaskID, pe *flex.PE, info string) {
+	if !vm.tracing(kind) {
+		return
+	}
 	ev := trace.Event{Kind: kind, Task: task.String(), Info: info}
 	if !other.IsNil() {
 		ev.Other = other.String()
@@ -542,10 +552,12 @@ func (vm *VM) Shutdown() {
 		if !rec.isController {
 			continue
 		}
-		msg := &Message{Type: msgShutdown, Sender: vm.userCtrl, seq: vm.msgSeq.Add(1)}
+		msg := newMessage(msgShutdown, vm.userCtrl, nil, vm.msgSeq.Add(1))
 		// Shutdown must succeed even if the message heap is exhausted, so the
 		// message is delivered without charging the heap.
-		rec.queue.put(msg)
+		if !rec.queue.put(msg) {
+			recycleMessage(msg)
+		}
 	}
 	for _, rec := range all {
 		if rec.isController {

@@ -388,8 +388,10 @@ func (t *Task) chargeWindowTransfer(w Window, n int, dir string) {
 	t.Charge(int64(costSendHeader + costWindowElement*n))
 	t.vm.windowBytes.Add(int64(8 * n))
 	t.vm.windowOps.Add(1)
-	t.vm.record(trace.MsgSend, t.ID(), w.Owner, t.rec.cluster.primary,
-		fmt.Sprintf("msgtype=window-%s array=%d region=%s elements=%d", dir, w.ArrayID, w.Region, n))
+	if t.vm.tracing(trace.MsgSend) {
+		t.vm.record(trace.MsgSend, t.ID(), w.Owner, t.rec.cluster.primary,
+			fmt.Sprintf("msgtype=window-%s array=%d region=%s elements=%d", dir, w.ArrayID, w.Region, n))
+	}
 }
 
 // WindowTraffic reports the cumulative number of window transfer operations

@@ -1,0 +1,749 @@
+// Closure code generation: the second compile phase that turns the parsed
+// statement/expression trees into pre-bound Go closures.  Every name is
+// resolved to a frame slot (see resolve.go), every operator to an opcode,
+// and every intrinsic to its implementation, so executing a statement walks
+// no tree, switches on no strings, and looks up no maps.  Constant
+// subexpressions are folded at compile time.
+package pfi
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// cexpr is one compiled expression.
+type cexpr func(*execState) (value, error)
+
+// cstore stores a value into a compiled assignment target.
+type cstore func(*execState, value) error
+
+// csendArg produces one message/initiation argument.
+type csendArg func(*execState) (core.Value, error)
+
+// cstmt is one compiled, executable statement.
+type cstmt struct {
+	run   func(*execState) (ctl, error)
+	label string
+	line  int
+	// collective marks a statement whose subtree contains a construct other
+	// force members synchronise on (BARRIER, or the shared iteration counter
+	// of SELFSCHED DO); precomputed so the sticky error path need not walk
+	// the statement tree.
+	collective bool
+}
+
+// taskCompiler compiles one tasktype's statements against its slot table.
+type taskCompiler struct {
+	tab *slotTable
+}
+
+// seqCollective reports whether any statement of a compiled sequence is (or
+// contains) a collective construct.
+func seqCollective(ns []cstmt) bool {
+	for i := range ns {
+		if ns[i].collective {
+			return true
+		}
+	}
+	return false
+}
+
+// compileSeq compiles a statement sequence.
+func (tc *taskCompiler) compileSeq(ns []node) []cstmt {
+	out := make([]cstmt, len(ns))
+	for i := range ns {
+		out[i] = tc.compileStmt(&ns[i])
+	}
+	return out
+}
+
+// compileStmt compiles one statement node into its closure.
+func (tc *taskCompiler) compileStmt(n *node) cstmt {
+	s := cstmt{label: n.label, line: n.line}
+	switch n.kind {
+	case nAssign:
+		rhs := tc.compileExpr(n.rhs)
+		store := tc.compileStore(n.name, n.index)
+		s.run = func(st *execState) (ctl, error) {
+			v, err := rhs(st)
+			if err != nil {
+				return ctl{}, err
+			}
+			return ctlOK, store(st, v)
+		}
+
+	case nIf:
+		cond := tc.compileExpr(n.cond)
+		body := tc.compileSeq(n.body)
+		elseBody := tc.compileSeq(n.elseBody)
+		s.collective = seqCollective(body) || seqCollective(elseBody)
+		s.run = func(st *execState) (ctl, error) {
+			v, err := cond(st)
+			if err != nil {
+				return ctl{}, err
+			}
+			b, err := v.truth()
+			if err != nil {
+				return ctl{}, fmt.Errorf("IF condition: %v", err)
+			}
+			if b {
+				return st.execSeq(body)
+			}
+			return st.execSeq(elseBody)
+		}
+
+	case nDo:
+		d := &cdo{
+			store: tc.compileStore(n.name, nil),
+			lo:    tc.compileExpr(n.lo),
+			hi:    tc.compileExpr(n.hi),
+			step:  tc.compileExpr(n.step),
+			body:  tc.compileSeq(n.body),
+		}
+		s.collective = seqCollective(d.body)
+		s.run = func(st *execState) (ctl, error) { return st.execDo(d) }
+
+	case nGoto:
+		target := n.target
+		s.run = func(*execState) (ctl, error) { return ctl{kind: ctlGoto, label: target}, nil }
+
+	case nContinue:
+		s.run = func(*execState) (ctl, error) { return ctlOK, nil }
+
+	case nStop:
+		var stopX cexpr
+		if n.stopX != nil {
+			stopX = tc.compileExpr(n.stopX)
+		}
+		s.run = func(st *execState) (ctl, error) {
+			if stopX != nil {
+				v, err := stopX(st)
+				if err != nil {
+					return ctl{}, err
+				}
+				if err := st.printLine("STOP " + v.format()); err != nil {
+					return ctl{}, err
+				}
+			}
+			return ctl{kind: ctlStop}, nil
+		}
+
+	case nReturn:
+		s.run = func(*execState) (ctl, error) { return ctl{kind: ctlReturn}, nil }
+
+	case nPrint:
+		items := tc.compileExprs(n.items)
+		s.run = func(st *execState) (ctl, error) { return ctlOK, st.execPrint(items) }
+
+	case nDecl:
+		items := tc.compileDeclItems(n.decls)
+		s.run = func(st *execState) (ctl, error) { return ctlOK, st.execDecl(items) }
+
+	case nCall:
+		s.run = tc.compileCallStmt(n)
+
+	case nInitiate:
+		c := &cinitiate{tasktype: n.name, placement: n.placement, args: tc.compileSendArgs(n.items)}
+		if n.clusterX != nil {
+			c.clusterX = tc.compileExpr(n.clusterX)
+		}
+		s.run = func(st *execState) (ctl, error) { return ctlOK, st.execInitiate(c) }
+
+	case nSend:
+		c := &csend{msgType: n.name, dest: n.dest, args: tc.compileSendArgs(n.items)}
+		if n.clusterX != nil {
+			c.clusterX = tc.compileExpr(n.clusterX)
+		}
+		if n.destX != nil {
+			c.destX = tc.compileExpr(n.destX)
+		}
+		s.run = func(st *execState) (ctl, error) { return ctlOK, st.execSend(c) }
+
+	case nAccept:
+		a := &caccept{}
+		if n.accept.total != nil {
+			a.total = tc.compileExpr(n.accept.total)
+		}
+		for _, ty := range n.accept.types {
+			ct := cacceptType{name: ty.name, all: ty.all}
+			if ty.count != nil {
+				ct.count = tc.compileExpr(ty.count)
+			}
+			a.types = append(a.types, ct)
+		}
+		if n.accept.delay != nil {
+			a.delay = tc.compileExpr(n.accept.delay)
+		}
+		a.onTimeout = tc.compileSeq(n.accept.onTimeout)
+		s.collective = seqCollective(a.onTimeout)
+		s.run = func(st *execState) (ctl, error) { return st.execAccept(a) }
+
+	case nForce:
+		body := tc.compileSeq(n.body)
+		s.collective = seqCollective(body)
+		s.run = func(st *execState) (ctl, error) { return st.execForce(body) }
+
+	case nBarrier:
+		body := tc.compileSeq(n.body)
+		s.collective = true
+		s.run = func(st *execState) (ctl, error) { return st.execBarrier(body) }
+
+	case nCritical:
+		name := n.name
+		body := tc.compileSeq(n.body)
+		s.collective = seqCollective(body)
+		s.run = func(st *execState) (ctl, error) { return st.execCritical(name, body) }
+
+	case nPresched, nSelfsched:
+		c := &csched{
+			store:     tc.compileStore(n.name, nil),
+			lo:        tc.compileExpr(n.lo),
+			hi:        tc.compileExpr(n.hi),
+			step:      tc.compileExpr(n.step),
+			body:      tc.compileSeq(n.body),
+			selfsched: n.kind == nSelfsched,
+		}
+		s.collective = c.selfsched || seqCollective(c.body)
+		s.run = func(st *execState) (ctl, error) { return st.execScheduledDo(c) }
+
+	case nParseg:
+		segs := make([][]cstmt, len(n.segments))
+		for i, seg := range n.segments {
+			segs[i] = tc.compileSeq(seg)
+		}
+		for _, seg := range segs {
+			if seqCollective(seg) {
+				s.collective = true
+			}
+		}
+		s.run = func(st *execState) (ctl, error) { return st.execParseg(segs) }
+
+	case nSharedCommon:
+		name := n.name
+		items := tc.compileDeclItems(n.decls)
+		s.run = func(st *execState) (ctl, error) { return ctlOK, st.execSharedCommon(name, items) }
+
+	case nLockDecl:
+		names := make([]string, len(n.decls))
+		for i, d := range n.decls {
+			names[i] = d.name
+		}
+		s.run = func(st *execState) (ctl, error) {
+			for _, name := range names {
+				if _, err := st.locks.get(st.t, name); err != nil {
+					return ctl{}, err
+				}
+			}
+			return ctlOK, nil
+		}
+
+	case nSignalDecl:
+		name := n.name
+		s.run = func(st *execState) (ctl, error) {
+			// Task.Signal mutates task-level state; inside a force only the
+			// primary (the member that may ACCEPT) registers the declaration —
+			// concurrent members would race on the task's signal table.
+			if st.m == nil || st.m.IsPrimary() {
+				st.t.Signal(name)
+			}
+			return ctlOK, nil
+		}
+
+	case nHandlerDecl:
+		// The interpreter has no Fortran handler subroutines; handler-declared
+		// message types are counted like signals and their arguments remain
+		// readable through the MSG* intrinsics after an ACCEPT.
+		s.run = func(*execState) (ctl, error) { return ctlOK, nil }
+
+	default:
+		kind := n.kind
+		s.run = func(*execState) (ctl, error) {
+			return ctl{}, fmt.Errorf("internal error: unknown node kind %d", kind)
+		}
+	}
+	return s
+}
+
+// compileCallStmt compiles CALL CHARGE/YIELD (the only supported CALLs,
+// validated at parse time).
+func (tc *taskCompiler) compileCallStmt(n *node) func(*execState) (ctl, error) {
+	if n.name == "CHARGE" {
+		arg := tc.compileExpr(n.items[0])
+		return func(st *execState) (ctl, error) {
+			ticks, err := st.evalInt(arg)
+			if err != nil {
+				return ctl{}, err
+			}
+			if st.m != nil {
+				st.m.Charge(ticks)
+			} else {
+				st.t.Charge(ticks)
+			}
+			return ctlOK, nil
+		}
+	}
+	return func(st *execState) (ctl, error) {
+		if st.m == nil {
+			st.t.Yield()
+		}
+		return ctlOK, nil
+	}
+}
+
+// compiled statement payloads --------------------------------------------------
+
+// cdo is a compiled DO loop.
+type cdo struct {
+	store        cstore
+	lo, hi, step cexpr
+	body         []cstmt
+}
+
+// csched is a compiled PRESCHED/SELFSCHED DO loop.
+type csched struct {
+	store        cstore
+	lo, hi, step cexpr
+	body         []cstmt
+	selfsched    bool
+}
+
+// cdeclItem is one compiled declaration entry.
+type cdeclItem struct {
+	slot int
+	name string
+	kind valKind
+	dims []cexpr
+}
+
+// cinitiate is a compiled INITIATE statement.
+type cinitiate struct {
+	tasktype  string
+	placement placeKind
+	clusterX  cexpr
+	args      []csendArg
+}
+
+// csend is a compiled SEND statement.
+type csend struct {
+	msgType         string
+	dest            destKind
+	clusterX, destX cexpr
+	args            []csendArg
+}
+
+// cacceptType is one compiled message-type entry of an ACCEPT.
+type cacceptType struct {
+	name  string
+	all   bool
+	count cexpr
+}
+
+// caccept is a compiled ACCEPT statement.
+type caccept struct {
+	total     cexpr
+	types     []cacceptType
+	delay     cexpr
+	onTimeout []cstmt
+}
+
+// --- declaration compilation --------------------------------------------------
+
+func (tc *taskCompiler) compileDeclItems(items []declItem) []cdeclItem {
+	out := make([]cdeclItem, len(items))
+	for i, d := range items {
+		out[i] = cdeclItem{
+			slot: tc.tab.slotOf(d.name),
+			name: d.name,
+			kind: d.kind,
+			dims: tc.compileExprs(d.dims),
+		}
+	}
+	return out
+}
+
+// --- expression compilation ---------------------------------------------------
+
+func (tc *taskCompiler) compileExprs(es []expr) []cexpr {
+	if len(es) == 0 {
+		return nil
+	}
+	out := make([]cexpr, len(es))
+	for i, e := range es {
+		out[i] = tc.compileExpr(e)
+	}
+	return out
+}
+
+// compileExpr folds constant subexpressions, then generates the evaluation
+// closure.
+func (tc *taskCompiler) compileExpr(e expr) cexpr {
+	return tc.gen(foldExpr(e))
+}
+
+// foldExpr evaluates constant subtrees at compile time.  A constant subtree
+// whose evaluation errors (1/0 in dead code, say) is left to fail at run
+// time, preserving the interpreter's error placement.
+func foldExpr(e expr) expr {
+	switch e := e.(type) {
+	case unE:
+		x := foldExpr(e.x)
+		if lx, ok := x.(litE); ok {
+			var v value
+			var err error
+			if e.op == "-" {
+				v, err = negVal(lx.v)
+			} else {
+				v, err = notVal(lx.v)
+			}
+			if err == nil {
+				return litE{v: v}
+			}
+		}
+		return unE{op: e.op, x: x}
+	case binE:
+		x, y := foldExpr(e.x), foldExpr(e.y)
+		if lx, ok := x.(litE); ok {
+			if ly, ok := y.(litE); ok {
+				if op, known := binOpCode[e.op]; known {
+					if v, err := applyBinary(op, lx.v, ly.v); err == nil {
+						return litE{v: v}
+					}
+				}
+			}
+		}
+		return binE{op: e.op, x: x, y: y}
+	case callE:
+		args := make([]expr, len(e.args))
+		for i, a := range e.args {
+			args[i] = foldExpr(a)
+		}
+		return callE{name: e.name, args: args}
+	default:
+		return e
+	}
+}
+
+func (tc *taskCompiler) gen(e expr) cexpr {
+	switch e := e.(type) {
+	case litE:
+		v := e.v
+		return func(*execState) (value, error) { return v, nil }
+
+	case nameE:
+		slot := tc.tab.slotOf(e.name)
+		name := e.name
+		fn := resolveIntrinsic(e.name)
+		return func(st *execState) (value, error) {
+			b := &st.f.slots[slot]
+			if b.v.kind != kNone {
+				return b.v, nil
+			}
+			if b.cell != nil {
+				return b.cell.load(), nil
+			}
+			if b.arr != nil {
+				return value{}, fmt.Errorf("array %s used without subscripts", name)
+			}
+			if fn != nil {
+				return fn(st, nil)
+			}
+			return value{}, fmt.Errorf("variable %s used before it is set", name)
+		}
+
+	case callE:
+		return tc.genCall(e)
+
+	case unE:
+		x := tc.gen(e.x)
+		if e.op == "-" {
+			return func(st *execState) (value, error) {
+				v, err := x(st)
+				if err != nil {
+					return value{}, err
+				}
+				return negVal(v)
+			}
+		}
+		return func(st *execState) (value, error) {
+			v, err := x(st)
+			if err != nil {
+				return value{}, err
+			}
+			return notVal(v)
+		}
+
+	case binE:
+		op, known := binOpCode[e.op]
+		if !known {
+			// A lexer/parser operator without an opcode is a compiler bug;
+			// fail loudly instead of miscompiling to the zero opcode.
+			err := fmt.Errorf("internal error: unknown operator %q", e.op)
+			return func(*execState) (value, error) { return value{}, err }
+		}
+		x, y := tc.gen(e.x), tc.gen(e.y)
+		return func(st *execState) (value, error) {
+			xv, err := x(st)
+			if err != nil {
+				return value{}, err
+			}
+			yv, err := y(st)
+			if err != nil {
+				return value{}, err
+			}
+			return applyBinary(op, xv, yv)
+		}
+	}
+	err := fmt.Errorf("internal error: unknown expression %T", e)
+	return func(*execState) (value, error) { return value{}, err }
+}
+
+// genCall compiles NAME(args): an array element reference or an intrinsic
+// call — Fortran syntax does not distinguish the two, so the closure checks
+// the slot's array binding first, then dispatches to the pre-resolved
+// intrinsic.
+func (tc *taskCompiler) genCall(e callE) cexpr {
+	slot := tc.tab.slotOf(e.name)
+	name := e.name
+	fn := resolveIntrinsic(e.name)
+	args := make([]cexpr, len(e.args))
+	for i, a := range e.args {
+		args[i] = tc.gen(a)
+	}
+	return func(st *execState) (value, error) {
+		if a := st.f.slots[slot].arr; a != nil {
+			off, err := st.evalOffset(a, name, args)
+			if err != nil {
+				return value{}, err
+			}
+			return a.data[off], nil
+		}
+		if fn == nil {
+			return value{}, fmt.Errorf("%s is neither a declared array nor a known function", name)
+		}
+		// Arguments are evaluated onto the execState's argument stack, so
+		// nested intrinsic calls share one growing buffer instead of
+		// allocating a slice per call.
+		base := len(st.argv)
+		for _, a := range args {
+			v, err := a(st)
+			if err != nil {
+				st.argv = st.argv[:base]
+				return value{}, err
+			}
+			st.argv = append(st.argv, v)
+		}
+		v, err := fn(st, st.argv[base:])
+		st.argv = st.argv[:base]
+		return v, err
+	}
+}
+
+// compileStore compiles an assignment target: a scalar/shared-cell name, or
+// an array element.
+func (tc *taskCompiler) compileStore(name string, index []expr) cstore {
+	slot := tc.tab.slotOf(name)
+	if index == nil {
+		return func(st *execState, v value) error { return st.storeScalar(slot, v) }
+	}
+	idx := make([]cexpr, len(index))
+	for i, e := range index {
+		idx[i] = tc.compileExpr(e)
+	}
+	return func(st *execState, v value) error {
+		a := st.f.slots[slot].arr
+		if a == nil {
+			return fmt.Errorf("%s is not a declared array", name)
+		}
+		off, err := st.evalOffset(a, name, idx)
+		if err != nil {
+			return err
+		}
+		cv, err := convert(v, a.kind)
+		if err != nil {
+			return fmt.Errorf("%s: %v", name, err)
+		}
+		a.data[off] = cv
+		return nil
+	}
+}
+
+// compileSendArgs compiles message/initiation arguments; a bare array name
+// passes the whole array as an INTEGER or REAL array argument.
+func (tc *taskCompiler) compileSendArgs(items []expr) []csendArg {
+	out := make([]csendArg, len(items))
+	for i, e := range items {
+		if ne, ok := e.(nameE); ok {
+			slot := tc.tab.slotOf(ne.name)
+			name := ne.name
+			inner := tc.compileExpr(e)
+			out[i] = func(st *execState) (core.Value, error) {
+				if a := st.f.slots[slot].arr; a != nil {
+					return arrayToCore(name, a)
+				}
+				v, err := inner(st)
+				if err != nil {
+					return core.Value{}, err
+				}
+				return toCoreValue(v)
+			}
+			continue
+		}
+		inner := tc.compileExpr(e)
+		out[i] = func(st *execState) (core.Value, error) {
+			v, err := inner(st)
+			if err != nil {
+				return core.Value{}, err
+			}
+			return toCoreValue(v)
+		}
+	}
+	return out
+}
+
+// --- shared runtime helpers used by the compiled closures ---------------------
+
+// evalOffset evaluates compiled subscripts against an array binding.
+func (st *execState) evalOffset(a *array, name string, idx []cexpr) (int, error) {
+	switch len(idx) {
+	case 1:
+		v, err := idx[0](st)
+		if err != nil {
+			return 0, err
+		}
+		i1, err := v.toInt()
+		if err != nil {
+			return 0, err
+		}
+		return a.offset1(name, i1)
+	case 2:
+		v1, err := idx[0](st)
+		if err != nil {
+			return 0, err
+		}
+		i1, err := v1.toInt()
+		if err != nil {
+			return 0, err
+		}
+		v2, err := idx[1](st)
+		if err != nil {
+			return 0, err
+		}
+		i2, err := v2.toInt()
+		if err != nil {
+			return 0, err
+		}
+		return a.offset2(name, i1, i2)
+	}
+	if a.cols == 0 {
+		return 0, fmt.Errorf("array %s needs 1 subscript, got %d", name, len(idx))
+	}
+	return 0, fmt.Errorf("array %s needs 2 subscripts, got %d", name, len(idx))
+}
+
+// storeScalar stores into a scalar slot: shared cells first, then the
+// declared-kind conversion of an ordinary scalar.
+func (st *execState) storeScalar(slot int, v value) error {
+	b := &st.f.slots[slot]
+	if c := b.cell; c != nil {
+		cv, err := convert(v, c.load().kind)
+		if err != nil {
+			return fmt.Errorf("%s: %v", st.f.tab.name(slot), err)
+		}
+		c.store(cv)
+		return nil
+	}
+	if b.arr != nil {
+		return fmt.Errorf("array %s assigned without subscripts", st.f.tab.name(slot))
+	}
+	cv, err := convert(v, st.f.declaredKind(slot))
+	if err != nil {
+		return fmt.Errorf("%s: %v", st.f.tab.name(slot), err)
+	}
+	b.v = cv
+	return nil
+}
+
+// evalInt evaluates a compiled expression and converts to INTEGER.
+func (st *execState) evalInt(e cexpr) (int64, error) {
+	v, err := e(st)
+	if err != nil {
+		return 0, err
+	}
+	return v.toInt()
+}
+
+// evalSendArgs evaluates compiled message/initiation arguments into a fresh
+// slice (the run-time retains it as the message's argument list).
+func (st *execState) evalSendArgs(args []csendArg) ([]core.Value, error) {
+	out := make([]core.Value, len(args))
+	for i, a := range args {
+		v, err := a(st)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func arrayToCore(name string, a *array) (core.Value, error) {
+	switch a.kind {
+	case kInt:
+		vs := make([]int64, len(a.data))
+		for i, v := range a.data {
+			vs[i] = v.i
+		}
+		return core.Ints(vs), nil
+	case kReal:
+		vs := make([]float64, len(a.data))
+		for i, v := range a.data {
+			vs[i] = v.r
+		}
+		return core.Reals(vs), nil
+	}
+	return core.Value{}, fmt.Errorf("array %s of kind %s cannot be a message argument", name, a.kind)
+}
+
+// acceptSpec evaluates a compiled ACCEPT head into a core.AcceptSpec.
+func (st *execState) acceptSpec(a *caccept) (core.AcceptSpec, error) {
+	spec := core.AcceptSpec{}
+	if a.total != nil {
+		total, err := st.evalInt(a.total)
+		if err != nil {
+			return spec, err
+		}
+		spec.Total = int(total)
+	}
+	spec.Types = make([]core.TypeCount, len(a.types))
+	for i, ty := range a.types {
+		tycount := core.TypeCount{Type: ty.name}
+		switch {
+		case ty.all:
+			tycount.Count = core.All
+		case ty.count != nil:
+			cnt, err := st.evalInt(ty.count)
+			if err != nil {
+				return spec, err
+			}
+			tycount.Count = int(cnt)
+		}
+		spec.Types[i] = tycount
+	}
+	if a.delay != nil {
+		secs, err := a.delay(st)
+		if err != nil {
+			return spec, err
+		}
+		s, err := secs.toReal()
+		if err != nil {
+			return spec, fmt.Errorf("DELAY: %v", err)
+		}
+		spec.Delay = time.Duration(s * float64(time.Second))
+		if spec.Delay <= 0 {
+			spec.Delay = time.Nanosecond
+		}
+	}
+	return spec, nil
+}

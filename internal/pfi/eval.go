@@ -12,11 +12,13 @@ import (
 )
 
 // valKind is the run-time type of an interpreter value, mirroring the Pisces
-// Fortran data types.
+// Fortran data types.  kNone is the zero value, so a zeroed binding or value
+// reads as "unset".
 type valKind uint8
 
 const (
-	kInt valKind = iota
+	kNone valKind = iota
+	kInt
 	kReal
 	kBool
 	kStr
@@ -42,24 +44,28 @@ func (k valKind) String() string {
 	return "?"
 }
 
-// value is one interpreter value.
+// value is one interpreter value.  WINDOW payloads sit behind a pointer:
+// they are rare, and keeping them out of line keeps the value struct small
+// enough that the constant copying on the evaluation hot path stays cheap.
 type value struct {
 	kind valKind
+	b    bool
 	i    int64
 	r    float64
-	b    bool
 	s    string
 	id   core.TaskID
-	win  core.Window
+	win  *core.Window
 }
 
-func intVal(v int64) value          { return value{kind: kInt, i: v} }
-func realVal(v float64) value       { return value{kind: kReal, r: v} }
-func boolVal(v bool) value          { return value{kind: kBool, b: v} }
-func strVal(v string) value         { return value{kind: kStr, s: v} }
-func idVal(v core.TaskID) value     { return value{kind: kTaskID, id: v} }
-func winVal(v core.Window) value    { return value{kind: kWindow, win: v} }
-func zeroVal(k valKind) value       { return value{kind: k} }
+func intVal(v int64) value      { return value{kind: kInt, i: v} }
+func realVal(v float64) value   { return value{kind: kReal, r: v} }
+func boolVal(v bool) value      { return value{kind: kBool, b: v} }
+func strVal(v string) value     { return value{kind: kStr, s: v} }
+func idVal(v core.TaskID) value { return value{kind: kTaskID, id: v} }
+func winVal(v core.Window) value {
+	return value{kind: kWindow, win: &v}
+}
+func zeroVal(k valKind) value { return value{kind: k} }
 func implicitKind(name string) valKind {
 	if name != "" && name[0] >= 'I' && name[0] <= 'N' {
 		return kInt
@@ -114,9 +120,18 @@ func (v value) format() string {
 	case kTaskID:
 		return v.id.String()
 	case kWindow:
-		return v.win.String()
+		return v.windowPayload().String()
 	}
 	return "?"
+}
+
+// windowPayload returns the WINDOW payload, treating a never-assigned WINDOW
+// variable as the zero window.
+func (v value) windowPayload() core.Window {
+	if v.win == nil {
+		return core.Window{}
+	}
+	return *v.win
 }
 
 // convert coerces a value to the declared kind of its destination.  Numeric
@@ -158,24 +173,27 @@ func newArray(kind valKind, rows, cols int) *array {
 	return a
 }
 
-func (a *array) offset(name string, idx []int64) (int, error) {
+// offset1 resolves a one-subscript element reference.
+func (a *array) offset1(name string, i1 int64) (int, error) {
+	if a.cols != 0 {
+		return 0, fmt.Errorf("array %s needs 2 subscripts, got 1", name)
+	}
+	if i1 < 1 || i1 > int64(a.rows) {
+		return 0, fmt.Errorf("subscript %d outside array %s(%d)", i1, name, a.rows)
+	}
+	return int(i1 - 1), nil
+}
+
+// offset2 resolves a two-subscript element reference (column-major, as
+// Fortran stores arrays).
+func (a *array) offset2(name string, i1, i2 int64) (int, error) {
 	if a.cols == 0 {
-		if len(idx) != 1 {
-			return 0, fmt.Errorf("array %s needs 1 subscript, got %d", name, len(idx))
-		}
-		if idx[0] < 1 || idx[0] > int64(a.rows) {
-			return 0, fmt.Errorf("subscript %d outside array %s(%d)", idx[0], name, a.rows)
-		}
-		return int(idx[0] - 1), nil
+		return 0, fmt.Errorf("array %s needs 1 subscript, got 2", name)
 	}
-	if len(idx) != 2 {
-		return 0, fmt.Errorf("array %s needs 2 subscripts, got %d", name, len(idx))
+	if i1 < 1 || i1 > int64(a.rows) || i2 < 1 || i2 > int64(a.cols) {
+		return 0, fmt.Errorf("subscripts (%d,%d) outside array %s(%d,%d)", i1, i2, name, a.rows, a.cols)
 	}
-	if idx[0] < 1 || idx[0] > int64(a.rows) || idx[1] < 1 || idx[1] > int64(a.cols) {
-		return 0, fmt.Errorf("subscripts (%d,%d) outside array %s(%d,%d)", idx[0], idx[1], name, a.rows, a.cols)
-	}
-	// Column-major order, as Fortran stores arrays.
-	return int((idx[1]-1))*a.rows + int(idx[0]-1), nil
+	return int(i2-1)*a.rows + int(i1-1), nil
 }
 
 // sharedCell is one SHARED COMMON scalar: a mutex-protected cell shared by
@@ -198,259 +216,177 @@ func (c *sharedCell) store(v value) {
 	c.mu.Unlock()
 }
 
-// frame holds one task's (or one force member's) variables.  Scalars are
+// binding is the run-time state of one resolved name slot.  At any moment a
+// name is a scalar (v set), a shared cell, an array, or still unset; the
+// compiled code checks in that order, preserving the dynamic declaration
+// semantics of the map-based interpreter.
+type binding struct {
+	v    value       // scalar value; v.kind == kNone means unset
+	kind valKind     // declared scalar kind; kNone means implicit typing
+	arr  *array      // non-nil once declared as an array
+	cell *sharedCell // non-nil once declared SHARED COMMON
+}
+
+// frame holds one task's (or one force member's) variables as a slot-indexed
+// binding vector — slot indices are assigned per tasktype at compile time by
+// the resolver, so the hot path never looks names up in a map.  Scalars are
 // per-frame; arrays and shared cells are shared by reference when a frame is
 // copied for a force member, which gives SHARED COMMON its paper semantics
 // while keeping ordinary scalars member-private.
 type frame struct {
-	vars   map[string]value
-	kinds  map[string]valKind
-	arrays map[string]*array
-	shared map[string]*sharedCell
+	tab   *slotTable
+	slots []binding
 }
 
-func newFrame() *frame {
-	return &frame{
-		vars:   make(map[string]value),
-		kinds:  make(map[string]valKind),
-		arrays: make(map[string]*array),
-		shared: make(map[string]*sharedCell),
-	}
+func newFrame(tab *slotTable) *frame {
+	return &frame{tab: tab, slots: make([]binding, tab.size())}
 }
 
 // copyForMember clones the frame for a secondary force member: scalars are
 // copied (member-private), arrays and shared cells are shared by reference.
 func (f *frame) copyForMember() *frame {
-	g := newFrame()
-	for k, v := range f.vars {
-		g.vars[k] = v
-	}
-	for k, v := range f.kinds {
-		g.kinds[k] = v
-	}
-	for k, v := range f.arrays {
-		g.arrays[k] = v
-	}
-	for k, v := range f.shared {
-		g.shared[k] = v
-	}
+	g := &frame{tab: f.tab, slots: make([]binding, len(f.slots))}
+	copy(g.slots, f.slots)
 	return g
 }
 
-// declaredKind returns the kind a scalar name would take on first assignment.
-func (f *frame) declaredKind(name string) valKind {
-	if k, ok := f.kinds[name]; ok {
+// declaredKind returns the kind a scalar slot would take on first assignment.
+func (f *frame) declaredKind(slot int) valKind {
+	if k := f.slots[slot].kind; k != kNone {
 		return k
 	}
-	return implicitKind(name)
-}
-
-// --- expression evaluation ---------------------------------------------------
-
-func (st *execState) eval(e expr) (value, error) {
-	switch e := e.(type) {
-	case litE:
-		return e.v, nil
-	case nameE:
-		return st.evalName(e.name)
-	case callE:
-		return st.evalCall(e)
-	case unE:
-		x, err := st.eval(e.x)
-		if err != nil {
-			return value{}, err
-		}
-		return applyUnary(e.op, x)
-	case binE:
-		x, err := st.eval(e.x)
-		if err != nil {
-			return value{}, err
-		}
-		y, err := st.eval(e.y)
-		if err != nil {
-			return value{}, err
-		}
-		return applyBinary(e.op, x, y)
-	}
-	return value{}, fmt.Errorf("internal error: unknown expression %T", e)
-}
-
-func (st *execState) evalName(name string) (value, error) {
-	if v, ok := st.f.vars[name]; ok {
-		return v, nil
-	}
-	if c, ok := st.f.shared[name]; ok {
-		return c.load(), nil
-	}
-	if _, ok := st.f.arrays[name]; ok {
-		return value{}, fmt.Errorf("array %s used without subscripts", name)
-	}
-	if v, ok, err := st.intrinsic(name, nil); ok {
-		return v, err
-	}
-	return value{}, fmt.Errorf("variable %s used before it is set", name)
-}
-
-func (st *execState) evalCall(e callE) (value, error) {
-	if a, ok := st.f.arrays[e.name]; ok {
-		idx, err := st.evalSubscripts(e.args)
-		if err != nil {
-			return value{}, err
-		}
-		off, err := a.offset(e.name, idx)
-		if err != nil {
-			return value{}, err
-		}
-		return a.data[off], nil
-	}
-	args := make([]value, len(e.args))
-	for i, a := range e.args {
-		v, err := st.eval(a)
-		if err != nil {
-			return value{}, err
-		}
-		args[i] = v
-	}
-	if v, ok, err := st.intrinsic(e.name, args); ok {
-		return v, err
-	}
-	return value{}, fmt.Errorf("%s is neither a declared array nor a known function", e.name)
-}
-
-func (st *execState) evalSubscripts(args []expr) ([]int64, error) {
-	idx := make([]int64, len(args))
-	for i, a := range args {
-		v, err := st.eval(a)
-		if err != nil {
-			return nil, err
-		}
-		n, err := v.toInt()
-		if err != nil {
-			return nil, err
-		}
-		idx[i] = n
-	}
-	return idx, nil
-}
-
-// evalInt evaluates an expression and converts to INTEGER.
-func (st *execState) evalInt(e expr) (int64, error) {
-	v, err := st.eval(e)
-	if err != nil {
-		return 0, err
-	}
-	return v.toInt()
-}
-
-// assign stores a value into a scalar, shared cell, or array element.
-func (st *execState) assign(name string, index []expr, v value) error {
-	if index == nil {
-		if c, ok := st.f.shared[name]; ok {
-			cv, err := convert(v, c.load().kind)
-			if err != nil {
-				return fmt.Errorf("%s: %v", name, err)
-			}
-			c.store(cv)
-			return nil
-		}
-		if _, ok := st.f.arrays[name]; ok {
-			return fmt.Errorf("array %s assigned without subscripts", name)
-		}
-		cv, err := convert(v, st.f.declaredKind(name))
-		if err != nil {
-			return fmt.Errorf("%s: %v", name, err)
-		}
-		st.f.vars[name] = cv
-		return nil
-	}
-	a, ok := st.f.arrays[name]
-	if !ok {
-		return fmt.Errorf("%s is not a declared array", name)
-	}
-	idx, err := st.evalSubscripts(index)
-	if err != nil {
-		return err
-	}
-	off, err := a.offset(name, idx)
-	if err != nil {
-		return err
-	}
-	cv, err := convert(v, a.kind)
-	if err != nil {
-		return fmt.Errorf("%s: %v", name, err)
-	}
-	a.data[off] = cv
-	return nil
+	return f.tab.implicit[slot]
 }
 
 // --- operators ---------------------------------------------------------------
 
-func applyUnary(op string, x value) (value, error) {
-	switch op {
-	case "-":
-		switch x.kind {
-		case kInt:
-			return intVal(-x.i), nil
-		case kReal:
-			return realVal(-x.r), nil
-		}
-		return value{}, fmt.Errorf("unary - applied to %s value", x.kind)
-	case "NOT":
-		b, err := x.truth()
-		if err != nil {
-			return value{}, err
-		}
-		return boolVal(!b), nil
-	}
-	return value{}, fmt.Errorf("internal error: unknown unary operator %q", op)
+// binOp is a compiled binary operator: the operator string is resolved to an
+// opcode once at compile time, so evaluation dispatches on a small integer.
+type binOp uint8
+
+const (
+	opAdd binOp = iota
+	opSub
+	opMul
+	opDiv
+	opPow
+	opEQ
+	opNE
+	opLT
+	opLE
+	opGT
+	opGE
+	opAND
+	opOR
+	opEQV
+	opNEQV
+)
+
+// binOpCode maps the lexer's canonical operator names to opcodes.
+var binOpCode = map[string]binOp{
+	"+": opAdd, "-": opSub, "*": opMul, "/": opDiv, "**": opPow,
+	"EQ": opEQ, "NE": opNE, "LT": opLT, "LE": opLE, "GT": opGT, "GE": opGE,
+	"AND": opAND, "OR": opOR, "EQV": opEQV, "NEQV": opNEQV,
 }
 
-func applyBinary(op string, x, y value) (value, error) {
+// opSource renders an opcode in source form for error messages.
+func opSource(op binOp) string {
 	switch op {
-	case "+", "-", "*", "/", "**":
-		return applyArith(op, x, y)
-	case "EQ", "NE", "LT", "LE", "GT", "GE":
-		return applyCompare(op, x, y)
-	case "AND", "OR", "EQV", "NEQV":
-		a, err := x.truth()
-		if err != nil {
-			return value{}, err
-		}
-		b, err := y.truth()
-		if err != nil {
-			return value{}, err
-		}
-		switch op {
-		case "AND":
-			return boolVal(a && b), nil
-		case "OR":
-			return boolVal(a || b), nil
-		case "EQV":
-			return boolVal(a == b), nil
-		default:
-			return boolVal(a != b), nil
-		}
+	case opAdd:
+		return "+"
+	case opSub:
+		return "-"
+	case opMul:
+		return "*"
+	case opDiv:
+		return "/"
+	case opPow:
+		return "**"
+	case opEQ:
+		return ".EQ."
+	case opNE:
+		return ".NE."
+	case opLT:
+		return ".LT."
+	case opLE:
+		return ".LE."
+	case opGT:
+		return ".GT."
+	case opGE:
+		return ".GE."
+	case opAND:
+		return ".AND."
+	case opOR:
+		return ".OR."
+	case opEQV:
+		return ".EQV."
+	default:
+		return ".NEQV."
 	}
-	return value{}, fmt.Errorf("internal error: unknown operator %q", op)
+}
+
+func negVal(x value) (value, error) {
+	switch x.kind {
+	case kInt:
+		return intVal(-x.i), nil
+	case kReal:
+		return realVal(-x.r), nil
+	}
+	return value{}, fmt.Errorf("unary - applied to %s value", x.kind)
+}
+
+func notVal(x value) (value, error) {
+	b, err := x.truth()
+	if err != nil {
+		return value{}, err
+	}
+	return boolVal(!b), nil
+}
+
+func applyBinary(op binOp, x, y value) (value, error) {
+	switch {
+	case op <= opPow:
+		return applyArith(op, x, y)
+	case op <= opGE:
+		return applyCompare(op, x, y)
+	}
+	a, err := x.truth()
+	if err != nil {
+		return value{}, err
+	}
+	b, err := y.truth()
+	if err != nil {
+		return value{}, err
+	}
+	switch op {
+	case opAND:
+		return boolVal(a && b), nil
+	case opOR:
+		return boolVal(a || b), nil
+	case opEQV:
+		return boolVal(a == b), nil
+	default:
+		return boolVal(a != b), nil
+	}
 }
 
 // applyArith implements Fortran numeric rules: INTEGER op INTEGER stays
 // INTEGER (including truncating division); mixed operands promote to REAL.
-func applyArith(op string, x, y value) (value, error) {
+func applyArith(op binOp, x, y value) (value, error) {
 	if x.kind == kInt && y.kind == kInt {
 		switch op {
-		case "+":
+		case opAdd:
 			return intVal(x.i + y.i), nil
-		case "-":
+		case opSub:
 			return intVal(x.i - y.i), nil
-		case "*":
+		case opMul:
 			return intVal(x.i * y.i), nil
-		case "/":
+		case opDiv:
 			if y.i == 0 {
 				return value{}, fmt.Errorf("INTEGER division by zero")
 			}
 			return intVal(x.i / y.i), nil
-		case "**":
+		default:
 			return intPow(x.i, y.i)
 		}
 	}
@@ -463,21 +399,20 @@ func applyArith(op string, x, y value) (value, error) {
 		return value{}, fmt.Errorf("operator %s: %v", opSource(op), err)
 	}
 	switch op {
-	case "+":
+	case opAdd:
 		return realVal(a + b), nil
-	case "-":
+	case opSub:
 		return realVal(a - b), nil
-	case "*":
+	case opMul:
 		return realVal(a * b), nil
-	case "/":
+	case opDiv:
 		if b == 0 {
 			return value{}, fmt.Errorf("REAL division by zero")
 		}
 		return realVal(a / b), nil
-	case "**":
+	default:
 		return realVal(math.Pow(a, b)), nil
 	}
-	return value{}, fmt.Errorf("internal error: unknown arithmetic operator %q", op)
 }
 
 func intPow(base, exp int64) (value, error) {
@@ -510,28 +445,28 @@ func intPow(base, exp int64) (value, error) {
 	return intVal(result), nil
 }
 
-func applyCompare(op string, x, y value) (value, error) {
+func applyCompare(op binOp, x, y value) (value, error) {
 	// TASKID and CHARACTER values support equality comparison.
 	if x.kind == kTaskID && y.kind == kTaskID {
 		switch op {
-		case "EQ":
+		case opEQ:
 			return boolVal(x.id == y.id), nil
-		case "NE":
+		case opNE:
 			return boolVal(x.id != y.id), nil
 		}
 		return value{}, fmt.Errorf("TASKID values only compare with .EQ./.NE.")
 	}
 	if x.kind == kStr && y.kind == kStr {
 		switch op {
-		case "EQ":
+		case opEQ:
 			return boolVal(x.s == y.s), nil
-		case "NE":
+		case opNE:
 			return boolVal(x.s != y.s), nil
-		case "LT":
+		case opLT:
 			return boolVal(x.s < y.s), nil
-		case "LE":
+		case opLE:
 			return boolVal(x.s <= y.s), nil
-		case "GT":
+		case opGT:
 			return boolVal(x.s > y.s), nil
 		default:
 			return boolVal(x.s >= y.s), nil
@@ -539,38 +474,33 @@ func applyCompare(op string, x, y value) (value, error) {
 	}
 	a, err := x.toReal()
 	if err != nil {
-		return value{}, fmt.Errorf("comparison .%s.: %v", op, err)
+		return value{}, fmt.Errorf("comparison %s: %v", opSource(op), err)
 	}
 	b, err := y.toReal()
 	if err != nil {
-		return value{}, fmt.Errorf("comparison .%s.: %v", op, err)
+		return value{}, fmt.Errorf("comparison %s: %v", opSource(op), err)
 	}
 	switch op {
-	case "EQ":
+	case opEQ:
 		return boolVal(a == b), nil
-	case "NE":
+	case opNE:
 		return boolVal(a != b), nil
-	case "LT":
+	case opLT:
 		return boolVal(a < b), nil
-	case "LE":
+	case opLE:
 		return boolVal(a <= b), nil
-	case "GT":
+	case opGT:
 		return boolVal(a > b), nil
 	default:
 		return boolVal(a >= b), nil
 	}
 }
 
-func opSource(op string) string {
-	switch op {
-	case "+", "-", "*", "/", "**":
-		return op
-	default:
-		return "." + op + "."
-	}
-}
-
 // --- intrinsics --------------------------------------------------------------
+
+// intrinsicFn is one compiled built-in function.  Implementations must not
+// retain args: the slice aliases the execState's argument stack.
+type intrinsicFn func(st *execState, args []value) (value, error)
 
 // intrinsicAliases maps the classic Fortran type-specific generic names onto
 // the base intrinsic.
@@ -585,103 +515,200 @@ var intrinsicAliases = map[string]string{
 	"DSIN": "SIN", "DCOS": "COS",
 }
 
-// intrinsic evaluates a built-in function.  The boolean result reports
-// whether the name is an intrinsic at all (so undeclared variables and
-// unknown functions produce their own errors).
-func (st *execState) intrinsic(name string, args []value) (value, bool, error) {
+// resolveIntrinsic resolves a (possibly aliased) name to its intrinsic
+// implementation at compile time, or nil when the name is not an intrinsic.
+func resolveIntrinsic(name string) intrinsicFn {
 	if base, ok := intrinsicAliases[name]; ok {
 		name = base
 	}
-	fail := func(format string, a ...any) (value, bool, error) {
-		return value{}, true, fmt.Errorf(name+": "+format, a...)
-	}
-	switch name {
-	// --- Pisces run-time queries ---
-	case "SELF":
-		return idVal(st.t.ID()), true, nil
-	case "PARENT":
-		return idVal(st.t.Parent()), true, nil
-	case "SENDER":
-		return idVal(st.t.Sender()), true, nil
-	case "CLUSTER":
-		return intVal(int64(st.t.Cluster())), true, nil
-	case "MEMBER":
-		// 1-based, matching the paper's "the Ith force member".
-		if st.m == nil {
-			return intVal(1), true, nil
-		}
-		return intVal(int64(st.m.Member() + 1)), true, nil
-	case "MEMBERS":
-		if st.m == nil {
-			return intVal(1), true, nil
-		}
-		return intVal(int64(st.m.Members())), true, nil
-	case "QLEN":
-		return intVal(int64(st.t.QueueLength())), true, nil
+	return intrinsicTable[name]
+}
 
-	// --- last ACCEPT result ---
-	case "TIMEDOUT":
-		if st.lastAccept == nil {
-			return boolVal(false), true, nil
-		}
-		return boolVal(st.lastAccept.TimedOut), true, nil
-	case "NMSG":
-		if len(args) != 1 || args[0].kind != kStr {
-			return fail("needs one CHARACTER message-type argument")
-		}
-		if st.lastAccept == nil {
-			return intVal(0), true, nil
-		}
-		return intVal(int64(st.lastAccept.Count(strings.ToUpper(args[0].s)))), true, nil
-	case "MSGI", "MSGR", "MSGS", "MSGT", "MSGW":
-		v, err := st.msgArg(name, args)
-		return v, true, err
+// intrinsicTable is the pre-resolved dispatch table for every built-in
+// function: the compiler binds the implementation once per call site, so
+// evaluation never switches on the function name.
+var intrinsicTable map[string]intrinsicFn
 
-	// --- windows ---
-	case "WROWS", "WCOLS":
-		if len(args) != 1 || args[0].kind != kWindow {
-			return fail("needs one WINDOW argument")
-		}
-		if name == "WROWS" {
-			return intVal(int64(args[0].win.Rows())), true, nil
-		}
-		return intVal(int64(args[0].win.Cols())), true, nil
+func ifail(name, format string, a ...any) (value, error) {
+	return value{}, fmt.Errorf(name+": "+format, a...)
+}
 
-	// --- numeric intrinsics ---
-	case "ABS":
-		if len(args) != 1 {
-			return fail("needs one argument")
-		}
-		if args[0].kind == kInt {
-			if args[0].i < 0 {
-				return intVal(-args[0].i), true, nil
+func init() {
+	intrinsicTable = map[string]intrinsicFn{
+		// --- Pisces run-time queries ---
+		"SELF": func(st *execState, _ []value) (value, error) {
+			return idVal(st.t.ID()), nil
+		},
+		"PARENT": func(st *execState, _ []value) (value, error) {
+			return idVal(st.t.Parent()), nil
+		},
+		"SENDER": func(st *execState, _ []value) (value, error) {
+			return idVal(st.t.Sender()), nil
+		},
+		"CLUSTER": func(st *execState, _ []value) (value, error) {
+			return intVal(int64(st.t.Cluster())), nil
+		},
+		"MEMBER": func(st *execState, _ []value) (value, error) {
+			// 1-based, matching the paper's "the Ith force member".
+			if st.m == nil {
+				return intVal(1), nil
 			}
-			return args[0], true, nil
+			return intVal(int64(st.m.Member() + 1)), nil
+		},
+		"MEMBERS": func(st *execState, _ []value) (value, error) {
+			if st.m == nil {
+				return intVal(1), nil
+			}
+			return intVal(int64(st.m.Members())), nil
+		},
+		"QLEN": func(st *execState, _ []value) (value, error) {
+			return intVal(int64(st.t.QueueLength())), nil
+		},
+
+		// --- last ACCEPT result ---
+		"TIMEDOUT": func(st *execState, _ []value) (value, error) {
+			if st.lastAccept == nil {
+				return boolVal(false), nil
+			}
+			return boolVal(st.lastAccept.TimedOut), nil
+		},
+		"NMSG": func(st *execState, args []value) (value, error) {
+			if len(args) != 1 || args[0].kind != kStr {
+				return ifail("NMSG", "needs one CHARACTER message-type argument")
+			}
+			if st.lastAccept == nil {
+				return intVal(0), nil
+			}
+			return intVal(int64(st.lastAccept.Count(strings.ToUpper(args[0].s)))), nil
+		},
+		"MSGI": msgArgFn("MSGI", kInt),
+		"MSGR": msgArgFn("MSGR", kReal),
+		"MSGS": msgArgFn("MSGS", kStr),
+		"MSGT": msgArgFn("MSGT", kTaskID),
+		"MSGW": msgArgFn("MSGW", kWindow),
+
+		// --- windows ---
+		"WROWS": func(_ *execState, args []value) (value, error) {
+			if len(args) != 1 || args[0].kind != kWindow {
+				return ifail("WROWS", "needs one WINDOW argument")
+			}
+			return intVal(int64(args[0].windowPayload().Rows())), nil
+		},
+		"WCOLS": func(_ *execState, args []value) (value, error) {
+			if len(args) != 1 || args[0].kind != kWindow {
+				return ifail("WCOLS", "needs one WINDOW argument")
+			}
+			return intVal(int64(args[0].windowPayload().Cols())), nil
+		},
+
+		// --- numeric intrinsics ---
+		"ABS": func(_ *execState, args []value) (value, error) {
+			if len(args) != 1 {
+				return ifail("ABS", "needs one argument")
+			}
+			if args[0].kind == kInt {
+				if args[0].i < 0 {
+					return intVal(-args[0].i), nil
+				}
+				return args[0], nil
+			}
+			r, err := args[0].toReal()
+			if err != nil {
+				return ifail("ABS", "%v", err)
+			}
+			return realVal(math.Abs(r)), nil
+		},
+		"MOD": func(_ *execState, args []value) (value, error) {
+			if len(args) != 2 {
+				return ifail("MOD", "needs two arguments")
+			}
+			if args[0].kind == kInt && args[1].kind == kInt {
+				if args[1].i == 0 {
+					return ifail("MOD", "division by zero")
+				}
+				return intVal(args[0].i % args[1].i), nil
+			}
+			a, err1 := args[0].toReal()
+			b, err2 := args[1].toReal()
+			if err1 != nil || err2 != nil || b == 0 {
+				return ifail("MOD", "bad arguments")
+			}
+			return realVal(math.Mod(a, b)), nil
+		},
+		"MIN": minMaxFn("MIN"),
+		"MAX": minMaxFn("MAX"),
+		"INT": func(_ *execState, args []value) (value, error) {
+			if len(args) != 1 {
+				return ifail("INT", "needs one argument")
+			}
+			n, err := args[0].toInt()
+			if err != nil {
+				return ifail("INT", "%v", err)
+			}
+			return intVal(n), nil
+		},
+		"NINT": func(_ *execState, args []value) (value, error) {
+			if len(args) != 1 {
+				return ifail("NINT", "needs one argument")
+			}
+			r, err := args[0].toReal()
+			if err != nil {
+				return ifail("NINT", "%v", err)
+			}
+			return intVal(int64(math.Round(r))), nil
+		},
+		"REAL": func(_ *execState, args []value) (value, error) {
+			if len(args) != 1 {
+				return ifail("REAL", "needs one argument")
+			}
+			r, err := args[0].toReal()
+			if err != nil {
+				return ifail("REAL", "%v", err)
+			}
+			return realVal(r), nil
+		},
+		"SQRT": realFn("SQRT", func(r float64) (float64, error) {
+			if r < 0 {
+				return 0, fmt.Errorf("SQRT: negative argument %g", r)
+			}
+			return math.Sqrt(r), nil
+		}),
+		"EXP": realFn("EXP", func(r float64) (float64, error) { return math.Exp(r), nil }),
+		"LOG": realFn("LOG", func(r float64) (float64, error) {
+			if r <= 0 {
+				return 0, fmt.Errorf("LOG: non-positive argument %g", r)
+			}
+			return math.Log(r), nil
+		}),
+		"SIN": realFn("SIN", func(r float64) (float64, error) { return math.Sin(r), nil }),
+		"COS": realFn("COS", func(r float64) (float64, error) { return math.Cos(r), nil }),
+	}
+}
+
+// realFn builds a one-REAL-argument intrinsic.
+func realFn(name string, f func(float64) (float64, error)) intrinsicFn {
+	return func(_ *execState, args []value) (value, error) {
+		if len(args) != 1 {
+			return ifail(name, "needs one argument")
 		}
 		r, err := args[0].toReal()
 		if err != nil {
-			return fail("%v", err)
+			return ifail(name, "%v", err)
 		}
-		return realVal(math.Abs(r)), true, nil
-	case "MOD":
-		if len(args) != 2 {
-			return fail("needs two arguments")
+		out, err := f(r)
+		if err != nil {
+			return value{}, err
 		}
-		if args[0].kind == kInt && args[1].kind == kInt {
-			if args[1].i == 0 {
-				return fail("division by zero")
-			}
-			return intVal(args[0].i % args[1].i), true, nil
-		}
-		a, err1 := args[0].toReal()
-		b, err2 := args[1].toReal()
-		if err1 != nil || err2 != nil || b == 0 {
-			return fail("bad arguments")
-		}
-		return realVal(math.Mod(a, b)), true, nil
-	case "MIN", "MAX":
+		return realVal(out), nil
+	}
+}
+
+// minMaxFn builds the MIN/MAX variadic intrinsics.
+func minMaxFn(name string) intrinsicFn {
+	wantMin := name == "MIN"
+	return func(_ *execState, args []value) (value, error) {
 		if len(args) < 2 {
-			return fail("needs at least two arguments")
+			return ifail(name, "needs at least two arguments")
 		}
 		allInt := true
 		for _, a := range args {
@@ -694,123 +721,70 @@ func (st *execState) intrinsic(name string, args []value) (value, bool, error) {
 			// precision above 2**53.
 			best := args[0].i
 			for _, a := range args[1:] {
-				if (name == "MIN" && a.i < best) || (name == "MAX" && a.i > best) {
+				if (wantMin && a.i < best) || (!wantMin && a.i > best) {
 					best = a.i
 				}
 			}
-			return intVal(best), true, nil
+			return intVal(best), nil
 		}
 		best, err := args[0].toReal()
 		if err != nil {
-			return fail("%v", err)
+			return ifail(name, "%v", err)
 		}
 		for _, a := range args[1:] {
 			r, err := a.toReal()
 			if err != nil {
-				return fail("%v", err)
+				return ifail(name, "%v", err)
 			}
-			if (name == "MIN" && r < best) || (name == "MAX" && r > best) {
+			if (wantMin && r < best) || (!wantMin && r > best) {
 				best = r
 			}
 		}
-		return realVal(best), true, nil
-	case "INT":
-		if len(args) != 1 {
-			return fail("needs one argument")
-		}
-		n, err := args[0].toInt()
-		if err != nil {
-			return fail("%v", err)
-		}
-		return intVal(n), true, nil
-	case "NINT":
-		if len(args) != 1 {
-			return fail("needs one argument")
-		}
-		r, err := args[0].toReal()
-		if err != nil {
-			return fail("%v", err)
-		}
-		return intVal(int64(math.Round(r))), true, nil
-	case "REAL":
-		if len(args) != 1 {
-			return fail("needs one argument")
-		}
-		r, err := args[0].toReal()
-		if err != nil {
-			return fail("%v", err)
-		}
-		return realVal(r), true, nil
-	case "SQRT", "EXP", "LOG", "SIN", "COS":
-		if len(args) != 1 {
-			return fail("needs one argument")
-		}
-		r, err := args[0].toReal()
-		if err != nil {
-			return fail("%v", err)
-		}
-		switch name {
-		case "SQRT":
-			if r < 0 {
-				return fail("negative argument %g", r)
-			}
-			return realVal(math.Sqrt(r)), true, nil
-		case "EXP":
-			return realVal(math.Exp(r)), true, nil
-		case "LOG":
-			if r <= 0 {
-				return fail("non-positive argument %g", r)
-			}
-			return realVal(math.Log(r)), true, nil
-		case "SIN":
-			return realVal(math.Sin(r)), true, nil
-		default:
-			return realVal(math.Cos(r)), true, nil
-		}
+		return realVal(best), nil
 	}
-	return value{}, false, nil
 }
 
-// msgArg implements MSGI/MSGR/MSGS/MSGT/MSGW('TYPE', i, j): the j-th argument
+// msgArgFn builds MSGI/MSGR/MSGS/MSGT/MSGW('TYPE', i, j): the j-th argument
 // of the i-th accepted message of the given type from the task's most recent
 // ACCEPT statement (both indices 1-based).
-func (st *execState) msgArg(name string, args []value) (value, error) {
-	if len(args) != 3 || args[0].kind != kStr {
-		return value{}, fmt.Errorf("%s needs ('TYPE', message, argument)", name)
+func msgArgFn(name string, want valKind) intrinsicFn {
+	return func(st *execState, args []value) (value, error) {
+		if len(args) != 3 || args[0].kind != kStr {
+			return value{}, fmt.Errorf("%s needs ('TYPE', message, argument)", name)
+		}
+		msgType := strings.ToUpper(args[0].s)
+		i, err1 := args[1].toInt()
+		j, err2 := args[2].toInt()
+		if err1 != nil || err2 != nil {
+			return value{}, fmt.Errorf("%s indices must be INTEGER", name)
+		}
+		if st.lastAccept == nil {
+			return value{}, fmt.Errorf("%s used before any ACCEPT", name)
+		}
+		msgs := st.lastAccept.ByType[msgType]
+		if i < 1 || i > int64(len(msgs)) {
+			return value{}, fmt.Errorf("%s: message %d of type %s not accepted (have %d)", name, i, msgType, len(msgs))
+		}
+		m := msgs[i-1]
+		if j < 1 || j > int64(len(m.Args)) {
+			return value{}, fmt.Errorf("%s: message %s has %d arguments, asked for %d", name, msgType, len(m.Args), j)
+		}
+		v, err := fromCoreValue(m.Args[j-1])
+		if err != nil {
+			return value{}, fmt.Errorf("%s: %v", name, err)
+		}
+		cv, err := convert(v, want)
+		if err != nil {
+			return value{}, fmt.Errorf("%s: %v", name, err)
+		}
+		return cv, nil
 	}
-	msgType := strings.ToUpper(args[0].s)
-	i, err1 := args[1].toInt()
-	j, err2 := args[2].toInt()
-	if err1 != nil || err2 != nil {
-		return value{}, fmt.Errorf("%s indices must be INTEGER", name)
-	}
-	if st.lastAccept == nil {
-		return value{}, fmt.Errorf("%s used before any ACCEPT", name)
-	}
-	msgs := st.lastAccept.ByType[msgType]
-	if i < 1 || i > int64(len(msgs)) {
-		return value{}, fmt.Errorf("%s: message %d of type %s not accepted (have %d)", name, i, msgType, len(msgs))
-	}
-	m := msgs[i-1]
-	if j < 1 || j > int64(len(m.Args)) {
-		return value{}, fmt.Errorf("%s: message %s has %d arguments, asked for %d", name, msgType, len(m.Args), j)
-	}
-	v, err := fromCoreValue(m.Args[j-1])
-	if err != nil {
-		return value{}, fmt.Errorf("%s: %v", name, err)
-	}
-	want := map[string]valKind{"MSGI": kInt, "MSGR": kReal, "MSGS": kStr, "MSGT": kTaskID, "MSGW": kWindow}[name]
-	cv, err := convert(v, want)
-	if err != nil {
-		return value{}, fmt.Errorf("%s: %v", name, err)
-	}
-	return cv, nil
 }
 
 // --- core.Value conversions --------------------------------------------------
 
 // fromCoreValue converts a message/initiation argument to an interpreter
-// value.  Array arguments are handled separately by bindParam.
+// value.  Array arguments are handled separately by bindParams.
 func fromCoreValue(v core.Value) (value, error) {
 	switch v.Kind {
 	case msgcodec.KindInteger:
@@ -851,7 +825,7 @@ func toCoreValue(v value) (core.Value, error) {
 	case kTaskID:
 		return core.ID(v.id), nil
 	case kWindow:
-		return core.Win(v.win), nil
+		return core.Win(v.windowPayload()), nil
 	}
 	return core.Value{}, fmt.Errorf("internal error: unknown value kind %d", v.kind)
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 	"sync"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/loops"
@@ -88,6 +87,7 @@ type execState struct {
 	lastAccept *core.AcceptResult
 	forceSize  int        // cached cluster force size; 0 = not yet computed
 	sticky     *stickyErr // non-nil inside a FORCESPLIT region
+	argv       []value    // intrinsic argument stack, reused across calls
 }
 
 // requirePrimary guards message and terminal operations inside a force
@@ -99,18 +99,26 @@ func (st *execState) requirePrimary(op string) error {
 	return nil
 }
 
-// execSeq executes a statement sequence, resolving GOTOs whose target label
-// is in this sequence and propagating every other control transfer outward.
-// Inside a force region (sticky mode) a failing statement is recorded and
-// skipped so the member stays aligned on the region's collectives.
-func (st *execState) execSeq(ns []node) (ctl, error) {
+// execSeq executes a compiled statement sequence, resolving GOTOs whose
+// target label is in this sequence and propagating every other control
+// transfer outward.  Inside a force region (sticky mode) a failing statement
+// is recorded and skipped so the member stays aligned on the region's
+// collectives.
+func (st *execState) execSeq(ns []cstmt) (ctl, error) {
 	pc := 0
 	for pc < len(ns) {
-		c, err := st.execNode(&ns[pc])
+		s := &ns[pc]
+		st.p.cs.statements.Inc()
+		c, err := s.run(st)
 		if err != nil {
+			if s.line > 0 {
+				if _, ok := err.(*Error); !ok {
+					err = &Error{Line: s.line, Msg: err.Error()}
+				}
+			}
 			if st.sticky != nil {
 				st.sticky.record(st.memberErr(err))
-				if st.m != nil && subtreeHasCollective(&ns[pc]) {
+				if st.m != nil && s.collective {
 					// Skipping a statement that contains collective
 					// operations would strand the other members at them;
 					// degrade the whole force's synchronisation instead.
@@ -146,41 +154,7 @@ func (st *execState) memberErr(err error) error {
 	return err
 }
 
-// subtreeHasCollective reports whether a statement subtree contains a
-// construct other members synchronise on (BARRIER, or the shared iteration
-// counter of SELFSCHED DO).
-func subtreeHasCollective(n *node) bool {
-	if n.kind == nBarrier || n.kind == nSelfsched {
-		return true
-	}
-	for i := range n.body {
-		if subtreeHasCollective(&n.body[i]) {
-			return true
-		}
-	}
-	for i := range n.elseBody {
-		if subtreeHasCollective(&n.elseBody[i]) {
-			return true
-		}
-	}
-	for _, seg := range n.segments {
-		for i := range seg {
-			if subtreeHasCollective(&seg[i]) {
-				return true
-			}
-		}
-	}
-	if n.accept != nil {
-		for i := range n.accept.onTimeout {
-			if subtreeHasCollective(&n.accept.onTimeout[i]) {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-func findLabel(ns []node, label string) (int, bool) {
+func findLabel(ns []cstmt, label string) (int, bool) {
 	for i := range ns {
 		if ns[i].label == label {
 			return i, true
@@ -189,131 +163,10 @@ func findLabel(ns []node, label string) (int, bool) {
 	return 0, false
 }
 
-// execNode executes one statement node.
-func (st *execState) execNode(n *node) (ctl, error) {
-	st.p.cs.statements.Inc()
-	c, err := st.execNodeInner(n)
-	if err != nil && n.line > 0 {
-		if _, ok := err.(*Error); !ok {
-			err = &Error{Line: n.line, Msg: err.Error()}
-		}
-	}
-	return c, err
-}
-
-func (st *execState) execNodeInner(n *node) (ctl, error) {
-	switch n.kind {
-	case nAssign:
-		v, err := st.eval(n.rhs)
-		if err != nil {
-			return ctl{}, err
-		}
-		return ctlOK, st.assign(n.name, n.index, v)
-
-	case nIf:
-		v, err := st.eval(n.cond)
-		if err != nil {
-			return ctl{}, err
-		}
-		b, err := v.truth()
-		if err != nil {
-			return ctl{}, fmt.Errorf("IF condition: %v", err)
-		}
-		if b {
-			return st.execSeq(n.body)
-		}
-		return st.execSeq(n.elseBody)
-
-	case nDo:
-		return st.execDo(n)
-
-	case nGoto:
-		return ctl{kind: ctlGoto, label: n.target}, nil
-
-	case nContinue:
-		return ctlOK, nil
-
-	case nStop:
-		if n.stopX != nil {
-			v, err := st.eval(n.stopX)
-			if err != nil {
-				return ctl{}, err
-			}
-			if err := st.printLine("STOP " + v.format()); err != nil {
-				return ctl{}, err
-			}
-		}
-		return ctl{kind: ctlStop}, nil
-
-	case nReturn:
-		return ctl{kind: ctlReturn}, nil
-
-	case nPrint:
-		return ctlOK, st.execPrint(n)
-
-	case nDecl:
-		return ctlOK, st.execDecl(n)
-
-	case nCall:
-		return ctlOK, st.execCall(n)
-
-	case nInitiate:
-		return ctlOK, st.execInitiate(n)
-
-	case nSend:
-		return ctlOK, st.execSend(n)
-
-	case nAccept:
-		return st.execAccept(n)
-
-	case nForce:
-		return st.execForce(n)
-
-	case nBarrier:
-		return st.execBarrier(n)
-
-	case nCritical:
-		return st.execCritical(n)
-
-	case nPresched, nSelfsched:
-		return st.execScheduledDo(n)
-
-	case nParseg:
-		return st.execParseg(n)
-
-	case nSharedCommon:
-		return ctlOK, st.execSharedCommon(n)
-
-	case nLockDecl:
-		for _, d := range n.decls {
-			if _, err := st.locks.get(st.t, d.name); err != nil {
-				return ctl{}, err
-			}
-		}
-		return ctlOK, nil
-
-	case nSignalDecl:
-		// Task.Signal mutates task-level state; inside a force only the
-		// primary (the member that may ACCEPT) registers the declaration —
-		// concurrent members would race on the task's signal table.
-		if st.m == nil || st.m.IsPrimary() {
-			st.t.Signal(n.name)
-		}
-		return ctlOK, nil
-
-	case nHandlerDecl:
-		// The interpreter has no Fortran handler subroutines; handler-declared
-		// message types are counted like signals and their arguments remain
-		// readable through the MSG* intrinsics after an ACCEPT.
-		return ctlOK, nil
-	}
-	return ctl{}, fmt.Errorf("internal error: unknown node kind %d", n.kind)
-}
-
 // --- ordinary statements -----------------------------------------------------
 
-func (st *execState) execDo(n *node) (ctl, error) {
-	lo, hi, step, err := st.loopBounds(n)
+func (st *execState) execDo(d *cdo) (ctl, error) {
+	lo, hi, step, err := st.loopBounds(d.lo, d.hi, d.step)
 	if err != nil {
 		return ctl{}, err
 	}
@@ -321,11 +174,11 @@ func (st *execState) execDo(n *node) (ctl, error) {
 	var bodyErr error
 	err = loops.ForEach(lo, hi, step, func(i int) bool {
 		st.p.cs.loopIterations.Inc()
-		if e := st.assign(n.name, nil, intVal(int64(i))); e != nil {
+		if e := d.store(st, intVal(int64(i))); e != nil {
 			bodyErr = e
 			return false
 		}
-		c, e := st.execSeq(n.body)
+		c, e := st.execSeq(d.body)
 		if e != nil {
 			bodyErr = e
 			return false
@@ -348,36 +201,39 @@ func (st *execState) execDo(n *node) (ctl, error) {
 	return ctlOK, nil
 }
 
-func (st *execState) loopBounds(n *node) (lo, hi, step int, err error) {
-	l, err := st.evalInt(n.lo)
+func (st *execState) loopBounds(lo, hi, step cexpr) (l, h, s int, err error) {
+	lv, err := st.evalInt(lo)
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	h, err := st.evalInt(n.hi)
+	hv, err := st.evalInt(hi)
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	s, err := st.evalInt(n.step)
+	sv, err := st.evalInt(step)
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	return int(l), int(h), int(s), nil
+	return int(lv), int(hv), int(sv), nil
 }
 
-func (st *execState) execPrint(n *node) error {
+func (st *execState) execPrint(items []cexpr) error {
 	if err := st.requirePrimary("PRINT"); err != nil {
 		return err
 	}
-	parts := make([]string, len(n.items))
-	for i, e := range n.items {
-		v, err := st.eval(e)
+	var sb strings.Builder
+	for i, e := range items {
+		v, err := e(st)
 		if err != nil {
 			return err
 		}
-		parts[i] = v.format()
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(v.format())
 	}
 	st.p.cs.prints.Inc()
-	return st.printLine(strings.Join(parts, " "))
+	return st.printLine(sb.String())
 }
 
 // printLine sends one line of output to the user terminal by way of the user
@@ -386,11 +242,13 @@ func (st *execState) printLine(line string) error {
 	return st.t.SendUser("print", core.Str(line+"\n"))
 }
 
-func (st *execState) execDecl(n *node) error {
-	for _, d := range n.decls {
+func (st *execState) execDecl(items []cdeclItem) error {
+	for i := range items {
+		d := &items[i]
+		b := &st.f.slots[d.slot]
 		if len(d.dims) == 0 {
-			st.f.kinds[d.name] = d.kind
-			if c, ok := st.f.shared[d.name]; ok {
+			b.kind = d.kind
+			if c := b.cell; c != nil {
 				cv, err := convert(c.load(), d.kind)
 				if err != nil {
 					return fmt.Errorf("%s: %v", d.name, err)
@@ -398,12 +256,12 @@ func (st *execState) execDecl(n *node) error {
 				c.store(cv)
 				continue
 			}
-			if v, ok := st.f.vars[d.name]; ok {
-				cv, err := convert(v, d.kind)
+			if b.v.kind != kNone {
+				cv, err := convert(b.v, d.kind)
 				if err != nil {
 					return fmt.Errorf("%s: %v", d.name, err)
 				}
-				st.f.vars[d.name] = cv
+				b.v = cv
 			}
 			continue
 		}
@@ -411,7 +269,7 @@ func (st *execState) execDecl(n *node) error {
 		if err != nil {
 			return err
 		}
-		if a, ok := st.f.arrays[d.name]; ok {
+		if a := b.arr; a != nil {
 			// Re-declaration (typing a SHARED COMMON array, or the required
 			// declaration of an array-valued tasktype parameter): re-kind and
 			// reshape the existing storage in place, preserving its values in
@@ -436,12 +294,12 @@ func (st *execState) execDecl(n *node) error {
 			a.rows, a.cols = rows, cols
 			continue
 		}
-		st.f.arrays[d.name] = newArray(d.kind, rows, cols)
+		b.arr = newArray(d.kind, rows, cols)
 	}
 	return nil
 }
 
-func (st *execState) arrayExtents(d declItem) (rows, cols int, err error) {
+func (st *execState) arrayExtents(d *cdeclItem) (rows, cols int, err error) {
 	r, err := st.evalInt(d.dims[0])
 	if err != nil {
 		return 0, 0, err
@@ -463,36 +321,14 @@ func (st *execState) arrayExtents(d declItem) (rows, cols int, err error) {
 	return rows, cols, nil
 }
 
-func (st *execState) execCall(n *node) error {
-	switch n.name {
-	case "CHARGE":
-		ticks, err := st.evalInt(n.items[0])
-		if err != nil {
-			return err
-		}
-		if st.m != nil {
-			st.m.Charge(ticks)
-		} else {
-			st.t.Charge(ticks)
-		}
-		return nil
-	case "YIELD":
-		if st.m == nil {
-			st.t.Yield()
-		}
-		return nil
-	}
-	return fmt.Errorf("internal error: unknown CALL %s", n.name)
-}
-
 // --- Pisces statements -------------------------------------------------------
 
-func (st *execState) execInitiate(n *node) error {
+func (st *execState) execInitiate(c *cinitiate) error {
 	if err := st.requirePrimary("INITIATE"); err != nil {
 		return err
 	}
 	var placement core.Placement
-	switch n.placement {
+	switch c.placement {
 	case placeAny:
 		placement = core.Any()
 	case placeOther:
@@ -500,153 +336,80 @@ func (st *execState) execInitiate(n *node) error {
 	case placeSame:
 		placement = core.Same()
 	case placeCluster:
-		cl, err := st.evalInt(n.clusterX)
+		cl, err := st.evalInt(c.clusterX)
 		if err != nil {
 			return err
 		}
 		placement = core.OnCluster(int(cl))
 	}
-	args, err := st.evalSendArgs(n.items)
+	args, err := st.evalSendArgs(c.args)
 	if err != nil {
 		return err
 	}
 	st.p.cs.initiates.Inc()
-	return st.t.Initiate(placement, n.name, args...)
+	return st.t.Initiate(placement, c.tasktype, args...)
 }
 
-func (st *execState) execSend(n *node) error {
+func (st *execState) execSend(c *csend) error {
 	if err := st.requirePrimary("SEND"); err != nil {
 		return err
 	}
-	args, err := st.evalSendArgs(n.items)
+	args, err := st.evalSendArgs(c.args)
 	if err != nil {
 		return err
 	}
 	st.p.cs.sends.Inc()
-	switch n.dest {
+	switch c.dest {
 	case destParent:
-		return st.t.SendParent(n.name, args...)
+		return st.t.SendParent(c.msgType, args...)
 	case destSelf:
-		return st.t.SendSelf(n.name, args...)
+		return st.t.SendSelf(c.msgType, args...)
 	case destSender:
-		return st.t.SendSender(n.name, args...)
+		return st.t.SendSender(c.msgType, args...)
 	case destUser:
-		return st.t.SendUser(n.name, args...)
+		return st.t.SendUser(c.msgType, args...)
 	case destAll:
-		return st.t.Broadcast(n.name, args...)
+		return st.t.Broadcast(c.msgType, args...)
 	case destAllCluster:
-		cl, err := st.evalInt(n.clusterX)
+		cl, err := st.evalInt(c.clusterX)
 		if err != nil {
 			return err
 		}
-		return st.t.BroadcastCluster(int(cl), n.name, args...)
+		return st.t.BroadcastCluster(int(cl), c.msgType, args...)
 	case destTContr:
-		cl, err := st.evalInt(n.clusterX)
+		cl, err := st.evalInt(c.clusterX)
 		if err != nil {
 			return err
 		}
-		return st.t.SendTaskController(int(cl), n.name, args...)
+		return st.t.SendTaskController(int(cl), c.msgType, args...)
 	default:
-		v, err := st.eval(n.destX)
+		v, err := c.destX(st)
 		if err != nil {
 			return err
 		}
 		if v.kind != kTaskID {
 			return fmt.Errorf("SEND destination is %s, not a TASKID", v.kind)
 		}
-		return st.t.Send(v.id, n.name, args...)
+		return st.t.Send(v.id, c.msgType, args...)
 	}
 }
 
-// evalSendArgs evaluates message/initiation arguments; a bare array name
-// passes the whole array as an INTEGER or REAL array argument.
-func (st *execState) evalSendArgs(items []expr) ([]core.Value, error) {
-	out := make([]core.Value, len(items))
-	for i, e := range items {
-		if ne, ok := e.(nameE); ok {
-			if a, ok := st.f.arrays[ne.name]; ok {
-				cv, err := arrayToCore(ne.name, a)
-				if err != nil {
-					return nil, err
-				}
-				out[i] = cv
-				continue
-			}
-		}
-		v, err := st.eval(e)
-		if err != nil {
-			return nil, err
-		}
-		cv, err := toCoreValue(v)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = cv
-	}
-	return out, nil
-}
-
-func arrayToCore(name string, a *array) (core.Value, error) {
-	switch a.kind {
-	case kInt:
-		vs := make([]int64, len(a.data))
-		for i, v := range a.data {
-			vs[i] = v.i
-		}
-		return core.Ints(vs), nil
-	case kReal:
-		vs := make([]float64, len(a.data))
-		for i, v := range a.data {
-			vs[i] = v.r
-		}
-		return core.Reals(vs), nil
-	}
-	return core.Value{}, fmt.Errorf("array %s of kind %s cannot be a message argument", name, a.kind)
-}
-
-func (st *execState) execAccept(n *node) (ctl, error) {
+func (st *execState) execAccept(a *caccept) (ctl, error) {
 	if err := st.requirePrimary("ACCEPT"); err != nil {
 		return ctl{}, err
 	}
-	spec := core.AcceptSpec{}
-	if n.accept.total != nil {
-		total, err := st.evalInt(n.accept.total)
-		if err != nil {
-			return ctl{}, err
-		}
-		spec.Total = int(total)
-	}
-	for _, ty := range n.accept.types {
-		tc := core.TypeCount{Type: ty.name}
-		switch {
-		case ty.all:
-			tc.Count = core.All
-		case ty.count != nil:
-			cnt, err := st.evalInt(ty.count)
-			if err != nil {
-				return ctl{}, err
-			}
-			tc.Count = int(cnt)
-		}
-		spec.Types = append(spec.Types, tc)
-	}
-	if n.accept.delay != nil {
-		secs, err := st.eval(n.accept.delay)
-		if err != nil {
-			return ctl{}, err
-		}
-		s, err := secs.toReal()
-		if err != nil {
-			return ctl{}, fmt.Errorf("DELAY: %v", err)
-		}
-		spec.Delay = time.Duration(s * float64(time.Second))
-		if spec.Delay <= 0 {
-			spec.Delay = time.Nanosecond
-		}
+	spec, err := st.acceptSpec(a)
+	if err != nil {
+		return ctl{}, err
 	}
 	res, err := st.t.Accept(spec)
 	if err != nil {
 		return ctl{}, err
+	}
+	if old := st.lastAccept; old != nil && old != res && st.m == nil && st.sticky == nil {
+		// Outside any force region the interpreter is the sole owner of the
+		// previous result; its message headers go back to the run-time pool.
+		st.t.RecycleAccept(old)
 	}
 	st.lastAccept = res
 	st.p.cs.accepts.Inc()
@@ -654,8 +417,8 @@ func (st *execState) execAccept(n *node) (ctl, error) {
 		st.p.cs.acceptTimeouts.Inc()
 		// The DELAY ... THEN sequence runs with the ACCEPT's result already
 		// installed, so TIMEDOUT(), NMSG, and MSG* reflect this ACCEPT.
-		if len(n.accept.onTimeout) > 0 {
-			return st.execSeq(n.accept.onTimeout)
+		if len(a.onTimeout) > 0 {
+			return st.execSeq(a.onTimeout)
 		}
 	}
 	return ctlOK, nil
@@ -675,7 +438,7 @@ func (st *execState) forceMembers() int {
 	return st.forceSize
 }
 
-func (st *execState) execForce(n *node) (ctl, error) {
+func (st *execState) execForce(body []cstmt) (ctl, error) {
 	if st.m != nil {
 		return ctl{}, fmt.Errorf("nested FORCESPLIT")
 	}
@@ -702,7 +465,7 @@ func (st *execState) execForce(n *node) (ctl, error) {
 		} else {
 			sub.f = frames[m.Member()]
 		}
-		c, _ := sub.execSeq(n.body) // statement errors are in sticky
+		c, _ := sub.execSeq(body) // statement errors are in sticky
 		if m.IsPrimary() {
 			primAccept = sub.lastAccept
 		}
@@ -728,14 +491,14 @@ func (st *execState) execForce(n *node) (ctl, error) {
 	return ctlOK, nil
 }
 
-func (st *execState) execBarrier(n *node) (ctl, error) {
+func (st *execState) execBarrier(body []cstmt) (ctl, error) {
 	st.p.cs.barriers.Inc()
 	if st.m == nil {
-		return st.execSeq(n.body)
+		return st.execSeq(body)
 	}
 	var c ctl
 	var err error
-	st.m.Barrier(func() { c, err = st.execSeq(n.body) })
+	st.m.Barrier(func() { c, err = st.execSeq(body) })
 	if err != nil {
 		return ctl{}, err
 	}
@@ -747,28 +510,28 @@ func (st *execState) execBarrier(n *node) (ctl, error) {
 	return ctlOK, nil
 }
 
-func (st *execState) execCritical(n *node) (ctl, error) {
+func (st *execState) execCritical(name string, body []cstmt) (ctl, error) {
 	st.p.cs.criticals.Inc()
 	if st.m == nil {
 		// Outside a force the task is the only possible holder; the body runs
 		// directly.
-		return st.execSeq(n.body)
+		return st.execSeq(body)
 	}
-	l, err := st.locks.get(st.t, n.name)
+	l, err := st.locks.get(st.t, name)
 	if err != nil {
 		return ctl{}, err
 	}
 	var c ctl
 	var bodyErr error
-	st.m.Critical(l, func() { c, bodyErr = st.execSeq(n.body) })
+	st.m.Critical(l, func() { c, bodyErr = st.execSeq(body) })
 	if bodyErr != nil {
 		return ctl{}, bodyErr
 	}
 	return c, nil
 }
 
-func (st *execState) execScheduledDo(n *node) (ctl, error) {
-	lo, hi, step, err := st.loopBounds(n)
+func (st *execState) execScheduledDo(d *csched) (ctl, error) {
+	lo, hi, step, err := st.loopBounds(d.lo, d.hi, d.step)
 	if err != nil {
 		// execSeq's sticky handler aborts the force for us: this node is a
 		// collective the member cannot execute.
@@ -782,11 +545,11 @@ func (st *execState) execScheduledDo(n *node) (ctl, error) {
 			return
 		}
 		st.p.cs.loopIterations.Inc()
-		if e := st.assign(n.name, nil, intVal(int64(i))); e != nil {
+		if e := d.store(st, intVal(int64(i))); e != nil {
 			bodyErr, aborted = e, true
 			return
 		}
-		c, e := st.execSeq(n.body)
+		c, e := st.execSeq(d.body)
 		if e != nil {
 			bodyErr, aborted = e, true
 			return
@@ -796,7 +559,7 @@ func (st *execState) execScheduledDo(n *node) (ctl, error) {
 		}
 	}
 	if st.m != nil {
-		if n.kind == nPresched {
+		if !d.selfsched {
 			err = st.m.Presched(lo, hi, step, iter)
 		} else {
 			_, err = st.m.Selfsched(lo, hi, step, iter)
@@ -826,11 +589,11 @@ func (st *execState) execScheduledDo(n *node) (ctl, error) {
 	return ctlOK, nil
 }
 
-func (st *execState) execParseg(n *node) (ctl, error) {
+func (st *execState) execParseg(segments [][]cstmt) (ctl, error) {
 	var brk ctl
 	var bodyErr error
 	aborted := false
-	run := func(seg []node) {
+	run := func(seg []cstmt) {
 		if aborted {
 			return
 		}
@@ -844,8 +607,8 @@ func (st *execState) execParseg(n *node) (ctl, error) {
 		}
 	}
 	if st.m != nil {
-		fns := make([]func(), len(n.segments))
-		for i, seg := range n.segments {
+		fns := make([]func(), len(segments))
+		for i, seg := range segments {
 			seg := seg
 			fns[i] = func() { run(seg) }
 		}
@@ -853,7 +616,7 @@ func (st *execState) execParseg(n *node) (ctl, error) {
 			return ctl{}, err
 		}
 	} else {
-		for _, seg := range n.segments {
+		for _, seg := range segments {
 			run(seg)
 		}
 	}
@@ -873,42 +636,44 @@ func (st *execState) execParseg(n *node) (ctl, error) {
 // execSharedCommon declares the block's variables as shared storage: arrays
 // become frame arrays (shared by reference between members), scalars become
 // mutex-protected shared cells.
-func (st *execState) execSharedCommon(n *node) error {
+func (st *execState) execSharedCommon(blockName string, items []cdeclItem) error {
 	if st.m != nil {
 		// Member frames were copied at the split; storage created now would be
 		// member-private, silently breaking the block's sharing semantics.
-		return fmt.Errorf("SHARED COMMON /%s/ must be declared before FORCESPLIT", n.name)
+		return fmt.Errorf("SHARED COMMON /%s/ must be declared before FORCESPLIT", blockName)
 	}
-	for _, d := range n.decls {
+	for i := range items {
+		d := &items[i]
+		b := &st.f.slots[d.slot]
 		if len(d.dims) > 0 {
-			if _, ok := st.f.arrays[d.name]; ok {
+			if b.arr != nil {
 				continue // already declared (re-execution or prior typing)
 			}
 			kind := d.kind
-			if k, ok := st.f.kinds[d.name]; ok {
-				kind = k
+			if b.kind != kNone {
+				kind = b.kind
 			}
 			rows, cols, err := st.arrayExtents(d)
 			if err != nil {
 				return err
 			}
-			st.f.arrays[d.name] = newArray(kind, rows, cols)
+			b.arr = newArray(kind, rows, cols)
 			continue
 		}
-		if _, ok := st.f.shared[d.name]; ok {
+		if b.cell != nil {
 			continue
 		}
-		kind := st.f.declaredKind(d.name)
+		kind := st.f.declaredKind(d.slot)
 		cell := &sharedCell{v: zeroVal(kind)}
-		if v, ok := st.f.vars[d.name]; ok {
-			cv, err := convert(v, kind)
+		if b.v.kind != kNone {
+			cv, err := convert(b.v, kind)
 			if err != nil {
 				return fmt.Errorf("%s: %v", d.name, err)
 			}
 			cell.v = cv
-			delete(st.f.vars, d.name)
+			b.v = value{}
 		}
-		st.f.shared[d.name] = cell
+		b.cell = cell
 	}
 	return nil
 }

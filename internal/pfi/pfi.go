@@ -28,6 +28,15 @@
 // belong on ordinary Fortran lines (put a labelled CONTINUE before a Pisces
 // statement to make it a GOTO target).
 //
+// Compilation is a two-phase pipeline: the parse phase builds statement and
+// expression trees, and the slot/codegen phase (resolve.go, codegen.go)
+// resolves every name to a frame-slot index and emits pre-bound Go closures
+// with folded constants and pre-resolved intrinsic dispatch, so execution
+// performs no map lookups or string switches.  Compiled units are cached by
+// source text: compiling the same source again (a repeated `pisces run`, a
+// benchmark loop) skips lexing, parsing, and code generation entirely and
+// only allocates the per-Program run state (activity counters, error slot).
+//
 // Inside a FORCESPLIT region, message and terminal statements (INITIATE,
 // SEND, ACCEPT, PRINT) are limited to the primary member, and a failing
 // statement is recorded and skipped rather than aborting the member — an
@@ -80,13 +89,33 @@ type Options struct {
 	Placement core.Placement
 }
 
-// taskProgram is one compiled TASKTYPE.
+// taskProgram is one compiled TASKTYPE: its slot table and closure-compiled
+// body.  It is immutable after compilation and shared by every Program that
+// resolves to the same cached compiled unit.
 type taskProgram struct {
-	name   string
-	params []string
-	body   []node
-	line   int
+	name       string
+	params     []string
+	paramSlots []int
+	tab        *slotTable
+	body       []cstmt
+	line       int
 }
+
+// compiledUnit is the immutable product of compiling one source text: the
+// parsed program plus its slot-compiled tasktypes.  Units are cached and
+// shared between Programs; all mutable run state lives on the Program.
+type compiledUnit struct {
+	source *pfc.Program
+	tasks  []*taskProgram
+	byName map[string]*taskProgram
+}
+
+// unitCache memoises compiled units by source text, so repeated Compile (and
+// Program.Run) calls on the same program skip lexing, parsing, and code
+// generation.  Entries live for the process lifetime: the cache holds one
+// entry per distinct source text, which for interpreter workloads (a CLI
+// run, a benchmark loop, a test suite) stays small.
+var unitCache sync.Map // source text -> *compiledUnit
 
 // counterSet holds resolved handles into the program's stats.Counters so hot
 // interpreter paths bump them without a map lookup.
@@ -111,8 +140,7 @@ type Program struct {
 	// Source is the parsed pfc program the interpreter was compiled from.
 	Source *pfc.Program
 
-	tasks    []*taskProgram
-	byName   map[string]*taskProgram
+	unit     *compiledUnit
 	counters *stats.Counters
 	cs       counterSet
 
@@ -120,8 +148,36 @@ type Program struct {
 	runErr error
 }
 
-// Compile parses and compiles Pisces Fortran source text.
+// Compile parses and compiles Pisces Fortran source text.  Compiled code is
+// cached by source text, so compiling the same program again returns a fresh
+// Program (own counters, own error state) over the shared compiled unit
+// without re-parsing.
 func Compile(src string) (*Program, error) {
+	if u, ok := unitCache.Load(src); ok {
+		return newProgram(u.(*compiledUnit)), nil
+	}
+	u, err := compileUnit(src)
+	if err != nil {
+		return nil, err
+	}
+	unitCache.Store(src, u)
+	return newProgram(u), nil
+}
+
+// CompileUncached parses and compiles without consulting or populating the
+// compiled-unit cache.  It exists for benchmarks and tools that measure the
+// true compilation cost.
+func CompileUncached(src string) (*Program, error) {
+	u, err := compileUnit(src)
+	if err != nil {
+		return nil, err
+	}
+	return newProgram(u), nil
+}
+
+// compileUnit runs the full pipeline: parse, statement compilation, slot
+// resolution, and closure code generation.
+func compileUnit(src string) (*compiledUnit, error) {
 	parsed, err := pfc.Parse(src)
 	if err != nil {
 		return nil, err
@@ -129,9 +185,43 @@ func Compile(src string) (*Program, error) {
 	if len(parsed.TaskTypes) == 0 {
 		return nil, errf(1, "program declares no TASKTYPE")
 	}
+	u := &compiledUnit{
+		source: parsed,
+		byName: make(map[string]*taskProgram),
+	}
+	for _, tt := range parsed.TaskTypes {
+		nodes, err := compileBody(tt.Body)
+		if err != nil {
+			return nil, fmt.Errorf("tasktype %s: %w", tt.Name, err)
+		}
+		tc := &taskCompiler{tab: newSlotTable()}
+		params := pfc.UpperAll(tt.Params)
+		paramSlots := make([]int, len(params))
+		for i, p := range params {
+			paramSlots[i] = tc.tab.slotOf(p)
+		}
+		tp := &taskProgram{
+			name:       tt.Name,
+			params:     params,
+			paramSlots: paramSlots,
+			tab:        tc.tab,
+			body:       tc.compileSeq(nodes),
+			line:       tt.Line,
+		}
+		if _, dup := u.byName[tp.name]; dup {
+			return nil, errf(tt.Line, "tasktype %s defined twice", tt.Name)
+		}
+		u.tasks = append(u.tasks, tp)
+		u.byName[tp.name] = tp
+	}
+	return u, nil
+}
+
+// newProgram wraps a compiled unit with fresh run state.
+func newProgram(u *compiledUnit) *Program {
 	p := &Program{
-		Source:   parsed,
-		byName:   make(map[string]*taskProgram),
+		Source:   u.source,
+		unit:     u,
 		counters: stats.NewCounters(),
 	}
 	p.cs = counterSet{
@@ -148,30 +238,13 @@ func Compile(src string) (*Program, error) {
 		loopIterations: p.counters.Counter("loop.iterations"),
 		prints:         p.counters.Counter("prints"),
 	}
-	for _, tt := range parsed.TaskTypes {
-		body, err := compileBody(tt.Body)
-		if err != nil {
-			return nil, fmt.Errorf("tasktype %s: %w", tt.Name, err)
-		}
-		tp := &taskProgram{
-			name:   tt.Name,
-			params: pfc.UpperAll(tt.Params),
-			body:   body,
-			line:   tt.Line,
-		}
-		if _, dup := p.byName[tp.name]; dup {
-			return nil, errf(tt.Line, "tasktype %s defined twice", tt.Name)
-		}
-		p.tasks = append(p.tasks, tp)
-		p.byName[tp.name] = tp
-	}
-	return p, nil
+	return p
 }
 
 // TaskTypes returns the compiled tasktype names, sorted.
 func (p *Program) TaskTypes() []string {
-	out := make([]string, 0, len(p.tasks))
-	for _, tp := range p.tasks {
+	out := make([]string, 0, len(p.unit.tasks))
+	for _, tp := range p.unit.tasks {
 		out = append(out, tp.name)
 	}
 	sort.Strings(out)
@@ -206,7 +279,7 @@ func (p *Program) fail(tp *taskProgram, t *core.Task, err error) {
 // Register registers every compiled tasktype on the VM, so INITIATE
 // statements (and the execution environment) can start interpreted tasks.
 func (p *Program) Register(vm *core.VM) {
-	for _, tp := range p.tasks {
+	for _, tp := range p.unit.tasks {
 		vm.Register(tp.name, p.taskBody(tp))
 	}
 }
@@ -219,7 +292,7 @@ func (p *Program) taskBody(tp *taskProgram) func(*core.Task) {
 			p:     p,
 			tp:    tp,
 			t:     t,
-			f:     newFrame(),
+			f:     newFrame(tp.tab),
 			locks: &lockTable{byName: make(map[string]*core.Lock)},
 		}
 		if err := st.bindParams(); err != nil {
@@ -239,7 +312,8 @@ func (p *Program) taskBody(tp *taskProgram) func(*core.Task) {
 	}
 }
 
-// bindParams binds the INITIATE argument list to the tasktype's parameters.
+// bindParams binds the INITIATE argument list to the tasktype's parameter
+// slots.
 func (st *execState) bindParams() error {
 	args := st.t.Args()
 	if len(args) > len(st.tp.params) {
@@ -252,26 +326,27 @@ func (st *execState) bindParams() error {
 				st.tp.name, len(st.tp.params), len(args))
 		}
 		v := args[i]
+		b := &st.f.slots[st.tp.paramSlots[i]]
 		switch v.Kind {
 		case msgcodec.KindIntArray:
 			a := newArray(kInt, len(v.IntArray), 0)
 			for j, x := range v.IntArray {
 				a.data[j] = intVal(x)
 			}
-			st.f.arrays[param] = a
+			b.arr = a
 		case msgcodec.KindRealArray:
 			a := newArray(kReal, len(v.RealArray), 0)
 			for j, x := range v.RealArray {
 				a.data[j] = realVal(x)
 			}
-			st.f.arrays[param] = a
+			b.arr = a
 		default:
 			val, err := fromCoreValue(v)
 			if err != nil {
 				return fmt.Errorf("parameter %s: %v", param, err)
 			}
-			st.f.kinds[param] = val.kind
-			st.f.vars[param] = val
+			b.kind = val.kind
+			b.v = val
 		}
 	}
 	return nil
@@ -282,15 +357,15 @@ func (st *execState) bindParams() error {
 func (p *Program) MainTaskType(main string) (string, error) {
 	if main != "" {
 		name := strings.ToUpper(main)
-		if _, ok := p.byName[name]; !ok {
+		if _, ok := p.unit.byName[name]; !ok {
 			return "", fmt.Errorf("pfi: tasktype %q not found (have %v)", main, p.TaskTypes())
 		}
 		return name, nil
 	}
-	if _, ok := p.byName["MAIN"]; ok {
+	if _, ok := p.unit.byName["MAIN"]; ok {
 		return "MAIN", nil
 	}
-	return p.tasks[0].name, nil
+	return p.unit.tasks[0].name, nil
 }
 
 // Run registers the program's tasktypes on the VM, initiates the main
@@ -328,4 +403,3 @@ func Interpret(vm *core.VM, src string, opts Options, args ...core.Value) (*Prog
 	}
 	return p, nil
 }
-

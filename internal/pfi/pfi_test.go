@@ -763,8 +763,11 @@ END TASKTYPE
 
 func TestExpressionEvaluation(t *testing.T) {
 	// Pure-arithmetic evaluation without a VM: a bare execState with a frame.
-	st := &execState{p: mustCompile(t, "TASKTYPE T\nEND TASKTYPE\n"), f: newFrame()}
-	st.f.vars["N"] = intVal(10)
+	// All expressions compile against one slot table; the frame is created
+	// after compilation (slots are assigned during compile) with N pre-set.
+	tc := &taskCompiler{tab: newSlotTable()}
+	nSlot := tc.tab.slotOf("N")
+	st := &execState{p: mustCompile(t, "TASKTYPE T\nEND TASKTYPE\n")}
 	cases := map[string]string{
 		"1 + 2 * 3":            "7",
 		"(1 + 2) * 3":          "9",
@@ -793,13 +796,23 @@ func TestExpressionEvaluation(t *testing.T) {
 		"MIN(9007199254740993, 9007199254740992)": "9007199254740992",
 		"MAX(9007199254740993, 9007199254740992)": "9007199254740993",
 	}
-	for src, want := range cases {
+	compiled := make(map[string]cexpr, len(cases))
+	for src := range cases {
 		e, err := parseExprString(src, 1)
 		if err != nil {
 			t.Errorf("%s: parse: %v", src, err)
 			continue
 		}
-		v, err := st.eval(e)
+		compiled[src] = tc.compileExpr(e)
+	}
+	st.f = newFrame(tc.tab)
+	st.f.slots[nSlot].v = intVal(10)
+	for src, want := range cases {
+		ce := compiled[src]
+		if ce == nil {
+			continue
+		}
+		v, err := ce(st)
 		if err != nil {
 			t.Errorf("%s: eval: %v", src, err)
 			continue

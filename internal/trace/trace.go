@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Kind identifies one of the traceable event types listed in Section 12.
@@ -161,6 +162,32 @@ type Recorder struct {
 	sinks     []Sink
 	seq       uint64
 	dropped   uint64
+
+	// kindMask mirrors kindOn as an atomic bitmask so hot paths can ask
+	// Wants(kind) without taking the mutex — or building the event at all.
+	kindMask atomic.Uint64
+}
+
+// updateMaskLocked recomputes the atomic kind bitmask; callers hold r.mu.
+func (r *Recorder) updateMaskLocked() {
+	var mask uint64
+	for k, on := range r.kindOn {
+		if on {
+			mask |= 1 << uint(k)
+		}
+	}
+	r.kindMask.Store(mask)
+}
+
+// Wants reports, without locking, whether events of kind k are currently
+// traced.  Emitters use it to skip building events (taskid rendering, info
+// formatting) that the recorder would immediately drop; the authoritative
+// per-task filtering still happens in Record.
+func (r *Recorder) Wants(k Kind) bool {
+	if k < 0 || k >= numKinds {
+		return false
+	}
+	return r.kindMask.Load()&(1<<uint(k)) != 0
 }
 
 // NewRecorder returns a recorder with all event kinds disabled and the given
@@ -184,6 +211,7 @@ func (r *Recorder) EnableKind(k Kind, on bool) {
 	}
 	r.mu.Lock()
 	r.kindOn[k] = on
+	r.updateMaskLocked()
 	r.mu.Unlock()
 }
 
@@ -193,6 +221,7 @@ func (r *Recorder) EnableAll(on bool) {
 	for i := range r.kindOn {
 		r.kindOn[i] = on
 	}
+	r.updateMaskLocked()
 	r.mu.Unlock()
 }
 
@@ -253,7 +282,11 @@ func (r *Recorder) Record(e Event) {
 	}
 }
 
-// Dropped returns the number of events suppressed by filters.
+// Dropped returns the number of events suppressed by filters.  Emitters
+// that pre-check Wants skip building disabled-kind events entirely, so those
+// never reach the recorder and are not counted here; Dropped counts events
+// that were submitted to Record and then filtered (per-task filters, or
+// kind filters when the emitter did not pre-check).
 func (r *Recorder) Dropped() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()

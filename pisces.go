@@ -194,7 +194,17 @@ type (
 
 // CompileSource compiles Pisces Fortran source text for direct interpretation
 // on a VM.  Register the result on a VM (or call Run) to execute it.
+// Compiled code is cached by source text: compiling the same program again
+// returns a fresh program (its own activity counters and error state) over
+// the shared slot-compiled code, skipping lexing and parsing entirely.
 func CompileSource(src string) (*InterpretedProgram, error) { return pfi.Compile(src) }
+
+// CompileSourceUncached compiles without consulting or populating the
+// compiled-code cache.  It exists for benchmarks and tools that measure the
+// true compilation cost; applications should use CompileSource.
+func CompileSourceUncached(src string) (*InterpretedProgram, error) {
+	return pfi.CompileUncached(src)
+}
 
 // Interpret compiles Pisces Fortran source and runs it end-to-end on the VM:
 // the program's tasktypes are registered, the main tasktype is initiated, and
