@@ -117,8 +117,22 @@ func run(configPath string, clusters, slots int, forces, traceEvents, save strin
 }
 
 // runInterpreted implements "pisces run [flags] <program.pf>": boot a VM and
-// interpret the Pisces Fortran program on it.
-func runInterpreted(args []string, out io.Writer) error {
+// interpret the Pisces Fortran program on it.  Under -sim, a deadlocked
+// schedule surfaces as an error naming the seed instead of a panic.
+func runInterpreted(args []string, out io.Writer) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if d, ok := r.(*pisces.SimDeadlock); ok {
+				err = fmt.Errorf("deterministic run stuck: %v (replay with -sim -seed %d)", d, d.Seed)
+				return
+			}
+			panic(r)
+		}
+	}()
+	return runInterpretedInner(args, out)
+}
+
+func runInterpretedInner(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pisces run", flag.ContinueOnError)
 	clusters := fs.Int("clusters", 2, "number of clusters")
 	slots := fs.Int("slots", 4, "user-task slots per cluster")
@@ -127,6 +141,9 @@ func runInterpreted(args []string, out io.Writer) error {
 	mainTT := fs.String("main", "", "entry tasktype (default MAIN, else the first tasktype)")
 	showStats := fs.Bool("stats", false, "print the interpreter activity counters after the run")
 	repeat := fs.Int("repeat", 1, "run the program this many times on the same VM (compiled once)")
+	simMode := fs.Bool("sim", false,
+		"run on the deterministic simulation scheduler: one task at a time, seeded interleaving, virtual clock")
+	seed := fs.Int64("seed", 0, "PRNG seed for -sim; the same seed reproduces the run exactly")
 	acceptTimeout := fs.Duration("accept-timeout", 30*time.Second,
 		"system-provided timeout for ACCEPT statements without a DELAY clause")
 	// The FlagSet's own printing is suppressed so parse errors surface exactly
@@ -158,6 +175,11 @@ func runInterpreted(args []string, out io.Writer) error {
 		return err
 	}
 	opts := pisces.Options{UserOutput: out, AcceptTimeout: *acceptTimeout}
+	if *simMode {
+		opts.Backend = pisces.NewSimScheduler(*seed)
+	} else if *seed != 0 {
+		return fmt.Errorf("-seed only applies with -sim")
+	}
 	if *traceEvents != "" {
 		// Enabled trace kinds display on the user's terminal (Section 12).
 		// Trace events are emitted from task goroutines concurrently with

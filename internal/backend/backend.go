@@ -1,0 +1,254 @@
+// Package backend defines the scheduling substrate the PISCES run-time
+// executes on.  Every point where the run-time creates concurrency (spawning
+// an MMOS process) or blocks (an ACCEPT wait, a barrier, a lock, waiting for
+// an initiation reply or a terminated task) goes through a Backend, so the
+// whole virtual machine can be lifted off raw goroutines and onto a
+// deterministic scheduler without touching the run-time's logic.
+//
+// Two implementations exist:
+//
+//   - the goroutine backend in this package (the default), which maps every
+//     primitive onto the same channel constructions the run-time used before
+//     the backend existed — one goroutine per MMOS process, buffered-channel
+//     pulse events, closed-channel gates, real timers;
+//   - the cooperative single-threaded scheduler in internal/sim, which runs
+//     at most one task at a time, picks the next runnable task with a seeded
+//     PRNG, and replaces wall-clock timeouts with a virtual clock, making
+//     every run with the same seed byte-identical.
+//
+// The primitives are deliberately small and usage-shaped rather than fully
+// general:
+//
+//   - Event is a single-waiter pulse with memory (the in-queue wake and kill
+//     notification of one task);
+//   - Gate is a one-shot broadcast (task done, barrier phases, force abort,
+//     initiation replies);
+//   - Sem is a binary semaphore (LOCK variables, the per-PE CPU under the
+//     deterministic backend);
+//   - WaitGroup counts outstanding work (user tasks, force members).
+//
+// A deterministic backend distinguishes two calling contexts: code running
+// inside a spawned task, and the external "driver" (the test, the CLI, the
+// interpreter's Run loop) that booted the VM.  Driver-side waits pump the
+// scheduler until the condition holds; task-side waits park the task and hand
+// control back to the scheduler.  The goroutine backend has no such
+// distinction — everything simply blocks.
+package backend
+
+import (
+	"sync"
+	"time"
+)
+
+// Backend is a scheduling substrate: it spawns tasks and manufactures the
+// blocking primitives they synchronise with.
+type Backend interface {
+	// Spawn starts fn as a new concurrently scheduled task.  The name is
+	// used for diagnostics (deadlock reports, displays).
+	Spawn(name string, fn func())
+	// NewEvent returns a fresh pulse event (single waiter).
+	NewEvent() Event
+	// NewGate returns a fresh one-shot broadcast gate.
+	NewGate() Gate
+	// NewSem returns a fresh binary semaphore with its token available.
+	NewSem() Sem
+	// NewWaitGroup returns a fresh wait group.
+	NewWaitGroup() WaitGroup
+	// AfterFunc arranges for fn to run once after duration d (virtual time
+	// under a deterministic backend).
+	AfterFunc(d time.Duration, fn func()) Timer
+	// Now returns the current time: wall time for the goroutine backend,
+	// the virtual clock for a deterministic one.
+	Now() time.Time
+	// Yield offers a scheduling point: under a deterministic backend the
+	// calling task re-enters the ready set and another task may be picked;
+	// the goroutine backend lets the Go scheduler decide.
+	Yield()
+	// Deterministic reports whether this backend serialises execution and
+	// virtualises time (the sim backend) — run-time code uses it to choose
+	// scheduler-visible constructions over raw OS facilities.
+	Deterministic() bool
+}
+
+// Event is a pulse notification with one-deep memory, used where exactly one
+// task waits: a Pulse delivered while nobody waits is remembered and consumed
+// by the next Wait.  Multiple pulses collapse into one, so waiters must
+// re-check their condition in a loop, exactly as with a buffered(1) channel.
+type Event interface {
+	// Pulse wakes the waiter if there is one, else marks the event pending.
+	Pulse()
+	// Wait blocks until a pulse is (or already was) delivered.
+	Wait()
+	// WaitTimeout is Wait bounded by d; it reports false if the timeout
+	// elapsed first.  A negative d waits forever.
+	WaitTimeout(d time.Duration) bool
+}
+
+// Gate is a one-shot broadcast: once opened it stays open and every past and
+// future Wait returns immediately.  Opening an open gate is a no-op.
+type Gate interface {
+	Open()
+	IsOpen() bool
+	// Wait blocks until the gate is open.  Under a deterministic backend a
+	// driver-side Wait pumps the scheduler.
+	Wait()
+	// WaitOr blocks until this gate or other is open.  Both gates must come
+	// from the same backend.
+	WaitOr(other Gate)
+}
+
+// Sem is a binary semaphore whose token starts available.  Release reports
+// false if the token was already free (a double release), which the LOCK
+// run-time turns into the paper's "unlock of a lock which is not locked"
+// error.
+type Sem interface {
+	TryAcquire() bool
+	Acquire()
+	Release() bool
+}
+
+// WaitGroup counts outstanding work, like sync.WaitGroup.
+type WaitGroup interface {
+	Add(delta int)
+	Done()
+	Wait()
+}
+
+// Timer is a stoppable pending AfterFunc.
+type Timer interface {
+	// Stop cancels the timer; it reports false if the timer already fired
+	// or was stopped.
+	Stop() bool
+}
+
+// ---------------------------------------------------------------------------
+// Goroutine backend: the default substrate, semantically identical to the
+// pre-backend run-time.
+
+// goroutineBackend implements Backend over raw goroutines, channels, and real
+// timers.  It is stateless; all instances are equivalent.
+type goroutineBackend struct{}
+
+var defaultBackend Backend = goroutineBackend{}
+
+// Default returns the goroutine backend.
+func Default() Backend { return defaultBackend }
+
+func (goroutineBackend) Spawn(name string, fn func()) { go fn() }
+
+func (goroutineBackend) NewEvent() Event { return &gEvent{ch: make(chan struct{}, 1)} }
+
+func (goroutineBackend) NewGate() Gate { return &gGate{ch: make(chan struct{})} }
+
+func (goroutineBackend) NewSem() Sem {
+	s := &gSem{ch: make(chan struct{}, 1)}
+	s.ch <- struct{}{}
+	return s
+}
+
+func (goroutineBackend) NewWaitGroup() WaitGroup { return &gWaitGroup{} }
+
+func (goroutineBackend) AfterFunc(d time.Duration, fn func()) Timer {
+	return gTimer{t: time.AfterFunc(d, fn)}
+}
+
+func (goroutineBackend) Now() time.Time { return time.Now() }
+
+func (goroutineBackend) Yield() {}
+
+func (goroutineBackend) Deterministic() bool { return false }
+
+// gEvent is the buffered(1)-channel pulse the in-queue wake always was.
+type gEvent struct{ ch chan struct{} }
+
+func (e *gEvent) Pulse() {
+	select {
+	case e.ch <- struct{}{}:
+	default:
+	}
+}
+
+func (e *gEvent) Wait() { <-e.ch }
+
+func (e *gEvent) WaitTimeout(d time.Duration) bool {
+	if d < 0 {
+		<-e.ch
+		return true
+	}
+	// Fast path: a pending pulse needs no timer.
+	select {
+	case <-e.ch:
+		return true
+	default:
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-e.ch:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+// gGate is a closed-channel broadcast.
+type gGate struct {
+	once sync.Once
+	ch   chan struct{}
+}
+
+func (g *gGate) Open() { g.once.Do(func() { close(g.ch) }) }
+
+func (g *gGate) IsOpen() bool {
+	select {
+	case <-g.ch:
+		return true
+	default:
+		return false
+	}
+}
+
+func (g *gGate) Wait() { <-g.ch }
+
+func (g *gGate) WaitOr(other Gate) {
+	o := other.(*gGate)
+	select {
+	case <-g.ch:
+	case <-o.ch:
+	}
+}
+
+// gSem is a one-token channel, the shape of LOCK variables and PE CPUs.
+type gSem struct{ ch chan struct{} }
+
+func (s *gSem) TryAcquire() bool {
+	select {
+	case <-s.ch:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *gSem) Acquire() { <-s.ch }
+
+func (s *gSem) Release() bool {
+	select {
+	case s.ch <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// gWaitGroup wraps sync.WaitGroup.
+type gWaitGroup struct{ wg sync.WaitGroup }
+
+func (w *gWaitGroup) Add(delta int) { w.wg.Add(delta) }
+func (w *gWaitGroup) Done()         { w.wg.Done() }
+func (w *gWaitGroup) Wait()         { w.wg.Wait() }
+
+// gTimer wraps time.Timer from AfterFunc.
+type gTimer struct{ t *time.Timer }
+
+func (t gTimer) Stop() bool { return t.t.Stop() }

@@ -1,0 +1,93 @@
+package backend
+
+import (
+	"testing"
+	"time"
+)
+
+// TestEventPulseMemory: a pulse delivered with no waiter is consumed by the
+// next wait (the lost-wakeup guarantee ACCEPT depends on), and pulses
+// collapse rather than accumulate.
+func TestEventPulseMemory(t *testing.T) {
+	e := Default().NewEvent()
+	e.Pulse()
+	e.Pulse() // collapses into the pending one
+	if !e.WaitTimeout(0) {
+		t.Fatal("pending pulse not consumed by WaitTimeout")
+	}
+	if e.WaitTimeout(time.Millisecond) {
+		t.Fatal("second wait consumed a pulse that should have collapsed")
+	}
+}
+
+// TestEventWake: a waiter blocked in Wait is woken by Pulse.
+func TestEventWake(t *testing.T) {
+	e := Default().NewEvent()
+	done := make(chan bool, 1)
+	go func() { done <- e.WaitTimeout(5 * time.Second) }()
+	time.Sleep(time.Millisecond)
+	e.Pulse()
+	if !<-done {
+		t.Fatal("waiter reported timeout despite pulse")
+	}
+}
+
+// TestGate: one-shot broadcast semantics, idempotent Open, WaitOr on either
+// gate.
+func TestGate(t *testing.T) {
+	b := Default()
+	g := b.NewGate()
+	if g.IsOpen() {
+		t.Fatal("fresh gate open")
+	}
+	g.Open()
+	g.Open() // idempotent
+	if !g.IsOpen() {
+		t.Fatal("opened gate not open")
+	}
+	g.Wait() // must not block
+
+	a, o := b.NewGate(), b.NewGate()
+	done := make(chan struct{})
+	go func() { a.WaitOr(o); close(done) }()
+	o.Open()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitOr did not return when the other gate opened")
+	}
+}
+
+// TestSemDoubleRelease: the token protocol LOCK variables rely on — Release
+// of a free semaphore reports false.
+func TestSemDoubleRelease(t *testing.T) {
+	s := Default().NewSem()
+	if !s.TryAcquire() {
+		t.Fatal("fresh sem token unavailable")
+	}
+	if s.TryAcquire() {
+		t.Fatal("second TryAcquire got the held token")
+	}
+	if !s.Release() {
+		t.Fatal("release of held token failed")
+	}
+	if s.Release() {
+		t.Fatal("double release succeeded")
+	}
+}
+
+// TestTimer: AfterFunc fires, Stop prevents firing.
+func TestTimer(t *testing.T) {
+	b := Default()
+	fired := make(chan struct{})
+	b.AfterFunc(time.Millisecond, func() { close(fired) })
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("AfterFunc never fired")
+	}
+	stopped := b.AfterFunc(time.Hour, func() { t.Error("stopped timer fired") })
+	if !stopped.Stop() {
+		t.Fatal("Stop of pending timer reported false")
+	}
+}

@@ -1,0 +1,137 @@
+// Package conformance is the deterministic-scheduling conformance harness
+// for the Pisces VM: it runs a corpus of Pisces Fortran programs on the
+// internal/sim backend across many PRNG seeds and checks the two properties
+// the deterministic backend promises —
+//
+//  1. seed stability: the same program with the same seed produces
+//     byte-identical terminal output and an identical trace event order on
+//     every run;
+//  2. schedule independence: corpus programs are written so their *semantic*
+//     output (sums, counts, final states) does not depend on message arrival
+//     order, so their terminal output must be identical across all seeds
+//     even though the underlying interleavings differ.
+//
+// A third invariant rides along: after Shutdown the shared-memory message
+// heap must be fully recovered on every schedule, which turns the seed sweep
+// into a leak hunt over interleavings.
+//
+// The corpus lives in corpus/*.pf (embedded).  Each program keeps to
+// schedule-independent output; see the README section "Deterministic mode"
+// for what that means when adding programs.
+package conformance
+
+import (
+	"bytes"
+	"embed"
+	"fmt"
+	"io/fs"
+	"sort"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/pfi"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+//go:embed corpus/*.pf
+var corpusFS embed.FS
+
+// Corpus returns the embedded conformance programs as name -> source, names
+// sorted for deterministic iteration.
+func Corpus() ([]string, map[string]string) {
+	entries, err := fs.ReadDir(corpusFS, "corpus")
+	if err != nil {
+		panic(err) // embedded directory cannot be missing
+	}
+	srcs := make(map[string]string, len(entries))
+	var names []string
+	for _, e := range entries {
+		b, err := fs.ReadFile(corpusFS, "corpus/"+e.Name())
+		if err != nil {
+			panic(err)
+		}
+		names = append(names, e.Name())
+		srcs[e.Name()] = string(b)
+	}
+	sort.Strings(names)
+	return names, srcs
+}
+
+// Result captures everything observable about one deterministic run.
+type Result struct {
+	// Output is the user-terminal output.
+	Output string
+	// Trace is the rendered trace lines of every enabled event, in global
+	// emission order.
+	Trace []string
+	// Steps is the number of scheduling decisions the run took.
+	Steps int64
+	// HeapInUse is the shared-memory message heap still allocated after
+	// Shutdown; any non-zero value is a leak on this schedule.
+	HeapInUse int
+	// Err is the program's compile- or run-time error, if any.
+	Err error
+	// Deadlock is non-nil when the schedule wedged (it is also wrapped in
+	// Err).
+	Deadlock *sim.Deadlock
+}
+
+// Run executes one Pisces Fortran program on a fresh VM under the sim
+// backend with the given seed and full tracing, and returns the observables.
+// A deadlocked schedule is reported in the result, not panicked; the output
+// and trace produced up to the deadlock are preserved for diagnosis.  (The
+// VM of a deadlocked run is deliberately not shut down: its scheduler is
+// poisoned and its parked tasks can never be resumed, so teardown would only
+// re-raise the deadlock.  The handful of parked goroutines are abandoned.)
+func Run(src string, seed int64) (res Result) {
+	s := sim.New(seed)
+	var out bytes.Buffer
+	mem := &trace.MemorySink{}
+	defer func() {
+		if r := recover(); r != nil {
+			d, ok := r.(*sim.Deadlock)
+			if !ok {
+				panic(r)
+			}
+			res.Deadlock = d
+			res.Err = fmt.Errorf("schedule deadlocked: %w", d)
+			res.Output = out.String()
+			res.Trace = mem.Lines()
+			res.Steps = s.Steps()
+		}
+	}()
+
+	// Two clusters with a three-member force on cluster 1: enough hardware
+	// that placements, cross-cluster sends, and force collectives all have
+	// real scheduling freedom.
+	cfg := config.Simple(2, 8).WithForces(1, 7, 8)
+	vm, err := core.NewVM(cfg, core.Options{
+		UserOutput:    &out,
+		Backend:       s,
+		AcceptTimeout: 30 * time.Second, // virtual: expires only at quiescence
+		TraceSinks:    []trace.Sink{mem},
+	})
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	vm.Tracer().EnableAll(true)
+
+	prog, err := pfi.Compile(src)
+	if err != nil {
+		vm.Shutdown()
+		res.Err = err
+		return res
+	}
+	runErr := prog.Run(vm, pfi.Options{})
+	vm.Shutdown()
+
+	res.Output = out.String()
+	res.Trace = mem.Lines()
+	res.Steps = s.Steps()
+	res.HeapInUse = vm.Machine().Shared().Usage().HeapInUse
+	res.Err = runErr
+	return res
+}

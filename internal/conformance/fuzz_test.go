@@ -1,0 +1,57 @@
+package conformance
+
+import (
+	"testing"
+)
+
+// FuzzSchedule drives arbitrary PRNG seeds (and thereby arbitrary legal
+// message interleavings) through the PFI interpreter on the sim backend.
+// For every corpus program the schedule-independence invariants must hold
+// against the program's seed-0 baseline: same output, no deadlock, no error,
+// and a fully recovered message heap.  A failing input is a (program, seed)
+// pair that can be replayed directly with conformance.Run or
+// `pisces run -sim -seed N`.
+func FuzzSchedule(f *testing.F) {
+	names, srcs := Corpus()
+	for i := range names {
+		f.Add(i, int64(1))
+		f.Add(i, int64(424242))
+	}
+
+	// Baselines computed once per program, lazily.
+	baselines := make(map[string]Result)
+	baseline := func(name string) Result {
+		if res, ok := baselines[name]; ok {
+			return res
+		}
+		res := Run(srcs[name], 0)
+		baselines[name] = res
+		return res
+	}
+
+	f.Fuzz(func(t *testing.T, programIdx int, seed int64) {
+		if len(names) == 0 {
+			t.Skip("empty corpus")
+		}
+		// Unsigned modulo: a plain negation guard overflows on MinInt.
+		name := names[int(uint(programIdx)%uint(len(names)))]
+		base := baseline(name)
+		if base.Err != nil {
+			t.Fatalf("%s: seed 0 baseline failed: %v", name, base.Err)
+		}
+		res := Run(srcs[name], seed)
+		if res.Deadlock != nil {
+			t.Fatalf("%s: seed %d deadlocked: %v", name, seed, res.Deadlock)
+		}
+		if res.Err != nil {
+			t.Fatalf("%s: seed %d failed: %v", name, seed, res.Err)
+		}
+		if res.Output != base.Output {
+			t.Fatalf("%s: seed %d output diverges from seed 0:\nseed 0:\n%s\nseed %d:\n%s",
+				name, seed, base.Output, seed, res.Output)
+		}
+		if res.HeapInUse != 0 {
+			t.Fatalf("%s: seed %d leaked %d heap bytes", name, seed, res.HeapInUse)
+		}
+	})
+}

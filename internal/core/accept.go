@@ -231,8 +231,9 @@ func (t *Task) Accept(spec AcceptSpec) (*AcceptResult, error) {
 		timeout = t.vm.opts.AcceptTimeout
 	}
 	var deadline time.Time
-	if timeout != Forever {
-		deadline = time.Now().Add(timeout)
+	hasDeadline := timeout != Forever
+	if hasDeadline {
+		deadline = t.vm.backend.Now().Add(timeout)
 	}
 
 	res := &AcceptResult{ByType: make(map[string][]*Message)}
@@ -243,30 +244,20 @@ func (t *Task) Accept(spec AcceptSpec) (*AcceptResult, error) {
 			return res, nil
 		}
 
-		// Wait for more messages, the deadline, or a kill.
-		var timer *time.Timer
-		var timerCh <-chan time.Time
-		if !deadline.IsZero() {
-			remaining := time.Until(deadline)
+		// Wait for more messages, the deadline, or a kill.  Message arrival
+		// and kill pulse the same per-task event; the loop re-checks both
+		// conditions after every wake, so collapsed pulses are harmless.
+		signaled := true
+		if hasDeadline {
+			remaining := deadline.Sub(t.vm.backend.Now())
 			if remaining <= 0 {
 				return t.acceptTimeout(spec, st, res)
 			}
-			timer = time.NewTimer(remaining)
-			timerCh = timer.C
+			t.blockFn(func() { signaled = t.rec.wake.WaitTimeout(remaining) })
+		} else {
+			t.blockFn(func() { t.rec.wake.Wait() })
 		}
-		timedOut := false
-		t.blockFn(func() {
-			select {
-			case <-t.rec.queue.wake:
-			case <-timerCh:
-				timedOut = true
-			case <-t.rec.killCh:
-			}
-		})
-		if timer != nil {
-			timer.Stop()
-		}
-		if timedOut {
+		if !signaled {
 			// One final drain before reporting the timeout, in case messages
 			// arrived in the same instant.
 			st.drain(t, res)

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/backend"
 	"repro/internal/config"
 	"repro/internal/flex"
 	"repro/internal/mmos"
@@ -27,14 +28,20 @@ type taskRec struct {
 	cluster      *clusterRT
 	slot         int
 	queue        *inQueue
-	done         chan struct{}
+	wake         backend.Event // pulsed on message arrival and on kill
+	done         backend.Gate  // opened when the task has terminated
 	isController bool
 	localBytes   int
 
 	proc   atomic.Pointer[mmos.Proc]
 	killed atomic.Bool
-	killMu sync.Mutex // serialises kill's close(killCh)
-	killCh chan struct{}
+}
+
+// newTaskRecParts builds the wake event, queue, and done gate a task record
+// shares.
+func newTaskRecParts(b backend.Backend) (backend.Event, *inQueue, backend.Gate) {
+	wake := b.NewEvent()
+	return wake, newInQueue(wake), b.NewGate()
 }
 
 func (r *taskRec) setProc(p *mmos.Proc) { r.proc.Store(p) }
@@ -42,13 +49,12 @@ func (r *taskRec) setProc(p *mmos.Proc) { r.proc.Store(p) }
 func (r *taskRec) getProc() *mmos.Proc { return r.proc.Load() }
 
 // kill marks the task killed and wakes it if it is blocked in an ACCEPT.
+// The wake event has one-deep memory, so a kill delivered while the task is
+// running is seen at its next checkKilled or ACCEPT wait.
 func (r *taskRec) kill() {
-	r.killMu.Lock()
-	already := r.killed.Swap(true)
-	if !already {
-		close(r.killCh)
+	if !r.killed.Swap(true) {
+		r.wake.Pulse()
 	}
-	r.killMu.Unlock()
 }
 
 func (r *taskRec) isKilled() bool { return r.killed.Load() }
@@ -60,7 +66,7 @@ type pendingInit struct {
 	tasktype string
 	parent   TaskID
 	args     []Value
-	reply    chan TaskID
+	reply    *initReply
 }
 
 // clusterRT is the run-time structure of one virtual-machine cluster.
@@ -185,17 +191,13 @@ func (c *clusterRT) startTask(slot int, req pendingInit) error {
 	vm := c.vm
 	if vm.terminated() {
 		c.clearSlot(slot)
-		if req.reply != nil {
-			req.reply <- NilTask
-		}
+		req.reply.deliver(NilTask)
 		return ErrVMTerminated
 	}
 	tt, ok := vm.taskType(req.tasktype)
 	if !ok {
 		c.clearSlot(slot)
-		if req.reply != nil {
-			req.reply <- NilTask
-		}
+		req.reply.deliver(NilTask)
 		return fmt.Errorf("%w: %q", ErrUnknownTaskType, req.tasktype)
 	}
 	id := TaskID{Cluster: c.cfg.Number, Slot: slot, Unique: vm.nextUnique()}
@@ -205,11 +207,9 @@ func (c *clusterRT) startTask(slot int, req pendingInit) error {
 		parent:     req.parent,
 		cluster:    c,
 		slot:       slot,
-		queue:      newInQueue(),
-		done:       make(chan struct{}),
-		killCh:     make(chan struct{}),
 		localBytes: tt.LocalBytes,
 	}
+	rec.wake, rec.queue, rec.done = newTaskRecParts(vm.backend)
 	c.mu.Lock()
 	c.slots[slot].rec = rec
 	c.mu.Unlock()
@@ -223,9 +223,7 @@ func (c *clusterRT) startTask(slot int, req pendingInit) error {
 		if vm.tracing(trace.TaskInit) {
 			vm.record(trace.TaskInit, id, req.parent, c.primary, "type="+tt.Name)
 		}
-		if req.reply != nil {
-			req.reply <- id
-		}
+		req.reply.deliver(id)
 		ctx := newTask(vm, rec, req.args)
 		defer vm.finishTask(rec, ctx)
 		tt.Body(ctx)
@@ -236,9 +234,7 @@ func (c *clusterRT) startTask(slot int, req pendingInit) error {
 		vm.unregisterTask(id)
 		vm.userTasks.Done()
 		c.clearSlot(slot)
-		if req.reply != nil {
-			req.reply <- NilTask
-		}
+		req.reply.deliver(NilTask)
 		return fmt.Errorf("core: starting task %s: %w", tt.Name, err)
 	}
 	return nil
@@ -282,7 +278,7 @@ func (vm *VM) finishTask(rec *taskRec, ctx *Task) {
 
 	vm.unregisterTask(rec.id)
 	vm.completed.Add(1)
-	close(rec.done)
+	rec.done.Open()
 
 	// Free the slot and start a pending request if one is waiting.  In the
 	// FLEX implementation the task controller performed this bookkeeping; the

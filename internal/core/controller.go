@@ -48,12 +48,10 @@ func (vm *VM) startController(cl *clusterRT, tasktype string, body func(*Task)) 
 	rec := &taskRec{
 		tasktype:     tasktype,
 		cluster:      cl,
-		queue:        newInQueue(),
-		done:         make(chan struct{}),
-		killCh:       make(chan struct{}),
 		isController: true,
 		localBytes:   DefaultTaskLocalBytes,
 	}
+	rec.wake, rec.queue, rec.done = newTaskRecParts(vm.backend)
 	slot, err := cl.placeController(rec)
 	if err != nil {
 		return NilTask, err
@@ -63,10 +61,10 @@ func (vm *VM) startController(cl *clusterRT, tasktype string, body func(*Task)) 
 	rec.parent = rec.id // controllers are their own parents
 	vm.registerTask(rec)
 
-	ready := make(chan struct{})
+	ready := vm.backend.NewGate()
 	procBody := func(p *mmos.Proc) {
 		rec.setProc(p)
-		close(ready)
+		ready.Open()
 		defer vm.finishController(rec)
 		ctx := newTask(vm, rec, nil)
 		body(ctx)
@@ -76,7 +74,7 @@ func (vm *VM) startController(cl *clusterRT, tasktype string, body func(*Task)) 
 		cl.clearSlot(slot)
 		return NilTask, fmt.Errorf("core: starting %s in cluster %d: %w", tasktype, cl.cfg.Number, err)
 	}
-	<-ready
+	ready.Wait()
 	return rec.id, nil
 }
 
@@ -93,7 +91,7 @@ func (vm *VM) finishController(rec *taskRec) {
 	}
 	vm.unregisterTask(rec.id)
 	rec.cluster.clearSlot(rec.slot)
-	close(rec.done)
+	rec.done.Open()
 }
 
 // taskControllerBody is the body of a cluster's task controller, "responsible
@@ -150,7 +148,7 @@ func decodeInitRequest(m *Message) (pendingInit, error) {
 		tasktype: tasktype,
 		parent:   parent,
 		args:     m.Args[3:],
-		reply:    m.replyID,
+		reply:    m.reply,
 	}, nil
 }
 
@@ -188,8 +186,8 @@ func (vm *VM) userControllerBody() func(*Task) {
 				switch m.Type {
 				case msgShutdown:
 				case msgUserSync:
-					if m.syncCh != nil {
-						close(m.syncCh)
+					if m.sync != nil {
+						m.sync.Open()
 					}
 				default:
 					printMsg(t, m)

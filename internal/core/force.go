@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/backend"
 	"repro/internal/flex"
 	"repro/internal/loops"
 	"repro/internal/mmos"
@@ -18,7 +19,7 @@ import (
 type Lock struct {
 	vm   *VM
 	name string
-	tok  chan struct{} // holds one token when unlocked
+	sem  backend.Sem // holds one token when unlocked
 }
 
 // Name returns the lock variable's name.
@@ -27,17 +28,11 @@ func (l *Lock) Name() string { return l.name }
 // lockOn acquires the lock on behalf of a process, blocking without the CPU
 // while the lock is held elsewhere.
 func (l *Lock) lockOn(p *mmos.Proc, holder TaskID, pe *flex.PE) {
-	acquired := false
-	select {
-	case <-l.tok:
-		acquired = true
-	default:
-	}
-	if !acquired {
+	if !l.sem.TryAcquire() {
 		if p != nil {
-			p.BlockFn(func() { <-l.tok })
+			p.BlockFn(l.sem.Acquire)
 		} else {
-			<-l.tok
+			l.sem.Acquire()
 		}
 	}
 	if p != nil {
@@ -52,9 +47,7 @@ func (l *Lock) unlockOn(p *mmos.Proc, holder TaskID, pe *flex.PE) {
 		p.Charge(costLockOp)
 	}
 	l.vm.record(trace.Unlock, holder, NilTask, pe, "lock="+l.name)
-	select {
-	case l.tok <- struct{}{}:
-	default:
+	if !l.sem.Release() {
 		panic(fmt.Sprintf("core: unlock of %q which is not locked", l.name))
 	}
 }
@@ -66,9 +59,7 @@ func (t *Task) NewLock(name string) (*Lock, error) {
 	if err := t.vm.machine.Shared().AllocCommon(8); err != nil {
 		return nil, fmt.Errorf("core: allocating LOCK %q: %w", name, err)
 	}
-	l := &Lock{vm: t.vm, name: name, tok: make(chan struct{}, 1)}
-	l.tok <- struct{}{}
-	return l, nil
+	return &Lock{vm: t.vm, name: name, sem: t.vm.backend.NewSem()}, nil
 }
 
 // Common is a SHARED COMMON block: "An ordinary Fortran COMMON block, but
@@ -131,8 +122,7 @@ type Force struct {
 	mu  sync.Mutex
 	ops []any // collective-operation instances, indexed per member
 
-	abortOnce sync.Once
-	aborted   chan struct{} // closed by Abort
+	aborted backend.Gate // opened by Abort
 }
 
 // Members returns the number of force members.  "The number of parallel tasks
@@ -175,6 +165,15 @@ func (m *ForceMember) Charge(n int64) {
 // PE returns the processor number this member runs on.
 func (m *ForceMember) PE() int { return m.pe.ID() }
 
+// Yield releases the member's PE so co-scheduled work can run; under a
+// deterministic backend it is a scheduling point the seeded picker can use to
+// interleave other tasks or members.
+func (m *ForceMember) Yield() {
+	if m.proc != nil {
+		m.proc.Yield()
+	}
+}
+
 // ForceSplit executes a FORCESPLIT statement: the task splits into a force
 // whose members all run the region function concurrently, the original task
 // continuing as the primary member and one new member starting on each
@@ -188,7 +187,7 @@ func (t *Task) ForceSplit(region func(*ForceMember)) error {
 	t.checkKilled()
 	cl := t.rec.cluster
 	members := cl.forceSize()
-	f := &Force{task: t, members: members, aborted: make(chan struct{})}
+	f := &Force{task: t, members: members, aborted: t.vm.backend.NewGate()}
 
 	// Reserve each member's local-memory footprint up front so that either
 	// the whole force starts or the FORCESPLIT fails cleanly before any
@@ -208,7 +207,7 @@ func (t *Task) ForceSplit(region func(*ForceMember)) error {
 		t.vm.record(trace.ForceSplit, t.ID(), NilTask, cl.primary, fmt.Sprintf("members=%d", members))
 	}
 
-	var wg sync.WaitGroup
+	wg := t.vm.backend.NewWaitGroup()
 	panics := make([]any, members)
 	for i := 1; i < members; i++ {
 		pe := cl.secondaries[i-1]
@@ -280,26 +279,17 @@ func (m *ForceMember) collectiveOp(create func() any) any {
 // skip part of the region containing collective operations (an interpreter
 // member whose statement failed, for instance) calls Abort so the remaining
 // members are not stranded waiting for arrivals that will never come.
-func (m *ForceMember) Abort() {
-	m.force.abortOnce.Do(func() { close(m.force.aborted) })
-}
+func (m *ForceMember) Abort() { m.force.aborted.Open() }
 
 // Aborted reports whether the force has been aborted.
-func (m *ForceMember) Aborted() bool {
-	select {
-	case <-m.force.aborted:
-		return true
-	default:
-		return false
-	}
-}
+func (m *ForceMember) Aborted() bool { return m.force.aborted.IsOpen() }
 
 // barrierInstance is one BARRIER statement execution.
 type barrierInstance struct {
 	mu      sync.Mutex
 	arrived int
-	allIn   chan struct{} // closed when every member has arrived
-	bodyRun chan struct{} // closed when the primary has run the barrier body
+	allIn   backend.Gate // opened when every member has arrived
+	bodyRun backend.Gate // opened when the primary has run the barrier body
 }
 
 // Barrier executes a BARRIER statement: "All members of the force pause on
@@ -319,8 +309,9 @@ func (m *ForceMember) Barrier(body func()) {
 		}
 		return
 	}
+	be := f.task.vm.backend
 	b := m.collectiveOp(func() any {
-		return &barrierInstance{allIn: make(chan struct{}), bodyRun: make(chan struct{})}
+		return &barrierInstance{allIn: be.NewGate(), bodyRun: be.NewGate()}
 	}).(*barrierInstance)
 
 	m.Charge(costBarrier)
@@ -333,28 +324,18 @@ func (m *ForceMember) Barrier(body func()) {
 	last := b.arrived == f.members
 	b.mu.Unlock()
 	if last {
-		close(b.allIn)
+		b.allIn.Open()
 	} else {
-		m.block(func() {
-			select {
-			case <-b.allIn:
-			case <-f.aborted:
-			}
-		})
+		m.block(func() { b.allIn.WaitOr(f.aborted) })
 	}
 
 	if m.IsPrimary() {
 		if body != nil {
 			body()
 		}
-		close(b.bodyRun)
+		b.bodyRun.Open()
 	} else {
-		m.block(func() {
-			select {
-			case <-b.bodyRun:
-			case <-f.aborted:
-			}
-		})
+		m.block(func() { b.bodyRun.WaitOr(f.aborted) })
 	}
 }
 

@@ -2,6 +2,8 @@ package core
 
 import (
 	"sync"
+
+	"repro/internal/backend"
 )
 
 // System message types used by the run-time itself.  They use a reserved
@@ -39,12 +41,12 @@ type Message struct {
 	// message while it waits in the in-queue.
 	heapOff   int
 	heapBytes int
-	// replyID, when non-nil, is an internal channel used by the run-time's
-	// own initiate requests to return the new task's id to the initiator.
-	replyID chan TaskID
-	// syncCh, when non-nil, is closed by the user controller once this
+	// reply, when non-nil, returns the new task's id to the initiator of the
+	// run-time's own initiate requests.
+	reply *initReply
+	// sync, when non-nil, is opened by the user controller once this
 	// message has been processed (used by VM.FlushUserOutput).
-	syncCh chan struct{}
+	sync backend.Gate
 }
 
 // Arg returns argument i, or a zero Value if out of range.
@@ -103,7 +105,7 @@ type inQueue struct {
 	buf    []*Message    // ring storage; len(buf) is a power of two
 	head   int           // index of the oldest message
 	n      int           // number of queued messages
-	wake   chan struct{} // buffered(1): pulsed on every enqueue
+	wake   backend.Event // pulsed on every enqueue (and by kill)
 	closed bool
 }
 
@@ -111,8 +113,11 @@ type inQueue struct {
 // receiver, as in E5) do not grow the buffer message by message.
 const initialQueueCap = 16
 
-func newInQueue() *inQueue {
-	return &inQueue{wake: make(chan struct{}, 1), buf: make([]*Message, initialQueueCap)}
+// newInQueue builds a queue waking the given event.  The event is shared
+// with the owning task's record: a kill pulses the same event, so one wait in
+// ACCEPT covers both arrival and termination.
+func newInQueue(wake backend.Event) *inQueue {
+	return &inQueue{wake: wake, buf: make([]*Message, initialQueueCap)}
 }
 
 // at returns the i-th queued message, oldest first.  Callers hold q.mu.
@@ -146,10 +151,7 @@ func (q *inQueue) put(m *Message) bool {
 	q.set(q.n, m)
 	q.n++
 	q.mu.Unlock()
-	select {
-	case q.wake <- struct{}{}:
-	default:
-	}
+	q.wake.Pulse()
 	return true
 }
 

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/config"
 )
 
@@ -29,7 +30,7 @@ func accState(t *testing.T, spec AcceptSpec) *acceptState {
 // TestInQueueRingWraparound drives the ring buffer through several
 // grow/drain cycles and checks arrival order is preserved throughout.
 func TestInQueueRingWraparound(t *testing.T) {
-	q := newInQueue()
+	q := newInQueue(backend.Default().NewEvent())
 	seq := uint64(0)
 	next := 0 // next expected message number on take
 	total := 0
@@ -77,7 +78,7 @@ func TestInQueueRingWraparound(t *testing.T) {
 // messages stay queued in order.
 func TestTakeMatchingSelectivity(t *testing.T) {
 	fill := func() *inQueue {
-		q := newInQueue()
+		q := newInQueue(backend.Default().NewEvent())
 		for i, ty := range []string{"a", "b", "a", "c", "b", "a"} {
 			q.put(mkMsg(ty, uint64(i+1)))
 		}
@@ -135,7 +136,7 @@ func typesOf(ms []*Message) []string {
 // TestRemoveTypeCompaction: removing one type keeps the others queued in
 // arrival order (ring compaction must not shuffle).
 func TestRemoveTypeCompaction(t *testing.T) {
-	q := newInQueue()
+	q := newInQueue(backend.Default().NewEvent())
 	for i, ty := range []string{"x", "y", "x", "z", "x", "y"} {
 		q.put(mkMsg(ty, uint64(i+1)))
 	}

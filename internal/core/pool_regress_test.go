@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/config"
+)
+
+// TestInQueueGrowthAtPowerOfTwoBoundary fills the ring to exactly its
+// capacity with a wrapped head — the state where put's n == len(buf) check
+// and grow's re-linearisation interact — and checks FIFO order survives the
+// doubling.  Regression guard for the PR 2 power-of-two ring buffer.
+func TestInQueueGrowthAtPowerOfTwoBoundary(t *testing.T) {
+	q := newInQueue(backend.Default().NewEvent())
+
+	// Fill to capacity, drain some so head != 0, then refill so the ring
+	// wraps and sits exactly full.
+	seq := uint64(0)
+	for i := 1; i <= initialQueueCap; i++ {
+		seq++
+		q.put(mkMsg(fmt.Sprintf("m%d", i), seq))
+	}
+	st := accState(t, AcceptSpec{Types: []TypeCount{{Type: AnyMessage, Count: 5}}})
+	taken := q.takeMatching(st, nil)
+	if len(taken) != 5 {
+		t.Fatalf("took %d, want 5", len(taken))
+	}
+	next := 0
+	for _, m := range taken {
+		next++
+		if m.Type != fmt.Sprintf("m%d", next) {
+			t.Fatalf("pre-growth order broken: got %s, want m%d", m.Type, next)
+		}
+	}
+	for i := initialQueueCap + 1; i <= initialQueueCap+5; i++ {
+		seq++
+		q.put(mkMsg(fmt.Sprintf("m%d", i), seq))
+	}
+	if q.len() != initialQueueCap {
+		t.Fatalf("queue holds %d, want exactly capacity %d", q.len(), initialQueueCap)
+	}
+
+	// The next put crosses the power-of-two boundary and must grow.
+	seq++
+	q.put(mkMsg(fmt.Sprintf("m%d", initialQueueCap+6), seq))
+	if got := len(q.buf); got != 2*initialQueueCap {
+		t.Fatalf("ring grew to %d slots, want %d", got, 2*initialQueueCap)
+	}
+
+	// Everything drains in arrival order across the growth.
+	st = accState(t, AcceptSpec{Types: []TypeCount{{Type: AnyMessage, Count: All}}})
+	for _, m := range q.takeMatching(st, nil) {
+		next++
+		if m.Type != fmt.Sprintf("m%d", next) {
+			t.Fatalf("post-growth order broken: got %s, want m%d", m.Type, next)
+		}
+	}
+	if next != initialQueueCap+6 {
+		t.Fatalf("drained %d messages, want %d", next, initialQueueCap+6)
+	}
+}
+
+// TestMessagePoolRecyclingUnderKill floods receivers from concurrent senders
+// and kills the receivers mid-ACCEPT, over several rounds.  It is a
+// regression guard for the PR 2 header pooling: the kill path (teardown
+// recycling queued headers while senders still run) must neither race (the
+// CI race job runs this package with -race) nor lose heap accounting — after
+// shutdown the shared-memory message heap must be fully recovered.
+func TestMessagePoolRecyclingUnderKill(t *testing.T) {
+	const rounds = 5
+	const senders = 4
+
+	cfg := config.Simple(2, senders+2)
+	vm, err := NewVM(cfg, Options{AcceptTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vm.Register("victim", func(task *Task) {
+		// Accept forever; the kill lands mid-ACCEPT with messages queued.
+		for {
+			res, err := task.Accept(AcceptSpec{
+				Total: 1,
+				Types: []TypeCount{{Type: AnyMessage}},
+				Delay: Forever,
+			})
+			if err != nil {
+				return
+			}
+			task.RecycleAccept(res)
+		}
+	})
+	var sendersDone sync.WaitGroup
+	vm.Register("flooder", func(task *Task) {
+		defer sendersDone.Done()
+		to := MustID(task.Arg(0))
+		for i := 0; i < 200; i++ {
+			// The victim dies mid-flood: ErrNoSuchTask (and heap exhaustion,
+			// if the victim is slow to drain) are expected outcomes, not
+			// failures.  What must hold is the accounting checked below.
+			if err := task.Send(to, "blob", Int(int64(i)), Str("payload-payload-payload")); err != nil {
+				return
+			}
+		}
+	})
+
+	for round := 0; round < rounds; round++ {
+		victim, err := vm.Initiate("victim", OnCluster(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sendersDone.Add(senders)
+		for i := 0; i < senders; i++ {
+			if _, err := vm.Initiate("flooder", OnCluster(2), ID(victim)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Kill the victim while the flood is in flight.
+		if err := vm.Kill(victim); err != nil {
+			t.Fatal(err)
+		}
+		sendersDone.Wait()
+		if err := vm.WaitTask(victim); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vm.WaitIdle()
+	vm.Shutdown()
+
+	if inUse := vm.Machine().Shared().Usage().HeapInUse; inUse != 0 {
+		t.Fatalf("message heap still holds %d bytes after kills + shutdown (leaked message storage)", inUse)
+	}
+}

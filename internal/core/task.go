@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/msgcodec"
 	"repro/internal/trace"
@@ -139,20 +140,20 @@ func (t *Task) Initiate(placement Placement, tasktype string, args ...Value) err
 // extension over the paper's INITIATE; it blocks while the target cluster is
 // full.
 func (t *Task) InitiateWait(placement Placement, tasktype string, args ...Value) (TaskID, error) {
-	reply := make(chan TaskID, 1)
+	reply := newInitReply(t.vm.backend)
 	if err := t.initiate(placement, tasktype, args, reply); err != nil {
 		return NilTask, err
 	}
 	// Block without holding the PE while the controller assigns a slot.
 	var id TaskID
-	t.blockFn(func() { id = <-reply })
+	t.blockFn(func() { id = reply.wait() })
 	if id.IsNil() {
 		return NilTask, ErrVMTerminated
 	}
 	return id, nil
 }
 
-func (t *Task) initiate(placement Placement, tasktype string, args []Value, reply chan TaskID) error {
+func (t *Task) initiate(placement Placement, tasktype string, args []Value, reply *initReply) error {
 	t.checkKilled()
 	if _, ok := t.vm.taskType(tasktype); !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownTaskType, tasktype)
@@ -163,7 +164,7 @@ func (t *Task) initiate(placement Placement, tasktype string, args []Value, repl
 	}
 	msg := newMessage(msgInitRequest, t.ID(),
 		append([]Value{Str(tasktype), ID(t.ID()), Ints(nil)}, args...), t.vm.msgSeq.Add(1))
-	msg.replyID = reply
+	msg.reply = reply
 	t.Charge(costSendHeader)
 	if err := t.vm.deliverSystem(cl.controllerID, msg); err != nil {
 		return err
@@ -247,6 +248,9 @@ func (t *Task) broadcast(cluster int, msgType string, args []Value) error {
 		targets = append(targets, id)
 	}
 	t.vm.mu.Unlock()
+	// Deliver in taskid order: broadcast arrival order must not depend on
+	// map iteration, or deterministic runs would diverge between executions.
+	sort.Slice(targets, func(i, j int) bool { return targets[i].less(targets[j]) })
 	var firstErr error
 	for _, id := range targets {
 		if err := t.sendInternal(id, msgType, args); err != nil && firstErr == nil {

@@ -48,6 +48,20 @@ var NilTask TaskID
 // IsNil reports whether the TaskID is the zero value.
 func (t TaskID) IsNil() bool { return t == NilTask }
 
+// less orders taskids by (cluster, slot, unique).  The run-time sorts task
+// sets with it wherever map iteration order could otherwise leak into
+// observable behaviour (broadcast delivery, shutdown teardown), which must
+// stay reproducible under the deterministic backend.
+func (t TaskID) less(o TaskID) bool {
+	if t.Cluster != o.Cluster {
+		return t.Cluster < o.Cluster
+	}
+	if t.Slot != o.Slot {
+		return t.Slot < o.Slot
+	}
+	return t.Unique < o.Unique
+}
+
 // String renders the taskid as "cluster.slot.unique".
 func (t TaskID) String() string {
 	return fmt.Sprintf("%d.%d.%d", t.Cluster, t.Slot, t.Unique)

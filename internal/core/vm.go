@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/config"
 	"repro/internal/flex"
 	"repro/internal/mmos"
@@ -62,6 +63,12 @@ type Options struct {
 	// TraceSinks are attached to the trace recorder in addition to any sinks
 	// added later through Tracer().
 	TraceSinks []trace.Sink
+	// Backend selects the scheduling substrate tasks run on.  Nil uses the
+	// default goroutine backend; a deterministic backend (internal/sim) makes
+	// the whole run reproducible from its seed.  A deterministic VM must be
+	// driven from a single goroutine, and a backend must not be shared
+	// between VMs.
+	Backend backend.Backend
 }
 
 // VM is one booted PISCES 2 virtual machine: a configuration mapped onto a
@@ -72,6 +79,7 @@ type VM struct {
 	cfg     *config.Configuration
 	opts    Options
 	tracer  *trace.Recorder
+	backend backend.Backend
 
 	mu        sync.Mutex
 	tasktypes map[string]TaskType
@@ -87,10 +95,10 @@ type VM struct {
 
 	uniqueCtr  atomic.Int64
 	msgSeq     atomic.Uint64
-	userTasks  sync.WaitGroup
+	userTasks  backend.WaitGroup
 	tableBytes int
 
-	timeLimitTimer *time.Timer
+	timeLimitTimer backend.Timer
 
 	// statistics
 	initiated   atomic.Int64
@@ -121,16 +129,21 @@ func NewVMOn(machine *flex.Machine, cfg *config.Configuration, opts Options) (*V
 	if opts.SystemLocalBytes <= 0 {
 		opts.SystemLocalBytes = DefaultSystemLocalBytes
 	}
+	if opts.Backend == nil {
+		opts.Backend = backend.Default()
+	}
 	vm := &VM{
 		machine:   machine,
-		kernel:    mmos.NewKernel(machine),
+		kernel:    mmos.NewKernelOn(machine, opts.Backend),
 		cfg:       cfg.Clone(),
 		opts:      opts,
 		tracer:    trace.NewRecorder(opts.TraceSinks...),
+		backend:   opts.Backend,
 		tasktypes: make(map[string]TaskType),
 		tasks:     make(map[TaskID]*taskRec),
 		clusters:  make(map[int]*clusterRT),
 	}
+	vm.userTasks = vm.backend.NewWaitGroup()
 	vm.arrays = newArrayStore()
 	vm.files = newFileStore()
 
@@ -177,7 +190,7 @@ func NewVMOn(machine *flex.Machine, cfg *config.Configuration, opts Options) (*V
 	vm.mu.Unlock()
 
 	if cfg.TimeLimit > 0 {
-		vm.timeLimitTimer = time.AfterFunc(cfg.TimeLimit, vm.timeLimitExpired)
+		vm.timeLimitTimer = vm.backend.AfterFunc(cfg.TimeLimit, vm.timeLimitExpired)
 	}
 	return vm, nil
 }
@@ -324,19 +337,52 @@ func (vm *VM) Initiate(tasktype string, placement Placement, args ...Value) (Tas
 	if err != nil {
 		return NilTask, err
 	}
-	reply := make(chan TaskID, 1)
+	reply := newInitReply(vm.backend)
 	msg := newMessage(msgInitRequest, vm.userCtrl,
 		append([]Value{Str(tasktype), ID(vm.userCtrl), Ints(nil)}, args...), vm.msgSeq.Add(1))
-	msg.replyID = reply
+	msg.reply = reply
 	if err := vm.deliverSystem(cl.controllerID, msg); err != nil {
 		return NilTask, err
 	}
-	id := <-reply
+	id := reply.wait()
 	if id.IsNil() {
 		return NilTask, ErrVMTerminated
 	}
 	return id, nil
 }
+
+// initReply carries a new task's id back to whoever requested its initiation:
+// VM.Initiate and Task.InitiateWait wait on the gate, the task controller (or
+// a failure path) delivers exactly once.  It replaces the raw reply channel so
+// the wait is scheduler-visible under a deterministic backend.
+type initReply struct {
+	gate backend.Gate
+	id   TaskID
+}
+
+func newInitReply(b backend.Backend) *initReply { return &initReply{gate: b.NewGate()} }
+
+// deliver publishes the assigned id (NilTask on failure) and wakes the
+// waiter.  A nil receiver (fire-and-forget INITIATE) is a no-op.
+func (r *initReply) deliver(id TaskID) {
+	if r == nil {
+		return
+	}
+	r.id = id
+	r.gate.Open()
+}
+
+// wait blocks until the reply has been delivered and returns the id.
+func (r *initReply) wait() TaskID {
+	r.gate.Wait()
+	return r.id
+}
+
+// Deterministic reports whether the VM runs on a deterministic scheduling
+// backend.  Run-time layers use it to insert extra cooperative scheduling
+// points (the interpreter yields between statements) that would only cost
+// time under the goroutine backend.
+func (vm *VM) Deterministic() bool { return vm.backend.Deterministic() }
 
 // Run initiates a top-level task, waits for it to terminate, and returns its
 // id.  It is the convenience used by examples and experiments.
@@ -355,7 +401,7 @@ func (vm *VM) WaitTask(id TaskID) error {
 	if !ok {
 		return nil
 	}
-	<-rec.done
+	rec.done.Wait()
 	return nil
 }
 
@@ -372,14 +418,14 @@ func (vm *VM) FlushUserOutput() {
 	if !ok {
 		return
 	}
-	ch := make(chan struct{})
+	gate := vm.backend.NewGate()
 	msg := newMessage(msgUserSync, vm.userCtrl, nil, vm.msgSeq.Add(1))
-	msg.syncCh = ch
+	msg.sync = gate
 	if !rec.queue.put(msg) {
 		recycleMessage(msg)
 		return
 	}
-	<-ch
+	gate.Wait()
 }
 
 // placeCluster resolves a Placement to a cluster, given the initiating
@@ -531,13 +577,16 @@ func (vm *VM) Shutdown() {
 	}
 
 	// Snapshot every task record so the teardown below can also wait for the
-	// underlying MMOS processes to exit.
+	// underlying MMOS processes to exit.  The snapshot is sorted so kills,
+	// shutdown messages, and their trace events happen in the same order
+	// every run — map iteration order must not leak into deterministic runs.
 	vm.mu.Lock()
 	var all []*taskRec
 	for _, rec := range vm.tasks {
 		all = append(all, rec)
 	}
 	vm.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].id.less(all[j].id) })
 
 	// Kill user tasks and wait for them to drain.
 	for _, rec := range all {
@@ -561,14 +610,14 @@ func (vm *VM) Shutdown() {
 	}
 	for _, rec := range all {
 		if rec.isController {
-			<-rec.done
+			rec.done.Wait()
 		}
 	}
 	// Wait for the MMOS processes themselves so the kernel is quiescent when
 	// Shutdown returns.
 	for _, rec := range all {
 		if p := rec.getProc(); p != nil {
-			<-p.Done()
+			p.WaitExited()
 		}
 	}
 	vm.machine.Shared().FreeTable(vm.tableBytes)

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/backend"
 	"repro/internal/flex"
 )
 
@@ -54,19 +55,63 @@ func (s State) String() string {
 // Kernel is the per-machine MMOS instance.
 type Kernel struct {
 	machine *flex.Machine
+	backend backend.Backend
 
 	mu     sync.Mutex
 	nextID int
 	procs  map[int]*Proc
+	// cpus holds the per-PE CPU tokens used under a deterministic backend,
+	// where the PE's own channel token would block invisibly to the
+	// scheduler.  Keyed by PE number, created lazily.
+	cpus map[int]backend.Sem
 
 	spawned     atomic.Int64
 	exited      atomic.Int64
 	cpuSwitches atomic.Int64
 }
 
-// NewKernel creates a kernel controlling the given machine.
-func NewKernel(m *flex.Machine) *Kernel {
-	return &Kernel{machine: m, procs: make(map[int]*Proc), nextID: 1}
+// NewKernel creates a kernel controlling the given machine, scheduling
+// processes on raw goroutines.
+func NewKernel(m *flex.Machine) *Kernel { return NewKernelOn(m, backend.Default()) }
+
+// NewKernelOn creates a kernel that spawns its processes through the given
+// scheduling backend.  With a deterministic backend every process becomes a
+// cooperatively scheduled task and the per-PE CPU exclusivity is enforced
+// with backend semaphores instead of the PE's channel token.
+func NewKernelOn(m *flex.Machine, b backend.Backend) *Kernel {
+	return &Kernel{machine: m, backend: b, procs: make(map[int]*Proc), nextID: 1}
+}
+
+// cpuToken is the exclusive-CPU interface a process acquires to run.  The
+// flex.PE itself satisfies it (the goroutine path); deterministic backends
+// substitute a scheduler-visible semaphore.
+type cpuToken interface {
+	Acquire()
+	Release()
+}
+
+// semCPU adapts a backend semaphore to the cpuToken interface.
+type semCPU struct{ sem backend.Sem }
+
+func (c semCPU) Acquire() { c.sem.Acquire() }
+func (c semCPU) Release() { c.sem.Release() }
+
+// cpuFor returns the CPU token processes on pe must hold to execute.
+func (k *Kernel) cpuFor(pe *flex.PE) cpuToken {
+	if !k.backend.Deterministic() {
+		return pe
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.cpus == nil {
+		k.cpus = make(map[int]backend.Sem)
+	}
+	s, ok := k.cpus[pe.ID()]
+	if !ok {
+		s = k.backend.NewSem()
+		k.cpus[pe.ID()] = s
+	}
+	return semCPU{sem: s}
 }
 
 // Machine returns the machine this kernel controls.
@@ -78,10 +123,12 @@ type Proc struct {
 	id     int
 	name   string
 	pe     *flex.PE
+	cpu    cpuToken
 
 	state  atomic.Int32
 	done   chan struct{}
 	doneMu sync.Once
+	exited backend.Gate
 
 	localBytes int // local memory charged at spawn, released at exit
 }
@@ -108,19 +155,21 @@ func (k *Kernel) Spawn(pe *flex.PE, name string, localBytes int, body func(*Proc
 	k.mu.Lock()
 	id := k.nextID
 	k.nextID++
-	p := &Proc{kernel: k, id: id, name: name, pe: pe, done: make(chan struct{}), localBytes: localBytes}
+	p := &Proc{kernel: k, id: id, name: name, pe: pe, done: make(chan struct{}),
+		exited: k.backend.NewGate(), localBytes: localBytes}
 	p.state.Store(int32(Ready))
 	k.procs[id] = p
 	k.mu.Unlock()
+	p.cpu = k.cpuFor(pe)
 
 	pe.BindProc()
 	k.spawned.Add(1)
 
-	go func() {
+	k.backend.Spawn(name, func() {
 		p.acquireCPU()
 		defer p.exit()
 		body(p)
-	}()
+	})
 	return p, nil
 }
 
@@ -140,6 +189,7 @@ func (p *Proc) exit() {
 	delete(p.kernel.procs, p.id)
 	p.kernel.mu.Unlock()
 	p.doneMu.Do(func() { close(p.done) })
+	p.exited.Open()
 }
 
 // ID returns the kernel-assigned process id.
@@ -154,18 +204,23 @@ func (p *Proc) PE() *flex.PE { return p.pe }
 // State returns the process's scheduling state.
 func (p *Proc) State() State { return State(p.state.Load()) }
 
-// Done returns a channel closed when the process has exited.
+// Done returns a channel closed when the process has exited.  Under a
+// deterministic backend prefer WaitExited, which pumps the scheduler.
 func (p *Proc) Done() <-chan struct{} { return p.done }
 
+// WaitExited blocks until the process has exited.  It is safe in both
+// scheduling contexts: task code parks; the external driver pumps.
+func (p *Proc) WaitExited() { p.exited.Wait() }
+
 func (p *Proc) acquireCPU() {
-	p.pe.Acquire()
+	p.cpu.Acquire()
 	p.state.Store(int32(Running))
 	p.kernel.cpuSwitches.Add(1)
 }
 
 func (p *Proc) releaseCPU() {
 	p.state.Store(int32(Ready))
-	p.pe.Release()
+	p.cpu.Release()
 }
 
 // Charge advances the PE clock by n ticks on behalf of this process.  The
@@ -182,6 +237,12 @@ func (p *Proc) Charge(n int64) {
 func (p *Proc) Yield() {
 	p.Charge(1)
 	p.releaseCPU()
+	// Re-enter the backend's ready set between releasing and re-acquiring
+	// the CPU: with an uncontended CPU token the release/acquire pair alone
+	// never parks, so without this a deterministic backend would get no
+	// scheduling point out of a yield (a force member alone on its PE would
+	// run its whole region uninterleaved).  A no-op on the goroutine backend.
+	p.kernel.backend.Yield()
 	p.acquireCPU()
 }
 
@@ -190,9 +251,9 @@ func (p *Proc) Yield() {
 // Block so that a blocked task never occupies its PE.
 func (p *Proc) Block(wake <-chan struct{}) {
 	p.state.Store(int32(Blocked))
-	p.pe.Release()
+	p.cpu.Release()
 	<-wake
-	p.pe.Acquire()
+	p.cpu.Acquire()
 	p.state.Store(int32(Running))
 	p.kernel.cpuSwitches.Add(1)
 }
@@ -201,9 +262,9 @@ func (p *Proc) Block(wake <-chan struct{}) {
 // condition holds), then re-acquires the CPU.
 func (p *Proc) BlockFn(wait func()) {
 	p.state.Store(int32(Blocked))
-	p.pe.Release()
+	p.cpu.Release()
 	wait()
-	p.pe.Acquire()
+	p.cpu.Acquire()
 	p.state.Store(int32(Running))
 	p.kernel.cpuSwitches.Add(1)
 }

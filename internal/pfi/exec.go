@@ -88,6 +88,24 @@ type execState struct {
 	forceSize  int        // cached cluster force size; 0 = not yet computed
 	sticky     *stickyErr // non-nil inside a FORCESPLIT region
 	argv       []value    // intrinsic argument stack, reused across calls
+	// yield makes every statement boundary a scheduling point.  It is set
+	// only under a deterministic backend, where per-statement yields let the
+	// seeded scheduler explore statement-level interleavings; the goroutine
+	// backend keeps its statement loop free of per-statement CPU churn.
+	yield bool
+}
+
+// schedPoint offers the deterministic scheduler a chance to interleave
+// another task between two interpreted statements.
+func (st *execState) schedPoint() {
+	if !st.yield {
+		return
+	}
+	if st.m != nil {
+		st.m.Yield()
+	} else {
+		st.t.Yield()
+	}
 }
 
 // requirePrimary guards message and terminal operations inside a force
@@ -109,6 +127,7 @@ func (st *execState) execSeq(ns []cstmt) (ctl, error) {
 	for pc < len(ns) {
 		s := &ns[pc]
 		st.p.cs.statements.Inc()
+		st.schedPoint()
 		c, err := s.run(st)
 		if err != nil {
 			if s.line > 0 {
@@ -459,7 +478,7 @@ func (st *execState) execForce(body []cstmt) (ctl, error) {
 	primAccept := preAccept
 	err := st.t.ForceSplit(func(m *core.ForceMember) {
 		sub := &execState{p: st.p, tp: st.tp, t: st.t, m: m, locks: st.locks,
-			sticky: sticky, lastAccept: preAccept}
+			sticky: sticky, lastAccept: preAccept, yield: st.yield}
 		if m.IsPrimary() {
 			sub.f = st.f
 		} else {

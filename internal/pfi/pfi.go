@@ -294,6 +294,7 @@ func (p *Program) taskBody(tp *taskProgram) func(*core.Task) {
 			t:     t,
 			f:     newFrame(tp.tab),
 			locks: &lockTable{byName: make(map[string]*core.Lock)},
+			yield: t.VM().Deterministic(),
 		}
 		if err := st.bindParams(); err != nil {
 			p.fail(tp, t, err)

@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+)
+
+// runFanIn boots a VM on a seeded scheduler and runs a racy fan-in program:
+// ten children send their index to a sink, which prints the arrival order.
+// The arrival order is schedule-dependent, so it fingerprints the schedule.
+func runFanIn(t *testing.T, seed int64) string {
+	t.Helper()
+	var out bytes.Buffer
+	s := New(seed)
+	vm, err := core.NewVM(config.Simple(2, 12), core.Options{UserOutput: &out, Backend: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vm.Shutdown()
+
+	vm.Register("child", func(task *core.Task) {
+		_ = task.SendParent("tag", task.Arg(0))
+	})
+	vm.Register("sink", func(task *core.Task) {
+		for i := 0; i < 10; i++ {
+			if err := task.Initiate(core.Any(), "child", core.Int(int64(i))); err != nil {
+				task.Println("initiate:", err)
+				return
+			}
+		}
+		res, err := task.AcceptN(10, "tag")
+		if err != nil {
+			task.Println("accept:", err)
+			return
+		}
+		order := ""
+		for _, m := range res.Accepted {
+			order += fmt.Sprintf("%d ", core.MustInt(m.Arg(0)))
+		}
+		task.Println("order:", order)
+	})
+
+	if _, err := vm.Run("sink", core.OnCluster(1)); err != nil {
+		t.Fatal(err)
+	}
+	vm.WaitIdle()
+	vm.FlushUserOutput()
+	return out.String()
+}
+
+// TestSeedReproducibility: the same seed reproduces the same arrival order;
+// different seeds explore different interleavings.
+func TestSeedReproducibility(t *testing.T) {
+	outputs := make(map[int64]string)
+	for seed := int64(0); seed < 6; seed++ {
+		a := runFanIn(t, seed)
+		b := runFanIn(t, seed)
+		if a != b {
+			t.Fatalf("seed %d not reproducible:\nrun1: %q\nrun2: %q", seed, a, b)
+		}
+		outputs[seed] = a
+	}
+	distinct := make(map[string]bool)
+	for _, o := range outputs {
+		distinct[o] = true
+	}
+	if len(distinct) < 2 {
+		t.Errorf("6 seeds produced a single schedule %q; PRNG pick appears inert", outputs[0])
+	}
+}
+
+// TestVirtualClockTimeout: an ACCEPT with a DELAY nobody satisfies times out
+// on the virtual clock without consuming wall time.
+func TestVirtualClockTimeout(t *testing.T) {
+	var out bytes.Buffer
+	s := New(1)
+	vm, err := core.NewVM(config.Simple(1, 2), core.Options{UserOutput: &out, Backend: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vm.Shutdown()
+
+	vm.Register("waiter", func(task *core.Task) {
+		res, err := task.Accept(core.AcceptSpec{
+			Total: 1,
+			Types: []core.TypeCount{{Type: "never"}},
+			Delay: time.Hour,
+		})
+		if err != nil {
+			task.Println("accept:", err)
+			return
+		}
+		task.Println("timedout:", res.TimedOut)
+	})
+
+	start := time.Now()
+	if _, err := vm.Run("waiter", core.OnCluster(1)); err != nil {
+		t.Fatal(err)
+	}
+	vm.FlushUserOutput()
+	if wall := time.Since(start); wall > 10*time.Second {
+		t.Fatalf("virtual one-hour DELAY took %v of wall time", wall)
+	}
+	if got, want := out.String(), "timedout: true\n"; got != want {
+		t.Fatalf("output = %q, want %q", got, want)
+	}
+	if s.Now().Sub(epoch) < time.Hour {
+		t.Errorf("virtual clock advanced only %v, want >= 1h", s.Now().Sub(epoch))
+	}
+}
+
+// TestDeadlockReport: a task that waits forever for a message nobody sends
+// panics with a *Deadlock naming the seed when the driver waits on it.
+func TestDeadlockReport(t *testing.T) {
+	s := New(7)
+	vm, err := core.NewVM(config.Simple(1, 2), core.Options{Backend: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.Register("stuck", func(task *core.Task) {
+		_, _ = task.Accept(core.AcceptSpec{
+			Total: 1,
+			Types: []core.TypeCount{{Type: "never"}},
+			Delay: core.Forever,
+		})
+	})
+
+	defer func() {
+		r := recover()
+		d, ok := r.(*Deadlock)
+		if !ok {
+			t.Fatalf("recovered %v (%T), want *Deadlock", r, r)
+		}
+		if d.Seed != 7 {
+			t.Errorf("deadlock seed = %d, want 7", d.Seed)
+		}
+	}()
+	_, _ = vm.Run("stuck", core.OnCluster(1))
+	t.Fatal("run of a deadlocked program returned")
+}
+
+// TestForceDeterminism: a force with critical sections produces the same
+// lock acquisition order for the same seed.
+func runForce(t *testing.T, seed int64) string {
+	t.Helper()
+	var out bytes.Buffer
+	s := New(seed)
+	cfg := config.Simple(1, 2).WithForces(1, 7, 8, 9)
+	vm, err := core.NewVM(cfg, core.Options{UserOutput: &out, Backend: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vm.Shutdown()
+
+	vm.Register("f", func(task *core.Task) {
+		common, err := task.NewSharedCommon("ord", 0, 8)
+		if err != nil {
+			task.Println(err)
+			return
+		}
+		lock, err := task.NewLock("l")
+		if err != nil {
+			task.Println(err)
+			return
+		}
+		err = task.ForceSplit(func(m *core.ForceMember) {
+			m.Barrier(nil)
+			m.Critical(lock, func() {
+				n := common.Int(0)
+				common.SetInt(0, n+1)
+				common.SetInt(int(n)+1, int64(m.Member()))
+			})
+			m.Barrier(nil)
+		})
+		if err != nil {
+			task.Println(err)
+			return
+		}
+		order := ""
+		for i := int64(1); i <= common.Int(0); i++ {
+			order += fmt.Sprintf("%d ", common.Int(int(i)))
+		}
+		task.Println("acquired:", order)
+	})
+	if _, err := vm.Run("f", core.OnCluster(1)); err != nil {
+		t.Fatal(err)
+	}
+	vm.FlushUserOutput()
+	return out.String()
+}
+
+func TestForceDeterminism(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		a, b := runForce(t, seed), runForce(t, seed)
+		if a != b {
+			t.Fatalf("seed %d force run not reproducible:\nrun1: %q\nrun2: %q", seed, a, b)
+		}
+	}
+}

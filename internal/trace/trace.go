@@ -128,12 +128,28 @@ func (s *MemorySink) Emit(e Event) {
 	s.mu.Unlock()
 }
 
-// Events returns a copy of the recorded events in emission order.
+// Events returns a copy of the recorded events in emission order.  The
+// recorder stamps each event with a strictly increasing Seq under its lock,
+// so emission order is the run's total event order; under a deterministic
+// scheduling backend the whole slice is reproducible from the seed, which is
+// what the conformance harness diffs between runs.
 func (s *MemorySink) Events() []Event {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]Event, len(s.events))
 	copy(out, s.events)
+	return out
+}
+
+// Lines returns the rendered trace lines in emission order, a convenient
+// golden-comparison form for conformance tests.
+func (s *MemorySink) Lines() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.events))
+	for i, e := range s.events {
+		out[i] = e.Line()
+	}
 	return out
 }
 

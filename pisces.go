@@ -28,6 +28,7 @@ package pisces
 import (
 	"io"
 
+	"repro/internal/backend"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/exec"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/pfc"
 	"repro/internal/pfi"
 	"repro/internal/rect"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -97,6 +99,26 @@ type (
 // NewVM boots a virtual machine for the configuration on a simulated
 // FLEX/32 with the default (NASA Langley) hardware description.
 func NewVM(cfg *Configuration, opts Options) (*VM, error) { return core.NewVM(cfg, opts) }
+
+// Deterministic scheduling.
+type (
+	// SchedulerBackend is the pluggable scheduling substrate of a VM
+	// (Options.Backend).  Nil selects the default goroutine backend.
+	SchedulerBackend = backend.Backend
+	// SimScheduler is the deterministic simulation backend: a cooperative
+	// single-threaded scheduler driven by a seeded PRNG with a virtual
+	// clock.  Same program + same seed = byte-identical run.
+	SimScheduler = sim.Scheduler
+	// SimDeadlock is the panic value a deterministic run raises when no task
+	// can make progress.
+	SimDeadlock = sim.Deadlock
+)
+
+// NewSimScheduler returns a deterministic scheduling backend seeded with
+// seed, for core.Options.Backend / pisces.Options.Backend.  A scheduler
+// belongs to exactly one VM, and a deterministic VM must be driven from a
+// single goroutine.
+func NewSimScheduler(seed int64) *SimScheduler { return sim.New(seed) }
 
 // Forever and All are the special ACCEPT delay and count values; AnyMessage
 // is the wildcard message type.
