@@ -167,6 +167,93 @@ func BenchmarkE5MessageFanIn(b *testing.B) {
 	b.ReportMetric(rate, "fanin-msgs/s")
 }
 
+// BenchmarkCrossClusterFanIn measures inter-cluster message throughput on
+// the sharded heap: four senders, each in its own cluster, fan into one
+// collector on cluster 1, so every data message is encoded into the sender's
+// heap shard, routed, and decoded into the collector's shard by the
+// destination router.  One benchmark op is a round of 4x64 routed messages;
+// the headline metric is routed messages per second.
+func BenchmarkCrossClusterFanIn(b *testing.B) {
+	const senders = 4
+	const perSender = 64
+	vm, err := pisces.NewVM(pisces.SimpleConfiguration(senders+1, 2), pisces.Options{AcceptTimeout: 60 * time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer vm.Shutdown()
+
+	ready := make(chan pisces.TaskID, senders+1)
+	roundDone := make(chan struct{})
+	vm.Register("collector", func(t *pisces.Task) {
+		ready <- t.ID()
+		for {
+			m, err := t.AcceptOne("go", "stop")
+			if err != nil || m.Type == "stop" {
+				return
+			}
+			res, err := t.AcceptN(senders*perSender, "datum")
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			t.RecycleAccept(res)
+			roundDone <- struct{}{}
+		}
+	})
+	vm.Register("sender", func(t *pisces.Task) {
+		ready <- t.ID()
+		for {
+			m, err := t.AcceptOne("go", "stop")
+			if err != nil || m.Type == "stop" {
+				return
+			}
+			to := pisces.MustID(m.Arg(0))
+			for i := 0; i < perSender; i++ {
+				if err := t.Send(to, "datum", pisces.Int(int64(i)), pisces.Str("cross-cluster payload")); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}
+	})
+
+	collectorID, err := vm.Initiate("collector", pisces.OnCluster(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var senderIDs []pisces.TaskID
+	for i := 0; i < senders; i++ {
+		id, err := vm.Initiate("sender", pisces.OnCluster(2+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		senderIDs = append(senderIDs, id)
+	}
+	for i := 0; i < senders+1; i++ {
+		<-ready
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, id := range senderIDs {
+			if err := vm.SendFromUser(id, "go", pisces.ID(collectorID)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := vm.SendFromUser(collectorID, "go"); err != nil {
+			b.Fatal(err)
+		}
+		<-roundDone
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*senders*perSender)/b.Elapsed().Seconds(), "routed-msgs/s")
+	for _, id := range append(append([]pisces.TaskID(nil), senderIDs...), collectorID) {
+		_ = vm.SendFromUser(id, "stop")
+	}
+	vm.WaitIdle()
+}
+
 // BenchmarkE6WindowPartitioning regenerates the Section 8 window-vs-shipping
 // comparison and reports the traffic ratio.
 func BenchmarkE6WindowPartitioning(b *testing.B) {

@@ -69,8 +69,13 @@ type Result struct {
 	// Steps is the number of scheduling decisions the run took.
 	Steps int64
 	// HeapInUse is the shared-memory message heap still allocated after
-	// Shutdown; any non-zero value is a leak on this schedule.
+	// Shutdown, summed over every per-cluster shard; any non-zero value is a
+	// leak on this schedule.
 	HeapInUse int
+	// HeapShardsInUse is the same quantity per heap shard (one entry per
+	// cluster, in cluster order): the sweep asserts every shard is empty, so
+	// a leak pinned to one cluster's shard is reported as such.
+	HeapShardsInUse []int
 	// Err is the program's compile- or run-time error, if any.
 	Err error
 	// Deadlock is non-nil when the schedule wedged (it is also wrapped in
@@ -132,6 +137,9 @@ func Run(src string, seed int64) (res Result) {
 	res.Trace = mem.Lines()
 	res.Steps = s.Steps()
 	res.HeapInUse = vm.Machine().Shared().Usage().HeapInUse
+	for _, shard := range vm.Machine().Shared().HeapShards() {
+		res.HeapShardsInUse = append(res.HeapShardsInUse, shard.InUse())
+	}
 	res.Err = runErr
 	return res
 }

@@ -119,9 +119,11 @@ func TestScheduleIndependence(t *testing.T) {
 					t.Fatalf("seed %d output diverges from seed 0:\nseed 0:\n%s\nseed %d:\n%s",
 						seed, baseline.Output, seed, res.Output)
 				}
-				if res.HeapInUse != 0 {
-					recordFailure(name, seed, fmt.Sprintf("heap leak: %d bytes after shutdown", res.HeapInUse))
-					t.Errorf("seed %d: %d heap bytes still allocated after shutdown", seed, res.HeapInUse)
+				for shard, in := range res.HeapShardsInUse {
+					if in != 0 {
+						recordFailure(name, seed, fmt.Sprintf("heap leak: %d bytes on shard %d after shutdown", in, shard))
+						t.Errorf("seed %d: %d heap bytes still allocated on shard %d after shutdown", seed, in, shard)
+					}
 				}
 			}
 			t.Logf("%s: %d seeds, output stable (%d bytes)", name, *seedCount, len(baseline.Output))

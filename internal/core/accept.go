@@ -190,15 +190,27 @@ func (st *acceptState) satisfied() bool {
 // them; takeMatching updates the remaining requirements in place.
 func (st *acceptState) drain(t *Task, res *AcceptResult) {
 	taken := t.rec.queue.takeMatching(st, st.scratch[:0])
-	for _, m := range taken {
-		t.processAccepted(m, res)
+	i := 0
+	defer func() {
+		// processAccepted can unwind mid-batch on a kill (Charge checks the
+		// kill flag) or on a handler panic.  The remaining taken messages are
+		// no longer in the queue, so the termination path cannot recover
+		// their heap storage — release it here.  releaseMessage is
+		// idempotent, so the in-flight message is safe either way.
+		for ; i < len(taken); i++ {
+			t.vm.releaseMessage(taken[i])
+		}
+		// Keep the grown buffer but drop the message pointers: the messages
+		// now belong to the result, and a task-lifetime scratch must not pin
+		// them.
+		for j := range taken {
+			taken[j] = nil
+		}
+		st.scratch = taken[:0]
+	}()
+	for ; i < len(taken); i++ {
+		t.processAccepted(taken[i], res)
 	}
-	// Keep the grown buffer but drop the message pointers: the messages now
-	// belong to the result, and a task-lifetime scratch must not pin them.
-	for i := range taken {
-		taken[i] = nil
-	}
-	st.scratch = taken[:0]
 }
 
 // Accept executes an ACCEPT statement: messages of the listed types are taken
@@ -289,6 +301,10 @@ func (t *Task) processAccepted(m *Message, res *AcceptResult) {
 	if m.heapBytes > msgcodec.HeaderBytes {
 		packets = (m.heapBytes - msgcodec.HeaderBytes) / msgcodec.PacketBytes
 	}
+	// Recover the shard storage before anything that can unwind on a kill:
+	// the arguments live in the Go argument slice, not the arena, so the
+	// handler below never reads the released bytes.
+	t.vm.releaseMessage(m)
 	t.Charge(int64(costAcceptMsg + costAcceptPacket*packets))
 	t.vm.msgsAccpt.Add(1)
 	if t.vm.tracing(trace.MsgAccept) {
@@ -298,7 +314,6 @@ func (t *Task) processAccepted(m *Message, res *AcceptResult) {
 	if h, ok := t.handlers[m.Type]; ok {
 		h(t, m)
 	}
-	t.vm.releaseMessage(m)
 	res.Accepted = append(res.Accepted, m)
 	res.ByType[m.Type] = append(res.ByType[m.Type], m)
 }

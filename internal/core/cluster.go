@@ -8,6 +8,7 @@ import (
 	"repro/internal/backend"
 	"repro/internal/config"
 	"repro/internal/flex"
+	"repro/internal/memory"
 	"repro/internal/mmos"
 	"repro/internal/trace"
 )
@@ -76,6 +77,16 @@ type clusterRT struct {
 
 	primary     *flex.PE
 	secondaries []*flex.PE
+
+	// heap is this cluster's shard of the shared-memory message heap.
+	// Intra-cluster message traffic allocates and frees exclusively on it, so
+	// senders in different clusters never contend on one allocator lock.
+	heap *memory.Allocator
+	// router holds this cluster's inbound cross-cluster lanes, keyed by
+	// source cluster number: each lane receives wire-encoded bytes from one
+	// cluster and decodes them into the shard.  Nil on single-cluster
+	// machines, where every send is intra-cluster; read-only after boot.
+	router map[int]*clusterRouter
 
 	controllerID TaskID
 	terminal     bool // hosts the user and file controllers

@@ -17,6 +17,10 @@ const (
 	costSendPacket = 2
 	// costAcceptMsg is charged to the receiver per accepted message.
 	costAcceptMsg = 8
+	// costRouteMsg is charged to the destination cluster's router per
+	// cross-cluster message, for decoding the wire form into the destination
+	// heap shard (plus costSendPacket per packet moved between shards).
+	costRouteMsg = 6
 	// costAcceptPacket is charged per packet copied out of shared memory.
 	costAcceptPacket = 2
 	// costLockOp is charged per lock or unlock operation.

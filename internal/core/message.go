@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/backend"
+	"repro/internal/memory"
 )
 
 // System message types used by the run-time itself.  They use a reserved
@@ -38,9 +39,12 @@ type Message struct {
 	// seq orders messages by arrival for the in-queue.
 	seq uint64
 	// heapOff/heapBytes record the shared-memory heap allocation backing the
-	// message while it waits in the in-queue.
+	// message while it waits in the in-queue; heapShard is the per-cluster
+	// heap shard the allocation was made from (the destination cluster's
+	// shard, since the receiver's run-time recovers the storage).
 	heapOff   int
 	heapBytes int
+	heapShard *memory.Allocator
 	// reply, when non-nil, returns the new task's id to the initiator of the
 	// run-time's own initiate requests.
 	reply *initReply

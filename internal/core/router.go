@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/backend"
+	"repro/internal/memory"
+	"repro/internal/msgcodec"
+)
+
+// Cross-cluster message routing.
+//
+// The message heap is sharded per cluster (see clusterRT.heap), so a message
+// cannot simply be charged to "the heap" any more: intra-cluster sends
+// allocate on the one shard both tasks share, while an inter-cluster send
+// has to move the argument bytes from the sender's shard to the receiver's.
+// That move is exactly the wire path of the FLEX/32 run-time — "messages
+// consist of a header and a list of packets containing the arguments"
+// (Section 11) — so it goes through msgcodec for real: the sender encodes the
+// argument list into its own shard, and the destination cluster's router
+// decodes the bytes into a fresh message charged to the destination shard.
+// Header fields that never leave the run-time (type, sender, sequence number,
+// the initiate-reply linkage) travel alongside the packet bytes, the way the
+// original header carried queue linkage next to the packets.
+//
+// Every cluster of a multi-cluster machine runs one router lane per source
+// cluster (a task woken through a backend event), so deterministic (-sim)
+// runs schedule router hops exactly like any other task and replay them
+// byte-identically from the seed.  One lane per (source, destination) pair
+// keeps messages between a given pair of tasks in send order while letting
+// traffic from different clusters decode concurrently — a single lane per
+// destination would serialise a fan-in that the senders produced in
+// parallel.  The router does not occupy the destination PE's CPU — on the
+// FLEX/32 the inter-cluster copy was the shared-memory bus at work, not a
+// process competing for the receiver's processor — but the decode cost is
+// still charged to the destination cluster's primary PE clock so
+// simulated-time experiments see the transfer.
+
+// routerBatch bounds how many queued wire messages the router takes per lock
+// acquisition.  Draining in small batches keeps the queue lock cheap under
+// fan-in bursts without letting one drain hold the destination PE for an
+// unbounded stretch.
+const routerBatch = 16
+
+// wireMsg is one cross-cluster message in flight: codec-encoded argument
+// bytes in the source cluster's heap shard, plus the header fields the router
+// needs to rebuild the message on the destination side.  dest is the
+// receiving task's record, resolved once on the send side; its in-queue's
+// closed flag is the liveness check at delivery time.
+type wireMsg struct {
+	dest    *taskRec
+	msgType string
+	sender  TaskID
+	seq     uint64
+
+	srcHeap *memory.Allocator // source shard holding the wire bytes
+	off     int               // allocation offset in srcHeap
+	destOff int               // storage reserved on the destination shard at send time
+	size    int               // charged bytes (header + packets model)
+	wireLen int               // codec bytes actually written at off
+
+	// reply carries the initiate-reply linkage for routed initiate requests.
+	reply *initReply
+	// flush, when non-nil, marks a barrier token: the router opens the gate
+	// once everything enqueued before it has been delivered.  No payload.
+	flush backend.Gate
+}
+
+// clusterRouter delivers inbound cross-cluster messages for one destination
+// cluster from one source cluster.
+//
+// Delivery has two modes.  When the lane has no backlog (empty queue, no
+// batch in flight), the sending task delivers its own message inline — the
+// common uncongested case, and the one that keeps concurrent senders
+// decoding in parallel instead of funnelling through one task.  When the
+// lane has backlog, messages queue and the lane task drains them in small
+// batches.
+//
+// The ordering contract is per sender task: a task's messages to a given
+// receiver arrive in send order.  A sending task is itself serial, so its
+// next send cannot start while its previous inline delivery is still in
+// progress; and the inline path is taken only when the queue is empty AND no
+// batch is being delivered, so a sender whose earlier message is still
+// queued (or in a batch) can never leapfrog it.  Concurrent inline
+// deliveries by different senders are unordered with respect to each other,
+// exactly as concurrent direct sends always were.
+type clusterRouter struct {
+	vm   *VM
+	cl   *clusterRT // destination cluster this lane serves
+	wake backend.Event
+	done backend.Gate
+
+	mu       sync.Mutex
+	q        []wireMsg
+	batching bool // the lane task is delivering a taken batch
+	closed   bool
+}
+
+// startRouters spawns the router lanes: for every destination cluster, one
+// lane per other (source) cluster, in (destination, source) order so spawn
+// order is deterministic.  Single-cluster machines skip routing entirely:
+// every send is intra-cluster.
+func (vm *VM) startRouters() error {
+	nums := vm.clusterNumbers()
+	if len(nums) < 2 {
+		return nil
+	}
+	for _, n := range nums {
+		cl, _ := vm.cluster(n)
+		cl.router = make(map[int]*clusterRouter, len(nums)-1)
+		for _, src := range nums {
+			if src == n {
+				continue
+			}
+			r := &clusterRouter{vm: vm, cl: cl, wake: vm.backend.NewEvent(), done: vm.backend.NewGate()}
+			vm.backend.Spawn(fmt.Sprintf("pisces.router/c%d-c%d", src, n), r.run)
+			cl.router[src] = r
+			vm.routers = append(vm.routers, r)
+		}
+	}
+	return nil
+}
+
+// routeMessage sends one message across clusters: the argument list is
+// codec-encoded into the sender's heap shard, the message's storage on the
+// destination shard is reserved, and the wire bytes are handed to the
+// destination cluster's router.  Reserving the destination storage here —
+// not at delivery — keeps the pre-shard error contract: a send that the
+// receiving cluster cannot hold fails with ErrHeapExhausted at the sender
+// instead of vanishing in flight.  It returns the charged byte size so the
+// caller can charge send ticks; both allocations are owned by the router
+// from here on.  from is the sending cluster (it must differ from the
+// destination's), dest the receiving task's record.
+func (vm *VM) routeMessage(from *clusterRT, dest *taskRec, msgType string, sender TaskID, args []Value, seq uint64, reply *initReply) (int, error) {
+	size, err := encodedSize(args)
+	if err != nil {
+		return 0, err
+	}
+	off, err := from.heap.Alloc(size)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrHeapExhausted, err)
+	}
+	// Encode straight into the shard's arena: the packet-model size always
+	// bounds the wire size (a packet holds more than an argument's wire
+	// overhead), so the append never outgrows the allocation.
+	buf := from.heap.Bytes(off, size)
+	wire, err := msgcodec.AppendEncode(buf[:0], args)
+	if err != nil {
+		_ = from.heap.Free(off)
+		return 0, err
+	}
+	if len(wire) > size {
+		_ = from.heap.Free(off)
+		return 0, fmt.Errorf("core: wire form of %s (%d bytes) exceeds its packet-model size %d", msgType, len(wire), size)
+	}
+	destOff, err := dest.cluster.heap.Alloc(size)
+	if err != nil {
+		_ = from.heap.Free(off)
+		return 0, fmt.Errorf("%w: %v", ErrHeapExhausted, err)
+	}
+	w := wireMsg{
+		dest: dest, msgType: msgType, sender: sender, seq: seq,
+		srcHeap: from.heap, off: off, destOff: destOff, size: size, wireLen: len(wire),
+		reply: reply,
+	}
+	if !dest.cluster.router[from.cfg.Number].send(w) {
+		_ = from.heap.Free(off)
+		_ = dest.cluster.heap.Free(destOff)
+		reply.deliver(NilTask)
+		return 0, ErrVMTerminated
+	}
+	return size, nil
+}
+
+// send hands one wire message to the lane: delivered inline by the calling
+// task when the lane has no backlog, queued for the lane task otherwise.  It
+// reports false if the lane has already been stopped (VM shutdown).
+func (r *clusterRouter) send(w wireMsg) bool {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return false
+	}
+	if len(r.q) == 0 && !r.batching {
+		r.mu.Unlock()
+		r.deliver(&w)
+		return true
+	}
+	r.q = append(r.q, w)
+	r.mu.Unlock()
+	r.wake.Pulse()
+	return true
+}
+
+// enqueue appends one wire message for the lane task without the inline fast
+// path (used by flush tokens, which must observe queue order strictly).  It
+// reports false if the lane has already been stopped.
+func (r *clusterRouter) enqueue(w wireMsg) bool {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return false
+	}
+	r.q = append(r.q, w)
+	r.mu.Unlock()
+	r.wake.Pulse()
+	return true
+}
+
+// run is the router task body: wait for wire messages, drain them in small
+// batches, exit once stopped and fully drained.  Waiting goes through the
+// backend event, so the wait is scheduler-visible under a deterministic
+// backend; the done gate is opened on exit for stop to wait on.
+func (r *clusterRouter) run() {
+	defer r.done.Open()
+	batch := make([]wireMsg, 0, routerBatch)
+	for {
+		r.mu.Lock()
+		for len(r.q) == 0 {
+			if r.closed {
+				r.mu.Unlock()
+				return
+			}
+			r.mu.Unlock()
+			r.wake.Wait()
+			r.mu.Lock()
+		}
+		r.batching = true
+		n := len(r.q)
+		if n > routerBatch {
+			n = routerBatch
+		}
+		batch = append(batch[:0], r.q[:n]...)
+		rest := copy(r.q, r.q[n:])
+		for i := rest; i < len(r.q); i++ {
+			r.q[i] = wireMsg{} // drop heap/gate references
+		}
+		r.q = r.q[:rest]
+		r.mu.Unlock()
+		for i := range batch {
+			r.deliver(&batch[i])
+			batch[i] = wireMsg{}
+		}
+		r.mu.Lock()
+		r.batching = false
+		r.mu.Unlock()
+	}
+}
+
+// deliver decodes one wire message into the destination shard and queues it
+// on the destination task.  The wire bytes are freed from the source shard
+// unconditionally — delivered or dropped, the in-flight copy is recovered.
+func (r *clusterRouter) deliver(w *wireMsg) {
+	if w.flush != nil {
+		w.flush.Open()
+		return
+	}
+	args, derr := msgcodec.Decode(w.srcHeap.Bytes(w.off, w.wireLen))
+	_ = w.srcHeap.Free(w.off)
+	if derr != nil {
+		// Unreachable for run-time-encoded messages; surface loudly rather
+		// than lose traffic silently if the codec and router ever disagree.
+		_ = r.cl.heap.Free(w.destOff)
+		r.vm.userPrintf("pisces: router cluster %d: corrupt wire message %s from %s: %v\n",
+			r.cl.cfg.Number, w.msgType, w.sender, derr)
+		w.reply.deliver(NilTask)
+		return
+	}
+	// Charge the transfer to the destination PE's clock without occupying its
+	// CPU: the inter-cluster copy is bus work, not receiver computation.
+	r.cl.primary.Charge(int64(costRouteMsg + costSendPacket*((w.size-msgcodec.HeaderBytes)/msgcodec.PacketBytes)))
+
+	// The destination-shard storage was reserved at send time; the message
+	// just takes ownership of it here.
+	msg := newMessage(w.msgType, w.sender, args, w.seq)
+	msg.reply = w.reply
+	msg.heapOff, msg.heapBytes, msg.heapShard = w.destOff, w.size, r.cl.heap
+	if !w.dest.queue.put(msg) {
+		// Receiver terminated while the message was in flight (or, for an
+		// initiate request, the VM is shutting down): the send already
+		// succeeded from the sender's point of view, the message is dropped
+		// like any message queued at a task's termination.
+		r.vm.releaseMessage(msg)
+		recycleMessage(msg)
+		w.reply.deliver(NilTask)
+	}
+}
+
+// flushRouters blocks until every wire message enqueued before the call has
+// been delivered, by pushing a flush token through each router's queue.
+func (vm *VM) flushRouters() {
+	for _, r := range vm.routers {
+		g := vm.backend.NewGate()
+		if r.enqueue(wireMsg{flush: g}) {
+			g.Wait()
+		}
+	}
+}
+
+// stop drains the router and waits for its task to exit.  Pending wire
+// messages are still delivered (or their storage recovered) before the task
+// returns, so shutdown leaves every heap shard empty of in-flight traffic.
+func (r *clusterRouter) stop() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.wake.Pulse()
+	r.done.Wait()
+}

@@ -166,7 +166,7 @@ func (t *Task) initiate(placement Placement, tasktype string, args []Value, repl
 		append([]Value{Str(tasktype), ID(t.ID()), Ints(nil)}, args...), t.vm.msgSeq.Add(1))
 	msg.reply = reply
 	t.Charge(costSendHeader)
-	if err := t.vm.deliverSystem(cl.controllerID, msg); err != nil {
+	if err := t.vm.deliverSystem(t.rec.cluster, cl.controllerID, msg); err != nil {
 		return err
 	}
 	if t.vm.tracing(trace.MsgSend) {
@@ -261,31 +261,43 @@ func (t *Task) broadcast(cluster int, msgType string, args []Value) error {
 }
 
 // sendInternal performs the shared-memory allocation, delivery, tracing, and
-// tick charging of one message send.
+// tick charging of one message send.  An intra-cluster send touches only its
+// own cluster's heap shard; a cross-cluster send is codec-encoded into the
+// sender's shard and handed to the destination cluster's router.
 func (t *Task) sendInternal(to TaskID, msgType string, args []Value) error {
 	rec, ok := t.vm.lookupTask(to)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoSuchTask, to)
 	}
-	msg := newMessage(msgType, t.ID(), args, t.vm.msgSeq.Add(1))
-	if err := t.vm.chargeMessage(msg); err != nil {
-		recycleMessage(msg)
-		return err
+	from := t.rec.cluster
+	var size int
+	if rec.cluster != from {
+		var err error
+		size, err = t.vm.routeMessage(from, rec, msgType, t.ID(), args, t.vm.msgSeq.Add(1), nil)
+		if err != nil {
+			return err
+		}
+	} else {
+		msg := newMessage(msgType, t.ID(), args, t.vm.msgSeq.Add(1))
+		if err := t.vm.chargeMessageOn(from.heap, msg); err != nil {
+			recycleMessage(msg)
+			return err
+		}
+		// Snapshot the size before delivery: once the message is in the
+		// receiver's in-queue it may be accepted (and its heap storage
+		// released) concurrently with the rest of this send.
+		size = msg.heapBytes
+		if !rec.queue.put(msg) {
+			t.vm.releaseMessage(msg)
+			recycleMessage(msg)
+			return fmt.Errorf("%w: %s", ErrNoSuchTask, to)
+		}
 	}
-	// Snapshot the size before delivery: once the message is in the
-	// receiver's in-queue it may be accepted (and its heap storage released)
-	// concurrently with the rest of this send.
-	size := msg.heapBytes
 	packets := (size - msgcodec.HeaderBytes) / msgcodec.PacketBytes
-	if !rec.queue.put(msg) {
-		t.vm.releaseMessage(msg)
-		recycleMessage(msg)
-		return fmt.Errorf("%w: %s", ErrNoSuchTask, to)
-	}
 	t.Charge(int64(costSendHeader + costSendPacket*packets))
 	t.vm.msgsSent.Add(1)
 	if t.vm.tracing(trace.MsgSend) {
-		t.vm.record(trace.MsgSend, t.ID(), to, t.rec.cluster.primary,
+		t.vm.record(trace.MsgSend, t.ID(), to, from.primary,
 			fmt.Sprintf("msgtype=%s args=%d bytes=%d", msgType, len(args), size))
 	}
 	return nil

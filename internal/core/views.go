@@ -83,7 +83,7 @@ func (vm *VM) SendFromUser(to TaskID, msgType string, args ...Value) error {
 		return ErrVMTerminated
 	}
 	msg := newMessage(msgType, vm.userCtrl, args, vm.msgSeq.Add(1))
-	if err := vm.deliverSystem(to, msg); err != nil {
+	if err := vm.deliverSystem(nil, to, msg); err != nil {
 		return err
 	}
 	vm.msgsSent.Add(1)

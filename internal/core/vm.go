@@ -12,6 +12,7 @@ import (
 	"repro/internal/backend"
 	"repro/internal/config"
 	"repro/internal/flex"
+	"repro/internal/memory"
 	"repro/internal/mmos"
 	"repro/internal/trace"
 )
@@ -87,6 +88,10 @@ type VM struct {
 	clusters  map[int]*clusterRT
 	started   bool
 	stopped   bool
+
+	// routers holds the per-cluster cross-cluster message routers in cluster
+	// order (empty on single-cluster machines).
+	routers []*clusterRouter
 
 	arrays   *arrayStore
 	files    *fileStore
@@ -182,7 +187,25 @@ func NewVMOn(machine *flex.Machine, cfg *config.Configuration, opts Options) (*V
 		vm.clusters[cl.Number] = rt
 	}
 
+	// Shard the message heap per cluster so intra-cluster sends only ever
+	// touch their own cluster's allocator lock; cross-cluster traffic moves
+	// between shards through the wire routers started below.
+	nums := cfg.ClusterNumbers()
+	if err := machine.Shared().ShardHeap(len(nums)); err != nil {
+		return nil, fmt.Errorf("core: sharding message heap: %w", err)
+	}
+	for i, n := range nums {
+		vm.clusters[n].heap = machine.Shared().HeapShard(i)
+	}
+
+	// Controllers first, routers second: if controller start-up fails the VM
+	// is abandoned, and no router lane goroutines have been spawned yet to
+	// leak.  Nothing routes until NewVMOn has returned — boot performs no
+	// cross-cluster sends.
 	if err := vm.startControllers(); err != nil {
+		return nil, err
+	}
+	if err := vm.startRouters(); err != nil {
 		return nil, err
 	}
 	vm.mu.Lock()
@@ -341,7 +364,7 @@ func (vm *VM) Initiate(tasktype string, placement Placement, args ...Value) (Tas
 	msg := newMessage(msgInitRequest, vm.userCtrl,
 		append([]Value{Str(tasktype), ID(vm.userCtrl), Ints(nil)}, args...), vm.msgSeq.Add(1))
 	msg.reply = reply
-	if err := vm.deliverSystem(cl.controllerID, msg); err != nil {
+	if err := vm.deliverSystem(nil, cl.controllerID, msg); err != nil {
 		return NilTask, err
 	}
 	id := reply.wait()
@@ -418,6 +441,10 @@ func (vm *VM) FlushUserOutput() {
 	if !ok {
 		return
 	}
+	// Land in-flight cross-cluster traffic first: a task's terminal output
+	// may still be wire bytes in a router queue, and "queued before the call"
+	// includes those.
+	vm.flushRouters()
 	gate := vm.backend.NewGate()
 	msg := newMessage(msgUserSync, vm.userCtrl, nil, vm.msgSeq.Add(1))
 	msg.sync = gate
@@ -483,16 +510,26 @@ func (vm *VM) leastLoaded(nums []int, exclude int) *clusterRT {
 	return best
 }
 
-// deliverSystem puts a run-time message directly into the destination task's
-// in-queue, charging the shared-memory heap for it like any other message.
-// On failure the message is recycled; the caller must not reuse it.
-func (vm *VM) deliverSystem(dest TaskID, msg *Message) error {
+// deliverSystem delivers a run-time message to the destination task, charging
+// the destination cluster's heap shard for it like any other message.  from
+// is the sending task's cluster, or nil when the sender is the execution
+// environment; a cross-cluster system message travels through the wire codec
+// and the destination's router exactly like user traffic.  On failure (and on
+// the routed path, where the router rebuilds the message on the destination
+// side) the message header is recycled; the caller must not reuse it.
+func (vm *VM) deliverSystem(from *clusterRT, dest TaskID, msg *Message) error {
 	rec, ok := vm.lookupTask(dest)
 	if !ok {
 		recycleMessage(msg)
 		return fmt.Errorf("%w: %s", ErrNoSuchTask, dest)
 	}
-	if err := vm.chargeMessage(msg); err != nil {
+	if from != nil && rec.cluster != from {
+		msgType, args, sender, seq, reply := msg.Type, msg.Args, msg.Sender, msg.seq, msg.reply
+		recycleMessage(msg)
+		_, err := vm.routeMessage(from, rec, msgType, sender, args, seq, reply)
+		return err
+	}
+	if err := vm.chargeMessageOn(rec.cluster.heap, msg); err != nil {
 		recycleMessage(msg)
 		return err
 	}
@@ -504,26 +541,31 @@ func (vm *VM) deliverSystem(dest TaskID, msg *Message) error {
 	return nil
 }
 
-// chargeMessage allocates the message's shared-memory footprint.
-func (vm *VM) chargeMessage(msg *Message) error {
+// chargeMessageOn allocates the message's shared-memory footprint on the
+// given heap shard (always the destination cluster's: the receiver's run-time
+// recovers the storage when the message is accepted).
+func (vm *VM) chargeMessageOn(heap *memory.Allocator, msg *Message) error {
 	size, err := encodedSize(msg.Args)
 	if err != nil {
 		return err
 	}
-	off, err := vm.machine.Shared().Heap().Alloc(size)
+	off, err := heap.Alloc(size)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrHeapExhausted, err)
 	}
 	msg.heapOff = off
 	msg.heapBytes = size
+	msg.heapShard = heap
 	return nil
 }
 
-// releaseMessage frees the message's shared-memory footprint.
+// releaseMessage frees the message's shared-memory footprint from the shard
+// it was charged to.
 func (vm *VM) releaseMessage(msg *Message) {
-	if msg.heapBytes > 0 {
-		_ = vm.machine.Shared().Heap().Free(msg.heapOff)
+	if msg.heapBytes > 0 && msg.heapShard != nil {
+		_ = msg.heapShard.Free(msg.heapOff)
 		msg.heapBytes = 0
+		msg.heapShard = nil
 	}
 }
 
@@ -595,6 +637,14 @@ func (vm *VM) Shutdown() {
 		}
 	}
 	vm.userTasks.Wait()
+
+	// Stop the routers: no user task can send any more, and everything still
+	// in flight must land (terminal output especially) or be recovered before
+	// the controllers are told to exit — a print delivered after the user
+	// controller's shutdown message would be lost.
+	for _, r := range vm.routers {
+		r.stop()
+	}
 
 	// Stop the controllers.
 	for _, rec := range all {

@@ -169,8 +169,9 @@ func RunE5(w io.Writer, p E5Params) (*E5Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		heap := vm.Machine().Shared().Heap()
-		baseline := heap.InUse()
+		// Machine-wide heap usage is the per-cluster shard roll-up.
+		heap := vm.Machine().Shared()
+		baseline := heap.HeapStats().InUse
 		hoardReady := make(chan core.TaskID, 1)
 		vm.Register("hoard", func(t *core.Task) {
 			hoardReady <- t.ID()
@@ -192,14 +193,14 @@ func RunE5(w io.Writer, p E5Params) (*E5Result, error) {
 				return nil, err
 			}
 		}
-		grown := heap.InUse()
+		grown := heap.HeapStats().InUse
 		res.BytesPerQueuedMessage = float64(grown-baseline) / float64(p.QueueGrowthMessages)
 		if err := vm.SendFromUser(id, "drain"); err != nil {
 			vm.Shutdown()
 			return nil, err
 		}
 		vm.WaitIdle()
-		after := heap.InUse()
+		after := heap.HeapStats().InUse
 		res.HeapRecovered = after <= baseline
 		vm.Shutdown()
 	}

@@ -280,8 +280,13 @@ func (p *PE) LocalStats() (used, high, total int) {
 
 // SharedMemory models the FLEX/32 shared memory partitioned into the three
 // regions of Section 11: system tables, the message heap, and SHARED COMMON.
+// The message heap can additionally be split into independent shards (one per
+// virtual-machine cluster) so that senders in different clusters never
+// contend on one allocator lock; the physical memory is still one region, the
+// shards are disjoint slices of it.
 type SharedMemory struct {
-	total int
+	total     int
+	heapBytes int
 
 	mu          sync.Mutex
 	tableTotal  int
@@ -291,24 +296,89 @@ type SharedMemory struct {
 	commonUsed  int
 	commonHigh  int
 
-	heap *memory.Allocator
+	shards []*memory.Allocator
 }
 
 func newSharedMemory(cfg Config) *SharedMemory {
 	heapBytes := cfg.SharedBytes - cfg.TableBytes - cfg.CommonBytes
 	return &SharedMemory{
 		total:       cfg.SharedBytes,
+		heapBytes:   heapBytes,
 		tableTotal:  cfg.TableBytes,
 		commonTotal: cfg.CommonBytes,
-		heap:        memory.New(heapBytes),
+		shards:      []*memory.Allocator{memory.New(heapBytes)},
 	}
 }
 
 // Total returns the total shared memory size in bytes.
 func (s *SharedMemory) Total() int { return s.total }
 
-// Heap returns the message-heap allocator.
-func (s *SharedMemory) Heap() *memory.Allocator { return s.heap }
+// Heap returns the first message-heap shard.  An unsharded machine (the
+// default) has exactly one, covering the whole heap region.
+func (s *SharedMemory) Heap() *memory.Allocator { return s.HeapShard(0) }
+
+// ShardHeap repartitions the message-heap region into n equal, independently
+// locked allocators.  It is called once at virtual-machine boot, before any
+// message storage is allocated; resharding a heap that still holds live
+// allocations is refused so no outstanding offset can be orphaned.
+func (s *SharedMemory) ShardHeap(n int) error {
+	if n < 1 {
+		return fmt.Errorf("flex: heap must have at least one shard, got %d", n)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sh := range s.shards {
+		if sh.InUse() > 0 {
+			return fmt.Errorf("flex: cannot reshard message heap with %d bytes live", sh.InUse())
+		}
+	}
+	per := s.heapBytes / n
+	shards := make([]*memory.Allocator, n)
+	for i := range shards {
+		size := per
+		if i == n-1 {
+			size = s.heapBytes - per*(n-1) // last shard absorbs the remainder
+		}
+		shards[i] = memory.New(size)
+	}
+	s.shards = shards
+	return nil
+}
+
+// NumHeapShards returns the number of message-heap shards.
+func (s *SharedMemory) NumHeapShards() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.shards)
+}
+
+// HeapShard returns shard i of the message heap, or nil if out of range.
+func (s *SharedMemory) HeapShard(i int) *memory.Allocator {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 || i >= len(s.shards) {
+		return nil
+	}
+	return s.shards[i]
+}
+
+// HeapShards returns all message-heap shards, in shard order.
+func (s *SharedMemory) HeapShards() []*memory.Allocator {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*memory.Allocator(nil), s.shards...)
+}
+
+// HeapStats returns the message-heap accounting rolled up over every shard —
+// the machine-wide quantity the Section 13 storage report uses.
+func (s *SharedMemory) HeapStats() memory.Stats {
+	shards := s.HeapShards()
+	stats := make([]memory.Stats, len(shards))
+	for i, sh := range shards {
+		stats[i] = sh.Stats()
+	}
+	return memory.Aggregate(stats...)
+}
 
 // AllocTable reserves n bytes of the system-table region.  Table entries
 // (cluster and slot records) are allocated once at boot and persist for the
@@ -385,7 +455,7 @@ func (s *SharedMemory) Usage() Usage {
 	tu, th, tt := s.tableUsed, s.tableHigh, s.tableTotal
 	cu, ch, ct := s.commonUsed, s.commonHigh, s.commonTotal
 	s.mu.Unlock()
-	hs := s.heap.Stats()
+	hs := s.HeapStats()
 	return Usage{
 		Total:         s.total,
 		TableUsed:     tu,

@@ -248,3 +248,52 @@ func TestQuickTablePercentBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestShardHeap covers the per-cluster heap partitioning: shards cover the
+// whole heap region, allocate independently, roll up into the machine-wide
+// usage, and resharding is refused while storage is live.
+func TestShardHeap(t *testing.T) {
+	m := MustNewMachine(DefaultConfig())
+	sh := m.Shared()
+	heapBytes := sh.HeapStats().ArenaSize
+
+	if err := sh.ShardHeap(3); err != nil {
+		t.Fatal(err)
+	}
+	if n := sh.NumHeapShards(); n != 3 {
+		t.Fatalf("NumHeapShards = %d, want 3", n)
+	}
+	total := 0
+	for i := 0; i < 3; i++ {
+		total += sh.HeapShard(i).Size()
+	}
+	if total != heapBytes {
+		t.Errorf("shard sizes sum to %d, want the full heap region %d", total, heapBytes)
+	}
+	if sh.HeapShard(3) != nil || sh.HeapShard(-1) != nil {
+		t.Error("out-of-range shard index did not return nil")
+	}
+
+	off, err := sh.HeapShard(1).Alloc(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sh.Usage().HeapInUse; got != sh.HeapShard(1).InUse() {
+		t.Errorf("Usage().HeapInUse = %d, want shard roll-up %d", got, sh.HeapShard(1).InUse())
+	}
+	if err := sh.ShardHeap(2); err == nil {
+		t.Error("resharding with live allocations was not refused")
+	}
+	if err := sh.HeapShard(1).Free(off); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.ShardHeap(1); err != nil {
+		t.Errorf("resharding an all-free heap: %v", err)
+	}
+	if got := sh.HeapStats().ArenaSize; got != heapBytes {
+		t.Errorf("arena size after unsharding = %d, want %d", got, heapBytes)
+	}
+	if err := sh.ShardHeap(0); err == nil {
+		t.Error("ShardHeap(0) accepted")
+	}
+}

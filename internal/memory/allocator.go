@@ -15,6 +15,7 @@ package memory
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 )
 
@@ -46,9 +47,16 @@ type block struct {
 //
 // Allocator is safe for concurrent use; in the simulated machine many PEs
 // allocate message blocks from the single shared memory at once.
+//
+// The arena's backing bytes are materialised lazily, on the first Bytes
+// call: most allocations are pure accounting (a message charge records its
+// offset and size but the argument data lives in Go values), so an allocator
+// whose storage is never addressed — a heap shard with no wire traffic —
+// costs only its free-list.
 type Allocator struct {
 	mu     sync.Mutex
-	arena  []byte
+	size   int
+	arena  []byte  // nil until the first Bytes call
 	blocks []block // ordered by offset
 
 	inUse     int
@@ -63,13 +71,13 @@ func New(size int) *Allocator {
 	if size < headerSize {
 		size = headerSize
 	}
-	a := &Allocator{arena: make([]byte, size)}
+	a := &Allocator{size: size}
 	a.blocks = []block{{off: headerSize, size: size - headerSize, free: true}}
 	return a
 }
 
 // Size returns the total arena size in bytes.
-func (a *Allocator) Size() int { return len(a.arena) }
+func (a *Allocator) Size() int { return a.size }
 
 // Alloc reserves n usable bytes and returns the offset of the reserved region.
 // The region is zeroed.
@@ -77,10 +85,18 @@ func (a *Allocator) Alloc(n int) (int, error) {
 	if n <= 0 {
 		n = align
 	}
-	n = roundUp(n)
 
 	a.mu.Lock()
 	defer a.mu.Unlock()
+
+	// Sizes near MaxInt would overflow roundUp into a negative request, which
+	// the first-fit scan below could accept (size < n is false for negative n)
+	// and then panic slicing the arena.  No real arena can satisfy them anyway.
+	if n > math.MaxInt-align {
+		a.failures++
+		return 0, fmt.Errorf("%w: requested %d bytes overflows the allocator", ErrOutOfMemory, n)
+	}
+	n = roundUp(n)
 
 	for i := range a.blocks {
 		if !a.blocks[i].free || a.blocks[i].size < n {
@@ -100,7 +116,11 @@ func (a *Allocator) Alloc(n int) (int, error) {
 			a.blocks[i].free = false
 			n = a.blocks[i].size
 		}
-		zero(a.arena[off : off+n])
+		if a.arena != nil {
+			// A nil arena holds no stale data to clear: bytes are only ever
+			// written through Bytes, which materialises it first.
+			zero(a.arena[off : off+n])
+		}
 		a.inUse += n + headerSize
 		if a.inUse > a.highWater {
 			a.highWater = a.inUse
@@ -109,7 +129,7 @@ func (a *Allocator) Alloc(n int) (int, error) {
 		return off, nil
 	}
 	a.failures++
-	return 0, fmt.Errorf("%w: requested %d bytes, %d in use of %d", ErrOutOfMemory, n, a.inUse, len(a.arena))
+	return 0, fmt.Errorf("%w: requested %d bytes, %d in use of %d", ErrOutOfMemory, n, a.inUse, a.size)
 }
 
 // Free releases the allocation at offset off, coalescing adjacent free blocks.
@@ -162,7 +182,13 @@ func (a *Allocator) coalesce(i int) {
 // Bytes returns the usable bytes of the allocation at offset off with length n.
 // The caller must not retain the slice across a Free of the same offset.
 func (a *Allocator) Bytes(off, n int) []byte {
-	return a.arena[off : off+n]
+	a.mu.Lock()
+	if a.arena == nil {
+		a.arena = make([]byte, a.size)
+	}
+	b := a.arena[off : off+n]
+	a.mu.Unlock()
+	return b
 }
 
 // Stats is a snapshot of allocator accounting.
@@ -183,7 +209,7 @@ func (a *Allocator) Stats() Stats {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	s := Stats{
-		ArenaSize: len(a.arena),
+		ArenaSize: a.size,
 		InUse:     a.inUse,
 		HighWater: a.highWater,
 		Allocs:    a.allocs,
@@ -200,6 +226,31 @@ func (a *Allocator) Stats() Stats {
 		}
 	}
 	return s
+}
+
+// Aggregate rolls per-shard snapshots up into one combined snapshot, for
+// reporting on a heap that has been partitioned into several independent
+// allocators (one per cluster).  Sizes, byte counts, and operation counters
+// sum; LargestRun is the maximum over shards because free runs cannot span a
+// shard boundary.  The combined HighWater is the sum of per-shard high-water
+// marks, which upper-bounds the true simultaneous peak (the shards need not
+// have peaked at the same instant).
+func Aggregate(stats ...Stats) Stats {
+	var out Stats
+	for _, s := range stats {
+		out.ArenaSize += s.ArenaSize
+		out.InUse += s.InUse
+		out.HighWater += s.HighWater
+		out.FreeBytes += s.FreeBytes
+		out.Allocs += s.Allocs
+		out.Frees += s.Frees
+		out.Failures += s.Failures
+		out.FreeBlocks += s.FreeBlocks
+		if s.LargestRun > out.LargestRun {
+			out.LargestRun = s.LargestRun
+		}
+	}
+	return out
 }
 
 // InUse returns the number of bytes currently allocated, including headers.
@@ -222,7 +273,7 @@ func (a *Allocator) HighWater() int {
 func (a *Allocator) Reset() {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.blocks = []block{{off: headerSize, size: len(a.arena) - headerSize, free: true}}
+	a.blocks = []block{{off: headerSize, size: a.size - headerSize, free: true}}
 	a.inUse = 0
 }
 

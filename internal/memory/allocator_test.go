@@ -2,6 +2,7 @@ package memory
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -305,5 +306,65 @@ func BenchmarkAllocFreeFragmented(b *testing.B) {
 	b.StopTimer()
 	for _, off := range pins {
 		a.Free(off)
+	}
+}
+
+// TestAllocOverflowGuard covers the roundUp overflow: sizes near MaxInt used
+// to wrap into a negative request that the first-fit scan accepted and then
+// slice-panicked on.  They must fail cleanly with ErrOutOfMemory.
+func TestAllocOverflowGuard(t *testing.T) {
+	a := New(4096)
+	for _, n := range []int{math.MaxInt, math.MaxInt - 1, math.MaxInt - align + 1} {
+		off, err := a.Alloc(n)
+		if !errors.Is(err, ErrOutOfMemory) {
+			t.Fatalf("Alloc(%d) = (%d, %v), want ErrOutOfMemory", n, off, err)
+		}
+	}
+	st := a.Stats()
+	if st.Failures != 3 {
+		t.Errorf("Failures = %d, want 3", st.Failures)
+	}
+	// The arena must remain fully usable after the rejected requests.
+	off, err := a.Alloc(64)
+	if err != nil {
+		t.Fatalf("Alloc(64) after overflow attempts: %v", err)
+	}
+	if err := a.Free(off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAggregate checks the multi-shard stats roll-up used by the per-cluster
+// message-heap shards.
+func TestAggregate(t *testing.T) {
+	a, b := New(4096), New(8192)
+	offA, err := a.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Alloc(200); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(offA); err != nil {
+		t.Fatal(err)
+	}
+	got := Aggregate(a.Stats(), b.Stats())
+	if got.ArenaSize != 4096+8192 {
+		t.Errorf("ArenaSize = %d, want %d", got.ArenaSize, 4096+8192)
+	}
+	if got.InUse != b.Stats().InUse {
+		t.Errorf("InUse = %d, want %d (only shard b holds storage)", got.InUse, b.Stats().InUse)
+	}
+	if got.HighWater != a.Stats().HighWater+b.Stats().HighWater {
+		t.Errorf("HighWater = %d, want per-shard sum", got.HighWater)
+	}
+	if got.Allocs != 2 || got.Frees != 1 {
+		t.Errorf("Allocs/Frees = %d/%d, want 2/1", got.Allocs, got.Frees)
+	}
+	if got.LargestRun != b.Stats().LargestRun {
+		t.Errorf("LargestRun = %d, want max over shards %d", got.LargestRun, b.Stats().LargestRun)
+	}
+	if empty := Aggregate(); empty != (Stats{}) {
+		t.Errorf("Aggregate() = %+v, want zero", empty)
 	}
 }

@@ -1,0 +1,50 @@
+package msgcodec
+
+import (
+	"testing"
+)
+
+// FuzzCodec is the wire-format round-trip target: for arbitrary bytes, Decode
+// must never panic; whenever Decode succeeds, re-encoding the decoded
+// arguments and decoding again must reproduce the same argument list
+// (Decode∘Encode is the identity on everything Decode accepts).  Seeded from
+// sampleArgs so the interesting kinds — TASKID, WINDOW, arrays — are all on
+// the initial frontier.
+func FuzzCodec(f *testing.F) {
+	if seed, err := Encode(sampleArgs()); err == nil {
+		f.Add(seed)
+	}
+	for _, a := range sampleArgs() {
+		if one, err := Encode([]Arg{a}); err == nil {
+			f.Add(one)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, byte(KindTaskID), 0, 0, 0, 16})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		args, err := Decode(data)
+		if err != nil {
+			return // corrupt input rejected without panicking: fine
+		}
+		wire, err := Encode(args)
+		if err != nil {
+			t.Fatalf("Encode of decoded args failed: %v (args %+v)", err, args)
+		}
+		back, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("Decode(Encode(x)) failed: %v", err)
+		}
+		if len(back) != len(args) {
+			t.Fatalf("round trip changed argument count: %d -> %d", len(args), len(back))
+		}
+		for i := range args {
+			if !Equal(args[i], back[i]) {
+				t.Fatalf("argument %d changed across round trip: %+v -> %+v", i, args[i], back[i])
+			}
+		}
+		if size, err := EncodedSize(args); err != nil || size < HeaderBytes {
+			t.Fatalf("EncodedSize of decodable args = (%d, %v)", size, err)
+		}
+	})
+}

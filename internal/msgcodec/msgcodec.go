@@ -95,6 +95,14 @@ const (
 // ErrCorrupt is returned when decoding malformed bytes.
 var ErrCorrupt = errors.New("msgcodec: corrupt message encoding")
 
+// ErrTooManyArgs is returned by Encode when the argument list exceeds the
+// wire format's uint16 count field.  Without the check the count would wrap
+// silently and the buffer would decode to a truncated argument list.
+var ErrTooManyArgs = errors.New("msgcodec: too many arguments for the wire format")
+
+// MaxArgs is the largest argument count the wire format can carry.
+const MaxArgs = math.MaxUint16
+
 // Arg is one argument value.  Exactly one field is meaningful, selected by Kind.
 type Arg struct {
 	Kind      ArgKind
@@ -190,82 +198,77 @@ func EncodedSize(args []Arg) (int, error) {
 // Encode is used both to move argument bytes through the simulated shared
 // memory and to give messages a deterministic, testable wire form.
 func Encode(args []Arg) ([]byte, error) {
-	buf := make([]byte, 2, 64)
-	binary.BigEndian.PutUint16(buf[0:2], uint16(len(args)))
+	return AppendEncode(make([]byte, 0, 64), args)
+}
+
+// AppendEncode appends the wire encoding of args to dst and returns the
+// extended slice.  It allocates nothing beyond dst's growth, so callers on
+// the message hot path can encode straight into a pre-sized buffer (the
+// run-time encodes into the sending cluster's shared-memory shard, whose
+// packet-model size always bounds the wire size).
+func AppendEncode(dst []byte, args []Arg) ([]byte, error) {
+	if len(args) > MaxArgs {
+		return nil, fmt.Errorf("%w: %d arguments, wire count field holds at most %d", ErrTooManyArgs, len(args), MaxArgs)
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(args)))
 	for _, a := range args {
-		payload, err := a.encodePayload()
+		n, err := a.payloadBytes()
 		if err != nil {
 			return nil, err
 		}
-		buf = append(buf, byte(a.Kind))
-		var lenb [4]byte
-		binary.BigEndian.PutUint32(lenb[:], uint32(len(payload)))
-		buf = append(buf, lenb[:]...)
-		buf = append(buf, payload...)
+		dst = append(dst, byte(a.Kind))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(n))
+		dst = a.appendPayload(dst)
 	}
-	return buf, nil
+	return dst, nil
 }
 
-func (a Arg) encodePayload() ([]byte, error) {
+// appendPayload appends the argument's payload bytes.  Unknown kinds are
+// rejected by the payloadBytes call in AppendEncode before this runs.
+func (a Arg) appendPayload(dst []byte) []byte {
 	switch a.Kind {
 	case KindInteger:
-		var b [8]byte
-		binary.BigEndian.PutUint64(b[:], uint64(a.Integer))
-		return b[:], nil
+		return binary.BigEndian.AppendUint64(dst, uint64(a.Integer))
 	case KindReal:
-		var b [8]byte
-		binary.BigEndian.PutUint64(b[:], math.Float64bits(a.Real))
-		return b[:], nil
+		return binary.BigEndian.AppendUint64(dst, math.Float64bits(a.Real))
 	case KindLogical:
 		if a.Logical {
-			return []byte{1}, nil
+			return append(dst, 1)
 		}
-		return []byte{0}, nil
+		return append(dst, 0)
 	case KindCharacter:
-		return []byte(a.Character), nil
+		return append(dst, a.Character...)
 	case KindTaskID:
-		return encodeTaskID(a.TaskID), nil
+		return appendTaskID(dst, a.TaskID)
 	case KindWindow:
-		out := encodeTaskID(a.Window.Owner)
-		out = appendInt32(out, a.Window.ArrayID)
-		out = appendInt32(out, a.Window.Row1)
-		out = appendInt32(out, a.Window.Row2)
-		out = appendInt32(out, a.Window.Col1)
-		out = appendInt32(out, a.Window.Col2)
-		return out, nil
+		dst = appendTaskID(dst, a.Window.Owner)
+		dst = appendInt32(dst, a.Window.ArrayID)
+		dst = appendInt32(dst, a.Window.Row1)
+		dst = appendInt32(dst, a.Window.Row2)
+		dst = appendInt32(dst, a.Window.Col1)
+		return appendInt32(dst, a.Window.Col2)
 	case KindIntArray:
-		out := make([]byte, 0, 8*len(a.IntArray))
 		for _, v := range a.IntArray {
-			var b [8]byte
-			binary.BigEndian.PutUint64(b[:], uint64(v))
-			out = append(out, b[:]...)
+			dst = binary.BigEndian.AppendUint64(dst, uint64(v))
 		}
-		return out, nil
+		return dst
 	case KindRealArray:
-		out := make([]byte, 0, 8*len(a.RealArray))
 		for _, v := range a.RealArray {
-			var b [8]byte
-			binary.BigEndian.PutUint64(b[:], math.Float64bits(v))
-			out = append(out, b[:]...)
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v))
 		}
-		return out, nil
-	default:
-		return nil, fmt.Errorf("msgcodec: unknown argument kind %d", a.Kind)
+		return dst
 	}
+	return dst
 }
 
-func encodeTaskID(t TaskIDValue) []byte {
-	out := make([]byte, 0, 12)
-	out = appendInt32(out, t.Cluster)
-	out = appendInt32(out, t.Slot)
-	out = appendInt32(out, t.Unique)
-	return out
+func appendTaskID(b []byte, t TaskIDValue) []byte {
+	b = appendInt32(b, t.Cluster)
+	b = appendInt32(b, t.Slot)
+	return appendInt32(b, t.Unique)
 }
 
 func appendInt32(b []byte, v int32) []byte {
-	var x [4]byte
-	binary.BigEndian.PutUint32(x[:], uint32(v))
-	return append(b, x[:]...)
+	return binary.BigEndian.AppendUint32(b, uint32(v))
 }
 
 // Decode reverses Encode.
@@ -366,8 +369,11 @@ func decodePayload(kind ArgKind, payload []byte) (Arg, error) {
 }
 
 func decodeTaskID(payload []byte) (TaskIDValue, error) {
-	if len(payload) < 12 {
-		return TaskIDValue{}, fmt.Errorf("%w: TASKID payload %d bytes", ErrCorrupt, len(payload))
+	// Exactly 12 bytes, like the INTEGER/REAL/WINDOW checks: a top-level
+	// TASKID argument with trailing garbage is corrupt, not "close enough".
+	// (WINDOW decoding passes 12-byte sub-slices, so it is unaffected.)
+	if len(payload) != 12 {
+		return TaskIDValue{}, fmt.Errorf("%w: TASKID payload %d bytes, want 12", ErrCorrupt, len(payload))
 	}
 	return TaskIDValue{
 		Cluster: int32(binary.BigEndian.Uint32(payload[0:4])),

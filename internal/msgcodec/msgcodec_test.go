@@ -1,6 +1,7 @@
 package msgcodec
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -243,5 +244,48 @@ func BenchmarkEncodeDecode(b *testing.B) {
 		if _, err := Decode(data); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestDecodeTaskIDTrailingGarbage: a top-level TASKID argument whose payload
+// is longer than 12 bytes used to decode successfully with the tail silently
+// ignored; it must be rejected like every other fixed-size kind.
+func TestDecodeTaskIDTrailingGarbage(t *testing.T) {
+	good, err := Encode([]Arg{TaskID(TaskIDValue{Cluster: 1, Slot: 2, Unique: 3})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(good); err != nil {
+		t.Fatalf("well-formed TASKID rejected: %v", err)
+	}
+	// Grow the payload by 4 garbage bytes and patch the length field
+	// (layout: uint16 count, uint8 kind, uint32 length, payload).
+	bad := append(append([]byte{}, good...), 0xde, 0xad, 0xbe, 0xef)
+	bad[3], bad[4], bad[5], bad[6] = 0, 0, 0, 16
+	if _, err := Decode(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Decode with 16-byte TASKID payload = %v, want ErrCorrupt", err)
+	}
+	// A WINDOW payload embeds a 12-byte TASKID and must keep decoding.
+	win, err := Encode([]Arg{Window(WindowValue{Owner: TaskIDValue{Cluster: 2, Slot: 1, Unique: 7}, ArrayID: 1})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(win); err != nil {
+		t.Fatalf("WINDOW with embedded TASKID rejected: %v", err)
+	}
+}
+
+// TestEncodeTooManyArgs: more than 65535 arguments used to wrap the uint16
+// count field, producing a buffer that decoded to the wrong argument list.
+func TestEncodeTooManyArgs(t *testing.T) {
+	args := make([]Arg, MaxArgs+1)
+	for i := range args {
+		args[i] = Logical(true)
+	}
+	if _, err := Encode(args); !errors.Is(err, ErrTooManyArgs) {
+		t.Fatalf("Encode(%d args) = %v, want ErrTooManyArgs", len(args), err)
+	}
+	if _, err := Encode(args[:MaxArgs]); err != nil {
+		t.Fatalf("Encode(%d args) should fit the count field: %v", MaxArgs, err)
 	}
 }

@@ -281,6 +281,15 @@ func (st *execState) execDecl(items []cdeclItem) error {
 					return fmt.Errorf("%s: %v", d.name, err)
 				}
 				b.v = cv
+				continue
+			}
+			if d.kind == kWindow {
+				// A WINDOW declaration defines the zero window: the run-time
+				// already treats a never-assigned WINDOW as zero (see
+				// value.windowPayload), and programs have no other way to
+				// manufacture a window value, so reading one before its first
+				// assignment must not be a use-before-set error.
+				b.v = value{kind: kWindow}
 			}
 			continue
 		}

@@ -831,3 +831,23 @@ func mustCompile(t *testing.T, src string) *Program {
 	}
 	return p
 }
+
+// TestWindowDeclarationDefinesZeroWindow: a declared-but-never-assigned
+// WINDOW variable reads as the zero window (the run-time's documented
+// treatment in value.windowPayload) rather than tripping use-before-set —
+// programs have no statement form that manufactures a window value, so this
+// is the only way a .pf program can put a WINDOW into a message it
+// originates.
+func TestWindowDeclarationDefinesZeroWindow(t *testing.T) {
+	src := `TASKTYPE MAIN
+      WINDOW W
+      PRINT *, 'ROWS', WROWS(W)
+      PRINT *, 'COLS', WCOLS(W)
+END TASKTYPE
+`
+	out, _, err := interpret(t, config.Simple(1, 2), src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLines(t, out, "ROWS 0", "COLS 0")
+}
