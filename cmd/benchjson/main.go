@@ -1,0 +1,146 @@
+// Command benchjson runs the repository's Go benchmark suite and emits the
+// results as machine-readable JSON, giving the performance trajectory a
+// checked-in baseline (BENCH_pr5.json) and CI a stable artifact format.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson [-out BENCH_pr5.json] [-bench regex]
+//	       [-benchtime 100x] [-pkgs ./...,...] [-label pr5]
+//
+// It shells out to `go test -run ^$ -bench <regex> -benchmem` for each
+// package pattern, parses the standard benchmark output lines
+// (name, iterations, then value/unit pairs), and writes one JSON document:
+//
+//	{
+//	  "label": "pr5",
+//	  "go": "go1.24.x",
+//	  "benchmarks": [
+//	    {"name": "BenchmarkNodeFanIn", "package": "repro/internal/node",
+//	     "iterations": 20000,
+//	     "metrics": {"ns/op": 4306, "msgs/s": 232236, "B/op": 874, "allocs/op": 10}}
+//	  ]
+//	}
+//
+// allocs/op and B/op are the stable cross-machine quantities; ns/op and
+// msgs/s are machine-dependent but comparable between runs on one runner.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	Label      string      `json:"label"`
+	Go         string      `json:"go"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_pr5.json", "output JSON file")
+	bench := flag.String("bench", ".", "benchmark regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "100x", "passed to go test -benchtime (fixed counts keep a hung benchmark from stalling CI)")
+	pkgs := flag.String("pkgs", "./...", "comma-separated package patterns to benchmark")
+	label := flag.String("label", "pr5", "label recorded in the report")
+	flag.Parse()
+
+	rep := Report{Label: *label, Go: runtime.Version()}
+	for _, pattern := range strings.Split(*pkgs, ",") {
+		pattern = strings.TrimSpace(pattern)
+		if pattern == "" {
+			continue
+		}
+		bs, err := runPackage(pattern, *bench, *benchtime)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", pattern, err)
+			os.Exit(1)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, bs...)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmarks matched %q in %q\n", *bench, *pkgs)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d benchmark results to %s\n", len(rep.Benchmarks), *out)
+}
+
+// runPackage benchmarks one package pattern and parses the output.
+func runPackage(pattern, bench, benchtime string) ([]Benchmark, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", bench, "-benchtime", benchtime, "-benchmem", pattern)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go test: %w\n%s", err, buf.String())
+	}
+	os.Stdout.Write(buf.Bytes())
+	return parseBenchOutput(&buf)
+}
+
+// parseBenchOutput extracts benchmark lines from `go test -bench` output.
+func parseBenchOutput(r *bytes.Buffer) ([]Benchmark, error) {
+	var out []Benchmark
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = rest
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{
+			// Trim the -GOMAXPROCS suffix so names stay stable across runners.
+			Name:       strings.SplitN(fields[0], "-", 2)[0],
+			Package:    pkg,
+			Iterations: iters,
+			Metrics:    make(map[string]float64),
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}

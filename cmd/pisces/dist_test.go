@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildPisces compiles the pisces binary once per test run so the smoke
+// tests below spawn REAL node processes, not in-process goroutine stand-ins.
+func buildPisces(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "pisces")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building pisces: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// runBinary runs the built binary with a hard timeout, returning stdout.
+func runBinary(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("%v: %v", args, err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("%v: %v\nstdout:\n%s\nstderr:\n%s", args, err, stdout.String(), stderr.String())
+		}
+	case <-time.After(90 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatalf("%v: timed out\nstdout:\n%s\nstderr:\n%s", args, stdout.String(), stderr.String())
+	}
+	return stdout.String()
+}
+
+// TestMultiProcessSmoke is the multi-process acceptance smoke test: "pisces
+// run -nodes 2" forks a real follower OS process, carries the cross-cluster
+// traffic over loopback TCP, and must produce byte-identical user output to
+// the single-process run — for the crosscluster corpus program (taskid,
+// window, and array arguments over the wire) and for examples/sumsq.pf.
+func TestMultiProcessSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and forks real node processes")
+	}
+	bin := buildPisces(t)
+	for _, prog := range []string{
+		filepath.Join("..", "..", "internal", "conformance", "corpus", "crosscluster.pf"),
+		filepath.Join("..", "..", "examples", "sumsq.pf"),
+	} {
+		prog := prog
+		t.Run(filepath.Base(prog), func(t *testing.T) {
+			single := runBinary(t, bin, "run", prog)
+			if single == "" {
+				t.Fatalf("single-process run of %s produced no output", prog)
+			}
+			dist := runBinary(t, bin, "run", "-nodes", "2", prog)
+			if dist != single {
+				t.Fatalf("distributed output differs from single-process:\n--- single ---\n%s--- distributed ---\n%s", single, dist)
+			}
+		})
+	}
+}
+
+// TestMultiProcessThreeNodes spreads three clusters over three processes.
+func TestMultiProcessThreeNodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and forks real node processes")
+	}
+	bin := buildPisces(t)
+	prog := filepath.Join("..", "..", "examples", "sumsq.pf")
+	single := runBinary(t, bin, "run", "-clusters", "3", prog)
+	dist := runBinary(t, bin, "run", "-clusters", "3", "-nodes", "3", prog)
+	if dist != single {
+		t.Fatalf("3-node output differs:\n--- single ---\n%s--- distributed ---\n%s", single, dist)
+	}
+}

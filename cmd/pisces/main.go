@@ -10,10 +10,15 @@
 //	pisces [-config file] [-clusters n] [-slots k] [-forces "7,8,9"]
 //	       [-trace events] [-save file] [-show] [-script file]
 //	pisces run [-clusters n] [-slots k] [-forces "7,8,9"] [-main T]
-//	       [-stats] <program.pf>
+//	       [-stats] [-sim [-seed N]] [-netfault] [-nodes N] <program.pf>
+//	pisces serve -node K -peers addr0,addr1,... [-clusters n] [-slots k]
+//	       <program.pf>
 //
 // The run form interprets a Pisces Fortran program directly on the in-memory
 // virtual machine (paper, Section 10, without the Fortran compiler leg).
+// With -nodes N the clusters are partitioned across N OS processes (forked
+// automatically) exchanging wire frames over loopback TCP; serve runs one
+// such node process by hand, e.g. on separate machines.
 //
 // Examples:
 //
@@ -37,11 +42,19 @@ import (
 
 	pisces "repro"
 	"repro/internal/config"
+	"repro/internal/node"
 )
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "run" {
 		if err := runInterpreted(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "pisces: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := runServe(os.Args[2:], os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "pisces: %v\n", err)
 			os.Exit(1)
 		}
@@ -143,7 +156,11 @@ func runInterpretedInner(args []string, out io.Writer) error {
 	repeat := fs.Int("repeat", 1, "run the program this many times on the same VM (compiled once)")
 	simMode := fs.Bool("sim", false,
 		"run on the deterministic simulation scheduler: one task at a time, seeded interleaving, virtual clock")
-	seed := fs.Int64("seed", 0, "PRNG seed for -sim; the same seed reproduces the run exactly")
+	seed := fs.Int64("seed", 0, "PRNG seed for -sim and -netfault; the same seed reproduces the run exactly")
+	nodes := fs.Int("nodes", 1,
+		"run distributed: partition the clusters across this many OS processes (forked automatically) over loopback TCP")
+	netfault := fs.Bool("netfault", false,
+		"inject deterministic seeded latency and retransmission faults on every cross-cluster message (combine with -sim for byte-reproducible network schedules)")
 	acceptTimeout := fs.Duration("accept-timeout", 30*time.Second,
 		"system-provided timeout for ACCEPT statements without a DELAY clause")
 	// The FlagSet's own printing is suppressed so parse errors surface exactly
@@ -166,6 +183,20 @@ func runInterpretedInner(args []string, out io.Writer) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: pisces run [flags] <program.pf>")
 	}
+	if *nodes > 1 {
+		// Distributed mode is a different execution path: real processes and
+		// real sockets, so the single-process-only conveniences are refused
+		// rather than silently ignored.
+		switch {
+		case *simMode || *netfault:
+			return fmt.Errorf("-nodes is incompatible with -sim and -netfault (they model the network in one process)")
+		case *repeat != 1:
+			return fmt.Errorf("-nodes does not support -repeat")
+		case *traceEvents != "":
+			return fmt.Errorf("-nodes does not support -trace (trace events are per node)")
+		}
+		return runDistributed(*nodes, *clusters, *slots, *forces, *mainTT, *showStats, *acceptTimeout, fs.Arg(0), out)
+	}
 	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
 		return err
@@ -177,8 +208,14 @@ func runInterpretedInner(args []string, out io.Writer) error {
 	opts := pisces.Options{UserOutput: out, AcceptTimeout: *acceptTimeout}
 	if *simMode {
 		opts.Backend = pisces.NewSimScheduler(*seed)
-	} else if *seed != 0 {
-		return fmt.Errorf("-seed only applies with -sim")
+	} else if *seed != 0 && !*netfault {
+		return fmt.Errorf("-seed only applies with -sim or -netfault")
+	}
+	var fault *node.FaultTransport
+	if *netfault {
+		fault = node.NewFaultTransport(*seed, node.DefaultFaultProfile())
+		opts.Remote = fault
+		opts.InterceptWire = true
 	}
 	if *traceEvents != "" {
 		// Enabled trace kinds display on the user's terminal (Section 12).
@@ -193,6 +230,9 @@ func runInterpretedInner(args []string, out io.Writer) error {
 		return err
 	}
 	defer vm.Shutdown()
+	if fault != nil {
+		fault.Bind(vm)
+	}
 	// Compile once (the program cache makes later compiles of the same
 	// source free anyway) and run the requested number of times; the
 	// activity counters accumulate across runs.
@@ -204,7 +244,7 @@ func runInterpretedInner(args []string, out io.Writer) error {
 		err = prog.Run(vm, pisces.InterpretOptions{Main: *mainTT})
 	}
 	if *showStats {
-		fmt.Fprint(out, prog.StatsTable())
+		printRunStats(out, prog, vm)
 	}
 	return err
 }

@@ -1,0 +1,275 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	pisces "repro"
+	"repro/internal/node"
+	"repro/internal/pfi"
+	"repro/internal/stats"
+)
+
+// Distributed mode.
+//
+// "pisces serve" is one node process of a distributed run: it joins the TCP
+// mesh described by -peers, hosts its share of the clusters, and either
+// drives the program (node 0) or serves routed traffic until the coordinator
+// orders shutdown.  "pisces run -nodes N" is the convenience wrapper: it
+// forks N-1 serve processes itself, runs node 0 in-process so program output
+// streams to the caller's stdout unmodified, and relays the children's
+// output to stderr with a [node i] prefix.
+
+// runServe implements "pisces serve -node K -peers a,b,... <program.pf>".
+func runServe(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pisces serve", flag.ContinueOnError)
+	nodeID := fs.Int("node", 0, "this process's node id (index into -peers)")
+	peers := fs.String("peers", "", "comma-separated listen addresses of every node, in node-id order")
+	clusters := fs.Int("clusters", 2, "number of clusters")
+	slots := fs.Int("slots", 4, "user-task slots per cluster")
+	forces := fs.String("forces", "", "comma-separated secondary PEs for cluster 1 forces")
+	mainTT := fs.String("main", "", "entry tasktype (node 0; default MAIN, else the first tasktype)")
+	showStats := fs.Bool("stats", false, "print interpreter and router-lane counters after the run (node 0)")
+	acceptTimeout := fs.Duration("accept-timeout", 30*time.Second,
+		"system-provided timeout for ACCEPT statements without a DELAY clause")
+	connectTimeout := fs.Duration("connect-timeout", 30*time.Second, "how long to wait for the mesh to form")
+	fs.SetOutput(io.Discard)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fs.SetOutput(out)
+			fs.Usage()
+			return nil
+		}
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: pisces serve -node K -peers a,b,... [flags] <program.pf>")
+	}
+	addrs := splitAddrs(*peers)
+	if len(addrs) < 2 {
+		return fmt.Errorf("-peers must list at least two node addresses")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cfg, err := buildConfiguration("", *clusters, *slots, *forces, "")
+	if err != nil {
+		return err
+	}
+	n, err := node.Start(node.Options{
+		NodeID: *nodeID, Addrs: addrs,
+		Config: cfg, Source: string(src), Main: *mainTT,
+		Out: out, Log: os.Stderr,
+		AcceptTimeout: *acceptTimeout, ConnectTimeout: *connectTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	if *nodeID != 0 {
+		return n.ServeUntilShutdown()
+	}
+	runErr := n.RunMain()
+	if *showStats {
+		printRunStats(out, n.Program(), n.VM())
+		printTransportStats(out, n)
+	}
+	if err := n.Close(); err != nil && runErr == nil {
+		runErr = err
+	}
+	return runErr
+}
+
+// printTransportStats renders the node transport's frame counters.
+func printTransportStats(w io.Writer, n *node.Node) {
+	sent, recv := n.TransportCounts()
+	cs := stats.NewCounters()
+	cs.Counter("wire.frames.sent").Add(int64(sent))
+	cs.Counter("wire.frames.received").Add(int64(recv))
+	fmt.Fprint(w, cs.Table("node transport (wire frames)").String())
+}
+
+func splitAddrs(peers string) []string {
+	var addrs []string
+	for _, a := range strings.Split(peers, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
+}
+
+// runDistributed implements "pisces run -nodes N": fork the follower node
+// processes, run node 0 inline, and reap the children.
+func runDistributed(nodes, clusters, slots int, forces, mainTT string, showStats bool, acceptTimeout time.Duration, file string, out io.Writer) error {
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	cfg, err := buildConfiguration("", clusters, slots, forces, "")
+	if err != nil {
+		return err
+	}
+	if len(cfg.ClusterNumbers()) < nodes {
+		return fmt.Errorf("-nodes %d needs at least that many clusters (have %d)", nodes, len(cfg.ClusterNumbers()))
+	}
+
+	// Reserve one loopback port per node.  Node 0 keeps its listener; the
+	// children re-bind theirs (the freed port could in principle be taken in
+	// between, in which case the child fails and the run errors out).
+	listeners := make([]net.Listener, nodes)
+	addrs := make([]string, nodes)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fmt.Errorf("reserving node %d port: %w", i, err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for i := 1; i < nodes; i++ {
+		_ = listeners[i].Close()
+	}
+	peers := strings.Join(addrs, ",")
+
+	exe, err := os.Executable()
+	if err != nil {
+		_ = listeners[0].Close()
+		return err
+	}
+	var children []*exec.Cmd
+	killChildren := func() {
+		for _, c := range children {
+			if c.Process != nil {
+				_ = c.Process.Kill()
+			}
+		}
+	}
+	for i := 1; i < nodes; i++ {
+		args := []string{"serve",
+			"-node", strconv.Itoa(i), "-peers", peers,
+			"-clusters", strconv.Itoa(clusters), "-slots", strconv.Itoa(slots),
+			"-accept-timeout", acceptTimeout.String(),
+		}
+		if forces != "" {
+			args = append(args, "-forces", forces)
+		}
+		args = append(args, file)
+		cmd := exec.Command(exe, args...)
+		relay := &prefixWriter{w: os.Stderr, prefix: fmt.Sprintf("[node %d] ", i)}
+		cmd.Stdout = relay
+		cmd.Stderr = relay
+		if err := cmd.Start(); err != nil {
+			killChildren()
+			_ = listeners[0].Close()
+			return fmt.Errorf("starting node %d: %w", i, err)
+		}
+		children = append(children, cmd)
+	}
+
+	n, err := node.Start(node.Options{
+		NodeID: 0, Addrs: addrs, Listener: listeners[0],
+		Config: cfg, Source: string(src), Main: mainTT,
+		Out: out, Log: os.Stderr,
+		AcceptTimeout: acceptTimeout, ConnectTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		killChildren()
+		return err
+	}
+	runErr := n.RunMain()
+	if showStats {
+		printRunStats(out, n.Program(), n.VM())
+		printTransportStats(out, n)
+	}
+	if err := n.Close(); err != nil && runErr == nil {
+		runErr = err
+	}
+
+	// The followers exit on the shutdown frame; anything still alive after a
+	// grace period is stuck and gets killed so the run always terminates.
+	done := make(chan error, len(children))
+	for _, c := range children {
+		go func(c *exec.Cmd) { done <- c.Wait() }(c)
+	}
+	deadline := time.After(15 * time.Second)
+	for range children {
+		select {
+		case err := <-done:
+			if err != nil && runErr == nil {
+				runErr = fmt.Errorf("node process failed: %w", err)
+			}
+		case <-deadline:
+			killChildren()
+			if runErr == nil {
+				runErr = fmt.Errorf("node processes did not exit after shutdown")
+			}
+		}
+	}
+	return runErr
+}
+
+// printRunStats renders the interpreter activity counters and the router
+// lane observability (enqueue/inline/backlog-drain counts and current depth
+// per (source, destination) cluster lane) through stats.Counters, so the
+// pisces run summary shows where cross-cluster traffic flowed.
+func printRunStats(w io.Writer, prog *pfi.Program, vm *pisces.VM) {
+	if prog != nil {
+		fmt.Fprint(w, prog.StatsTable())
+	}
+	fmt.Fprint(w, routerStatsTable(vm))
+}
+
+// routerStatsTable renders vm.RouterStats as a stats.Counters table; empty
+// on single-cluster machines (no lanes).
+func routerStatsTable(vm *pisces.VM) string {
+	lanes := vm.RouterStats()
+	if len(lanes) == 0 {
+		return ""
+	}
+	cs := stats.NewCounters()
+	for _, l := range lanes {
+		p := fmt.Sprintf("lane.c%d->c%d.", l.Src, l.Dst)
+		cs.Counter(p + "inline").Add(l.Inline)
+		cs.Counter(p + "enqueued").Add(l.Enqueued)
+		cs.Counter(p + "drained").Add(l.Drained)
+		cs.Counter(p + "depth").Add(int64(l.Depth))
+	}
+	return cs.Table("router lanes (messages)").String()
+}
+
+// prefixWriter relays a child process's output line by line with a node
+// prefix, so follower diagnostics are attributable without polluting the
+// coordinator's program output.
+type prefixWriter struct {
+	mu     sync.Mutex
+	w      io.Writer
+	prefix string
+	buf    bytes.Buffer
+}
+
+func (p *prefixWriter) Write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.buf.Write(b)
+	for {
+		line, err := p.buf.ReadString('\n')
+		if err != nil {
+			// Partial line: keep it buffered for the next write.
+			p.buf.WriteString(line)
+			break
+		}
+		fmt.Fprintf(p.w, "%s%s", p.prefix, line)
+	}
+	return len(b), nil
+}

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/node"
 	"repro/internal/pfi"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -90,7 +91,16 @@ type Result struct {
 // VM of a deadlocked run is deliberately not shut down: its scheduler is
 // poisoned and its parked tasks can never be resumed, so teardown would only
 // re-raise the deadlock.  The handful of parked goroutines are abandoned.)
-func Run(src string, seed int64) (res Result) {
+func Run(src string, seed int64) Result { return run(src, seed, false) }
+
+// RunFault is Run with the node runtime's deterministic fault/latency
+// transport intercepting every cross-cluster message: frames pay seeded
+// virtual-clock delays (including retransmission faults) before delivery, so
+// the sweep exercises network schedules a single process never produces —
+// while staying byte-reproducible from the seed.
+func RunFault(src string, seed int64) Result { return run(src, seed, true) }
+
+func run(src string, seed int64, fault bool) (res Result) {
 	s := sim.New(seed)
 	var out bytes.Buffer
 	mem := &trace.MemorySink{}
@@ -112,15 +122,25 @@ func Run(src string, seed int64) (res Result) {
 	// that placements, cross-cluster sends, and force collectives all have
 	// real scheduling freedom.
 	cfg := config.Simple(2, 8).WithForces(1, 7, 8)
-	vm, err := core.NewVM(cfg, core.Options{
+	opts := core.Options{
 		UserOutput:    &out,
 		Backend:       s,
 		AcceptTimeout: 30 * time.Second, // virtual: expires only at quiescence
 		TraceSinks:    []trace.Sink{mem},
-	})
+	}
+	var ft *node.FaultTransport
+	if fault {
+		ft = node.NewFaultTransport(seed, node.DefaultFaultProfile())
+		opts.Remote = ft
+		opts.InterceptWire = true
+	}
+	vm, err := core.NewVM(cfg, opts)
 	if err != nil {
 		res.Err = err
 		return res
+	}
+	if ft != nil {
+		ft.Bind(vm)
 	}
 	vm.Tracer().EnableAll(true)
 

@@ -88,6 +88,7 @@ type wireMsg struct {
 type clusterRouter struct {
 	vm   *VM
 	cl   *clusterRT // destination cluster this lane serves
+	src  int        // source cluster this lane receives from
 	wake backend.Event
 	done backend.Gate
 
@@ -95,6 +96,14 @@ type clusterRouter struct {
 	q        []wireMsg
 	batching bool // the lane task is delivering a taken batch
 	closed   bool
+
+	// Lane observability (vm.RouterStats): inline deliveries by sending
+	// tasks, messages queued for the lane task, and backlog messages the
+	// lane task drained.  Guarded by mu; bumping them costs nothing extra
+	// because every path below already holds it.
+	statInline   int64
+	statEnqueued int64
+	statDrained  int64
 }
 
 // startRouters spawns the router lanes: for every destination cluster, one
@@ -113,7 +122,7 @@ func (vm *VM) startRouters() error {
 			if src == n {
 				continue
 			}
-			r := &clusterRouter{vm: vm, cl: cl, wake: vm.backend.NewEvent(), done: vm.backend.NewGate()}
+			r := &clusterRouter{vm: vm, cl: cl, src: src, wake: vm.backend.NewEvent(), done: vm.backend.NewGate()}
 			vm.backend.Spawn(fmt.Sprintf("pisces.router/c%d-c%d", src, n), r.run)
 			cl.router[src] = r
 			vm.routers = append(vm.routers, r)
@@ -183,11 +192,13 @@ func (r *clusterRouter) send(w wireMsg) bool {
 		return false
 	}
 	if len(r.q) == 0 && !r.batching {
+		r.statInline++
 		r.mu.Unlock()
 		r.deliver(&w)
 		return true
 	}
 	r.q = append(r.q, w)
+	r.statEnqueued++
 	r.mu.Unlock()
 	r.wake.Pulse()
 	return true
@@ -203,6 +214,7 @@ func (r *clusterRouter) enqueue(w wireMsg) bool {
 		return false
 	}
 	r.q = append(r.q, w)
+	r.statEnqueued++
 	r.mu.Unlock()
 	r.wake.Pulse()
 	return true
@@ -232,6 +244,7 @@ func (r *clusterRouter) run() {
 			n = routerBatch
 		}
 		batch = append(batch[:0], r.q[:n]...)
+		r.statDrained += int64(n)
 		rest := copy(r.q, r.q[n:])
 		for i := rest; i < len(r.q); i++ {
 			r.q[i] = wireMsg{} // drop heap/gate references

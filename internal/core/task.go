@@ -257,6 +257,13 @@ func (t *Task) broadcast(cluster int, msgType string, args []Value) error {
 			firstErr = err
 		}
 	}
+	// Tasks hosted on other nodes are not in vm.tasks; ship them one
+	// broadcast frame per node and let each receiver fan out locally.
+	if t.vm.partial() && (cluster == 0 || !t.vm.hosts(cluster)) {
+		if err := t.vm.routeBroadcast(t.rec.cluster, cluster, msgType, t.ID(), args); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
 	return firstErr
 }
 
@@ -265,11 +272,29 @@ func (t *Task) broadcast(cluster int, msgType string, args []Value) error {
 // own cluster's heap shard; a cross-cluster send is codec-encoded into the
 // sender's shard and handed to the destination cluster's router.
 func (t *Task) sendInternal(to TaskID, msgType string, args []Value) error {
+	from := t.rec.cluster
+	if t.vm.wireRemote(from, to.Cluster) {
+		// Under InterceptWire the destination is still hosted here, so keep
+		// the direct path's error contract: a send to a task that is not
+		// running fails at the sender even though delivery is delayed.
+		if t.vm.hosts(to.Cluster) {
+			if _, ok := t.vm.lookupTask(to); !ok {
+				return fmt.Errorf("%w: %s", ErrNoSuchTask, to)
+			}
+		}
+		size, err := t.vm.routeRemote(from, to, msgType, t.ID(), args, nil)
+		if err != nil {
+			return err
+		}
+		t.Charge(int64(costSendHeader + costSendPacket*((size-msgcodec.HeaderBytes)/msgcodec.PacketBytes)))
+		t.vm.msgsSent.Add(1)
+		t.vm.recordRouted(from, t.ID(), to, msgType, size)
+		return nil
+	}
 	rec, ok := t.vm.lookupTask(to)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoSuchTask, to)
 	}
-	from := t.rec.cluster
 	var size int
 	if rec.cluster != from {
 		var err error

@@ -1,0 +1,458 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/msgcodec"
+	"repro/internal/trace"
+)
+
+// Cross-cluster transport seam.
+//
+// PR 4 made every cross-cluster message travel as real msgcodec wire bytes
+// between per-cluster heap shards, but both ends still lived in one process:
+// the router lanes in router.go moved the bytes.  This file extracts the seam
+// those lanes sat behind into a Transport interface, so a PISCES machine can
+// be partitioned across OS processes ("nodes", internal/node): each VM hosts
+// a subset of the configured clusters, and a frame whose destination cluster
+// is hosted elsewhere is handed to the VM's remote Transport instead of a
+// router lane.  The in-process delivery path — decode the wire bytes, charge
+// the destination shard, queue on the destination task — is itself exposed as
+// the loopback Transport, which is both the degenerate single-process
+// implementation and the inbound half every remote transport delivers
+// through.
+//
+// Hosting is structural, not partial: every node boots the FULL configuration
+// (all clusters, all controllers), so system-table layout, heap shards, and —
+// critically — controller taskids are identical on every node (taskids are
+// assigned from one deterministic boot sequence).  Controllers of non-hosted
+// clusters are "ghosts": they run their accept loops but nothing is ever
+// delivered to them, because the routing decision below intercepts traffic
+// for non-hosted clusters before any local lookup.  User tasks are only ever
+// placed on hosted clusters by the node that hosts them, so a taskid's
+// cluster number always names the one node that can resolve it.
+
+// FrameKind distinguishes the cross-cluster frame types a Transport carries.
+type FrameKind uint8
+
+const (
+	// FrameMessage is an ordinary routed message (user SEND, routed INITIATE
+	// request, TO USER output) addressed to one destination task.
+	FrameMessage FrameKind = iota + 1
+	// FrameBroadcast is a TO ALL [CLUSTER n] SEND: the receiving node fans it
+	// out to every user task it hosts (filtered by Dst when non-zero).
+	FrameBroadcast
+)
+
+// WireFrame is one cross-cluster message in wire form: the msgcodec-encoded
+// argument bytes plus the header fields that travel alongside the packets —
+// exactly what the FLEX/32 header carried next to its packet list, now
+// explicit so it can cross a socket.
+type WireFrame struct {
+	Kind FrameKind
+	// Src and Dst are cluster numbers.  Src identifies the sending cluster
+	// (reply frames for routed initiates travel back toward it); Dst is the
+	// destination cluster, or 0 on a machine-wide broadcast.
+	Src int
+	Dst int
+	// Dest is the destination task (FrameMessage only).
+	Dest TaskID
+	// Type is the message type named in the SEND statement.
+	Type string
+	// Sender is the taskid of the sending task.
+	Sender TaskID
+	// Seq is the sender-side sequence number, carried for diagnostics; the
+	// receiving VM stamps its own arrival order.
+	Seq uint64
+	// ReplyID, when non-zero, correlates a routed initiate request with the
+	// reply frame carrying the new task's id back to the requesting node.
+	ReplyID uint64
+	// Payload is the msgcodec encoding of the argument list.  It is only
+	// valid until Send returns: implementations that do not deliver
+	// synchronously must copy it.
+	Payload []byte
+}
+
+// Transport carries cross-cluster wire frames between clusters hosted by
+// different VMs (or re-injects them locally with latency, for fault
+// injection).  Implementations must preserve per-sender FIFO order for
+// frames with the same (Src, Dst) pair, and must copy Payload before Send
+// returns if delivery is deferred.
+type Transport interface {
+	// Send hands one frame to the transport.
+	Send(f *WireFrame) error
+	// SendReply carries the reply to a routed initiate request back toward
+	// cluster dst (the requesting node resolves replyID in its pending
+	// table).
+	SendReply(dst int, replyID uint64, id TaskID) error
+	// Flush blocks until every frame accepted before the call has been
+	// delivered (loopback, fault injection) or handed to the network (TCP).
+	Flush()
+	// Close stops the transport after draining.
+	Close() error
+}
+
+// loopback is the in-process Transport: frames are delivered straight into
+// the hosted destination cluster.  It is the inbound half remote transports
+// deliver through (their reader calls vm.DeliverWire, which is Send here)
+// and the delegation target of the fault-injecting transport.  The
+// shard-resident fast path for sends between two locally hosted clusters
+// lives in router.go (routeMessage) and does not pass through this generic
+// entry.
+type loopback struct{ vm *VM }
+
+// Send delivers one frame to the destination cluster hosted by this VM.
+func (l *loopback) Send(f *WireFrame) error { return l.vm.DeliverWire(f) }
+
+// SendReply resolves a routed-initiate reply against this VM's pending
+// table.
+func (l *loopback) SendReply(dst int, replyID uint64, id TaskID) error {
+	l.vm.DeliverWireReply(replyID, id)
+	return nil
+}
+
+// Flush waits for the router lanes to drain (generic sends deliver
+// synchronously, so only lane traffic can be outstanding).
+func (l *loopback) Flush() { l.vm.flushRouters() }
+
+// Close is a no-op: the lanes are stopped by VM.Shutdown.
+func (l *loopback) Close() error { return nil }
+
+// Loopback returns the VM's in-process transport: the delivery path every
+// frame addressed to a hosted cluster takes.  Fault-injecting transports
+// wrap it; tests drive it directly.
+func (vm *VM) Loopback() Transport { return vm.loop }
+
+// hosts reports whether cluster n's tasks live in this process.
+func (vm *VM) hosts(n int) bool {
+	if vm.hosted == nil {
+		return true
+	}
+	return vm.hosted[n]
+}
+
+// HostedClusters returns the cluster numbers hosted by this VM, ascending.
+func (vm *VM) HostedClusters() []int {
+	var out []int
+	for _, n := range vm.clusterNumbers() {
+		if vm.hosts(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// homeCluster returns the lowest hosted cluster number; it identifies this
+// node in frames whose sender is the execution environment rather than a
+// task.
+func (vm *VM) homeCluster() int {
+	nums := vm.clusterNumbers()
+	for _, n := range nums {
+		if vm.hosts(n) {
+			return n
+		}
+	}
+	return nums[0]
+}
+
+// partial reports whether some configured cluster is hosted elsewhere.
+func (vm *VM) partial() bool { return vm.hosted != nil && len(vm.hosted) < len(vm.clusters) }
+
+// wireRemote reports whether a message from cluster `from` (nil for the
+// execution environment) to cluster dst must travel through the remote
+// Transport: always when dst is hosted by another node, and for every
+// cross-cluster hop when the VM was booted with InterceptWire (fault
+// injection under -sim).
+func (vm *VM) wireRemote(from *clusterRT, dst int) bool {
+	if !vm.hosts(dst) {
+		return true
+	}
+	if !vm.interceptAll || vm.remote == nil {
+		return false
+	}
+	src := vm.homeCluster()
+	if from != nil {
+		src = from.cfg.Number
+	}
+	return src != dst
+}
+
+// addPendingReply registers a routed-initiate reply and returns the
+// correlation id a reply frame must carry.
+func (vm *VM) addPendingReply(r *initReply) uint64 {
+	id := vm.replySeq.Add(1)
+	vm.pendMu.Lock()
+	vm.pendingReplies[id] = r
+	vm.pendMu.Unlock()
+	return id
+}
+
+// takePendingReply removes and returns the pending reply, or nil if it was
+// already delivered (or never registered).
+func (vm *VM) takePendingReply(id uint64) *initReply {
+	vm.pendMu.Lock()
+	r := vm.pendingReplies[id]
+	delete(vm.pendingReplies, id)
+	vm.pendMu.Unlock()
+	return r
+}
+
+// failPendingReplies delivers NilTask to every reply still pending, so
+// initiators blocked in InitiateWait (possibly on another node's behalf)
+// unblock at shutdown.
+func (vm *VM) failPendingReplies() {
+	vm.pendMu.Lock()
+	pending := make([]*initReply, 0, len(vm.pendingReplies))
+	for id, r := range vm.pendingReplies {
+		pending = append(pending, r)
+		delete(vm.pendingReplies, id)
+	}
+	vm.pendMu.Unlock()
+	for _, r := range pending {
+		r.deliver(NilTask)
+	}
+}
+
+// replyTransport returns the transport routed-initiate replies travel back
+// on: the remote transport when one is configured, the loopback otherwise.
+func (vm *VM) replyTransport() Transport {
+	if vm.remote != nil {
+		return vm.remote
+	}
+	return vm.loop
+}
+
+// routeRemote sends one cross-cluster message through the remote Transport:
+// the argument list is codec-encoded into the sender's heap shard (modelling
+// the outbound copy exactly like the in-process router path) and the frame is
+// handed to the transport, which must copy or transmit the payload before
+// returning; the shard bytes are then recovered.  The destination shard is
+// charged by the receiving node at delivery — a remote receiver's heap
+// exhaustion cannot fail the sender synchronously, so an undeliverable frame
+// is dropped there like any message in flight to a terminated task.  from is
+// nil when the sender is the execution environment.
+func (vm *VM) routeRemote(from *clusterRT, to TaskID, msgType string, sender TaskID, args []Value, reply *initReply) (int, error) {
+	if vm.remote == nil {
+		return 0, fmt.Errorf("core: cluster %d is not hosted by this node and no remote transport is configured", to.Cluster)
+	}
+	size, err := encodedSize(args)
+	if err != nil {
+		return 0, err
+	}
+	src := vm.homeCluster()
+	var payload []byte
+	off := -1
+	if from != nil {
+		src = from.cfg.Number
+		off, err = from.heap.Alloc(size)
+		if err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrHeapExhausted, err)
+		}
+		buf := from.heap.Bytes(off, size)
+		payload, err = msgcodec.AppendEncode(buf[:0], args)
+		if err == nil && len(payload) > size {
+			err = fmt.Errorf("core: wire form of %s (%d bytes) exceeds its packet-model size %d", msgType, len(payload), size)
+		}
+	} else {
+		payload, err = msgcodec.Encode(args)
+	}
+	if err != nil {
+		if off >= 0 {
+			_ = from.heap.Free(off)
+		}
+		return 0, err
+	}
+	f := &WireFrame{
+		Kind: FrameMessage, Src: src, Dst: to.Cluster, Dest: to,
+		Type: msgType, Sender: sender, Seq: vm.msgSeq.Add(1), Payload: payload,
+	}
+	if reply != nil {
+		f.ReplyID = vm.addPendingReply(reply)
+	}
+	sendErr := vm.remote.Send(f)
+	if off >= 0 {
+		_ = from.heap.Free(off)
+	}
+	if sendErr != nil {
+		if f.ReplyID != 0 {
+			if r := vm.takePendingReply(f.ReplyID); r != nil {
+				r.deliver(NilTask)
+			}
+		}
+		return 0, sendErr
+	}
+	return size, nil
+}
+
+// routeBroadcast ships one broadcast frame through the remote Transport so
+// nodes hosting other clusters fan it out to their user tasks.  cluster is
+// the TO ALL CLUSTER filter (0 = every cluster).
+func (vm *VM) routeBroadcast(from *clusterRT, cluster int, msgType string, sender TaskID, args []Value) error {
+	if vm.remote == nil {
+		return nil
+	}
+	payload, err := msgcodec.Encode(args)
+	if err != nil {
+		return err
+	}
+	f := &WireFrame{
+		Kind: FrameBroadcast, Src: from.cfg.Number, Dst: cluster,
+		Type: msgType, Sender: sender, Seq: vm.msgSeq.Add(1), Payload: payload,
+	}
+	return vm.remote.Send(f)
+}
+
+// DeliverWire injects a wire frame into this VM: the inbound half of every
+// transport.  The payload is decoded, the message charged to the hosted
+// destination cluster's heap shard, and queued on the destination task; a
+// routed initiate request (ReplyID != 0) gets a reply hook that sends the
+// new task's id back through the reply transport.  A frame for a task that
+// is not running here is dropped exactly like a message in flight to a
+// terminated task (the send already succeeded at the sender).  Callers must
+// preserve per-sender arrival order, which a per-peer socket reader or a
+// per-lane timer chain does naturally.
+func (vm *VM) DeliverWire(f *WireFrame) error {
+	var reply *initReply
+	if f.ReplyID != 0 {
+		rid, src := f.ReplyID, f.Src
+		reply = &initReply{fn: func(id TaskID) {
+			if err := vm.replyTransport().SendReply(src, rid, id); err != nil {
+				vm.userPrintf("pisces: node: initiate reply to cluster %d lost: %v\n", src, err)
+			}
+		}}
+	}
+	if f.Kind == FrameBroadcast {
+		return vm.deliverWireBroadcast(f)
+	}
+	rec, ok := vm.lookupTask(f.Dest)
+	if !ok || !vm.hosts(f.Dest.Cluster) {
+		reply.deliver(NilTask)
+		return nil
+	}
+	args, err := msgcodec.Decode(f.Payload)
+	if err != nil {
+		// Unreachable for run-time-encoded frames; surface loudly rather
+		// than lose traffic silently if a peer and this node ever disagree.
+		vm.userPrintf("pisces: node: corrupt wire frame %s from %s: %v\n", f.Type, f.Sender, err)
+		reply.deliver(NilTask)
+		return err
+	}
+	msg := newMessage(f.Type, f.Sender, args, vm.msgSeq.Add(1))
+	msg.reply = reply
+	if err := vm.chargeMessageOn(rec.cluster.heap, msg); err != nil {
+		recycleMessage(msg)
+		vm.userPrintf("pisces: node: dropping %s for %s: %v\n", f.Type, f.Dest, err)
+		reply.deliver(NilTask)
+		return err
+	}
+	// Charge the transfer to the destination PE's clock without occupying its
+	// CPU, exactly like the in-process router: the inter-cluster copy is bus
+	// (here: network) work, not receiver computation.
+	rec.cluster.primary.Charge(int64(costRouteMsg + costSendPacket*((msg.heapBytes-msgcodec.HeaderBytes)/msgcodec.PacketBytes)))
+	if !rec.queue.put(msg) {
+		vm.releaseMessage(msg)
+		rep := msg.reply
+		recycleMessage(msg)
+		rep.deliver(NilTask)
+	}
+	return nil
+}
+
+// deliverWireBroadcast fans an inbound broadcast frame out to every hosted
+// user task, in taskid order so deterministic backends replay it.
+func (vm *VM) deliverWireBroadcast(f *WireFrame) error {
+	args, err := msgcodec.Decode(f.Payload)
+	if err != nil {
+		vm.userPrintf("pisces: node: corrupt broadcast frame %s from %s: %v\n", f.Type, f.Sender, err)
+		return err
+	}
+	vm.mu.Lock()
+	var targets []*taskRec
+	for id, rec := range vm.tasks {
+		if rec.isController || id == f.Sender {
+			continue
+		}
+		if f.Dst != 0 && id.Cluster != f.Dst {
+			continue
+		}
+		if !vm.hosts(id.Cluster) {
+			continue
+		}
+		targets = append(targets, rec)
+	}
+	vm.mu.Unlock()
+	sort.Slice(targets, func(i, j int) bool { return targets[i].id.less(targets[j].id) })
+	for _, rec := range targets {
+		msg := newMessage(f.Type, f.Sender, args, vm.msgSeq.Add(1))
+		if err := vm.chargeMessageOn(rec.cluster.heap, msg); err != nil {
+			recycleMessage(msg)
+			vm.userPrintf("pisces: node: dropping broadcast %s for %s: %v\n", f.Type, rec.id, err)
+			continue
+		}
+		rec.cluster.primary.Charge(int64(costRouteMsg + costSendPacket*((msg.heapBytes-msgcodec.HeaderBytes)/msgcodec.PacketBytes)))
+		if !rec.queue.put(msg) {
+			vm.releaseMessage(msg)
+			recycleMessage(msg)
+		}
+	}
+	return nil
+}
+
+// DeliverWireReply resolves an inbound initiate-reply frame against the
+// pending table and wakes the initiator.  Unknown ids are ignored (the VM
+// may have failed the reply at shutdown already).
+func (vm *VM) DeliverWireReply(replyID uint64, id TaskID) {
+	if r := vm.takePendingReply(replyID); r != nil {
+		r.deliver(id)
+	}
+}
+
+// flushTransports lands in-flight cross-cluster traffic: the in-process
+// router lanes always, and the remote transport when one is configured.
+func (vm *VM) flushTransports() {
+	vm.flushRouters()
+	if vm.remote != nil {
+		vm.remote.Flush()
+	}
+}
+
+// recordRouted traces one outbound remote send like a lane delivery would.
+func (vm *VM) recordRouted(from *clusterRT, sender, to TaskID, msgType string, size int) {
+	if vm.tracing(trace.MsgSend) && from != nil {
+		vm.record(trace.MsgSend, sender, to, from.primary,
+			fmt.Sprintf("msgtype=%s routed=remote bytes=%d", msgType, size))
+	}
+}
+
+// LaneStats is the observable state of one in-process router lane (the
+// (Src, Dst) cluster pair it serves): how many messages the sending tasks
+// delivered inline, how many were queued for the lane task, how many the
+// lane task drained from backlog, and the current queue depth.
+type LaneStats struct {
+	Src, Dst                  int
+	Inline, Enqueued, Drained int64
+	Depth                     int
+}
+
+// RouterStats returns per-lane router counters in (Dst, Src) order, for the
+// pisces run summary and tests.
+func (vm *VM) RouterStats() []LaneStats {
+	var out []LaneStats
+	for _, r := range vm.routers {
+		r.mu.Lock()
+		out = append(out, LaneStats{
+			Src: r.src, Dst: r.cl.cfg.Number,
+			Inline: r.statInline, Enqueued: r.statEnqueued, Drained: r.statDrained,
+			Depth: len(r.q),
+		})
+		r.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dst != out[j].Dst {
+			return out[i].Dst < out[j].Dst
+		}
+		return out[i].Src < out[j].Src
+	})
+	return out
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+)
+
+// pipeTransport connects two VMs in one process: every frame is delivered
+// synchronously into the peer VM, the minimal faithful model of the node
+// transport's socket (per-sender order preserved, payload consumed before
+// Send returns).
+type pipeTransport struct {
+	mu   sync.Mutex
+	peer *VM
+	sent int
+}
+
+func (p *pipeTransport) Send(f *WireFrame) error {
+	p.mu.Lock()
+	vm := p.peer
+	p.sent++
+	p.mu.Unlock()
+	// Copy the payload like a socket write would: the sender recovers its
+	// shard bytes as soon as Send returns.
+	g := *f
+	g.Payload = append([]byte(nil), f.Payload...)
+	return vm.DeliverWire(&g)
+}
+
+func (p *pipeTransport) SendReply(dst int, replyID uint64, id TaskID) error {
+	p.mu.Lock()
+	vm := p.peer
+	p.mu.Unlock()
+	vm.DeliverWireReply(replyID, id)
+	return nil
+}
+
+func (p *pipeTransport) Flush()       {}
+func (p *pipeTransport) Close() error { return nil }
+
+// twoNodeVMs boots two VMs over one 2-cluster configuration: vmA hosts
+// cluster 1 (and the terminal controllers), vmB hosts cluster 2, with pipe
+// transports between them.
+func twoNodeVMs(t *testing.T, outA, outB *bytes.Buffer) (*VM, *VM) {
+	t.Helper()
+	cfg := config.Simple(2, 4)
+	trA, trB := &pipeTransport{}, &pipeTransport{}
+	vmA, err := NewVM(cfg, Options{UserOutput: outA, Hosted: []int{1}, Remote: trA, AcceptTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatalf("vmA: %v", err)
+	}
+	vmB, err := NewVM(cfg, Options{UserOutput: outB, Hosted: []int{2}, Remote: trB, AcceptTimeout: 10 * time.Second})
+	if err != nil {
+		vmA.Shutdown()
+		t.Fatalf("vmB: %v", err)
+	}
+	trA.peer, trB.peer = vmB, vmA
+	t.Cleanup(func() { vmB.Shutdown(); vmA.Shutdown() })
+	return vmA, vmB
+}
+
+// TestHostedControllerIDsAgree pins the ghost-controller invariant the whole
+// distributed design rests on: both nodes boot the full configuration, so
+// the controller taskids each node computes are identical and a taskid can
+// cross the wire and still name the same task.
+func TestHostedControllerIDsAgree(t *testing.T) {
+	var outA, outB bytes.Buffer
+	vmA, vmB := twoNodeVMs(t, &outA, &outB)
+	if vmA.UserControllerID() != vmB.UserControllerID() {
+		t.Fatalf("user controller ids diverge: %s vs %s", vmA.UserControllerID(), vmB.UserControllerID())
+	}
+	clA, _ := vmA.cluster(2)
+	clB, _ := vmB.cluster(2)
+	if clA.controllerID != clB.controllerID {
+		t.Fatalf("cluster 2 task controller ids diverge: %s vs %s", clA.controllerID, clB.controllerID)
+	}
+}
+
+// TestRemoteInitiateSendAndReply drives the full routed path: an initiate
+// from node A onto node B's cluster (request frame + reply frame), a
+// child-to-parent message back across the wire, and terminal output from the
+// remote task landing on node A's user controller.
+func TestRemoteInitiateSendAndReply(t *testing.T) {
+	var outA, outB bytes.Buffer
+	vmA, vmB := twoNodeVMs(t, &outA, &outB)
+
+	register := func(vm *VM) {
+		vm.Register("child", func(task *Task) {
+			task.Printf("child on cluster %d\n", task.Cluster())
+			if err := task.SendParent("result", Int(41+int64(task.Cluster()))); err != nil {
+				t.Errorf("child send: %v", err)
+			}
+		})
+		vm.Register("main", func(task *Task) {
+			id, err := task.InitiateWait(OnCluster(2), "child")
+			if err != nil {
+				t.Errorf("initiate: %v", err)
+				return
+			}
+			if id.Cluster != 2 {
+				t.Errorf("child placed on cluster %d, want 2", id.Cluster)
+			}
+			m, err := task.AcceptOne("result")
+			if err != nil {
+				t.Errorf("accept: %v", err)
+				return
+			}
+			if m.Sender != id {
+				t.Errorf("sender %s, want %s", m.Sender, id)
+			}
+			task.Printf("got %d\n", MustInt(m.Arg(0)))
+		})
+	}
+	register(vmA)
+	register(vmB)
+
+	if _, err := vmA.Run("main", OnCluster(1)); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	vmA.FlushUserOutput()
+	if got := outA.String(); !strings.Contains(got, "child on cluster 2\n") || !strings.Contains(got, "got 43\n") {
+		t.Fatalf("node A output:\n%s", got)
+	}
+	if outB.Len() != 0 {
+		t.Fatalf("node B printed locally:\n%s", outB.String())
+	}
+}
+
+// TestRemoteBroadcast checks that TO ALL reaches tasks hosted on the other
+// node through a broadcast frame.
+func TestRemoteBroadcast(t *testing.T) {
+	var outA, outB bytes.Buffer
+	vmA, vmB := twoNodeVMs(t, &outA, &outB)
+
+	ready := make(chan TaskID, 1)
+	got := make(chan int64, 1)
+	vmB.Register("listener", func(task *Task) {
+		ready <- task.ID()
+		m, err := task.AcceptOne("ping")
+		if err != nil {
+			t.Errorf("listener accept: %v", err)
+			return
+		}
+		got <- MustInt(m.Arg(0))
+	})
+	vmA.Register("caster", func(task *Task) {
+		if err := task.Broadcast("ping", Int(7)); err != nil {
+			t.Errorf("broadcast: %v", err)
+		}
+	})
+	// The listener is initiated on node B directly (its env), the caster on
+	// node A; the broadcast must cross the transport.
+	if _, err := vmB.Initiate("listener", OnCluster(2)); err != nil {
+		t.Fatalf("listener: %v", err)
+	}
+	<-ready
+	if _, err := vmA.Run("caster", OnCluster(1)); err != nil {
+		t.Fatalf("caster: %v", err)
+	}
+	select {
+	case v := <-got:
+		if v != 7 {
+			t.Fatalf("broadcast payload %d, want 7", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("broadcast never arrived on node B")
+	}
+}
+
+// selfTransport loops every frame straight back into the same VM, the shape
+// of a fault-injecting transport with zero delay.
+type selfTransport struct{ vm *VM }
+
+func (s *selfTransport) Send(f *WireFrame) error {
+	g := *f
+	g.Payload = append([]byte(nil), f.Payload...)
+	return s.vm.DeliverWire(&g)
+}
+func (s *selfTransport) SendReply(dst int, replyID uint64, id TaskID) error {
+	s.vm.DeliverWireReply(replyID, id)
+	return nil
+}
+func (s *selfTransport) Flush()       {}
+func (s *selfTransport) Close() error { return nil }
+
+// TestInterceptWireKeepsSendErrorContract pins the -netfault semantics: with
+// every cross-cluster message intercepted, a send to a task that is not
+// running must still fail at the sender with ErrNoSuchTask, exactly like the
+// direct path — the conformance sweep asserts baseline-equal output, so the
+// intercepted path must not silently swallow program-visible errors.
+func TestInterceptWireKeepsSendErrorContract(t *testing.T) {
+	tr := &selfTransport{}
+	vm, err := NewVM(config.Simple(2, 4), Options{Remote: tr, InterceptWire: true, AcceptTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.vm = vm
+	defer vm.Shutdown()
+
+	errCh := make(chan error, 1)
+	vm.Register("prober", func(task *Task) {
+		errCh <- task.Send(TaskID{Cluster: 2, Slot: 3, Unique: 999}, "ping")
+	})
+	if _, err := vm.Run("prober", OnCluster(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; !errors.Is(err, ErrNoSuchTask) {
+		t.Fatalf("intercepted send to a dead task returned %v, want ErrNoSuchTask", err)
+	}
+
+	// And a send to a live remote-cluster task still goes through (delayed
+	// through the transport, but delivered).
+	got := make(chan int64, 1)
+	vm.Register("sink", func(task *Task) {
+		m, err := task.AcceptOne("ping")
+		if err != nil {
+			t.Errorf("sink: %v", err)
+			return
+		}
+		got <- MustInt(m.Arg(0))
+	})
+	id, err := vm.Initiate("sink", OnCluster(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.Register("sender", func(task *Task) {
+		errCh <- task.Send(id, "ping", Int(5))
+	})
+	if _, err := vm.Run("sender", OnCluster(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatalf("intercepted send to a live task: %v", err)
+	}
+	if v := <-got; v != 5 {
+		t.Fatalf("delivered %d, want 5", v)
+	}
+}
+
+// TestRemoteHeapRecovered pins the storage contract of the remote path: the
+// sender's shard recovers the outbound wire bytes as soon as the transport
+// accepts them, and the receiver's shard recovers the charged message when
+// it is accepted — both heaps return to their baselines.
+func TestRemoteHeapRecovered(t *testing.T) {
+	var outA, outB bytes.Buffer
+	vmA, vmB := twoNodeVMs(t, &outA, &outB)
+	baseA := vmA.Machine().Shared().Usage().HeapInUse
+	baseB := vmB.Machine().Shared().Usage().HeapInUse
+
+	done := make(chan struct{})
+	vmB.Register("sink", func(task *Task) {
+		defer close(done)
+		if _, err := task.AcceptN(8, "datum"); err != nil {
+			t.Errorf("sink: %v", err)
+		}
+	})
+	vmA.Register("source", func(task *Task) {
+		to := MustID(task.Arg(0))
+		for i := 0; i < 8; i++ {
+			if err := task.Send(to, "datum", Reals(make([]float64, 16))); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+		}
+	})
+	id, err := vmB.Initiate("sink", OnCluster(2))
+	if err != nil {
+		t.Fatalf("sink: %v", err)
+	}
+	if _, err := vmA.Run("source", OnCluster(1), ID(id)); err != nil {
+		t.Fatalf("source: %v", err)
+	}
+	<-done
+	vmB.WaitIdle()
+	if got := vmA.Machine().Shared().Usage().HeapInUse; got != baseA {
+		t.Fatalf("node A heap in use %d, want baseline %d", got, baseA)
+	}
+	if got := vmB.Machine().Shared().Usage().HeapInUse; got != baseB {
+		t.Fatalf("node B heap in use %d, want baseline %d", got, baseB)
+	}
+}

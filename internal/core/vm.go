@@ -70,6 +70,28 @@ type Options struct {
 	// driven from a single goroutine, and a backend must not be shared
 	// between VMs.
 	Backend backend.Backend
+	// Hosted restricts the clusters whose tasks actually run in this process
+	// (distributed mode, internal/node).  Nil hosts every configured cluster.
+	// The VM still boots the full configuration — controllers of non-hosted
+	// clusters run as inert ghosts so taskid assignment stays identical on
+	// every node — but traffic for a non-hosted cluster travels through
+	// Remote instead of being delivered locally.
+	Hosted []int
+	// Remote carries cross-cluster messages for clusters this VM does not
+	// host.  Required when Hosted excludes a configured cluster.  Transports
+	// that need the VM (to deliver inbound frames) are constructed first and
+	// bound to it after NewVM returns; nothing routes until tasks run.
+	Remote Transport
+	// InterceptWire routes EVERY cross-cluster message through Remote, even
+	// between clusters hosted here.  Fault/latency-injecting transports use
+	// it to exercise network schedules under the deterministic backend.
+	// Sends to tasks that are not running still fail at the sender
+	// (ErrNoSuchTask, as on the direct path), but the destination shard is
+	// charged at delivery rather than reserved at send time, so a receiver
+	// whose heap fills drops the delayed message instead of failing the
+	// sender with ErrHeapExhausted — the one intentional semantic difference
+	// of intercepted delivery.
+	InterceptWire bool
 }
 
 // VM is one booted PISCES 2 virtual machine: a configuration mapped onto a
@@ -92,6 +114,18 @@ type VM struct {
 	// routers holds the per-cluster cross-cluster message routers in cluster
 	// order (empty on single-cluster machines).
 	routers []*clusterRouter
+
+	// Distributed-mode state (see transport.go): the hosted cluster set (nil
+	// hosts everything), the remote transport for clusters hosted elsewhere,
+	// the in-process loopback transport, and the pending-reply table
+	// correlating routed initiate requests with their reply frames.
+	hosted         map[int]bool
+	remote         Transport
+	interceptAll   bool
+	loop           *loopback
+	pendMu         sync.Mutex
+	pendingReplies map[uint64]*initReply
+	replySeq       atomic.Uint64
 
 	arrays   *arrayStore
 	files    *fileStore
@@ -151,6 +185,28 @@ func NewVMOn(machine *flex.Machine, cfg *config.Configuration, opts Options) (*V
 	vm.userTasks = vm.backend.NewWaitGroup()
 	vm.arrays = newArrayStore()
 	vm.files = newFileStore()
+	vm.loop = &loopback{vm: vm}
+	vm.pendingReplies = make(map[uint64]*initReply)
+	vm.remote = opts.Remote
+	vm.interceptAll = opts.InterceptWire
+	if opts.Hosted != nil {
+		vm.hosted = make(map[int]bool, len(opts.Hosted))
+		for _, n := range opts.Hosted {
+			if cfg.Cluster(n) == nil {
+				return nil, fmt.Errorf("%w: hosted cluster %d", ErrNoSuchCluster, n)
+			}
+			vm.hosted[n] = true
+		}
+		if len(vm.hosted) == 0 {
+			return nil, fmt.Errorf("core: a node must host at least one cluster")
+		}
+		if len(vm.hosted) < len(cfg.Clusters) && vm.remote == nil {
+			return nil, fmt.Errorf("core: clusters hosted elsewhere require a remote transport")
+		}
+	}
+	if vm.interceptAll && vm.remote == nil {
+		return nil, fmt.Errorf("core: InterceptWire requires a remote transport")
+	}
 
 	for _, ev := range cfg.TraceEvents {
 		k, err := trace.ParseKind(ev)
@@ -238,6 +294,10 @@ func (vm *VM) Machine() *flex.Machine { return vm.machine }
 
 // Kernel returns the MMOS kernel.
 func (vm *VM) Kernel() *mmos.Kernel { return vm.kernel }
+
+// Backend returns the scheduling backend the VM runs on; transports use it
+// so their timers and waits stay scheduler-visible under -sim.
+func (vm *VM) Backend() backend.Backend { return vm.backend }
 
 // Configuration returns (a copy of) the configuration the VM was booted with.
 func (vm *VM) Configuration() *config.Configuration { return vm.cfg.Clone() }
@@ -381,6 +441,10 @@ func (vm *VM) Initiate(tasktype string, placement Placement, args ...Value) (Tas
 type initReply struct {
 	gate backend.Gate
 	id   TaskID
+	// fn, when set, replaces the gate: the reply is forwarded (a reply frame
+	// back to the node that sent a routed initiate request) instead of waking
+	// a local waiter.
+	fn func(TaskID)
 }
 
 func newInitReply(b backend.Backend) *initReply { return &initReply{gate: b.NewGate()} }
@@ -389,6 +453,10 @@ func newInitReply(b backend.Backend) *initReply { return &initReply{gate: b.NewG
 // waiter.  A nil receiver (fire-and-forget INITIATE) is a no-op.
 func (r *initReply) deliver(id TaskID) {
 	if r == nil {
+		return
+	}
+	if r.fn != nil {
+		r.fn(id)
 		return
 	}
 	r.id = id
@@ -442,9 +510,9 @@ func (vm *VM) FlushUserOutput() {
 		return
 	}
 	// Land in-flight cross-cluster traffic first: a task's terminal output
-	// may still be wire bytes in a router queue, and "queued before the call"
-	// includes those.
-	vm.flushRouters()
+	// may still be wire bytes in a router queue (or a fault-injecting
+	// transport's delay line), and "queued before the call" includes those.
+	vm.flushTransports()
 	gate := vm.backend.NewGate()
 	msg := newMessage(msgUserSync, vm.userCtrl, nil, vm.msgSeq.Add(1))
 	msg.sync = gate
@@ -518,6 +586,20 @@ func (vm *VM) leastLoaded(nums []int, exclude int) *clusterRT {
 // the routed path, where the router rebuilds the message on the destination
 // side) the message header is recycled; the caller must not reuse it.
 func (vm *VM) deliverSystem(from *clusterRT, dest TaskID, msg *Message) error {
+	if vm.wireRemote(from, dest.Cluster) {
+		// Intercepted traffic to a locally hosted task keeps the direct
+		// path's ErrNoSuchTask contract (see Task.sendInternal).
+		if vm.hosts(dest.Cluster) {
+			if _, ok := vm.lookupTask(dest); !ok {
+				recycleMessage(msg)
+				return fmt.Errorf("%w: %s", ErrNoSuchTask, dest)
+			}
+		}
+		msgType, args, sender, reply := msg.Type, msg.Args, msg.Sender, msg.reply
+		recycleMessage(msg)
+		_, err := vm.routeRemote(from, dest, msgType, sender, args, reply)
+		return err
+	}
 	rec, ok := vm.lookupTask(dest)
 	if !ok {
 		recycleMessage(msg)
@@ -638,10 +720,18 @@ func (vm *VM) Shutdown() {
 	}
 	vm.userTasks.Wait()
 
-	// Stop the routers: no user task can send any more, and everything still
-	// in flight must land (terminal output especially) or be recovered before
-	// the controllers are told to exit — a print delivered after the user
-	// controller's shutdown message would be lost.
+	// Unblock anyone still waiting on a routed initiate reply (possibly a
+	// request another node will never answer now).
+	vm.failPendingReplies()
+
+	// Land whatever a latency-injecting remote transport still holds, then
+	// stop the in-process routers: no user task can send any more, and
+	// everything still in flight must land (terminal output especially) or
+	// be recovered before the controllers are told to exit — a print
+	// delivered after the user controller's shutdown message would be lost.
+	if vm.remote != nil {
+		vm.remote.Flush()
+	}
 	for _, r := range vm.routers {
 		r.stop()
 	}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"repro/internal/config"
@@ -18,6 +19,12 @@ type E5Params struct {
 	// sends FanInMessages messages to one collector.
 	FanInSenders  int
 	FanInMessages int
+	// FanInWindows is how many measurement windows the fan-in delivery is
+	// split into: the reported rate is the median window's, which a single
+	// slow scheduling hiccup (the noise flagged in the PR 4 numbers) cannot
+	// drag around the way it dragged a single whole-run measurement.  Zero
+	// means 5.
+	FanInWindows int
 	// QueueGrowthMessages is the number of unaccepted messages queued while
 	// heap growth is sampled.
 	QueueGrowthMessages int
@@ -31,6 +38,7 @@ func DefaultE5Params() E5Params {
 		PingPongRounds:      500,
 		FanInSenders:        6,
 		FanInMessages:       100,
+		FanInWindows:        5,
 		QueueGrowthMessages: 256,
 		PayloadReals:        8,
 	}
@@ -42,8 +50,13 @@ type E5Result struct {
 	// trip, and PingPongTicks the simulated ticks charged per round trip.
 	PingPongPerRound time.Duration
 	PingPongTicks    float64
-	// FanInMessagesPerSec is the wall-clock delivery rate of the fan-in.
+	// FanInMessagesPerSec is the median per-window wall-clock delivery rate
+	// of the fan-in; FanInRateMin/Max bound the spread across the windows
+	// and FanInWindowRates holds every window's rate, delivery order.
 	FanInMessagesPerSec float64
+	FanInRateMin        float64
+	FanInRateMax        float64
+	FanInWindowRates    []float64
 	FanInDelivered      int
 	// Queue growth: heap bytes per queued message and whether the heap
 	// returned to its baseline after the queue was drained.
@@ -121,15 +134,38 @@ func RunE5(w io.Writer, p E5Params) (*E5Result, error) {
 			return nil, err
 		}
 		total := p.FanInSenders * p.FanInMessages
+		windows := p.FanInWindows
+		if windows <= 0 {
+			windows = 5
+		}
+		if windows > total {
+			windows = total
+		}
 		collectorReady := make(chan core.TaskID, 1)
-		collected := make(chan time.Duration, 1)
+		collected := make(chan []float64, 1)
 		vm.Register("collector", func(t *core.Task) {
 			collectorReady <- t.ID()
-			start := time.Now()
-			if _, err := t.AcceptN(total, "datum"); err != nil {
-				t.Printf("collector: %v\n", err)
+			// Accept the stream in fixed-count windows, timing each: the
+			// per-window rates expose the spread a single whole-run window
+			// hides, and their median is robust against one slow window.
+			rates := make([]float64, 0, windows)
+			remaining := total
+			for w := 0; w < windows; w++ {
+				count := remaining / (windows - w)
+				if count == 0 {
+					continue
+				}
+				start := time.Now()
+				if _, err := t.AcceptN(count, "datum"); err != nil {
+					t.Printf("collector: %v\n", err)
+					break
+				}
+				if elapsed := time.Since(start); elapsed > 0 {
+					rates = append(rates, float64(count)/elapsed.Seconds())
+				}
+				remaining -= count
 			}
-			collected <- time.Since(start)
+			collected <- rates
 		})
 		vm.Register("producer", func(t *core.Task) {
 			to := core.MustID(t.Arg(0))
@@ -153,13 +189,23 @@ func RunE5(w io.Writer, p E5Params) (*E5Result, error) {
 				return nil, err
 			}
 		}
-		elapsed := <-collected
+		rates := <-collected
 		vm.WaitIdle()
 		st := vm.Stats()
 		vm.Shutdown()
 		res.FanInDelivered = int(st.MessagesAccepted)
-		if elapsed > 0 {
-			res.FanInMessagesPerSec = float64(total) / elapsed.Seconds()
+		res.FanInWindowRates = rates
+		if len(rates) > 0 {
+			sorted := append([]float64(nil), rates...)
+			sort.Float64s(sorted)
+			res.FanInRateMin = sorted[0]
+			res.FanInRateMax = sorted[len(sorted)-1]
+			mid := len(sorted) / 2
+			if len(sorted)%2 == 0 {
+				res.FanInMessagesPerSec = (sorted[mid-1] + sorted[mid]) / 2
+			} else {
+				res.FanInMessagesPerSec = sorted[mid]
+			}
 		}
 	}
 
@@ -209,7 +255,10 @@ func RunE5(w io.Writer, p E5Params) (*E5Result, error) {
 		"measurement", "value")
 	t.AddRow("ping-pong round trip (wall clock)", res.PingPongPerRound.String())
 	t.AddRow("ping-pong round trip (simulated ticks)", fmt.Sprintf("%.1f", res.PingPongTicks))
-	t.AddRow("fan-in delivery rate", fmt.Sprintf("%.0f messages/s", res.FanInMessagesPerSec))
+	t.AddRow(fmt.Sprintf("fan-in delivery rate (median of %d windows)", len(res.FanInWindowRates)),
+		fmt.Sprintf("%.0f messages/s", res.FanInMessagesPerSec))
+	t.AddRow("fan-in window spread (min..max)",
+		fmt.Sprintf("%.0f..%.0f messages/s", res.FanInRateMin, res.FanInRateMax))
 	t.AddRow("shared-memory cost per queued message", fmt.Sprintf("%.0f bytes", res.BytesPerQueuedMessage))
 	t.AddRow("heap recovered after queue drained", fmt.Sprintf("%v", res.HeapRecovered))
 	fmt.Fprint(w, t.String())

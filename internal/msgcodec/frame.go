@@ -1,0 +1,77 @@
+package msgcodec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Stream framing for the distributed node transport (internal/node): each
+// frame is a 4-byte big-endian length prefix followed by that many payload
+// bytes.  The payload is a node-protocol frame whose message bodies are the
+// same msgcodec encoding the in-process routers move between heap shards —
+// the wire format of Section 11's header-plus-packets model, carried over a
+// socket instead of the FLEX/32 shared-memory bus.
+//
+// The length prefix is validated against a maximum BEFORE any allocation:
+// a corrupt or malicious peer that sends an absurd length must produce
+// ErrCorrupt, not a multi-gigabyte allocation that OOMs the node.
+
+// MaxFrameBytes is the default upper bound on one frame's payload.  It
+// comfortably holds the largest message the codec itself can produce for
+// sane argument lists (the per-message cost model is HeaderBytes plus
+// 32-byte packets) while keeping a hostile length prefix from reserving
+// unbounded memory.
+const MaxFrameBytes = 8 << 20
+
+// frameLenBytes is the size of the length prefix.
+const frameLenBytes = 4
+
+// WriteFrame writes one length-prefixed frame.  Payloads larger than max
+// (MaxFrameBytes when max <= 0) are rejected with ErrCorrupt: a frame the
+// peer is guaranteed to refuse must fail at the sender, where the bug is.
+func WriteFrame(w io.Writer, payload []byte, max int) error {
+	if max <= 0 {
+		max = MaxFrameBytes
+	}
+	if len(payload) > max {
+		return fmt.Errorf("%w: frame payload %d bytes exceeds maximum %d", ErrCorrupt, len(payload), max)
+	}
+	var hdr [frameLenBytes]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame, reusing buf when it is large
+// enough.  A length prefix exceeding max (MaxFrameBytes when max <= 0) is
+// rejected with ErrCorrupt before any payload-sized allocation happens.  On
+// a clean end of stream it returns io.EOF; a stream that ends mid-frame
+// returns io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, buf []byte, max int) ([]byte, error) {
+	if max <= 0 {
+		max = MaxFrameBytes
+	}
+	var hdr [frameLenBytes]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > uint32(max) {
+		return nil, fmt.Errorf("%w: frame length prefix %d exceeds maximum %d", ErrCorrupt, n, max)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}

@@ -1,0 +1,92 @@
+package msgcodec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{{}, {1}, []byte("hello frames"), bytes.Repeat([]byte{0xAB}, 4096)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p, 0); err != nil {
+			t.Fatalf("write %d bytes: %v", len(p), err)
+		}
+	}
+	var scratch []byte
+	for i, want := range payloads {
+		got, err := ReadFrame(&buf, scratch, 0)
+		if err != nil {
+			t.Fatalf("read frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+		scratch = got
+	}
+	if _, err := ReadFrame(&buf, scratch, 0); err != io.EOF {
+		t.Fatalf("end of stream: got %v, want io.EOF", err)
+	}
+}
+
+// TestFrameSizeBoundary pins the maximum exactly: a payload of max bytes
+// passes both directions, max+1 is ErrCorrupt on write and — via a forged
+// prefix — ErrCorrupt on read before any allocation.
+func TestFrameSizeBoundary(t *testing.T) {
+	const max = 1024
+	var buf bytes.Buffer
+	atMax := make([]byte, max)
+	if err := WriteFrame(&buf, atMax, max); err != nil {
+		t.Fatalf("write at max: %v", err)
+	}
+	got, err := ReadFrame(&buf, nil, max)
+	if err != nil {
+		t.Fatalf("read at max: %v", err)
+	}
+	if len(got) != max {
+		t.Fatalf("read %d bytes, want %d", len(got), max)
+	}
+
+	if err := WriteFrame(&buf, make([]byte, max+1), max); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("write over max: got %v, want ErrCorrupt", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("oversized write left %d bytes in the stream", buf.Len())
+	}
+}
+
+// TestFrameRejectsOversizedPrefixBeforeAllocating forges a length prefix
+// claiming ~4 GiB with no payload behind it: the reader must fail with
+// ErrCorrupt from the prefix alone (an allocation of that size would OOM
+// long before io.ReadFull noticed the missing bytes).
+func TestFrameRejectsOversizedPrefixBeforeAllocating(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 0xFFFF_FFF0)
+	_, err := ReadFrame(bytes.NewReader(hdr[:]), nil, 0)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", err)
+	}
+
+	// One past the configured maximum is enough to trip it, too.
+	binary.BigEndian.PutUint32(hdr[:], 1025)
+	_, err = ReadFrame(bytes.NewReader(hdr[:]), nil, 1024)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("prefix max+1: got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestFrameTruncatedPayload distinguishes a mid-frame stream end from a
+// clean one.
+func TestFrameTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("abcdef"), 0); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReadFrame(bytes.NewReader(trunc), nil, 0); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated payload: got %v, want io.ErrUnexpectedEOF", err)
+	}
+}

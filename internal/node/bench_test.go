@@ -1,0 +1,140 @@
+package node_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+)
+
+// BenchmarkNodeFanIn measures routed message throughput across the real
+// node transport: four producer tasks on node 1 (cluster 2) fan b.N
+// messages with an 8-REAL payload into one collector on node 0 (cluster 1),
+// every message paying the full path — codec encode into the sender's shard,
+// length-prefixed TCP frame over loopback, decode and shard charge on the
+// receiving node.  Producers run a credit window (one flush/credit round
+// trip per 128 messages) so the collector's heap shard bounds backlog the
+// way a real fan-in must; the msgs/s metric is the collector's own
+// first-to-last delivery rate.  This is the PR 5 baseline the CI bench job
+// tracks (BENCH_pr5.json).
+func BenchmarkNodeFanIn(b *testing.B) {
+	const senders = 4
+	const window = 128
+	cfg := config.Simple(2, senders+1)
+	collected := make(chan time.Duration, 1)
+	ready := make(chan core.TaskID, 1)
+	register := func(vm *core.VM) {
+		vm.Register("collector", func(t *core.Task) {
+			total := int(core.MustInt(t.Arg(0)))
+			ready <- t.ID()
+			start := time.Now()
+			handle := func(res *core.AcceptResult, got *int) {
+				for _, m := range res.Accepted {
+					switch m.Type {
+					case "datum":
+						*got++
+					case "flush":
+						if err := t.Send(m.Sender, "credit"); err != nil {
+							b.Errorf("credit: %v", err)
+						}
+					}
+				}
+				t.RecycleAccept(res)
+			}
+			for got := 0; got < total; {
+				// Block for one message, then drain whatever else arrived:
+				// an ALL-only ACCEPT never waits, so the blocking step is
+				// what parks the collector between bursts.
+				res, err := t.Accept(core.AcceptSpec{
+					Total: 1,
+					Types: []core.TypeCount{{Type: "datum"}, {Type: "flush"}},
+					Delay: core.Forever,
+				})
+				if err != nil {
+					b.Errorf("collector: %v", err)
+					break
+				}
+				handle(res, &got)
+				res, err = t.Accept(core.AcceptSpec{
+					Types: []core.TypeCount{{Type: "datum", Count: core.All}, {Type: "flush", Count: core.All}},
+				})
+				if err != nil {
+					b.Errorf("collector drain: %v", err)
+					break
+				}
+				handle(res, &got)
+			}
+			collected <- time.Since(start)
+		})
+		vm.Register("producer", func(t *core.Task) {
+			to := core.MustID(t.Arg(0))
+			count := int(core.MustInt(t.Arg(1)))
+			payload := make([]float64, 8)
+			for sent := 0; sent < count; {
+				n := window
+				if left := count - sent; left < n {
+					n = left
+				}
+				for i := 0; i < n; i++ {
+					if err := t.Send(to, "datum", core.Reals(payload)); err != nil {
+						b.Errorf("producer: %v", err)
+						return
+					}
+				}
+				sent += n
+				if err := t.Send(to, "flush"); err != nil {
+					b.Errorf("flush: %v", err)
+					return
+				}
+				if _, err := t.AcceptOne("credit"); err != nil {
+					b.Errorf("await credit: %v", err)
+					return
+				}
+			}
+		})
+	}
+	var out bytes.Buffer
+	nodes := startMesh(b, 2, cfg, "", &out, register)
+	followerDone := make(chan struct{})
+	go func() {
+		defer close(followerDone)
+		_ = nodes[1].ServeUntilShutdown()
+	}()
+	defer func() {
+		b.StopTimer()
+		_ = nodes[0].Close()
+		<-followerDone
+		if s := out.String(); strings.Contains(s, "dropping") {
+			b.Fatalf("transport dropped traffic:\n%s", s)
+		}
+	}()
+
+	per := b.N / senders
+	if per == 0 {
+		per = 1
+	}
+	total := per * senders
+
+	b.ResetTimer()
+	id, err := nodes[0].VM().Initiate("collector", core.OnCluster(1), core.Int(int64(total)))
+	if err != nil {
+		b.Fatalf("collector: %v", err)
+	}
+	<-ready
+	for i := 0; i < senders; i++ {
+		if _, err := nodes[1].VM().Initiate("producer", core.OnCluster(2), core.ID(id), core.Int(int64(per))); err != nil {
+			b.Fatalf("producer %d: %v", i, err)
+		}
+	}
+	elapsed := <-collected
+	b.StopTimer()
+	nodes[1].VM().WaitIdle()
+	nodes[0].VM().WaitIdle()
+	if elapsed > 0 {
+		b.ReportMetric(float64(total)/elapsed.Seconds(), "msgs/s")
+	}
+	b.ReportAllocs()
+}

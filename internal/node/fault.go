@@ -1,0 +1,178 @@
+package node
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+)
+
+// FaultProfile shapes the injected network behaviour.
+type FaultProfile struct {
+	// Base is the fixed latency added to every frame.
+	Base time.Duration
+	// Jitter adds a uniformly distributed extra delay in [0, Jitter).
+	Jitter time.Duration
+	// DropRate is the probability a frame is "lost on the wire" and shows up
+	// only after Retransmit: faults are modelled as retransmission delay, not
+	// actual loss, because the run-time's send semantics (a send that
+	// returned has happened) must hold on every schedule.
+	DropRate float64
+	// Retransmit is the extra delay a dropped frame pays.
+	Retransmit time.Duration
+}
+
+// DefaultFaultProfile returns delays large enough to reorder traffic between
+// lanes under the sim backend's virtual clock without slowing wall-clock
+// test runs (virtual time costs nothing).
+func DefaultFaultProfile() FaultProfile {
+	return FaultProfile{Base: 2 * time.Millisecond, Jitter: 8 * time.Millisecond, DropRate: 0.05, Retransmit: 25 * time.Millisecond}
+}
+
+// laneKey identifies one FIFO delay line: messages keep per-(src,dst) order,
+// reply frames travel on a per-destination reply lane.
+type laneKey struct {
+	src, dst int
+	reply    bool
+}
+
+// FaultTransport is a deterministic fault/latency-injecting core.Transport:
+// every frame is re-injected into the local VM's loopback delivery after a
+// seeded delay, scheduled on the VM's backend so that under -sim the whole
+// "network" runs on the virtual clock and replays byte-identically from the
+// seed.  Ordering stays per-lane FIFO — due times within a lane are forced
+// monotone, modelling a link that delays but never reorders one sender's
+// traffic — while different lanes reorder freely against each other, which
+// is exactly the schedule freedom a real multi-node mesh has and a
+// single-process run never exercises.
+//
+// Used with core.Options{Remote: ft, InterceptWire: true} on a VM hosting
+// every cluster: all cross-cluster traffic then pays simulated network
+// delay.  Bind must be called with the VM before tasks run.
+type FaultTransport struct {
+	profile FaultProfile
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	vm          *core.VM
+	be          backend.Backend
+	lanes       map[laneKey]time.Time
+	outstanding int
+	idleWaits   []backend.Gate
+	delivered   int64
+	faults      int64
+}
+
+// NewFaultTransport builds a fault transport with its own seeded PRNG.  The
+// same seed and the same VM schedule reproduce the same delays.
+func NewFaultTransport(seed int64, p FaultProfile) *FaultTransport {
+	return &FaultTransport{profile: p, rng: rand.New(rand.NewSource(seed)), lanes: make(map[laneKey]time.Time)}
+}
+
+// Bind attaches the transport to the VM it delays traffic for.
+func (ft *FaultTransport) Bind(vm *core.VM) {
+	ft.mu.Lock()
+	ft.vm = vm
+	ft.be = vm.Backend()
+	ft.mu.Unlock()
+}
+
+// Stats reports how many frames were delivered and how many paid a
+// retransmission fault.
+func (ft *FaultTransport) Stats() (delivered, faults int64) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return ft.delivered, ft.faults
+}
+
+// schedule computes the frame's due time on its lane and arranges fn to run
+// then.  Callers hold no locks.
+func (ft *FaultTransport) schedule(key laneKey, fn func()) error {
+	ft.mu.Lock()
+	if ft.vm == nil {
+		ft.mu.Unlock()
+		return fmt.Errorf("node: fault transport used before Bind")
+	}
+	delay := ft.profile.Base
+	if ft.profile.Jitter > 0 {
+		delay += time.Duration(ft.rng.Int63n(int64(ft.profile.Jitter)))
+	}
+	if ft.profile.DropRate > 0 && ft.rng.Float64() < ft.profile.DropRate {
+		delay += ft.profile.Retransmit
+		ft.faults++
+	}
+	now := ft.be.Now()
+	due := now.Add(delay)
+	// Per-lane FIFO: a frame never fires before its predecessor on the same
+	// lane.  The extra nanosecond keeps due times strictly monotone so timer
+	// ties cannot reorder a lane even in principle.
+	if last, ok := ft.lanes[key]; ok && !due.After(last) {
+		due = last.Add(time.Nanosecond)
+	}
+	ft.lanes[key] = due
+	ft.outstanding++
+	be := ft.be
+	ft.mu.Unlock()
+
+	be.AfterFunc(due.Sub(now), func() {
+		fn()
+		ft.mu.Lock()
+		ft.outstanding--
+		ft.delivered++
+		var wake []backend.Gate
+		if ft.outstanding == 0 {
+			wake, ft.idleWaits = ft.idleWaits, nil
+		}
+		ft.mu.Unlock()
+		for _, g := range wake {
+			g.Open()
+		}
+	})
+	return nil
+}
+
+// Send delays the frame on its lane and re-injects it through the VM's
+// loopback delivery.
+func (ft *FaultTransport) Send(f *core.WireFrame) error {
+	// The caller recovers the payload's shard bytes when Send returns: the
+	// delayed frame needs its own copy.
+	g := *f
+	g.Payload = append([]byte(nil), f.Payload...)
+	vm := ft.vm
+	return ft.schedule(laneKey{src: f.Src, dst: f.Dst}, func() {
+		_ = vm.Loopback().Send(&g)
+	})
+}
+
+// SendReply delays an initiate reply on the destination's reply lane.
+func (ft *FaultTransport) SendReply(dst int, replyID uint64, id core.TaskID) error {
+	vm := ft.vm
+	return ft.schedule(laneKey{dst: dst, reply: true}, func() {
+		vm.DeliverWireReply(replyID, id)
+	})
+}
+
+// Flush blocks until every frame accepted before the call has been
+// delivered.  Under -sim the wait pumps the scheduler, so the virtual clock
+// advances to the pending due times and the delay line empties
+// deterministically.
+func (ft *FaultTransport) Flush() {
+	ft.mu.Lock()
+	if ft.outstanding == 0 || ft.be == nil {
+		ft.mu.Unlock()
+		return
+	}
+	g := ft.be.NewGate()
+	ft.idleWaits = append(ft.idleWaits, g)
+	ft.mu.Unlock()
+	g.Wait()
+}
+
+// Close drains the delay line.
+func (ft *FaultTransport) Close() error {
+	ft.Flush()
+	return nil
+}

@@ -1,0 +1,573 @@
+package node
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/msgcodec"
+	"repro/internal/pfi"
+)
+
+// Options configure one node process.
+type Options struct {
+	// NodeID is this node's index into Addrs.
+	NodeID int
+	// Addrs lists every node's listen address, in node-id order; the mesh
+	// size is len(Addrs).
+	Addrs []string
+	// Listener optionally provides the already-bound listener for this node
+	// (tests bind on port 0 first and pass the result to avoid races); when
+	// nil, Start listens on Addrs[NodeID].
+	Listener net.Listener
+	// Config is the full machine configuration, identical on every node.
+	Config *config.Configuration
+	// Source is the Pisces Fortran program, identical on every node; it is
+	// compiled and its tasktypes registered so routed INITIATE requests find
+	// them here.  Optional when Register supplies Go tasktypes instead.
+	Source string
+	// Main overrides the entry tasktype (node 0 only).
+	Main string
+	// Register, when non-nil, registers extra Go tasktypes on the VM
+	// (benchmarks, tests).  It must be identical on every node.
+	Register func(*core.VM)
+	// Out receives user-terminal output.  Only node 0 hosts the user
+	// controller, so follower nodes write nothing here in normal operation
+	// (run-time diagnostics excepted).
+	Out io.Writer
+	// Log receives node-runtime diagnostics (connection events, drain
+	// warnings); nil discards them.
+	Log io.Writer
+	// AcceptTimeout is the VM's system ACCEPT timeout.
+	AcceptTimeout time.Duration
+	// ConnectTimeout bounds mesh establishment; zero means 10 seconds.
+	ConnectTimeout time.Duration
+}
+
+// Node is one running node process: a partial VM plus the TCP mesh.
+type Node struct {
+	opts Options
+	topo Topology
+	fp   [32]byte
+
+	tr   *transport
+	vm   *core.VM
+	prog *pfi.Program
+	ln   net.Listener
+
+	readers sync.WaitGroup
+	acks    chan drainAck
+
+	inMu    sync.Mutex
+	inConns []net.Conn
+
+	shutdownOnce sync.Once
+	shutdownCh   chan struct{}
+	closeOnce    sync.Once
+	closeErr     error
+}
+
+// Start establishes the mesh (listen, dial every peer, verify the handshake
+// fingerprint both ways), boots the partial VM, registers the program's
+// tasktypes, and begins pumping inbound frames.  It returns once the node is
+// fully operational; on node 0 the caller then drives RunMain and Close,
+// followers call ServeUntilShutdown.
+func Start(opts Options) (*Node, error) {
+	if opts.Log == nil {
+		opts.Log = io.Discard
+	}
+	if opts.Out == nil {
+		opts.Out = io.Discard
+	}
+	if opts.ConnectTimeout <= 0 {
+		opts.ConnectTimeout = 10 * time.Second
+	}
+	if opts.NodeID < 0 || opts.NodeID >= len(opts.Addrs) {
+		return nil, fmt.Errorf("node: id %d outside the %d-address mesh", opts.NodeID, len(opts.Addrs))
+	}
+	topo, err := Partition(opts.Config.ClusterNumbers(), len(opts.Addrs))
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		opts:       opts,
+		topo:       topo,
+		fp:         Fingerprint(opts.Config, topo, opts.Source),
+		tr:         newTransport(opts.NodeID, topo),
+		acks:       make(chan drainAck, 4*len(opts.Addrs)),
+		shutdownCh: make(chan struct{}),
+	}
+
+	ln := opts.Listener
+	if ln == nil {
+		ln, err = net.Listen("tcp", opts.Addrs[opts.NodeID])
+		if err != nil {
+			return nil, fmt.Errorf("node %d: listen: %w", opts.NodeID, err)
+		}
+	}
+	n.ln = ln
+
+	inbound, err := n.connectMesh()
+	if err != nil {
+		_ = ln.Close()
+		_ = n.tr.Close()
+		return nil, err
+	}
+
+	vm, err := core.NewVM(opts.Config, core.Options{
+		UserOutput:    opts.Out,
+		Hosted:        topo.Clusters(opts.NodeID),
+		Remote:        n.tr,
+		AcceptTimeout: opts.AcceptTimeout,
+	})
+	if err != nil {
+		_ = ln.Close()
+		_ = n.tr.Close()
+		return nil, err
+	}
+	n.vm = vm
+	n.tr.bind(vm)
+
+	if opts.Source != "" {
+		prog, err := pfi.Compile(opts.Source)
+		if err != nil {
+			vm.Shutdown()
+			_ = ln.Close()
+			_ = n.tr.Close()
+			return nil, err
+		}
+		n.prog = prog
+		prog.Register(vm)
+	}
+	if opts.Register != nil {
+		opts.Register(vm)
+	}
+
+	for from, conn := range inbound {
+		n.inMu.Lock()
+		n.inConns = append(n.inConns, conn)
+		n.inMu.Unlock()
+		n.readers.Add(1)
+		go n.readLoop(from, conn)
+	}
+	fmt.Fprintf(opts.Log, "node %d up: hosting clusters %v of [%s]\n", opts.NodeID, topo.Clusters(opts.NodeID), topo)
+	return n, nil
+}
+
+// connectMesh dials every peer and accepts every peer's dial, handshaking
+// both directions.  The dialed connection carries this node's outbound
+// frames; the accepted one carries the peer's.
+func (n *Node) connectMesh() (map[int]net.Conn, error) {
+	me, addrs := n.opts.NodeID, n.opts.Addrs
+	want := len(addrs) - 1
+	deadline := time.Now().Add(n.opts.ConnectTimeout)
+
+	type accepted struct {
+		from int
+		conn net.Conn
+		err  error
+	}
+	acceptCh := make(chan accepted, 4*want+16)
+	stopAccept := make(chan struct{})
+	defer close(stopAccept)
+	// Accept until the mesh is complete, not a fixed count: a stray
+	// connection (a port scanner, a health probe) or a failed handshake must
+	// not use up a peer's only chance to join.  Each handshake runs in its
+	// own goroutine so one stalled dialer cannot block the others.
+	go func() {
+		for {
+			conn, err := n.ln.Accept()
+			if err != nil {
+				return // listener closed (mesh complete or Start failed)
+			}
+			select {
+			case <-stopAccept:
+				_ = conn.Close()
+				return
+			default:
+			}
+			go func(conn net.Conn) {
+				from, err := n.handshakeAccept(conn, deadline)
+				if err != nil {
+					_ = conn.Close()
+				}
+				select {
+				case acceptCh <- accepted{from: from, conn: conn, err: err}:
+				default:
+					_ = conn.Close() // collector gone or flooded; drop
+				}
+			}(conn)
+		}
+	}()
+
+	var dialErr error
+	for id := 0; id < len(addrs); id++ {
+		if id == me {
+			continue
+		}
+		conn, err := n.dialPeer(id, deadline)
+		if err != nil {
+			dialErr = err
+			break
+		}
+		n.tr.addPeer(id, conn)
+	}
+	if dialErr != nil {
+		return nil, dialErr
+	}
+
+	inbound := make(map[int]net.Conn, want)
+	for len(inbound) < want {
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return nil, fmt.Errorf("node %d: timed out waiting for %d inbound peers", me, want-len(inbound))
+		}
+		select {
+		case a := <-acceptCh:
+			if a.err != nil {
+				fmt.Fprintf(n.opts.Log, "node %d: inbound handshake failed: %v\n", me, a.err)
+				continue
+			}
+			if _, dup := inbound[a.from]; dup {
+				_ = a.conn.Close()
+				continue
+			}
+			inbound[a.from] = a.conn
+		case <-time.After(wait):
+		}
+	}
+	return inbound, nil
+}
+
+// dialPeer connects to one peer with retries (peers boot concurrently) and
+// completes the outbound handshake.
+func (n *Node) dialPeer(id int, deadline time.Time) (net.Conn, error) {
+	var lastErr error
+	for time.Now().Before(deadline) {
+		conn, err := net.DialTimeout("tcp", n.opts.Addrs[id], time.Until(deadline))
+		if err != nil {
+			lastErr = err
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		// Frames are small and latency-sensitive (a ping-pong style program
+		// sends one frame per hop); Nagle coalescing would serialise the
+		// whole message path on the ACK clock.
+		if tc, ok := conn.(*net.TCPConn); ok {
+			_ = tc.SetNoDelay(true)
+		}
+		if err := n.handshakeDial(conn, id, deadline); err != nil {
+			_ = conn.Close()
+			return nil, err
+		}
+		return conn, nil
+	}
+	return nil, fmt.Errorf("node %d: dialing node %d: %w", n.opts.NodeID, id, lastErr)
+}
+
+// handshakeDial sends our hello and validates the peer's answer.
+func (n *Node) handshakeDial(conn net.Conn, peerID int, deadline time.Time) error {
+	_ = conn.SetDeadline(deadline)
+	defer conn.SetDeadline(time.Time{})
+	if err := msgcodec.WriteFrame(conn, encodeHello(hello{version: protoVersion, nodeID: n.opts.NodeID, fingerprint: n.fp, topo: n.topo}), 0); err != nil {
+		return err
+	}
+	h, err := readHello(conn)
+	if err != nil {
+		return err
+	}
+	if h.nodeID != peerID {
+		return fmt.Errorf("node %d: dialed node %d but %d answered", n.opts.NodeID, peerID, h.nodeID)
+	}
+	return n.validateHello(h)
+}
+
+// handshakeAccept validates an inbound hello and answers with ours.
+func (n *Node) handshakeAccept(conn net.Conn, deadline time.Time) (int, error) {
+	_ = conn.SetDeadline(deadline)
+	defer conn.SetDeadline(time.Time{})
+	h, err := readHello(conn)
+	if err != nil {
+		return 0, err
+	}
+	if err := n.validateHello(h); err != nil {
+		return 0, err
+	}
+	if err := msgcodec.WriteFrame(conn, encodeHello(hello{version: protoVersion, nodeID: n.opts.NodeID, fingerprint: n.fp, topo: n.topo}), 0); err != nil {
+		return 0, err
+	}
+	return h.nodeID, nil
+}
+
+func readHello(conn net.Conn) (hello, error) {
+	payload, err := msgcodec.ReadFrame(conn, nil, 0)
+	if err != nil {
+		return hello{}, err
+	}
+	if len(payload) == 0 || payload[0] != fHello {
+		return hello{}, fmt.Errorf("node: handshake: expected hello frame")
+	}
+	return decodeHello(payload[1:])
+}
+
+func (n *Node) validateHello(h hello) error {
+	switch {
+	case h.version != protoVersion:
+		return fmt.Errorf("node: protocol version %d, want %d", h.version, protoVersion)
+	case h.nodeID < 0 || h.nodeID >= len(n.opts.Addrs) || h.nodeID == n.opts.NodeID:
+		return fmt.Errorf("node: peer claims node id %d", h.nodeID)
+	case h.fingerprint != n.fp:
+		return fmt.Errorf("node: fingerprint mismatch: the peer runs a different configuration, topology, or program")
+	case !h.topo.Equal(n.topo):
+		return fmt.Errorf("node: topology mismatch: %s vs %s", h.topo, n.topo)
+	}
+	return nil
+}
+
+// VM returns the node's (partial) virtual machine.
+func (n *Node) VM() *core.VM { return n.vm }
+
+// Program returns the compiled Pisces Fortran program, nil when the node was
+// started with Go tasktypes only.
+func (n *Node) Program() *pfi.Program { return n.prog }
+
+// Topology returns the cluster-to-node assignment.
+func (n *Node) Topology() Topology { return n.topo }
+
+// TransportCounts reports the wire frames this node sent and received
+// (messages, broadcasts, and initiate replies; control frames excluded).
+func (n *Node) TransportCounts() (sent, recv uint64) { return n.tr.counts() }
+
+// Addr returns the listener's actual address (tests bind port 0).
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// readLoop pumps one peer's frames into the VM.  A connection error from the
+// coordinator is treated as shutdown: a follower must not outlive node 0.
+func (n *Node) readLoop(from int, conn net.Conn) {
+	defer n.readers.Done()
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	var buf []byte
+	for {
+		payload, err := msgcodec.ReadFrame(br, buf, 0)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !n.shuttingDown() {
+				fmt.Fprintf(n.opts.Log, "node %d: reading from node %d: %v\n", n.opts.NodeID, from, err)
+			}
+			if from == 0 && n.opts.NodeID != 0 {
+				n.signalShutdown()
+			}
+			return
+		}
+		buf = payload
+		if len(payload) == 0 {
+			continue
+		}
+		kind, body := payload[0], payload[1:]
+		switch kind {
+		case fMsg, fBcast:
+			f, err := decodeWireFrame(kind, body)
+			if err != nil {
+				fmt.Fprintf(n.opts.Log, "node %d: bad frame from node %d: %v\n", n.opts.NodeID, from, err)
+				continue
+			}
+			n.tr.recv.Add(1)
+			_ = n.vm.DeliverWire(f)
+		case fInitReply:
+			replyID, id, err := decodeInitReply(body)
+			if err != nil {
+				fmt.Fprintf(n.opts.Log, "node %d: bad initiate reply from node %d: %v\n", n.opts.NodeID, from, err)
+				continue
+			}
+			n.tr.recv.Add(1)
+			n.vm.DeliverWireReply(replyID, id)
+		case fDrain:
+			epoch, err := decodeDrain(body)
+			if err != nil {
+				continue
+			}
+			n.answerDrain(epoch)
+		case fDrainAck:
+			ack, err := decodeDrainAck(body)
+			if err != nil {
+				continue
+			}
+			select {
+			case n.acks <- ack:
+			default: // a stale round's ack nobody is collecting
+			}
+		case fShutdown:
+			n.signalShutdown()
+			return
+		default:
+			fmt.Fprintf(n.opts.Log, "node %d: unknown frame type 0x%02x from node %d\n", n.opts.NodeID, kind, from)
+		}
+	}
+}
+
+func (n *Node) signalShutdown() {
+	n.shutdownOnce.Do(func() { close(n.shutdownCh) })
+}
+
+func (n *Node) shuttingDown() bool {
+	select {
+	case <-n.shutdownCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// idleWithin reports whether every locally hosted user task terminated
+// within d.
+func (n *Node) idleWithin(d time.Duration) bool {
+	done := make(chan struct{})
+	go func() {
+		n.vm.WaitIdle()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(d):
+		return false
+	}
+}
+
+// answerDrain reports this node's quiescence for one drain round: whether
+// local user tasks are idle, and the frame totals whose global balance tells
+// the coordinator nothing is in flight.  Handled inline on the coordinator's
+// read loop — node 0 sends nothing but control frames after its program
+// finished, so blocking here cannot starve a message the idle wait depends
+// on.
+func (n *Node) answerDrain(epoch uint32) {
+	idle := n.idleWithin(2 * time.Second)
+	sent, recv := n.tr.counts()
+	p, err := n.tr.peerFor(0)
+	if err != nil {
+		return
+	}
+	_ = p.writeFrame(encodeDrainAck(drainAck{from: n.opts.NodeID, epoch: epoch, sent: sent, recv: recv, idle: idle}))
+}
+
+// RunMain runs the program's entry tasktype on this node (the coordinator)
+// and waits for the locally observable part of the run to finish: the main
+// task, every local task, and the user-output flush.  Remotely hosted tasks
+// are drained by Close.
+func (n *Node) RunMain(args ...core.Value) error {
+	if n.prog == nil {
+		return fmt.Errorf("node %d: no program source was provided", n.opts.NodeID)
+	}
+	return n.prog.Run(n.vm, pfi.Options{Main: n.opts.Main}, args...)
+}
+
+// ServeUntilShutdown blocks until the coordinator orders shutdown (or its
+// connection drops), then tears the local VM down.  Follower nodes call it
+// after Start.
+func (n *Node) ServeUntilShutdown() error {
+	if n.opts.NodeID == 0 {
+		return fmt.Errorf("node 0 coordinates: call RunMain and Close instead")
+	}
+	<-n.shutdownCh
+	return n.Close()
+}
+
+// drainQuiesce is the coordinated shutdown drain: the coordinator repeats
+// drain rounds until every node reports idle user tasks AND the global frame
+// counts balance AND those counts were already seen one round earlier — so
+// no frame was in flight between the two observations.  It returns an error
+// when the mesh does not quiesce within the timeout (shutdown proceeds
+// anyway; undelivered traffic at that point is a program that never
+// terminates, which a single-process run would also hang on).
+func (n *Node) drainQuiesce(timeout time.Duration) error {
+	if len(n.opts.Addrs) == 1 {
+		return nil
+	}
+	peers := len(n.opts.Addrs) - 1
+	deadline := time.Now().Add(timeout)
+	var prevSent, prevRecv uint64
+	havePrev := false
+	for epoch := uint32(1); time.Now().Before(deadline); epoch++ {
+		for id := range n.opts.Addrs {
+			if id == n.opts.NodeID {
+				continue
+			}
+			if p, err := n.tr.peerFor(id); err == nil {
+				_ = p.writeFrame(encodeDrain(epoch))
+			}
+		}
+		got := make(map[int]drainAck, peers)
+		roundDeadline := time.Now().Add(5 * time.Second)
+		for len(got) < peers && time.Now().Before(roundDeadline) && time.Now().Before(deadline) {
+			select {
+			case a := <-n.acks:
+				if a.epoch == epoch {
+					got[a.from] = a
+				}
+			case <-time.After(100 * time.Millisecond):
+			}
+		}
+		if len(got) < peers {
+			continue
+		}
+		selfIdle := n.idleWithin(2 * time.Second)
+		sent, recv := n.tr.counts()
+		allIdle := selfIdle
+		for _, a := range got {
+			sent += a.sent
+			recv += a.recv
+			allIdle = allIdle && a.idle
+		}
+		if allIdle && sent == recv {
+			if havePrev && sent == prevSent && recv == prevRecv {
+				return nil
+			}
+			prevSent, prevRecv, havePrev = sent, recv, true
+		} else {
+			havePrev = false
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("node %d: mesh did not quiesce within %s", n.opts.NodeID, timeout)
+}
+
+// Close shuts the node down.  On the coordinator it first drains the mesh to
+// quiescence and orders every follower to shut down; on any node it then
+// stops the VM, the listener, and the connections.
+func (n *Node) Close() error {
+	n.closeOnce.Do(func() {
+		if n.opts.NodeID == 0 && len(n.opts.Addrs) > 1 {
+			if err := n.drainQuiesce(30 * time.Second); err != nil {
+				fmt.Fprintf(n.opts.Log, "pisces: %v (shutting down anyway)\n", err)
+				n.closeErr = err
+			}
+			for id := range n.opts.Addrs {
+				if id == n.opts.NodeID {
+					continue
+				}
+				if p, err := n.tr.peerFor(id); err == nil {
+					_ = p.writeFrame([]byte{fShutdown})
+				}
+			}
+		}
+		n.signalShutdown()
+		n.vm.Shutdown()
+		_ = n.ln.Close()
+		_ = n.tr.Close()
+		// Close the inbound connections too: the readers must exit even if a
+		// peer never tears its outbound side down.
+		n.inMu.Lock()
+		for _, c := range n.inConns {
+			_ = c.Close()
+		}
+		n.inMu.Unlock()
+		n.readers.Wait()
+	})
+	return n.closeErr
+}

@@ -1,0 +1,275 @@
+package node
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Node wire protocol: every TCP frame is a length-prefixed payload
+// (msgcodec.WriteFrame/ReadFrame) whose first byte selects one of the frame
+// types below.  Message bodies are the same msgcodec argument encoding the
+// in-process routers move between heap shards; the surrounding fields are
+// the run-time header that travels alongside the packets.
+//
+// Integers are big-endian; strings carry a u16 length.  The protocol is
+// deliberately positional and versioned through the handshake fingerprint:
+// two nodes built from different sources refuse each other at fHello.
+
+const protoVersion = 1
+
+// Frame type bytes.
+const (
+	fHello     = 0x01 // handshake: version, node id, fingerprint, topology
+	fMsg       = 0x02 // routed message (core.FrameMessage)
+	fBcast     = 0x03 // broadcast fan-out (core.FrameBroadcast)
+	fInitReply = 0x04 // reply to a routed initiate request
+	fDrain     = 0x05 // coordinator -> follower: report quiescence
+	fDrainAck  = 0x06 // follower -> coordinator: idle flag + frame counts
+	fShutdown  = 0x07 // coordinator -> follower: shut the VM down and exit
+)
+
+var errProto = fmt.Errorf("node: malformed protocol frame")
+
+func appendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+
+func appendString(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func appendTaskID(b []byte, t core.TaskID) []byte {
+	b = appendU32(b, uint32(int32(t.Cluster)))
+	b = appendU32(b, uint32(int32(t.Slot)))
+	return appendU32(b, uint32(int32(t.Unique)))
+}
+
+func takeU32(b []byte) (uint32, []byte, error) {
+	if len(b) < 4 {
+		return 0, nil, errProto
+	}
+	return binary.BigEndian.Uint32(b), b[4:], nil
+}
+
+func takeU64(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, errProto
+	}
+	return binary.BigEndian.Uint64(b), b[8:], nil
+}
+
+func takeString(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, errProto
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n {
+		return "", nil, errProto
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+func takeTaskID(b []byte) (core.TaskID, []byte, error) {
+	var t core.TaskID
+	var v uint32
+	var err error
+	if v, b, err = takeU32(b); err != nil {
+		return t, nil, err
+	}
+	t.Cluster = int(int32(v))
+	if v, b, err = takeU32(b); err != nil {
+		return t, nil, err
+	}
+	t.Slot = int(int32(v))
+	if v, b, err = takeU32(b); err != nil {
+		return t, nil, err
+	}
+	t.Unique = int(int32(v))
+	return t, b, nil
+}
+
+// hello is the handshake payload.
+type hello struct {
+	version     int
+	nodeID      int
+	fingerprint [32]byte
+	topo        Topology
+}
+
+func encodeHello(h hello) []byte {
+	b := []byte{fHello}
+	b = appendU32(b, uint32(h.version))
+	b = appendU32(b, uint32(h.nodeID))
+	b = append(b, h.fingerprint[:]...)
+	return h.topo.appendTo(b)
+}
+
+func decodeHello(b []byte) (hello, error) {
+	var h hello
+	var v uint32
+	var err error
+	if v, b, err = takeU32(b); err != nil {
+		return h, err
+	}
+	h.version = int(v)
+	if v, b, err = takeU32(b); err != nil {
+		return h, err
+	}
+	h.nodeID = int(v)
+	if len(b) < len(h.fingerprint) {
+		return h, errProto
+	}
+	copy(h.fingerprint[:], b)
+	b = b[len(h.fingerprint):]
+	if h.topo, b, err = decodeTopology(b); err != nil {
+		return h, err
+	}
+	if len(b) != 0 {
+		return h, errProto
+	}
+	return h, nil
+}
+
+// encodeWireFrame serialises a core frame (fMsg or fBcast) into buf.
+func encodeWireFrame(buf []byte, f *core.WireFrame) []byte {
+	switch f.Kind {
+	case core.FrameBroadcast:
+		buf = append(buf, fBcast)
+		buf = appendU32(buf, uint32(f.Src))
+		buf = appendU32(buf, uint32(f.Dst))
+		buf = appendTaskID(buf, f.Sender)
+		buf = appendU64(buf, f.Seq)
+	default:
+		buf = append(buf, fMsg)
+		buf = appendU32(buf, uint32(f.Src))
+		buf = appendU32(buf, uint32(f.Dst))
+		buf = appendTaskID(buf, f.Dest)
+		buf = appendTaskID(buf, f.Sender)
+		buf = appendU64(buf, f.Seq)
+		buf = appendU64(buf, f.ReplyID)
+	}
+	buf = appendString(buf, f.Type)
+	return append(buf, f.Payload...)
+}
+
+// decodeWireFrame reverses encodeWireFrame for the given frame type byte.
+// The returned frame's Payload aliases b.
+func decodeWireFrame(kind byte, b []byte) (*core.WireFrame, error) {
+	f := &core.WireFrame{}
+	var v uint32
+	var err error
+	if v, b, err = takeU32(b); err != nil {
+		return nil, err
+	}
+	f.Src = int(v)
+	if v, b, err = takeU32(b); err != nil {
+		return nil, err
+	}
+	f.Dst = int(v)
+	switch kind {
+	case fBcast:
+		f.Kind = core.FrameBroadcast
+	case fMsg:
+		f.Kind = core.FrameMessage
+		if f.Dest, b, err = takeTaskID(b); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, errProto
+	}
+	if f.Sender, b, err = takeTaskID(b); err != nil {
+		return nil, err
+	}
+	if f.Seq, b, err = takeU64(b); err != nil {
+		return nil, err
+	}
+	if kind == fMsg {
+		if f.ReplyID, b, err = takeU64(b); err != nil {
+			return nil, err
+		}
+	}
+	if f.Type, b, err = takeString(b); err != nil {
+		return nil, err
+	}
+	f.Payload = b
+	return f, nil
+}
+
+func encodeInitReply(buf []byte, replyID uint64, id core.TaskID) []byte {
+	buf = append(buf, fInitReply)
+	buf = appendU64(buf, replyID)
+	return appendTaskID(buf, id)
+}
+
+func decodeInitReply(b []byte) (uint64, core.TaskID, error) {
+	replyID, b, err := takeU64(b)
+	if err != nil {
+		return 0, core.NilTask, err
+	}
+	id, b, err := takeTaskID(b)
+	if err != nil {
+		return 0, core.NilTask, err
+	}
+	if len(b) != 0 {
+		return 0, core.NilTask, errProto
+	}
+	return replyID, id, nil
+}
+
+// drainAck is a follower's answer to one drain round.
+type drainAck struct {
+	from  int
+	epoch uint32
+	sent  uint64
+	recv  uint64
+	idle  bool
+}
+
+func encodeDrain(epoch uint32) []byte { return appendU32([]byte{fDrain}, epoch) }
+
+func decodeDrain(b []byte) (uint32, error) {
+	epoch, b, err := takeU32(b)
+	if err != nil || len(b) != 0 {
+		return 0, errProto
+	}
+	return epoch, nil
+}
+
+func encodeDrainAck(a drainAck) []byte {
+	b := []byte{fDrainAck}
+	b = appendU32(b, uint32(a.from))
+	b = appendU32(b, a.epoch)
+	b = appendU64(b, a.sent)
+	b = appendU64(b, a.recv)
+	if a.idle {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func decodeDrainAck(b []byte) (drainAck, error) {
+	var a drainAck
+	var v uint32
+	var err error
+	if v, b, err = takeU32(b); err != nil {
+		return a, err
+	}
+	a.from = int(v)
+	if a.epoch, b, err = takeU32(b); err != nil {
+		return a, err
+	}
+	if a.sent, b, err = takeU64(b); err != nil {
+		return a, err
+	}
+	if a.recv, b, err = takeU64(b); err != nil {
+		return a, err
+	}
+	if len(b) != 1 {
+		return a, errProto
+	}
+	a.idle = b[0] != 0
+	return a, nil
+}

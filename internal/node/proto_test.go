@@ -1,0 +1,111 @@
+package node
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/msgcodec"
+)
+
+// TestWireFrameRoundTrip pins the frame layout: every header field and the
+// payload survive encode/decode for both frame kinds.
+func TestWireFrameRoundTrip(t *testing.T) {
+	payload, err := msgcodec.Encode([]msgcodec.Arg{msgcodec.Int(42), msgcodec.Str("hi")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := []*core.WireFrame{
+		{
+			Kind: core.FrameMessage, Src: 1, Dst: 2,
+			Dest:   core.TaskID{Cluster: 2, Slot: 3, Unique: 17},
+			Sender: core.TaskID{Cluster: 1, Slot: 1, Unique: 9},
+			Type:   "pisces.initiate", Seq: 7, ReplyID: 123,
+			Payload: payload,
+		},
+		{
+			Kind: core.FrameBroadcast, Src: 2, Dst: 0,
+			Sender: core.TaskID{Cluster: 2, Slot: 4, Unique: 5},
+			Type:   "ping", Seq: 99,
+			Payload: payload,
+		},
+	}
+	for _, f := range frames {
+		buf := encodeWireFrame(nil, f)
+		got, err := decodeWireFrame(buf[0], buf[1:])
+		if err != nil {
+			t.Fatalf("%v: decode: %v", f.Kind, err)
+		}
+		if got.Kind != f.Kind || got.Src != f.Src || got.Dst != f.Dst ||
+			got.Dest != f.Dest || got.Sender != f.Sender ||
+			got.Type != f.Type || got.Seq != f.Seq || got.ReplyID != f.ReplyID {
+			t.Fatalf("header mismatch:\ngot  %+v\nwant %+v", got, f)
+		}
+		if string(got.Payload) != string(f.Payload) {
+			t.Fatalf("payload mismatch")
+		}
+	}
+}
+
+// TestProtoRejectsTruncation: every decoder must fail cleanly (no panic, no
+// garbage) on every prefix of a valid frame — a peer can die mid-write.
+func TestProtoRejectsTruncation(t *testing.T) {
+	full := encodeWireFrame(nil, &core.WireFrame{
+		Kind: core.FrameMessage, Src: 1, Dst: 2,
+		Dest: core.TaskID{Cluster: 2}, Sender: core.TaskID{Cluster: 1},
+		Type: "t", Seq: 1, Payload: []byte{0, 0},
+	})
+	for n := 1; n < len(full)-2; n++ {
+		if _, err := decodeWireFrame(full[0], full[1:n]); err == nil {
+			t.Fatalf("truncated frame of %d bytes decoded", n)
+		}
+	}
+	h := encodeHello(hello{version: protoVersion, nodeID: 1, topo: mustPartition(t, []int{1, 2}, 2)})
+	for n := 1; n < len(h)-1; n++ {
+		if _, err := decodeHello(h[1:n]); err == nil {
+			t.Fatalf("truncated hello of %d bytes decoded", n)
+		}
+	}
+	if _, _, err := decodeInitReply(nil); err == nil {
+		t.Fatal("empty initiate reply decoded")
+	}
+	// A forged topology count must be rejected by comparing against the
+	// bytes actually present, BEFORE sizing any allocation: the handshake
+	// runs pre-authentication, so this is the same attack surface as an
+	// oversized frame length prefix.
+	forged := appendU32(appendU32(nil, 2), 0xFFFF_FFF0)
+	if _, _, err := decodeTopology(forged); err == nil {
+		t.Fatal("forged topology count decoded")
+	}
+	if _, err := decodeDrainAck([]byte{1, 2}); err == nil {
+		t.Fatal("truncated drain ack decoded")
+	}
+}
+
+func mustPartition(t *testing.T, clusters []int, nodes int) Topology {
+	t.Helper()
+	topo, err := Partition(clusters, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// TestFingerprintSensitivity: any of configuration, topology, or program
+// changing must change the handshake fingerprint.
+func TestFingerprintSensitivity(t *testing.T) {
+	cfgA := config.Simple(2, 4)
+	cfgB := config.Simple(2, 5)
+	topo2 := mustPartition(t, []int{1, 2}, 2)
+	topo1 := mustPartition(t, []int{1, 2}, 1)
+	base := Fingerprint(cfgA, topo2, "src")
+	if Fingerprint(cfgB, topo2, "src") == base {
+		t.Error("configuration change kept the fingerprint")
+	}
+	if Fingerprint(cfgA, topo1, "src") == base {
+		t.Error("topology change kept the fingerprint")
+	}
+	if Fingerprint(cfgA, topo2, "other") == base {
+		t.Error("program change kept the fingerprint")
+	}
+}

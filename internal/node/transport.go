@@ -1,0 +1,179 @@
+package node
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/msgcodec"
+)
+
+// peer is one outbound connection: this node's lane for frames toward one
+// other node.  Writes are serialised by mu and flushed per frame, so a
+// sending task's frame is on the wire (preserving its per-sender order)
+// before its Send returns — which is also what lets the sender's heap shard
+// recover the payload bytes immediately.
+type peer struct {
+	id   int
+	conn net.Conn
+	mu   sync.Mutex
+	bw   *bufio.Writer
+	err  error
+}
+
+// writeFrame serialises one protocol payload onto the peer's connection.
+func (p *peer) writeFrame(payload []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.err != nil {
+		return p.err
+	}
+	if err := msgcodec.WriteFrame(p.bw, payload, 0); err != nil {
+		p.err = err
+		return err
+	}
+	if err := p.bw.Flush(); err != nil {
+		p.err = err
+		return err
+	}
+	return nil
+}
+
+// transport is the TCP implementation of core.Transport: frames for a
+// cluster hosted elsewhere are serialised onto the owning node's peer
+// connection; inbound frames are pumped into the local VM by the per-peer
+// reader loops in node.go.
+type transport struct {
+	nodeID int
+	topo   Topology
+
+	mu    sync.Mutex
+	peers map[int]*peer // node id -> outbound connection
+
+	// sent and recv count wire frames (messages, broadcasts, initiate
+	// replies) for the shutdown drain's global quiescence check.
+	sent atomic.Uint64
+	recv atomic.Uint64
+
+	vm atomic.Pointer[core.VM] // bound after the VM is booted
+}
+
+func newTransport(nodeID int, topo Topology) *transport {
+	return &transport{nodeID: nodeID, topo: topo, peers: make(map[int]*peer)}
+}
+
+func (tr *transport) bind(vm *core.VM) { tr.vm.Store(vm) }
+
+func (tr *transport) addPeer(id int, conn net.Conn) {
+	tr.mu.Lock()
+	tr.peers[id] = &peer{id: id, conn: conn, bw: bufio.NewWriter(conn)}
+	tr.mu.Unlock()
+}
+
+func (tr *transport) peerFor(node int) (*peer, error) {
+	tr.mu.Lock()
+	p := tr.peers[node]
+	tr.mu.Unlock()
+	if p == nil {
+		return nil, fmt.Errorf("node %d: no connection to node %d", tr.nodeID, node)
+	}
+	return p, nil
+}
+
+// ownerOf maps a destination cluster to its hosting node.
+func (tr *transport) ownerOf(cluster int) (int, error) {
+	n, ok := tr.topo.NodeOf(cluster)
+	if !ok {
+		return 0, fmt.Errorf("node %d: cluster %d is not in the topology", tr.nodeID, cluster)
+	}
+	return n, nil
+}
+
+// Send implements core.Transport: one frame onto the owning peer's
+// connection — or, for a machine-wide broadcast, onto every peer's.
+func (tr *transport) Send(f *core.WireFrame) error {
+	buf := encodeWireFrame(make([]byte, 0, 64+len(f.Payload)), f)
+	if f.Kind == core.FrameBroadcast && f.Dst == 0 {
+		var firstErr error
+		tr.mu.Lock()
+		ids := make([]*peer, 0, len(tr.peers))
+		for _, p := range tr.peers {
+			ids = append(ids, p)
+		}
+		tr.mu.Unlock()
+		for _, p := range ids {
+			if err := p.writeFrame(buf); err != nil && firstErr == nil {
+				firstErr = err
+			} else if err == nil {
+				tr.sent.Add(1)
+			}
+		}
+		return firstErr
+	}
+	owner, err := tr.ownerOf(f.Dst)
+	if err != nil {
+		return err
+	}
+	if owner == tr.nodeID {
+		// The core only routes remotely for non-hosted clusters, so this is
+		// a topology/hosting disagreement worth failing loudly on.
+		return fmt.Errorf("node %d: frame for cluster %d routed remotely but hosted here", tr.nodeID, f.Dst)
+	}
+	p, err := tr.peerFor(owner)
+	if err != nil {
+		return err
+	}
+	if err := p.writeFrame(buf); err != nil {
+		return err
+	}
+	tr.sent.Add(1)
+	return nil
+}
+
+// SendReply carries a routed-initiate reply back to the node hosting the
+// requesting cluster.
+func (tr *transport) SendReply(dst int, replyID uint64, id core.TaskID) error {
+	owner, err := tr.ownerOf(dst)
+	if err != nil {
+		return err
+	}
+	if owner == tr.nodeID {
+		if vm := tr.vm.Load(); vm != nil {
+			vm.DeliverWireReply(replyID, id)
+			return nil
+		}
+		return fmt.Errorf("node %d: reply for local cluster %d before the VM is bound", tr.nodeID, dst)
+	}
+	p, err := tr.peerFor(owner)
+	if err != nil {
+		return err
+	}
+	if err := p.writeFrame(encodeInitReply(make([]byte, 0, 32), replyID, id)); err != nil {
+		return err
+	}
+	tr.sent.Add(1)
+	return nil
+}
+
+// Flush is a no-op: writes are synchronous and flushed per frame, so every
+// frame accepted before the call is already on the wire.
+func (tr *transport) Flush() {}
+
+// Close tears the peer connections down.
+func (tr *transport) Close() error {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	var firstErr error
+	for _, p := range tr.peers {
+		if err := p.conn.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// counts returns the frames sent/received so far (drain protocol).
+func (tr *transport) counts() (sent, recv uint64) { return tr.sent.Load(), tr.recv.Load() }
