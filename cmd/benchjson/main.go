@@ -6,6 +6,13 @@
 //
 //	go run ./cmd/benchjson [-out BENCH_pr5.json] [-bench regex]
 //	       [-benchtime 100x] [-pkgs ./...,...] [-label pr5]
+//	       [-compare BASELINE.json] [-threshold 25]
+//
+// With -compare the fresh run is also diffed against a checked-in baseline
+// report: for every benchmark present in both, ns/op may not grow and
+// throughput metrics (any unit ending in "/s") may not shrink by more than
+// -threshold percent, or the command exits non-zero — the CI guard that a
+// change did not quietly slow the message hot path down.
 //
 // It shells out to `go test -run ^$ -bench <regex> -benchmem` for each
 // package pattern, parses the standard benchmark output lines
@@ -34,6 +41,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -59,6 +67,8 @@ func main() {
 	benchtime := flag.String("benchtime", "100x", "passed to go test -benchtime (fixed counts keep a hung benchmark from stalling CI)")
 	pkgs := flag.String("pkgs", "./...", "comma-separated package patterns to benchmark")
 	label := flag.String("label", "pr5", "label recorded in the report")
+	compare := flag.String("compare", "", "baseline report to diff against; exit non-zero on a regression beyond -threshold")
+	threshold := flag.Float64("threshold", 25, "maximum tolerated regression in percent for -compare")
 	flag.Parse()
 
 	rep := Report{Label: *label, Go: runtime.Version()}
@@ -89,6 +99,88 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchjson: wrote %d benchmark results to %s\n", len(rep.Benchmarks), *out)
+
+	if *compare != "" {
+		regressions, err := compareAgainst(*compare, rep, *threshold, os.Stdout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) beyond %.0f%% against %s\n", regressions, *threshold, *compare)
+			os.Exit(1)
+		}
+	}
+}
+
+// compareAgainst diffs the fresh report against a baseline file and reports
+// how many benchmarks regressed beyond the threshold.  ns/op counts as a
+// regression when it grows; metrics whose unit ends in "/s" (throughputs)
+// when they shrink.  Alloc metrics print for context but never fail the
+// comparison — they are asserted by dedicated tests, and a diff against a
+// baseline from a different Go version would misfire here.  Benchmarks only
+// present on one side are listed but tolerated, so adding a benchmark does
+// not break the gate.
+func compareAgainst(path string, fresh Report, thresholdPct float64, w *os.File) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	baseline := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
+	}
+	fmt.Fprintf(w, "benchjson: comparing against %s (label %q, threshold %.0f%%)\n", path, base.Label, thresholdPct)
+	regressions := 0
+	for _, b := range fresh.Benchmarks {
+		old, ok := baseline[b.Name]
+		if !ok {
+			fmt.Fprintf(w, "  %-30s new benchmark, no baseline\n", b.Name)
+			continue
+		}
+		delete(baseline, b.Name)
+		for _, unit := range sortedKeys(b.Metrics) {
+			nv := b.Metrics[unit]
+			ov, ok := old.Metrics[unit]
+			if !ok || ov == 0 {
+				continue
+			}
+			// Positive delta = worse: time grew or throughput shrank.
+			var deltaPct float64
+			switch {
+			case unit == "ns/op":
+				deltaPct = (nv - ov) / ov * 100
+			case strings.HasSuffix(unit, "/s"):
+				deltaPct = (ov - nv) / ov * 100
+			default:
+				fmt.Fprintf(w, "  %-30s %-14s %12.0f -> %-12.0f (informational)\n", b.Name, unit, ov, nv)
+				continue
+			}
+			verdict := "ok"
+			if deltaPct > thresholdPct {
+				verdict = "REGRESSION"
+				regressions++
+			}
+			fmt.Fprintf(w, "  %-30s %-14s %12.0f -> %-12.0f %+6.1f%% %s\n", b.Name, unit, ov, nv, deltaPct, verdict)
+		}
+	}
+	for _, name := range sortedKeys(baseline) {
+		fmt.Fprintf(w, "  %-30s present in baseline only\n", name)
+	}
+	return regressions, nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // runPackage benchmarks one package pattern and parses the output.

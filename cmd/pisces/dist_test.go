@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -71,6 +72,67 @@ func TestMultiProcessSmoke(t *testing.T) {
 				t.Fatalf("distributed output differs from single-process:\n--- single ---\n%s--- distributed ---\n%s", single, dist)
 			}
 		})
+	}
+}
+
+// TestMultiProcessObservability is the observability acceptance test for
+// distributed runs: "pisces run -nodes 2 -stats" prints ONE merged
+// cluster-wide metric view that includes the followers' piggybacked
+// snapshots (labelled per node with its hosted clusters, with both ends of
+// every wire lane), and -trace-out produces a valid Chrome trace with spans
+// from at least three layers: pfi task execution, router lane delivery, and
+// node transport.
+func TestMultiProcessObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and forks real node processes")
+	}
+	bin := buildPisces(t)
+	prog := filepath.Join("..", "..", "examples", "sumsq.pf")
+	traceFile := filepath.Join(t.TempDir(), "trace.json")
+	out := runBinary(t, bin, "run", "-nodes", "2", "-stats", "-trace-out", traceFile, prog)
+	for _, want := range []string{
+		"mesh runtime metrics: node 0 (clusters [1]), node 1 (clusters [2])",
+		"node.tx.n0->n1.frames", "node.rx.n1->n0.frames",
+		"node.tx.n1->n0.bytes", "node.frame.write.ns", "pfi.stmt.ns",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("distributed -stats output missing %q:\n%s", want, out)
+		}
+	}
+
+	data, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Args struct {
+				Name string `json:"name"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("-trace-out file is not valid JSON: %v", err)
+	}
+	layers := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "M" {
+			continue
+		}
+		switch lane := e.Args.Name; {
+		case strings.HasPrefix(lane, "pfi/"):
+			layers["pfi"] = true
+		case strings.HasPrefix(lane, "router/"):
+			layers["router"] = true
+		case strings.HasPrefix(lane, "node/"):
+			layers["node"] = true
+		}
+	}
+	for _, l := range []string{"pfi", "router", "node"} {
+		if !layers[l] {
+			t.Errorf("trace file has no spans from the %s layer (lanes: %v)", l, layers)
+		}
 	}
 }
 

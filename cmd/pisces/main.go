@@ -43,6 +43,7 @@ import (
 	pisces "repro"
 	"repro/internal/config"
 	"repro/internal/node"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -152,7 +153,9 @@ func runInterpretedInner(args []string, out io.Writer) error {
 	forces := fs.String("forces", "", "comma-separated secondary PEs for cluster 1 forces")
 	traceEvents := fs.String("trace", "", "comma-separated trace events to enable")
 	mainTT := fs.String("main", "", "entry tasktype (default MAIN, else the first tasktype)")
-	showStats := fs.Bool("stats", false, "print the interpreter activity counters after the run")
+	showStats := fs.Bool("stats", false, "print the interpreter activity counters and runtime metric histograms after the run")
+	traceOut := fs.String("trace-out", "",
+		"write runtime spans (task execution, router lane delivery, wire frames) to this file as Chrome trace-event JSON; open in Perfetto or chrome://tracing")
 	repeat := fs.Int("repeat", 1, "run the program this many times on the same VM (compiled once)")
 	simMode := fs.Bool("sim", false,
 		"run on the deterministic simulation scheduler: one task at a time, seeded interleaving, virtual clock")
@@ -195,7 +198,7 @@ func runInterpretedInner(args []string, out io.Writer) error {
 		case *traceEvents != "":
 			return fmt.Errorf("-nodes does not support -trace (trace events are per node)")
 		}
-		return runDistributed(*nodes, *clusters, *slots, *forces, *mainTT, *showStats, *acceptTimeout, fs.Arg(0), out)
+		return runDistributed(*nodes, *clusters, *slots, *forces, *mainTT, *showStats, *traceOut, *acceptTimeout, fs.Arg(0), out)
 	}
 	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
@@ -205,7 +208,17 @@ func runInterpretedInner(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	opts := pisces.Options{UserOutput: out, AcceptTimeout: *acceptTimeout}
+	// The observability registry travels through the VM to every layer of the
+	// message path; enabling is per-concern so -stats alone pays no span cost
+	// and -trace-out alone pays no histogram cost.
+	reg := obs.New()
+	if *showStats {
+		reg.Enable(obs.Metrics)
+	}
+	if *traceOut != "" {
+		reg.Enable(obs.Spans)
+	}
+	opts := pisces.Options{UserOutput: out, AcceptTimeout: *acceptTimeout, Metrics: reg}
 	if *simMode {
 		opts.Backend = pisces.NewSimScheduler(*seed)
 	} else if *seed != 0 && !*netfault {
@@ -245,8 +258,28 @@ func runInterpretedInner(args []string, out io.Writer) error {
 	}
 	if *showStats {
 		printRunStats(out, prog, vm)
+		printMetricsTables(out, reg.Snapshot(), "runtime metrics")
+	}
+	if *traceOut != "" {
+		if werr := writeTraceFile(*traceOut, reg); werr != nil && err == nil {
+			err = werr
+		}
 	}
 	return err
+}
+
+// writeTraceFile dumps the registry's captured spans as Chrome trace-event
+// JSON.
+func writeTraceFile(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteChromeTrace(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // syncWriter serialises concurrent writers (trace sinks, the user

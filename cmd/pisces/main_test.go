@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -154,6 +155,62 @@ func TestRunInterpretsExampleProgram(t *testing.T) {
 	}
 	if err := runInterpreted([]string{"-main", "NOSUCH", example}, &out); err == nil {
 		t.Error("unknown -main tasktype accepted")
+	}
+}
+
+// TestRunStatsHistogramsAndTraceOut covers the observability surfaces of
+// "pisces run": -stats grows runtime-metric histogram summaries, and
+// -trace-out writes a Chrome trace-event JSON file of the captured spans.
+func TestRunStatsHistogramsAndTraceOut(t *testing.T) {
+	example := filepath.Join("..", "..", "examples", "sumsq.pf")
+
+	var out strings.Builder
+	if err := runInterpreted([]string{"-sim", "-seed", "3", "-stats", example}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"runtime metrics", "distributions",
+		"core.heap.charge", "pfi.stmt.ns", "core.accept.wait.ns", "core.heap.msg.bytes",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("pisces run -stats output missing %q:\n%s", want, got)
+		}
+	}
+
+	traceFile := filepath.Join(t.TempDir(), "trace.json")
+	out.Reset()
+	if err := runInterpreted([]string{"-trace-out", traceFile, example}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+			Args struct {
+				Name string `json:"name"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("-trace-out file is not valid JSON: %v\n%s", err, data)
+	}
+	var complete int
+	var pfiLane bool
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			complete++
+		}
+		if e.Ph == "M" && strings.HasPrefix(e.Args.Name, "pfi/") {
+			pfiLane = true
+		}
+	}
+	if complete == 0 || !pfiLane {
+		t.Fatalf("trace file has %d complete events, pfi lane %v:\n%s", complete, pfiLane, data)
 	}
 }
 

@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -16,6 +18,7 @@ import (
 
 	pisces "repro"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/pfi"
 	"repro/internal/stats"
 )
@@ -39,7 +42,11 @@ func runServe(args []string, out io.Writer) error {
 	slots := fs.Int("slots", 4, "user-task slots per cluster")
 	forces := fs.String("forces", "", "comma-separated secondary PEs for cluster 1 forces")
 	mainTT := fs.String("main", "", "entry tasktype (node 0; default MAIN, else the first tasktype)")
-	showStats := fs.Bool("stats", false, "print interpreter and router-lane counters after the run (node 0)")
+	showStats := fs.Bool("stats", false, "print interpreter, router-lane, and runtime metric summaries after the run (node 0)")
+	collectMetrics := fs.Bool("metrics", false,
+		"collect runtime metrics even without printing them, so drain acks carry this node's snapshot to the coordinator")
+	debugAddr := fs.String("debug-addr", "",
+		"serve observability endpoints (/metrics Prometheus text, /debug/vars, /debug/pprof) on this address while the node runs")
 	acceptTimeout := fs.Duration("accept-timeout", 30*time.Second,
 		"system-provided timeout for ACCEPT statements without a DELAY clause")
 	connectTimeout := fs.Duration("connect-timeout", 30*time.Second, "how long to wait for the mesh to form")
@@ -67,11 +74,25 @@ func runServe(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	reg := obs.New()
+	if *showStats || *collectMetrics || *debugAddr != "" {
+		reg.Enable(obs.Metrics)
+	}
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("-debug-addr: %w", err)
+		}
+		defer dln.Close()
+		go func() { _ = http.Serve(dln, obs.DebugHandler(reg)) }()
+		fmt.Fprintf(os.Stderr, "node %d: debug endpoints on http://%s/\n", *nodeID, dln.Addr())
+	}
 	n, err := node.Start(node.Options{
 		NodeID: *nodeID, Addrs: addrs,
 		Config: cfg, Source: string(src), Main: *mainTT,
 		Out: out, Log: os.Stderr,
 		AcceptTimeout: *acceptTimeout, ConnectTimeout: *connectTimeout,
+		Metrics: reg,
 	})
 	if err != nil {
 		return err
@@ -80,12 +101,16 @@ func runServe(args []string, out io.Writer) error {
 		return n.ServeUntilShutdown()
 	}
 	runErr := n.RunMain()
+	// Close before printing: the shutdown drain is what ships the followers'
+	// metric snapshots to this node, so a summary printed earlier could only
+	// cover node 0.
+	if err := n.Close(); err != nil && runErr == nil {
+		runErr = err
+	}
 	if *showStats {
 		printRunStats(out, n.Program(), n.VM())
 		printTransportStats(out, n)
-	}
-	if err := n.Close(); err != nil && runErr == nil {
-		runErr = err
+		printMeshMetrics(out, n)
 	}
 	return runErr
 }
@@ -111,7 +136,7 @@ func splitAddrs(peers string) []string {
 
 // runDistributed implements "pisces run -nodes N": fork the follower node
 // processes, run node 0 inline, and reap the children.
-func runDistributed(nodes, clusters, slots int, forces, mainTT string, showStats bool, acceptTimeout time.Duration, file string, out io.Writer) error {
+func runDistributed(nodes, clusters, slots int, forces, mainTT string, showStats bool, traceOut string, acceptTimeout time.Duration, file string, out io.Writer) error {
 	src, err := os.ReadFile(file)
 	if err != nil {
 		return err
@@ -164,6 +189,11 @@ func runDistributed(nodes, clusters, slots int, forces, mainTT string, showStats
 		if forces != "" {
 			args = append(args, "-forces", forces)
 		}
+		if showStats {
+			// The followers collect metrics so their drain acks carry
+			// snapshots; the merged view prints on node 0 only.
+			args = append(args, "-metrics")
+		}
 		args = append(args, file)
 		cmd := exec.Command(exe, args...)
 		relay := &prefixWriter{w: os.Stderr, prefix: fmt.Sprintf("[node %d] ", i)}
@@ -177,23 +207,39 @@ func runDistributed(nodes, clusters, slots int, forces, mainTT string, showStats
 		children = append(children, cmd)
 	}
 
+	reg := obs.New()
+	if showStats {
+		reg.Enable(obs.Metrics)
+	}
+	if traceOut != "" {
+		reg.Enable(obs.Spans)
+	}
 	n, err := node.Start(node.Options{
 		NodeID: 0, Addrs: addrs, Listener: listeners[0],
 		Config: cfg, Source: string(src), Main: mainTT,
 		Out: out, Log: os.Stderr,
 		AcceptTimeout: acceptTimeout, ConnectTimeout: 30 * time.Second,
+		Metrics: reg,
 	})
 	if err != nil {
 		killChildren()
 		return err
 	}
 	runErr := n.RunMain()
+	// Close before printing: the shutdown drain ships the followers' metric
+	// snapshots, so printing earlier would miss them.
+	if err := n.Close(); err != nil && runErr == nil {
+		runErr = err
+	}
 	if showStats {
 		printRunStats(out, n.Program(), n.VM())
 		printTransportStats(out, n)
+		printMeshMetrics(out, n)
 	}
-	if err := n.Close(); err != nil && runErr == nil {
-		runErr = err
+	if traceOut != "" {
+		if err := writeTraceFile(traceOut, reg); err != nil && runErr == nil {
+			runErr = err
+		}
 	}
 
 	// The followers exit on the shutdown frame; anything still alive after a
@@ -222,12 +268,51 @@ func runDistributed(nodes, clusters, slots int, forces, mainTT string, showStats
 // printRunStats renders the interpreter activity counters and the router
 // lane observability (enqueue/inline/backlog-drain counts and current depth
 // per (source, destination) cluster lane) through stats.Counters, so the
-// pisces run summary shows where cross-cluster traffic flowed.
+// pisces run summary shows where cross-cluster traffic flowed.  The runtime
+// metric registry prints separately (printMetricsTables /
+// printMeshMetrics), because in distributed runs the per-node snapshot is
+// folded into one merged mesh view instead of printing on its own.
 func printRunStats(w io.Writer, prog *pfi.Program, vm *pisces.VM) {
 	if prog != nil {
 		fmt.Fprint(w, prog.StatsTable())
 	}
 	fmt.Fprint(w, routerStatsTable(vm))
+}
+
+// printMetricsTables renders one metric snapshot's counter and histogram
+// tables.
+func printMetricsTables(w io.Writer, snap *obs.Snapshot, title string) {
+	for _, t := range snap.Tables(title) {
+		fmt.Fprint(w, t.String())
+	}
+}
+
+// printMeshMetrics prints the cluster-wide metric view of a distributed run:
+// the coordinator's own snapshot merged with the latest snapshot each
+// follower piggybacked on its drain acks, labelled with every node's hosted
+// cluster set.  Must run after Close — the shutdown drain is what collects
+// the follower snapshots.  The per-peer wire lane counters (node.tx.*,
+// node.rx.*) come out directional, so the merged table shows both endpoints
+// of every lane without collisions.
+func printMeshMetrics(w io.Writer, n *node.Node) {
+	reg := n.Obs()
+	if !reg.Has(obs.Metrics) {
+		return
+	}
+	topo := n.Topology()
+	merged := reg.Snapshot()
+	labels := []string{fmt.Sprintf("node 0 (clusters %v)", topo.Clusters(0))}
+	snaps := n.FollowerSnapshots()
+	ids := make([]int, 0, len(snaps))
+	for id := range snaps {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		merged.Merge(snaps[id])
+		labels = append(labels, fmt.Sprintf("node %d (clusters %v)", id, topo.Clusters(id)))
+	}
+	printMetricsTables(w, merged, "mesh runtime metrics: "+strings.Join(labels, ", "))
 }
 
 // routerStatsTable renders vm.RouterStats as a stats.Counters table; empty

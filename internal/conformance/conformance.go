@@ -31,6 +31,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/pfi"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -82,6 +83,12 @@ type Result struct {
 	// Deadlock is non-nil when the schedule wedged (it is also wrapped in
 	// Err).
 	Deadlock *sim.Deadlock
+	// ObsSnapshot and ObsTrace are the encoded metric snapshot and the
+	// Chrome trace-event JSON of a RunInstrumented run (nil otherwise).
+	// Under the sim backend every timestamp in them comes from the virtual
+	// clock, so both must be byte-identical across runs of the same seed.
+	ObsSnapshot []byte
+	ObsTrace    []byte
 }
 
 // Run executes one Pisces Fortran program on a fresh VM under the sim
@@ -91,16 +98,26 @@ type Result struct {
 // VM of a deadlocked run is deliberately not shut down: its scheduler is
 // poisoned and its parked tasks can never be resumed, so teardown would only
 // re-raise the deadlock.  The handful of parked goroutines are abandoned.)
-func Run(src string, seed int64) Result { return run(src, seed, false) }
+func Run(src string, seed int64) Result { return run(src, seed, false, nil) }
+
+// RunInstrumented is Run with the full observability surface switched on:
+// metrics AND spans collected at every instrumented layer.  The sweep uses it
+// to assert instrumentation is transparent (program output and schedule
+// unchanged) and deterministic (snapshot and trace byte-stable per seed).
+func RunInstrumented(src string, seed int64) Result {
+	reg := obs.New()
+	reg.Enable(obs.Metrics | obs.Spans)
+	return run(src, seed, false, reg)
+}
 
 // RunFault is Run with the node runtime's deterministic fault/latency
 // transport intercepting every cross-cluster message: frames pay seeded
 // virtual-clock delays (including retransmission faults) before delivery, so
 // the sweep exercises network schedules a single process never produces —
 // while staying byte-reproducible from the seed.
-func RunFault(src string, seed int64) Result { return run(src, seed, true) }
+func RunFault(src string, seed int64) Result { return run(src, seed, true, nil) }
 
-func run(src string, seed int64, fault bool) (res Result) {
+func run(src string, seed int64, fault bool, reg *obs.Registry) (res Result) {
 	s := sim.New(seed)
 	var out bytes.Buffer
 	mem := &trace.MemorySink{}
@@ -127,6 +144,7 @@ func run(src string, seed int64, fault bool) (res Result) {
 		Backend:       s,
 		AcceptTimeout: 30 * time.Second, // virtual: expires only at quiescence
 		TraceSinks:    []trace.Sink{mem},
+		Metrics:       reg,
 	}
 	var ft *node.FaultTransport
 	if fault {
@@ -161,5 +179,12 @@ func run(src string, seed int64, fault bool) (res Result) {
 		res.HeapShardsInUse = append(res.HeapShardsInUse, shard.InUse())
 	}
 	res.Err = runErr
+	if reg != nil {
+		res.ObsSnapshot = reg.Snapshot().Encode()
+		var tr bytes.Buffer
+		if err := reg.WriteChromeTrace(&tr); err == nil {
+			res.ObsTrace = tr.Bytes()
+		}
+	}
 	return res
 }

@@ -1,0 +1,101 @@
+package conformance
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestInstrumentationTransparent: running a corpus program with the full
+// observability surface enabled (metrics + spans at every layer) must not
+// change what the program does — identical terminal output and an identical
+// number of scheduling decisions as the uninstrumented run of the same seed.
+// Under the sim backend every metric and span timestamp comes from the
+// virtual clock, so observing cannot perturb the schedule; this test is the
+// guard that keeps it that way.
+func TestInstrumentationTransparent(t *testing.T) {
+	names, srcs := Corpus()
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for _, seed := range []int64{0, 1, 5} {
+				plain := Run(srcs[name], seed)
+				if plain.Err != nil {
+					t.Fatalf("seed %d: %v", seed, plain.Err)
+				}
+				instr := RunInstrumented(srcs[name], seed)
+				if instr.Err != nil {
+					recordFailure(name, seed, "instrumented run error: "+instr.Err.Error())
+					t.Fatalf("seed %d instrumented: %v", seed, instr.Err)
+				}
+				if instr.Output != plain.Output {
+					recordFailure(name, seed, "instrumentation changed program output")
+					t.Fatalf("seed %d: instrumented output differs:\nplain:\n%s\ninstrumented:\n%s",
+						seed, plain.Output, instr.Output)
+				}
+				if instr.Steps != plain.Steps {
+					recordFailure(name, seed, "instrumentation changed the schedule")
+					t.Fatalf("seed %d: %d steps instrumented vs %d plain", seed, instr.Steps, plain.Steps)
+				}
+				for shard, in := range instr.HeapShardsInUse {
+					if in != 0 {
+						recordFailure(name, seed, "heap leak under instrumentation")
+						t.Errorf("seed %d: %d heap bytes on shard %d after instrumented shutdown", seed, in, shard)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestInstrumentationSeedStable: the metric snapshot and the Chrome trace of
+// an instrumented sim run are part of the deterministic contract — the same
+// seed must reproduce them byte for byte (all timestamps are virtual), and a
+// different seed must generally produce a different trace (the spans really
+// follow the schedule, not a fixed script).
+func TestInstrumentationSeedStable(t *testing.T) {
+	names, srcs := Corpus()
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for _, seed := range []int64{0, 7} {
+				a := RunInstrumented(srcs[name], seed)
+				b := RunInstrumented(srcs[name], seed)
+				if a.Err != nil || b.Err != nil {
+					t.Fatalf("seed %d: %v / %v", seed, a.Err, b.Err)
+				}
+				if len(a.ObsSnapshot) == 0 || len(a.ObsTrace) == 0 {
+					t.Fatalf("seed %d: instrumented run captured no snapshot (%d bytes) or trace (%d bytes)",
+						seed, len(a.ObsSnapshot), len(a.ObsTrace))
+				}
+				if !bytes.Equal(a.ObsSnapshot, b.ObsSnapshot) {
+					recordFailure(name, seed, "metric snapshot not seed-stable")
+					t.Fatalf("seed %d: metric snapshots differ between identical runs", seed)
+				}
+				if !bytes.Equal(a.ObsTrace, b.ObsTrace) {
+					recordFailure(name, seed, "span trace not seed-stable")
+					t.Fatalf("seed %d: chrome traces differ between identical runs:\nrun1:\n%s\nrun2:\n%s",
+						seed, a.ObsTrace, b.ObsTrace)
+				}
+			}
+		})
+	}
+}
+
+// TestInstrumentedTracesFollowSchedule guards the sweep itself: on a program
+// with real scheduling freedom, different seeds must yield different span
+// traces, or the byte-stability assertions above are vacuous.
+func TestInstrumentedTracesFollowSchedule(t *testing.T) {
+	_, srcs := Corpus()
+	src := srcs["fanin.pf"]
+	distinct := map[string]bool{}
+	for seed := int64(0); seed < 8; seed++ {
+		res := RunInstrumented(src, seed)
+		if res.Err != nil {
+			t.Fatalf("seed %d: %v", seed, res.Err)
+		}
+		distinct[string(res.ObsTrace)] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("8 seeds produced %d distinct instrumented traces; spans are not schedule-driven", len(distinct))
+	}
+}

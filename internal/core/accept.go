@@ -260,6 +260,10 @@ func (t *Task) Accept(spec AcceptSpec) (*AcceptResult, error) {
 		// and kill pulse the same per-task event; the loop re-checks both
 		// conditions after every wake, so collapsed pulses are harmless.
 		signaled := true
+		var obsT0 time.Time
+		if t.vm.metricsOn() {
+			obsT0 = t.vm.om.reg.Now()
+		}
 		if hasDeadline {
 			remaining := deadline.Sub(t.vm.backend.Now())
 			if remaining <= 0 {
@@ -268,6 +272,9 @@ func (t *Task) Accept(spec AcceptSpec) (*AcceptResult, error) {
 			t.blockFn(func() { signaled = t.rec.wake.WaitTimeout(remaining) })
 		} else {
 			t.blockFn(func() { t.rec.wake.Wait() })
+		}
+		if !obsT0.IsZero() {
+			t.vm.om.acceptWait.ObserveDuration(t.vm.om.reg.Now().Sub(obsT0))
 		}
 		if !signaled {
 			// One final drain before reporting the timeout, in case messages

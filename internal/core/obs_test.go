@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/obs"
+)
+
+// TestVMMetricsAndSpans boots a two-cluster VM with full instrumentation on
+// and pins that every core-layer metric family is populated by a simple
+// cross-cluster ping-pong: heap charge/recover counters, message-size and
+// codec histograms, accept wait, and router-lane spans in the Chrome trace.
+func TestVMMetricsAndSpans(t *testing.T) {
+	reg := obs.New()
+	reg.Enable(obs.Metrics | obs.Spans)
+	vm, err := NewVM(config.Simple(2, 2), Options{AcceptTimeout: 30 * time.Second, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.Obs() != reg {
+		t.Fatalf("Obs() did not return the configured registry")
+	}
+
+	vm.Register("echo", func(task *Task) {
+		m, err := task.AcceptOne("probe")
+		if err != nil {
+			return
+		}
+		_ = task.SendSender("reply", m.Args...)
+	})
+	done := make(chan struct{})
+	vm.Register("prober", func(task *Task) {
+		defer close(done)
+		to := MustID(task.Arg(0))
+		if err := task.Send(to, "probe", Str("ping")); err != nil {
+			t.Errorf("send: %v", err)
+			return
+		}
+		if _, err := task.AcceptOne("reply"); err != nil {
+			t.Errorf("reply: %v", err)
+		}
+	})
+	echoID, err := vm.Initiate("echo", OnCluster(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.Initiate("prober", OnCluster(1), ID(echoID)); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	vm.WaitIdle()
+	vm.Shutdown()
+
+	s := reg.Snapshot()
+	counters := make(map[string]int64)
+	for _, c := range s.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["core.heap.charge"] == 0 {
+		t.Errorf("core.heap.charge = 0, want > 0")
+	}
+	if counters["core.heap.recover"] != counters["core.heap.charge"] {
+		t.Errorf("heap recover %d != charge %d after clean shutdown",
+			counters["core.heap.recover"], counters["core.heap.charge"])
+	}
+	hists := make(map[string]obs.HistSnap)
+	for _, h := range s.Hists {
+		hists[h.Name] = h
+	}
+	for _, name := range []string{"core.heap.msg.bytes", "codec.encode.ns", "codec.decode.ns", "core.accept.wait.ns"} {
+		if hists[name].Count == 0 {
+			t.Errorf("%s: no observations", name)
+		}
+	}
+
+	spans, dropped := reg.Spans()
+	if dropped != 0 || len(spans) == 0 {
+		t.Fatalf("spans = %d dropped = %d", len(spans), dropped)
+	}
+	sawRouter := false
+	for _, sp := range spans {
+		if strings.HasPrefix(sp.Lane, "router/") && strings.HasPrefix(sp.Name, "deliver ") {
+			sawRouter = true
+		}
+	}
+	if !sawRouter {
+		t.Errorf("no router-lane deliver spans captured; lanes: %v", laneSet(spans))
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("Chrome trace is not valid JSON:\n%s", buf.String())
+	}
+}
+
+func laneSet(spans []obs.Span) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range spans {
+		if !seen[s.Lane] {
+			seen[s.Lane] = true
+			out = append(out, s.Lane)
+		}
+	}
+	return out
+}
+
+// TestVMMetricsDisabledByDefault pins that a VM booted without a registry
+// creates a private disabled one and leaves it empty.
+func TestVMMetricsDisabledByDefault(t *testing.T) {
+	vm := newTestVM(t, config.Simple(2, 2), Options{})
+	if vm.Obs() == nil {
+		t.Fatal("Obs() is nil")
+	}
+	if vm.metricsOn() || vm.spansOn() {
+		t.Fatal("default registry has families enabled")
+	}
+	done := make(chan struct{})
+	vm.Register("noop", func(task *Task) { close(done) })
+	if _, err := vm.Initiate("noop", Any()); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	vm.WaitIdle()
+	s := vm.Obs().Snapshot()
+	for _, c := range s.Counters {
+		if c.Value != 0 {
+			t.Errorf("disabled counter %s = %d", c.Name, c.Value)
+		}
+	}
+	for _, h := range s.Hists {
+		if h.Count != 0 {
+			t.Errorf("disabled histogram %s count = %d", h.Name, h.Count)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/backend"
 	"repro/internal/memory"
@@ -65,6 +66,10 @@ type wireMsg struct {
 	// flush, when non-nil, marks a barrier token: the router opens the gate
 	// once everything enqueued before it has been delivered.  No payload.
 	flush backend.Gate
+	// enq is the backend-clock enqueue time, stamped only when metrics are
+	// enabled and the message took the queued (non-inline) path; the drain
+	// observes enqueue->delivery lane queue time from it.
+	enq time.Time
 }
 
 // clusterRouter delivers inbound cross-cluster messages for one destination
@@ -154,7 +159,14 @@ func (vm *VM) routeMessage(from *clusterRT, dest *taskRec, msgType string, sende
 	// bounds the wire size (a packet holds more than an argument's wire
 	// overhead), so the append never outgrows the allocation.
 	buf := from.heap.Bytes(off, size)
+	var obsT0 time.Time
+	if vm.metricsOn() {
+		obsT0 = vm.om.reg.Now()
+	}
 	wire, err := msgcodec.AppendEncode(buf[:0], args)
+	if !obsT0.IsZero() {
+		vm.om.encodeNS.ObserveDuration(vm.om.reg.Now().Sub(obsT0))
+	}
 	if err != nil {
 		_ = from.heap.Free(off)
 		return 0, err
@@ -167,6 +179,13 @@ func (vm *VM) routeMessage(from *clusterRT, dest *taskRec, msgType string, sende
 	if err != nil {
 		_ = from.heap.Free(off)
 		return 0, fmt.Errorf("%w: %v", ErrHeapExhausted, err)
+	}
+	// The destination-shard reservation is this message's heap charge (the
+	// delivered message takes ownership of it in deliver, not through
+	// chargeMessageOn), so count it here to keep charge/recover balanced.
+	if vm.metricsOn() {
+		vm.om.heapCharges.Inc()
+		vm.om.heapMsgBytes.Observe(int64(size))
 	}
 	w := wireMsg{
 		dest: dest, msgType: msgType, sender: sender, seq: seq,
@@ -196,6 +215,9 @@ func (r *clusterRouter) send(w wireMsg) bool {
 		r.mu.Unlock()
 		r.deliver(&w)
 		return true
+	}
+	if r.vm.metricsOn() {
+		w.enq = r.vm.om.reg.Now()
 	}
 	r.q = append(r.q, w)
 	r.statEnqueued++
@@ -269,7 +291,24 @@ func (r *clusterRouter) deliver(w *wireMsg) {
 		w.flush.Open()
 		return
 	}
+	metrics, spans := r.vm.metricsOn(), r.vm.spansOn()
+	var obsT0 time.Time
+	if metrics || spans {
+		obsT0 = r.vm.om.reg.Now()
+		if metrics && !w.enq.IsZero() {
+			r.vm.om.laneQueue.ObserveDuration(obsT0.Sub(w.enq))
+		}
+	}
 	args, derr := msgcodec.Decode(w.srcHeap.Bytes(w.off, w.wireLen))
+	if metrics {
+		r.vm.om.decodeNS.ObserveDuration(r.vm.om.reg.Now().Sub(obsT0))
+	}
+	if spans {
+		defer func() {
+			r.vm.om.reg.Span(fmt.Sprintf("router/c%d->c%d", r.src, r.cl.cfg.Number),
+				"deliver "+w.msgType, obsT0)
+		}()
+	}
 	_ = w.srcHeap.Free(w.off)
 	if derr != nil {
 		// Unreachable for run-time-encoded messages; surface loudly rather

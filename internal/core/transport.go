@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/msgcodec"
 	"repro/internal/trace"
@@ -243,6 +244,10 @@ func (vm *VM) routeRemote(from *clusterRT, to TaskID, msgType string, sender Tas
 	src := vm.homeCluster()
 	var payload []byte
 	off := -1
+	var obsT0 time.Time
+	if vm.metricsOn() {
+		obsT0 = vm.om.reg.Now()
+	}
 	if from != nil {
 		src = from.cfg.Number
 		off, err = from.heap.Alloc(size)
@@ -256,6 +261,9 @@ func (vm *VM) routeRemote(from *clusterRT, to TaskID, msgType string, sender Tas
 		}
 	} else {
 		payload, err = msgcodec.Encode(args)
+	}
+	if !obsT0.IsZero() {
+		vm.om.encodeNS.ObserveDuration(vm.om.reg.Now().Sub(obsT0))
 	}
 	if err != nil {
 		if off >= 0 {
@@ -330,7 +338,23 @@ func (vm *VM) DeliverWire(f *WireFrame) error {
 		reply.deliver(NilTask)
 		return nil
 	}
+	// Inbound router half: a remote frame's decode+charge+queue is the same
+	// layer a lane's deliver is for in-process traffic, so it carries the same
+	// metrics and a router-lane span (lane "router/c<dst><-wire").
+	metrics, spans := vm.metricsOn(), vm.spansOn()
+	var obsT0 time.Time
+	if metrics || spans {
+		obsT0 = vm.om.reg.Now()
+	}
+	if spans {
+		defer func() {
+			vm.om.reg.Span(fmt.Sprintf("router/c%d<-wire", f.Dest.Cluster), "deliver "+f.Type, obsT0)
+		}()
+	}
 	args, err := msgcodec.Decode(f.Payload)
+	if metrics {
+		vm.om.decodeNS.ObserveDuration(vm.om.reg.Now().Sub(obsT0))
+	}
 	if err != nil {
 		// Unreachable for run-time-encoded frames; surface loudly rather
 		// than lose traffic silently if a peer and this node ever disagree.

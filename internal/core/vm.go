@@ -14,6 +14,7 @@ import (
 	"repro/internal/flex"
 	"repro/internal/memory"
 	"repro/internal/mmos"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -82,6 +83,12 @@ type Options struct {
 	// that need the VM (to deliver inbound frames) are constructed first and
 	// bound to it after NewVM returns; nothing routes until tasks run.
 	Remote Transport
+	// Metrics receives run-time metrics and spans.  Nil creates a private
+	// disabled registry, so instrumented paths never nil-check; callers that
+	// want the data pass a registry and enable the families they care about.
+	// The VM rebinds the registry clock to its backend, so under a
+	// deterministic backend all timestamps are virtual time.
+	Metrics *obs.Registry
 	// InterceptWire routes EVERY cross-cluster message through Remote, even
 	// between clusters hosted here.  Fault/latency-injecting transports use
 	// it to exercise network schedules under the deterministic backend.
@@ -139,6 +146,11 @@ type VM struct {
 
 	timeLimitTimer backend.Timer
 
+	// Observability: the registry plus pre-resolved metric handles, so hot
+	// paths pay one atomic mask load when disabled and no map lookups when
+	// enabled (see internal/obs).
+	om vmObs
+
 	// statistics
 	initiated   atomic.Int64
 	completed   atomic.Int64
@@ -147,6 +159,44 @@ type VM struct {
 	windowOps   atomic.Int64
 	windowBytes atomic.Int64
 }
+
+// vmObs bundles the observability registry with pre-resolved handles for
+// every metric the core bumps on hot paths.  Resolution happens once at
+// boot; the handles are plain atomics after that.
+type vmObs struct {
+	reg          *obs.Registry
+	heapCharges  *obs.Counter   // core.heap.charge: messages charged to a shard
+	heapRecovers *obs.Counter   // core.heap.recover: message storage recovered
+	heapMsgBytes *obs.Histogram // core.heap.msg.bytes: charged message sizes
+	acceptWait   *obs.Histogram // core.accept.wait.ns: time blocked in ACCEPT
+	laneQueue    *obs.Histogram // router.lane.queue.ns: enqueue -> drain delivery
+	encodeNS     *obs.Histogram // codec.encode.ns: argument packet encode time
+	decodeNS     *obs.Histogram // codec.decode.ns: argument packet decode time
+}
+
+func (o *vmObs) init(reg *obs.Registry, b backend.Backend) {
+	if reg == nil {
+		reg = obs.New()
+	}
+	reg.SetClock(b.Now)
+	o.reg = reg
+	o.heapCharges = reg.Counter("core.heap.charge")
+	o.heapRecovers = reg.Counter("core.heap.recover")
+	o.heapMsgBytes = reg.Histogram("core.heap.msg.bytes", "B")
+	o.acceptWait = reg.Histogram("core.accept.wait.ns", "ns")
+	o.laneQueue = reg.Histogram("router.lane.queue.ns", "ns")
+	o.encodeNS = reg.Histogram("codec.encode.ns", "ns")
+	o.decodeNS = reg.Histogram("codec.decode.ns", "ns")
+}
+
+// Obs returns the VM's observability registry (never nil after boot).
+func (vm *VM) Obs() *obs.Registry { return vm.om.reg }
+
+// metricsOn is the hot-path guard: one atomic load.
+func (vm *VM) metricsOn() bool { return vm.om.reg.Has(obs.Metrics) }
+
+// spansOn guards span capture the same way.
+func (vm *VM) spansOn() bool { return vm.om.reg.Has(obs.Spans) }
 
 // NewVM boots a virtual machine for the given configuration on a fresh
 // simulated FLEX/32 with the default hardware description.
@@ -182,6 +232,7 @@ func NewVMOn(machine *flex.Machine, cfg *config.Configuration, opts Options) (*V
 		tasks:     make(map[TaskID]*taskRec),
 		clusters:  make(map[int]*clusterRT),
 	}
+	vm.om.init(opts.Metrics, opts.Backend)
 	vm.userTasks = vm.backend.NewWaitGroup()
 	vm.arrays = newArrayStore()
 	vm.files = newFileStore()
@@ -638,6 +689,10 @@ func (vm *VM) chargeMessageOn(heap *memory.Allocator, msg *Message) error {
 	msg.heapOff = off
 	msg.heapBytes = size
 	msg.heapShard = heap
+	if vm.metricsOn() {
+		vm.om.heapCharges.Inc()
+		vm.om.heapMsgBytes.Observe(int64(size))
+	}
 	return nil
 }
 
@@ -648,6 +703,9 @@ func (vm *VM) releaseMessage(msg *Message) {
 		_ = msg.heapShard.Free(msg.heapOff)
 		msg.heapBytes = 0
 		msg.heapShard = nil
+		if vm.metricsOn() {
+			vm.om.heapRecovers.Inc()
+		}
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -53,9 +54,15 @@ type E5Result struct {
 	// FanInMessagesPerSec is the median per-window wall-clock delivery rate
 	// of the fan-in; FanInRateMin/Max bound the spread across the windows
 	// and FanInWindowRates holds every window's rate, delivery order.
+	// FanInRateP50/P95 summarise the window-rate distribution through the
+	// runtime histogram type, which is what the printed report shows — a
+	// median/p95 pair is comparable across runs in a way min..max (one
+	// scheduling hiccup wide) never was.
 	FanInMessagesPerSec float64
 	FanInRateMin        float64
 	FanInRateMax        float64
+	FanInRateP50        float64
+	FanInRateP95        float64
 	FanInWindowRates    []float64
 	FanInDelivered      int
 	// Queue growth: heap bytes per queued message and whether the heap
@@ -206,6 +213,17 @@ func RunE5(w io.Writer, p E5Params) (*E5Result, error) {
 			} else {
 				res.FanInMessagesPerSec = sorted[mid]
 			}
+			// Summarise the window rates through the runtime histogram so the
+			// report's spread line uses the same quantile machinery as the
+			// -stats distributions.
+			hreg := obs.New()
+			h := hreg.Histogram("e5.fanin.window.rate", "")
+			for _, r := range rates {
+				h.Observe(int64(r + 0.5))
+			}
+			hs := hreg.Snapshot().Hists[0]
+			res.FanInRateP50 = hs.Quantile(0.50)
+			res.FanInRateP95 = hs.Quantile(0.95)
 		}
 	}
 
@@ -257,8 +275,8 @@ func RunE5(w io.Writer, p E5Params) (*E5Result, error) {
 	t.AddRow("ping-pong round trip (simulated ticks)", fmt.Sprintf("%.1f", res.PingPongTicks))
 	t.AddRow(fmt.Sprintf("fan-in delivery rate (median of %d windows)", len(res.FanInWindowRates)),
 		fmt.Sprintf("%.0f messages/s", res.FanInMessagesPerSec))
-	t.AddRow("fan-in window spread (min..max)",
-		fmt.Sprintf("%.0f..%.0f messages/s", res.FanInRateMin, res.FanInRateMax))
+	t.AddRow(fmt.Sprintf("fan-in window rate (p50 / p95 of %d windows)", len(res.FanInWindowRates)),
+		fmt.Sprintf("%.0f / %.0f messages/s", res.FanInRateP50, res.FanInRateP95))
 	t.AddRow("shared-memory cost per queued message", fmt.Sprintf("%.0f bytes", res.BytesPerQueuedMessage))
 	t.AddRow("heap recovered after queue drained", fmt.Sprintf("%v", res.HeapRecovered))
 	fmt.Fprint(w, t.String())

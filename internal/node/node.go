@@ -12,6 +12,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/msgcodec"
+	"repro/internal/obs"
 	"repro/internal/pfi"
 )
 
@@ -48,6 +49,11 @@ type Options struct {
 	AcceptTimeout time.Duration
 	// ConnectTimeout bounds mesh establishment; zero means 10 seconds.
 	ConnectTimeout time.Duration
+	// Metrics receives node- and VM-layer metrics and spans.  Nil creates a
+	// private disabled registry.  When metrics are enabled, followers attach
+	// a metric snapshot to every drain ack, so the coordinator can print one
+	// merged cluster-wide view (FollowerSnapshots).
+	Metrics *obs.Registry
 }
 
 // Node is one running node process: a partial VM plus the TCP mesh.
@@ -66,6 +72,15 @@ type Node struct {
 
 	inMu    sync.Mutex
 	inConns []net.Conn
+
+	// Observability: the registry shared with the VM plus resolved node-layer
+	// histogram handles; snapMu guards the latest metric snapshot received
+	// from each follower (coordinator only).
+	reg          *obs.Registry
+	frameRead    *obs.Histogram // node.frame.read.ns: blocking ReadFrame time (inter-frame arrival gap + read)
+	frameDeliver *obs.Histogram // node.frame.deliver.ns: decode -> VM delivery
+	snapMu       sync.Mutex
+	followerSnap map[int]*obs.Snapshot
 
 	shutdownOnce sync.Once
 	shutdownCh   chan struct{}
@@ -95,13 +110,21 @@ func Start(opts Options) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.New()
+	}
 	n := &Node{
-		opts:       opts,
-		topo:       topo,
-		fp:         Fingerprint(opts.Config, topo, opts.Source),
-		tr:         newTransport(opts.NodeID, topo),
-		acks:       make(chan drainAck, 4*len(opts.Addrs)),
-		shutdownCh: make(chan struct{}),
+		opts:         opts,
+		topo:         topo,
+		fp:           Fingerprint(opts.Config, topo, opts.Source),
+		tr:           newTransport(opts.NodeID, topo, reg),
+		acks:         make(chan drainAck, 4*len(opts.Addrs)),
+		shutdownCh:   make(chan struct{}),
+		reg:          reg,
+		frameRead:    reg.Histogram("node.frame.read.ns", "ns"),
+		frameDeliver: reg.Histogram("node.frame.deliver.ns", "ns"),
+		followerSnap: make(map[int]*obs.Snapshot),
 	}
 
 	ln := opts.Listener
@@ -113,11 +136,18 @@ func Start(opts Options) (*Node, error) {
 	}
 	n.ln = ln
 
+	var meshT0 time.Time
+	if reg.Has(obs.Spans) {
+		meshT0 = reg.Now()
+	}
 	inbound, err := n.connectMesh()
 	if err != nil {
 		_ = ln.Close()
 		_ = n.tr.Close()
 		return nil, err
+	}
+	if !meshT0.IsZero() {
+		reg.Span(fmt.Sprintf("node/%d mesh", opts.NodeID), "handshake", meshT0)
 	}
 
 	vm, err := core.NewVM(opts.Config, core.Options{
@@ -125,6 +155,7 @@ func Start(opts Options) (*Node, error) {
 		Hosted:        topo.Clusters(opts.NodeID),
 		Remote:        n.tr,
 		AcceptTimeout: opts.AcceptTimeout,
+		Metrics:       reg,
 	})
 	if err != nil {
 		_ = ln.Close()
@@ -344,6 +375,23 @@ func (n *Node) Topology() Topology { return n.topo }
 // (messages, broadcasts, and initiate replies; control frames excluded).
 func (n *Node) TransportCounts() (sent, recv uint64) { return n.tr.counts() }
 
+// Obs returns the node's observability registry (never nil; shared with the
+// VM and the transport).
+func (n *Node) Obs() *obs.Registry { return n.reg }
+
+// FollowerSnapshots returns the latest metric snapshot received from each
+// follower during drain rounds (coordinator only; empty when metrics are off
+// or no drain has completed yet).
+func (n *Node) FollowerSnapshots() map[int]*obs.Snapshot {
+	n.snapMu.Lock()
+	defer n.snapMu.Unlock()
+	out := make(map[int]*obs.Snapshot, len(n.followerSnap))
+	for id, s := range n.followerSnap {
+		out[id] = s
+	}
+	return out
+}
+
 // Addr returns the listener's actual address (tests bind port 0).
 func (n *Node) Addr() string { return n.ln.Addr().String() }
 
@@ -354,7 +402,18 @@ func (n *Node) readLoop(from int, conn net.Conn) {
 	defer conn.Close()
 	br := bufio.NewReader(conn)
 	var buf []byte
+	// Per-lane inbound counters, named from the receiver's side so a merged
+	// cluster-wide snapshot shows every lane from both endpoints (tx counted
+	// by the sender, rx by the receiver) without colliding.
+	rxFrames := n.reg.Counter(fmt.Sprintf("node.rx.n%d->n%d.frames", from, n.opts.NodeID))
+	rxBytes := n.reg.Counter(fmt.Sprintf("node.rx.n%d->n%d.bytes", from, n.opts.NodeID))
+	rxLane := fmt.Sprintf("node/%d rx<-n%d", n.opts.NodeID, from)
 	for {
+		metrics := n.reg.Has(obs.Metrics)
+		var readT0 time.Time
+		if metrics {
+			readT0 = n.reg.Now()
+		}
 		payload, err := msgcodec.ReadFrame(br, buf, 0)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !n.shuttingDown() {
@@ -364,6 +423,15 @@ func (n *Node) readLoop(from int, conn net.Conn) {
 				n.signalShutdown()
 			}
 			return
+		}
+		var deliverT0 time.Time
+		if metrics || n.reg.Has(obs.Spans) {
+			deliverT0 = n.reg.Now()
+		}
+		if metrics {
+			n.frameRead.ObserveDuration(deliverT0.Sub(readT0))
+			rxFrames.Inc()
+			rxBytes.Add(int64(len(payload)) + msgcodec.FrameOverhead)
 		}
 		buf = payload
 		if len(payload) == 0 {
@@ -379,6 +447,10 @@ func (n *Node) readLoop(from int, conn net.Conn) {
 			}
 			n.tr.recv.Add(1)
 			_ = n.vm.DeliverWire(f)
+			if metrics {
+				n.frameDeliver.ObserveDuration(n.reg.Now().Sub(deliverT0))
+			}
+			n.reg.Span(rxLane, "rx "+f.Type, deliverT0)
 		case fInitReply:
 			replyID, id, err := decodeInitReply(body)
 			if err != nil {
@@ -397,6 +469,17 @@ func (n *Node) readLoop(from int, conn net.Conn) {
 			ack, err := decodeDrainAck(body)
 			if err != nil {
 				continue
+			}
+			// A follower with metrics enabled piggybacks its current metric
+			// snapshot; keep the latest per node for the merged view.
+			if len(ack.stats) > 0 {
+				if snap, err := obs.DecodeSnapshot(ack.stats); err == nil {
+					n.snapMu.Lock()
+					n.followerSnap[ack.from] = snap
+					n.snapMu.Unlock()
+				} else {
+					fmt.Fprintf(n.opts.Log, "node %d: bad stats blob from node %d: %v\n", n.opts.NodeID, ack.from, err)
+				}
 			}
 			select {
 			case n.acks <- ack:
@@ -453,7 +536,14 @@ func (n *Node) answerDrain(epoch uint32) {
 	if err != nil {
 		return
 	}
-	_ = p.writeFrame(encodeDrainAck(drainAck{from: n.opts.NodeID, epoch: epoch, sent: sent, recv: recv, idle: idle}))
+	ack := drainAck{from: n.opts.NodeID, epoch: epoch, sent: sent, recv: recv, idle: idle}
+	// Piggyback this node's metric snapshot on the ack so the coordinator's
+	// final summary covers the whole mesh.  Skipped (empty blob) when metrics
+	// are off — the drain protocol itself stays snapshot-free.
+	if n.reg.Has(obs.Metrics) {
+		ack.stats = n.reg.Snapshot().Encode()
+	}
+	_ = p.writeFrame(n.tr, encodeDrainAck(ack))
 }
 
 // RunMain runs the program's entry tasktype on this node (the coordinator)
@@ -494,12 +584,16 @@ func (n *Node) drainQuiesce(timeout time.Duration) error {
 	var prevSent, prevRecv uint64
 	havePrev := false
 	for epoch := uint32(1); time.Now().Before(deadline); epoch++ {
+		var roundT0 time.Time
+		if n.reg.Has(obs.Spans) {
+			roundT0 = n.reg.Now()
+		}
 		for id := range n.opts.Addrs {
 			if id == n.opts.NodeID {
 				continue
 			}
 			if p, err := n.tr.peerFor(id); err == nil {
-				_ = p.writeFrame(encodeDrain(epoch))
+				_ = p.writeFrame(n.tr, encodeDrain(epoch))
 			}
 		}
 		got := make(map[int]drainAck, peers)
@@ -512,6 +606,9 @@ func (n *Node) drainQuiesce(timeout time.Duration) error {
 				}
 			case <-time.After(100 * time.Millisecond):
 			}
+		}
+		if !roundT0.IsZero() {
+			n.reg.Span(fmt.Sprintf("node/%d drain", n.opts.NodeID), fmt.Sprintf("round %d", epoch), roundT0)
 		}
 		if len(got) < peers {
 			continue
@@ -552,7 +649,7 @@ func (n *Node) Close() error {
 					continue
 				}
 				if p, err := n.tr.peerFor(id); err == nil {
-					_ = p.writeFrame([]byte{fShutdown})
+					_ = p.writeFrame(n.tr, []byte{fShutdown})
 				}
 			}
 		}

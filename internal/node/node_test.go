@@ -13,6 +13,7 @@ import (
 	"repro/internal/conformance"
 	"repro/internal/core"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/pfi"
 )
 
@@ -50,7 +51,7 @@ func singleProcessOutput(t testing.TB, cfg *config.Configuration, src string) st
 
 // startMesh boots an n-node mesh in-process over loopback TCP and returns
 // the nodes, node 0 first.  Listeners are bound up front so no port races.
-func startMesh(t testing.TB, nodes int, cfg *config.Configuration, src string, out *bytes.Buffer, register func(*core.VM)) []*node.Node {
+func startMesh(t testing.TB, nodes int, cfg *config.Configuration, src string, out *bytes.Buffer, register func(*core.VM), mutate ...func(i int, o *node.Options)) []*node.Node {
 	t.Helper()
 	listeners := make([]net.Listener, nodes)
 	addrs := make([]string, nodes)
@@ -77,6 +78,9 @@ func startMesh(t testing.TB, nodes int, cfg *config.Configuration, src string, o
 			}
 			if i == 0 && out != nil {
 				o.Out = out
+			}
+			for _, m := range mutate {
+				m(i, &o)
 			}
 			started[i], errs[i] = node.Start(o)
 		}(i)
@@ -258,6 +262,71 @@ func TestStrayConnectionDoesNotBlockMesh(t *testing.T) {
 	runDistributed(t, started)
 	if got := out.String(); got != want {
 		t.Fatalf("output differs:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestDistributedMetricsAggregation: with metrics enabled on every node, the
+// followers piggyback their metric snapshots on drain acks, so after Close
+// the coordinator can merge one cluster-wide view that includes both ends of
+// every wire lane.
+func TestDistributedMetricsAggregation(t *testing.T) {
+	src := corpusSource(t, "fanin.pf")
+	cfg := config.Simple(2, 4)
+
+	regs := make([]*obs.Registry, 2)
+	for i := range regs {
+		regs[i] = obs.New()
+		regs[i].Enable(obs.Metrics | obs.Spans)
+	}
+	var out bytes.Buffer
+	nodes := startMesh(t, 2, cfg, src, &out, nil, func(i int, o *node.Options) {
+		o.Metrics = regs[i]
+	})
+	runDistributed(t, nodes)
+
+	snaps := nodes[0].FollowerSnapshots()
+	follower, ok := snaps[1]
+	if !ok {
+		t.Fatalf("no snapshot from node 1 after drain; have %v", snaps)
+	}
+	counterOf := func(s *obs.Snapshot, name string) int64 {
+		for _, c := range s.Counters {
+			if c.Name == name {
+				return c.Value
+			}
+		}
+		return -1
+	}
+	if v := counterOf(follower, "node.tx.n1->n0.frames"); v <= 0 {
+		t.Fatalf("follower snapshot node.tx.n1->n0.frames = %d, want > 0", v)
+	}
+	merged := regs[0].Snapshot()
+	for _, s := range snaps {
+		merged.Merge(s)
+	}
+	// Both endpoints of the n0<->n1 lane must be visible in the merged view,
+	// and the receiver-side frame count must match the sender's.
+	for _, name := range []string{
+		"node.tx.n0->n1.frames", "node.rx.n0->n1.frames",
+		"node.tx.n1->n0.frames", "node.rx.n1->n0.frames",
+	} {
+		if v := counterOf(merged, name); v <= 0 {
+			t.Fatalf("merged snapshot %s = %d, want > 0", name, v)
+		}
+	}
+	// The follower snapshots at drain-ack time, so frames the coordinator
+	// sends afterwards (the shutdown order) are on tx but not yet on the
+	// follower's rx: the receiver count trails the sender's, never leads it.
+	if tx, rx := counterOf(merged, "node.tx.n0->n1.bytes"), counterOf(merged, "node.rx.n0->n1.bytes"); rx <= 0 || rx > tx {
+		t.Fatalf("lane n0->n1 byte counts inconsistent: tx %d, rx %d", tx, rx)
+	}
+	spans, _ := regs[0].Spans()
+	lanes := make(map[string]bool, len(spans))
+	for _, s := range spans {
+		lanes[s.Lane] = true
+	}
+	if !lanes["node/0 mesh"] || !lanes["node/0 drain"] {
+		t.Fatalf("coordinator span lanes missing mesh/drain: %v", lanes)
 	}
 }
 

@@ -17,7 +17,7 @@ import (
 // deliberately positional and versioned through the handshake fingerprint:
 // two nodes built from different sources refuse each other at fHello.
 
-const protoVersion = 1
+const protoVersion = 2
 
 // Frame type bytes.
 const (
@@ -219,13 +219,17 @@ func decodeInitReply(b []byte) (uint64, core.TaskID, error) {
 	return replyID, id, nil
 }
 
-// drainAck is a follower's answer to one drain round.
+// drainAck is a follower's answer to one drain round.  When the follower has
+// metrics enabled it piggybacks its current metric snapshot (obs wire
+// encoding) so the coordinator can merge a cluster-wide view without an extra
+// protocol round; an empty blob means metrics are off.
 type drainAck struct {
 	from  int
 	epoch uint32
 	sent  uint64
 	recv  uint64
 	idle  bool
+	stats []byte
 }
 
 func encodeDrain(epoch uint32) []byte { return appendU32([]byte{fDrain}, epoch) }
@@ -245,9 +249,12 @@ func encodeDrainAck(a drainAck) []byte {
 	b = appendU64(b, a.sent)
 	b = appendU64(b, a.recv)
 	if a.idle {
-		return append(b, 1)
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
 	}
-	return append(b, 0)
+	b = appendU32(b, uint32(len(a.stats)))
+	return append(b, a.stats...)
 }
 
 func decodeDrainAck(b []byte) (drainAck, error) {
@@ -267,9 +274,19 @@ func decodeDrainAck(b []byte) (drainAck, error) {
 	if a.recv, b, err = takeU64(b); err != nil {
 		return a, err
 	}
-	if len(b) != 1 {
+	if len(b) < 1 {
 		return a, errProto
 	}
 	a.idle = b[0] != 0
+	b = b[1:]
+	if v, b, err = takeU32(b); err != nil {
+		return a, err
+	}
+	if len(b) != int(v) {
+		return a, errProto
+	}
+	if v > 0 {
+		a.stats = append([]byte(nil), b...)
+	}
 	return a, nil
 }

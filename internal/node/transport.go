@@ -6,9 +6,11 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/msgcodec"
+	"repro/internal/obs"
 )
 
 // peer is one outbound connection: this node's lane for frames toward one
@@ -22,10 +24,22 @@ type peer struct {
 	mu   sync.Mutex
 	bw   *bufio.Writer
 	err  error
+
+	// Per-lane wire counters (node.tx.n<me>->n<id>.*), resolved at addPeer;
+	// bumped only when metrics are enabled.
+	txFrames *obs.Counter
+	txBytes  *obs.Counter
 }
 
 // writeFrame serialises one protocol payload onto the peer's connection.
-func (p *peer) writeFrame(payload []byte) error {
+// All frame types pass through here — data and control alike — so the
+// per-lane counters see the node's complete wire activity.
+func (p *peer) writeFrame(tr *transport, payload []byte) error {
+	metrics := tr.reg.Has(obs.Metrics)
+	var t0 time.Time
+	if metrics {
+		t0 = tr.reg.Now()
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.err != nil {
@@ -39,6 +53,11 @@ func (p *peer) writeFrame(payload []byte) error {
 		p.err = err
 		return err
 	}
+	if metrics {
+		tr.frameWrite.ObserveDuration(tr.reg.Now().Sub(t0))
+		p.txFrames.Inc()
+		p.txBytes.Add(int64(len(payload)) + msgcodec.FrameOverhead)
+	}
 	return nil
 }
 
@@ -49,6 +68,11 @@ func (p *peer) writeFrame(payload []byte) error {
 type transport struct {
 	nodeID int
 	topo   Topology
+
+	// reg is the node's observability registry (never nil); frameWrite is
+	// the resolved node.frame.write.ns histogram.
+	reg        *obs.Registry
+	frameWrite *obs.Histogram
 
 	mu    sync.Mutex
 	peers map[int]*peer // node id -> outbound connection
@@ -61,15 +85,25 @@ type transport struct {
 	vm atomic.Pointer[core.VM] // bound after the VM is booted
 }
 
-func newTransport(nodeID int, topo Topology) *transport {
-	return &transport{nodeID: nodeID, topo: topo, peers: make(map[int]*peer)}
+func newTransport(nodeID int, topo Topology, reg *obs.Registry) *transport {
+	return &transport{
+		nodeID:     nodeID,
+		topo:       topo,
+		reg:        reg,
+		frameWrite: reg.Histogram("node.frame.write.ns", "ns"),
+		peers:      make(map[int]*peer),
+	}
 }
 
 func (tr *transport) bind(vm *core.VM) { tr.vm.Store(vm) }
 
 func (tr *transport) addPeer(id int, conn net.Conn) {
 	tr.mu.Lock()
-	tr.peers[id] = &peer{id: id, conn: conn, bw: bufio.NewWriter(conn)}
+	tr.peers[id] = &peer{
+		id: id, conn: conn, bw: bufio.NewWriter(conn),
+		txFrames: tr.reg.Counter(fmt.Sprintf("node.tx.n%d->n%d.frames", tr.nodeID, id)),
+		txBytes:  tr.reg.Counter(fmt.Sprintf("node.tx.n%d->n%d.bytes", tr.nodeID, id)),
+	}
 	tr.mu.Unlock()
 }
 
@@ -105,7 +139,7 @@ func (tr *transport) Send(f *core.WireFrame) error {
 		}
 		tr.mu.Unlock()
 		for _, p := range ids {
-			if err := p.writeFrame(buf); err != nil && firstErr == nil {
+			if err := p.writeFrame(tr, buf); err != nil && firstErr == nil {
 				firstErr = err
 			} else if err == nil {
 				tr.sent.Add(1)
@@ -126,7 +160,7 @@ func (tr *transport) Send(f *core.WireFrame) error {
 	if err != nil {
 		return err
 	}
-	if err := p.writeFrame(buf); err != nil {
+	if err := p.writeFrame(tr, buf); err != nil {
 		return err
 	}
 	tr.sent.Add(1)
@@ -151,7 +185,7 @@ func (tr *transport) SendReply(dst int, replyID uint64, id core.TaskID) error {
 	if err != nil {
 		return err
 	}
-	if err := p.writeFrame(encodeInitReply(make([]byte, 0, 32), replyID, id)); err != nil {
+	if err := p.writeFrame(tr, encodeInitReply(make([]byte, 0, 32), replyID, id)); err != nil {
 		return err
 	}
 	tr.sent.Add(1)

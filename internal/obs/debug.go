@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+)
+
+// DebugHandler returns the debug HTTP surface for a running node:
+//
+//	/metrics        Prometheus-style text exposition of the registry
+//	/debug/vars     standard expvar JSON (memstats, cmdline)
+//	/debug/pprof/   net/http/pprof profiles
+//
+// It is mounted by `pisces serve -debug-addr` on a side listener, never on
+// the runtime's own mesh ports.
+func DebugHandler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, r.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "pisces debug listener\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format.  Metric names are sanitised (dots and dashes become underscores)
+// and prefixed "pisces_"; histograms expose _count, _sum and quantile
+// gauges rather than raw buckets, which is what the log-bucket layout is
+// summarising anyway.
+func WritePrometheus(w io.Writer, s *Snapshot) {
+	for _, c := range s.Counters {
+		name := promName(c.Name)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		name := promName(g.Name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, g.Value)
+	}
+	for _, h := range s.Hists {
+		name := promName(h.Name)
+		fmt.Fprintf(w, "# TYPE %s summary\n", name)
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			fmt.Fprintf(w, "%s{quantile=%q} %g\n", name, fmt.Sprintf("%g", q), h.Quantile(q))
+		}
+		fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n%s_max %d\n", name, h.Sum, name, h.Count, name, h.Max)
+	}
+}
+
+func promName(s string) string {
+	var sb strings.Builder
+	sb.WriteString("pisces_")
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}

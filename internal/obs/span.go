@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// defaultSpanLimit bounds the span buffer; past it new spans are counted as
+// dropped rather than growing without bound.
+const defaultSpanLimit = 1 << 20
+
+// Span is one completed timed region.  Start is relative to the registry's
+// span epoch (the clock reading when the clock was bound), so spans from a
+// simulated run are pure virtual-time offsets.
+type Span struct {
+	Lane  string // trace lane ("pfi/c1 1.2.7", "router/c2<-wire", "node/0 tx peer1")
+	Name  string // what happened ("stmt SEND", "deliver RESULT", ...)
+	Start time.Duration
+	Dur   time.Duration
+}
+
+type spanBuf struct {
+	mu       sync.Mutex
+	epoch    time.Time
+	epochSet bool
+	spans    []Span
+	dropped  int64
+	limit    int
+}
+
+func (b *spanBuf) setEpoch(t time.Time) {
+	b.mu.Lock()
+	if !b.epochSet {
+		b.epoch = t
+		b.epochSet = true
+	}
+	b.mu.Unlock()
+}
+
+func (b *spanBuf) add(lane, name string, start, end time.Time) {
+	b.mu.Lock()
+	if !b.epochSet {
+		b.epoch = start
+		b.epochSet = true
+	}
+	if len(b.spans) >= b.limit {
+		b.dropped++
+		b.mu.Unlock()
+		return
+	}
+	b.spans = append(b.spans, Span{
+		Lane:  lane,
+		Name:  name,
+		Start: start.Sub(b.epoch),
+		Dur:   end.Sub(start),
+	})
+	b.mu.Unlock()
+}
+
+// Span records a completed region that began at start; its end is the
+// registry clock's current reading.  Call sites guard with Has(Spans) and an
+// untouched zero start so the disabled path never reads the clock:
+//
+//	var t0 time.Time
+//	if reg.Has(obs.Spans) { t0 = reg.Now() }
+//	... work ...
+//	if !t0.IsZero() { reg.Span(lane, name, t0) }
+func (r *Registry) Span(lane, name string, start time.Time) {
+	if !r.Has(Spans) {
+		return
+	}
+	r.spans.add(lane, name, start, r.Now())
+}
+
+// SpanAt records a completed region with explicit endpoints (for call sites
+// that already read the clock twice).
+func (r *Registry) SpanAt(lane, name string, start, end time.Time) {
+	if !r.Has(Spans) {
+		return
+	}
+	r.spans.add(lane, name, start, end)
+}
+
+// Spans returns a copy of the captured spans in capture order, plus the
+// number dropped after the buffer filled.
+func (r *Registry) Spans() (spans []Span, dropped int64) {
+	if r == nil {
+		return nil, 0
+	}
+	r.spans.mu.Lock()
+	spans = append([]Span(nil), r.spans.spans...)
+	dropped = r.spans.dropped
+	r.spans.mu.Unlock()
+	return spans, dropped
+}
+
+// WriteChromeTrace emits the captured spans as Chrome trace-event-format
+// JSON (the "traceEvents" array form) loadable in chrome://tracing and
+// Perfetto.  Each distinct lane becomes one thread row (tid), named via a
+// thread_name metadata event; spans are complete events (ph "X") with
+// microsecond timestamps.  Lanes are ordered by name and events by capture
+// order, so output for a deterministic run is byte-stable.
+func (r *Registry) WriteChromeTrace(w io.Writer) error {
+	spans, dropped := r.Spans()
+	lanes := make(map[string]int)
+	var laneNames []string
+	for _, s := range spans {
+		if _, ok := lanes[s.Lane]; !ok {
+			lanes[s.Lane] = 0
+			laneNames = append(laneNames, s.Lane)
+		}
+	}
+	sort.Strings(laneNames)
+	for i, name := range laneNames {
+		lanes[name] = i + 1
+	}
+
+	var sb strings.Builder
+	sb.WriteString("{\"traceEvents\":[")
+	first := true
+	item := func(s string) {
+		if !first {
+			sb.WriteString(",\n")
+		}
+		first = false
+		sb.WriteString(s)
+	}
+	for _, name := range laneNames {
+		item(fmt.Sprintf(`{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+			lanes[name], quoteJSON(name)))
+		item(fmt.Sprintf(`{"ph":"M","pid":1,"tid":%d,"name":"thread_sort_index","args":{"sort_index":%d}}`,
+			lanes[name], lanes[name]))
+	}
+	for _, s := range spans {
+		item(fmt.Sprintf(`{"ph":"X","pid":1,"tid":%d,"name":%s,"cat":"pisces","ts":%s,"dur":%s}`,
+			lanes[s.Lane], quoteJSON(s.Name), micros(s.Start), micros(s.Dur)))
+	}
+	sb.WriteString("],\"displayTimeUnit\":\"ns\"")
+	if dropped > 0 {
+		fmt.Fprintf(&sb, ",\"otherData\":{\"droppedSpans\":%d}", dropped)
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// micros renders a duration as a decimal microsecond count with nanosecond
+// precision, without float formatting jitter.
+func micros(d time.Duration) string {
+	ns := d.Nanoseconds()
+	neg := ""
+	if ns < 0 {
+		neg, ns = "-", -ns
+	}
+	if ns%1000 == 0 {
+		return fmt.Sprintf("%s%d", neg, ns/1000)
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, ns/1000, ns%1000)
+}
+
+// quoteJSON renders s as a JSON string literal.  Lane and span names are
+// ASCII identifiers in practice; anything exotic is escaped numerically.
+func quoteJSON(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for _, r := range s {
+		switch {
+		case r == '"' || r == '\\':
+			sb.WriteByte('\\')
+			sb.WriteRune(r)
+		case r < 0x20 || r > 0x7e:
+			fmt.Fprintf(&sb, `\u%04x`, r)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}

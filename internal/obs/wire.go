@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Snapshot wire format: the blob a follower node attaches to its drain acks
+// so the coordinator can merge a cluster-wide view.  Big-endian, versioned,
+// and emitted in sorted name order so the encoding of a deterministic run is
+// byte-stable.
+//
+//	u8  version (snapWireVersion)
+//	u32 nCounters { u16-len name, i64 value }...
+//	u32 nGauges   { u16-len name, i64 value }...
+//	u32 nHists    { u16-len name, u16-len unit,
+//	                i64 zeros, i64 count, i64 sum, i64 max,
+//	                u32 nBuckets { u8 index, i64 count }... }...
+
+const snapWireVersion = 1
+
+var errSnapWire = fmt.Errorf("obs: malformed snapshot blob")
+
+// Encode serialises the snapshot.
+func (s *Snapshot) Encode() []byte {
+	b := []byte{snapWireVersion}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(s.Counters)))
+	for _, c := range s.Counters {
+		b = appendName(b, c.Name)
+		b = binary.BigEndian.AppendUint64(b, uint64(c.Value))
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(s.Gauges)))
+	for _, g := range s.Gauges {
+		b = appendName(b, g.Name)
+		b = binary.BigEndian.AppendUint64(b, uint64(g.Value))
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(s.Hists)))
+	for _, h := range s.Hists {
+		b = appendName(b, h.Name)
+		b = appendName(b, h.Unit)
+		b = binary.BigEndian.AppendUint64(b, uint64(h.Zeros))
+		b = binary.BigEndian.AppendUint64(b, uint64(h.Count))
+		b = binary.BigEndian.AppendUint64(b, uint64(h.Sum))
+		b = binary.BigEndian.AppendUint64(b, uint64(h.Max))
+		b = binary.BigEndian.AppendUint32(b, uint32(len(h.Buckets)))
+		for _, bk := range h.Buckets {
+			b = append(b, bk.Index)
+			b = binary.BigEndian.AppendUint64(b, uint64(bk.Count))
+		}
+	}
+	return b
+}
+
+// DecodeSnapshot reverses Encode.
+func DecodeSnapshot(b []byte) (*Snapshot, error) {
+	if len(b) < 1 || b[0] != snapWireVersion {
+		return nil, errSnapWire
+	}
+	b = b[1:]
+	s := &Snapshot{}
+	n, b, err := takeCount(b)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		var c CounterSnap
+		if c.Name, b, err = takeName(b); err != nil {
+			return nil, err
+		}
+		if c.Value, b, err = takeI64(b); err != nil {
+			return nil, err
+		}
+		s.Counters = append(s.Counters, c)
+	}
+	if n, b, err = takeCount(b); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		var g GaugeSnap
+		if g.Name, b, err = takeName(b); err != nil {
+			return nil, err
+		}
+		if g.Value, b, err = takeI64(b); err != nil {
+			return nil, err
+		}
+		s.Gauges = append(s.Gauges, g)
+	}
+	if n, b, err = takeCount(b); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		var h HistSnap
+		if h.Name, b, err = takeName(b); err != nil {
+			return nil, err
+		}
+		if h.Unit, b, err = takeName(b); err != nil {
+			return nil, err
+		}
+		if h.Zeros, b, err = takeI64(b); err != nil {
+			return nil, err
+		}
+		if h.Count, b, err = takeI64(b); err != nil {
+			return nil, err
+		}
+		if h.Sum, b, err = takeI64(b); err != nil {
+			return nil, err
+		}
+		if h.Max, b, err = takeI64(b); err != nil {
+			return nil, err
+		}
+		var nb int
+		if nb, b, err = takeCount(b); err != nil {
+			return nil, err
+		}
+		for j := 0; j < nb; j++ {
+			if len(b) < 1 {
+				return nil, errSnapWire
+			}
+			bk := BucketSnap{Index: b[0]}
+			b = b[1:]
+			if bk.Count, b, err = takeI64(b); err != nil {
+				return nil, err
+			}
+			h.Buckets = append(h.Buckets, bk)
+		}
+		s.Hists = append(s.Hists, h)
+	}
+	if len(b) != 0 {
+		return nil, errSnapWire
+	}
+	return s, nil
+}
+
+func appendName(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func takeName(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, errSnapWire
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n {
+		return "", nil, errSnapWire
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+func takeCount(b []byte) (int, []byte, error) {
+	if len(b) < 4 {
+		return 0, nil, errSnapWire
+	}
+	return int(binary.BigEndian.Uint32(b)), b[4:], nil
+}
+
+func takeI64(b []byte) (int64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, errSnapWire
+	}
+	return int64(binary.BigEndian.Uint64(b)), b[8:], nil
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/loops"
+	"repro/internal/obs"
 )
 
 // ctlKind is the control-flow outcome of executing a statement sequence.
@@ -93,6 +94,11 @@ type execState struct {
 	// seeded scheduler explore statement-level interleavings; the goroutine
 	// backend keeps its statement loop free of per-statement CPU churn.
 	yield bool
+	// obsReg/obsStmt are set at task start only when metrics are enabled, so
+	// the statement loop pays a nil check per statement when they are off
+	// (the enable mask is sampled once per task, like yield).
+	obsReg  *obs.Registry
+	obsStmt *obs.Histogram
 }
 
 // schedPoint offers the deterministic scheduler a chance to interleave
@@ -128,7 +134,15 @@ func (st *execState) execSeq(ns []cstmt) (ctl, error) {
 		s := &ns[pc]
 		st.p.cs.statements.Inc()
 		st.schedPoint()
-		c, err := s.run(st)
+		var c ctl
+		var err error
+		if st.obsStmt != nil {
+			t0 := st.obsReg.Now()
+			c, err = s.run(st)
+			st.obsStmt.ObserveDuration(st.obsReg.Now().Sub(t0))
+		} else {
+			c, err = s.run(st)
+		}
 		if err != nil {
 			if s.line > 0 {
 				if _, ok := err.(*Error); !ok {
@@ -487,7 +501,8 @@ func (st *execState) execForce(body []cstmt) (ctl, error) {
 	primAccept := preAccept
 	err := st.t.ForceSplit(func(m *core.ForceMember) {
 		sub := &execState{p: st.p, tp: st.tp, t: st.t, m: m, locks: st.locks,
-			sticky: sticky, lastAccept: preAccept, yield: st.yield}
+			sticky: sticky, lastAccept: preAccept, yield: st.yield,
+			obsReg: st.obsReg, obsStmt: st.obsStmt}
 		if m.IsPrimary() {
 			sub.f = st.f
 		} else {

@@ -60,9 +60,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/msgcodec"
+	"repro/internal/obs"
 	"repro/internal/pfc"
 	"repro/internal/stats"
 )
@@ -295,6 +297,19 @@ func (p *Program) taskBody(tp *taskProgram) func(*core.Task) {
 			f:     newFrame(tp.tab),
 			locks: &lockTable{byName: make(map[string]*core.Lock)},
 			yield: t.VM().Deterministic(),
+		}
+		// The enable mask is sampled once per task, like yield: a task that
+		// starts with metrics off interprets with zero instrumentation cost.
+		reg := t.VM().Obs()
+		if reg.Has(obs.Metrics) {
+			st.obsReg = reg
+			st.obsStmt = reg.Histogram("pfi.stmt.ns", "ns")
+		}
+		var spanT0 time.Time
+		if reg.Has(obs.Spans) {
+			spanT0 = reg.Now()
+			id := t.ID()
+			defer reg.Span(fmt.Sprintf("pfi/c%d %s", id.Cluster, id), "task "+tp.name, spanT0)
 		}
 		if err := st.bindParams(); err != nil {
 			p.fail(tp, t, err)

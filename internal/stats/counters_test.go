@@ -50,6 +50,40 @@ func TestCountersConcurrent(t *testing.T) {
 	}
 }
 
+// TestCountersRace mixes registration, bumps, snapshots and table renders
+// from parallel goroutines; under -race this is the concurrency guard for
+// the shared counter set.
+func TestCountersRace(t *testing.T) {
+	s := NewCounters()
+	names := []string{"a", "b", "c", "d", "e"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				s.Counter(names[(g+j)%len(names)]).Inc()
+				if j%50 == 0 {
+					s.Snapshot()
+					s.Names()
+					_ = s.Table("t").String()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total int64
+	for _, v := range s.Snapshot() {
+		total += v
+	}
+	if total != 8*500 {
+		t.Errorf("total = %d, want %d", total, 8*500)
+	}
+	if len(s.Names()) != len(names) {
+		t.Errorf("names = %v", s.Names())
+	}
+}
+
 func TestCountersTable(t *testing.T) {
 	s := NewCounters()
 	s.Counter("statements").Add(12)

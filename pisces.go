@@ -33,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/flex"
+	"repro/internal/obs"
 	"repro/internal/pfc"
 	"repro/internal/pfi"
 	"repro/internal/rect"
@@ -264,6 +265,32 @@ const (
 
 // AnalyzeTrace summarises trace events for off-line study.
 func AnalyzeTrace(events []TraceEvent) trace.Analysis { return trace.Analyze(events) }
+
+// Runtime observability (internal/obs): a metric registry (atomic counters,
+// gauges, and log-scale histograms) plus lightweight span capture, threaded
+// through every layer of the message path.  Pass a registry through
+// Options.Metrics and enable the concerns you want; disabled instrumentation
+// costs one atomic load per site.
+type (
+	// ObsRegistry collects runtime metrics and spans (Options.Metrics).
+	ObsRegistry = obs.Registry
+	// ObsSnapshot is a point-in-time, name-sorted view of a registry.
+	ObsSnapshot = obs.Snapshot
+	// ObsMask selects which observability concerns are enabled.
+	ObsMask = obs.Mask
+)
+
+// Observability enable bits for ObsRegistry.Enable.
+const (
+	// ObsMetrics enables the counters, gauges, and histograms.
+	ObsMetrics = obs.Metrics
+	// ObsSpans enables span capture (ObsRegistry.WriteChromeTrace).
+	ObsSpans = obs.Spans
+)
+
+// NewObsRegistry returns an empty observability registry with everything
+// disabled, for Options.Metrics.
+func NewObsRegistry() *ObsRegistry { return obs.New() }
 
 // FlexDefaultConfig returns the simulated FLEX/32 hardware description
 // (20 PEs, 1 MiB local memory each, 2.25 MiB shared memory).
