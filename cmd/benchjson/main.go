@@ -7,12 +7,21 @@
 //	go run ./cmd/benchjson [-out BENCH_pr5.json] [-bench regex]
 //	       [-benchtime 100x] [-pkgs ./...,...] [-label pr5]
 //	       [-compare BASELINE.json] [-threshold 25]
+//	       [-improve 'Benchmark:unit:factor,...'] [-improve-base OLD.json]
 //
 // With -compare the fresh run is also diffed against a checked-in baseline
 // report: for every benchmark present in both, ns/op may not grow and
 // throughput metrics (any unit ending in "/s") may not shrink by more than
 // -threshold percent, or the command exits non-zero — the CI guard that a
 // change did not quietly slow the message hot path down.
+//
+// -improve asserts the opposite direction: a claimed optimisation must still
+// deliver.  Each comma-separated spec 'Benchmark:unit:factor' requires the
+// fresh run's metric to be at least factor× better than the -improve-base
+// report's (higher for throughputs, lower for ns/op and */op costs), or the
+// command exits non-zero.  -improve-base defaults to the -compare file, so a
+// perf PR pins its speed-up against the pre-optimisation baseline while the
+// ordinary regression gate tracks the new one.
 //
 // It shells out to `go test -run ^$ -bench <regex> -benchmem` for each
 // package pattern, parses the standard benchmark output lines
@@ -69,6 +78,8 @@ func main() {
 	label := flag.String("label", "pr5", "label recorded in the report")
 	compare := flag.String("compare", "", "baseline report to diff against; exit non-zero on a regression beyond -threshold")
 	threshold := flag.Float64("threshold", 25, "maximum tolerated regression in percent for -compare")
+	improve := flag.String("improve", "", "comma-separated 'Benchmark:unit:factor' assertions: the fresh metric must be at least factor x better than the -improve-base report's")
+	improveBase := flag.String("improve-base", "", "baseline report for -improve (defaults to the -compare file)")
 	flag.Parse()
 
 	rep := Report{Label: *label, Go: runtime.Version()}
@@ -111,6 +122,88 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	if *improve != "" {
+		basePath := *improveBase
+		if basePath == "" {
+			basePath = *compare
+		}
+		if basePath == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -improve needs -improve-base (or -compare) to name the old report")
+			os.Exit(1)
+		}
+		missed, err := assertImprovements(basePath, rep, *improve, os.Stdout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if missed > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d improvement assertion(s) missed against %s\n", missed, basePath)
+			os.Exit(1)
+		}
+	}
+}
+
+// assertImprovements enforces 'Benchmark:unit:factor' specs against an older
+// report: for throughput units (ending in "/s") the fresh value must be at
+// least factor times the old one; for cost units (ns/op and anything ending
+// in "/op") it must be at most old/factor.  A spec naming a benchmark or
+// unit absent from either report is an error, not a silent pass — a renamed
+// benchmark must not quietly disarm the assertion.
+func assertImprovements(path string, fresh Report, specs string, w *os.File) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	baseline := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
+	}
+	current := make(map[string]Benchmark, len(fresh.Benchmarks))
+	for _, b := range fresh.Benchmarks {
+		current[b.Name] = b
+	}
+	fmt.Fprintf(w, "benchjson: improvement assertions against %s (label %q)\n", path, base.Label)
+	missed := 0
+	for _, spec := range strings.Split(specs, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			return 0, fmt.Errorf("bad -improve spec %q, want 'Benchmark:unit:factor'", spec)
+		}
+		name, unit := parts[0], parts[1]
+		factor, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || factor <= 0 {
+			return 0, fmt.Errorf("bad -improve factor in %q", spec)
+		}
+		ov, ok := baseline[name].Metrics[unit]
+		if !ok || ov == 0 {
+			return 0, fmt.Errorf("%s: baseline %s has no %s %s", spec, path, name, unit)
+		}
+		nv, ok := current[name].Metrics[unit]
+		if !ok {
+			return 0, fmt.Errorf("%s: fresh run has no %s %s", spec, name, unit)
+		}
+		// ratio > 1 means better, whichever direction the unit improves in.
+		ratio := nv / ov
+		if unit == "ns/op" || strings.HasSuffix(unit, "/op") {
+			ratio = ov / nv
+		}
+		verdict := "ok"
+		if ratio < factor {
+			verdict = "MISSED"
+			missed++
+		}
+		fmt.Fprintf(w, "  %-30s %-14s %12.0f -> %-12.0f %.2fx (want >= %.2fx) %s\n", name, unit, ov, nv, ratio, factor, verdict)
+	}
+	return missed, nil
 }
 
 // compareAgainst diffs the fresh report against a baseline file and reports

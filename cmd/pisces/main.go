@@ -166,6 +166,7 @@ func runInterpretedInner(args []string, out io.Writer) error {
 		"inject deterministic seeded latency and retransmission faults on every cross-cluster message (combine with -sim for byte-reproducible network schedules)")
 	acceptTimeout := fs.Duration("accept-timeout", 30*time.Second,
 		"system-provided timeout for ACCEPT statements without a DELAY clause")
+	wire := addWireFlags(fs) // batched wire path knobs; -nodes runs only
 	// The FlagSet's own printing is suppressed so parse errors surface exactly
 	// once (through main's error path) and -h exits 0 with the usage text.
 	fs.SetOutput(io.Discard)
@@ -198,7 +199,7 @@ func runInterpretedInner(args []string, out io.Writer) error {
 		case *traceEvents != "":
 			return fmt.Errorf("-nodes does not support -trace (trace events are per node)")
 		}
-		return runDistributed(*nodes, *clusters, *slots, *forces, *mainTT, *showStats, *traceOut, *acceptTimeout, fs.Arg(0), out)
+		return runDistributed(*nodes, *clusters, *slots, *forces, *mainTT, *showStats, *traceOut, *acceptTimeout, wire, fs.Arg(0), out)
 	}
 	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {

@@ -33,6 +33,56 @@ import (
 // streams to the caller's stdout unmodified, and relays the children's
 // output to stderr with a [node i] prefix.
 
+// wireFlags holds the batched-wire-path knobs shared by "pisces serve" and
+// "pisces run -nodes".  The -wire-batch default honours PISCES_WIRE_BATCH
+// ("on"/"off") so the CI smoke matrix can force a whole forked mesh on or
+// off through the environment without touching every command line.
+type wireFlags struct {
+	mode   *string
+	bytes  *int
+	delay  *time.Duration
+	window *int
+}
+
+func addWireFlags(fs *flag.FlagSet) *wireFlags {
+	def := os.Getenv("PISCES_WIRE_BATCH")
+	if def == "" {
+		def = "on"
+	}
+	return &wireFlags{
+		mode: fs.String("wire-batch", def,
+			"frame coalescing on the node wire path: on packs many frames per write syscall, off flushes every frame before Send returns (default honours PISCES_WIRE_BATCH)"),
+		bytes: fs.Int("wire-batch-bytes", 0, "target batch buffer size in bytes (0 = 64KiB)"),
+		delay: fs.Duration("wire-batch-delay", 0,
+			"longest a partial batch lingers waiting for more frames; 0 flushes as soon as the writer is free"),
+		window: fs.Int("wire-credit-window", 0,
+			"per-lane flow-control window in frames (0 = 1024; negative disables flow control)"),
+	}
+}
+
+func (w *wireFlags) config() (node.WireConfig, error) {
+	cfg := node.WireConfig{BatchBytes: *w.bytes, BatchDelay: *w.delay, CreditWindow: *w.window}
+	switch *w.mode {
+	case "on":
+	case "off":
+		cfg.Unbatched = true
+	default:
+		return cfg, fmt.Errorf("-wire-batch: %q (want on or off)", *w.mode)
+	}
+	return cfg, nil
+}
+
+// serveArgs forwards the knobs to a forked follower so every node of the
+// mesh runs the same wire settings.
+func (w *wireFlags) serveArgs() []string {
+	return []string{
+		"-wire-batch", *w.mode,
+		"-wire-batch-bytes", strconv.Itoa(*w.bytes),
+		"-wire-batch-delay", w.delay.String(),
+		"-wire-credit-window", strconv.Itoa(*w.window),
+	}
+}
+
 // runServe implements "pisces serve -node K -peers a,b,... <program.pf>".
 func runServe(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pisces serve", flag.ContinueOnError)
@@ -50,6 +100,7 @@ func runServe(args []string, out io.Writer) error {
 	acceptTimeout := fs.Duration("accept-timeout", 30*time.Second,
 		"system-provided timeout for ACCEPT statements without a DELAY clause")
 	connectTimeout := fs.Duration("connect-timeout", 30*time.Second, "how long to wait for the mesh to form")
+	wire := addWireFlags(fs)
 	fs.SetOutput(io.Discard)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -74,6 +125,10 @@ func runServe(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	wireCfg, err := wire.config()
+	if err != nil {
+		return err
+	}
 	reg := obs.New()
 	if *showStats || *collectMetrics || *debugAddr != "" {
 		reg.Enable(obs.Metrics)
@@ -92,7 +147,7 @@ func runServe(args []string, out io.Writer) error {
 		Config: cfg, Source: string(src), Main: *mainTT,
 		Out: out, Log: os.Stderr,
 		AcceptTimeout: *acceptTimeout, ConnectTimeout: *connectTimeout,
-		Metrics: reg,
+		Metrics: reg, Wire: wireCfg,
 	})
 	if err != nil {
 		return err
@@ -136,12 +191,16 @@ func splitAddrs(peers string) []string {
 
 // runDistributed implements "pisces run -nodes N": fork the follower node
 // processes, run node 0 inline, and reap the children.
-func runDistributed(nodes, clusters, slots int, forces, mainTT string, showStats bool, traceOut string, acceptTimeout time.Duration, file string, out io.Writer) error {
+func runDistributed(nodes, clusters, slots int, forces, mainTT string, showStats bool, traceOut string, acceptTimeout time.Duration, wire *wireFlags, file string, out io.Writer) error {
 	src, err := os.ReadFile(file)
 	if err != nil {
 		return err
 	}
 	cfg, err := buildConfiguration("", clusters, slots, forces, "")
+	if err != nil {
+		return err
+	}
+	wireCfg, err := wire.config()
 	if err != nil {
 		return err
 	}
@@ -186,6 +245,7 @@ func runDistributed(nodes, clusters, slots int, forces, mainTT string, showStats
 			"-clusters", strconv.Itoa(clusters), "-slots", strconv.Itoa(slots),
 			"-accept-timeout", acceptTimeout.String(),
 		}
+		args = append(args, wire.serveArgs()...)
 		if forces != "" {
 			args = append(args, "-forces", forces)
 		}
@@ -219,7 +279,7 @@ func runDistributed(nodes, clusters, slots int, forces, mainTT string, showStats
 		Config: cfg, Source: string(src), Main: mainTT,
 		Out: out, Log: os.Stderr,
 		AcceptTimeout: acceptTimeout, ConnectTimeout: 30 * time.Second,
-		Metrics: reg,
+		Metrics: reg, Wire: wireCfg,
 	})
 	if err != nil {
 		killChildren()

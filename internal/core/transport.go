@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/msgcodec"
@@ -78,8 +79,13 @@ type WireFrame struct {
 // Transport carries cross-cluster wire frames between clusters hosted by
 // different VMs (or re-injects them locally with latency, for fault
 // injection).  Implementations must preserve per-sender FIFO order for
-// frames with the same (Src, Dst) pair, and must copy Payload before Send
-// returns if delivery is deferred.
+// frames with the same (Src, Dst) pair.  The frame AND its Payload are
+// borrowed: both are valid only until Send returns (the header is pooled,
+// the payload bytes live in the sender's heap shard and are recovered at
+// that point), so a transport that defers delivery must copy what it needs
+// before returning — the batched TCP transport encodes the frame into its
+// batch buffer inside Send, a fault transport copies the payload into its
+// delay line.
 type Transport interface {
 	// Send hands one frame to the transport.
 	Send(f *WireFrame) error
@@ -146,16 +152,8 @@ func (vm *VM) HostedClusters() []int {
 
 // homeCluster returns the lowest hosted cluster number; it identifies this
 // node in frames whose sender is the execution environment rather than a
-// task.
-func (vm *VM) homeCluster() int {
-	nums := vm.clusterNumbers()
-	for _, n := range nums {
-		if vm.hosts(n) {
-			return n
-		}
-	}
-	return nums[0]
-}
+// task.  Resolved once at boot — this sits on the per-message remote path.
+func (vm *VM) homeCluster() int { return vm.home }
 
 // partial reports whether some configured cluster is hosted elsewhere.
 func (vm *VM) partial() bool { return vm.hosted != nil && len(vm.hosted) < len(vm.clusters) }
@@ -271,7 +269,8 @@ func (vm *VM) routeRemote(from *clusterRT, to TaskID, msgType string, sender Tas
 		}
 		return 0, err
 	}
-	f := &WireFrame{
+	f := wireFramePool.Get().(*WireFrame)
+	*f = WireFrame{
 		Kind: FrameMessage, Src: src, Dst: to.Cluster, Dest: to,
 		Type: msgType, Sender: sender, Seq: vm.msgSeq.Add(1), Payload: payload,
 	}
@@ -279,12 +278,14 @@ func (vm *VM) routeRemote(from *clusterRT, to TaskID, msgType string, sender Tas
 		f.ReplyID = vm.addPendingReply(reply)
 	}
 	sendErr := vm.remote.Send(f)
+	replyID := f.ReplyID
+	wireFramePool.Put(f)
 	if off >= 0 {
 		_ = from.heap.Free(off)
 	}
 	if sendErr != nil {
-		if f.ReplyID != 0 {
-			if r := vm.takePendingReply(f.ReplyID); r != nil {
+		if replyID != 0 {
+			if r := vm.takePendingReply(replyID); r != nil {
 				r.deliver(NilTask)
 			}
 		}
@@ -292,6 +293,11 @@ func (vm *VM) routeRemote(from *clusterRT, to TaskID, msgType string, sender Tas
 	}
 	return size, nil
 }
+
+// wireFramePool recycles the frame headers routeRemote hands to Send: the
+// Transport contract already makes the frame (like its Payload) valid only
+// until Send returns, so the header can be reused the moment it comes back.
+var wireFramePool = sync.Pool{New: func() any { return new(WireFrame) }}
 
 // routeBroadcast ships one broadcast frame through the remote Transport so
 // nodes hosting other clusters fan it out to their user tasks.  cluster is

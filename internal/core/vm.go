@@ -127,6 +127,7 @@ type VM struct {
 	// the in-process loopback transport, and the pending-reply table
 	// correlating routed initiate requests with their reply frames.
 	hosted         map[int]bool
+	home           int // lowest hosted cluster, resolved once at boot
 	remote         Transport
 	interceptAll   bool
 	loop           *loopback
@@ -303,6 +304,17 @@ func NewVMOn(machine *flex.Machine, cfg *config.Configuration, opts Options) (*V
 	}
 	for i, n := range nums {
 		vm.clusters[n].heap = machine.Shared().HeapShard(i)
+	}
+
+	// The home cluster (the node's identity in frames sent by the execution
+	// environment) is fixed for the VM's lifetime; resolve it once instead of
+	// sorting the cluster set on every remote-routing decision.
+	vm.home = nums[0]
+	for _, n := range nums {
+		if vm.hosts(n) {
+			vm.home = n
+			break
+		}
 	}
 
 	// Controllers first, routers second: if controller start-up fails the VM

@@ -51,6 +51,85 @@ func WriteFrame(w io.Writer, payload []byte, max int) error {
 	return err
 }
 
+// Batch framing.  A batch is simply the concatenation of length-prefixed
+// frames in one contiguous buffer: the node transport's writer packs many
+// frames into a single buffer and hands it to the kernel in one write, and
+// the byte stream stays identical to per-frame writes — a receiver using
+// ReadFrame cannot tell coalesced traffic from unbatched traffic.  The
+// helpers below are the two halves of the batch path: BeginFrame/EndFrame
+// let a sender encode a payload DIRECTLY into the batch buffer (no
+// intermediate per-frame allocation — the payload bytes are copied exactly
+// once, from their source into the batch), and NextFrame splits a batch
+// buffer back into payloads.
+
+// AppendFrame appends one length-prefixed frame holding payload to the batch
+// buffer and returns the extended buffer.  Oversized payloads are rejected
+// with ErrCorrupt, leaving batch unmodified.
+func AppendFrame(batch, payload []byte, max int) ([]byte, error) {
+	if max <= 0 {
+		max = MaxFrameBytes
+	}
+	if len(payload) > max {
+		return batch, fmt.Errorf("%w: frame payload %d bytes exceeds maximum %d", ErrCorrupt, len(payload), max)
+	}
+	batch = binary.BigEndian.AppendUint32(batch, uint32(len(payload)))
+	return append(batch, payload...), nil
+}
+
+// BeginFrame reserves a length prefix in the batch buffer and returns the
+// extended buffer plus the payload start offset.  The caller appends the
+// payload bytes and then calls EndFrame with the same offset to backfill the
+// prefix.
+func BeginFrame(batch []byte) ([]byte, int) {
+	batch = append(batch, 0, 0, 0, 0)
+	return batch, len(batch)
+}
+
+// EndFrame backfills the length prefix reserved by BeginFrame for the
+// payload written at batch[payloadStart:].  A payload larger than max
+// (MaxFrameBytes when max <= 0) is rejected with ErrCorrupt and the buffer
+// is truncated back to the frame start, dropping the partial frame so the
+// batch stays well-formed.
+func EndFrame(batch []byte, payloadStart int, max int) ([]byte, error) {
+	if max <= 0 {
+		max = MaxFrameBytes
+	}
+	n := len(batch) - payloadStart
+	if n < 0 || payloadStart < frameLenBytes {
+		return batch, fmt.Errorf("%w: EndFrame offset %d outside batch of %d bytes", ErrCorrupt, payloadStart, len(batch))
+	}
+	if n > max {
+		return batch[:payloadStart-frameLenBytes], fmt.Errorf("%w: frame payload %d bytes exceeds maximum %d", ErrCorrupt, n, max)
+	}
+	binary.BigEndian.PutUint32(batch[payloadStart-frameLenBytes:payloadStart], uint32(n))
+	return batch, nil
+}
+
+// NextFrame splits the first length-prefixed frame off a batch buffer,
+// returning its payload (aliasing batch) and the remaining bytes.  An empty
+// batch returns io.EOF; a batch that ends mid-frame or carries an oversized
+// prefix returns ErrCorrupt (truncation is corruption here — the batch was
+// materialised in memory by a peer, not streamed).
+func NextFrame(batch []byte, max int) (payload, rest []byte, err error) {
+	if max <= 0 {
+		max = MaxFrameBytes
+	}
+	if len(batch) == 0 {
+		return nil, nil, io.EOF
+	}
+	if len(batch) < frameLenBytes {
+		return nil, nil, fmt.Errorf("%w: batch ends inside a length prefix (%d bytes)", ErrCorrupt, len(batch))
+	}
+	n := binary.BigEndian.Uint32(batch)
+	if n > uint32(max) {
+		return nil, nil, fmt.Errorf("%w: frame length prefix %d exceeds maximum %d", ErrCorrupt, n, max)
+	}
+	if uint32(len(batch)-frameLenBytes) < n {
+		return nil, nil, fmt.Errorf("%w: frame length prefix %d but only %d payload bytes in batch", ErrCorrupt, n, len(batch)-frameLenBytes)
+	}
+	return batch[frameLenBytes : frameLenBytes+int(n)], batch[frameLenBytes+int(n):], nil
+}
+
 // ReadFrame reads one length-prefixed frame, reusing buf when it is large
 // enough.  A length prefix exceeding max (MaxFrameBytes when max <= 0) is
 // rejected with ErrCorrupt before any payload-sized allocation happens.  On

@@ -90,3 +90,137 @@ func TestFrameTruncatedPayload(t *testing.T) {
 		t.Fatalf("truncated payload: got %v, want io.ErrUnexpectedEOF", err)
 	}
 }
+
+// TestBatchFraming covers the batch helpers against the streaming reader:
+// frames appended with AppendFrame and BeginFrame/EndFrame come back in
+// order through both NextFrame and ReadFrame (a batch IS the stream bytes).
+func TestBatchFraming(t *testing.T) {
+	payloads := [][]byte{{}, {7}, []byte("batched frame"), bytes.Repeat([]byte{0xCD}, 1000)}
+	var batch []byte
+	var err error
+	for i, p := range payloads {
+		if i%2 == 0 {
+			if batch, err = AppendFrame(batch, p, 0); err != nil {
+				t.Fatalf("AppendFrame %d: %v", i, err)
+			}
+		} else {
+			var start int
+			batch, start = BeginFrame(batch)
+			batch = append(batch, p...)
+			if batch, err = EndFrame(batch, start, 0); err != nil {
+				t.Fatalf("EndFrame %d: %v", i, err)
+			}
+		}
+	}
+
+	rest := batch
+	for i, want := range payloads {
+		var got []byte
+		got, rest, err = NextFrame(rest, 0)
+		if err != nil {
+			t.Fatalf("NextFrame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	if _, _, err = NextFrame(rest, 0); err != io.EOF {
+		t.Fatalf("end of batch: got %v, want io.EOF", err)
+	}
+
+	r := bytes.NewReader(batch)
+	for i, want := range payloads {
+		got, err := ReadFrame(r, nil, 0)
+		if err != nil {
+			t.Fatalf("ReadFrame %d from batch: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("streamed frame %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+}
+
+// TestBatchBoundaryAtCapacity pins the boundary case the transport's writer
+// hits when frames exactly fill the batch buffer: a batch built to precisely
+// its capacity splits cleanly, with the last frame ending exactly at the
+// buffer's end (no trailing bytes, no truncation error).
+func TestBatchBoundaryAtCapacity(t *testing.T) {
+	const capacity = 256
+	batch := make([]byte, 0, capacity)
+	var err error
+	// Frames of payload size 28 occupy exactly 32 bytes each: 8 of them fill
+	// the 256-byte buffer to the brim.
+	payload := bytes.Repeat([]byte{0x5A}, 28)
+	for len(batch) < capacity {
+		if batch, err = AppendFrame(batch, payload, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(batch) != capacity || cap(batch) != capacity {
+		t.Fatalf("batch is %d/%d bytes, want exactly %d (the append must not have grown the buffer)", len(batch), cap(batch), capacity)
+	}
+	n := 0
+	for rest := batch; ; n++ {
+		var got []byte
+		got, rest, err = NextFrame(rest, 0)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("frame %d: %v", n, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("frame %d corrupted", n)
+		}
+	}
+	if n != capacity/32 {
+		t.Fatalf("split %d frames, want %d", n, capacity/32)
+	}
+}
+
+// TestBatchOversizedFrame: EndFrame must reject a payload over the maximum
+// and truncate the partial frame away so the batch stays well-formed, and
+// NextFrame must reject an oversized prefix without touching the payload.
+func TestBatchOversizedFrame(t *testing.T) {
+	const max = 64
+	batch, err := AppendFrame(nil, []byte("ok"), max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := len(batch)
+
+	batch, start := BeginFrame(batch)
+	batch = append(batch, make([]byte, max+1)...)
+	batch, err = EndFrame(batch, start, max)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("EndFrame over max: got %v, want ErrCorrupt", err)
+	}
+	if len(batch) != good {
+		t.Fatalf("EndFrame left %d bytes, want the batch truncated back to %d", len(batch), good)
+	}
+	if _, err := AppendFrame(batch, make([]byte, max+1), max); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("AppendFrame over max: got %v, want ErrCorrupt", err)
+	}
+
+	// The surviving batch still splits cleanly.
+	payload, rest, err := NextFrame(batch, max)
+	if err != nil || string(payload) != "ok" || len(rest) != 0 {
+		t.Fatalf("batch after rejected frames: payload %q rest %d err %v", payload, len(rest), err)
+	}
+
+	// An oversized prefix inside a batch is corruption, as is a batch that
+	// ends mid-frame or mid-prefix.
+	big, err := AppendFrame(nil, make([]byte, max+1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := NextFrame(big, max); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized prefix: got %v, want ErrCorrupt", err)
+	}
+	if _, _, err := NextFrame(big[:len(big)-1], 0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("batch ending mid-frame: got %v, want ErrCorrupt", err)
+	}
+	if _, _, err := NextFrame(big[:2], 0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("batch ending mid-prefix: got %v, want ErrCorrupt", err)
+	}
+}

@@ -1,6 +1,8 @@
 package msgcodec
 
 import (
+	"bytes"
+	"io"
 	"testing"
 )
 
@@ -45,6 +47,61 @@ func FuzzCodec(f *testing.F) {
 		}
 		if size, err := EncodedSize(args); err != nil || size < HeaderBytes {
 			t.Fatalf("EncodedSize of decodable args = (%d, %v)", size, err)
+		}
+	})
+}
+
+// FuzzBatchCodec is the batch-framing round-trip target: NextFrame must
+// never panic on arbitrary bytes, and any batch it splits completely must be
+// reproduced byte-identically by re-appending the payloads with AppendFrame
+// (the framing is canonical, so split∘append is the identity on everything
+// NextFrame accepts).  The frames must also come back the same through the
+// streaming reader — a batch IS the per-frame wire bytes.
+func FuzzBatchCodec(f *testing.F) {
+	var seed []byte
+	for _, p := range [][]byte{{}, {1}, []byte("frame"), bytes.Repeat([]byte{9}, 300)} {
+		seed, _ = AppendFrame(seed, p, 0)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1})
+	f.Add([]byte{0, 0, 0, 3, 'a'}) // prefix claims more than the batch holds
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var payloads [][]byte
+		rest := data
+		for {
+			var p []byte
+			var err error
+			p, rest, err = NextFrame(rest, 0)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return // corrupt batch rejected without panicking: fine
+			}
+			payloads = append(payloads, p)
+		}
+		rebuilt := make([]byte, 0, len(data))
+		var err error
+		for i, p := range payloads {
+			if rebuilt, err = AppendFrame(rebuilt, p, 0); err != nil {
+				t.Fatalf("AppendFrame of split payload %d failed: %v", i, err)
+			}
+		}
+		if !bytes.Equal(rebuilt, data) {
+			t.Fatalf("split+append changed the batch: %d -> %d bytes", len(data), len(rebuilt))
+		}
+		r := bytes.NewReader(data)
+		for i, want := range payloads {
+			got, err := ReadFrame(r, nil, 0)
+			if err != nil {
+				t.Fatalf("ReadFrame %d of batch stream: %v", i, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("frame %d differs between NextFrame and ReadFrame", i)
+			}
 		}
 	})
 }

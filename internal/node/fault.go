@@ -23,13 +23,22 @@ type FaultProfile struct {
 	DropRate float64
 	// Retransmit is the extra delay a dropped frame pays.
 	Retransmit time.Duration
+	// BatchWindow models the TCP transport's sender-side frame coalescing:
+	// every frame a lane accepts within one open window departs together at
+	// the window's close (then pays its own sampled delay on top), the way a
+	// real batch leaves in one write syscall.  Windows are tracked on the
+	// backend clock, so under -sim batching is virtual-time deterministic
+	// like every other fault.  Zero disables coalescing (frames depart as
+	// they are sent).
+	BatchWindow time.Duration
 }
 
 // DefaultFaultProfile returns delays large enough to reorder traffic between
 // lanes under the sim backend's virtual clock without slowing wall-clock
-// test runs (virtual time costs nothing).
+// test runs (virtual time costs nothing), with batch coalescing enabled so
+// the conformance sweep exercises the batched wire path's timing.
 func DefaultFaultProfile() FaultProfile {
-	return FaultProfile{Base: 2 * time.Millisecond, Jitter: 8 * time.Millisecond, DropRate: 0.05, Retransmit: 25 * time.Millisecond}
+	return FaultProfile{Base: 2 * time.Millisecond, Jitter: 8 * time.Millisecond, DropRate: 0.05, Retransmit: 25 * time.Millisecond, BatchWindow: 2 * time.Millisecond}
 }
 
 // laneKey identifies one FIFO delay line: messages keep per-(src,dst) order,
@@ -60,6 +69,7 @@ type FaultTransport struct {
 	vm          *core.VM
 	be          backend.Backend
 	lanes       map[laneKey]time.Time
+	batches     map[laneKey]time.Time
 	outstanding int
 	idleWaits   []backend.Gate
 	delivered   int64
@@ -69,7 +79,7 @@ type FaultTransport struct {
 // NewFaultTransport builds a fault transport with its own seeded PRNG.  The
 // same seed and the same VM schedule reproduce the same delays.
 func NewFaultTransport(seed int64, p FaultProfile) *FaultTransport {
-	return &FaultTransport{profile: p, rng: rand.New(rand.NewSource(seed)), lanes: make(map[laneKey]time.Time)}
+	return &FaultTransport{profile: p, rng: rand.New(rand.NewSource(seed)), lanes: make(map[laneKey]time.Time), batches: make(map[laneKey]time.Time)}
 }
 
 // Bind attaches the transport to the VM it delays traffic for.
@@ -105,7 +115,19 @@ func (ft *FaultTransport) schedule(key laneKey, fn func()) error {
 		ft.faults++
 	}
 	now := ft.be.Now()
-	due := now.Add(delay)
+	// Batch coalescing: a lane's frames share the open batch window's
+	// departure time, then each pays its sampled wire delay from there.  The
+	// first frame past the close opens the next window.
+	depart := now
+	if w := ft.profile.BatchWindow; w > 0 {
+		if dl, ok := ft.batches[key]; ok && now.Before(dl) {
+			depart = dl
+		} else {
+			depart = now.Add(w)
+			ft.batches[key] = depart
+		}
+	}
+	due := depart.Add(delay)
 	// Per-lane FIFO: a frame never fires before its predecessor on the same
 	// lane.  The extra nanosecond keeps due times strictly monotone so timer
 	// ties cannot reorder a lane even in principle.

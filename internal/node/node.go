@@ -54,6 +54,10 @@ type Options struct {
 	// a metric snapshot to every drain ack, so the coordinator can print one
 	// merged cluster-wide view (FollowerSnapshots).
 	Metrics *obs.Registry
+	// Wire tunes the batched wire path (batch buffer size, linger, credit
+	// window); the zero value selects the defaults documented on WireConfig.
+	// Every node of a mesh should run the same settings.
+	Wire WireConfig
 }
 
 // Node is one running node process: a partial VM plus the TCP mesh.
@@ -118,7 +122,7 @@ func Start(opts Options) (*Node, error) {
 		opts:         opts,
 		topo:         topo,
 		fp:           Fingerprint(opts.Config, topo, opts.Source),
-		tr:           newTransport(opts.NodeID, topo, reg),
+		tr:           newTransport(opts.NodeID, topo, reg, opts.Wire),
 		acks:         make(chan drainAck, 4*len(opts.Addrs)),
 		shutdownCh:   make(chan struct{}),
 		reg:          reg,
@@ -395,20 +399,37 @@ func (n *Node) FollowerSnapshots() map[int]*obs.Snapshot {
 // Addr returns the listener's actual address (tests bind port 0).
 func (n *Node) Addr() string { return n.ln.Addr().String() }
 
-// readLoop pumps one peer's frames into the VM.  A connection error from the
-// coordinator is treated as shutdown: a follower must not outlive node 0.
+// readLoop is the socket half of one peer's inbound pipeline: it pulls
+// length-prefixed frames off the connection and hands them to the lane's
+// deliverLoop through a bounded stage, recycling delivered frame buffers.
+// Splitting read from deliver pipelines decode/VM-delivery across source
+// peers (each lane's syscall wait overlaps the others' decode work) while
+// the per-lane stage keeps frames in per-sender order; when the stage fills,
+// the reader stops pulling and TCP pushes back on the sending node.  A
+// connection error from the coordinator is treated as shutdown: a follower
+// must not outlive node 0.
 func (n *Node) readLoop(from int, conn net.Conn) {
 	defer n.readers.Done()
 	defer conn.Close()
-	br := bufio.NewReader(conn)
-	var buf []byte
+	work := make(chan []byte, stageDepth)
+	free := make(chan []byte, stageDepth)
+	n.readers.Add(1)
+	go n.deliverLoop(from, work, free)
+	// The deliver stage drains until work is closed, so the reader can
+	// always close it on exit without stranding queued frames.
+	defer close(work)
+	br := bufio.NewReaderSize(conn, 64<<10)
 	// Per-lane inbound counters, named from the receiver's side so a merged
 	// cluster-wide snapshot shows every lane from both endpoints (tx counted
 	// by the sender, rx by the receiver) without colliding.
 	rxFrames := n.reg.Counter(fmt.Sprintf("node.rx.n%d->n%d.frames", from, n.opts.NodeID))
 	rxBytes := n.reg.Counter(fmt.Sprintf("node.rx.n%d->n%d.bytes", from, n.opts.NodeID))
-	rxLane := fmt.Sprintf("node/%d rx<-n%d", n.opts.NodeID, from)
 	for {
+		var buf []byte
+		select {
+		case buf = <-free:
+		default: // stage still holds every buffer; allocate a fresh one
+		}
 		metrics := n.reg.Has(obs.Metrics)
 		var readT0 time.Time
 		if metrics {
@@ -424,51 +445,74 @@ func (n *Node) readLoop(from int, conn net.Conn) {
 			}
 			return
 		}
+		if metrics {
+			n.frameRead.ObserveDuration(n.reg.Now().Sub(readT0))
+			rxFrames.Inc()
+			rxBytes.Add(int64(len(payload)) + msgcodec.FrameOverhead)
+		}
+		if len(payload) == 0 {
+			continue
+		}
+		work <- payload
+	}
+}
+
+// deliverLoop is the VM half of one peer's inbound pipeline: it decodes each
+// frame and delivers it, in arrival (per-sender FIFO) order, returning the
+// buffer to the reader afterwards.  It also runs the receiver side of the
+// credit protocol: credits for delivered data frames go back to the sender
+// in chunks, or immediately whenever the stage runs dry — so a sender whose
+// window is smaller than the chunk never stalls waiting for a grant that
+// isn't coming.  The loop drains until the reader closes the stage; protocol
+// frames (even fShutdown) must not end it early, or a full stage would wedge
+// the reader.
+func (n *Node) deliverLoop(from int, work <-chan []byte, free chan<- []byte) {
+	defer n.readers.Done()
+	rxLane := fmt.Sprintf("node/%d rx<-n%d", n.opts.NodeID, from)
+	pending := 0 // delivered-but-ungranted credited frames
+	var frame core.WireFrame // reused per frame; DeliverWire does not retain it
+	for payload := range work {
+		metrics := n.reg.Has(obs.Metrics)
 		var deliverT0 time.Time
 		if metrics || n.reg.Has(obs.Spans) {
 			deliverT0 = n.reg.Now()
 		}
-		if metrics {
-			n.frameRead.ObserveDuration(deliverT0.Sub(readT0))
-			rxFrames.Inc()
-			rxBytes.Add(int64(len(payload)) + msgcodec.FrameOverhead)
-		}
-		buf = payload
-		if len(payload) == 0 {
-			continue
-		}
 		kind, body := payload[0], payload[1:]
 		switch kind {
 		case fMsg, fBcast:
-			f, err := decodeWireFrame(kind, body)
-			if err != nil {
+			if err := decodeWireFrameInto(&frame, kind, body); err != nil {
 				fmt.Fprintf(n.opts.Log, "node %d: bad frame from node %d: %v\n", n.opts.NodeID, from, err)
-				continue
+				break
 			}
 			n.tr.recv.Add(1)
-			_ = n.vm.DeliverWire(f)
+			_ = n.vm.DeliverWire(&frame)
+			pending++
 			if metrics {
 				n.frameDeliver.ObserveDuration(n.reg.Now().Sub(deliverT0))
 			}
-			n.reg.Span(rxLane, "rx "+f.Type, deliverT0)
+			n.reg.Span(rxLane, "rx "+frame.Type, deliverT0)
 		case fInitReply:
 			replyID, id, err := decodeInitReply(body)
 			if err != nil {
 				fmt.Fprintf(n.opts.Log, "node %d: bad initiate reply from node %d: %v\n", n.opts.NodeID, from, err)
-				continue
+				break
 			}
 			n.tr.recv.Add(1)
 			n.vm.DeliverWireReply(replyID, id)
+		case fCredit:
+			if c, err := decodeCredit(body); err == nil {
+				n.tr.addCredits(from, c)
+			}
 		case fDrain:
 			epoch, err := decodeDrain(body)
 			if err != nil {
-				continue
+				break
 			}
 			n.answerDrain(epoch)
 		case fDrainAck:
 			ack, err := decodeDrainAck(body)
 			if err != nil {
-				continue
+				break
 			}
 			// A follower with metrics enabled piggybacks its current metric
 			// snapshot; keep the latest per node for the merged view.
@@ -487,9 +531,16 @@ func (n *Node) readLoop(from int, conn net.Conn) {
 			}
 		case fShutdown:
 			n.signalShutdown()
-			return
 		default:
 			fmt.Fprintf(n.opts.Log, "node %d: unknown frame type 0x%02x from node %d\n", n.opts.NodeID, kind, from)
+		}
+		if pending > 0 && (pending >= creditGrantChunk || len(work) == 0) {
+			n.tr.grantCredits(from, pending)
+			pending = 0
+		}
+		select {
+		case free <- payload[:0]:
+		default:
 		}
 	}
 }
@@ -526,16 +577,15 @@ func (n *Node) idleWithin(d time.Duration) bool {
 // answerDrain reports this node's quiescence for one drain round: whether
 // local user tasks are idle, and the frame totals whose global balance tells
 // the coordinator nothing is in flight.  Handled inline on the coordinator's
-// read loop — node 0 sends nothing but control frames after its program
+// deliver stage — node 0 sends nothing but control frames after its program
 // finished, so blocking here cannot starve a message the idle wait depends
-// on.
+// on.  Outbound batches are flushed before the counts are read, so a frame
+// lingering in an open batch cannot be reported sent-but-unreceivable for
+// the whole round.
 func (n *Node) answerDrain(epoch uint32) {
 	idle := n.idleWithin(2 * time.Second)
+	n.tr.Flush()
 	sent, recv := n.tr.counts()
-	p, err := n.tr.peerFor(0)
-	if err != nil {
-		return
-	}
 	ack := drainAck{from: n.opts.NodeID, epoch: epoch, sent: sent, recv: recv, idle: idle}
 	// Piggyback this node's metric snapshot on the ack so the coordinator's
 	// final summary covers the whole mesh.  Skipped (empty blob) when metrics
@@ -543,7 +593,7 @@ func (n *Node) answerDrain(epoch uint32) {
 	if n.reg.Has(obs.Metrics) {
 		ack.stats = n.reg.Snapshot().Encode()
 	}
-	_ = p.writeFrame(n.tr, encodeDrainAck(ack))
+	_ = n.tr.sendControl(0, encodeDrainAck(ack))
 }
 
 // RunMain runs the program's entry tasktype on this node (the coordinator)
@@ -592,9 +642,7 @@ func (n *Node) drainQuiesce(timeout time.Duration) error {
 			if id == n.opts.NodeID {
 				continue
 			}
-			if p, err := n.tr.peerFor(id); err == nil {
-				_ = p.writeFrame(n.tr, encodeDrain(epoch))
-			}
+			_ = n.tr.sendControl(id, encodeDrain(epoch))
 		}
 		got := make(map[int]drainAck, peers)
 		roundDeadline := time.Now().Add(5 * time.Second)
@@ -614,6 +662,7 @@ func (n *Node) drainQuiesce(timeout time.Duration) error {
 			continue
 		}
 		selfIdle := n.idleWithin(2 * time.Second)
+		n.tr.Flush()
 		sent, recv := n.tr.counts()
 		allIdle := selfIdle
 		for _, a := range got {
@@ -648,10 +697,12 @@ func (n *Node) Close() error {
 				if id == n.opts.NodeID {
 					continue
 				}
-				if p, err := n.tr.peerFor(id); err == nil {
-					_ = p.writeFrame(n.tr, []byte{fShutdown})
-				}
+				_ = n.tr.sendControl(id, []byte{fShutdown})
 			}
+			// Push the shutdown frames onto the wire before the connections
+			// come down; a follower missing them still exits when its
+			// coordinator lane reads EOF, but only after its own timeout.
+			n.tr.Flush()
 		}
 		n.signalShutdown()
 		n.vm.Shutdown()

@@ -17,7 +17,11 @@ import (
 // deliberately positional and versioned through the handshake fingerprint:
 // two nodes built from different sources refuse each other at fHello.
 
-const protoVersion = 2
+// Version 3 added the fCredit control frame (credit-based flow control for
+// the batched wire path); frames themselves are wire-compatible with v2, but
+// a v2 peer would drop credit grants on the floor and stall the sender, so
+// the handshake refuses the mix.
+const protoVersion = 3
 
 // Frame type bytes.
 const (
@@ -28,6 +32,7 @@ const (
 	fDrain     = 0x05 // coordinator -> follower: report quiescence
 	fDrainAck  = 0x06 // follower -> coordinator: idle flag + frame counts
 	fShutdown  = 0x07 // coordinator -> follower: shut the VM down and exit
+	fCredit    = 0x08 // receiver -> sender: delivered-frame credits for this lane
 )
 
 var errProto = fmt.Errorf("node: malformed protocol frame")
@@ -159,14 +164,25 @@ func encodeWireFrame(buf []byte, f *core.WireFrame) []byte {
 // The returned frame's Payload aliases b.
 func decodeWireFrame(kind byte, b []byte) (*core.WireFrame, error) {
 	f := &core.WireFrame{}
+	if err := decodeWireFrameInto(f, kind, b); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// decodeWireFrameInto decodes into a caller-owned frame, so a delivery loop
+// can reuse one header for its whole lifetime instead of allocating per
+// frame (DeliverWire does not retain the frame).  f.Payload aliases b.
+func decodeWireFrameInto(f *core.WireFrame, kind byte, b []byte) error {
+	f.Dest, f.ReplyID = core.NilTask, 0
 	var v uint32
 	var err error
 	if v, b, err = takeU32(b); err != nil {
-		return nil, err
+		return err
 	}
 	f.Src = int(v)
 	if v, b, err = takeU32(b); err != nil {
-		return nil, err
+		return err
 	}
 	f.Dst = int(v)
 	switch kind {
@@ -175,27 +191,27 @@ func decodeWireFrame(kind byte, b []byte) (*core.WireFrame, error) {
 	case fMsg:
 		f.Kind = core.FrameMessage
 		if f.Dest, b, err = takeTaskID(b); err != nil {
-			return nil, err
+			return err
 		}
 	default:
-		return nil, errProto
+		return errProto
 	}
 	if f.Sender, b, err = takeTaskID(b); err != nil {
-		return nil, err
+		return err
 	}
 	if f.Seq, b, err = takeU64(b); err != nil {
-		return nil, err
+		return err
 	}
 	if kind == fMsg {
 		if f.ReplyID, b, err = takeU64(b); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if f.Type, b, err = takeString(b); err != nil {
-		return nil, err
+		return err
 	}
 	f.Payload = b
-	return f, nil
+	return nil
 }
 
 func encodeInitReply(buf []byte, replyID uint64, id core.TaskID) []byte {
@@ -217,6 +233,21 @@ func decodeInitReply(b []byte) (uint64, core.TaskID, error) {
 		return 0, core.NilTask, errProto
 	}
 	return replyID, id, nil
+}
+
+// encodeCredit builds a credit grant: the receiver returns n consumed
+// credits to the sending peer after delivering that many credited data
+// frames to its VM.  Credits ride the ordinary control-frame channel (the
+// receiver's outbound peer connection) and are themselves uncredited, so a
+// grant can never be blocked by the very window it replenishes.
+func encodeCredit(n uint32) []byte { return appendU32([]byte{fCredit}, n) }
+
+func decodeCredit(b []byte) (uint32, error) {
+	n, b, err := takeU32(b)
+	if err != nil || len(b) != 0 {
+		return 0, errProto
+	}
+	return n, nil
 }
 
 // drainAck is a follower's answer to one drain round.  When the follower has

@@ -1,9 +1,9 @@
 package node
 
 import (
-	"bufio"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,17 +13,113 @@ import (
 	"repro/internal/obs"
 )
 
+// Batched wire path.
+//
+// PR 5's transport wrote one frame per message under a per-peer lock and
+// flushed it to the kernel before the sender's Send returned: correct, but
+// the per-frame syscall put loopback TCP a factor of ~3 behind the
+// in-process router.  The path is now built around three ideas:
+//
+//  1. Frame coalescing.  Each peer has an open batch buffer; senders append
+//     length-prefixed frames to it (msgcodec batch framing) and a dedicated
+//     writer goroutine hands the whole batch to the kernel in ONE write.
+//     While the writer is in the syscall, new frames accumulate in the next
+//     batch, so coalescing adapts to load with no mandatory latency: an idle
+//     lane flushes a lone frame immediately, a busy lane packs hundreds of
+//     frames per syscall.  WireConfig.BatchDelay optionally lingers a
+//     partial batch to trade latency for fewer, larger writes.
+//  2. Zero-copy batch encode.  The frame encoder writes DIRECTLY from the
+//     sender's heap-shard arena into the batch buffer (BeginFrame/EndFrame
+//     backfill the length prefix), so payload bytes are copied exactly once.
+//     The copy happens inside Send, which is the batch-handoff point: the
+//     sender's shard storage is recoverable as soon as Send returns, even
+//     though the bytes reach the wire later.  (PR 5's "synchronous write ⇒
+//     shard recovers immediately" invariant is gone; handoff-time copy is
+//     what replaces it.)
+//  3. Credit-based flow control.  Each lane starts with WireConfig
+//     CreditWindow credits; a data frame consumes one, and the receiver
+//     returns credits on the control-frame channel (fCredit) as it delivers
+//     frames to its VM.  A slow node therefore stalls its senders at a
+//     bounded queue depth instead of growing an unbounded batch buffer.
+//
+// The byte stream is identical to per-frame writes (a batch is just
+// concatenated length-prefixed frames), so the receiver's framing layer is
+// unchanged; batching is invisible to the protocol apart from fCredit.
+
+// WireConfig tunes the batched wire path.  The zero value selects defaults;
+// every node of a mesh should run the same values (the settings are
+// per-process, not negotiated).
+type WireConfig struct {
+	// BatchBytes is the target batch-buffer size: the writer stops lingering
+	// once the open batch reaches it, and recycled buffers are capped near
+	// it.  A single frame larger than BatchBytes still travels — the batch
+	// buffer grows for it and is written whole.  <= 0 means 64 KiB.
+	BatchBytes int
+	// BatchDelay is the longest a partial batch may linger waiting for more
+	// frames before the writer flushes it.  0 flushes as soon as the writer
+	// is free (natural coalescing: batching then comes only from frames that
+	// arrive while the previous write syscall runs, which costs no latency).
+	// Values in the 50–200µs range trade that latency for larger batches.
+	BatchDelay time.Duration
+	// CreditWindow is the per-lane flow-control window: how many credited
+	// data frames may be in flight toward a peer before Send stalls waiting
+	// for the receiver's credit grants.  0 means 1024; negative disables
+	// flow control (unbounded sender queues — benchmarks only).
+	CreditWindow int
+	// Unbatched forces PR 5 semantics: every frame is flushed to the kernel
+	// before Send returns.  For A/B comparison and the dist-smoke matrix.
+	Unbatched bool
+}
+
+const (
+	defaultBatchBytes   = 64 << 10
+	defaultCreditWindow = 1024
+	// creditGrantChunk is how many delivered frames a receiver accumulates
+	// before returning credits.  Grants also go out whenever the inbound
+	// stage runs dry, so a sender whose window is smaller than the chunk
+	// (tests run windows of 1) still makes progress.
+	creditGrantChunk = 64
+	// stageDepth bounds the receiver's decode/deliver stage, in frames; when
+	// it fills, the reader stops pulling from the socket and TCP pushes back
+	// on the sending node's writer.
+	stageDepth = 256
+)
+
+func (c WireConfig) withDefaults() WireConfig {
+	if c.BatchBytes <= 0 {
+		c.BatchBytes = defaultBatchBytes
+	}
+	switch {
+	case c.CreditWindow == 0:
+		c.CreditWindow = defaultCreditWindow
+	case c.CreditWindow < 0:
+		c.CreditWindow = 0 // disabled
+	}
+	return c
+}
+
 // peer is one outbound connection: this node's lane for frames toward one
-// other node.  Writes are serialised by mu and flushed per frame, so a
-// sending task's frame is on the wire (preserving its per-sender order)
-// before its Send returns — which is also what lets the sender's heap shard
-// recover the payload bytes immediately.
+// other node.  Senders append frames to the open batch under mu; the writer
+// goroutine swaps the batch out and writes it WITHOUT holding mu, so a slow
+// peer's syscall never blocks the tasks filling the next batch.
 type peer struct {
 	id   int
 	conn net.Conn
+
 	mu   sync.Mutex
-	bw   *bufio.Writer
-	err  error
+	cond *sync.Cond // writer wake-ups, credit grants, flush/write completion
+
+	batch    []byte    // open batch: concatenated length-prefixed frames
+	spare    []byte    // recycled buffer for the next batch (double buffering)
+	frames   int       // frames in the open batch
+	counted  int       // of those, frames counted in transport.sent (loss accounting)
+	openedAt time.Time // when the open batch got its first frame (linger deadline)
+	flushReq bool      // flush the open batch now, regardless of linger
+	writing  bool      // the writer is inside conn.Write
+	closed   bool
+	err      error
+
+	credits int // remaining flow-control credits toward this peer
 
 	// Per-lane wire counters (node.tx.n<me>->n<id>.*), resolved at addPeer;
 	// bumped only when metrics are enabled.
@@ -31,80 +127,232 @@ type peer struct {
 	txBytes  *obs.Counter
 }
 
-// writeFrame serialises one protocol payload onto the peer's connection.
-// All frame types pass through here — data and control alike — so the
-// per-lane counters see the node's complete wire activity.
-func (p *peer) writeFrame(tr *transport, payload []byte) error {
+// enqueue appends one frame to the peer's open batch and wakes the writer.
+// encode appends the frame payload to the batch (the length prefix is
+// reserved and backfilled around it, so payload bytes are copied exactly
+// once, straight from their source into the batch buffer).  A credited frame
+// consumes one flow-control credit and may stall here until the receiver
+// grants more; a counted frame participates in the drain protocol's global
+// sent/recv balance.  In Unbatched mode the call additionally waits for the
+// frame to reach the kernel, restoring flush-per-frame semantics.
+func (p *peer) enqueue(tr *transport, credited, counted bool, encode func(batch []byte) []byte) error {
 	metrics := tr.reg.Has(obs.Metrics)
-	var t0 time.Time
-	if metrics {
-		t0 = tr.reg.Now()
-	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
+	if credited && tr.cfg.CreditWindow > 0 && p.credits <= 0 {
+		var t0 time.Time
+		if metrics {
+			t0 = tr.reg.Now()
+			tr.creditStalls.Inc()
+		}
+		for p.credits <= 0 && p.err == nil && !p.closed {
+			p.cond.Wait()
+		}
+		if metrics {
+			tr.creditStallNS.ObserveDuration(tr.reg.Now().Sub(t0))
+		}
+	}
 	if p.err != nil {
-		return p.err
-	}
-	if err := msgcodec.WriteFrame(p.bw, payload, 0); err != nil {
-		p.err = err
+		err := p.err
+		p.mu.Unlock()
 		return err
 	}
-	if err := p.bw.Flush(); err != nil {
-		p.err = err
+	if p.closed {
+		p.mu.Unlock()
+		return net.ErrClosed
+	}
+	if credited && tr.cfg.CreditWindow > 0 {
+		p.credits--
+	}
+	start := len(p.batch)
+	batch, payloadStart := msgcodec.BeginFrame(p.batch)
+	batch = encode(batch)
+	batch, err := msgcodec.EndFrame(batch, payloadStart, 0)
+	p.batch = batch
+	if err != nil {
+		p.mu.Unlock()
 		return err
 	}
+	if start == 0 {
+		p.openedAt = time.Now()
+	}
+	p.frames++
+	if counted {
+		p.counted++
+		tr.sent.Add(1)
+	}
+	nbytes := len(p.batch) - start
+	if tr.cfg.Unbatched {
+		p.flushReq = true
+		p.cond.Broadcast()
+		for (len(p.batch) > 0 || p.writing) && p.err == nil {
+			p.cond.Wait()
+		}
+		err = p.err
+	} else if start == 0 {
+		p.cond.Broadcast() // first frame of a batch: wake the writer
+	}
+	p.mu.Unlock()
 	if metrics {
-		tr.frameWrite.ObserveDuration(tr.reg.Now().Sub(t0))
 		p.txFrames.Inc()
-		p.txBytes.Add(int64(len(payload)) + msgcodec.FrameOverhead)
+		p.txBytes.Add(int64(nbytes))
 	}
-	return nil
+	return err
+}
+
+// writeLoop is the peer's writer goroutine: it swaps the open batch out and
+// hands it to the kernel in one write, then recycles the buffer.  It holds
+// mu only across the swap, never across the syscall.  It exits on a write
+// error or once the peer is closed and drained; frames that can no longer
+// reach the wire are added to the transport's lost count so the drain
+// protocol's sent/recv balance stays consistent.
+func (p *peer) writeLoop(tr *transport) {
+	defer tr.writers.Done()
+	for {
+		p.mu.Lock()
+		for len(p.batch) == 0 && p.err == nil && !p.closed {
+			p.cond.Wait()
+		}
+		if p.err != nil || (p.closed && len(p.batch) == 0) {
+			tr.lost.Add(uint64(p.counted))
+			p.counted, p.frames = 0, 0
+			p.batch = nil
+			p.cond.Broadcast()
+			p.mu.Unlock()
+			return
+		}
+		// Optional linger: give a partial batch up to BatchDelay to fill
+		// before paying the syscall.  Flush requests, errors, and close all
+		// cut the linger short.
+		if d := tr.cfg.BatchDelay; d > 0 {
+			deadline := p.openedAt.Add(d)
+			for len(p.batch) < tr.cfg.BatchBytes && !p.flushReq && p.err == nil && !p.closed {
+				wait := time.Until(deadline)
+				if wait <= 0 {
+					break
+				}
+				p.mu.Unlock()
+				time.Sleep(wait)
+				p.mu.Lock()
+			}
+			if p.err != nil {
+				p.mu.Unlock()
+				continue // top of loop handles the error exit
+			}
+		}
+		buf, frames, counted := p.batch, p.frames, p.counted
+		p.batch = p.spare[:0]
+		p.spare = nil
+		p.frames, p.counted = 0, 0
+		p.flushReq = false
+		p.writing = true
+		p.mu.Unlock()
+
+		metrics := tr.reg.Has(obs.Metrics)
+		var t0 time.Time
+		if metrics {
+			t0 = tr.reg.Now()
+		}
+		_, werr := p.conn.Write(buf)
+		if metrics {
+			tr.batchWrite.ObserveDuration(tr.reg.Now().Sub(t0))
+			tr.batchFrames.Observe(int64(frames))
+			tr.batchBytes.Observe(int64(len(buf)))
+		}
+
+		p.mu.Lock()
+		p.writing = false
+		if werr != nil {
+			p.err = werr
+			tr.lost.Add(uint64(counted))
+		} else if p.spare == nil && cap(buf) <= 4*tr.cfg.BatchBytes {
+			p.spare = buf[:0] // keep modest buffers; let outliers be collected
+		}
+		p.cond.Broadcast() // wake Flush/Unbatched waiters (and error out senders)
+		p.mu.Unlock()
+	}
+}
+
+// flush blocks until every frame enqueued on this peer before the call has
+// been handed to the kernel (or the lane has failed).
+func (p *peer) flush() {
+	p.mu.Lock()
+	p.flushReq = true
+	p.cond.Broadcast()
+	for (len(p.batch) > 0 || p.writing) && p.err == nil {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
 }
 
 // transport is the TCP implementation of core.Transport: frames for a
-// cluster hosted elsewhere are serialised onto the owning node's peer
-// connection; inbound frames are pumped into the local VM by the per-peer
-// reader loops in node.go.
+// cluster hosted elsewhere are appended to the owning peer's batch; inbound
+// frames are pumped into the local VM by the per-peer reader/deliver
+// pipeline in node.go.
 type transport struct {
 	nodeID int
 	topo   Topology
+	cfg    WireConfig
 
-	// reg is the node's observability registry (never nil); frameWrite is
-	// the resolved node.frame.write.ns histogram.
-	reg        *obs.Registry
-	frameWrite *obs.Histogram
+	// reg is the node's observability registry (never nil) plus the
+	// resolved batch/credit instruments.
+	reg           *obs.Registry
+	batchWrite    *obs.Histogram // node.batch.write.ns: one batch's write syscall
+	batchFrames   *obs.Histogram // node.batch.frames: frames coalesced per batch
+	batchBytes    *obs.Histogram // node.batch.bytes: bytes per batch
+	creditStallNS *obs.Histogram // node.credit.stall.ns: sender wait for credits
+	creditStalls  *obs.Counter   // node.credit.stalls
+	creditsTx     *obs.Counter   // node.credit.grants.tx
+	creditsRx     *obs.Counter   // node.credit.grants.rx
 
 	mu    sync.Mutex
 	peers map[int]*peer // node id -> outbound connection
 
+	writers sync.WaitGroup
+
 	// sent and recv count wire frames (messages, broadcasts, initiate
-	// replies) for the shutdown drain's global quiescence check.
+	// replies) for the shutdown drain's global quiescence check; sent is
+	// bumped at batch handoff (enqueue), recv at VM delivery.  lost counts
+	// sent frames that a failed or closed lane can never deliver, so a
+	// partial broadcast failure cannot wedge the drain's balance.
 	sent atomic.Uint64
 	recv atomic.Uint64
+	lost atomic.Uint64
 
 	vm atomic.Pointer[core.VM] // bound after the VM is booted
 }
 
-func newTransport(nodeID int, topo Topology, reg *obs.Registry) *transport {
+func newTransport(nodeID int, topo Topology, reg *obs.Registry, cfg WireConfig) *transport {
 	return &transport{
-		nodeID:     nodeID,
-		topo:       topo,
-		reg:        reg,
-		frameWrite: reg.Histogram("node.frame.write.ns", "ns"),
-		peers:      make(map[int]*peer),
+		nodeID:        nodeID,
+		topo:          topo,
+		cfg:           cfg.withDefaults(),
+		reg:           reg,
+		batchWrite:    reg.Histogram("node.batch.write.ns", "ns"),
+		batchFrames:   reg.Histogram("node.batch.frames", "n"),
+		batchBytes:    reg.Histogram("node.batch.bytes", "B"),
+		creditStallNS: reg.Histogram("node.credit.stall.ns", "ns"),
+		creditStalls:  reg.Counter("node.credit.stalls"),
+		creditsTx:     reg.Counter("node.credit.grants.tx"),
+		creditsRx:     reg.Counter("node.credit.grants.rx"),
+		peers:         make(map[int]*peer),
 	}
 }
 
 func (tr *transport) bind(vm *core.VM) { tr.vm.Store(vm) }
 
 func (tr *transport) addPeer(id int, conn net.Conn) {
-	tr.mu.Lock()
-	tr.peers[id] = &peer{
-		id: id, conn: conn, bw: bufio.NewWriter(conn),
+	p := &peer{
+		id: id, conn: conn,
+		credits:  tr.cfg.CreditWindow,
 		txFrames: tr.reg.Counter(fmt.Sprintf("node.tx.n%d->n%d.frames", tr.nodeID, id)),
 		txBytes:  tr.reg.Counter(fmt.Sprintf("node.tx.n%d->n%d.bytes", tr.nodeID, id)),
 	}
+	p.cond = sync.NewCond(&p.mu)
+	tr.mu.Lock()
+	tr.peers[id] = p
 	tr.mu.Unlock()
+	tr.writers.Add(1)
+	go p.writeLoop(tr)
 }
 
 func (tr *transport) peerFor(node int) (*peer, error) {
@@ -117,6 +365,18 @@ func (tr *transport) peerFor(node int) (*peer, error) {
 	return p, nil
 }
 
+// allPeers snapshots the peer set in node-id order.
+func (tr *transport) allPeers() []*peer {
+	tr.mu.Lock()
+	out := make([]*peer, 0, len(tr.peers))
+	for _, p := range tr.peers {
+		out = append(out, p)
+	}
+	tr.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
 // ownerOf maps a destination cluster to its hosting node.
 func (tr *transport) ownerOf(cluster int) (int, error) {
 	n, ok := tr.topo.NodeOf(cluster)
@@ -126,23 +386,19 @@ func (tr *transport) ownerOf(cluster int) (int, error) {
 	return n, nil
 }
 
-// Send implements core.Transport: one frame onto the owning peer's
-// connection — or, for a machine-wide broadcast, onto every peer's.
+// Send implements core.Transport: the frame is encoded straight into the
+// owning peer's open batch — or, for a machine-wide broadcast, into every
+// peer's.  A peer whose lane already failed contributes the first error but
+// does not stop the remaining peers from getting their copy, and only the
+// copies actually handed to a live lane are counted sent, so a partial
+// broadcast failure leaves the drain protocol's books balanced.
 func (tr *transport) Send(f *core.WireFrame) error {
-	buf := encodeWireFrame(make([]byte, 0, 64+len(f.Payload)), f)
+	enc := func(batch []byte) []byte { return encodeWireFrame(batch, f) }
 	if f.Kind == core.FrameBroadcast && f.Dst == 0 {
 		var firstErr error
-		tr.mu.Lock()
-		ids := make([]*peer, 0, len(tr.peers))
-		for _, p := range tr.peers {
-			ids = append(ids, p)
-		}
-		tr.mu.Unlock()
-		for _, p := range ids {
-			if err := p.writeFrame(tr, buf); err != nil && firstErr == nil {
+		for _, p := range tr.allPeers() {
+			if err := p.enqueue(tr, true, true, enc); err != nil && firstErr == nil {
 				firstErr = err
-			} else if err == nil {
-				tr.sent.Add(1)
 			}
 		}
 		return firstErr
@@ -160,15 +416,13 @@ func (tr *transport) Send(f *core.WireFrame) error {
 	if err != nil {
 		return err
 	}
-	if err := p.writeFrame(tr, buf); err != nil {
-		return err
-	}
-	tr.sent.Add(1)
-	return nil
+	return p.enqueue(tr, true, true, enc)
 }
 
 // SendReply carries a routed-initiate reply back to the node hosting the
-// requesting cluster.
+// requesting cluster.  Replies are counted in the drain balance but not
+// credited: they ride the control channel so a reply can never deadlock
+// against the data window it would unblock.
 func (tr *transport) SendReply(dst int, replyID uint64, id core.TaskID) error {
 	owner, err := tr.ownerOf(dst)
 	if err != nil {
@@ -185,29 +439,86 @@ func (tr *transport) SendReply(dst int, replyID uint64, id core.TaskID) error {
 	if err != nil {
 		return err
 	}
-	if err := p.writeFrame(tr, encodeInitReply(make([]byte, 0, 32), replyID, id)); err != nil {
-		return err
-	}
-	tr.sent.Add(1)
-	return nil
+	return p.enqueue(tr, false, true, func(batch []byte) []byte {
+		return encodeInitReply(batch, replyID, id)
+	})
 }
 
-// Flush is a no-op: writes are synchronous and flushed per frame, so every
-// frame accepted before the call is already on the wire.
-func (tr *transport) Flush() {}
+// sendControl enqueues one protocol control frame (drain, drain ack,
+// shutdown, credit grant) on the given peer: uncredited and outside the
+// drain balance.
+func (tr *transport) sendControl(node int, payload []byte) error {
+	p, err := tr.peerFor(node)
+	if err != nil {
+		return err
+	}
+	return p.enqueue(tr, false, false, func(batch []byte) []byte {
+		return append(batch, payload...)
+	})
+}
 
-// Close tears the peer connections down.
+// grantCredits returns n delivered-frame credits to the peer; called from
+// the node's delivery stage as frames land in the VM.
+func (tr *transport) grantCredits(node int, n int) {
+	if n <= 0 || tr.cfg.CreditWindow <= 0 {
+		return
+	}
+	if err := tr.sendControl(node, encodeCredit(uint32(n))); err == nil && tr.reg.Has(obs.Metrics) {
+		tr.creditsTx.Inc()
+	}
+}
+
+// addCredits applies an inbound credit grant from the peer and wakes any
+// sender stalled on the window.
+func (tr *transport) addCredits(node int, n uint32) {
+	p, err := tr.peerFor(node)
+	if err != nil {
+		return
+	}
+	p.mu.Lock()
+	p.credits += int(n)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	if tr.reg.Has(obs.Metrics) {
+		tr.creditsRx.Inc()
+	}
+}
+
+// Flush implements core.Transport: it blocks until every frame accepted
+// before the call has been handed to the kernel.  With batching this is a
+// real wait (an open batch may still be lingering), which is what keeps the
+// VM's shutdown and user-output flushes honest.
+func (tr *transport) Flush() {
+	for _, p := range tr.allPeers() {
+		p.flush()
+	}
+}
+
+// Close stops the writers and tears the peer connections down.  Closing the
+// connections first unblocks any writer stuck in a syscall against a dead
+// peer; the writers then drain or discard what is left and exit.
 func (tr *transport) Close() error {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
+	peers := tr.allPeers()
+	for _, p := range peers {
+		p.mu.Lock()
+		p.closed = true
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
 	var firstErr error
-	for _, p := range tr.peers {
+	for _, p := range peers {
 		if err := p.conn.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
+	tr.writers.Wait()
 	return firstErr
 }
 
-// counts returns the frames sent/received so far (drain protocol).
-func (tr *transport) counts() (sent, recv uint64) { return tr.sent.Load(), tr.recv.Load() }
+// counts returns the frames handed to live lanes and received so far (drain
+// protocol).  Frames a failed lane accepted but can never deliver are
+// subtracted from sent: the receiver will never count them, and a constant
+// phantom imbalance would otherwise hang every later drain round.
+func (tr *transport) counts() (sent, recv uint64) {
+	return tr.sent.Load() - tr.lost.Load(), tr.recv.Load()
+}

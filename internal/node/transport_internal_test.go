@@ -1,0 +1,52 @@
+package node
+
+import (
+	"io"
+	"net"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// TestBroadcastPartialFailureKeepsDrainBalance pins the broadcast accounting
+// fix: a broadcast over one dead and one live lane must still reach the live
+// peer, must report the failure, and must count only the live lane's copy in
+// the drain balance — the dead lane's copy is written off as lost, so the
+// sent/recv books stay balanced and a later drain round can still converge.
+func TestBroadcastPartialFailureKeepsDrainBalance(t *testing.T) {
+	topo, err := Partition([]int{1, 2, 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := newTransport(0, topo, obs.New(), WireConfig{Unbatched: true})
+	defer tr.Close()
+
+	live, liveFar := net.Pipe()
+	go func() { _, _ = io.Copy(io.Discard, liveFar) }()
+	tr.addPeer(1, live)
+
+	dead, deadFar := net.Pipe()
+	_ = dead.Close()
+	_ = deadFar.Close()
+	tr.addPeer(2, dead)
+
+	f := &core.WireFrame{Kind: core.FrameBroadcast, Src: 1, Dst: 0, Seq: 1, Type: "tick", Payload: []byte("x")}
+	if err := tr.Send(f); err == nil {
+		t.Fatal("broadcast over a dead lane reported total success")
+	}
+	tr.Flush()
+	if sent, recv := tr.counts(); sent != 1 || recv != 0 {
+		t.Fatalf("after partial broadcast failure: sent %d recv %d, want 1 0 (only the live lane's copy counted)", sent, recv)
+	}
+
+	// The failed lane keeps reporting, keeps forwarding to the live peer, and
+	// stays out of the books: no phantom imbalance accumulates.
+	if err := tr.Send(f); err == nil {
+		t.Fatal("second broadcast over the dead lane reported total success")
+	}
+	tr.Flush()
+	if sent, _ := tr.counts(); sent != 2 {
+		t.Fatalf("sent = %d after two partial broadcasts, want 2", sent)
+	}
+}

@@ -1,0 +1,143 @@
+package node_test
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// TestWireConfigVariantsMatchSingleProcess sweeps the batched wire path's
+// edge configurations over a real 2-node mesh: every variant must reproduce
+// the single-process output byte-for-byte.  The variants pin the transport
+// edges the defaults never hit: a credit window of 1 (every data frame waits
+// for the receiver's grant — only the stage-empty grant rule makes this make
+// progress), batching forced off (flush-per-frame PR 5 semantics), a batch
+// buffer smaller than a single frame (crosscluster.pf ships array arguments
+// well over 24 bytes, so every frame overflows the buffer and must travel
+// whole), and a lingering writer whose partial batches wait out a deadline.
+func TestWireConfigVariantsMatchSingleProcess(t *testing.T) {
+	src := corpusSource(t, "crosscluster.pf")
+	cfg := config.Simple(2, 4)
+	want := singleProcessOutput(t, cfg, src)
+	if !strings.Contains(want, "ARRAY SUM") {
+		t.Fatalf("reference output unexpected:\n%s", want)
+	}
+
+	variants := []struct {
+		name string
+		wire node.WireConfig
+	}{
+		{"credit-window-1", node.WireConfig{CreditWindow: 1}},
+		{"unbatched", node.WireConfig{Unbatched: true}},
+		{"frame-bigger-than-batch-buffer", node.WireConfig{BatchBytes: 24, CreditWindow: 2}},
+		{"linger", node.WireConfig{BatchBytes: 256, BatchDelay: 2 * time.Millisecond, CreditWindow: 4}},
+		{"no-flow-control", node.WireConfig{CreditWindow: -1}},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			var out bytes.Buffer
+			nodes := startMesh(t, 2, cfg, src, &out, nil, func(i int, o *node.Options) {
+				o.Wire = v.wire
+			})
+			runDistributed(t, nodes)
+			if got := out.String(); got != want {
+				t.Fatalf("output differs under %+v:\n--- got ---\n%s--- want ---\n%s", v.wire, got, want)
+			}
+		})
+	}
+}
+
+// TestFaultTransportBatchWindow pins the fault transport's model of the
+// batched wire path on the virtual clock: with a pure batch window (no
+// latency, no drops), every frame a lane accepts inside the window departs
+// together at the window's close — the first arrival is delayed by exactly
+// the window, the rest land nanoseconds behind it (the monotone per-lane
+// clamp), and per-sender FIFO order survives the shared departure time.
+func TestFaultTransportBatchWindow(t *testing.T) {
+	const count = 16
+	const window = 50 * time.Millisecond
+	s := sim.New(3)
+	ft := node.NewFaultTransport(3, node.FaultProfile{BatchWindow: window})
+	var out bytes.Buffer
+	vm, err := core.NewVM(config.Simple(2, 4), core.Options{
+		UserOutput:    &out,
+		Backend:       s,
+		Remote:        ft,
+		InterceptWire: true,
+		AcceptTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft.Bind(vm)
+	defer vm.Shutdown()
+
+	var mu sync.Mutex
+	var sendStart time.Time
+	var order []int64
+	var arrivals []time.Time
+
+	vm.Register("producer", func(task *core.Task) {
+		mu.Lock()
+		sendStart = s.Now()
+		mu.Unlock()
+		for i := 0; i < count; i++ {
+			if err := task.SendParent("datum", core.Int(int64(i))); err != nil {
+				t.Errorf("producer send %d: %v", i, err)
+				return
+			}
+		}
+	})
+	vm.Register("sink", func(task *core.Task) {
+		if err := task.Initiate(core.OnCluster(2), "producer"); err != nil {
+			t.Errorf("initiate producer: %v", err)
+			return
+		}
+		for i := 0; i < count; i++ {
+			m, err := task.AcceptOne("datum")
+			if err != nil {
+				t.Errorf("accept %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, core.MustInt(m.Arg(0)))
+			arrivals = append(arrivals, s.Now())
+			mu.Unlock()
+		}
+	})
+
+	if _, err := vm.Run("sink", core.OnCluster(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != count {
+		t.Fatalf("sink accepted %d messages, want %d", len(order), count)
+	}
+	for i, got := range order {
+		if got != int64(i) {
+			t.Fatalf("per-sender FIFO broken: position %d got seq %d (order %v)", i, got, order)
+		}
+	}
+	// All sends happen at one virtual instant, so they share a single batch
+	// window: nothing arrives before the window closes, and the whole batch
+	// lands within the nanosecond FIFO spacing once it does.
+	firstDelay := arrivals[0].Sub(sendStart)
+	if firstDelay < window {
+		t.Fatalf("first arrival after %v, want the full %v batch window", firstDelay, window)
+	}
+	if firstDelay > window+time.Millisecond {
+		t.Fatalf("first arrival after %v; delay should be the bare %v window (no latency configured)", firstDelay, window)
+	}
+	if spread := arrivals[count-1].Sub(arrivals[0]); spread > time.Microsecond {
+		t.Fatalf("batch arrivals spread over %v, want one shared departure (ns-scale spacing)", spread)
+	}
+}
