@@ -10,9 +10,9 @@
 //	pisces [-config file] [-clusters n] [-slots k] [-forces "7,8,9"]
 //	       [-trace events] [-save file] [-show] [-script file]
 //	pisces run [-clusters n] [-slots k] [-forces "7,8,9"] [-main T]
-//	       [-stats] [-sim [-seed N]] [-netfault] [-nodes N] <program.pf>
+//	       [-stats] [-sim [-seed N]] [-netfault] [-nodes N [-ha]] <program.pf>
 //	pisces serve -node K -peers addr0,addr1,... [-clusters n] [-slots k]
-//	       <program.pf>
+//	       [-ha [-heartbeat-interval d] [-checkpoint-interval d]] <program.pf>
 //
 // The run form interprets a Pisces Fortran program directly on the in-memory
 // virtual machine (paper, Section 10, without the Fortran compiler leg).
@@ -167,6 +167,7 @@ func runInterpretedInner(args []string, out io.Writer) error {
 	acceptTimeout := fs.Duration("accept-timeout", 30*time.Second,
 		"system-provided timeout for ACCEPT statements without a DELAY clause")
 	wire := addWireFlags(fs) // batched wire path knobs; -nodes runs only
+	ha := addHAFlags(fs)     // fault-tolerant mesh knobs; -nodes runs only
 	// The FlagSet's own printing is suppressed so parse errors surface exactly
 	// once (through main's error path) and -h exits 0 with the usage text.
 	fs.SetOutput(io.Discard)
@@ -199,7 +200,13 @@ func runInterpretedInner(args []string, out io.Writer) error {
 		case *traceEvents != "":
 			return fmt.Errorf("-nodes does not support -trace (trace events are per node)")
 		}
-		return runDistributed(*nodes, *clusters, *slots, *forces, *mainTT, *showStats, *traceOut, *acceptTimeout, wire, fs.Arg(0), out)
+		if err := ha.validate(); err != nil {
+			return err
+		}
+		return runDistributed(*nodes, *clusters, *slots, *forces, *mainTT, *showStats, *traceOut, *acceptTimeout, wire, ha, fs.Arg(0), out)
+	}
+	if *ha.enabled {
+		return fmt.Errorf("-ha requires -nodes (fault tolerance spans node processes)")
 	}
 	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {

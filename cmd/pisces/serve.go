@@ -83,6 +83,61 @@ func (w *wireFlags) serveArgs() []string {
 	}
 }
 
+// haFlags holds the fault-tolerance knobs shared by "pisces serve" and
+// "pisces run -nodes".  Every node of a mesh must run the same settings.
+type haFlags struct {
+	enabled   *bool
+	heartbeat *time.Duration
+	ckpt      *time.Duration
+}
+
+func addHAFlags(fs *flag.FlagSet) *haFlags {
+	return &haFlags{
+		enabled: fs.Bool("ha", false,
+			"fault-tolerant mesh: peer heartbeats, periodic checkpoints streamed to a buddy node, and automatic adoption of a dead node's clusters; node 0 is not recoverable, and one failure per checkpoint interval is tolerated"),
+		heartbeat: fs.Duration("heartbeat-interval", 0,
+			"HA heartbeat and failure-detector sweep period (0 = 25ms); a peer silent for 10 intervals is declared dead"),
+		ckpt: fs.Duration("checkpoint-interval", 0,
+			"HA checkpoint period (0 = 250ms); work since the last checkpoint is recovered by replaying retained frames"),
+	}
+}
+
+// validate refuses tuning knobs without -ha rather than silently ignoring
+// them.
+func (h *haFlags) validate() error {
+	if !*h.enabled && (*h.heartbeat != 0 || *h.ckpt != 0) {
+		return fmt.Errorf("-heartbeat-interval and -checkpoint-interval require -ha")
+	}
+	if *h.heartbeat < 0 || *h.ckpt < 0 {
+		return fmt.Errorf("HA intervals must be positive")
+	}
+	return nil
+}
+
+// apply copies the knobs onto the node options.  The suspicion timeout
+// follows a custom heartbeat at the default 10x ratio, so tightening the
+// heartbeat keeps the detector sound without a second flag.
+func (h *haFlags) apply(o *node.Options) {
+	o.HA = *h.enabled
+	o.HeartbeatInterval = *h.heartbeat
+	o.CheckpointInterval = *h.ckpt
+	if *h.heartbeat > 0 {
+		o.SuspicionAfter = 10 * *h.heartbeat
+	}
+}
+
+// serveArgs forwards the knobs to a forked follower.
+func (h *haFlags) serveArgs() []string {
+	if !*h.enabled {
+		return nil
+	}
+	return []string{
+		"-ha",
+		"-heartbeat-interval", h.heartbeat.String(),
+		"-checkpoint-interval", h.ckpt.String(),
+	}
+}
+
 // runServe implements "pisces serve -node K -peers a,b,... <program.pf>".
 func runServe(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pisces serve", flag.ContinueOnError)
@@ -100,7 +155,10 @@ func runServe(args []string, out io.Writer) error {
 	acceptTimeout := fs.Duration("accept-timeout", 30*time.Second,
 		"system-provided timeout for ACCEPT statements without a DELAY clause")
 	connectTimeout := fs.Duration("connect-timeout", 30*time.Second, "how long to wait for the mesh to form")
+	traceOut := fs.String("trace-out", "",
+		"write this node's runtime spans (including HA recovery) to this file as Chrome trace-event JSON")
 	wire := addWireFlags(fs)
+	ha := addHAFlags(fs)
 	fs.SetOutput(io.Discard)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -129,9 +187,15 @@ func runServe(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if err := ha.validate(); err != nil {
+		return err
+	}
 	reg := obs.New()
 	if *showStats || *collectMetrics || *debugAddr != "" {
 		reg.Enable(obs.Metrics)
+	}
+	if *traceOut != "" {
+		reg.Enable(obs.Spans)
 	}
 	if *debugAddr != "" {
 		dln, err := net.Listen("tcp", *debugAddr)
@@ -142,30 +206,39 @@ func runServe(args []string, out io.Writer) error {
 		go func() { _ = http.Serve(dln, obs.DebugHandler(reg)) }()
 		fmt.Fprintf(os.Stderr, "node %d: debug endpoints on http://%s/\n", *nodeID, dln.Addr())
 	}
-	n, err := node.Start(node.Options{
+	o := node.Options{
 		NodeID: *nodeID, Addrs: addrs,
 		Config: cfg, Source: string(src), Main: *mainTT,
 		Out: out, Log: os.Stderr,
 		AcceptTimeout: *acceptTimeout, ConnectTimeout: *connectTimeout,
 		Metrics: reg, Wire: wireCfg,
-	})
+	}
+	ha.apply(&o)
+	n, err := node.Start(o)
 	if err != nil {
 		return err
 	}
+	var runErr error
 	if *nodeID != 0 {
-		return n.ServeUntilShutdown()
+		runErr = n.ServeUntilShutdown()
+	} else {
+		runErr = n.RunMain()
+		// Close before printing: the shutdown drain is what ships the
+		// followers' metric snapshots to this node, so a summary printed
+		// earlier could only cover node 0.
+		if err := n.Close(); err != nil && runErr == nil {
+			runErr = err
+		}
+		if *showStats {
+			printRunStats(out, n.Program(), n.VM())
+			printTransportStats(out, n)
+			printMeshMetrics(out, n)
+		}
 	}
-	runErr := n.RunMain()
-	// Close before printing: the shutdown drain is what ships the followers'
-	// metric snapshots to this node, so a summary printed earlier could only
-	// cover node 0.
-	if err := n.Close(); err != nil && runErr == nil {
-		runErr = err
-	}
-	if *showStats {
-		printRunStats(out, n.Program(), n.VM())
-		printTransportStats(out, n)
-		printMeshMetrics(out, n)
+	if *traceOut != "" {
+		if werr := writeTraceFile(*traceOut, reg); werr != nil && runErr == nil {
+			runErr = werr
+		}
 	}
 	return runErr
 }
@@ -191,7 +264,7 @@ func splitAddrs(peers string) []string {
 
 // runDistributed implements "pisces run -nodes N": fork the follower node
 // processes, run node 0 inline, and reap the children.
-func runDistributed(nodes, clusters, slots int, forces, mainTT string, showStats bool, traceOut string, acceptTimeout time.Duration, wire *wireFlags, file string, out io.Writer) error {
+func runDistributed(nodes, clusters, slots int, forces, mainTT string, showStats bool, traceOut string, acceptTimeout time.Duration, wire *wireFlags, ha *haFlags, file string, out io.Writer) error {
 	src, err := os.ReadFile(file)
 	if err != nil {
 		return err
@@ -246,6 +319,7 @@ func runDistributed(nodes, clusters, slots int, forces, mainTT string, showStats
 			"-accept-timeout", acceptTimeout.String(),
 		}
 		args = append(args, wire.serveArgs()...)
+		args = append(args, ha.serveArgs()...)
 		if forces != "" {
 			args = append(args, "-forces", forces)
 		}
@@ -274,13 +348,15 @@ func runDistributed(nodes, clusters, slots int, forces, mainTT string, showStats
 	if traceOut != "" {
 		reg.Enable(obs.Spans)
 	}
-	n, err := node.Start(node.Options{
+	o := node.Options{
 		NodeID: 0, Addrs: addrs, Listener: listeners[0],
 		Config: cfg, Source: string(src), Main: mainTT,
 		Out: out, Log: os.Stderr,
 		AcceptTimeout: acceptTimeout, ConnectTimeout: 30 * time.Second,
 		Metrics: reg, Wire: wireCfg,
-	})
+	}
+	ha.apply(&o)
+	n, err := node.Start(o)
 	if err != nil {
 		killChildren()
 		return err
@@ -312,8 +388,14 @@ func runDistributed(nodes, clusters, slots int, forces, mainTT string, showStats
 	for range children {
 		select {
 		case err := <-done:
-			if err != nil && runErr == nil {
-				runErr = fmt.Errorf("node process failed: %w", err)
+			if err != nil {
+				if *ha.enabled {
+					// Under -ha a dead follower is survivable by design: the
+					// mesh rebalanced around it and the run completed above.
+					fmt.Fprintf(os.Stderr, "pisces: node process exited abnormally (tolerated under -ha): %v\n", err)
+				} else if runErr == nil {
+					runErr = fmt.Errorf("node process failed: %w", err)
+				}
 			}
 		case <-deadline:
 			killChildren()

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io/fs"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/config"
@@ -89,6 +90,24 @@ type Result struct {
 	// clock, so both must be byte-identical across runs of the same seed.
 	ObsSnapshot []byte
 	ObsTrace    []byte
+	// VirtualElapsed is the virtual time the program took (from VM boot to
+	// the end of the program, before shutdown).  Kill schedules are phrased
+	// as fractions of a reference run's elapsed time.
+	VirtualElapsed time.Duration
+}
+
+// KillRecovery reports what a RunKill recovery actually did, so the sweep
+// can assert the kill landed mid-run rather than on an idle cluster.
+type KillRecovery struct {
+	// Victims is the number of tasks FailClusters killed.
+	Victims int
+	// Checkpoints is how many periodic checkpoints completed before the kill.
+	Checkpoints int
+	// Replayed is the number of retained post-checkpoint frames re-injected
+	// after the restore.
+	Replayed int
+	// Err is a checkpoint/restore error raised inside the kill schedule.
+	Err error
 }
 
 // Run executes one Pisces Fortran program on a fresh VM under the sim
@@ -117,7 +136,92 @@ func RunInstrumented(src string, seed int64) Result {
 // while staying byte-reproducible from the seed.
 func RunFault(src string, seed int64) Result { return run(src, seed, true, nil) }
 
-func run(src string, seed int64, fault bool, reg *obs.Registry) (res Result) {
+// killedCluster is the cluster the kill sweep fails: MAIN is placed on the
+// terminal cluster 1 (whose user/file controllers anchor the run and are not
+// recoverable), so cluster 2 holds exactly the task-initiated — replayable —
+// part of the machine.
+const killedCluster = 2
+
+// RunKill is RunFault with fault tolerance switched on and a simulated node
+// failure in the schedule: cluster 2 is checkpointed every ckptEvery of
+// virtual time (the transport retaining all frames delivered to it since the
+// last checkpoint), failed at killAt, restored from the last checkpoint, and
+// fed the retained frames back.  Everything — delays, checkpoint cuts, the
+// kill — runs on the virtual clock, so the whole recovery schedule replays
+// byte-identically from (seed, killAt, ckptEvery).
+func RunKill(src string, seed int64, killAt, ckptEvery time.Duration) (Result, *KillRecovery) {
+	rec := &KillRecovery{}
+	res := run(src, seed, true, nil, &killPlan{at: killAt, every: ckptEvery, rec: rec})
+	return res, rec
+}
+
+// killPlan carries the kill schedule into run.
+type killPlan struct {
+	at    time.Duration
+	every time.Duration
+	rec   *KillRecovery
+}
+
+// install arms the periodic checkpoint chain and the kill timer on the fault
+// transport's virtual clock.  stop() disarms the chain (called when the
+// program completes, so a rearming timer cannot keep the shutdown pump
+// alive).
+func (k *killPlan) install(vm *core.VM, ft *node.FaultTransport) (stop func(), err error) {
+	// Retention and the first (empty) checkpoint start at t=0: a kill before
+	// the first periodic cut restores an empty cluster and rebuilds it
+	// entirely from replayed frames.
+	ft.MarkEpoch(killedCluster)
+	blob, err := vm.Checkpoint(killedCluster)
+	if err != nil {
+		return nil, err
+	}
+	var mu sync.Mutex
+	stopped := false
+	var arm func(d time.Duration)
+	arm = func(d time.Duration) {
+		_ = ft.KillAt(d, func() {
+			mu.Lock()
+			if stopped {
+				mu.Unlock()
+				return
+			}
+			b, cerr := vm.Checkpoint(killedCluster)
+			if cerr != nil {
+				k.rec.Err = cerr
+				mu.Unlock()
+				return
+			}
+			blob = b
+			ft.MarkEpoch(killedCluster)
+			k.rec.Checkpoints++
+			mu.Unlock()
+			arm(d)
+		})
+	}
+	arm(k.every)
+	_ = ft.KillAt(k.at, func() {
+		// Disarm checkpoints first: FailClusters pumps the scheduler while it
+		// waits for the victims' exits, and a checkpoint cut taken during the
+		// fail window would capture half-dead state.
+		mu.Lock()
+		stopped = true
+		b := blob
+		mu.Unlock()
+		k.rec.Victims = vm.FailClusters(killedCluster)
+		if rerr := vm.Restore(b); rerr != nil {
+			k.rec.Err = rerr
+			return
+		}
+		k.rec.Replayed = ft.ReplayRetained(killedCluster)
+	})
+	return func() {
+		mu.Lock()
+		stopped = true
+		mu.Unlock()
+	}, nil
+}
+
+func run(src string, seed int64, fault bool, reg *obs.Registry, kill ...*killPlan) (res Result) {
 	s := sim.New(seed)
 	var out bytes.Buffer
 	mem := &trace.MemorySink{}
@@ -152,6 +256,9 @@ func run(src string, seed int64, fault bool, reg *obs.Registry) (res Result) {
 		opts.Remote = ft
 		opts.InterceptWire = true
 	}
+	if len(kill) > 0 && kill[0] != nil {
+		opts.HA = true // checkpoint/restore needs the HA bookkeeping on
+	}
 	vm, err := core.NewVM(cfg, opts)
 	if err != nil {
 		res.Err = err
@@ -161,6 +268,18 @@ func run(src string, seed int64, fault bool, reg *obs.Registry) (res Result) {
 		ft.Bind(vm)
 	}
 	vm.Tracer().EnableAll(true)
+	stopKill := func() {}
+	if len(kill) > 0 && kill[0] != nil {
+		stop, kerr := kill[0].install(vm, ft)
+		if kerr != nil {
+			vm.Shutdown()
+			res.Err = kerr
+			return res
+		}
+		stopKill = stop
+		defer stop() // the deadlock path skips the explicit call below
+	}
+	start := s.Now()
 
 	prog, err := pfi.Compile(src)
 	if err != nil {
@@ -169,6 +288,10 @@ func run(src string, seed int64, fault bool, reg *obs.Registry) (res Result) {
 		return res
 	}
 	runErr := prog.Run(vm, pfi.Options{})
+	res.VirtualElapsed = s.Now().Sub(start)
+	// Disarm the checkpoint chain before Shutdown: its drain pumps the
+	// scheduler, and a self-rearming timer would keep the pump alive forever.
+	stopKill()
 	vm.Shutdown()
 
 	res.Output = out.String()

@@ -238,6 +238,21 @@ func (t *Task) Accept(spec AcceptSpec) (*AcceptResult, error) {
 		return nil, err
 	}
 
+	// HA mode: bracket the statement with its consumption-log record, and on
+	// a freshly restored task drive the replay of the corresponding
+	// checkpointed record (see ha.go).  Controllers keep floors but no log.
+	if h := t.rec.queue.ha; h != nil && h.logOn {
+		t.haBeginAccept()
+		res, err := t.acceptLoop(spec, st)
+		t.rec.queue.haEndAccept(res != nil && res.TimedOut)
+		return res, err
+	}
+	return t.acceptLoop(spec, st)
+}
+
+// acceptLoop is the body of an ACCEPT statement once its matching state has
+// been armed: drain, wait, time out.
+func (t *Task) acceptLoop(spec AcceptSpec, st *acceptState) (*AcceptResult, error) {
 	timeout := spec.Delay
 	if timeout == 0 {
 		timeout = t.vm.opts.AcceptTimeout

@@ -36,6 +36,25 @@ type taskRec struct {
 
 	proc   atomic.Pointer[mmos.Proc]
 	killed atomic.Bool
+
+	// HA-mode state (zero-cost otherwise; see ha.go).  initArgs retains the
+	// INITIATE argument list so a checkpoint can respawn the task; haSeq
+	// numbers the task's outbound sends for duplicate suppression; failover
+	// marks a kill performed by FailClusters, whose termination path must keep
+	// the done gate and waitgroup bookkeeping suspended for Restore; exited
+	// opens when the termination path has fully run (slot freed, task
+	// unregistered), which — unlike done — failover does not suspend.
+	initArgs []Value
+	haSeq    atomic.Uint64
+	failover atomic.Bool
+	exited   backend.Gate
+	// deathSeq, on a restored incarnation, is the send sequence number the
+	// previous incarnation had reached when it died (recorded by finishTask's
+	// failover path).  A re-executed send numbered at or below it already
+	// happened in the first life, so a missing receiver is not an error — it
+	// consumed the original and exited.  Written before the task spawns, read
+	// only by the task itself.
+	deathSeq uint64
 }
 
 // newTaskRecParts builds the wake event, queue, and done gate a task record
@@ -68,6 +87,17 @@ type pendingInit struct {
 	parent   TaskID
 	args     []Value
 	reply    *initReply
+	// key identifies the request for HA duplicate suppression: a replayed
+	// parent re-issues its INITIATEs with the same send sequence numbers, and
+	// the controller must answer with the already-assigned child id instead of
+	// starting a second task.  key.seq 0 means unsequenced (non-HA, or an
+	// execution-environment request), never deduplicated.
+	key initKey
+	// forced, when non-zero, is the taskid this request MUST produce: a
+	// recovery replay re-creates a post-checkpoint task under the id its
+	// first life was assigned (the id the parent already holds).  Set from
+	// the cluster's directed map; requires forced.Slot to be free.
+	forced TaskID
 }
 
 // clusterRT is the run-time structure of one virtual-machine cluster.
@@ -95,6 +125,20 @@ type clusterRT struct {
 	slots   []slotState // index 0 .. reserved-1: controllers; then user slots
 	userLo  int         // index of the first user slot
 	pending []pendingInit
+	// initMap (HA mode only) maps initiation-request keys to the child task
+	// they produced, so replayed INITIATEs are answered, not re-run.
+	initMap map[initKey]TaskID
+	// directed (HA recovery only) maps initiation-request keys to the taskid
+	// the request was answered with before a failure: a task created AFTER
+	// the last checkpoint is not in the restored state, but the transport
+	// observed its id in the initiate reply and plans its re-creation here
+	// (PlanRestoredInit) before replaying the retained request frame, so the
+	// parent's stored id stays valid.
+	directed map[initKey]TaskID
+	// frozen parks new task starts in pending: set between FailClusters and
+	// Restore so respawned tasks get their recorded slots' worth of capacity
+	// before live requests compete for it.
+	frozen bool
 }
 
 func newClusterRT(vm *VM, cfg config.Cluster, terminal bool) (*clusterRT, error) {
@@ -112,6 +156,9 @@ func newClusterRT(vm *VM, cfg config.Cluster, terminal bool) (*clusterRT, error)
 	}
 	rt.userLo = reservedSlots(terminal)
 	rt.slots = make([]slotState, rt.userLo+cfg.Slots)
+	if vm.ha {
+		rt.initMap = make(map[initKey]TaskID)
+	}
 	return rt, nil
 }
 
@@ -172,8 +219,76 @@ func (c *clusterRT) placeController(rec *taskRec) (int, error) {
 // request handles one initiation request: start the task immediately if a
 // user slot is free, otherwise queue the request until a task terminates.
 func (c *clusterRT) request(req pendingInit) error {
+	// A request whose parent was failed by FailClusters and not yet restored
+	// (it was in flight — a transport delay line, the controller's in-queue —
+	// when the failure hit) must not hold a live reply: the dead parent's
+	// InitiateWait has to unblock so the failure can complete, and the
+	// restored parent will re-issue the request under the same key and
+	// install its own reply.
+	if req.reply != nil && c.vm.haParentFailed(req.parent) {
+		req.reply.deliver(NilTask)
+		req.reply = nil
+	}
 	c.mu.Lock()
-	slot := c.findFreeUserSlotLocked()
+	if c.initMap != nil && req.key.seq != 0 {
+		if id, ok := c.initMap[req.key]; ok {
+			running := id.Slot >= 0 && id.Slot < len(c.slots) &&
+				c.slots[id.Slot].rec != nil && c.slots[id.Slot].rec.id == id
+			if running || !c.vm.hasDeadSeq(id) {
+				// A replayed duplicate of an INITIATE the controller already
+				// served, where the child is still alive — or died long enough
+				// ago that its effects predate every restorable checkpoint:
+				// answer with the assigned id instead of starting a second
+				// task.
+				reply := req.reply
+				c.mu.Unlock()
+				reply.deliver(id)
+				return nil
+			}
+			// The child died recently (after the last surviving checkpoint
+			// cut), so a recovery may have lost its effects: re-create it
+			// under its original identity.  Its re-executed sends carry the
+			// first life's sequence numbers, so receivers that already got
+			// them drop the duplicates and receivers that exited are not
+			// errors (deathSeq suppression).
+			if c.directed == nil {
+				c.directed = make(map[initKey]TaskID)
+			}
+			c.directed[req.key] = id
+		}
+		for i := range c.pending {
+			if c.pending[i].key == req.key {
+				// Duplicate of a request still waiting for a slot (the original
+				// came from a checkpoint, carrying no live reply): adopt the
+				// replayed requester's reply.
+				c.pending[i].reply = req.reply
+				c.mu.Unlock()
+				return nil
+			}
+		}
+	}
+	if c.directed != nil && req.key.seq != 0 {
+		if id, ok := c.directed[req.key]; ok {
+			// A planned re-creation: the task must come back under its original
+			// id, so it can only start in its original slot.  If a restored
+			// task still occupies that slot (it did at the checkpoint and has
+			// not replayed its exit yet), the request waits in pending.
+			if !c.frozen && id.Slot >= c.userLo && id.Slot < len(c.slots) && c.slots[id.Slot].rec == nil {
+				delete(c.directed, req.key)
+				req.forced = id
+				c.slots[id.Slot].rec = reservedMarker
+				c.mu.Unlock()
+				return c.startTask(id.Slot, req)
+			}
+			c.pending = append(c.pending, req)
+			c.mu.Unlock()
+			return nil
+		}
+	}
+	slot := -1
+	if !c.frozen {
+		slot = c.findFreeUserSlotLocked()
+	}
 	if slot < 0 {
 		c.pending = append(c.pending, req)
 		c.mu.Unlock()
@@ -187,6 +302,54 @@ func (c *clusterRT) request(req pendingInit) error {
 
 // reservedMarker occupies a slot between reservation and task start.
 var reservedMarker = &taskRec{}
+
+// takePendingLocked removes and returns the first pending request that can
+// start now, together with its reserved slot (nil, -1 when nothing can).
+// Directed requests (planned re-creations, see PlanRestoredInit) can only
+// take their recorded slot, so one whose slot is still occupied is skipped
+// without blocking others; undirected requests start strictly in FIFO order.
+// Caller holds c.mu.
+func (c *clusterRT) takePendingLocked() (*pendingInit, int) {
+	if c.frozen {
+		return nil, -1
+	}
+	noFree := false
+	for i := 0; i < len(c.pending); i++ {
+		req := c.pending[i]
+		slot := -1
+		if req.forced != NilTask {
+			// The entry already names its task's original identity (restored
+			// post-checkpoint request): only its original slot will do.
+			if req.forced.Slot < c.userLo || req.forced.Slot >= len(c.slots) || c.slots[req.forced.Slot].rec != nil {
+				continue
+			}
+			slot = req.forced.Slot
+		} else if c.directed != nil && req.key.seq != 0 {
+			if id, ok := c.directed[req.key]; ok {
+				if id.Slot < c.userLo || id.Slot >= len(c.slots) || c.slots[id.Slot].rec != nil {
+					continue
+				}
+				delete(c.directed, req.key)
+				req.forced = id
+				slot = id.Slot
+			}
+		}
+		if slot < 0 {
+			if noFree {
+				continue
+			}
+			slot = c.findFreeUserSlotLocked()
+			if slot < 0 {
+				noFree = true
+				continue
+			}
+		}
+		c.pending = append(c.pending[:i], c.pending[i+1:]...)
+		c.slots[slot].rec = reservedMarker
+		return &req, slot
+	}
+	return nil, -1
+}
 
 func (c *clusterRT) findFreeUserSlotLocked() int {
 	for i := c.userLo; i < len(c.slots); i++ {
@@ -211,7 +374,10 @@ func (c *clusterRT) startTask(slot int, req pendingInit) error {
 		req.reply.deliver(NilTask)
 		return fmt.Errorf("%w: %q", ErrUnknownTaskType, req.tasktype)
 	}
-	id := TaskID{Cluster: c.cfg.Number, Slot: slot, Unique: vm.nextUnique()}
+	id := req.forced
+	if id == NilTask {
+		id = TaskID{Cluster: c.cfg.Number, Slot: slot, Unique: vm.nextUnique()}
+	}
 	rec := &taskRec{
 		id:         id,
 		tasktype:   tt.Name,
@@ -220,12 +386,39 @@ func (c *clusterRT) startTask(slot int, req pendingInit) error {
 		slot:       slot,
 		localBytes: tt.LocalBytes,
 	}
+	var inheritedDone backend.Gate
+	if req.forced != NilTask {
+		// A directed re-creation continues a killed task's life: inherit the
+		// point its sends had reached so re-executed deliveries stay
+		// droppable, and — when the first life was a failover victim — its
+		// parked done gate, so WaitTask callers and the user-task waitgroup
+		// never observe the gap.
+		rec.deathSeq = vm.takeDeadSeq(id)
+		inheritedDone = vm.takeDoneGate(id)
+	}
 	rec.wake, rec.queue, rec.done = newTaskRecParts(vm.backend)
+	if inheritedDone != nil {
+		rec.done = inheritedDone
+	}
+	if vm.ha {
+		rec.initArgs = req.args
+		rec.exited = vm.backend.NewGate()
+		rec.queue.ha = newTaskHA(true)
+	}
 	c.mu.Lock()
 	c.slots[slot].rec = rec
+	// Record the initiation before the reply can be delivered, so a replayed
+	// duplicate of this request arriving later is answered from the map.
+	if c.initMap != nil && req.key.seq != 0 {
+		c.initMap[req.key] = id
+	}
 	c.mu.Unlock()
 	vm.registerTask(rec)
-	vm.userTasks.Add(1)
+	if inheritedDone == nil {
+		// An inherited gate means the failed life's waitgroup registration is
+		// still outstanding; this life's exit balances it.
+		vm.userTasks.Add(1)
+	}
 	vm.initiated.Add(1)
 
 	body := func(p *mmos.Proc) {
@@ -243,8 +436,15 @@ func (c *clusterRT) startTask(slot int, req pendingInit) error {
 	if err != nil {
 		// Could not create the process (local memory exhausted): undo.
 		vm.unregisterTask(id)
-		vm.userTasks.Done()
-		c.clearSlot(slot)
+		if inheritedDone == nil {
+			vm.userTasks.Done()
+		}
+		c.mu.Lock()
+		c.slots[slot].rec = nil
+		if c.initMap != nil && req.key.seq != 0 {
+			delete(c.initMap, req.key)
+		}
+		c.mu.Unlock()
 		req.reply.deliver(NilTask)
 		return fmt.Errorf("core: starting task %s: %w", tt.Name, err)
 	}
@@ -288,8 +488,23 @@ func (vm *VM) finishTask(rec *taskRec, ctx *Task) {
 	vm.arrays.dropOwner(rec.id, vm)
 
 	vm.unregisterTask(rec.id)
-	vm.completed.Add(1)
-	rec.done.Open()
+
+	// A failover kill (FailClusters) keeps the completion bookkeeping
+	// suspended: Restore hands the same done gate to the task's next
+	// incarnation, so WaitTask/WaitIdle callers never observe the failure.
+	failover := rec.failover.Load()
+	if vm.ha {
+		// Record how far the task's sends got: if a recovery replay re-creates
+		// it (a failover victim, or a task whose whole life ran after the last
+		// checkpoint and whose INITIATE is re-delivered), the new incarnation
+		// re-executes those sends, and any numbered at or below this already
+		// reached (possibly since-exited) receivers.
+		vm.recordDeadSeq(rec.id, rec.haSeq.Load())
+	}
+	if !failover {
+		vm.completed.Add(1)
+		rec.done.Open()
+	}
 
 	// Free the slot and start a pending request if one is waiting.  In the
 	// FLEX implementation the task controller performed this bookkeeping; the
@@ -298,16 +513,7 @@ func (vm *VM) finishTask(rec *taskRec, ctx *Task) {
 	// for fielding new INITIATE requests.
 	c.mu.Lock()
 	c.slots[rec.slot].rec = nil
-	nextSlot := -1
-	var next *pendingInit
-	if len(c.pending) > 0 {
-		if slot := c.findFreeUserSlotLocked(); slot >= 0 {
-			n := c.pending[0]
-			c.pending = c.pending[1:]
-			c.slots[slot].rec = reservedMarker
-			next, nextSlot = &n, slot
-		}
-	}
+	next, nextSlot := c.takePendingLocked()
 	c.mu.Unlock()
 	if next != nil {
 		if err := c.startTask(nextSlot, *next); err != nil {
@@ -315,7 +521,12 @@ func (vm *VM) finishTask(rec *taskRec, ctx *Task) {
 		}
 	}
 
-	vm.userTasks.Done()
+	if !failover {
+		vm.userTasks.Done()
+	}
+	if rec.exited != nil {
+		rec.exited.Open()
+	}
 }
 
 // userPrintf writes a line to the user terminal output, if configured.

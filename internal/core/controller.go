@@ -52,6 +52,12 @@ func (vm *VM) startController(cl *clusterRT, tasktype string, body func(*Task)) 
 		localBytes:   DefaultTaskLocalBytes,
 	}
 	rec.wake, rec.queue, rec.done = newTaskRecParts(vm.backend)
+	if vm.ha {
+		// Controllers are never replayed, but they need duplicate-suppression
+		// floors: a replayed task regenerates its TO USER prints and INITIATE
+		// requests, and the controller side must drop (or re-answer) them.
+		rec.queue.ha = newTaskHA(false)
+	}
 	slot, err := cl.placeController(rec)
 	if err != nil {
 		return NilTask, err
@@ -149,6 +155,7 @@ func decodeInitRequest(m *Message) (pendingInit, error) {
 		parent:   parent,
 		args:     m.Args[3:],
 		reply:    m.reply,
+		key:      initKey{parent: parent, seq: m.sendSeq},
 	}, nil
 }
 

@@ -1,0 +1,1061 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/backend"
+	"repro/internal/mmos"
+	"repro/internal/msgcodec"
+	"repro/internal/trace"
+)
+
+// Fault tolerance (HA mode).
+//
+// Pisces tasks are deterministic message-driven state machines: a task's
+// behaviour is fully determined by its INITIATE arguments plus the ordered
+// sequence of messages each of its ACCEPT statements consumed.  HA mode
+// exploits that: instead of checkpointing task stacks (impossible for Go
+// goroutines), the run-time checkpoints what it would take to REPLAY a task —
+// its init args, a per-ACCEPT consumption log, and the messages still waiting
+// in its in-queue.  Recovery respawns the task from its init args and feeds
+// each ACCEPT the same messages its log recorded; the re-execution regenerates
+// the task's sends, which the rest of the machine suppresses as duplicates.
+//
+// Duplicate suppression is receiver-side: in HA mode every task stamps its
+// outbound messages with a per-task send sequence number, and every in-queue
+// keeps a per-sender floor of the highest sequence number it has admitted.
+// Floors only advance, so any re-delivery — a replayed sender regenerating
+// its sends, a transport re-sending retained frames after a recovery — is
+// dropped at admission.  A replayed INITIATE is deduplicated one level up, in
+// the cluster's initMap keyed by (parent, send seq): the controller re-replies
+// with the already-assigned child id instead of starting a second task.
+//
+// What is NOT recoverable: controllers (the terminal cluster's user/file
+// controllers are the run's anchor), shared arrays and windows owned by a
+// failed task, and tasks whose behaviour depends on wall-clock races the
+// virtual clock did not capture.  See README "Fault tolerance".
+
+// haMsg is one logged (or queued) message in replay form: everything needed
+// to rebuild the Message at injection time.  Args slices are shared with the
+// live messages — argument slices are immutable once sent.
+type haMsg struct {
+	Type    string
+	Sender  TaskID
+	SendSeq uint64
+	Args    []Value
+}
+
+// haAccRecord is the consumption record of one ACCEPT statement.  A record is
+// appended (open) when the ACCEPT begins, filled incrementally as takeMatching
+// consumes messages, and closed when the ACCEPT returns.  An open record in a
+// checkpoint means the task was blocked mid-ACCEPT at the cut.
+type haAccRecord struct {
+	msgs     []haMsg
+	open     bool
+	timedOut bool
+}
+
+// taskHA is the per-in-queue fault-tolerance state; all fields are guarded by
+// the owning inQueue's mutex.
+type taskHA struct {
+	// logOn enables the consumption log (user tasks only; controllers keep
+	// floors but are never replayed).
+	logOn bool
+	// floors maps sender task -> highest admitted send sequence number.
+	floors map[TaskID]uint64
+	// log is the task's ACCEPT consumption history since (re)start.
+	log []*haAccRecord
+	// openStack tracks the in-progress ACCEPT records (a stack, because
+	// handlers may issue re-entrant ACCEPTs).
+	openStack []*haAccRecord
+	// replay holds the checkpointed records still to be fed to the task's
+	// ACCEPTs; non-nil only on a restored task.
+	replay []*haAccRecord
+	// tail is the checkpointed in-queue content, injected when the replay log
+	// is exhausted.
+	tail []haMsg
+	// replaying marks the window between restore and log exhaustion: live
+	// deliveries park in pen so they cannot interleave with history.
+	replaying bool
+	pen       []*Message
+}
+
+func newTaskHA(logOn bool) *taskHA {
+	return &taskHA{logOn: logOn, floors: make(map[TaskID]uint64)}
+}
+
+// initKey identifies one initiation request for duplicate suppression: the
+// requesting task plus the send sequence number its INITIATE carried.  seq 0
+// means unsequenced (non-HA mode, or an execution-environment request) and is
+// never deduplicated.
+type initKey struct {
+	parent TaskID
+	seq    uint64
+}
+
+// nextSendSeq returns the task's next outbound send sequence number, or 0
+// (unsequenced) outside HA mode.  A restored task restarts at 1 and — being a
+// deterministic replay — regenerates exactly the numbers its first life used.
+func (t *Task) nextSendSeq() uint64 {
+	if !t.vm.ha {
+		return 0
+	}
+	return t.rec.haSeq.Add(1)
+}
+
+// recordDeadSeq remembers the send sequence number a finished (or
+// failover-killed) task had reached at death, keyed by its taskid, for a
+// possible re-created incarnation to inherit.  Guarded by its own mutex so it
+// can be consulted while a cluster lock is held.
+func (vm *VM) recordDeadSeq(id TaskID, seq uint64) {
+	vm.haSeqMu.Lock()
+	if vm.haDeadSeqs == nil {
+		vm.haDeadSeqs = make(map[TaskID]uint64)
+	}
+	vm.haDeadSeqs[id] = seq
+	vm.haSeqMu.Unlock()
+}
+
+// hasDeadSeq reports whether the task's death is recent enough that its
+// send-progress record is still held (i.e. within the last two checkpoint
+// generations).  A duplicate INITIATE for a child with no record is answered
+// from the initMap instead of re-creating it: the child's effects predate the
+// previous checkpoint and are already part of every restorable state.
+func (vm *VM) hasDeadSeq(id TaskID) bool {
+	vm.haSeqMu.Lock()
+	defer vm.haSeqMu.Unlock()
+	if _, ok := vm.haDeadSeqs[id]; ok {
+		return true
+	}
+	_, ok := vm.haDeadSeqsOld[id]
+	return ok
+}
+
+// takeDeadSeq consumes the recorded death-time send sequence number for a
+// taskid being re-created, or 0 when this VM never saw the death (buddy
+// adoption — the dead node's counter died with it).
+func (vm *VM) takeDeadSeq(id TaskID) uint64 {
+	vm.haSeqMu.Lock()
+	defer vm.haSeqMu.Unlock()
+	seq, ok := vm.haDeadSeqs[id]
+	if !ok {
+		seq = vm.haDeadSeqsOld[id]
+	}
+	delete(vm.haDeadSeqs, id)
+	delete(vm.haDeadSeqsOld, id)
+	return seq
+}
+
+// takeDoneGate consumes the done gate FailClusters parked for a failed task,
+// or nil when this VM never saw the failure (or the gate was already handed
+// to a restored incarnation).  An incarnation that inherits a gate must NOT
+// re-register with the user-task waitgroup: the failed life's registration is
+// still outstanding and the new life's exit balances it.
+func (vm *VM) takeDoneGate(id TaskID) backend.Gate {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	g := vm.haDoneGates[id]
+	if g != nil {
+		delete(vm.haDoneGates, id)
+	}
+	return g
+}
+
+// haSendSuppressed reports whether a send that found no receiver is really a
+// re-execution of a delivery that already happened: either the task is still
+// replaying its consumption log, or this send carries a sequence number its
+// previous incarnation had already issued before dying — the receiver got
+// the original then, and has exited since.
+func (t *Task) haSendSuppressed(sendSeq uint64) bool {
+	if t.haReplaying() {
+		return true
+	}
+	return sendSeq != 0 && sendSeq <= t.rec.deathSeq
+}
+
+// haReplaying reports whether the task is still replaying its consumption
+// log.  While true, sends to tasks that do not exist (any more, or yet) are
+// silently dropped: the first execution's sends already reached them.
+func (t *Task) haReplaying() bool {
+	h := t.rec.queue.ha
+	if h == nil {
+		return false
+	}
+	t.rec.queue.mu.Lock()
+	r := h.replaying
+	t.rec.queue.mu.Unlock()
+	return r
+}
+
+// haBeginAccept opens this ACCEPT's consumption record and, on a replaying
+// task, re-injects the corresponding checkpointed record's messages into the
+// ring.  When the replay log runs dry (or the record was cut open mid-ACCEPT
+// by the checkpoint), the queue transitions back to live delivery: the
+// checkpointed queue tail and then the pen drain into the ring, in order.
+func (t *Task) haBeginAccept() {
+	q := t.rec.queue
+	h := q.ha
+	q.mu.Lock()
+	live := &haAccRecord{open: true}
+	h.log = append(h.log, live)
+	h.openStack = append(h.openStack, live)
+	var inject []haMsg
+	finish := false
+	if h.replaying {
+		if len(h.replay) > 0 {
+			rep := h.replay[0]
+			h.replay = h.replay[1:]
+			inject = rep.msgs
+			finish = rep.open
+		} else {
+			finish = true
+		}
+	}
+	q.mu.Unlock()
+	if inject != nil {
+		t.haInject(inject)
+	}
+	if finish {
+		t.haFinishReplay()
+	}
+}
+
+// haEndAccept closes the ACCEPT's consumption record.
+func (q *inQueue) haEndAccept(timedOut bool) {
+	h := q.ha
+	q.mu.Lock()
+	if n := len(h.openStack); n > 0 {
+		rec := h.openStack[n-1]
+		h.openStack = h.openStack[:n-1]
+		rec.open = false
+		rec.timedOut = timedOut
+	}
+	q.mu.Unlock()
+}
+
+// haInject rebuilds logged messages and appends them to the task's own ring,
+// bypassing floors and the pen.  The heap charge is best-effort: replay must
+// make progress even if the shard is momentarily full, so an uncharged
+// message (heapBytes 0) is delivered rather than dropped.
+func (t *Task) haInject(msgs []haMsg) {
+	q := t.rec.queue
+	for i := range msgs {
+		hm := &msgs[i]
+		m := newMessage(hm.Type, hm.Sender, hm.Args, t.vm.msgSeq.Add(1))
+		m.sendSeq = hm.SendSeq
+		_ = t.vm.chargeMessageOn(t.rec.cluster.heap, m)
+		q.mu.Lock()
+		q.injectLocked(m)
+		q.mu.Unlock()
+	}
+}
+
+// haFinishReplay ends the replay window: checkpointed queue tail first, then
+// everything that arrived live while the task was replaying, in arrival
+// order.
+func (t *Task) haFinishReplay() {
+	q := t.rec.queue
+	h := q.ha
+	q.mu.Lock()
+	tail := h.tail
+	h.tail = nil
+	q.mu.Unlock()
+	t.haInject(tail)
+	q.mu.Lock()
+	pen := h.pen
+	h.pen = nil
+	h.replaying = false
+	for _, m := range pen {
+		q.injectLocked(m)
+	}
+	q.mu.Unlock()
+	if len(pen) > 0 {
+		q.wake.Pulse()
+	}
+}
+
+// --- checkpoint capture -----------------------------------------------------
+
+// haCkptTask is the serializable replay state of one user task.
+type haCkptTask struct {
+	id       TaskID
+	tasktype string
+	parent   TaskID
+	args     []Value
+	floors   map[TaskID]uint64
+	log      []*haAccRecord
+	queue    []haMsg
+}
+
+type haCkptPending struct {
+	key      initKey
+	tasktype string
+	parent   TaskID
+	args     []Value
+}
+
+type haCkptInitEntry struct {
+	key   initKey
+	child TaskID
+}
+
+type haCkptCluster struct {
+	number  int
+	initMap []haCkptInitEntry
+	pending []haCkptPending
+	tasks   []haCkptTask
+}
+
+// Checkpoint serializes the recoverable state of the given clusters: the
+// controller-side initiation state (initMap, pending requests) and, per user
+// task, its replay state (init args, ACCEPT consumption log, queued
+// messages).  The cut need not be globally consistent: floors are monotone
+// and the consumption log is appended atomically under each queue's lock, so
+// replay from any cut converges — frames the cut missed are either re-sent by
+// replayed senders or re-delivered by the transport's retention, and
+// duplicates of frames the cut saw are dropped at admission.
+func (vm *VM) Checkpoint(clusters ...int) ([]byte, error) {
+	if !vm.ha {
+		return nil, fmt.Errorf("core: Checkpoint requires a VM booted with Options.HA")
+	}
+	nums := append([]int(nil), clusters...)
+	sort.Ints(nums)
+	sections := [][]byte{binary.BigEndian.AppendUint32(nil, haCkptFormat)}
+	for _, n := range nums {
+		cl, ok := vm.cluster(n)
+		if !ok {
+			return nil, fmt.Errorf("%w: %d", ErrNoSuchCluster, n)
+		}
+		cs := cl.captureCheckpoint()
+		sec, err := encodeClusterCkpt(cs)
+		if err != nil {
+			return nil, err
+		}
+		sections = append(sections, sec)
+	}
+	// Rotate the dead-send-sequence generations: entries only matter while a
+	// recovery replay could re-create their task, i.e. while the task's
+	// INITIATE frame is still retained — at most back to the previous
+	// checkpoint.  Two generations keep the map bounded by task turnover per
+	// checkpoint interval instead of growing for the VM's lifetime.
+	vm.haSeqMu.Lock()
+	vm.haDeadSeqsOld = vm.haDeadSeqs
+	vm.haDeadSeqs = nil
+	vm.haSeqMu.Unlock()
+	return msgcodec.EncodeCheckpoint(sections)
+}
+
+// captureCheckpoint snapshots one cluster's recoverable state.
+func (c *clusterRT) captureCheckpoint() haCkptCluster {
+	cs := haCkptCluster{number: c.cfg.Number}
+	c.mu.Lock()
+	for k, child := range c.initMap {
+		cs.initMap = append(cs.initMap, haCkptInitEntry{key: k, child: child})
+	}
+	for _, p := range c.pending {
+		cs.pending = append(cs.pending, haCkptPending{key: p.key, tasktype: p.tasktype, parent: p.parent, args: p.args})
+	}
+	var recs []*taskRec
+	for i := c.userLo; i < len(c.slots); i++ {
+		if r := c.slots[i].rec; r != nil && r != reservedMarker && !r.isController {
+			recs = append(recs, r)
+		}
+	}
+	c.mu.Unlock()
+	// Sorted serialization keeps the blob — and therefore the restore spawn
+	// order — deterministic for a given machine state.
+	sort.Slice(cs.initMap, func(i, j int) bool {
+		a, b := cs.initMap[i].key, cs.initMap[j].key
+		if a.parent != b.parent {
+			return a.parent.less(b.parent)
+		}
+		return a.seq < b.seq
+	})
+	for _, rec := range recs {
+		cs.tasks = append(cs.tasks, rec.captureCheckpoint())
+	}
+	return cs
+}
+
+// captureCheckpoint snapshots one task's replay state under its queue lock.
+func (r *taskRec) captureCheckpoint() haCkptTask {
+	ts := haCkptTask{id: r.id, tasktype: r.tasktype, parent: r.parent, args: r.initArgs}
+	q := r.queue
+	q.mu.Lock()
+	h := q.ha
+	if h != nil {
+		ts.floors = make(map[TaskID]uint64, len(h.floors))
+		for k, v := range h.floors {
+			ts.floors[k] = v
+		}
+		// A checkpoint taken while the task is itself replaying concatenates
+		// the rebuilt log so far with the records still to be replayed — a
+		// restore from this cut replays both, in order.
+		for _, rec := range append(append([]*haAccRecord(nil), h.log...), h.replay...) {
+			ts.log = append(ts.log, &haAccRecord{
+				msgs:     append([]haMsg(nil), rec.msgs...),
+				open:     rec.open,
+				timedOut: rec.timedOut,
+			})
+		}
+		// Queue snapshot, in the order a restored task must see them: the ring
+		// (on a mid-replay cut: injected-but-unconsumed history), then the old
+		// checkpoint tail not yet injected, then live messages parked in the
+		// pen — the same order finishReplay would have delivered them.
+		for i := 0; i < q.n; i++ {
+			m := q.at(i)
+			ts.queue = append(ts.queue, haMsg{Type: m.Type, Sender: m.Sender, SendSeq: m.sendSeq, Args: m.Args})
+		}
+		ts.queue = append(ts.queue, h.tail...)
+		for _, m := range h.pen {
+			ts.queue = append(ts.queue, haMsg{Type: m.Type, Sender: m.Sender, SendSeq: m.sendSeq, Args: m.Args})
+		}
+	}
+	q.mu.Unlock()
+	return ts
+}
+
+// --- failure and restore ----------------------------------------------------
+
+// FailClusters simulates the death of the nodes hosting the given clusters:
+// every user task there is killed through a failover path that keeps the
+// machine-wide bookkeeping (done gates, the user-task waitgroup, completion
+// counters) suspended so a subsequent Restore can hand the same identities
+// back without WaitTask/WaitIdle observing the gap.  It returns the number of
+// tasks failed.  Controllers survive — on the node runtime every node boots
+// the full configuration, so a cluster's controller is a ghost that any
+// surviving node can animate.
+func (vm *VM) FailClusters(clusters ...int) int {
+	if !vm.ha {
+		return 0
+	}
+	nums := append([]int(nil), clusters...)
+	sort.Ints(nums)
+	target := make(map[int]bool, len(nums))
+	for _, n := range nums {
+		if cl, ok := vm.cluster(n); ok {
+			target[n] = true
+			cl.mu.Lock()
+			cl.frozen = true
+			cl.mu.Unlock()
+		}
+	}
+	vm.mu.Lock()
+	var victims []*taskRec
+	for id, rec := range vm.tasks {
+		if rec.isController || !target[id.Cluster] {
+			continue
+		}
+		victims = append(victims, rec)
+	}
+	vm.mu.Unlock()
+	sort.Slice(victims, func(i, j int) bool { return victims[i].id.less(victims[j].id) })
+
+	vm.mu.Lock()
+	if vm.haDoneGates == nil {
+		vm.haDoneGates = make(map[TaskID]backend.Gate)
+	}
+	dead := make(map[TaskID]bool, len(victims))
+	for _, rec := range victims {
+		vm.haDoneGates[rec.id] = rec.done
+		dead[rec.id] = true
+		rec.failover.Store(true)
+	}
+	vm.mu.Unlock()
+	for _, rec := range victims {
+		rec.kill()
+	}
+	// A victim blocked in InitiateWait holds a reply gate only a controller's
+	// startTask would open; fail those replies (kill flag is already set, so
+	// the task wakes straight into its unwind) or the kill would deadlock.
+	for _, n := range vm.clusterNumbers() {
+		cl, ok := vm.cluster(n)
+		if !ok {
+			continue
+		}
+		cl.mu.Lock()
+		var fail []*initReply
+		for i := range cl.pending {
+			if cl.pending[i].reply != nil && dead[cl.pending[i].parent] {
+				fail = append(fail, cl.pending[i].reply)
+				cl.pending[i].reply = nil
+			}
+		}
+		cl.mu.Unlock()
+		for _, r := range fail {
+			r.deliver(NilTask)
+		}
+	}
+	for _, rec := range victims {
+		if rec.exited != nil {
+			rec.exited.Wait()
+		}
+	}
+	return len(victims)
+}
+
+// haParentFailed reports whether id was failed by FailClusters and has not
+// been restored yet (the fail window).
+func (vm *VM) haParentFailed(id TaskID) bool {
+	if !vm.ha {
+		return false
+	}
+	vm.mu.Lock()
+	_, ok := vm.haDoneGates[id]
+	vm.mu.Unlock()
+	return ok
+}
+
+// AdoptClusters marks the given clusters as hosted by this VM, so a buddy
+// node can take over a dead peer's partition before restoring its state.
+// Every node boots the full configuration, so adoption is purely a routing
+// change.  No-op on a VM that already hosts everything.
+func (vm *VM) AdoptClusters(clusters ...int) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	old := vm.hosted.Load()
+	if old == nil {
+		return
+	}
+	// Copy-on-write: routing reads the hosted set lock-free on every send, so
+	// the set is never mutated in place.
+	next := make(map[int]bool, len(*old)+len(clusters))
+	for n := range *old {
+		next[n] = true
+	}
+	for _, n := range clusters {
+		if _, ok := vm.clusters[n]; ok {
+			next[n] = true
+		}
+	}
+	vm.hosted.Store(&next)
+}
+
+// Restore rebuilds the checkpointed clusters' state: the controllers' initMap
+// and pending requests are reinstated, and every checkpointed task is
+// respawned under its original taskid in replay mode.  Tasks failed here by
+// FailClusters get their original done gates back; tasks adopted from a dead
+// node get fresh ones.  After Restore the caller should re-deliver the
+// transport's retained post-checkpoint frames — replay plus floors make any
+// overlap harmless.
+func (vm *VM) Restore(blob []byte) error {
+	if !vm.ha {
+		return fmt.Errorf("core: Restore requires a VM booted with Options.HA")
+	}
+	ck, err := decodeCheckpointBlob(blob)
+	if err != nil {
+		return err
+	}
+	var restored []*clusterRT
+	for _, cs := range ck {
+		cl, ok := vm.cluster(cs.number)
+		if !ok {
+			return fmt.Errorf("%w: checkpointed cluster %d", ErrNoSuchCluster, cs.number)
+		}
+		cl.mu.Lock()
+		cl.frozen = true
+		// Merge, don't replace: the surviving controller's live initMap also
+		// records creations the checkpoint cut missed (post-checkpoint
+		// children).  A replayed duplicate of such an INITIATE must find the
+		// entry, so the child comes back under its original identity instead
+		// of as a second task (see clusterRT.request).
+		if cl.initMap == nil {
+			cl.initMap = make(map[initKey]TaskID, len(cs.initMap))
+		}
+		for _, e := range cs.initMap {
+			cl.initMap[e.key] = e.child
+		}
+		for _, p := range cs.pending {
+			dup := false
+			if p.key.seq != 0 {
+				for i := range cl.pending {
+					if cl.pending[i].key == p.key {
+						dup = true
+						break
+					}
+				}
+			}
+			if dup {
+				continue
+			}
+			np := pendingInit{tasktype: p.tasktype, parent: p.parent, args: p.args, key: p.key}
+			if p.key.seq != 0 {
+				if id, ok := cl.initMap[p.key]; ok {
+					// The surviving controller served this request after the
+					// checkpoint cut.  The child is dead now (every user task
+					// on a restored cluster is); if its death is recent its
+					// effects may be lost, so re-create it under its original
+					// identity — otherwise they predate every restorable cut
+					// and the request is already fully honoured.
+					if !vm.hasDeadSeq(id) {
+						continue
+					}
+					np.forced = id
+				}
+			}
+			cl.pending = append(cl.pending, np)
+		}
+		cl.mu.Unlock()
+		for i := range cs.tasks {
+			if err := cl.restoreTask(&cs.tasks[i], vm.takeDoneGate(cs.tasks[i].id)); err != nil {
+				return err
+			}
+		}
+		restored = append(restored, cl)
+	}
+	// Unconsumed done gates stay parked: they belong to victims the checkpoint
+	// missed (created after the cut), whose re-creation arrives later — a
+	// replayed INITIATE frame or a restored parent's re-issued request — and
+	// must inherit the gate then, or the user-task waitgroup never drains.
+	for _, cl := range restored {
+		cl.mu.Lock()
+		cl.frozen = false
+		cl.mu.Unlock()
+		cl.kickPending()
+	}
+	return nil
+}
+
+// restoreTask respawns one checkpointed task in replay mode under its
+// original taskid.  done, when non-nil, is the gate handed over from the
+// failed incarnation (so waiters never observed the failure); a nil gate
+// means this VM never knew the task (buddy adoption) and gets fresh
+// bookkeeping.
+func (c *clusterRT) restoreTask(ts *haCkptTask, done backend.Gate) error {
+	vm := c.vm
+	tt, ok := vm.taskType(ts.tasktype)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownTaskType, ts.tasktype)
+	}
+	c.mu.Lock()
+	slot := c.findFreeUserSlotLocked()
+	if slot < 0 {
+		c.mu.Unlock()
+		return fmt.Errorf("core: cluster %d has no free slot to restore %s", c.cfg.Number, ts.id)
+	}
+	c.slots[slot].rec = reservedMarker
+	c.mu.Unlock()
+
+	rec := &taskRec{
+		id:         ts.id,
+		tasktype:   tt.Name,
+		parent:     ts.parent,
+		cluster:    c,
+		slot:       slot,
+		localBytes: tt.LocalBytes,
+		initArgs:   ts.args,
+		deathSeq:   vm.takeDeadSeq(ts.id),
+	}
+	rec.wake, rec.queue, rec.done = newTaskRecParts(vm.backend)
+	inherited := done != nil
+	if inherited {
+		rec.done = done
+	}
+	rec.exited = vm.backend.NewGate()
+	h := newTaskHA(true)
+	h.floors = ts.floors
+	if h.floors == nil {
+		h.floors = make(map[TaskID]uint64)
+	}
+	h.replay = ts.log
+	h.tail = ts.queue
+	h.replaying = true
+	rec.queue.ha = h
+
+	c.mu.Lock()
+	c.slots[slot].rec = rec
+	c.mu.Unlock()
+	vm.registerTask(rec)
+	if !inherited {
+		vm.userTasks.Add(1)
+	}
+	body := func(p *mmos.Proc) {
+		rec.setProc(p)
+		p.Charge(costTaskInit)
+		if vm.tracing(trace.TaskInit) {
+			vm.record(trace.TaskInit, rec.id, rec.parent, c.primary, "type="+tt.Name+" restored")
+		}
+		ctx := newTask(vm, rec, ts.args)
+		defer vm.finishTask(rec, ctx)
+		tt.Body(ctx)
+	}
+	if _, err := vm.kernel.Spawn(c.primary, tt.Name+"/"+rec.id.String(), tt.LocalBytes, body); err != nil {
+		vm.unregisterTask(rec.id)
+		if !inherited {
+			vm.userTasks.Done()
+		}
+		c.clearSlot(slot)
+		return fmt.Errorf("core: restoring task %s: %w", ts.id, err)
+	}
+	return nil
+}
+
+// kickPending starts as many queued initiation requests as there are free
+// slots, mirroring finishTask's deferred-start path after an unfreeze.
+func (c *clusterRT) kickPending() {
+	for {
+		c.mu.Lock()
+		req, slot := c.takePendingLocked()
+		c.mu.Unlock()
+		if req == nil {
+			return
+		}
+		if err := c.startTask(slot, *req); err != nil {
+			c.vm.userPrintf("pisces: deferred initiate of %s failed: %v\n", req.tasktype, err)
+		}
+	}
+}
+
+// PlanRestoredInit records that the initiation request identified by
+// (parent, seq) was answered with id before a failure: when the transport
+// re-delivers the retained request frame, the controller re-creates the task
+// under that id — in its original slot — instead of assigning a fresh one,
+// so the id the parent already holds stays valid.  A task created AFTER the
+// last checkpoint is otherwise unknown to Restore; the transport observed
+// its id in the initiate reply and plans its re-creation here before
+// replaying retained frames.  Requests already answered in the restored
+// initMap are left alone.
+func (vm *VM) PlanRestoredInit(cluster int, parent TaskID, seq uint64, id TaskID) error {
+	if !vm.ha {
+		return fmt.Errorf("core: PlanRestoredInit requires a VM booted with Options.HA")
+	}
+	if seq == 0 || id == NilTask {
+		return nil
+	}
+	cl, ok := vm.cluster(cluster)
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchCluster, cluster)
+	}
+	key := initKey{parent: parent, seq: seq}
+	cl.mu.Lock()
+	if _, started := cl.initMap[key]; !started {
+		if cl.directed == nil {
+			cl.directed = make(map[initKey]TaskID)
+		}
+		cl.directed[key] = id
+	}
+	cl.mu.Unlock()
+	return nil
+}
+
+// --- serialization ----------------------------------------------------------
+
+// haCkptFormat versions the core section bodies inside the msgcodec
+// checkpoint container.
+const haCkptFormat = 1
+
+func haAppendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+func haAppendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+
+func haAppendString(b []byte, s string) []byte {
+	b = haAppendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func haAppendTaskID(b []byte, t TaskID) []byte {
+	b = haAppendU32(b, uint32(int32(t.Cluster)))
+	b = haAppendU32(b, uint32(int32(t.Slot)))
+	return haAppendU32(b, uint32(int32(t.Unique)))
+}
+
+func haAppendArgs(b []byte, args []Value) ([]byte, error) {
+	blob, err := msgcodec.Encode(args)
+	if err != nil {
+		return nil, err
+	}
+	b = haAppendU32(b, uint32(len(blob)))
+	return append(b, blob...), nil
+}
+
+var errHACorrupt = fmt.Errorf("core: corrupt checkpoint section")
+
+func haTakeU32(b []byte) (uint32, []byte, error) {
+	if len(b) < 4 {
+		return 0, nil, errHACorrupt
+	}
+	return binary.BigEndian.Uint32(b), b[4:], nil
+}
+
+func haTakeU64(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, errHACorrupt
+	}
+	return binary.BigEndian.Uint64(b), b[8:], nil
+}
+
+func haTakeString(b []byte) (string, []byte, error) {
+	n, b, err := haTakeU32(b)
+	if err != nil || int(n) > len(b) {
+		return "", nil, errHACorrupt
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+func haTakeTaskID(b []byte) (TaskID, []byte, error) {
+	var t TaskID
+	var v uint32
+	var err error
+	if v, b, err = haTakeU32(b); err != nil {
+		return t, nil, err
+	}
+	t.Cluster = int(int32(v))
+	if v, b, err = haTakeU32(b); err != nil {
+		return t, nil, err
+	}
+	t.Slot = int(int32(v))
+	if v, b, err = haTakeU32(b); err != nil {
+		return t, nil, err
+	}
+	t.Unique = int(int32(v))
+	return t, b, nil
+}
+
+func haTakeArgs(b []byte) ([]Value, []byte, error) {
+	n, b, err := haTakeU32(b)
+	if err != nil || int(n) > len(b) {
+		return nil, nil, errHACorrupt
+	}
+	if n == 0 {
+		return nil, b, nil
+	}
+	args, err := msgcodec.Decode(b[:n])
+	if err != nil {
+		return nil, nil, fmt.Errorf("%v: %v", errHACorrupt, err)
+	}
+	return args, b[n:], nil
+}
+
+func haAppendMsg(b []byte, m *haMsg) ([]byte, error) {
+	b = haAppendString(b, m.Type)
+	b = haAppendTaskID(b, m.Sender)
+	b = haAppendU64(b, m.SendSeq)
+	return haAppendArgs(b, m.Args)
+}
+
+func haTakeMsg(b []byte) (haMsg, []byte, error) {
+	var m haMsg
+	var err error
+	if m.Type, b, err = haTakeString(b); err != nil {
+		return m, nil, err
+	}
+	if m.Sender, b, err = haTakeTaskID(b); err != nil {
+		return m, nil, err
+	}
+	if m.SendSeq, b, err = haTakeU64(b); err != nil {
+		return m, nil, err
+	}
+	if m.Args, b, err = haTakeArgs(b); err != nil {
+		return m, nil, err
+	}
+	return m, b, nil
+}
+
+func encodeClusterCkpt(cs haCkptCluster) ([]byte, error) {
+	var err error
+	b := haAppendU32(nil, uint32(cs.number))
+	b = haAppendU32(b, uint32(len(cs.initMap)))
+	for _, e := range cs.initMap {
+		b = haAppendTaskID(b, e.key.parent)
+		b = haAppendU64(b, e.key.seq)
+		b = haAppendTaskID(b, e.child)
+	}
+	b = haAppendU32(b, uint32(len(cs.pending)))
+	for _, p := range cs.pending {
+		b = haAppendTaskID(b, p.key.parent)
+		b = haAppendU64(b, p.key.seq)
+		b = haAppendString(b, p.tasktype)
+		b = haAppendTaskID(b, p.parent)
+		if b, err = haAppendArgs(b, p.args); err != nil {
+			return nil, err
+		}
+	}
+	b = haAppendU32(b, uint32(len(cs.tasks)))
+	for i := range cs.tasks {
+		ts := &cs.tasks[i]
+		b = haAppendTaskID(b, ts.id)
+		b = haAppendString(b, ts.tasktype)
+		b = haAppendTaskID(b, ts.parent)
+		if b, err = haAppendArgs(b, ts.args); err != nil {
+			return nil, err
+		}
+		floors := make([]TaskID, 0, len(ts.floors))
+		for k := range ts.floors {
+			floors = append(floors, k)
+		}
+		sort.Slice(floors, func(i, j int) bool { return floors[i].less(floors[j]) })
+		b = haAppendU32(b, uint32(len(floors)))
+		for _, k := range floors {
+			b = haAppendTaskID(b, k)
+			b = haAppendU64(b, ts.floors[k])
+		}
+		b = haAppendU32(b, uint32(len(ts.log)))
+		for _, rec := range ts.log {
+			var flags byte
+			if rec.open {
+				flags |= 1
+			}
+			if rec.timedOut {
+				flags |= 2
+			}
+			b = append(b, flags)
+			b = haAppendU32(b, uint32(len(rec.msgs)))
+			for j := range rec.msgs {
+				if b, err = haAppendMsg(b, &rec.msgs[j]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		b = haAppendU32(b, uint32(len(ts.queue)))
+		for j := range ts.queue {
+			if b, err = haAppendMsg(b, &ts.queue[j]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b, nil
+}
+
+func decodeClusterCkpt(b []byte) (haCkptCluster, error) {
+	var cs haCkptCluster
+	var v uint32
+	var err error
+	if v, b, err = haTakeU32(b); err != nil {
+		return cs, err
+	}
+	cs.number = int(v)
+	if v, b, err = haTakeU32(b); err != nil {
+		return cs, err
+	}
+	for i := 0; i < int(v); i++ {
+		var e haCkptInitEntry
+		if e.key.parent, b, err = haTakeTaskID(b); err != nil {
+			return cs, err
+		}
+		if e.key.seq, b, err = haTakeU64(b); err != nil {
+			return cs, err
+		}
+		if e.child, b, err = haTakeTaskID(b); err != nil {
+			return cs, err
+		}
+		cs.initMap = append(cs.initMap, e)
+	}
+	if v, b, err = haTakeU32(b); err != nil {
+		return cs, err
+	}
+	for i := 0; i < int(v); i++ {
+		var p haCkptPending
+		if p.key.parent, b, err = haTakeTaskID(b); err != nil {
+			return cs, err
+		}
+		if p.key.seq, b, err = haTakeU64(b); err != nil {
+			return cs, err
+		}
+		if p.tasktype, b, err = haTakeString(b); err != nil {
+			return cs, err
+		}
+		if p.parent, b, err = haTakeTaskID(b); err != nil {
+			return cs, err
+		}
+		if p.args, b, err = haTakeArgs(b); err != nil {
+			return cs, err
+		}
+		cs.pending = append(cs.pending, p)
+	}
+	if v, b, err = haTakeU32(b); err != nil {
+		return cs, err
+	}
+	for i := 0; i < int(v); i++ {
+		var ts haCkptTask
+		if ts.id, b, err = haTakeTaskID(b); err != nil {
+			return cs, err
+		}
+		if ts.tasktype, b, err = haTakeString(b); err != nil {
+			return cs, err
+		}
+		if ts.parent, b, err = haTakeTaskID(b); err != nil {
+			return cs, err
+		}
+		if ts.args, b, err = haTakeArgs(b); err != nil {
+			return cs, err
+		}
+		var n uint32
+		if n, b, err = haTakeU32(b); err != nil {
+			return cs, err
+		}
+		ts.floors = make(map[TaskID]uint64, n)
+		for j := 0; j < int(n); j++ {
+			var k TaskID
+			var f uint64
+			if k, b, err = haTakeTaskID(b); err != nil {
+				return cs, err
+			}
+			if f, b, err = haTakeU64(b); err != nil {
+				return cs, err
+			}
+			ts.floors[k] = f
+		}
+		if n, b, err = haTakeU32(b); err != nil {
+			return cs, err
+		}
+		for j := 0; j < int(n); j++ {
+			if len(b) < 1 {
+				return cs, errHACorrupt
+			}
+			rec := &haAccRecord{open: b[0]&1 != 0, timedOut: b[0]&2 != 0}
+			b = b[1:]
+			var nm uint32
+			if nm, b, err = haTakeU32(b); err != nil {
+				return cs, err
+			}
+			for k := 0; k < int(nm); k++ {
+				var m haMsg
+				if m, b, err = haTakeMsg(b); err != nil {
+					return cs, err
+				}
+				rec.msgs = append(rec.msgs, m)
+			}
+			ts.log = append(ts.log, rec)
+		}
+		if n, b, err = haTakeU32(b); err != nil {
+			return cs, err
+		}
+		for j := 0; j < int(n); j++ {
+			var m haMsg
+			if m, b, err = haTakeMsg(b); err != nil {
+				return cs, err
+			}
+			ts.queue = append(ts.queue, m)
+		}
+		cs.tasks = append(cs.tasks, ts)
+	}
+	if len(b) != 0 {
+		return cs, errHACorrupt
+	}
+	return cs, nil
+}
+
+// decodeCheckpointBlob unwraps the msgcodec container and decodes every
+// cluster section.
+func decodeCheckpointBlob(blob []byte) ([]haCkptCluster, error) {
+	sections, err := msgcodec.DecodeCheckpoint(blob)
+	if err != nil {
+		return nil, err
+	}
+	if len(sections) < 1 {
+		return nil, errHACorrupt
+	}
+	if v, _, err := haTakeU32(sections[0]); err != nil || v != haCkptFormat {
+		return nil, fmt.Errorf("core: checkpoint format %d not supported", v)
+	}
+	out := make([]haCkptCluster, 0, len(sections)-1)
+	for _, sec := range sections[1:] {
+		cs, err := decodeClusterCkpt(sec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cs)
+	}
+	return out, nil
+}

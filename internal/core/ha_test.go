@@ -1,0 +1,207 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+// haTestProgram registers a boss on cluster 1 driving ping/pong rounds with
+// workers on cluster 2.  Every print is deterministic in content; line order
+// between workers may legitimately differ between schedules, so assertions
+// compare sorted lines.
+const (
+	haWorkers = 4
+	haRounds  = 6
+)
+
+func registerHAProgram(t *testing.T, vm *VM) {
+	t.Helper()
+	vm.Register("worker", func(task *Task) {
+		boss := MustID(task.Arg(0))
+		idx := MustInt(task.Arg(1))
+		sum := int64(0)
+		for r := 0; r < haRounds; r++ {
+			res, err := task.Accept(AcceptSpec{Types: []TypeCount{{Type: "ping", Count: 1}}, Delay: Forever})
+			if err != nil {
+				return
+			}
+			v := MustInt(res.Accepted[0].Arg(0))
+			sum += v
+			if err := task.Send(boss, "pong", Int(idx), Int(2*v)); err != nil {
+				return
+			}
+		}
+		task.Printf("worker %d sum %d\n", idx, sum)
+		_ = task.Send(boss, "bye", Int(idx))
+	})
+	vm.Register("boss", func(task *Task) {
+		ids := make([]TaskID, haWorkers)
+		for i := range ids {
+			id, err := task.InitiateWait(OnCluster(2), "worker", ID(task.ID()), Int(int64(i)))
+			if err != nil {
+				t.Errorf("initiate worker %d: %v", i, err)
+				return
+			}
+			ids[i] = id
+		}
+		total := int64(0)
+		for r := 0; r < haRounds; r++ {
+			for i, id := range ids {
+				if err := task.Send(id, "ping", Int(int64(r*10+i))); err != nil {
+					t.Errorf("round %d ping %d: %v", r, i, err)
+					return
+				}
+			}
+			res, err := task.Accept(AcceptSpec{Types: []TypeCount{{Type: "pong", Count: haWorkers}}, Delay: Forever})
+			if err != nil {
+				t.Errorf("round %d accept: %v", r, err)
+				return
+			}
+			for _, m := range res.Accepted {
+				total += MustInt(m.Arg(1))
+			}
+			// Virtual pause: advances the sim clock between rounds so a kill
+			// timer lands at a well-defined point in the schedule.
+			task.Accept(AcceptSpec{Types: []TypeCount{{Type: "never", Count: 1}}, Delay: time.Millisecond})
+		}
+		res, err := task.Accept(AcceptSpec{Types: []TypeCount{{Type: "bye", Count: haWorkers}}, Delay: Forever})
+		if err != nil || res.TimedOut {
+			t.Errorf("bye accept: %v timedOut=%v", err, res.TimedOut)
+			return
+		}
+		task.Printf("boss total %d\n", total)
+	})
+}
+
+// haExpectedLines computes the program's print output from its semantics.
+func haExpectedLines() []string {
+	var lines []string
+	total := int64(0)
+	for i := 0; i < haWorkers; i++ {
+		sum := int64(0)
+		for r := 0; r < haRounds; r++ {
+			v := int64(r*10 + i)
+			sum += v
+			total += 2 * v
+		}
+		lines = append(lines, fmt.Sprintf("worker %d sum %d", i, sum))
+	}
+	lines = append(lines, fmt.Sprintf("boss total %d", total))
+	sort.Strings(lines)
+	return lines
+}
+
+// runHA runs the boss/worker program on a fresh sim-backed HA VM.  When
+// killAt >= 0, a timer at that virtual time checkpoints cluster 2, fails it,
+// and restores it from the checkpoint.  Returns raw output and the victim
+// count reported by FailClusters.
+func runHA(t *testing.T, seed int64, killAt time.Duration) (string, int) {
+	t.Helper()
+	var out bytes.Buffer
+	s := sim.New(seed)
+	vm, err := NewVM(config.Simple(2, 8), Options{
+		UserOutput:    &out,
+		AcceptTimeout: 30 * time.Second,
+		Backend:       s,
+		HA:            true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerHAProgram(t, vm)
+
+	victims := -1
+	if killAt >= 0 {
+		vm.Backend().AfterFunc(killAt, func() {
+			blob, err := vm.Checkpoint(2)
+			if err != nil {
+				t.Errorf("checkpoint: %v", err)
+				return
+			}
+			victims = vm.FailClusters(2)
+			if err := vm.Restore(blob); err != nil {
+				t.Errorf("restore: %v", err)
+			}
+		})
+	}
+
+	if _, err := vm.Initiate("boss", OnCluster(1)); err != nil {
+		t.Fatal(err)
+	}
+	vm.WaitIdle()
+	vm.Shutdown()
+	return out.String(), victims
+}
+
+func sortedLines(s string) []string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	sort.Strings(lines)
+	return lines
+}
+
+// TestHACheckpointRestoreRoundTrip kills cluster 2 at several virtual times
+// and checks the program's output is the same multiset of lines as the
+// fault-free run (and as the semantics predict), with no duplicated or lost
+// prints: replayed sends must be deduplicated by the receiver floors and the
+// user controller's floor.
+func TestHACheckpointRestoreRoundTrip(t *testing.T) {
+	baseline, _ := runHA(t, 1, -1)
+	want := haExpectedLines()
+	if got := sortedLines(baseline); strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("fault-free output = %q, want lines %q", baseline, want)
+	}
+
+	for _, killAt := range []time.Duration{0, 500 * time.Microsecond, 2500 * time.Microsecond, 4700 * time.Microsecond} {
+		killAt := killAt
+		t.Run(fmt.Sprintf("killAt=%v", killAt), func(t *testing.T) {
+			out, victims := runHA(t, 1, killAt)
+			if victims <= 0 {
+				t.Fatalf("FailClusters reported %d victims; kill did not land mid-run", victims)
+			}
+			if got := sortedLines(out); strings.Join(got, "\n") != strings.Join(want, "\n") {
+				t.Errorf("killAt=%v output lines = %q, want %q", killAt, got, want)
+			}
+		})
+	}
+}
+
+// TestHAKillDeterminism repeats one kill schedule and demands byte-identical
+// output: recovery itself must be deterministic under the sim backend.
+func TestHAKillDeterminism(t *testing.T) {
+	first, v1 := runHA(t, 7, 2500*time.Microsecond)
+	second, v2 := runHA(t, 7, 2500*time.Microsecond)
+	if first != second {
+		t.Fatalf("same seed and kill time, different output:\n--- run1\n%s\n--- run2\n%s", first, second)
+	}
+	if v1 != v2 {
+		t.Fatalf("victim counts differ: %d vs %d", v1, v2)
+	}
+}
+
+// TestHAOffOverheadPaths checks a non-HA VM still runs the same program
+// (the HA hooks must be inert when Options.HA is false).
+func TestHAOffOverheadPaths(t *testing.T) {
+	var out bytes.Buffer
+	s := sim.New(3)
+	vm, err := NewVM(config.Simple(2, 8), Options{UserOutput: &out, AcceptTimeout: 30 * time.Second, Backend: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerHAProgram(t, vm)
+	if _, err := vm.Initiate("boss", OnCluster(1)); err != nil {
+		t.Fatal(err)
+	}
+	vm.WaitIdle()
+	vm.Shutdown()
+	want := haExpectedLines()
+	if got := sortedLines(out.String()); strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("non-HA output lines = %q, want %q", got, want)
+	}
+}

@@ -38,6 +38,11 @@ type Message struct {
 
 	// seq orders messages by arrival for the in-queue.
 	seq uint64
+	// sendSeq is the sender-task send sequence number used for duplicate
+	// suppression when the VM runs in HA mode (see ha.go).  Zero means
+	// unsequenced: the message came from the execution environment or a
+	// non-HA VM and is never deduplicated.
+	sendSeq uint64
 	// heapOff/heapBytes record the shared-memory heap allocation backing the
 	// message while it waits in the in-queue; heapShard is the per-cluster
 	// heap shard the allocation was made from (the destination cluster's
@@ -111,7 +116,25 @@ type inQueue struct {
 	n      int           // number of queued messages
 	wake   backend.Event // pulsed on every enqueue (and by kill)
 	closed bool
+	// ha holds the receiver-side fault-tolerance state (duplicate-suppression
+	// floors, the consumption log, replay state).  Nil unless the VM runs in
+	// HA mode; all fields are guarded by mu.  See ha.go.
+	ha *taskHA
 }
+
+// putResult reports what put did with a message.
+type putResult int
+
+const (
+	// putOK: the message was admitted (queued, or parked in the replay pen).
+	putOK putResult = iota
+	// putClosed: the receiver has terminated; the caller owns the message.
+	putClosed
+	// putDup: HA duplicate suppression dropped the message (its send sequence
+	// number was at or below the sender's floor); the caller owns the message
+	// and should treat the send as already delivered.
+	putDup
+)
 
 // initialQueueCap pre-sizes the ring so fan-in bursts (several senders per
 // receiver, as in E5) do not grow the buffer message by message.
@@ -141,13 +164,39 @@ func (q *inQueue) grow() {
 	q.head = 0
 }
 
-// put appends a message and pulses the wake channel.  It reports false if the
-// queue has been closed (receiver terminated).
-func (q *inQueue) put(m *Message) bool {
+// put appends a message and pulses the wake channel.  In HA mode it first
+// applies the duplicate-suppression floor (a replayed sender regenerates the
+// send sequence numbers of messages the receiver has already admitted, and
+// retained wire frames may be re-delivered after a recovery; both must be
+// dropped exactly once-admitted semantics), and while the receiver itself is
+// replaying its consumption log, live messages are parked in the pen so they
+// cannot interleave with re-injected history.
+func (q *inQueue) put(m *Message) putResult {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
-		return false
+		return putClosed
+	}
+	if h := q.ha; h != nil {
+		if m.sendSeq != 0 {
+			floor := h.floors[m.Sender]
+			if m.sendSeq <= floor {
+				// Duplicate — except initiate requests, which must reach the
+				// controller again so the initMap can re-deliver the child id
+				// to the (possibly replayed) requester's reply.
+				if m.Type != msgInitRequest {
+					q.mu.Unlock()
+					return putDup
+				}
+			} else {
+				h.floors[m.Sender] = m.sendSeq
+			}
+		}
+		if h.replaying {
+			h.pen = append(h.pen, m)
+			q.mu.Unlock()
+			return putOK
+		}
 	}
 	if q.n == len(q.buf) {
 		q.grow()
@@ -156,11 +205,23 @@ func (q *inQueue) put(m *Message) bool {
 	q.n++
 	q.mu.Unlock()
 	q.wake.Pulse()
-	return true
+	return putOK
+}
+
+// injectLocked appends a message to the ring bypassing floors and the replay
+// pen: the HA replay path re-injects logged history through it.  Callers hold
+// q.mu.
+func (q *inQueue) injectLocked(m *Message) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.set(q.n, m)
+	q.n++
 }
 
 // close marks the queue closed and returns the messages still waiting so
-// their heap storage can be recovered.
+// their heap storage can be recovered (including any parked in the HA replay
+// pen).
 func (q *inQueue) close() []*Message {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -171,6 +232,10 @@ func (q *inQueue) close() []*Message {
 		q.set(i, nil)
 	}
 	q.head, q.n = 0, 0
+	if h := q.ha; h != nil && len(h.pen) > 0 {
+		out = append(out, h.pen...)
+		h.pen = nil
+	}
 	return out
 }
 
@@ -203,6 +268,7 @@ func (q *inQueue) len() int {
 func (q *inQueue) takeMatching(st *acceptState, out []*Message) []*Message {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	base := len(out)
 	kept := 0
 	for i := 0; i < q.n; i++ {
 		m := q.at(i)
@@ -231,6 +297,14 @@ func (q *inQueue) takeMatching(st *acceptState, out []*Message) []*Message {
 		q.set(i, nil)
 	}
 	q.n = kept
+	// HA consumption log: record what this ACCEPT consumed, in order, so a
+	// restored task can replay the exact same intake (see ha.go).
+	if h := q.ha; h != nil && len(h.openStack) > 0 {
+		rec := h.openStack[len(h.openStack)-1]
+		for _, m := range out[base:] {
+			rec.msgs = append(rec.msgs, haMsg{Type: m.Type, Sender: m.Sender, SendSeq: m.sendSeq, Args: m.Args})
+		}
+	}
 	return out
 }
 

@@ -39,7 +39,7 @@ func TestInQueueRingWraparound(t *testing.T) {
 		for i := 0; i < initialQueueCap+5; i++ {
 			seq++
 			total++
-			if !q.put(mkMsg(fmt.Sprintf("m%d", total), seq)) {
+			if q.put(mkMsg(fmt.Sprintf("m%d", total), seq)) != putOK {
 				t.Fatal("put on open queue failed")
 			}
 		}
@@ -68,7 +68,7 @@ func TestInQueueRingWraparound(t *testing.T) {
 	if next != total {
 		t.Fatalf("drained %d messages, want %d", next, total)
 	}
-	if q.put(mkMsg("late", 1)) {
+	if q.put(mkMsg("late", 1)) != putClosed {
 		t.Error("put on closed queue succeeded")
 	}
 }

@@ -54,6 +54,7 @@ type wireMsg struct {
 	msgType string
 	sender  TaskID
 	seq     uint64
+	sendSeq uint64 // HA send sequence number (0 = unsequenced)
 
 	srcHeap *memory.Allocator // source shard holding the wire bytes
 	off     int               // allocation offset in srcHeap
@@ -146,7 +147,7 @@ func (vm *VM) startRouters() error {
 // caller can charge send ticks; both allocations are owned by the router
 // from here on.  from is the sending cluster (it must differ from the
 // destination's), dest the receiving task's record.
-func (vm *VM) routeMessage(from *clusterRT, dest *taskRec, msgType string, sender TaskID, args []Value, seq uint64, reply *initReply) (int, error) {
+func (vm *VM) routeMessage(from *clusterRT, dest *taskRec, msgType string, sender TaskID, args []Value, seq, sendSeq uint64, reply *initReply) (int, error) {
 	size, err := encodedSize(args)
 	if err != nil {
 		return 0, err
@@ -188,7 +189,7 @@ func (vm *VM) routeMessage(from *clusterRT, dest *taskRec, msgType string, sende
 		vm.om.heapMsgBytes.Observe(int64(size))
 	}
 	w := wireMsg{
-		dest: dest, msgType: msgType, sender: sender, seq: seq,
+		dest: dest, msgType: msgType, sender: sender, seq: seq, sendSeq: sendSeq,
 		srcHeap: from.heap, off: off, destOff: destOff, size: size, wireLen: len(wire),
 		reply: reply,
 	}
@@ -326,9 +327,17 @@ func (r *clusterRouter) deliver(w *wireMsg) {
 	// The destination-shard storage was reserved at send time; the message
 	// just takes ownership of it here.
 	msg := newMessage(w.msgType, w.sender, args, w.seq)
+	msg.sendSeq = w.sendSeq
 	msg.reply = w.reply
 	msg.heapOff, msg.heapBytes, msg.heapShard = w.destOff, w.size, r.cl.heap
-	if !w.dest.queue.put(msg) {
+	switch w.dest.queue.put(msg) {
+	case putOK:
+	case putDup:
+		// HA duplicate suppression: the receiver admitted this send sequence
+		// number in a previous life; drop the re-delivery.
+		r.vm.releaseMessage(msg)
+		recycleMessage(msg)
+	case putClosed:
 		// Receiver terminated while the message was in flight (or, for an
 		// initiate request, the VM is shutting down): the send already
 		// succeeded from the sender's point of view, the message is dropped

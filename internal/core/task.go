@@ -164,6 +164,7 @@ func (t *Task) initiate(placement Placement, tasktype string, args []Value, repl
 	}
 	msg := newMessage(msgInitRequest, t.ID(),
 		append([]Value{Str(tasktype), ID(t.ID()), Ints(nil)}, args...), t.vm.msgSeq.Add(1))
+	msg.sendSeq = t.nextSendSeq()
 	msg.reply = reply
 	t.Charge(costSendHeader)
 	if err := t.vm.deliverSystem(t.rec.cluster, cl.controllerID, msg); err != nil {
@@ -181,7 +182,7 @@ func (t *Task) initiate(placement Placement, tasktype string, args []Value, repl
 // Send executes "TO <taskid> SEND <msgtype>(<args>)".
 func (t *Task) Send(to TaskID, msgType string, args ...Value) error {
 	t.checkKilled()
-	return t.sendInternal(to, msgType, args)
+	return t.sendInternal(to, msgType, args, t.nextSendSeq())
 }
 
 // SendParent sends to the task's parent ("TO PARENT SEND ...").
@@ -251,16 +252,20 @@ func (t *Task) broadcast(cluster int, msgType string, args []Value) error {
 	// Deliver in taskid order: broadcast arrival order must not depend on
 	// map iteration, or deterministic runs would diverge between executions.
 	sort.Slice(targets, func(i, j int) bool { return targets[i].less(targets[j]) })
+	// One send sequence number covers every copy of the broadcast: a replayed
+	// broadcast regenerates one number, and each receiver's floor is per
+	// (sender, receiver), so all copies dedup consistently.
+	sendSeq := t.nextSendSeq()
 	var firstErr error
 	for _, id := range targets {
-		if err := t.sendInternal(id, msgType, args); err != nil && firstErr == nil {
+		if err := t.sendInternal(id, msgType, args, sendSeq); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
 	// Tasks hosted on other nodes are not in vm.tasks; ship them one
 	// broadcast frame per node and let each receiver fan out locally.
 	if t.vm.partial() && (cluster == 0 || !t.vm.hosts(cluster)) {
-		if err := t.vm.routeBroadcast(t.rec.cluster, cluster, msgType, t.ID(), args); err != nil && firstErr == nil {
+		if err := t.vm.routeBroadcast(t.rec.cluster, cluster, msgType, t.ID(), args, sendSeq); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -271,7 +276,7 @@ func (t *Task) broadcast(cluster int, msgType string, args []Value) error {
 // tick charging of one message send.  An intra-cluster send touches only its
 // own cluster's heap shard; a cross-cluster send is codec-encoded into the
 // sender's shard and handed to the destination cluster's router.
-func (t *Task) sendInternal(to TaskID, msgType string, args []Value) error {
+func (t *Task) sendInternal(to TaskID, msgType string, args []Value, sendSeq uint64) error {
 	from := t.rec.cluster
 	if t.vm.wireRemote(from, to.Cluster) {
 		// Under InterceptWire the destination is still hosted here, so keep
@@ -279,10 +284,15 @@ func (t *Task) sendInternal(to TaskID, msgType string, args []Value) error {
 		// running fails at the sender even though delivery is delayed.
 		if t.vm.hosts(to.Cluster) {
 			if _, ok := t.vm.lookupTask(to); !ok {
+				if t.haSendSuppressed(sendSeq) {
+					// The receiver existed when this send first executed and
+					// has since terminated; the original delivery happened.
+					return nil
+				}
 				return fmt.Errorf("%w: %s", ErrNoSuchTask, to)
 			}
 		}
-		size, err := t.vm.routeRemote(from, to, msgType, t.ID(), args, nil)
+		size, err := t.vm.routeRemote(from, to, msgType, t.ID(), args, sendSeq, nil)
 		if err != nil {
 			return err
 		}
@@ -293,17 +303,21 @@ func (t *Task) sendInternal(to TaskID, msgType string, args []Value) error {
 	}
 	rec, ok := t.vm.lookupTask(to)
 	if !ok {
+		if t.haSendSuppressed(sendSeq) {
+			return nil
+		}
 		return fmt.Errorf("%w: %s", ErrNoSuchTask, to)
 	}
 	var size int
 	if rec.cluster != from {
 		var err error
-		size, err = t.vm.routeMessage(from, rec, msgType, t.ID(), args, t.vm.msgSeq.Add(1), nil)
+		size, err = t.vm.routeMessage(from, rec, msgType, t.ID(), args, t.vm.msgSeq.Add(1), sendSeq, nil)
 		if err != nil {
 			return err
 		}
 	} else {
 		msg := newMessage(msgType, t.ID(), args, t.vm.msgSeq.Add(1))
+		msg.sendSeq = sendSeq
 		if err := t.vm.chargeMessageOn(from.heap, msg); err != nil {
 			recycleMessage(msg)
 			return err
@@ -312,9 +326,18 @@ func (t *Task) sendInternal(to TaskID, msgType string, args []Value) error {
 		// receiver's in-queue it may be accepted (and its heap storage
 		// released) concurrently with the rest of this send.
 		size = msg.heapBytes
-		if !rec.queue.put(msg) {
+		switch rec.queue.put(msg) {
+		case putOK:
+		case putDup:
+			// Already delivered in a previous life; the send succeeds.
 			t.vm.releaseMessage(msg)
 			recycleMessage(msg)
+		case putClosed:
+			t.vm.releaseMessage(msg)
+			recycleMessage(msg)
+			if t.haSendSuppressed(sendSeq) {
+				return nil
+			}
 			return fmt.Errorf("%w: %s", ErrNoSuchTask, to)
 		}
 	}

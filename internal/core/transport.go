@@ -67,6 +67,9 @@ type WireFrame struct {
 	// Seq is the sender-side sequence number, carried for diagnostics; the
 	// receiving VM stamps its own arrival order.
 	Seq uint64
+	// SendSeq is the sender task's HA send sequence number (0 = unsequenced);
+	// receivers use it for duplicate suppression after a recovery replay.
+	SendSeq uint64
 	// ReplyID, when non-zero, correlates a routed initiate request with the
 	// reply frame carrying the new task's id back to the requesting node.
 	ReplyID uint64
@@ -131,12 +134,14 @@ func (l *loopback) Close() error { return nil }
 // wrap it; tests drive it directly.
 func (vm *VM) Loopback() Transport { return vm.loop }
 
-// hosts reports whether cluster n's tasks live in this process.
+// hosts reports whether cluster n's tasks live in this process.  Lock-free:
+// the hosted set is an immutable snapshot, replaced wholesale on adoption.
 func (vm *VM) hosts(n int) bool {
-	if vm.hosted == nil {
+	m := vm.hosted.Load()
+	if m == nil {
 		return true
 	}
-	return vm.hosted[n]
+	return (*m)[n]
 }
 
 // HostedClusters returns the cluster numbers hosted by this VM, ascending.
@@ -156,7 +161,10 @@ func (vm *VM) HostedClusters() []int {
 func (vm *VM) homeCluster() int { return vm.home }
 
 // partial reports whether some configured cluster is hosted elsewhere.
-func (vm *VM) partial() bool { return vm.hosted != nil && len(vm.hosted) < len(vm.clusters) }
+func (vm *VM) partial() bool {
+	m := vm.hosted.Load()
+	return m != nil && len(*m) < len(vm.clusters)
+}
 
 // wireRemote reports whether a message from cluster `from` (nil for the
 // execution environment) to cluster dst must travel through the remote
@@ -231,7 +239,7 @@ func (vm *VM) replyTransport() Transport {
 // exhaustion cannot fail the sender synchronously, so an undeliverable frame
 // is dropped there like any message in flight to a terminated task.  from is
 // nil when the sender is the execution environment.
-func (vm *VM) routeRemote(from *clusterRT, to TaskID, msgType string, sender TaskID, args []Value, reply *initReply) (int, error) {
+func (vm *VM) routeRemote(from *clusterRT, to TaskID, msgType string, sender TaskID, args []Value, sendSeq uint64, reply *initReply) (int, error) {
 	if vm.remote == nil {
 		return 0, fmt.Errorf("core: cluster %d is not hosted by this node and no remote transport is configured", to.Cluster)
 	}
@@ -272,7 +280,7 @@ func (vm *VM) routeRemote(from *clusterRT, to TaskID, msgType string, sender Tas
 	f := wireFramePool.Get().(*WireFrame)
 	*f = WireFrame{
 		Kind: FrameMessage, Src: src, Dst: to.Cluster, Dest: to,
-		Type: msgType, Sender: sender, Seq: vm.msgSeq.Add(1), Payload: payload,
+		Type: msgType, Sender: sender, Seq: vm.msgSeq.Add(1), SendSeq: sendSeq, Payload: payload,
 	}
 	if reply != nil {
 		f.ReplyID = vm.addPendingReply(reply)
@@ -302,7 +310,7 @@ var wireFramePool = sync.Pool{New: func() any { return new(WireFrame) }}
 // routeBroadcast ships one broadcast frame through the remote Transport so
 // nodes hosting other clusters fan it out to their user tasks.  cluster is
 // the TO ALL CLUSTER filter (0 = every cluster).
-func (vm *VM) routeBroadcast(from *clusterRT, cluster int, msgType string, sender TaskID, args []Value) error {
+func (vm *VM) routeBroadcast(from *clusterRT, cluster int, msgType string, sender TaskID, args []Value, sendSeq uint64) error {
 	if vm.remote == nil {
 		return nil
 	}
@@ -312,7 +320,7 @@ func (vm *VM) routeBroadcast(from *clusterRT, cluster int, msgType string, sende
 	}
 	f := &WireFrame{
 		Kind: FrameBroadcast, Src: from.cfg.Number, Dst: cluster,
-		Type: msgType, Sender: sender, Seq: vm.msgSeq.Add(1), Payload: payload,
+		Type: msgType, Sender: sender, Seq: vm.msgSeq.Add(1), SendSeq: sendSeq, Payload: payload,
 	}
 	return vm.remote.Send(f)
 }
@@ -369,6 +377,7 @@ func (vm *VM) DeliverWire(f *WireFrame) error {
 		return err
 	}
 	msg := newMessage(f.Type, f.Sender, args, vm.msgSeq.Add(1))
+	msg.sendSeq = f.SendSeq
 	msg.reply = reply
 	if err := vm.chargeMessageOn(rec.cluster.heap, msg); err != nil {
 		recycleMessage(msg)
@@ -380,7 +389,14 @@ func (vm *VM) DeliverWire(f *WireFrame) error {
 	// CPU, exactly like the in-process router: the inter-cluster copy is bus
 	// (here: network) work, not receiver computation.
 	rec.cluster.primary.Charge(int64(costRouteMsg + costSendPacket*((msg.heapBytes-msgcodec.HeaderBytes)/msgcodec.PacketBytes)))
-	if !rec.queue.put(msg) {
+	switch rec.queue.put(msg) {
+	case putOK:
+	case putDup:
+		// Duplicate of a frame admitted before a recovery (replayed sender or
+		// re-delivered retention): the original delivery stands.
+		vm.releaseMessage(msg)
+		recycleMessage(msg)
+	case putClosed:
 		vm.releaseMessage(msg)
 		rep := msg.reply
 		recycleMessage(msg)
@@ -415,13 +431,14 @@ func (vm *VM) deliverWireBroadcast(f *WireFrame) error {
 	sort.Slice(targets, func(i, j int) bool { return targets[i].id.less(targets[j].id) })
 	for _, rec := range targets {
 		msg := newMessage(f.Type, f.Sender, args, vm.msgSeq.Add(1))
+		msg.sendSeq = f.SendSeq
 		if err := vm.chargeMessageOn(rec.cluster.heap, msg); err != nil {
 			recycleMessage(msg)
 			vm.userPrintf("pisces: node: dropping broadcast %s for %s: %v\n", f.Type, rec.id, err)
 			continue
 		}
 		rec.cluster.primary.Charge(int64(costRouteMsg + costSendPacket*((msg.heapBytes-msgcodec.HeaderBytes)/msgcodec.PacketBytes)))
-		if !rec.queue.put(msg) {
+		if rec.queue.put(msg) != putOK {
 			vm.releaseMessage(msg)
 			recycleMessage(msg)
 		}

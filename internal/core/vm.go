@@ -89,6 +89,11 @@ type Options struct {
 	// The VM rebinds the registry clock to its backend, so under a
 	// deterministic backend all timestamps are virtual time.
 	Metrics *obs.Registry
+	// HA enables fault tolerance: tasks number their outbound sends, receivers
+	// keep duplicate-suppression floors and an ACCEPT consumption log, and the
+	// VM exposes Checkpoint/FailClusters/Restore (see ha.go).  Costs a map
+	// append per ACCEPT-consumed message, so it is opt-in.
+	HA bool
 	// InterceptWire routes EVERY cross-cluster message through Remote, even
 	// between clusters hosted here.  Fault/latency-injecting transports use
 	// it to exercise network schedules under the deterministic backend.
@@ -125,8 +130,10 @@ type VM struct {
 	// Distributed-mode state (see transport.go): the hosted cluster set (nil
 	// hosts everything), the remote transport for clusters hosted elsewhere,
 	// the in-process loopback transport, and the pending-reply table
-	// correlating routed initiate requests with their reply frames.
-	hosted         map[int]bool
+	// correlating routed initiate requests with their reply frames.  hosted is
+	// read lock-free on every routing decision and replaced wholesale (under
+	// vm.mu, copy-on-write) when a buddy node adopts a dead peer's clusters.
+	hosted         atomic.Pointer[map[int]bool]
 	home           int // lowest hosted cluster, resolved once at boot
 	remote         Transport
 	interceptAll   bool
@@ -139,6 +146,22 @@ type VM struct {
 	files    *fileStore
 	fileCtrl TaskID
 	userCtrl TaskID
+
+	// HA-mode state (ha.go): ha gates every fault-tolerance code path;
+	// haDeadSeqs records, per finished or failover-killed task, the send
+	// sequence number it had reached at death, so a re-created incarnation can
+	// recognise re-executed sends whose delivery already happened (see
+	// haSendSuppressed).  haDeadSeqsOld is the previous checkpoint interval's
+	// generation; Checkpoint rotates them so the maps stay bounded.  Guarded
+	// by haSeqMu, not vm.mu: the maps are consulted on initiate paths that
+	// hold a cluster lock.
+	haSeqMu       sync.Mutex
+	haDeadSeqs    map[TaskID]uint64
+	haDeadSeqsOld map[TaskID]uint64
+	// haDoneGates carries the done gates of tasks failed by FailClusters
+	// across to Restore, which hands them to the respawned incarnations.
+	ha          bool
+	haDoneGates map[TaskID]backend.Gate
 
 	uniqueCtr  atomic.Int64
 	msgSeq     atomic.Uint64
@@ -232,6 +255,7 @@ func NewVMOn(machine *flex.Machine, cfg *config.Configuration, opts Options) (*V
 		tasktypes: make(map[string]TaskType),
 		tasks:     make(map[TaskID]*taskRec),
 		clusters:  make(map[int]*clusterRT),
+		ha:        opts.HA,
 	}
 	vm.om.init(opts.Metrics, opts.Backend)
 	vm.userTasks = vm.backend.NewWaitGroup()
@@ -242,19 +266,20 @@ func NewVMOn(machine *flex.Machine, cfg *config.Configuration, opts Options) (*V
 	vm.remote = opts.Remote
 	vm.interceptAll = opts.InterceptWire
 	if opts.Hosted != nil {
-		vm.hosted = make(map[int]bool, len(opts.Hosted))
+		hosted := make(map[int]bool, len(opts.Hosted))
 		for _, n := range opts.Hosted {
 			if cfg.Cluster(n) == nil {
 				return nil, fmt.Errorf("%w: hosted cluster %d", ErrNoSuchCluster, n)
 			}
-			vm.hosted[n] = true
+			hosted[n] = true
 		}
-		if len(vm.hosted) == 0 {
+		if len(hosted) == 0 {
 			return nil, fmt.Errorf("core: a node must host at least one cluster")
 		}
-		if len(vm.hosted) < len(cfg.Clusters) && vm.remote == nil {
+		if len(hosted) < len(cfg.Clusters) && vm.remote == nil {
 			return nil, fmt.Errorf("core: clusters hosted elsewhere require a remote transport")
 		}
+		vm.hosted.Store(&hosted)
 	}
 	if vm.interceptAll && vm.remote == nil {
 		return nil, fmt.Errorf("core: InterceptWire requires a remote transport")
@@ -579,7 +604,7 @@ func (vm *VM) FlushUserOutput() {
 	gate := vm.backend.NewGate()
 	msg := newMessage(msgUserSync, vm.userCtrl, nil, vm.msgSeq.Add(1))
 	msg.sync = gate
-	if !rec.queue.put(msg) {
+	if rec.queue.put(msg) != putOK {
 		recycleMessage(msg)
 		return
 	}
@@ -658,9 +683,9 @@ func (vm *VM) deliverSystem(from *clusterRT, dest TaskID, msg *Message) error {
 				return fmt.Errorf("%w: %s", ErrNoSuchTask, dest)
 			}
 		}
-		msgType, args, sender, reply := msg.Type, msg.Args, msg.Sender, msg.reply
+		msgType, args, sender, sendSeq, reply := msg.Type, msg.Args, msg.Sender, msg.sendSeq, msg.reply
 		recycleMessage(msg)
-		_, err := vm.routeRemote(from, dest, msgType, sender, args, reply)
+		_, err := vm.routeRemote(from, dest, msgType, sender, args, sendSeq, reply)
 		return err
 	}
 	rec, ok := vm.lookupTask(dest)
@@ -669,16 +694,23 @@ func (vm *VM) deliverSystem(from *clusterRT, dest TaskID, msg *Message) error {
 		return fmt.Errorf("%w: %s", ErrNoSuchTask, dest)
 	}
 	if from != nil && rec.cluster != from {
-		msgType, args, sender, seq, reply := msg.Type, msg.Args, msg.Sender, msg.seq, msg.reply
+		msgType, args, sender, seq, sendSeq, reply := msg.Type, msg.Args, msg.Sender, msg.seq, msg.sendSeq, msg.reply
 		recycleMessage(msg)
-		_, err := vm.routeMessage(from, rec, msgType, sender, args, seq, reply)
+		_, err := vm.routeMessage(from, rec, msgType, sender, args, seq, sendSeq, reply)
 		return err
 	}
 	if err := vm.chargeMessageOn(rec.cluster.heap, msg); err != nil {
 		recycleMessage(msg)
 		return err
 	}
-	if !rec.queue.put(msg) {
+	switch rec.queue.put(msg) {
+	case putOK:
+	case putDup:
+		// HA duplicate: already delivered in a previous life; the send
+		// succeeds from the caller's point of view.
+		vm.releaseMessage(msg)
+		recycleMessage(msg)
+	case putClosed:
 		vm.releaseMessage(msg)
 		recycleMessage(msg)
 		return fmt.Errorf("%w: %s", ErrNoSuchTask, dest)
@@ -814,7 +846,7 @@ func (vm *VM) Shutdown() {
 		msg := newMessage(msgShutdown, vm.userCtrl, nil, vm.msgSeq.Add(1))
 		// Shutdown must succeed even if the message heap is exhausted, so the
 		// message is delivered without charging the heap.
-		if !rec.queue.put(msg) {
+		if rec.queue.put(msg) != putOK {
 			recycleMessage(msg)
 		}
 	}

@@ -1,0 +1,111 @@
+package msgcodec
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Checkpoint container framing.
+//
+// A checkpoint is the serialized recoverable state of one or more clusters
+// (internal/core builds the per-cluster section bodies; this file owns only
+// the container).  The container is a magic/version header followed by a
+// count-prefixed list of length-prefixed sections, so a buddy node can
+// validate and split a streamed checkpoint without understanding the section
+// bodies.  Like ReadFrame, every length is validated against a hard bound
+// BEFORE any allocation sized from attacker-controllable bytes happens: a
+// truncated or forged checkpoint is an ErrCorrupt, not an OOM.
+
+const (
+	// checkpointMagic identifies a checkpoint container ("PiCk").
+	checkpointMagic = 0x5069436b
+	// CheckpointVersion is bumped whenever the container layout changes.
+	CheckpointVersion = 1
+	// MaxCheckpointBytes bounds one checkpoint container (and any single
+	// section inside it).  Checkpoints carry whole in-queue and log contents,
+	// so the bound is far above MaxFrameBytes, but still small enough that a
+	// forged length prefix cannot OOM the receiver.
+	MaxCheckpointBytes = 256 << 20
+	// maxCheckpointSections bounds the section count before the count is used
+	// to size anything.
+	maxCheckpointSections = 1 << 20
+)
+
+// EncodeCheckpoint wraps the given sections into one checkpoint container.
+// It fails with ErrCorrupt if a section (or the whole container) exceeds
+// MaxCheckpointBytes — a checkpoint the decoder would refuse must not be
+// produced in the first place.
+func EncodeCheckpoint(sections [][]byte) ([]byte, error) {
+	if len(sections) > maxCheckpointSections {
+		return nil, fmt.Errorf("%w: checkpoint with %d sections exceeds maximum %d", ErrCorrupt, len(sections), maxCheckpointSections)
+	}
+	total := 4 + 2 + 4
+	for i, s := range sections {
+		if len(s) > MaxCheckpointBytes {
+			return nil, fmt.Errorf("%w: checkpoint section %d is %d bytes, maximum %d", ErrCorrupt, i, len(s), MaxCheckpointBytes)
+		}
+		total += 4 + len(s)
+	}
+	if total > MaxCheckpointBytes {
+		return nil, fmt.Errorf("%w: checkpoint container %d bytes exceeds maximum %d", ErrCorrupt, total, MaxCheckpointBytes)
+	}
+	out := make([]byte, 0, total)
+	out = binary.BigEndian.AppendUint32(out, checkpointMagic)
+	out = binary.BigEndian.AppendUint16(out, CheckpointVersion)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(sections)))
+	for _, s := range sections {
+		out = binary.BigEndian.AppendUint32(out, uint32(len(s)))
+		out = append(out, s...)
+	}
+	return out, nil
+}
+
+// DecodeCheckpoint splits a checkpoint container back into its sections.
+// The returned section slices alias data.  Truncated, oversized, or
+// trailing-garbage containers are rejected with ErrCorrupt; every bound is
+// checked before the value it guards is used for slicing or allocation.
+func DecodeCheckpoint(data []byte) ([][]byte, error) {
+	if len(data) > MaxCheckpointBytes {
+		return nil, fmt.Errorf("%w: checkpoint container %d bytes exceeds maximum %d", ErrCorrupt, len(data), MaxCheckpointBytes)
+	}
+	if len(data) < 10 {
+		return nil, fmt.Errorf("%w: checkpoint header truncated (%d bytes)", ErrCorrupt, len(data))
+	}
+	if binary.BigEndian.Uint32(data) != checkpointMagic {
+		return nil, fmt.Errorf("%w: bad checkpoint magic", ErrCorrupt)
+	}
+	if v := binary.BigEndian.Uint16(data[4:]); v != CheckpointVersion {
+		return nil, fmt.Errorf("%w: checkpoint version %d, want %d", ErrCorrupt, v, CheckpointVersion)
+	}
+	count := binary.BigEndian.Uint32(data[6:])
+	if count > maxCheckpointSections {
+		return nil, fmt.Errorf("%w: checkpoint section count %d exceeds maximum %d", ErrCorrupt, count, maxCheckpointSections)
+	}
+	data = data[10:]
+	// The remaining bytes bound the believable section count: each section
+	// costs at least its 4-byte length prefix.  Checking before make()
+	// prevents a forged count from sizing a huge slice.
+	if int(count) > len(data)/4+1 {
+		return nil, fmt.Errorf("%w: checkpoint section count %d exceeds container size", ErrCorrupt, count)
+	}
+	sections := make([][]byte, 0, count)
+	for i := 0; i < int(count); i++ {
+		if len(data) < 4 {
+			return nil, fmt.Errorf("%w: checkpoint section %d length prefix truncated", ErrCorrupt, i)
+		}
+		n := binary.BigEndian.Uint32(data)
+		data = data[4:]
+		if n > MaxCheckpointBytes {
+			return nil, fmt.Errorf("%w: checkpoint section %d length %d exceeds maximum %d", ErrCorrupt, i, n, MaxCheckpointBytes)
+		}
+		if int(n) > len(data) {
+			return nil, fmt.Errorf("%w: checkpoint section %d length %d, only %d bytes left", ErrCorrupt, i, n, len(data))
+		}
+		sections = append(sections, data[:n:n])
+		data = data[n:]
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after checkpoint sections", ErrCorrupt, len(data))
+	}
+	return sections, nil
+}

@@ -1,0 +1,143 @@
+package msgcodec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// TestCheckpointRoundTrip: encode→decode reproduces the section list, byte
+// for byte, including empty sections and an empty container.
+func TestCheckpointRoundTrip(t *testing.T) {
+	cases := [][][]byte{
+		nil,
+		{{}},
+		{[]byte("one")},
+		{[]byte("a"), {}, []byte("ccc"), bytes.Repeat([]byte{0xAB}, 4096)},
+	}
+	for i, sections := range cases {
+		blob, err := EncodeCheckpoint(sections)
+		if err != nil {
+			t.Fatalf("case %d: encode: %v", i, err)
+		}
+		back, err := DecodeCheckpoint(blob)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if len(back) != len(sections) {
+			t.Fatalf("case %d: %d sections -> %d", i, len(sections), len(back))
+		}
+		for j := range sections {
+			if !bytes.Equal(back[j], sections[j]) {
+				t.Fatalf("case %d: section %d changed across round trip", i, j)
+			}
+		}
+	}
+}
+
+// TestCheckpointRejectsCorrupt drives the decoder through every validation
+// branch: truncation, bad magic, bad version, forged counts and lengths, and
+// trailing garbage.  Each must fail with ErrCorrupt, and the forged-length
+// cases must fail BEFORE any allocation sized from the forged value (the test
+// passing without an OOM is itself the evidence).
+func TestCheckpointRejectsCorrupt(t *testing.T) {
+	good, err := EncodeCheckpoint([][]byte{[]byte("abc"), []byte("defg")})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mut := func(f func(b []byte) []byte) []byte {
+		b := append([]byte(nil), good...)
+		return f(b)
+	}
+	cases := map[string][]byte{
+		"empty":          {},
+		"short header":   good[:9],
+		"bad magic":      mut(func(b []byte) []byte { b[0] ^= 0xFF; return b }),
+		"bad version":    mut(func(b []byte) []byte { b[5] = CheckpointVersion + 1; return b }),
+		"truncated body": good[:len(good)-2],
+		"trailing junk":  append(append([]byte(nil), good...), 0),
+		// A count far larger than the remaining bytes could justify: must be
+		// rejected before make([][]byte, count).
+		"forged count": mut(func(b []byte) []byte {
+			binary.BigEndian.PutUint32(b[6:], 0xFFFFF)
+			return b
+		}),
+		// A section length beyond MaxCheckpointBytes: must be rejected before
+		// the length is used to slice.
+		"forged section length": mut(func(b []byte) []byte {
+			binary.BigEndian.PutUint32(b[10:], MaxCheckpointBytes+1)
+			return b
+		}),
+		// A plausible-but-too-long section length.
+		"overlong section": mut(func(b []byte) []byte {
+			binary.BigEndian.PutUint32(b[10:], uint32(len(b)))
+			return b
+		}),
+	}
+	for name, data := range cases {
+		if _, err := DecodeCheckpoint(data); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+// TestCheckpointEncodeBounds: the encoder refuses to produce a container the
+// decoder would reject.
+func TestCheckpointEncodeBounds(t *testing.T) {
+	if _, err := EncodeCheckpoint(make([][]byte, maxCheckpointSections+1)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("oversized section count: err = %v, want ErrCorrupt", err)
+	}
+	// A single section over the byte bound.  Allocating 256 MiB in a unit test
+	// is fine once; the encoder must refuse before copying it.
+	big := make([]byte, MaxCheckpointBytes+1)
+	if _, err := EncodeCheckpoint([][]byte{big}); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("oversized section: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// FuzzCheckpoint is the checkpoint-container round-trip target: for arbitrary
+// bytes, DecodeCheckpoint must never panic; whenever it succeeds, re-encoding
+// the sections must reproduce the input byte-identically (the container
+// format is canonical), and decoding again must return the same sections.
+func FuzzCheckpoint(f *testing.F) {
+	for _, sections := range [][][]byte{
+		nil,
+		{{}},
+		{[]byte("section"), bytes.Repeat([]byte{7}, 100)},
+	} {
+		if blob, err := EncodeCheckpoint(sections); err == nil {
+			f.Add(blob)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x50, 0x69, 0x43, 0x6b, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF}) // forged count
+	f.Add([]byte{0x50, 0x69, 0x43, 0x6b, 0, 1, 0, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sections, err := DecodeCheckpoint(data)
+		if err != nil {
+			return // corrupt input rejected without panicking: fine
+		}
+		blob, err := EncodeCheckpoint(sections)
+		if err != nil {
+			t.Fatalf("EncodeCheckpoint of decoded sections failed: %v", err)
+		}
+		if !bytes.Equal(blob, data) {
+			t.Fatalf("decode+encode changed the container: %d -> %d bytes", len(data), len(blob))
+		}
+		back, err := DecodeCheckpoint(blob)
+		if err != nil {
+			t.Fatalf("Decode(Encode(x)) failed: %v", err)
+		}
+		if len(back) != len(sections) {
+			t.Fatalf("round trip changed section count: %d -> %d", len(sections), len(back))
+		}
+		for i := range sections {
+			if !bytes.Equal(back[i], sections[i]) {
+				t.Fatalf("section %d changed across round trip", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,147 @@
+package node_test
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/node"
+	"repro/internal/obs"
+)
+
+// haKillSource spreads timed workers over all three clusters so a mid-run
+// node kill lands while tasks hold live state on the dying node.  Each
+// STEPPER grinds through 12 timed steps (a never-satisfied ACCEPT whose
+// DELAY paces the loop at 50ms), so the run lasts long enough for a
+// checkpoint to cut and for the failure detector to fire mid-flight.  The
+// printed total is a pure function of the worker ids — arrival order,
+// scheduling, and recovery cannot change it.
+const haKillSource = `
+TASKTYPE MAIN
+      INTEGER W, NW
+      INTEGER TOTAL
+      SIGNAL RES
+      NW = 6
+      ON CLUSTER 3 INITIATE STEPPER(1)
+      ON CLUSTER 3 INITIATE STEPPER(2)
+      ON CLUSTER 2 INITIATE STEPPER(3)
+      ON CLUSTER 2 INITIATE STEPPER(4)
+      ON CLUSTER 1 INITIATE STEPPER(5)
+      ON CLUSTER 3 INITIATE STEPPER(6)
+      ACCEPT NW OF RES
+      TOTAL = 0
+      DO 20 W = 1, NW
+        TOTAL = TOTAL + MSGI('RES', W, 1)
+20    CONTINUE
+      PRINT *, 'TOTAL', TOTAL
+END TASKTYPE
+
+TASKTYPE STEPPER(ME)
+      INTEGER ME
+      INTEGER I, ACC
+      SIGNAL TICK
+      ACC = 0
+      DO 10 I = 1, 12
+        ACC = ACC + ME * I
+        ACCEPT 1 OF
+          TICK
+        DELAY 0.05 THEN
+          ACC = ACC + 0
+        END ACCEPT
+10    CONTINUE
+      TO PARENT SEND RES(ACC)
+END TASKTYPE
+`
+
+// TestHAKillNodeMatchesSingleProcess is the tentpole acceptance: a 3-node HA
+// mesh whose node 2 is killed mid-run (abrupt teardown, no drain) produces
+// byte-identical user output to the single-process run.  Node 2's workers die
+// with it; node 0 — its checkpoint buddy — detects the death, adopts cluster
+// 3, restores the last blob, and the restored workers finish the job.
+func TestHAKillNodeMatchesSingleProcess(t *testing.T) {
+	cfg := config.Simple(3, 4)
+	want := singleProcessOutput(t, cfg, haKillSource)
+	if !strings.Contains(want, "TOTAL") {
+		t.Fatalf("reference output unexpected:\n%s", want)
+	}
+
+	reg := obs.New()
+	reg.Enable(obs.Metrics)
+	var out bytes.Buffer
+	var logs [3]bytes.Buffer
+	nodes := startMesh(t, 3, cfg, haKillSource, &out, nil, func(i int, o *node.Options) {
+		o.HA = true
+		o.CheckpointInterval = 50 * time.Millisecond
+		o.Log = &logs[i]
+		if i == 0 {
+			o.Metrics = reg
+		}
+	})
+
+	var wg sync.WaitGroup
+	for _, f := range nodes[1:] {
+		wg.Add(1)
+		go func(f *node.Node) {
+			defer wg.Done()
+			_ = f.ServeUntilShutdown() // node 2 is terminated underneath this
+		}(f)
+	}
+	// Kill node 2 a few checkpoints in, while its steppers are mid-loop.
+	kill := time.AfterFunc(250*time.Millisecond, nodes[2].Terminate)
+	defer kill.Stop()
+
+	if err := nodes[0].RunMain(); err != nil {
+		t.Errorf("run: %v", err)
+	}
+	if err := nodes[0].Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	wg.Wait()
+
+	if got := out.String(); got != want {
+		t.Fatalf("output diverges after node kill:\n--- got ---\n%s--- want ---\n%s--- node logs ---\n0:\n%s1:\n%s2:\n%s",
+			got, want, logs[0].String(), logs[1].String(), logs[2].String())
+	}
+	// The run must actually have recovered, or the kill landed after the work
+	// was done and the test pinned nothing.
+	counterOf := func(s *obs.Snapshot, name string) int64 {
+		for _, c := range s.Counters {
+			if c.Name == name {
+				return c.Value
+			}
+		}
+		return -1
+	}
+	snap := reg.Snapshot()
+	if v := counterOf(snap, "node.ha.deaths"); v < 1 {
+		t.Errorf("node.ha.deaths = %d, want >= 1; node 0 log:\n%s", v, logs[0].String())
+	}
+	if v := counterOf(snap, "node.ha.ckpt.rx"); v < 1 {
+		t.Errorf("node.ha.ckpt.rx = %d, want >= 1 (node 0 is node 2's buddy)", v)
+	}
+	if !strings.Contains(logs[0].String(), "rerouted node 2's clusters to node 0") {
+		t.Errorf("node 0 never completed the rebalance; log:\n%s", logs[0].String())
+	}
+}
+
+// TestHAMeshSurvivesWithoutFailure pins that HA mode is inert when nothing
+// dies: the heartbeats, checkpoints, and retention accounting must not change
+// the program's output or wedge the shutdown drain.
+func TestHAMeshSurvivesWithoutFailure(t *testing.T) {
+	src := corpusSource(t, "crosscluster.pf")
+	cfg := config.Simple(2, 4)
+	want := singleProcessOutput(t, cfg, src)
+
+	var out bytes.Buffer
+	nodes := startMesh(t, 2, cfg, src, &out, nil, func(i int, o *node.Options) {
+		o.HA = true
+		o.CheckpointInterval = 20 * time.Millisecond
+	})
+	runDistributed(t, nodes)
+	if got := out.String(); got != want {
+		t.Fatalf("HA-mode output differs:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -58,6 +58,23 @@ type Options struct {
 	// window); the zero value selects the defaults documented on WireConfig.
 	// Every node of a mesh should run the same settings.
 	Wire WireConfig
+	// HA enables fault tolerance: peer heartbeats and failure detection,
+	// periodic checkpoints streamed to a buddy node, sender-side frame
+	// retention, and automatic rebalancing of a dead node's clusters (see
+	// ha.go and ha_node.go).  Must be identical on every node.  Node 0 is not
+	// recoverable (it hosts the user controller); one failure per checkpoint
+	// interval is tolerated.
+	HA bool
+	// HeartbeatInterval is the HA heartbeat and detector sweep period; zero
+	// means defaultHeartbeatInterval.
+	HeartbeatInterval time.Duration
+	// SuspicionAfter declares a peer dead after this much silence; zero means
+	// defaultSuspicionAfter.  It must exceed HeartbeatInterval plus the
+	// worst-case frame delay or live peers get declared dead.
+	SuspicionAfter time.Duration
+	// CheckpointInterval is the HA checkpoint period; zero means
+	// defaultCheckpointInterval.
+	CheckpointInterval time.Duration
 }
 
 // Node is one running node process: a partial VM plus the TCP mesh.
@@ -85,6 +102,21 @@ type Node struct {
 	frameDeliver *obs.Histogram // node.frame.deliver.ns: decode -> VM delivery
 	snapMu       sync.Mutex
 	followerSnap map[int]*obs.Snapshot
+
+	// Fault tolerance (HA mode only; nil/zero otherwise).  ckptMu guards the
+	// blobs this node stores as other peers' buddy plus the pre-cut receive
+	// snapshots of this node's own un-acked checkpoint epochs; rebalMu
+	// serialises rebalances (one membership change at a time).
+	det        *detector
+	ckptMu     sync.Mutex
+	ckptFrom   map[int][]byte
+	ckptEpoch  uint64
+	pendMark   map[uint64]map[int]uint64
+	rebalMu    sync.Mutex
+	haDeaths   *obs.Counter // node.ha.deaths: peers this node saw die
+	haReplayed *obs.Counter // node.ha.replayed: retained frames replayed to a buddy
+	haCkptTx   *obs.Counter // node.ha.ckpt.tx: checkpoints shipped to the buddy
+	haCkptRx   *obs.Counter // node.ha.ckpt.rx: checkpoints stored for peers
 
 	shutdownOnce sync.Once
 	shutdownCh   chan struct{}
@@ -130,6 +162,29 @@ func Start(opts Options) (*Node, error) {
 		frameDeliver: reg.Histogram("node.frame.deliver.ns", "ns"),
 		followerSnap: make(map[int]*obs.Snapshot),
 	}
+	if opts.HA {
+		if n.opts.HeartbeatInterval <= 0 {
+			n.opts.HeartbeatInterval = defaultHeartbeatInterval
+		}
+		if n.opts.SuspicionAfter <= 0 {
+			n.opts.SuspicionAfter = defaultSuspicionAfter
+		}
+		if n.opts.CheckpointInterval <= 0 {
+			n.opts.CheckpointInterval = defaultCheckpointInterval
+		}
+		n.tr.setHA() // before any traffic: retention must never miss a frame
+		ids := make([]int, len(opts.Addrs))
+		for i := range ids {
+			ids[i] = i
+		}
+		n.det = newDetector(opts.NodeID, ids, n.opts.SuspicionAfter, reg.Now)
+		n.ckptFrom = make(map[int][]byte)
+		n.pendMark = make(map[uint64]map[int]uint64)
+		n.haDeaths = reg.Counter("node.ha.deaths")
+		n.haReplayed = reg.Counter("node.ha.replayed")
+		n.haCkptTx = reg.Counter("node.ha.ckpt.tx")
+		n.haCkptRx = reg.Counter("node.ha.ckpt.rx")
+	}
 
 	ln := opts.Listener
 	if ln == nil {
@@ -160,6 +215,7 @@ func Start(opts Options) (*Node, error) {
 		Remote:        n.tr,
 		AcceptTimeout: opts.AcceptTimeout,
 		Metrics:       reg,
+		HA:            opts.HA,
 	})
 	if err != nil {
 		_ = ln.Close()
@@ -190,6 +246,10 @@ func Start(opts Options) (*Node, error) {
 		n.inMu.Unlock()
 		n.readers.Add(1)
 		go n.readLoop(from, conn)
+	}
+	if opts.HA && len(opts.Addrs) > 1 {
+		n.readers.Add(1)
+		go n.haLoop()
 	}
 	fmt.Fprintf(opts.Log, "node %d up: hosting clusters %v of [%s]\n", opts.NodeID, topo.Clusters(opts.NodeID), topo)
 	return n, nil
@@ -450,6 +510,11 @@ func (n *Node) readLoop(from int, conn net.Conn) {
 			rxFrames.Inc()
 			rxBytes.Add(int64(len(payload)) + msgcodec.FrameOverhead)
 		}
+		if n.det != nil {
+			// Any frame is a sign of life; the dedicated heartbeat only
+			// matters for peers that would otherwise be silent.
+			n.det.Heard(from)
+		}
 		if len(payload) == 0 {
 			continue
 		}
@@ -484,7 +549,7 @@ func (n *Node) deliverLoop(from int, work <-chan []byte, free chan<- []byte) {
 				fmt.Fprintf(n.opts.Log, "node %d: bad frame from node %d: %v\n", n.opts.NodeID, from, err)
 				break
 			}
-			n.tr.recv.Add(1)
+			n.tr.countRecv(from)
 			_ = n.vm.DeliverWire(&frame)
 			pending++
 			if metrics {
@@ -497,7 +562,11 @@ func (n *Node) deliverLoop(from int, work <-chan []byte, free chan<- []byte) {
 				fmt.Fprintf(n.opts.Log, "node %d: bad initiate reply from node %d: %v\n", n.opts.NodeID, from, err)
 				break
 			}
-			n.tr.recv.Add(1)
+			n.tr.countRecv(from)
+			// Record the assigned taskid on the retained request frame (if it
+			// is still retained), so a post-death replay re-creates the task
+			// under the identity the parent already holds.
+			n.tr.noteInitReply(replyID, id)
 			n.vm.DeliverWireReply(replyID, id)
 		case fCredit:
 			if c, err := decodeCredit(body); err == nil {
@@ -528,6 +597,50 @@ func (n *Node) deliverLoop(from int, work <-chan []byte, free chan<- []byte) {
 			select {
 			case n.acks <- ack:
 			default: // a stale round's ack nobody is collecting
+			}
+		case fHeartbeat:
+			// Sign-of-life only; the readLoop already fed the detector.
+		case fCkpt:
+			_, epoch, blob, err := decodeCkpt(body)
+			if err != nil {
+				fmt.Fprintf(n.opts.Log, "node %d: bad checkpoint from node %d: %v\n", n.opts.NodeID, from, err)
+				break
+			}
+			// storeCheckpoint copies the blob: the payload buffer is recycled.
+			n.storeCheckpoint(from, epoch, blob)
+		case fCkptAck:
+			if _, epoch, err := decodeCkptAck(body); err == nil {
+				n.broadcastMarks(epoch)
+			}
+		case fCkptMark:
+			if _, count, err := decodeCkptMark(body); err == nil {
+				n.tr.ackRetained(from, count)
+			}
+		case fRebalance, fRebalanceReady:
+			dead, buddy, err := decodeRebalance(body)
+			if err != nil {
+				break
+			}
+			// Off the deliver stage: a rebalance blocks on the route lock and
+			// (on the buddy) the restore, while senders holding the route lock
+			// shared may be waiting on credits only this loop can deliver.
+			ready := kind == fRebalanceReady
+			n.readers.Add(1)
+			go func() {
+				defer n.readers.Done()
+				if ready {
+					n.handleRebalanceReady(dead, buddy)
+				} else {
+					n.handleRebalance(dead, buddy)
+				}
+			}()
+		case fRestorePlan:
+			cluster, parent, seq, id, err := decodeRestorePlan(body)
+			if err != nil {
+				break
+			}
+			if err := n.vm.PlanRestoredInit(cluster, parent, seq, id); err != nil {
+				fmt.Fprintf(n.opts.Log, "node %d: restore plan from node %d: %v\n", n.opts.NodeID, from, err)
 			}
 		case fShutdown:
 			n.signalShutdown()
@@ -629,7 +742,6 @@ func (n *Node) drainQuiesce(timeout time.Duration) error {
 	if len(n.opts.Addrs) == 1 {
 		return nil
 	}
-	peers := len(n.opts.Addrs) - 1
 	deadline := time.Now().Add(timeout)
 	var prevSent, prevRecv uint64
 	havePrev := false
@@ -638,10 +750,15 @@ func (n *Node) drainQuiesce(timeout time.Duration) error {
 		if n.reg.Has(obs.Spans) {
 			roundT0 = n.reg.Now()
 		}
+		// Dead peers (HA mode) are out of the round: their lanes drop control
+		// frames and their traffic has been settled into the survivors' counts
+		// by markDead/replay.  Re-list each round — a peer can die mid-drain.
+		peers := 0
 		for id := range n.opts.Addrs {
-			if id == n.opts.NodeID {
+			if id == n.opts.NodeID || n.tr.isDead(id) {
 				continue
 			}
+			peers++
 			_ = n.tr.sendControl(id, encodeDrain(epoch))
 		}
 		got := make(map[int]drainAck, peers)

@@ -18,21 +18,31 @@ import (
 // two nodes built from different sources refuse each other at fHello.
 
 // Version 3 added the fCredit control frame (credit-based flow control for
-// the batched wire path); frames themselves are wire-compatible with v2, but
-// a v2 peer would drop credit grants on the floor and stall the sender, so
-// the handshake refuses the mix.
-const protoVersion = 3
+// the batched wire path).  Version 4 is the fault-tolerance revision: fMsg
+// and fBcast carry the sender's HA send sequence number (duplicate
+// suppression across a recovery replay breaks silently without it, so the
+// field is unconditional), and the 0x09–0x0e control frames implement
+// heartbeats, buddy checkpoint streaming, and partition rebalancing.  A v3
+// peer would mis-parse every data frame, so the handshake refuses the mix.
+const protoVersion = 4
 
 // Frame type bytes.
 const (
-	fHello     = 0x01 // handshake: version, node id, fingerprint, topology
-	fMsg       = 0x02 // routed message (core.FrameMessage)
-	fBcast     = 0x03 // broadcast fan-out (core.FrameBroadcast)
-	fInitReply = 0x04 // reply to a routed initiate request
-	fDrain     = 0x05 // coordinator -> follower: report quiescence
-	fDrainAck  = 0x06 // follower -> coordinator: idle flag + frame counts
-	fShutdown  = 0x07 // coordinator -> follower: shut the VM down and exit
-	fCredit    = 0x08 // receiver -> sender: delivered-frame credits for this lane
+	fHello          = 0x01 // handshake: version, node id, fingerprint, topology
+	fMsg            = 0x02 // routed message (core.FrameMessage)
+	fBcast          = 0x03 // broadcast fan-out (core.FrameBroadcast)
+	fInitReply      = 0x04 // reply to a routed initiate request
+	fDrain          = 0x05 // coordinator -> follower: report quiescence
+	fDrainAck       = 0x06 // follower -> coordinator: idle flag + frame counts
+	fShutdown       = 0x07 // coordinator -> follower: shut the VM down and exit
+	fCredit         = 0x08 // receiver -> sender: delivered-frame credits for this lane
+	fHeartbeat      = 0x09 // uncredited liveness beacon, sent every heartbeat interval
+	fCkpt           = 0x0a // node -> buddy: checkpoint blob of the sender's clusters
+	fCkptAck        = 0x0b // buddy -> node: the checkpoint epoch is safely held
+	fCkptMark       = 0x0c // node -> every peer: delivered-frame high-water mark; drop retention below it
+	fRebalance      = 0x0d // leader -> everyone: a node is dead, its buddy takes over
+	fRebalanceReady = 0x0e // buddy -> everyone: the partition is restored; retarget and replay
+	fRestorePlan    = 0x0f // replayer -> buddy: re-create this initiate's task under its old id
 )
 
 var errProto = fmt.Errorf("node: malformed protocol frame")
@@ -147,6 +157,7 @@ func encodeWireFrame(buf []byte, f *core.WireFrame) []byte {
 		buf = appendU32(buf, uint32(f.Dst))
 		buf = appendTaskID(buf, f.Sender)
 		buf = appendU64(buf, f.Seq)
+		buf = appendU64(buf, f.SendSeq)
 	default:
 		buf = append(buf, fMsg)
 		buf = appendU32(buf, uint32(f.Src))
@@ -154,6 +165,7 @@ func encodeWireFrame(buf []byte, f *core.WireFrame) []byte {
 		buf = appendTaskID(buf, f.Dest)
 		buf = appendTaskID(buf, f.Sender)
 		buf = appendU64(buf, f.Seq)
+		buf = appendU64(buf, f.SendSeq)
 		buf = appendU64(buf, f.ReplyID)
 	}
 	buf = appendString(buf, f.Type)
@@ -200,6 +212,9 @@ func decodeWireFrameInto(f *core.WireFrame, kind byte, b []byte) error {
 		return err
 	}
 	if f.Seq, b, err = takeU64(b); err != nil {
+		return err
+	}
+	if f.SendSeq, b, err = takeU64(b); err != nil {
 		return err
 	}
 	if kind == fMsg {
@@ -271,6 +286,144 @@ func decodeDrain(b []byte) (uint32, error) {
 		return 0, errProto
 	}
 	return epoch, nil
+}
+
+// --- fault-tolerance control frames (protocol v4) ---------------------------
+
+// encodeHeartbeat builds the liveness beacon.  The lane already identifies
+// the sender; the id travels anyway so a heartbeat is self-describing in a
+// packet capture.
+func encodeHeartbeat(from int) []byte { return appendU32([]byte{fHeartbeat}, uint32(from)) }
+
+func decodeHeartbeat(b []byte) (int, error) {
+	v, b, err := takeU32(b)
+	if err != nil || len(b) != 0 {
+		return 0, errProto
+	}
+	return int(int32(v)), nil
+}
+
+// encodeCkpt wraps one checkpoint blob for buddy streaming.  The blob bytes
+// are the msgcodec checkpoint container produced by core.VM.Checkpoint; the
+// node layer treats them as opaque.
+func encodeCkpt(from int, epoch uint64, blob []byte) []byte {
+	b := []byte{fCkpt}
+	b = appendU32(b, uint32(from))
+	b = appendU64(b, epoch)
+	return append(b, blob...)
+}
+
+func decodeCkpt(b []byte) (from int, epoch uint64, blob []byte, err error) {
+	var v uint32
+	if v, b, err = takeU32(b); err != nil {
+		return 0, 0, nil, err
+	}
+	if epoch, b, err = takeU64(b); err != nil {
+		return 0, 0, nil, err
+	}
+	return int(int32(v)), epoch, b, nil
+}
+
+// encodeCkptAck acknowledges that the buddy holds the given checkpoint epoch.
+// Retention marks are gated on this ack: a sender may only tell its peers to
+// drop retained frames once the blob those frames' effects live in is safely
+// held by the node that would replay them.
+func encodeCkptAck(from int, epoch uint64) []byte {
+	return appendU64(appendU32([]byte{fCkptAck}, uint32(from)), epoch)
+}
+
+func decodeCkptAck(b []byte) (int, uint64, error) {
+	v, b, err := takeU32(b)
+	if err != nil {
+		return 0, 0, err
+	}
+	epoch, b, err := takeU64(b)
+	if err != nil || len(b) != 0 {
+		return 0, 0, errProto
+	}
+	return int(int32(v)), epoch, nil
+}
+
+// encodeCkptMark is the retention high-water mark: "my acked checkpoint
+// covers the first `count` counted frames your lane delivered to me — drop
+// them from retention".  Counts are per-lane and exact because both ends
+// number counted frames in the lane's FIFO order.
+func encodeCkptMark(from int, count uint64) []byte {
+	return appendU64(appendU32([]byte{fCkptMark}, uint32(from)), count)
+}
+
+func decodeCkptMark(b []byte) (int, uint64, error) {
+	v, b, err := takeU32(b)
+	if err != nil {
+		return 0, 0, err
+	}
+	count, b, err := takeU64(b)
+	if err != nil || len(b) != 0 {
+		return 0, 0, errProto
+	}
+	return int(int32(v)), count, nil
+}
+
+// encodeRebalance is the leader's verdict: node `dead` is gone and node
+// `buddy` takes over its clusters.  encodeRebalanceReady is the buddy's
+// all-clear with the same payload shape.
+func encodeRebalance(kind byte, dead, buddy int) []byte {
+	return appendU32(appendU32([]byte{kind}, uint32(dead)), uint32(buddy))
+}
+
+func decodeRebalance(b []byte) (dead, buddy int, err error) {
+	var d, bd uint32
+	if d, b, err = takeU32(b); err != nil {
+		return 0, 0, err
+	}
+	if bd, b, err = takeU32(b); err != nil || len(b) != 0 {
+		return 0, 0, errProto
+	}
+	return int(int32(d)), int(int32(bd)), nil
+}
+
+// encodeRestorePlan carries one initiate-identity plan ahead of a replayed
+// request frame: the buddy's controller must re-create the (parent, seq)
+// initiate under the recorded id, not a fresh one, or the id the parent
+// already holds would dangle.  Travels on the same lane as the replayed
+// frames, so FIFO delivers the plan first.
+func encodeRestorePlan(cluster int, parent core.TaskID, seq uint64, id core.TaskID) []byte {
+	b := appendU32([]byte{fRestorePlan}, uint32(int32(cluster)))
+	b = appendTaskID(b, parent)
+	b = appendU64(b, seq)
+	return appendTaskID(b, id)
+}
+
+func decodeRestorePlan(b []byte) (cluster int, parent core.TaskID, seq uint64, id core.TaskID, err error) {
+	var v uint32
+	if v, b, err = takeU32(b); err != nil {
+		return
+	}
+	cluster = int(int32(v))
+	if parent, b, err = takeTaskID(b); err != nil {
+		return
+	}
+	if seq, b, err = takeU64(b); err != nil {
+		return
+	}
+	if id, b, err = takeTaskID(b); err != nil {
+		return
+	}
+	if len(b) != 0 {
+		err = errProto
+	}
+	return
+}
+
+// decodeDataFrameHeader peeks the routing header of a retained data frame
+// (the payload bytes the transport kept, without the length prefix) so the
+// rebalance path can rebuild initiate-plan information from the request
+// frames themselves.  Returns the frame with Payload aliasing b.
+func decodeDataFrameHeader(payload []byte) (*core.WireFrame, error) {
+	if len(payload) == 0 {
+		return nil, errProto
+	}
+	return decodeWireFrame(payload[0], payload[1:])
 }
 
 func encodeDrainAck(a drainAck) []byte {

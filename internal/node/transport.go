@@ -121,6 +121,21 @@ type peer struct {
 
 	credits int // remaining flow-control credits toward this peer
 
+	// HA lane state (haRetain mode only; guarded by mu).  sentIdx numbers the
+	// counted data frames enqueued on this lane, in lane order — the receiver
+	// numbers its deliveries identically (TCP FIFO, same framing), which is
+	// what makes checkpoint marks exact.  retained keeps the encoded frames
+	// whose effects are not yet covered by a peer-acknowledged checkpoint;
+	// dead flips the lane to retain-only (frames are kept, never written),
+	// and replayed marks that the retained backlog has been handed to the
+	// adopting buddy, after which new frames toward this lane are redundant.
+	dead        bool
+	deadDone    bool // markDead accounting ran (dead may be set first by a write error)
+	replayed    bool
+	sentIdx     uint64
+	ackIdx      uint64
+	retained    []*retFrame
+
 	// Per-lane wire counters (node.tx.n<me>->n<id>.*), resolved at addPeer;
 	// bumped only when metrics are enabled.
 	txFrames *obs.Counter
@@ -135,21 +150,30 @@ type peer struct {
 // grants more; a counted frame participates in the drain protocol's global
 // sent/recv balance.  In Unbatched mode the call additionally waits for the
 // frame to reach the kernel, restoring flush-per-frame semantics.
-func (p *peer) enqueue(tr *transport, credited, counted bool, encode func(batch []byte) []byte) error {
+func (p *peer) enqueue(tr *transport, credited, counted bool, replyID uint64, encode func(batch []byte) []byte) error {
 	metrics := tr.reg.Has(obs.Metrics)
 	p.mu.Lock()
-	if credited && tr.cfg.CreditWindow > 0 && p.credits <= 0 {
+	if credited && tr.cfg.CreditWindow > 0 && !p.dead && p.credits <= 0 {
 		var t0 time.Time
 		if metrics {
 			t0 = tr.reg.Now()
 			tr.creditStalls.Inc()
 		}
-		for p.credits <= 0 && p.err == nil && !p.closed {
+		for p.credits <= 0 && p.err == nil && !p.closed && !p.dead {
 			p.cond.Wait()
 		}
 		if metrics {
 			tr.creditStallNS.ObserveDuration(tr.reg.Now().Sub(t0))
 		}
+	}
+	if p.dead {
+		// The peer is dead (or the lane broke in HA mode): counted data
+		// frames go straight into retention for the rebalance replay, control
+		// frames evaporate.  Senders never see an error — the frame's effect
+		// is the adopting buddy's problem now.
+		err := p.retainDeadLocked(tr, counted, replyID, encode)
+		p.mu.Unlock()
+		return err
 	}
 	if p.err != nil {
 		err := p.err
@@ -179,6 +203,9 @@ func (p *peer) enqueue(tr *transport, credited, counted bool, encode func(batch 
 	if counted {
 		p.counted++
 		tr.sent.Add(1)
+		if tr.haRetain {
+			p.retainPayloadLocked(tr, p.batch[payloadStart:], replyID)
+		}
 	}
 	nbytes := len(p.batch) - start
 	if tr.cfg.Unbatched {
@@ -209,11 +236,16 @@ func (p *peer) writeLoop(tr *transport) {
 	defer tr.writers.Done()
 	for {
 		p.mu.Lock()
-		for len(p.batch) == 0 && p.err == nil && !p.closed {
+		for len(p.batch) == 0 && p.err == nil && !p.closed && !p.dead {
 			p.cond.Wait()
 		}
-		if p.err != nil || (p.closed && len(p.batch) == 0) {
-			tr.lost.Add(uint64(p.counted))
+		if p.err != nil || ((p.closed || p.dead) && len(p.batch) == 0) {
+			// In HA retention mode every counted frame was copied into the
+			// retention log at enqueue; its fate (replayed to the buddy, or
+			// accounted lost at markDead) is decided there, not here.
+			if !tr.haRetain {
+				tr.lost.Add(uint64(p.counted))
+			}
 			p.counted, p.frames = 0, 0
 			p.batch = nil
 			p.cond.Broadcast()
@@ -262,8 +294,21 @@ func (p *peer) writeLoop(tr *transport) {
 		p.mu.Lock()
 		p.writing = false
 		if werr != nil {
-			p.err = werr
-			tr.lost.Add(uint64(counted))
+			if tr.haRetain {
+				// A broken lane in HA mode flips to retention instead of
+				// poisoning senders: the failed batch's counted frames are
+				// already in the retention log, and the death accounting runs
+				// when the failure detector's verdict reaches markDead.  Drop
+				// whatever queued up since the swap for the same reason — or
+				// the non-empty batch keeps this loop retrying a broken
+				// connection until the verdict lands.
+				p.dead = true
+				p.batch = p.batch[:0]
+				p.frames, p.counted = 0, 0
+			} else {
+				p.err = werr
+				tr.lost.Add(uint64(counted))
+			}
 		} else if p.spare == nil && cap(buf) <= 4*tr.cfg.BatchBytes {
 			p.spare = buf[:0] // keep modest buffers; let outliers be collected
 		}
@@ -318,6 +363,26 @@ type transport struct {
 	recv atomic.Uint64
 	lost atomic.Uint64
 
+	// HA retention state.  haRetain is set once, before any traffic, when the
+	// node runs with fault tolerance on.  routeMu orders sends against a
+	// rebalance: Send/SendReply hold it shared across route-and-enqueue, the
+	// rebalance holds it exclusively across replay-and-retarget, so every
+	// frame replayed to a buddy lands on the buddy's lane BEFORE any newly
+	// routed frame — the ordering the receiver's admission floors assume.
+	// reroute maps a dead node to the node that adopted its clusters
+	// (consulted by ownerOf, guarded by routeMu).  pendInit indexes retained
+	// initiate-request frames by ReplyID so the observed reply can annotate
+	// them with the assigned taskid.  recvFrom counts delivered counted
+	// frames per source lane: the drain balance sums only live sources, and
+	// the pre-checkpoint snapshot of these counters is what checkpoint marks
+	// carry.
+	haRetain bool
+	routeMu  sync.RWMutex
+	reroute  map[int]int
+	pendMu   sync.Mutex
+	pendInit map[uint64]*retFrame
+	recvFrom []atomic.Uint64
+
 	vm atomic.Pointer[core.VM] // bound after the VM is booted
 }
 
@@ -335,6 +400,7 @@ func newTransport(nodeID int, topo Topology, reg *obs.Registry, cfg WireConfig) 
 		creditsTx:     reg.Counter("node.credit.grants.tx"),
 		creditsRx:     reg.Counter("node.credit.grants.rx"),
 		peers:         make(map[int]*peer),
+		recvFrom:      make([]atomic.Uint64, topo.Nodes),
 	}
 }
 
@@ -377,11 +443,20 @@ func (tr *transport) allPeers() []*peer {
 	return out
 }
 
-// ownerOf maps a destination cluster to its hosting node.
+// ownerOf maps a destination cluster to its hosting node, following the
+// adoption chain when earlier owners have died.  In HA mode the caller must
+// hold routeMu (shared suffices).
 func (tr *transport) ownerOf(cluster int) (int, error) {
 	n, ok := tr.topo.NodeOf(cluster)
 	if !ok {
 		return 0, fmt.Errorf("node %d: cluster %d is not in the topology", tr.nodeID, cluster)
+	}
+	for i := 0; i < len(tr.reroute); i++ {
+		next, ok := tr.reroute[n]
+		if !ok {
+			break
+		}
+		n = next
 	}
 	return n, nil
 }
@@ -394,10 +469,12 @@ func (tr *transport) ownerOf(cluster int) (int, error) {
 // broadcast failure leaves the drain protocol's books balanced.
 func (tr *transport) Send(f *core.WireFrame) error {
 	enc := func(batch []byte) []byte { return encodeWireFrame(batch, f) }
+	tr.routeMu.RLock()
+	defer tr.routeMu.RUnlock()
 	if f.Kind == core.FrameBroadcast && f.Dst == 0 {
 		var firstErr error
 		for _, p := range tr.allPeers() {
-			if err := p.enqueue(tr, true, true, enc); err != nil && firstErr == nil {
+			if err := p.enqueue(tr, true, true, 0, enc); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}
@@ -408,6 +485,14 @@ func (tr *transport) Send(f *core.WireFrame) error {
 		return err
 	}
 	if owner == tr.nodeID {
+		if tr.haRetain {
+			// This node adopted the destination cluster while the sender's
+			// routing decision was in flight: deliver locally.  Neither side
+			// of the drain balance counts a local delivery.
+			if vm := tr.vm.Load(); vm != nil {
+				return vm.DeliverWire(f)
+			}
+		}
 		// The core only routes remotely for non-hosted clusters, so this is
 		// a topology/hosting disagreement worth failing loudly on.
 		return fmt.Errorf("node %d: frame for cluster %d routed remotely but hosted here", tr.nodeID, f.Dst)
@@ -416,7 +501,7 @@ func (tr *transport) Send(f *core.WireFrame) error {
 	if err != nil {
 		return err
 	}
-	return p.enqueue(tr, true, true, enc)
+	return p.enqueue(tr, true, true, f.ReplyID, enc)
 }
 
 // SendReply carries a routed-initiate reply back to the node hosting the
@@ -424,6 +509,8 @@ func (tr *transport) Send(f *core.WireFrame) error {
 // credited: they ride the control channel so a reply can never deadlock
 // against the data window it would unblock.
 func (tr *transport) SendReply(dst int, replyID uint64, id core.TaskID) error {
+	tr.routeMu.RLock()
+	defer tr.routeMu.RUnlock()
 	owner, err := tr.ownerOf(dst)
 	if err != nil {
 		return err
@@ -439,7 +526,7 @@ func (tr *transport) SendReply(dst int, replyID uint64, id core.TaskID) error {
 	if err != nil {
 		return err
 	}
-	return p.enqueue(tr, false, true, func(batch []byte) []byte {
+	return p.enqueue(tr, false, true, 0, func(batch []byte) []byte {
 		return encodeInitReply(batch, replyID, id)
 	})
 }
@@ -452,7 +539,7 @@ func (tr *transport) sendControl(node int, payload []byte) error {
 	if err != nil {
 		return err
 	}
-	return p.enqueue(tr, false, false, func(batch []byte) []byte {
+	return p.enqueue(tr, false, false, 0, func(batch []byte) []byte {
 		return append(batch, payload...)
 	})
 }
@@ -518,7 +605,21 @@ func (tr *transport) Close() error {
 // counts returns the frames handed to live lanes and received so far (drain
 // protocol).  Frames a failed lane accepted but can never deliver are
 // subtracted from sent: the receiver will never count them, and a constant
-// phantom imbalance would otherwise hang every later drain round.
+// phantom imbalance would otherwise hang every later drain round.  In HA
+// mode, frames received FROM a node that has since died are likewise
+// subtracted from recv — their sender's sent counter vanished with it, and
+// the adopting buddy's replayed regeneration is what re-balances the books.
 func (tr *transport) counts() (sent, recv uint64) {
-	return tr.sent.Load() - tr.lost.Load(), tr.recv.Load()
+	recv = tr.recv.Load()
+	if tr.haRetain {
+		for _, p := range tr.allPeers() {
+			p.mu.Lock()
+			dead := p.dead
+			p.mu.Unlock()
+			if dead && p.id >= 0 && p.id < len(tr.recvFrom) {
+				recv -= tr.recvFrom[p.id].Load()
+			}
+		}
+	}
+	return tr.sent.Load() - tr.lost.Load(), recv
 }
