@@ -1,0 +1,243 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startDaemon launches the built binary in daemon mode and returns its base
+// URL plus the running command.  The caller owns shutdown.
+func startDaemon(t *testing.T, bin string, extraArgs ...string) (string, *exec.Cmd, *strings.Builder) {
+	t.Helper()
+	args := append([]string{"serve", "-addr", "127.0.0.1:0"}, extraArgs...)
+	cmd := exec.Command(bin, args...)
+	var stderr strings.Builder
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		}
+	})
+
+	// The daemon announces its bound address on stdout once the listener is
+	// up; everything after that line is drained in the background.
+	sc := bufio.NewScanner(stdout)
+	addrCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			if _, addr, ok := strings.Cut(line, "serving on http://"); ok {
+				addrCh <- addr
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return "http://" + addr, cmd, &stderr
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon never announced its address\nstderr:\n%s", stderr.String())
+		return "", nil, nil
+	}
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp, b
+}
+
+// TestDaemonSmoke is the serving-mode acceptance smoke test, the same
+// scenario the serve-smoke CI job runs: start the daemon as a real OS
+// process, submit three programs over HTTP — two good, one that exceeds its
+// task quota — assert per-program outputs and status codes, then SIGTERM and
+// require a clean drain with exit 0.
+func TestDaemonSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and forks a real daemon process")
+	}
+	bin := buildPisces(t)
+	base, cmd, stderr := startDaemon(t, bin, "-max-programs", "2")
+
+	good := "TASKTYPE MAIN\n      PRINT *, 'SMOKE', 41 + 1\nEND TASKTYPE\n"
+	spawny := `TASKTYPE MAIN
+      INTEGER W
+      SIGNAL RESULT
+      DO 10 W = 1, 6
+        ON ANY INITIATE WORKER(W)
+10    CONTINUE
+      ACCEPT 6 OF RESULT
+      PRINT *, 'ALL IN'
+END TASKTYPE
+
+TASKTYPE WORKER(ME)
+      INTEGER ME
+      TO PARENT SEND RESULT(ME)
+END TASKTYPE
+`
+
+	submit := func(tenant, src string, limits map[string]any) (string, int) {
+		body := map[string]any{"tenant": tenant, "source": src}
+		if limits != nil {
+			body["limits"] = limits
+		}
+		resp, raw := postJSON(t, base+"/programs", body)
+		if resp.StatusCode != http.StatusAccepted {
+			return "", resp.StatusCode
+		}
+		var st struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatalf("submit response %q: %v", raw, err)
+		}
+		return st.ID, resp.StatusCode
+	}
+	wait := func(id string) (state, quota, output string) {
+		resp, err := http.Get(base + "/programs/" + id + "/output?wait=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		sresp, err := http.Get(base + "/programs/" + id + "/status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			State string `json:"state"`
+			Quota string `json:"quota_violation"`
+		}
+		if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		sresp.Body.Close()
+		return st.State, st.Quota, string(out)
+	}
+
+	// Program 1: plain success.
+	id1, code := submit("alice", good, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("program 1 submit = %d; want 202", code)
+	}
+	// Program 2: same source from another tenant (shares the compile cache).
+	id2, code := submit("bob", good, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("program 2 submit = %d; want 202", code)
+	}
+	// Program 3: spawns six workers under a quota of two tasks.
+	id3, code := submit("greedy", spawny, map[string]any{"max_tasks": 2})
+	if code != http.StatusAccepted {
+		t.Fatalf("program 3 submit = %d; want 202", code)
+	}
+
+	for _, id := range []string{id1, id2} {
+		state, quota, out := wait(id)
+		if state != "done" || quota != "" {
+			t.Fatalf("program %s: state=%q quota=%q; want done", id, state, quota)
+		}
+		if !strings.Contains(out, "SMOKE") || !strings.Contains(out, "42") {
+			t.Fatalf("program %s output = %q; want the SMOKE 42 line", id, out)
+		}
+	}
+	state, quota, out := wait(id3)
+	if state != "failed" || quota != "tasks" {
+		t.Fatalf("quota program: state=%q quota=%q; want failed/tasks\noutput: %s", state, quota, out)
+	}
+	if strings.Contains(out, "ALL IN") {
+		t.Fatalf("quota program printed its success line:\n%s", out)
+	}
+
+	// The daemon-wide metric view serves on the same listener.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{"pisces_serve_sessions_submitted 3", "pisces_serve_sessions_quota 1", "pisces_serve_cache_hits"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// SIGTERM drains and exits 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit after SIGTERM: %v\nstderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(60 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatalf("daemon did not exit after SIGTERM\nstderr:\n%s", stderr.String())
+	}
+}
+
+// TestLoadgenSmoke: "pisces loadgen" against a live daemon completes
+// programs and reports throughput and latency quantiles.
+func TestLoadgenSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and forks a real daemon process")
+	}
+	bin := buildPisces(t)
+	base, cmd, stderr := startDaemon(t, bin, "-max-programs", "4")
+	addr := strings.TrimPrefix(base, "http://")
+
+	out := runBinary(t, bin, "loadgen", "-addr", addr, "-tenants", "4", "-duration", "2s")
+	if !strings.Contains(out, "programs/s") || !strings.Contains(out, "p99") {
+		t.Fatalf("loadgen report missing throughput/latency lines:\n%s", out)
+	}
+	var completed int
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "completed") {
+			if _, err := fmt.Sscanf(strings.TrimSpace(line), "completed  %d", &completed); err == nil {
+				break
+			}
+		}
+	}
+	if completed == 0 {
+		t.Fatalf("loadgen completed no programs:\n%s", out)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit after SIGTERM: %v\nstderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(60 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatalf("daemon did not exit after SIGTERM\nstderr:\n%s", stderr.String())
+	}
+}

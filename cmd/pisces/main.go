@@ -13,12 +13,19 @@
 //	       [-stats] [-sim [-seed N]] [-netfault] [-nodes N [-ha]] <program.pf>
 //	pisces serve -node K -peers addr0,addr1,... [-clusters n] [-slots k]
 //	       [-ha [-heartbeat-interval d] [-checkpoint-interval d]] <program.pf>
+//	pisces serve [-addr host:port] [-max-programs n] [-queue-depth n]
+//	       [-limit-heap-bytes n] [-limit-tasks n] [-limit-wallclock d]
+//	       [-limit-output-bytes n] [-cache-bytes n] [-tenant-metrics]
+//	pisces loadgen -addr host:port [-tenants n] [-duration d]
 //
 // The run form interprets a Pisces Fortran program directly on the in-memory
 // virtual machine (paper, Section 10, without the Fortran compiler leg).
 // With -nodes N the clusters are partitioned across N OS processes (forked
-// automatically) exchanging wire frames over loopback TCP; serve runs one
-// such node process by hand, e.g. on separate machines.
+// automatically) exchanging wire frames over loopback TCP; serve -peers runs
+// one such node process by hand, e.g. on separate machines.  Without -peers,
+// serve is the multi-tenant daemon: programs are POSTed to /programs over
+// HTTP and run as isolated quota-bounded sessions sharing one compile cache;
+// loadgen drives such a daemon and reports throughput and latency.
 //
 // Examples:
 //
@@ -55,7 +62,21 @@ func main() {
 		return
 	}
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
-		if err := runServe(os.Args[2:], os.Stdout); err != nil {
+		// Two personalities share the verb: with -peers this process is one
+		// node of a distributed mesh run; without it, the multi-tenant
+		// serving daemon.
+		serveFn := runDaemon
+		if meshMode(os.Args[2:]) {
+			serveFn = runServe
+		}
+		if err := serveFn(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "pisces: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "loadgen" {
+		if err := runLoadgen(os.Args[2:], os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "pisces: %v\n", err)
 			os.Exit(1)
 		}
@@ -254,10 +275,12 @@ func runInterpretedInner(args []string, out io.Writer) error {
 	if fault != nil {
 		fault.Bind(vm)
 	}
-	// Compile once (the program cache makes later compiles of the same
-	// source free anyway) and run the requested number of times; the
+	// Compile once through an explicit per-invocation cache handle — the CLI
+	// never benefits from process-wide memoisation (each invocation is a new
+	// process) and the -repeat loop reuses the compiled program directly, so
+	// nothing this command compiles can leak into any shared cache.  The
 	// activity counters accumulate across runs.
-	prog, err := pisces.CompileSource(string(src))
+	prog, err := pisces.NewCompileCache(0).Compile(string(src))
 	if err != nil {
 		return err
 	}

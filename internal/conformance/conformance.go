@@ -110,6 +110,13 @@ type KillRecovery struct {
 	Err error
 }
 
+// harnessCache is the conformance harness's own compile-cache handle: sweep
+// runs share compiled corpus units with each other (a 32-seed sweep compiles
+// each program once) but not with the process-wide pfi cache, so harness
+// traffic can neither pollute nor be polluted by other tests in the same
+// test binary.
+var harnessCache = pfi.NewUnitCache(0)
+
 // Run executes one Pisces Fortran program on a fresh VM under the sim
 // backend with the given seed and full tracing, and returns the observables.
 // A deadlocked schedule is reported in the result, not panicked; the output
@@ -281,7 +288,7 @@ func run(src string, seed int64, fault bool, reg *obs.Registry, kill ...*killPla
 	}
 	start := s.Now()
 
-	prog, err := pfi.Compile(src)
+	prog, err := harnessCache.Compile(src)
 	if err != nil {
 		vm.Shutdown()
 		res.Err = err

@@ -374,6 +374,20 @@ func (c *clusterRT) startTask(slot int, req pendingInit) error {
 		req.reply.deliver(NilTask)
 		return fmt.Errorf("%w: %q", ErrUnknownTaskType, req.tasktype)
 	}
+	// Only user tasks pass through here (controllers boot via
+	// startController), so the tenant's MaxTasks quota gates exactly the
+	// spawns it should.  Directed re-creations are exempt: a failover
+	// re-spawn continues a life that was already admitted.  The refusal is
+	// delivered before the violation is recorded so a waiting initiator
+	// gets its answer before the fail-stop kill sweep reaches it.
+	if req.forced == NilTask {
+		if le := vm.taskLimitExceeded(); le != nil {
+			c.clearSlot(slot)
+			req.reply.deliver(NilTask)
+			vm.recordLimit(le)
+			return le
+		}
+	}
 	id := req.forced
 	if id == NilTask {
 		id = TaskID{Cluster: c.cfg.Number, Slot: slot, Unique: vm.nextUnique()}
@@ -529,8 +543,25 @@ func (vm *VM) finishTask(rec *taskRec, ctx *Task) {
 	}
 }
 
-// userPrintf writes a line to the user terminal output, if configured.
+// userPrintf writes a line to the user terminal output, if configured.  It
+// is the single funnel for all user-visible terminal traffic, which makes it
+// the enforcement point for the tenant's OutputBytes quota: once the cap is
+// crossed the write (and every later one) is dropped, the violation recorded.
 func (vm *VM) userPrintf(format string, args ...any) {
+	if vm.opts.UserOutput == nil {
+		return
+	}
+	s := fmt.Sprintf(format, args...)
+	if !vm.chargeOutput(len(s)) {
+		return
+	}
+	fmt.Fprint(vm.opts.UserOutput, s)
+}
+
+// systemPrintf writes to the user terminal without charging the tenant's
+// output quota — the "your run was terminated" notice must reach a tenant
+// whose violation was the output cap itself.
+func (vm *VM) systemPrintf(format string, args ...any) {
 	if vm.opts.UserOutput != nil {
 		fmt.Fprintf(vm.opts.UserOutput, format, args...)
 	}

@@ -154,7 +154,7 @@ func (vm *VM) routeMessage(from *clusterRT, dest *taskRec, msgType string, sende
 	}
 	off, err := from.heap.Alloc(size)
 	if err != nil {
-		return 0, fmt.Errorf("%w: %v", ErrHeapExhausted, err)
+		return 0, vm.heapErr(err)
 	}
 	// Encode straight into the shard's arena: the packet-model size always
 	// bounds the wire size (a packet holds more than an argument's wire
@@ -179,7 +179,7 @@ func (vm *VM) routeMessage(from *clusterRT, dest *taskRec, msgType string, sende
 	destOff, err := dest.cluster.heap.Alloc(size)
 	if err != nil {
 		_ = from.heap.Free(off)
-		return 0, fmt.Errorf("%w: %v", ErrHeapExhausted, err)
+		return 0, vm.heapErr(err)
 	}
 	// The destination-shard reservation is this message's heap charge (the
 	// delivered message takes ownership of it in deliver, not through

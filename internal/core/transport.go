@@ -258,7 +258,7 @@ func (vm *VM) routeRemote(from *clusterRT, to TaskID, msgType string, sender Tas
 		src = from.cfg.Number
 		off, err = from.heap.Alloc(size)
 		if err != nil {
-			return 0, fmt.Errorf("%w: %v", ErrHeapExhausted, err)
+			return 0, vm.heapErr(err)
 		}
 		buf := from.heap.Bytes(off, size)
 		payload, err = msgcodec.AppendEncode(buf[:0], args)

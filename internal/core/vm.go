@@ -94,6 +94,12 @@ type Options struct {
 	// VM exposes Checkpoint/FailClusters/Restore (see ha.go).  Costs a map
 	// append per ACCEPT-consumed message, so it is opt-in.
 	HA bool
+	// Limits is the per-tenant resource policy this VM enforces on its own
+	// program: heap bytes, cumulative task count, wall-clock time, terminal
+	// output.  The zero value (and any zero field) is unlimited.  A violation
+	// fail-stops this VM's user tasks and is reported by LimitViolation; the
+	// process — and any sibling VM in a serving daemon — is unaffected.
+	Limits Limits
 	// InterceptWire routes EVERY cross-cluster message through Remote, even
 	// between clusters hosted here.  Fault/latency-injecting transports use
 	// it to exercise network schedules under the deterministic backend.
@@ -169,6 +175,15 @@ type VM struct {
 	tableBytes int
 
 	timeLimitTimer backend.Timer
+
+	// Per-tenant limit state (limits.go): the shared heap budget attached to
+	// every shard, the WallClock timer, cumulative terminal output, and the
+	// first recorded violation.
+	heapBudget     *memory.Budget
+	wallClockTimer backend.Timer
+	outputUsed     atomic.Int64
+	limitMu        sync.Mutex
+	limitErr       *LimitError
 
 	// Observability: the registry plus pre-resolved metric handles, so hot
 	// paths pay one atomic mask load when disabled and no map lookups when
@@ -331,6 +346,15 @@ func NewVMOn(machine *flex.Machine, cfg *config.Configuration, opts Options) (*V
 		vm.clusters[n].heap = machine.Shared().HeapShard(i)
 	}
 
+	// One tenant budget across every shard: per-cluster isolation bounds what
+	// a cluster can hold, the budget bounds what the whole tenant can hold.
+	if vm.opts.Limits.HeapBytes > 0 {
+		vm.heapBudget = memory.NewBudget(vm.opts.Limits.HeapBytes)
+		for _, n := range nums {
+			vm.clusters[n].heap.SetBudget(vm.heapBudget)
+		}
+	}
+
 	// The home cluster (the node's identity in frames sent by the execution
 	// environment) is fixed for the VM's lifetime; resolve it once instead of
 	// sorting the cluster set on every remote-routing decision.
@@ -358,6 +382,9 @@ func NewVMOn(machine *flex.Machine, cfg *config.Configuration, opts Options) (*V
 
 	if cfg.TimeLimit > 0 {
 		vm.timeLimitTimer = vm.backend.AfterFunc(cfg.TimeLimit, vm.timeLimitExpired)
+	}
+	if vm.opts.Limits.WallClock > 0 {
+		vm.wallClockTimer = vm.backend.AfterFunc(vm.opts.Limits.WallClock, vm.wallClockExpired)
 	}
 	return vm, nil
 }
@@ -728,7 +755,7 @@ func (vm *VM) chargeMessageOn(heap *memory.Allocator, msg *Message) error {
 	}
 	off, err := heap.Alloc(size)
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrHeapExhausted, err)
+		return vm.heapErr(err)
 	}
 	msg.heapOff = off
 	msg.heapBytes = size
@@ -800,6 +827,9 @@ func (vm *VM) Shutdown() {
 
 	if vm.timeLimitTimer != nil {
 		vm.timeLimitTimer.Stop()
+	}
+	if vm.wallClockTimer != nil {
+		vm.wallClockTimer.Stop()
 	}
 
 	// Snapshot every task record so the teardown below can also wait for the

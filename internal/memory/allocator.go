@@ -64,6 +64,10 @@ type Allocator struct {
 	allocs    uint64
 	frees     uint64
 	failures  uint64
+
+	// budget, when non-nil, caps this allocator's live bytes as part of a
+	// tenant-wide total shared with sibling shards.  See SetBudget.
+	budget *Budget
 }
 
 // New creates an allocator managing size bytes of arena.
@@ -103,9 +107,19 @@ func (a *Allocator) Alloc(n int) (int, error) {
 			continue
 		}
 		off := a.blocks[i].off
-		// Split the block if the remainder is large enough to be useful.
+		// Decide the placement before mutating anything: the no-split branch
+		// hands out the whole block, and the budget must be charged with that
+		// actual size so Free's release (block size + header) balances it.
 		rem := a.blocks[i].size - n
-		if rem >= headerSize+align {
+		split := rem >= headerSize+align
+		if !split {
+			n = a.blocks[i].size
+		}
+		if !a.budget.tryCharge(int64(n + headerSize)) {
+			a.failures++
+			return 0, budgetErr(n, a.budget)
+		}
+		if split {
 			newBlock := block{off: off + n + headerSize, size: rem - headerSize, free: true}
 			a.blocks[i].size = n
 			a.blocks[i].free = false
@@ -114,7 +128,6 @@ func (a *Allocator) Alloc(n int) (int, error) {
 			a.blocks[i+1] = newBlock
 		} else {
 			a.blocks[i].free = false
-			n = a.blocks[i].size
 		}
 		if a.arena != nil {
 			// A nil arena holds no stale data to clear: bytes are only ever
@@ -143,6 +156,7 @@ func (a *Allocator) Free(off int) error {
 	}
 	a.blocks[i].free = true
 	a.inUse -= a.blocks[i].size + headerSize
+	a.budget.release(int64(a.blocks[i].size + headerSize))
 	a.frees++
 	a.coalesce(i)
 	return nil
@@ -274,6 +288,7 @@ func (a *Allocator) Reset() {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.blocks = []block{{off: headerSize, size: a.size - headerSize, free: true}}
+	a.budget.release(int64(a.inUse))
 	a.inUse = 0
 }
 

@@ -18,10 +18,18 @@ import (
 // It is mounted by `pisces serve -debug-addr` on a side listener, never on
 // the runtime's own mesh ports.
 func DebugHandler(r *Registry) http.Handler {
+	return DebugHandlerSource(r.Snapshot)
+}
+
+// DebugHandlerSource is DebugHandler with a pluggable snapshot source, for
+// servers whose metrics view is assembled from several registries (the
+// serving daemon merges its own registry with per-tenant session snapshots
+// under tenant.<id>. prefixes).
+func DebugHandlerSource(snapshot func() *Snapshot) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		WritePrometheus(w, r.Snapshot())
+		WritePrometheus(w, snapshot())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -284,6 +284,28 @@ func (s *Snapshot) Merge(other *Snapshot) {
 	s.sort()
 }
 
+// Prefix renames every metric in the snapshot to p + name, in place, and
+// returns s.  It scopes a per-tenant registry's series for aggregation into
+// a daemon-wide view ("tenant.p7." + "core.heap.charge") without the hot
+// paths ever paying for the longer names: sessions record under plain names
+// and the serving layer prefixes at snapshot time.  Names stay sorted —
+// prefixing every name with the same string preserves their order.
+func (s *Snapshot) Prefix(p string) *Snapshot {
+	if p == "" {
+		return s
+	}
+	for i := range s.Counters {
+		s.Counters[i].Name = p + s.Counters[i].Name
+	}
+	for i := range s.Gauges {
+		s.Gauges[i].Name = p + s.Gauges[i].Name
+	}
+	for i := range s.Hists {
+		s.Hists[i].Name = p + s.Hists[i].Name
+	}
+	return s
+}
+
 func indexBy[T any](xs []T, key func(T) string) map[string]int {
 	m := make(map[string]int, len(xs))
 	for i, x := range xs {

@@ -296,3 +296,70 @@ func TestDebugHandler(t *testing.T) {
 		}
 	}
 }
+
+func TestSnapshotPrefix(t *testing.T) {
+	r := New()
+	r.Counter("core.heap.charge").Add(3)
+	r.Gauge("queue.depth").Set(7)
+	r.Histogram("pfi.stmt.ns", "ns").Observe(50)
+	s := r.Snapshot().Prefix("tenant.p1.")
+	if s.Counters[0].Name != "tenant.p1.core.heap.charge" {
+		t.Fatalf("counter name = %q", s.Counters[0].Name)
+	}
+	if s.Gauges[0].Name != "tenant.p1.queue.depth" {
+		t.Fatalf("gauge name = %q", s.Gauges[0].Name)
+	}
+	if s.Hists[0].Name != "tenant.p1.pfi.stmt.ns" {
+		t.Fatalf("hist name = %q", s.Hists[0].Name)
+	}
+
+	// Prefixed tenant snapshots merge into a daemon view without colliding
+	// with the unprefixed series or each other.
+	base := New()
+	base.Counter("core.heap.charge").Add(10)
+	merged := base.Snapshot()
+	merged.Merge(s)
+	r2 := New()
+	r2.Counter("core.heap.charge").Add(4)
+	merged.Merge(r2.Snapshot().Prefix("tenant.p2."))
+	byName := map[string]int64{}
+	for _, c := range merged.Counters {
+		byName[c.Name] = c.Value
+	}
+	want := map[string]int64{
+		"core.heap.charge":           10,
+		"tenant.p1.core.heap.charge": 3,
+		"tenant.p2.core.heap.charge": 4,
+	}
+	for k, v := range want {
+		if byName[k] != v {
+			t.Errorf("merged[%q] = %d, want %d", k, byName[k], v)
+		}
+	}
+}
+
+func TestDebugHandlerSource(t *testing.T) {
+	r := New()
+	r.Counter("sessions.completed").Add(2)
+	merged := func() *Snapshot {
+		s := r.Snapshot()
+		tr := New()
+		tr.Counter("prog.statements").Add(5)
+		s.Merge(tr.Snapshot().Prefix("tenant.p1."))
+		return s
+	}
+	srv := httptest.NewServer(DebugHandlerSource(merged))
+	defer srv.Close()
+	res, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(res.Body)
+	res.Body.Close()
+	for _, want := range []string{"pisces_sessions_completed 2", "pisces_tenant_p1_prog_statements 5"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, buf.String())
+		}
+	}
+}

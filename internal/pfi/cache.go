@@ -1,0 +1,154 @@
+package pfi
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultCacheBytes is the weight bound of the package-level compile cache
+// and of any UnitCache built with NewUnitCache(0).  Compiled units weigh a
+// few KB each (see unitWeight), so the default holds on the order of a
+// thousand distinct programs — far more than a CLI run or test suite needs,
+// small enough that a long-lived daemon cannot grow without limit.
+const DefaultCacheBytes = 16 << 20
+
+// UnitCache memoises compiled units by source text so repeated Compile calls
+// on the same program skip lexing, parsing, and code generation.  Unlike the
+// process-wide sync.Map it replaces, a UnitCache is an explicit handle — a
+// serving daemon shares one across every tenant, while fuzzers and
+// benchmarks build private caches (or use CompileUncached) so their garbage
+// cannot pollute anyone else's — and it is bounded: entries are evicted in
+// least-recently-used order once the summed compiled-unit weight exceeds the
+// configured maximum.
+//
+// A UnitCache is safe for concurrent use.
+type UnitCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	weight   int64
+	ll       *list.List               // front = most recently used; values are *cacheEntry
+	entries  map[string]*list.Element // source text -> element
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type cacheEntry struct {
+	src  string
+	unit *compiledUnit
+}
+
+// NewUnitCache builds a cache bounded to maxBytes of compiled-unit weight;
+// maxBytes <= 0 selects DefaultCacheBytes.
+func NewUnitCache(maxBytes int64) *UnitCache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultCacheBytes
+	}
+	return &UnitCache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+}
+
+// Compile parses and compiles src, consulting and populating the cache.  A
+// hit returns a fresh Program (own counters, own error state) over the
+// shared compiled unit without re-parsing.
+func (c *UnitCache) Compile(src string) (*Program, error) {
+	p, _, err := c.CompileTrace(src)
+	return p, err
+}
+
+// CompileTrace is Compile plus a report of whether the unit came from the
+// cache, so callers (the serving daemon) can attribute hit/miss traffic per
+// tenant.
+func (c *UnitCache) CompileTrace(src string) (*Program, bool, error) {
+	if u := c.lookup(src); u != nil {
+		return newProgram(u), true, nil
+	}
+	u, err := compileUnit(src)
+	if err != nil {
+		return nil, false, err
+	}
+	c.insert(src, u)
+	return newProgram(u), false, nil
+}
+
+// lookup returns the cached unit for src and marks it most recently used,
+// or nil on a miss.
+func (c *UnitCache) lookup(src string) *compiledUnit {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[src]
+	if !ok {
+		c.misses.Add(1)
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).unit
+}
+
+// insert stores a freshly compiled unit, evicting least-recently-used
+// entries until the cache is back under its weight bound.  The entry being
+// inserted is never evicted, so a single unit heavier than the whole bound
+// still compiles and caches (and is evicted by the next insert).
+func (c *UnitCache) insert(src string, u *compiledUnit) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[src]; ok {
+		// Two goroutines compiled the same source concurrently; keep the
+		// entry that won and let the duplicate unit be collected.
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{src: src, unit: u})
+	c.entries[src] = el
+	c.weight += u.weight
+	for c.weight > c.maxBytes && c.ll.Len() > 1 {
+		back := c.ll.Back()
+		ent := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.entries, ent.src)
+		c.weight -= ent.unit.weight
+		c.evictions.Add(1)
+	}
+}
+
+// CacheStats is a snapshot of a UnitCache's accounting.
+type CacheStats struct {
+	Hits      int64 // lookups that found a compiled unit
+	Misses    int64 // lookups that had to compile
+	Evictions int64 // units dropped to stay under MaxBytes
+	Entries   int   // compiled units currently cached
+	Weight    int64 // summed weight of cached units, in bytes
+	MaxBytes  int64 // configured weight bound
+}
+
+// Stats returns a snapshot of the cache's counters.
+func (c *UnitCache) Stats() CacheStats {
+	c.mu.Lock()
+	entries := c.ll.Len()
+	weight := c.weight
+	maxBytes := c.maxBytes
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   entries,
+		Weight:    weight,
+		MaxBytes:  maxBytes,
+	}
+}
+
+// defaultCache backs the package-level Compile, preserving its historical
+// behaviour (repeated `pisces run`, benchmark loops, and test suites share
+// compiled units process-wide) while bounding what used to be an unbounded
+// sync.Map.
+var defaultCache = NewUnitCache(0)
+
+// DefaultCache returns the process-wide cache used by Compile.
+func DefaultCache() *UnitCache { return defaultCache }

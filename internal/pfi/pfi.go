@@ -110,14 +110,8 @@ type compiledUnit struct {
 	source *pfc.Program
 	tasks  []*taskProgram
 	byName map[string]*taskProgram
+	weight int64 // estimated retained bytes, the UnitCache eviction unit
 }
-
-// unitCache memoises compiled units by source text, so repeated Compile (and
-// Program.Run) calls on the same program skip lexing, parsing, and code
-// generation.  Entries live for the process lifetime: the cache holds one
-// entry per distinct source text, which for interpreter workloads (a CLI
-// run, a benchmark loop, a test suite) stays small.
-var unitCache sync.Map // source text -> *compiledUnit
 
 // counterSet holds resolved handles into the program's stats.Counters so hot
 // interpreter paths bump them without a map lookup.
@@ -151,19 +145,13 @@ type Program struct {
 }
 
 // Compile parses and compiles Pisces Fortran source text.  Compiled code is
-// cached by source text, so compiling the same program again returns a fresh
-// Program (own counters, own error state) over the shared compiled unit
-// without re-parsing.
+// cached by source text in the bounded process-wide DefaultCache, so
+// compiling the same program again returns a fresh Program (own counters,
+// own error state) over the shared compiled unit without re-parsing.
+// Long-lived processes that compile untrusted or unbounded program streams
+// should use their own NewUnitCache (or CompileUncached) instead.
 func Compile(src string) (*Program, error) {
-	if u, ok := unitCache.Load(src); ok {
-		return newProgram(u.(*compiledUnit)), nil
-	}
-	u, err := compileUnit(src)
-	if err != nil {
-		return nil, err
-	}
-	unitCache.Store(src, u)
-	return newProgram(u), nil
+	return defaultCache.Compile(src)
 }
 
 // CompileUncached parses and compiles without consulting or populating the
@@ -216,7 +204,24 @@ func compileUnit(src string) (*compiledUnit, error) {
 		u.tasks = append(u.tasks, tp)
 		u.byName[tp.name] = tp
 	}
+	u.weight = unitWeight(src, u)
 	return u, nil
+}
+
+// unitWeight estimates the retained size of a compiled unit in bytes: the
+// source text (which the cache interns as its key) plus the parsed AST and
+// a fixed cost per compiled statement and slot.  Nested statements compile
+// into closures reachable from their parent cstmt, so the per-statement
+// charge is deliberately generous.  An estimate is all the eviction policy
+// needs; exact retained size is not observable in Go anyway.
+func unitWeight(src string, u *compiledUnit) int64 {
+	w := int64(len(src)) * 2
+	for _, tp := range u.tasks {
+		w += 256
+		w += int64(len(tp.body)) * 192
+		w += int64(len(tp.tab.names)) * 96
+	}
+	return w
 }
 
 // newProgram wraps a compiled unit with fresh run state.

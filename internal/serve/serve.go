@@ -1,0 +1,583 @@
+// Package serve is the multi-tenant serving core: it turns the
+// one-process-one-program runtime into a long-running daemon that owns many
+// isolated program sessions at once.  Each session is one tenant's program
+// run — compiled through a cache shared across tenants, executed on its own
+// core.VM with its own heap shards, resource quota (core.Limits) and metric
+// registry — so a tenant that exhausts its budget, crashes, or floods its
+// terminal fails alone while its neighbours run on.
+//
+// The lifecycle is submit -> queue -> compile (shared cache) -> boot VM ->
+// run -> reap.  Admission control is a bounded queue in front of a fixed
+// worker pool: when the queue is full, Submit refuses immediately
+// (ErrQueueFull) instead of letting latency grow without bound.  Drain stops
+// admission, lets queued and running sessions finish, and bounds the wait —
+// the daemon's SIGTERM path.
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/pfi"
+)
+
+// Admission errors.
+var (
+	// ErrQueueFull is returned by Submit when the bounded run queue is at
+	// capacity; the caller should retry later (HTTP 429).
+	ErrQueueFull = errors.New("serve: run queue full")
+	// ErrDraining is returned by Submit once Drain has begun (HTTP 503).
+	ErrDraining = errors.New("serve: draining, not accepting submissions")
+	// ErrNoSource is returned by Submit for an empty program.
+	ErrNoSource = errors.New("serve: empty program source")
+)
+
+// State is a session's position in its lifecycle.
+type State string
+
+const (
+	StateQueued    State = "queued"    // admitted, waiting for a worker
+	StateCompiling State = "compiling" // worker compiling (or fetching from cache)
+	StateRunning   State = "running"   // VM booted, program executing
+	StateDone      State = "done"      // completed without error
+	StateFailed    State = "failed"    // compile error, run error, or quota violation
+)
+
+// retainedSessions bounds the finished-session history a long-running daemon
+// keeps for status/output queries; the oldest finished sessions are reaped
+// once the table grows past it.
+const retainedSessions = 512
+
+// Limits re-exports the per-tenant resource policy so daemon frontends can
+// configure quotas without importing the runtime core directly.
+type Limits = core.Limits
+
+// Config tunes a Manager.
+type Config struct {
+	// Clusters and Slots shape each session's VM (config.Simple); zero
+	// selects 2 clusters of 8 slots, the conformance-harness shape.
+	Clusters, Slots int
+	// ForceCluster/ForcePEs give one cluster secondary PEs so force
+	// constructs have members to split across (0 = no forces).
+	ForceCluster int
+	ForcePEs     []int
+	// MaxActive is the worker-pool size: sessions running concurrently.
+	// Zero selects 4.
+	MaxActive int
+	// QueueDepth bounds the admission queue. Zero selects 64.
+	QueueDepth int
+	// DefaultLimits fills any limit a submission leaves zero.  The zero
+	// value imposes no defaults (unlimited tenants).
+	DefaultLimits core.Limits
+	// Cache is the compile cache shared by every tenant; nil builds a
+	// private one bounded to CacheBytes.
+	Cache *pfi.UnitCache
+	// CacheBytes bounds the private cache when Cache is nil (0 = default).
+	CacheBytes int64
+	// Metrics receives the manager's own series (sessions, queue, cache).
+	// Nil creates a private enabled registry.  Per-tenant series are
+	// collected separately; see Snapshot.
+	Metrics *obs.Registry
+	// TenantMetrics enables a per-session obs.Registry on each VM, exposed
+	// through Snapshot under a tenant.<id>. prefix.  Costs the usual
+	// instrumentation overhead per session, so it is opt-in.
+	TenantMetrics bool
+	// AcceptTimeout is each VM's default ACCEPT timeout (zero = core's 5s).
+	AcceptTimeout time.Duration
+	// MaxOutputBytes bounds each session's retained output buffer when the
+	// session's own OutputBytes limit is unlimited.  Zero selects 1 MiB.
+	MaxOutputBytes int64
+}
+
+// Request is one tenant's program submission.
+type Request struct {
+	// Tenant identifies the submitting tenant (metrics attribution and
+	// reporting only; isolation comes from the per-session VM).  Empty is
+	// the anonymous tenant.
+	Tenant string
+	// Source is the Pisces Fortran program text.
+	Source string
+	// Main optionally names the entry tasktype (default: MAIN or first).
+	Main string
+	// Limits is the session's resource policy; zero fields inherit the
+	// manager's DefaultLimits.
+	Limits core.Limits
+}
+
+// Session is one admitted program run.  All accessors are safe to call from
+// any goroutine at any point in the lifecycle.
+type Session struct {
+	id     string
+	tenant string
+	src    string
+	main   string
+	limits core.Limits
+
+	mu        sync.Mutex
+	state     State
+	err       error
+	cacheHit  bool
+	submitted time.Time
+	started   time.Time // left the queue
+	finished  time.Time
+
+	out  *boundedBuf
+	reg  *obs.Registry // per-tenant registry; nil unless TenantMetrics
+	snap *obs.Snapshot // final registry snapshot, set at reap
+	done chan struct{}
+}
+
+// ID returns the session id ("p1", "p2", ... in admission order).
+func (s *Session) ID() string { return s.id }
+
+// Tenant returns the submitting tenant's name.
+func (s *Session) Tenant() string { return s.tenant }
+
+// State returns the session's lifecycle state and, in StateFailed, the
+// error that failed it (a *core.LimitError for quota violations).
+func (s *Session) State() (State, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state, s.err
+}
+
+// Done is closed when the session reaches StateDone or StateFailed.
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// Output returns the program's user-terminal output so far.
+func (s *Session) Output() []byte { return s.out.bytes() }
+
+// CacheHit reports whether the program compiled from the shared cache.
+func (s *Session) CacheHit() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cacheHit
+}
+
+// Times returns the submit, start (left queue) and finish instants; zero
+// values for stages not reached yet.
+func (s *Session) Times() (submitted, started, finished time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.submitted, s.started, s.finished
+}
+
+func (s *Session) setState(st State) {
+	s.mu.Lock()
+	s.state = st
+	s.mu.Unlock()
+}
+
+// Manager owns the session table, admission queue and worker pool of one
+// serving daemon.
+type Manager struct {
+	cfg   Config
+	cache *pfi.UnitCache
+	reg   *obs.Registry
+
+	queue    chan *Session
+	quit     chan struct{}
+	quitOnce sync.Once
+	draining atomic.Bool
+	workers  sync.WaitGroup
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	order    []string // admission order, for deterministic listing and reaping
+	seq      int64
+
+	mSubmitted *obs.Counter
+	mRejected  *obs.Counter
+	mCompleted *obs.Counter
+	mFailed    *obs.Counter
+	mQuota     *obs.Counter
+	mActive    *obs.Gauge
+	mQueued    *obs.Gauge
+	mQueueNS   *obs.Histogram
+	mRunNS     *obs.Histogram
+	mE2ENS     *obs.Histogram
+}
+
+// New builds a Manager and starts its worker pool.
+func New(cfg Config) *Manager {
+	if cfg.Clusters <= 0 {
+		cfg.Clusters = 2
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = 8
+	}
+	if cfg.MaxActive <= 0 {
+		cfg.MaxActive = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.MaxOutputBytes <= 0 {
+		cfg.MaxOutputBytes = 1 << 20
+	}
+	m := &Manager{
+		cfg:      cfg,
+		cache:    cfg.Cache,
+		reg:      cfg.Metrics,
+		queue:    make(chan *Session, cfg.QueueDepth),
+		quit:     make(chan struct{}),
+		sessions: make(map[string]*Session),
+	}
+	if m.cache == nil {
+		m.cache = pfi.NewUnitCache(cfg.CacheBytes)
+	}
+	if m.reg == nil {
+		m.reg = obs.New()
+		m.reg.Enable(obs.Metrics)
+	}
+	m.mSubmitted = m.reg.Counter("serve.sessions.submitted")
+	m.mRejected = m.reg.Counter("serve.sessions.rejected")
+	m.mCompleted = m.reg.Counter("serve.sessions.completed")
+	m.mFailed = m.reg.Counter("serve.sessions.failed")
+	m.mQuota = m.reg.Counter("serve.sessions.quota")
+	m.mActive = m.reg.Gauge("serve.sessions.active")
+	m.mQueued = m.reg.Gauge("serve.queue.depth")
+	m.mQueueNS = m.reg.Histogram("serve.queue.wait.ns", "ns")
+	m.mRunNS = m.reg.Histogram("serve.run.ns", "ns")
+	m.mE2ENS = m.reg.Histogram("serve.e2e.ns", "ns")
+	for i := 0; i < cfg.MaxActive; i++ {
+		m.workers.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Cache returns the compile cache shared by this manager's tenants.
+func (m *Manager) Cache() *pfi.UnitCache { return m.cache }
+
+// mergeLimits fills zero fields of l from the manager defaults.
+func (m *Manager) mergeLimits(l core.Limits) core.Limits {
+	d := m.cfg.DefaultLimits
+	if l.HeapBytes == 0 {
+		l.HeapBytes = d.HeapBytes
+	}
+	if l.MaxTasks == 0 {
+		l.MaxTasks = d.MaxTasks
+	}
+	if l.WallClock == 0 {
+		l.WallClock = d.WallClock
+	}
+	if l.OutputBytes == 0 {
+		l.OutputBytes = d.OutputBytes
+	}
+	return l
+}
+
+// Submit admits one program submission: on success the session is queued
+// and its id allocated.  Fails fast with ErrQueueFull or ErrDraining.
+func (m *Manager) Submit(req Request) (*Session, error) {
+	if req.Source == "" {
+		return nil, ErrNoSource
+	}
+	if m.draining.Load() {
+		m.mRejected.Inc()
+		return nil, ErrDraining
+	}
+	limits := m.mergeLimits(req.Limits)
+	outCap := m.cfg.MaxOutputBytes
+	if limits.OutputBytes > 0 && limits.OutputBytes+1024 < outCap {
+		// The VM drops output past the quota; the +1KiB slack keeps the
+		// system termination notice visible in the retained buffer.
+		outCap = limits.OutputBytes + 1024
+	}
+	s := &Session{
+		tenant:    req.Tenant,
+		src:       req.Source,
+		main:      req.Main,
+		limits:    limits,
+		state:     StateQueued,
+		submitted: time.Now(),
+		out:       &boundedBuf{max: outCap},
+		done:      make(chan struct{}),
+	}
+	if m.cfg.TenantMetrics {
+		s.reg = obs.New()
+		s.reg.Enable(obs.Metrics)
+	}
+
+	m.mu.Lock()
+	m.seq++
+	s.id = fmt.Sprintf("p%d", m.seq)
+	m.sessions[s.id] = s
+	m.order = append(m.order, s.id)
+	m.reapLocked()
+	m.mu.Unlock()
+
+	select {
+	case m.queue <- s:
+	default:
+		m.mu.Lock()
+		delete(m.sessions, s.id)
+		m.order = m.order[:len(m.order)-1]
+		m.mu.Unlock()
+		m.mRejected.Inc()
+		return nil, fmt.Errorf("%w (depth %d)", ErrQueueFull, cap(m.queue))
+	}
+	m.mSubmitted.Inc()
+	m.mQueued.Set(int64(len(m.queue)))
+	return s, nil
+}
+
+// Session looks a session up by id.
+func (m *Manager) Session(id string) (*Session, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	return s, ok
+}
+
+// Sessions returns every retained session in admission order.
+func (m *Manager) Sessions() []*Session {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Session, 0, len(m.order))
+	for _, id := range m.order {
+		if s, ok := m.sessions[id]; ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// reapLocked drops the oldest finished sessions beyond the retention bound.
+// Queued and running sessions are never reaped.  Caller holds m.mu.
+func (m *Manager) reapLocked() {
+	excess := len(m.order) - retainedSessions
+	for i := 0; excess > 0 && i < len(m.order); {
+		s := m.sessions[m.order[i]]
+		if s != nil {
+			if st, _ := s.State(); st != StateDone && st != StateFailed {
+				i++
+				continue
+			}
+			delete(m.sessions, m.order[i])
+		}
+		m.order = append(m.order[:i], m.order[i+1:]...)
+		excess--
+	}
+}
+
+// Drain stops admission, lets queued and running sessions finish, and waits
+// up to timeout for the pool to empty.  It is idempotent; later calls just
+// wait again.  A timeout leaves the stragglers running and returns an error
+// (the daemon exits anyway; the OS reaps).
+func (m *Manager) Drain(timeout time.Duration) error {
+	m.draining.Store(true)
+	m.quitOnce.Do(func() { close(m.quit) })
+	done := make(chan struct{})
+	go func() {
+		m.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("serve: drain timed out after %v with sessions still running", timeout)
+	}
+}
+
+// Draining reports whether Drain has begun.
+func (m *Manager) Draining() bool { return m.draining.Load() }
+
+// worker runs sessions from the queue until told to quit, then drains what
+// is already queued and exits.
+func (m *Manager) worker() {
+	defer m.workers.Done()
+	for {
+		select {
+		case s := <-m.queue:
+			m.runSession(s)
+		case <-m.quit:
+			for {
+				select {
+				case s := <-m.queue:
+					m.runSession(s)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// runSession executes one session end to end: compile via the shared cache,
+// boot an isolated VM under the session's limits, run, and reap.
+func (m *Manager) runSession(s *Session) {
+	m.mActive.Add(1)
+	m.mQueued.Set(int64(len(m.queue)))
+	defer m.mActive.Add(-1)
+
+	start := time.Now()
+	s.mu.Lock()
+	s.started = start
+	s.state = StateCompiling
+	s.mu.Unlock()
+	m.mQueueNS.ObserveDuration(start.Sub(s.submitted))
+
+	prog, hit, err := m.cache.CompileTrace(s.src)
+	if err != nil {
+		m.finish(s, fmt.Errorf("compile: %w", err))
+		return
+	}
+	s.mu.Lock()
+	s.cacheHit = hit
+	s.mu.Unlock()
+	if s.reg != nil {
+		if hit {
+			s.reg.Counter("compile.cache.hit").Inc()
+		} else {
+			s.reg.Counter("compile.cache.miss").Inc()
+		}
+	}
+
+	cfg := config.Simple(m.cfg.Clusters, m.cfg.Slots)
+	if m.cfg.ForceCluster > 0 && len(m.cfg.ForcePEs) > 0 {
+		cfg = cfg.WithForces(m.cfg.ForceCluster, m.cfg.ForcePEs...)
+	}
+	vm, err := core.NewVM(cfg, core.Options{
+		UserOutput:    s.out,
+		AcceptTimeout: m.cfg.AcceptTimeout,
+		Limits:        s.limits,
+		Metrics:       s.reg,
+	})
+	if err != nil {
+		m.finish(s, fmt.Errorf("boot: %w", err))
+		return
+	}
+	s.setState(StateRunning)
+	runErr := prog.Run(vm, pfi.Options{Main: s.main})
+	violation := vm.LimitViolation()
+	vm.Shutdown()
+	if s.reg != nil {
+		snap := s.reg.Snapshot()
+		s.mu.Lock()
+		s.snap = snap
+		s.mu.Unlock()
+	}
+	switch {
+	case violation != nil:
+		// Quota beats the run error: a killed tenant's tasks report killed /
+		// terminated errors that are the violation's cascade, not the cause.
+		m.mQuota.Inc()
+		m.finish(s, violation)
+	case runErr != nil:
+		m.finish(s, runErr)
+	default:
+		m.finish(s, nil)
+	}
+}
+
+// finish moves the session to its terminal state and publishes timings.
+func (m *Manager) finish(s *Session, err error) {
+	now := time.Now()
+	s.mu.Lock()
+	s.finished = now
+	s.err = err
+	if err != nil {
+		s.state = StateFailed
+	} else {
+		s.state = StateDone
+	}
+	started := s.started
+	submitted := s.submitted
+	s.mu.Unlock()
+	if err != nil {
+		m.mFailed.Inc()
+	} else {
+		m.mCompleted.Inc()
+	}
+	m.mRunNS.ObserveDuration(now.Sub(started))
+	m.mE2ENS.ObserveDuration(now.Sub(submitted))
+	close(s.done)
+}
+
+// Snapshot assembles the daemon-wide metrics view: the manager's own series,
+// the shared compile cache's counters, and — when TenantMetrics is on — each
+// retained session's registry under a tenant.<id>. prefix.
+func (m *Manager) Snapshot() *obs.Snapshot {
+	cs := m.cache.Stats()
+	snap := m.reg.Snapshot()
+	snap.Merge(&obs.Snapshot{
+		Counters: []obs.CounterSnap{
+			{Name: "serve.cache.hits", Value: cs.Hits},
+			{Name: "serve.cache.misses", Value: cs.Misses},
+			{Name: "serve.cache.evictions", Value: cs.Evictions},
+		},
+		Gauges: []obs.GaugeSnap{
+			{Name: "serve.cache.entries", Value: int64(cs.Entries)},
+			{Name: "serve.cache.weight.bytes", Value: cs.Weight},
+		},
+	})
+	for _, s := range m.Sessions() {
+		s.mu.Lock()
+		tsnap := s.snap
+		reg := s.reg
+		s.mu.Unlock()
+		if tsnap == nil && reg != nil {
+			tsnap = reg.Snapshot() // still running: live view
+		}
+		if tsnap != nil {
+			snap.Merge(clone(tsnap).Prefix("tenant." + s.id + "."))
+		}
+	}
+	return snap
+}
+
+// clone deep-copies a snapshot so Prefix cannot mutate a retained one.
+func clone(s *obs.Snapshot) *obs.Snapshot {
+	out := &obs.Snapshot{}
+	out.Merge(s)
+	return out
+}
+
+// boundedBuf is a goroutine-safe output buffer with a retention cap: writes
+// past the cap are counted but dropped, keeping a hostile tenant's terminal
+// from growing the daemon's memory without bound.
+type boundedBuf struct {
+	mu      sync.Mutex
+	buf     bytes.Buffer
+	max     int64
+	dropped int64
+}
+
+func (b *boundedBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if room := b.max - int64(b.buf.Len()); room < int64(len(p)) {
+		if room > 0 {
+			b.buf.Write(p[:room])
+		}
+		b.dropped += int64(len(p)) - max64(room, 0)
+		return len(p), nil
+	}
+	return b.buf.Write(p)
+}
+
+func (b *boundedBuf) bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf.Bytes()...)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+var _ io.Writer = (*boundedBuf)(nil)

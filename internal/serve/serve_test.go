@@ -1,0 +1,385 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+const helloSrc = `TASKTYPE MAIN
+      PRINT *, 'HELLO SERVE'
+END TASKTYPE
+`
+
+// slowSrc parks its worker in an ACCEPT nobody satisfies for ~1.5 real
+// seconds (goroutine backend), long enough to observe queue behaviour.
+const slowSrc = `TASKTYPE MAIN
+      SIGNAL NEVER
+      ACCEPT 1 OF
+        NEVER
+      DELAY 1.5 THEN
+        PRINT *, 'SLOW DONE'
+      END ACCEPT
+END TASKTYPE
+`
+
+// waitSession blocks until the session finishes, with a test-sized bound.
+func waitSession(t *testing.T, s *Session) {
+	t.Helper()
+	select {
+	case <-s.Done():
+	case <-time.After(60 * time.Second):
+		st, err := s.State()
+		t.Fatalf("session %s stuck in state %q (err=%v)", s.ID(), st, err)
+	}
+}
+
+func drainAll(t *testing.T, m *Manager) {
+	t.Helper()
+	if err := m.Drain(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	m := New(Config{MaxActive: 2})
+	defer drainAll(t, m)
+
+	s1, err := m.Submit(Request{Tenant: "alice", Source: helloSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.ID() != "p1" || s1.Tenant() != "alice" {
+		t.Fatalf("session = %s/%s; want p1/alice", s1.ID(), s1.Tenant())
+	}
+	waitSession(t, s1)
+	st, serr := s1.State()
+	if st != StateDone || serr != nil {
+		t.Fatalf("state = %q err = %v; want done/nil", st, serr)
+	}
+	if got := string(s1.Output()); !strings.Contains(got, "HELLO SERVE") {
+		t.Fatalf("output = %q; want HELLO SERVE", got)
+	}
+	submitted, started, finished := s1.Times()
+	if submitted.IsZero() || started.IsZero() || finished.IsZero() {
+		t.Fatal("lifecycle timestamps missing")
+	}
+	if s1.CacheHit() {
+		t.Fatal("first submission reported a cache hit")
+	}
+
+	// The identical program resubmitted by another tenant shares the
+	// compiled unit through the cache.
+	s2, err := m.Submit(Request{Tenant: "bob", Source: helloSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitSession(t, s2)
+	if !s2.CacheHit() {
+		t.Fatal("second submission missed the shared compile cache")
+	}
+	if !bytes.Equal(s1.Output(), s2.Output()) {
+		t.Fatalf("outputs differ across tenants:\n%q\n%q", s1.Output(), s2.Output())
+	}
+
+	if got, ok := m.Session("p1"); !ok || got != s1 {
+		t.Fatal("Session(p1) lookup failed")
+	}
+	if all := m.Sessions(); len(all) != 2 || all[0] != s1 || all[1] != s2 {
+		t.Fatalf("Sessions() = %d entries; want [p1 p2]", len(all))
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	m := New(Config{MaxActive: 1})
+	defer drainAll(t, m)
+	if _, err := m.Submit(Request{}); !errors.Is(err, ErrNoSource) {
+		t.Fatalf("empty submit error = %v; want ErrNoSource", err)
+	}
+}
+
+func TestCompileErrorFailsSession(t *testing.T) {
+	m := New(Config{MaxActive: 1})
+	defer drainAll(t, m)
+	s, err := m.Submit(Request{Source: "THIS IS NOT PISCES FORTRAN"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitSession(t, s)
+	st, serr := s.State()
+	if st != StateFailed || serr == nil {
+		t.Fatalf("state = %q err = %v; want failed with error", st, serr)
+	}
+	if !strings.Contains(serr.Error(), "compile") {
+		t.Fatalf("error = %v; want a compile error", serr)
+	}
+}
+
+// TestQueueFullRejects: with one worker pinned on a slow program and a
+// depth-1 queue occupied, the next submission is refused immediately and
+// leaves no trace in the session table.
+func TestQueueFullRejects(t *testing.T) {
+	m := New(Config{MaxActive: 1, QueueDepth: 1})
+	defer drainAll(t, m)
+
+	running, err := m.Submit(Request{Source: slowSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the worker to pick it up so the queue slot is truly free.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if st, _ := running.State(); st != StateQueued {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slow session never left the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	queued, err := m.Submit(Request{Source: slowSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := m.Submit(Request{Source: helloSrc}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submit into a full queue = %v; want ErrQueueFull", err)
+	}
+	if len(m.Sessions()) != 2 {
+		t.Fatalf("rejected submission left %d sessions; want 2", len(m.Sessions()))
+	}
+	if m.mRejected.Load() == 0 {
+		t.Fatal("rejection not counted")
+	}
+	waitSession(t, running)
+	waitSession(t, queued)
+}
+
+// TestDrain: queued sessions finish, new submissions are refused, and the
+// worker pool exits within the bound.
+func TestDrain(t *testing.T) {
+	m := New(Config{MaxActive: 1, QueueDepth: 8})
+	var sessions []*Session
+	for i := 0; i < 3; i++ {
+		s, err := m.Submit(Request{Source: helloSrc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions = append(sessions, s)
+	}
+	if err := m.Drain(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Draining() {
+		t.Fatal("Draining() = false after Drain")
+	}
+	for _, s := range sessions {
+		st, serr := s.State()
+		if st != StateDone {
+			t.Fatalf("session %s drained into state %q (err=%v); want done", s.ID(), st, serr)
+		}
+	}
+	if _, err := m.Submit(Request{Source: helloSrc}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain submit = %v; want ErrDraining", err)
+	}
+	// Idempotent: a second drain returns promptly.
+	if err := m.Drain(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManagerSnapshotMetrics(t *testing.T) {
+	m := New(Config{MaxActive: 1, TenantMetrics: true})
+	defer drainAll(t, m)
+	s, err := m.Submit(Request{Tenant: "alice", Source: helloSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitSession(t, s)
+
+	snap := m.Snapshot()
+	counters := map[string]int64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["serve.sessions.submitted"] != 1 || counters["serve.sessions.completed"] != 1 {
+		t.Fatalf("session counters wrong: %v", counters)
+	}
+	if counters["serve.cache.misses"] != 1 {
+		t.Fatalf("cache misses = %d; want 1", counters["serve.cache.misses"])
+	}
+	var tenantSeries int
+	for name := range counters {
+		if strings.HasPrefix(name, "tenant."+s.ID()+".") {
+			tenantSeries++
+		}
+	}
+	if tenantSeries == 0 {
+		t.Fatalf("no tenant.%s.* series in daemon snapshot", s.ID())
+	}
+	if counters["tenant."+s.ID()+".compile.cache.miss"] != 1 {
+		t.Fatal("per-tenant compile.cache.miss not scoped into the snapshot")
+	}
+}
+
+// --- HTTP API ---
+
+func postProgram(t *testing.T, url string, body SubmitRequest) (*http.Response, StatusResponse) {
+	t.Helper()
+	raw, _ := json.Marshal(body)
+	resp, err := http.Post(url+"/programs", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatusResponse
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, st
+}
+
+func TestHTTPSubmitStatusOutput(t *testing.T) {
+	m := New(Config{MaxActive: 2})
+	defer drainAll(t, m)
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	resp, st := postProgram(t, srv.URL, SubmitRequest{Tenant: "alice", Source: helloSrc})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /programs = %d; want 202", resp.StatusCode)
+	}
+	if st.ID == "" || st.Tenant != "alice" {
+		t.Fatalf("submit response = %+v", st)
+	}
+
+	// ?wait=1 blocks until completion, then serves the terminal output.
+	out, err := http.Get(srv.URL + "/programs/" + st.ID + "/output?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(out.Body)
+	out.Body.Close()
+	if !strings.Contains(string(body), "HELLO SERVE") {
+		t.Fatalf("output body = %q; want HELLO SERVE", body)
+	}
+	if ct := out.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("output content-type = %q", ct)
+	}
+
+	stResp, err := http.Get(srv.URL + "/programs/" + st.ID + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got StatusResponse
+	if err := json.NewDecoder(stResp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	stResp.Body.Close()
+	if got.State != StateDone || got.OutputBytes == 0 {
+		t.Fatalf("status = %+v; want done with output", got)
+	}
+
+	listResp, err := http.Get(srv.URL + "/programs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []StatusResponse
+	if err := json.NewDecoder(listResp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	listResp.Body.Close()
+	if len(list) != 1 || list[0].ID != st.ID {
+		t.Fatalf("list = %+v; want the one session", list)
+	}
+
+	if r404, err := http.Get(srv.URL + "/programs/nope/status"); err != nil {
+		t.Fatal(err)
+	} else {
+		r404.Body.Close()
+		if r404.StatusCode != http.StatusNotFound {
+			t.Fatalf("unknown id = %d; want 404", r404.StatusCode)
+		}
+	}
+}
+
+func TestHTTPQuotaViolationSurfaces(t *testing.T) {
+	m := New(Config{MaxActive: 1})
+	defer drainAll(t, m)
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	// fanin initiates six workers; a MaxTasks of 3 fails it on quota.
+	_, corpus := corpusPrograms(t)
+	resp, st := postProgram(t, srv.URL, SubmitRequest{
+		Source: corpus["fanin.pf"],
+		Limits: LimitsSpec{MaxTasks: 3},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST = %d; want 202", resp.StatusCode)
+	}
+	s, ok := m.Session(st.ID)
+	if !ok {
+		t.Fatal("submitted session not found")
+	}
+	waitSession(t, s)
+	stResp, err := http.Get(srv.URL + "/programs/" + st.ID + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got StatusResponse
+	if err := json.NewDecoder(stResp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	stResp.Body.Close()
+	if got.State != StateFailed || got.Quota != "tasks" {
+		t.Fatalf("status = %+v; want failed with quota_violation=tasks", got)
+	}
+	if !strings.Contains(got.Error, "tenant limit exceeded") {
+		t.Fatalf("error = %q; want tenant limit exceeded", got.Error)
+	}
+}
+
+func TestHTTPAdmissionStatusCodes(t *testing.T) {
+	m := New(Config{MaxActive: 1, QueueDepth: 1})
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	resp, st := postProgram(t, srv.URL, SubmitRequest{Source: slowSrc})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST = %d; want 202", resp.StatusCode)
+	}
+	running, _ := m.Session(st.ID)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if s, _ := running.State(); s != StateQueued {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slow session never left the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if resp, _ := postProgram(t, srv.URL, SubmitRequest{Source: slowSrc}); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("queued POST = %d; want 202", resp.StatusCode)
+	}
+	if resp, _ := postProgram(t, srv.URL, SubmitRequest{Source: helloSrc}); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity POST = %d; want 429", resp.StatusCode)
+	}
+	if resp, _ := postProgram(t, srv.URL, SubmitRequest{Source: ""}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty POST = %d; want 400", resp.StatusCode)
+	}
+
+	drainAll(t, m)
+	if resp, _ := postProgram(t, srv.URL, SubmitRequest{Source: helloSrc}); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining POST = %d; want 503", resp.StatusCode)
+	}
+}

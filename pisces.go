@@ -95,7 +95,18 @@ type (
 	SystemStorage = core.SystemStorage
 	// Stats reports run-time activity counters.
 	Stats = core.Stats
+	// Limits is the per-tenant resource policy a VM enforces on its own
+	// program (Options.Limits): heap bytes, cumulative tasks, wall-clock
+	// time, terminal output.  Zero fields are unlimited.
+	Limits = core.Limits
+	// LimitError reports which per-tenant limit a VM violated; it matches
+	// ErrLimitExceeded.
+	LimitError = core.LimitError
 )
+
+// ErrLimitExceeded matches every per-tenant limit violation, whatever the
+// resource (errors.Is).
+var ErrLimitExceeded = core.ErrLimitExceeded
 
 // NewVM boots a virtual machine for the configuration on a simulated
 // FLEX/32 with the default (NASA Langley) hardware description.
@@ -228,6 +239,23 @@ func CompileSource(src string) (*InterpretedProgram, error) { return pfi.Compile
 func CompileSourceUncached(src string) (*InterpretedProgram, error) {
 	return pfi.CompileUncached(src)
 }
+
+// Compile caching.  CompileSource shares one bounded process-wide cache; a
+// long-running service (the serving daemon, a test harness) builds its own
+// CompileCache so its tenants share compiled units with each other but not
+// with unrelated code in the same process.
+type (
+	// CompileCache is a bounded LRU cache of compiled programs, keyed by
+	// source text and safe for concurrent use.
+	CompileCache = pfi.UnitCache
+	// CompileCacheStats is a snapshot of a CompileCache's hit/miss/eviction
+	// accounting.
+	CompileCacheStats = pfi.CacheStats
+)
+
+// NewCompileCache builds a compile cache bounded to maxBytes of compiled
+// program weight; maxBytes <= 0 selects the default bound.
+func NewCompileCache(maxBytes int64) *CompileCache { return pfi.NewUnitCache(maxBytes) }
 
 // Interpret compiles Pisces Fortran source and runs it end-to-end on the VM:
 // the program's tasktypes are registered, the main tasktype is initiated, and
