@@ -176,7 +176,12 @@ func BenchmarkE5MessageFanIn(b *testing.B) {
 func BenchmarkCrossClusterFanIn(b *testing.B) {
 	const senders = 4
 	const perSender = 64
-	vm, err := pisces.NewVM(pisces.SimpleConfiguration(senders+1, 2), pisces.Options{AcceptTimeout: 60 * time.Second})
+	// The flight recorder rides along as in production: it is always on, so
+	// the benchmark (and the checked-in baseline) price in its cost.
+	vm, err := pisces.NewVM(pisces.SimpleConfiguration(senders+1, 2), pisces.Options{
+		AcceptTimeout:  60 * time.Second,
+		FlightRecorder: pisces.NewFlightRecorder(0),
+	})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -369,7 +374,10 @@ func BenchmarkForceSplit(b *testing.B) {
 // isolates the real compile pipeline and BenchmarkPFIRunCached the pure
 // execution half.  Later PRs use all three to track interpreter regressions.
 func BenchmarkPFIInterpret(b *testing.B) {
-	vm, err := pisces.NewVM(pisces.SimpleConfiguration(2, 4), pisces.Options{AcceptTimeout: 30 * time.Second})
+	vm, err := pisces.NewVM(pisces.SimpleConfiguration(2, 4), pisces.Options{
+		AcceptTimeout:  30 * time.Second,
+		FlightRecorder: pisces.NewFlightRecorder(0),
+	})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -78,6 +78,10 @@ func runDaemon(args []string, out io.Writer) error {
 		"system-provided timeout for ACCEPT statements without a DELAY clause")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second,
 		"how long SIGTERM waits for queued and running sessions to finish")
+	historyFile := fs.String("history-file", "",
+		"append one JSON line per finished session (tenant, verdict, quota outcome, timings) to this file; an existing file rotates to .1, .2, ...")
+	logJSON := fs.Bool("log-json", false,
+		"write structured JSON log lines for session lifecycle events (submitted, finished, panic, limit) to stderr")
 	fs.SetOutput(io.Discard)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -111,6 +115,17 @@ func runDaemon(args []string, out io.Writer) error {
 			return err
 		}
 		cfg.ForceCluster, cfg.ForcePEs = 1, pes
+	}
+	if *historyFile != "" {
+		f, err := os.Create(obs.UniquePath(*historyFile))
+		if err != nil {
+			return fmt.Errorf("-history-file: %w", err)
+		}
+		defer f.Close()
+		cfg.History = f
+	}
+	if *logJSON {
+		cfg.Log = os.Stderr
 	}
 
 	ln, err := net.Listen("tcp", *addr)

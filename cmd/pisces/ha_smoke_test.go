@@ -115,6 +115,9 @@ func TestHASmokeKillANodeProcess(t *testing.T) {
 			"-clusters", "3", "-ha",
 			"-checkpoint-interval", "50ms",
 		}
+		if bb := os.Getenv("PISCES_HA_BLACKBOX"); bb != "" {
+			args = append(args, "-blackbox-out", bb)
+		}
 		if i == 0 {
 			if tr := os.Getenv("PISCES_HA_TRACE"); tr != "" {
 				args = append(args, "-trace-out", tr)
@@ -181,6 +184,32 @@ func TestHASmokeKillANodeProcess(t *testing.T) {
 	if tr := os.Getenv("PISCES_HA_TRACE"); tr != "" {
 		if st, err := os.Stat(tr); err != nil || st.Size() == 0 {
 			t.Errorf("PISCES_HA_TRACE=%s: trace artifact missing or empty (err=%v)", tr, err)
+		}
+	}
+	// Failure forensics end to end: the survivor's rebalance dumped a flight
+	// recorder into PISCES_HA_BLACKBOX, and the binary's own blackbox
+	// subcommand must decode (and, with several dumps, merge) it — the same
+	// path an operator walks after a real node death.
+	if bb := os.Getenv("PISCES_HA_BLACKBOX"); bb != "" {
+		entries, err := os.ReadDir(bb)
+		if err != nil {
+			t.Fatalf("PISCES_HA_BLACKBOX=%s: %v", bb, err)
+		}
+		var dumps []string
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), "blackbox-") {
+				dumps = append(dumps, filepath.Join(bb, e.Name()))
+			}
+		}
+		if len(dumps) == 0 {
+			t.Fatalf("PISCES_HA_BLACKBOX=%s: no dumps written\nnode 0 stderr:\n%s", bb, stderr[0].String())
+		}
+		decoded := runBinary(t, bin, append([]string{"blackbox"}, dumps...)...)
+		if !strings.Contains(decoded, "checkpoint") || !strings.Contains(decoded, "heartbeat-miss") {
+			t.Errorf("blackbox decode of %v lacks the recovery story:\n%s", dumps, decoded)
+		}
+		if err := os.WriteFile(filepath.Join(bb, "decoded.txt"), []byte(decoded), 0o644); err != nil {
+			t.Errorf("writing decoded artifact: %v", err)
 		}
 	}
 }

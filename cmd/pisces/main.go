@@ -17,6 +17,7 @@
 //	       [-limit-heap-bytes n] [-limit-tasks n] [-limit-wallclock d]
 //	       [-limit-output-bytes n] [-cache-bytes n] [-tenant-metrics]
 //	pisces loadgen -addr host:port [-tenants n] [-duration d]
+//	pisces blackbox [-last N] <dump> [dump ...]
 //
 // The run form interprets a Pisces Fortran program directly on the in-memory
 // virtual machine (paper, Section 10, without the Fortran compiler leg).
@@ -70,6 +71,13 @@ func main() {
 			serveFn = runServe
 		}
 		if err := serveFn(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "pisces: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "blackbox" {
+		if err := runBlackbox(os.Args[2:], os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "pisces: %v\n", err)
 			os.Exit(1)
 		}
@@ -177,6 +185,8 @@ func runInterpretedInner(args []string, out io.Writer) error {
 	showStats := fs.Bool("stats", false, "print the interpreter activity counters and runtime metric histograms after the run")
 	traceOut := fs.String("trace-out", "",
 		"write runtime spans (task execution, router lane delivery, wire frames) to this file as Chrome trace-event JSON; open in Perfetto or chrome://tracing")
+	blackboxOut := fs.String("blackbox-out", "",
+		"write a flight-recorder dump into this directory when the run fails (limit violation, sim deadlock)")
 	repeat := fs.Int("repeat", 1, "run the program this many times on the same VM (compiled once)")
 	simMode := fs.Bool("sim", false,
 		"run on the deterministic simulation scheduler: one task at a time, seeded interleaving, virtual clock")
@@ -224,7 +234,7 @@ func runInterpretedInner(args []string, out io.Writer) error {
 		if err := ha.validate(); err != nil {
 			return err
 		}
-		return runDistributed(*nodes, *clusters, *slots, *forces, *mainTT, *showStats, *traceOut, *acceptTimeout, wire, ha, fs.Arg(0), out)
+		return runDistributed(*nodes, *clusters, *slots, *forces, *mainTT, *showStats, *traceOut, *blackboxOut, *acceptTimeout, wire, ha, fs.Arg(0), out)
 	}
 	if *ha.enabled {
 		return fmt.Errorf("-ha requires -nodes (fault tolerance spans node processes)")
@@ -247,7 +257,29 @@ func runInterpretedInner(args []string, out io.Writer) error {
 	if *traceOut != "" {
 		reg.Enable(obs.Spans)
 	}
-	opts := pisces.Options{UserOutput: out, AcceptTimeout: *acceptTimeout, Metrics: reg}
+	// The flight recorder is always on: Record is a few atomics, and a dump
+	// only reaches disk when -blackbox-out names a directory and the run
+	// fails.  Under -sim the recorder inherits the virtual clock, so dumps
+	// are byte-stable per seed.
+	rec := obs.NewRecorder(0, 0, 0)
+	opts := pisces.Options{
+		UserOutput:     out,
+		AcceptTimeout:  *acceptTimeout,
+		Metrics:        reg,
+		FlightRecorder: rec,
+		FailureSink:    func(reason string) { dumpRecorder(*blackboxOut, rec, out, reason) },
+	}
+	defer func() {
+		// A deadlocked -sim schedule panics out of prog.Run; capture the
+		// recorder's view of the stuck run before the outer handler turns
+		// the panic into an error.
+		if r := recover(); r != nil {
+			if _, ok := r.(*pisces.SimDeadlock); ok {
+				dumpRecorder(*blackboxOut, rec, out, "sim deadlock")
+			}
+			panic(r)
+		}
+	}()
 	if *simMode {
 		opts.Backend = pisces.NewSimScheduler(*seed)
 	} else if *seed != 0 && !*netfault {
@@ -299,10 +331,24 @@ func runInterpretedInner(args []string, out io.Writer) error {
 	return err
 }
 
+// dumpRecorder writes a flight-recorder dump into dir (when set), reporting
+// the path or the failure on out.  Safe to call from VM-internal goroutines.
+func dumpRecorder(dir string, rec *obs.Recorder, out io.Writer, reason string) {
+	if dir == "" {
+		return
+	}
+	if path, err := obs.WriteDump(dir, rec); err != nil {
+		fmt.Fprintf(out, "pisces: blackbox dump (%s) failed: %v\n", reason, err)
+	} else {
+		fmt.Fprintf(out, "pisces: blackbox dump (%s): %s\n", reason, path)
+	}
+}
+
 // writeTraceFile dumps the registry's captured spans as Chrome trace-event
-// JSON.
+// JSON.  An existing file is never clobbered: the path rotates to path.1,
+// path.2, ... (same policy as recorder dumps).
 func writeTraceFile(path string, reg *obs.Registry) error {
-	f, err := os.Create(path)
+	f, err := os.Create(obs.UniquePath(path))
 	if err != nil {
 		return err
 	}

@@ -150,6 +150,8 @@ func runServe(args []string, out io.Writer) error {
 	showStats := fs.Bool("stats", false, "print interpreter, router-lane, and runtime metric summaries after the run (node 0)")
 	collectMetrics := fs.Bool("metrics", false,
 		"collect runtime metrics even without printing them, so drain acks carry this node's snapshot to the coordinator")
+	collectTrace := fs.Bool("trace-collect", false,
+		"capture runtime spans and causal flow events even without -trace-out, so drain acks carry this node's trace to the coordinator's merged file")
 	debugAddr := fs.String("debug-addr", "",
 		"serve observability endpoints (/metrics Prometheus text, /debug/vars, /debug/pprof) on this address while the node runs")
 	acceptTimeout := fs.Duration("accept-timeout", 30*time.Second,
@@ -157,6 +159,8 @@ func runServe(args []string, out io.Writer) error {
 	connectTimeout := fs.Duration("connect-timeout", 30*time.Second, "how long to wait for the mesh to form")
 	traceOut := fs.String("trace-out", "",
 		"write this node's runtime spans (including HA recovery) to this file as Chrome trace-event JSON")
+	blackboxOut := fs.String("blackbox-out", "",
+		"write a flight-recorder dump into this directory on failure paths (HA rebalance, drain timeout, limit violation)")
 	wire := addWireFlags(fs)
 	ha := addHAFlags(fs)
 	fs.SetOutput(io.Discard)
@@ -194,7 +198,7 @@ func runServe(args []string, out io.Writer) error {
 	if *showStats || *collectMetrics || *debugAddr != "" {
 		reg.Enable(obs.Metrics)
 	}
-	if *traceOut != "" {
+	if *traceOut != "" || *collectTrace {
 		reg.Enable(obs.Spans)
 	}
 	if *debugAddr != "" {
@@ -211,7 +215,7 @@ func runServe(args []string, out io.Writer) error {
 		Config: cfg, Source: string(src), Main: *mainTT,
 		Out: out, Log: os.Stderr,
 		AcceptTimeout: *acceptTimeout, ConnectTimeout: *connectTimeout,
-		Metrics: reg, Wire: wireCfg,
+		Metrics: reg, Wire: wireCfg, BlackboxDir: *blackboxOut,
 	}
 	ha.apply(&o)
 	n, err := node.Start(o)
@@ -236,11 +240,35 @@ func runServe(args []string, out io.Writer) error {
 		}
 	}
 	if *traceOut != "" {
-		if werr := writeTraceFile(*traceOut, reg); werr != nil && runErr == nil {
+		// Node 0 merges the trace blobs the followers piggybacked on their
+		// drain acks, so its file shows every node as its own process track
+		// with cross-node flow arrows; followers write their local view.
+		var werr error
+		if *nodeID == 0 {
+			werr = writeMeshTraceFile(*traceOut, n)
+		} else {
+			werr = writeTraceFile(*traceOut, reg)
+		}
+		if werr != nil && runErr == nil {
 			runErr = werr
 		}
 	}
 	return runErr
+}
+
+// writeMeshTraceFile dumps the coordinator's merged multi-node trace (its own
+// spans plus every follower's drained trace blob) as Chrome trace-event JSON,
+// rotating rather than clobbering an existing file.
+func writeMeshTraceFile(path string, n *node.Node) error {
+	f, err := os.Create(obs.UniquePath(path))
+	if err != nil {
+		return err
+	}
+	if err := n.WriteMeshTrace(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // printTransportStats renders the node transport's frame counters.
@@ -264,7 +292,7 @@ func splitAddrs(peers string) []string {
 
 // runDistributed implements "pisces run -nodes N": fork the follower node
 // processes, run node 0 inline, and reap the children.
-func runDistributed(nodes, clusters, slots int, forces, mainTT string, showStats bool, traceOut string, acceptTimeout time.Duration, wire *wireFlags, ha *haFlags, file string, out io.Writer) error {
+func runDistributed(nodes, clusters, slots int, forces, mainTT string, showStats bool, traceOut, blackboxOut string, acceptTimeout time.Duration, wire *wireFlags, ha *haFlags, file string, out io.Writer) error {
 	src, err := os.ReadFile(file)
 	if err != nil {
 		return err
@@ -320,6 +348,15 @@ func runDistributed(nodes, clusters, slots int, forces, mainTT string, showStats
 		}
 		args = append(args, wire.serveArgs()...)
 		args = append(args, ha.serveArgs()...)
+		if blackboxOut != "" {
+			args = append(args, "-blackbox-out", blackboxOut)
+		}
+		if traceOut != "" {
+			// Followers capture spans so their drain acks carry a trace blob
+			// for the coordinator's merged file; they write no file of their
+			// own (no -trace-out in the forwarded args).
+			args = append(args, "-trace-collect")
+		}
 		if forces != "" {
 			args = append(args, "-forces", forces)
 		}
@@ -353,7 +390,7 @@ func runDistributed(nodes, clusters, slots int, forces, mainTT string, showStats
 		Config: cfg, Source: string(src), Main: mainTT,
 		Out: out, Log: os.Stderr,
 		AcceptTimeout: acceptTimeout, ConnectTimeout: 30 * time.Second,
-		Metrics: reg, Wire: wireCfg,
+		Metrics: reg, Wire: wireCfg, BlackboxDir: blackboxOut,
 	}
 	ha.apply(&o)
 	n, err := node.Start(o)
@@ -373,7 +410,10 @@ func runDistributed(nodes, clusters, slots int, forces, mainTT string, showStats
 		printMeshMetrics(out, n)
 	}
 	if traceOut != "" {
-		if err := writeTraceFile(traceOut, reg); err != nil && runErr == nil {
+		// The merged file carries each node as its own process track; causal
+		// flow events connect a send span on one track to the delivery on
+		// another.
+		if err := writeMeshTraceFile(traceOut, n); err != nil && runErr == nil {
 			runErr = err
 		}
 	}

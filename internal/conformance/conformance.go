@@ -90,6 +90,10 @@ type Result struct {
 	// clock, so both must be byte-identical across runs of the same seed.
 	ObsSnapshot []byte
 	ObsTrace    []byte
+	// RecorderDump is the encoded flight-recorder blackbox of a RunRecorded
+	// run (nil otherwise).  Every timestamp in it is virtual, so it must be
+	// byte-identical across runs of the same seed.
+	RecorderDump []byte
 	// VirtualElapsed is the virtual time the program took (from VM boot to
 	// the end of the program, before shutdown).  Kill schedules are phrased
 	// as fractions of a reference run's elapsed time.
@@ -124,7 +128,7 @@ var harnessCache = pfi.NewUnitCache(0)
 // VM of a deadlocked run is deliberately not shut down: its scheduler is
 // poisoned and its parked tasks can never be resumed, so teardown would only
 // re-raise the deadlock.  The handful of parked goroutines are abandoned.)
-func Run(src string, seed int64) Result { return run(src, seed, false, nil) }
+func Run(src string, seed int64) Result { return run(src, seed, false, nil, nil) }
 
 // RunInstrumented is Run with the full observability surface switched on:
 // metrics AND spans collected at every instrumented layer.  The sweep uses it
@@ -133,7 +137,15 @@ func Run(src string, seed int64) Result { return run(src, seed, false, nil) }
 func RunInstrumented(src string, seed int64) Result {
 	reg := obs.New()
 	reg.Enable(obs.Metrics | obs.Spans)
-	return run(src, seed, false, reg)
+	return run(src, seed, false, reg, nil)
+}
+
+// RunRecorded is Run with the flight recorder attached.  The sweep uses it to
+// assert the recorder is schedule-transparent (recording changes neither the
+// output nor the step count of any schedule) and that its dump — every
+// timestamp virtual — is byte-stable per seed.
+func RunRecorded(src string, seed int64) Result {
+	return run(src, seed, false, nil, obs.NewRecorder(0, 0, 0))
 }
 
 // RunFault is Run with the node runtime's deterministic fault/latency
@@ -141,7 +153,7 @@ func RunInstrumented(src string, seed int64) Result {
 // virtual-clock delays (including retransmission faults) before delivery, so
 // the sweep exercises network schedules a single process never produces —
 // while staying byte-reproducible from the seed.
-func RunFault(src string, seed int64) Result { return run(src, seed, true, nil) }
+func RunFault(src string, seed int64) Result { return run(src, seed, true, nil, nil) }
 
 // killedCluster is the cluster the kill sweep fails: MAIN is placed on the
 // terminal cluster 1 (whose user/file controllers anchor the run and are not
@@ -158,7 +170,7 @@ const killedCluster = 2
 // byte-identically from (seed, killAt, ckptEvery).
 func RunKill(src string, seed int64, killAt, ckptEvery time.Duration) (Result, *KillRecovery) {
 	rec := &KillRecovery{}
-	res := run(src, seed, true, nil, &killPlan{at: killAt, every: ckptEvery, rec: rec})
+	res := run(src, seed, true, nil, nil, &killPlan{at: killAt, every: ckptEvery, rec: rec})
 	return res, rec
 }
 
@@ -228,7 +240,7 @@ func (k *killPlan) install(vm *core.VM, ft *node.FaultTransport) (stop func(), e
 	}, nil
 }
 
-func run(src string, seed int64, fault bool, reg *obs.Registry, kill ...*killPlan) (res Result) {
+func run(src string, seed int64, fault bool, reg *obs.Registry, rec *obs.Recorder, kill ...*killPlan) (res Result) {
 	s := sim.New(seed)
 	var out bytes.Buffer
 	mem := &trace.MemorySink{}
@@ -251,11 +263,12 @@ func run(src string, seed int64, fault bool, reg *obs.Registry, kill ...*killPla
 	// real scheduling freedom.
 	cfg := config.Simple(2, 8).WithForces(1, 7, 8)
 	opts := core.Options{
-		UserOutput:    &out,
-		Backend:       s,
-		AcceptTimeout: 30 * time.Second, // virtual: expires only at quiescence
-		TraceSinks:    []trace.Sink{mem},
-		Metrics:       reg,
+		UserOutput:     &out,
+		Backend:        s,
+		AcceptTimeout:  30 * time.Second, // virtual: expires only at quiescence
+		TraceSinks:     []trace.Sink{mem},
+		Metrics:        reg,
+		FlightRecorder: rec,
 	}
 	var ft *node.FaultTransport
 	if fault {
@@ -314,6 +327,13 @@ func run(src string, seed int64, fault bool, reg *obs.Registry, kill ...*killPla
 		var tr bytes.Buffer
 		if err := reg.WriteChromeTrace(&tr); err == nil {
 			res.ObsTrace = tr.Bytes()
+		}
+	}
+	if rec != nil {
+		// Dumped after Shutdown, when recording has quiesced; the dump
+		// timestamp comes from the (frozen) virtual clock.
+		if b, derr := rec.Dump(); derr == nil {
+			res.RecorderDump = b
 		}
 	}
 	return res

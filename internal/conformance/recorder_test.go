@@ -1,0 +1,110 @@
+package conformance
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/msgcodec"
+)
+
+// TestRecorderScheduleTransparent: the flight recorder is always on in
+// production, so it must be invisible to the schedule — a recorded run of any
+// corpus program and seed produces byte-identical terminal output and an
+// identical number of scheduling decisions as the unrecorded run.  Record is
+// a few atomic stores off the virtual clock, so this holds by construction;
+// the test is the guard that keeps it that way.
+func TestRecorderScheduleTransparent(t *testing.T) {
+	names, srcs := Corpus()
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for _, seed := range []int64{0, 1, 5} {
+				plain := Run(srcs[name], seed)
+				if plain.Err != nil {
+					t.Fatalf("seed %d: %v", seed, plain.Err)
+				}
+				rec := RunRecorded(srcs[name], seed)
+				if rec.Err != nil {
+					recordFailure(name, seed, "recorded run error: "+rec.Err.Error())
+					t.Fatalf("seed %d recorded: %v", seed, rec.Err)
+				}
+				if rec.Output != plain.Output {
+					recordFailure(name, seed, "flight recorder changed program output")
+					t.Fatalf("seed %d: recorded output differs:\nplain:\n%s\nrecorded:\n%s",
+						seed, plain.Output, rec.Output)
+				}
+				if rec.Steps != plain.Steps {
+					recordFailure(name, seed, "flight recorder changed the schedule")
+					t.Fatalf("seed %d: %d steps recorded vs %d plain", seed, rec.Steps, plain.Steps)
+				}
+			}
+		})
+	}
+}
+
+// TestRecorderDumpSeedStable: a recorded sim run's blackbox dump is part of
+// the deterministic contract — every event timestamp and the dump stamp come
+// from the virtual clock, so the same seed must reproduce the dump byte for
+// byte, and the dump must decode and contain the run's cross-cluster sends.
+func TestRecorderDumpSeedStable(t *testing.T) {
+	names, srcs := Corpus()
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for _, seed := range []int64{0, 7} {
+				a := RunRecorded(srcs[name], seed)
+				b := RunRecorded(srcs[name], seed)
+				if a.Err != nil || b.Err != nil {
+					t.Fatalf("seed %d: %v / %v", seed, a.Err, b.Err)
+				}
+				if len(a.RecorderDump) == 0 {
+					t.Fatalf("seed %d: recorded run produced no dump", seed)
+				}
+				if !bytes.Equal(a.RecorderDump, b.RecorderDump) {
+					recordFailure(name, seed, "blackbox dump not seed-stable")
+					t.Fatalf("seed %d: blackbox dumps differ between identical runs", seed)
+				}
+				_, _, events, err := msgcodec.DecodeBlackbox(a.RecorderDump)
+				if err != nil {
+					t.Fatalf("seed %d: dump does not decode: %v", seed, err)
+				}
+				for _, ev := range events {
+					if ev.Kind == msgcodec.EvSend && ev.Edge == 0 {
+						t.Fatalf("seed %d: send event without a causal edge", seed)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRecorderCapturesRoutedTraffic guards the sweep above against vacuity:
+// a program known to route across clusters must leave matching send and
+// accept events — sharing a causal edge — in its dump.
+func TestRecorderCapturesRoutedTraffic(t *testing.T) {
+	_, srcs := Corpus()
+	res := RunRecorded(srcs["crosscluster.pf"], 3)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	_, _, events, err := msgcodec.DecodeBlackbox(res.RecorderDump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := map[uint64]bool{}
+	matched := 0
+	for _, ev := range events {
+		switch ev.Kind {
+		case msgcodec.EvSend:
+			sent[ev.Edge] = true
+		case msgcodec.EvAccept:
+			if sent[ev.Edge] {
+				matched++
+			}
+		}
+	}
+	if len(sent) == 0 || matched == 0 {
+		t.Fatalf("crosscluster run recorded %d send edges, %d matched accepts (%d events)",
+			len(sent), matched, len(events))
+	}
+}

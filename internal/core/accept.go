@@ -329,6 +329,13 @@ func (t *Task) processAccepted(m *Message, res *AcceptResult) {
 	t.vm.releaseMessage(m)
 	t.Charge(int64(costAcceptMsg + costAcceptPacket*packets))
 	t.vm.msgsAccpt.Add(1)
+	if m.edge != 0 {
+		// Close the causal pair in the flight recorder: this accept consumed
+		// a routed message; the edge links it to the EvSend on the sender's
+		// node (possibly another process's dump).
+		t.vm.om.rec.Record(t.ID().Cluster, msgcodec.EvAccept, m.edge,
+			int64(t.ID().Cluster), int64(m.Sender.Cluster))
+	}
 	if t.vm.tracing(trace.MsgAccept) {
 		t.vm.record(trace.MsgAccept, t.ID(), m.Sender, t.rec.cluster.primary,
 			fmt.Sprintf("msgtype=%s args=%d", m.Type, len(m.Args)))

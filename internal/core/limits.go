@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/memory"
+	"repro/internal/msgcodec"
 )
 
 // Limits is a per-tenant resource policy for one VM.  The paper's run-time
@@ -85,12 +86,32 @@ func (vm *VM) recordLimit(e *LimitError) {
 	if !first {
 		return
 	}
+	vm.om.rec.Record(0, msgcodec.EvLimit, 0, limitResourceCode(e.Resource), e.Limit)
 	vm.systemPrintf("*** PISCES: %v: terminating run\n", e)
 	for _, info := range vm.RunningTasks() {
 		if !info.Controller {
 			_ = vm.Kill(info.ID)
 		}
 	}
+	if vm.opts.FailureSink != nil {
+		vm.opts.FailureSink("limit: " + e.Resource)
+	}
+}
+
+// limitResourceCode maps a LimitError resource name to the stable small
+// integer the flight recorder's fixed-size events carry.
+func limitResourceCode(resource string) int64 {
+	switch resource {
+	case LimitHeap:
+		return 1
+	case LimitTasks:
+		return 2
+	case LimitWallClock:
+		return 3
+	case LimitOutput:
+		return 4
+	}
+	return 0
 }
 
 // LimitViolation returns the first per-tenant limit this VM violated, as a

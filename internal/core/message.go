@@ -38,6 +38,11 @@ type Message struct {
 
 	// seq orders messages by arrival for the in-queue.
 	seq uint64
+	// edge is the causal edge id stamped on routed (cross-cluster or
+	// cross-node) messages; 0 for the intra-cluster fast path, which never
+	// pays for causal tracing.  The accept path records it in the flight
+	// recorder, linking accept events back to their send.
+	edge uint64
 	// sendSeq is the sender-task send sequence number used for duplicate
 	// suppression when the VM runs in HA mode (see ha.go).  Zero means
 	// unsequenced: the message came from the execution environment or a

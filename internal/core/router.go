@@ -8,6 +8,7 @@ import (
 	"repro/internal/backend"
 	"repro/internal/memory"
 	"repro/internal/msgcodec"
+	"repro/internal/obs"
 )
 
 // Cross-cluster message routing.
@@ -55,6 +56,7 @@ type wireMsg struct {
 	sender  TaskID
 	seq     uint64
 	sendSeq uint64 // HA send sequence number (0 = unsequenced)
+	edge    uint64 // causal edge id stamped at the send site
 
 	srcHeap *memory.Allocator // source shard holding the wire bytes
 	off     int               // allocation offset in srcHeap
@@ -148,6 +150,10 @@ func (vm *VM) startRouters() error {
 // from here on.  from is the sending cluster (it must differ from the
 // destination's), dest the receiving task's record.
 func (vm *VM) routeMessage(from *clusterRT, dest *taskRec, msgType string, sender TaskID, args []Value, seq, sendSeq uint64, reply *initReply) (int, error) {
+	var spanT0 time.Time
+	if vm.spansOn() {
+		spanT0 = vm.om.reg.Now()
+	}
 	size, err := encodedSize(args)
 	if err != nil {
 		return 0, err
@@ -188,10 +194,23 @@ func (vm *VM) routeMessage(from *clusterRT, dest *taskRec, msgType string, sende
 		vm.om.heapCharges.Inc()
 		vm.om.heapMsgBytes.Observe(int64(size))
 	}
+	edge := vm.newEdge()
+	if reply != nil {
+		reply.edge = edge
+	}
 	w := wireMsg{
-		dest: dest, msgType: msgType, sender: sender, seq: seq, sendSeq: sendSeq,
+		dest: dest, msgType: msgType, sender: sender, seq: seq, sendSeq: sendSeq, edge: edge,
 		srcHeap: from.heap, off: off, destOff: destOff, size: size, wireLen: len(wire),
 		reply: reply,
+	}
+	// The send-side half of the causal pair: a flight-recorder event and, when
+	// spans are live, a small send span the flow arrow starts inside.
+	vm.om.rec.Record(from.cfg.Number, msgcodec.EvSend, edge,
+		int64(from.cfg.Number), int64(dest.cluster.cfg.Number))
+	if !spanT0.IsZero() {
+		lane := fmt.Sprintf("send/c%d", from.cfg.Number)
+		vm.om.reg.Span(lane, "send "+msgType, spanT0)
+		vm.om.reg.Flow(edge, lane, obs.FlowStart, spanT0)
 	}
 	if !dest.cluster.router[from.cfg.Number].send(w) {
 		_ = from.heap.Free(off)
@@ -306,8 +325,11 @@ func (r *clusterRouter) deliver(w *wireMsg) {
 	}
 	if spans {
 		defer func() {
-			r.vm.om.reg.Span(fmt.Sprintf("router/c%d->c%d", r.src, r.cl.cfg.Number),
-				"deliver "+w.msgType, obsT0)
+			lane := fmt.Sprintf("router/c%d->c%d", r.src, r.cl.cfg.Number)
+			r.vm.om.reg.Span(lane, "deliver "+w.msgType, obsT0)
+			// End the causal flow inside the deliver span: the viewer draws
+			// the arrow from the send span to this slice.
+			r.vm.om.reg.Flow(w.edge, lane, obs.FlowEnd, obsT0)
 		}()
 	}
 	_ = w.srcHeap.Free(w.off)
@@ -328,6 +350,7 @@ func (r *clusterRouter) deliver(w *wireMsg) {
 	// just takes ownership of it here.
 	msg := newMessage(w.msgType, w.sender, args, w.seq)
 	msg.sendSeq = w.sendSeq
+	msg.edge = w.edge
 	msg.reply = w.reply
 	msg.heapOff, msg.heapBytes, msg.heapShard = w.destOff, w.size, r.cl.heap
 	switch w.dest.queue.put(msg) {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/msgcodec"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -73,6 +74,10 @@ type WireFrame struct {
 	// ReplyID, when non-zero, correlates a routed initiate request with the
 	// reply frame carrying the new task's id back to the requesting node.
 	ReplyID uint64
+	// Edge is the causal edge id stamped at the send site (0 = unstamped).
+	// It travels in the frame header so the receiving node's trace and
+	// flight-recorder events correlate with the sender's.
+	Edge uint64
 	// Payload is the msgcodec encoding of the argument list.  It is only
 	// valid until Send returns: implementations that do not deliver
 	// synchronously must copy it.
@@ -250,8 +255,9 @@ func (vm *VM) routeRemote(from *clusterRT, to TaskID, msgType string, sender Tas
 	src := vm.homeCluster()
 	var payload []byte
 	off := -1
+	metrics, spans := vm.metricsOn(), vm.spansOn()
 	var obsT0 time.Time
-	if vm.metricsOn() {
+	if metrics || spans {
 		obsT0 = vm.om.reg.Now()
 	}
 	if from != nil {
@@ -268,7 +274,7 @@ func (vm *VM) routeRemote(from *clusterRT, to TaskID, msgType string, sender Tas
 	} else {
 		payload, err = msgcodec.Encode(args)
 	}
-	if !obsT0.IsZero() {
+	if metrics {
 		vm.om.encodeNS.ObserveDuration(vm.om.reg.Now().Sub(obsT0))
 	}
 	if err != nil {
@@ -277,13 +283,22 @@ func (vm *VM) routeRemote(from *clusterRT, to TaskID, msgType string, sender Tas
 		}
 		return 0, err
 	}
+	edge := vm.newEdge()
 	f := wireFramePool.Get().(*WireFrame)
 	*f = WireFrame{
 		Kind: FrameMessage, Src: src, Dst: to.Cluster, Dest: to,
-		Type: msgType, Sender: sender, Seq: vm.msgSeq.Add(1), SendSeq: sendSeq, Payload: payload,
+		Type: msgType, Sender: sender, Seq: vm.msgSeq.Add(1), SendSeq: sendSeq,
+		Edge: edge, Payload: payload,
 	}
 	if reply != nil {
+		reply.edge = edge
 		f.ReplyID = vm.addPendingReply(reply)
+	}
+	vm.om.rec.Record(src, msgcodec.EvSend, edge, int64(src), int64(to.Cluster))
+	if spans {
+		lane := fmt.Sprintf("send/c%d", src)
+		vm.om.reg.Span(lane, "send "+msgType, obsT0)
+		vm.om.reg.Flow(edge, lane, obs.FlowStart, obsT0)
 	}
 	sendErr := vm.remote.Send(f)
 	replyID := f.ReplyID
@@ -318,9 +333,15 @@ func (vm *VM) routeBroadcast(from *clusterRT, cluster int, msgType string, sende
 	if err != nil {
 		return err
 	}
+	// Broadcasts get a real edge (so the recorder sees them, B = -1 marking
+	// the fan-out) but no flow events: a flow with several ends renders as a
+	// tangle, not a path.
+	edge := vm.newEdge()
+	vm.om.rec.Record(from.cfg.Number, msgcodec.EvSend, edge, int64(from.cfg.Number), -1)
 	f := &WireFrame{
 		Kind: FrameBroadcast, Src: from.cfg.Number, Dst: cluster,
-		Type: msgType, Sender: sender, Seq: vm.msgSeq.Add(1), SendSeq: sendSeq, Payload: payload,
+		Type: msgType, Sender: sender, Seq: vm.msgSeq.Add(1), SendSeq: sendSeq,
+		Edge: edge, Payload: payload,
 	}
 	return vm.remote.Send(f)
 }
@@ -361,8 +382,18 @@ func (vm *VM) DeliverWire(f *WireFrame) error {
 		obsT0 = vm.om.reg.Now()
 	}
 	if spans {
+		edge, stepping, dst, msgType := f.Edge, f.ReplyID != 0, f.Dest.Cluster, f.Type
 		defer func() {
-			vm.om.reg.Span(fmt.Sprintf("router/c%d<-wire", f.Dest.Cluster), "deliver "+f.Type, obsT0)
+			lane := fmt.Sprintf("router/c%d<-wire", dst)
+			vm.om.reg.Span(lane, "deliver "+msgType, obsT0)
+			// A routed initiate still owes its sender a reply frame, so the
+			// flow steps through here and ends when the reply lands back on
+			// the requesting node; plain messages end here.
+			phase := obs.FlowEnd
+			if stepping {
+				phase = obs.FlowStep
+			}
+			vm.om.reg.Flow(edge, lane, phase, obsT0)
 		}()
 	}
 	args, err := msgcodec.Decode(f.Payload)
@@ -378,6 +409,7 @@ func (vm *VM) DeliverWire(f *WireFrame) error {
 	}
 	msg := newMessage(f.Type, f.Sender, args, vm.msgSeq.Add(1))
 	msg.sendSeq = f.SendSeq
+	msg.edge = f.Edge
 	msg.reply = reply
 	if err := vm.chargeMessageOn(rec.cluster.heap, msg); err != nil {
 		recycleMessage(msg)
@@ -432,6 +464,7 @@ func (vm *VM) deliverWireBroadcast(f *WireFrame) error {
 	for _, rec := range targets {
 		msg := newMessage(f.Type, f.Sender, args, vm.msgSeq.Add(1))
 		msg.sendSeq = f.SendSeq
+		msg.edge = f.Edge
 		if err := vm.chargeMessageOn(rec.cluster.heap, msg); err != nil {
 			recycleMessage(msg)
 			vm.userPrintf("pisces: node: dropping broadcast %s for %s: %v\n", f.Type, rec.id, err)
@@ -450,9 +483,20 @@ func (vm *VM) deliverWireBroadcast(f *WireFrame) error {
 // pending table and wakes the initiator.  Unknown ids are ignored (the VM
 // may have failed the reply at shutdown already).
 func (vm *VM) DeliverWireReply(replyID uint64, id TaskID) {
-	if r := vm.takePendingReply(replyID); r != nil {
-		r.deliver(id)
+	r := vm.takePendingReply(replyID)
+	if r == nil {
+		return
 	}
+	if r.edge != 0 && vm.spansOn() {
+		// Close the cross-node round trip: the routed initiate's flow stepped
+		// through the remote node's deliver span and ends on the reply span
+		// here, back on the requesting node.
+		t0 := vm.om.reg.Now()
+		lane := fmt.Sprintf("send/c%d", vm.homeCluster())
+		vm.om.reg.Span(lane, "reply", t0)
+		vm.om.reg.Flow(r.edge, lane, obs.FlowEnd, t0)
+	}
+	r.deliver(id)
 }
 
 // flushTransports lands in-flight cross-cluster traffic: the in-process

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/flex"
+	"repro/internal/msgcodec"
 )
 
 // TaskInfo describes one running task for the DISPLAY RUNNING TASKS view.
@@ -71,6 +72,7 @@ func (vm *VM) Kill(id TaskID) error {
 	if rec.isController {
 		return fmt.Errorf("core: %s is a controller task and cannot be killed", id)
 	}
+	vm.om.rec.Record(id.Cluster, msgcodec.EvKill, 0, int64(id.Cluster), int64(id.Slot))
 	rec.kill()
 	return nil
 }

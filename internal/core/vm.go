@@ -110,6 +110,22 @@ type Options struct {
 	// sender with ErrHeapExhausted — the one intentional semantic difference
 	// of intercepted delivery.
 	InterceptWire bool
+	// NodeID is this process's node id in a distributed mesh (0 standalone).
+	// It seeds the high bits of causal edge ids, so edges generated by
+	// different nodes never collide when their traces and flight-recorder
+	// dumps are merged.
+	NodeID int
+	// FlightRecorder, when non-nil, receives a structured event for every
+	// routed send, cross-cluster accept, kill and limit violation.  The VM
+	// rebinds its clock to the backend, so under a deterministic backend the
+	// ring contents are seed-stable.  Nil records nothing (one branch per
+	// site).
+	FlightRecorder *obs.Recorder
+	// FailureSink, when non-nil, is called once with a short reason string
+	// the first time this VM fail-stops its tenant (a *LimitError kill
+	// sweep).  The serving and CLI layers use it to dump the flight recorder
+	// at the moment of failure.
+	FailureSink func(reason string)
 }
 
 // VM is one booted PISCES 2 virtual machine: a configuration mapped onto a
@@ -174,6 +190,13 @@ type VM struct {
 	userTasks  backend.WaitGroup
 	tableBytes int
 
+	// Causal edge ids: every routed (cross-cluster or cross-node) message is
+	// stamped with edgeBase | edgeSeq so traces and flight-recorder dumps
+	// from different nodes merge without collisions.  The intra-cluster fast
+	// path is never stamped — it pays nothing.
+	edgeBase uint64
+	edgeSeq  atomic.Uint64
+
 	timeLimitTimer backend.Timer
 
 	// Per-tenant limit state (limits.go): the shared heap budget attached to
@@ -204,6 +227,7 @@ type VM struct {
 // boot; the handles are plain atomics after that.
 type vmObs struct {
 	reg          *obs.Registry
+	rec          *obs.Recorder  // flight recorder; nil records nothing (Record is nil-safe)
 	heapCharges  *obs.Counter   // core.heap.charge: messages charged to a shard
 	heapRecovers *obs.Counter   // core.heap.recover: message storage recovered
 	heapMsgBytes *obs.Histogram // core.heap.msg.bytes: charged message sizes
@@ -236,6 +260,14 @@ func (vm *VM) metricsOn() bool { return vm.om.reg.Has(obs.Metrics) }
 
 // spansOn guards span capture the same way.
 func (vm *VM) spansOn() bool { return vm.om.reg.Has(obs.Spans) }
+
+// newEdge mints a causal edge id for one routed message: the node id in the
+// high 16 bits, a per-VM sequence below.  Edge ids are never zero, so zero
+// means "unstamped" everywhere they travel.
+func (vm *VM) newEdge() uint64 { return vm.edgeBase | vm.edgeSeq.Add(1) }
+
+// FlightRecorder returns the recorder the VM was booted with, nil if none.
+func (vm *VM) FlightRecorder() *obs.Recorder { return vm.om.rec }
 
 // NewVM boots a virtual machine for the given configuration on a fresh
 // simulated FLEX/32 with the default hardware description.
@@ -273,6 +305,13 @@ func NewVMOn(machine *flex.Machine, cfg *config.Configuration, opts Options) (*V
 		ha:        opts.HA,
 	}
 	vm.om.init(opts.Metrics, opts.Backend)
+	if opts.FlightRecorder != nil {
+		vm.om.rec = opts.FlightRecorder
+		// Attach after init: the registry clock is already the backend's, so
+		// the recorder inherits virtual time under a deterministic backend.
+		vm.om.reg.AttachRecorder(opts.FlightRecorder)
+	}
+	vm.edgeBase = uint64(opts.NodeID) << 48
 	vm.userTasks = vm.backend.NewWaitGroup()
 	vm.arrays = newArrayStore()
 	vm.files = newFileStore()
@@ -560,6 +599,10 @@ type initReply struct {
 	// back to the node that sent a routed initiate request) instead of waking
 	// a local waiter.
 	fn func(TaskID)
+	// edge is the causal edge id of the routed initiate request this reply
+	// answers (0 when unstamped); the requesting node ends the flow on it
+	// when the reply lands, closing the cross-node round trip in the trace.
+	edge uint64
 }
 
 func newInitReply(b backend.Backend) *initReply { return &initReply{gate: b.NewGate()} }

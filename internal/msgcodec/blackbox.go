@@ -1,0 +1,153 @@
+package msgcodec
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Black-box (flight recorder) dump framing.
+//
+// A dump is the frozen contents of one node's flight recorder: a flat list
+// of fixed-size structured events, preceded by a header identifying the node
+// and the dump instant.  internal/obs owns the recorder rings; this file
+// owns only the byte layout, so the `pisces blackbox` subcommand can decode
+// a dump written by any node (or merge several) without importing the
+// runtime.  Like the checkpoint container, every length is validated BEFORE
+// any allocation sized from untrusted bytes happens: a truncated or forged
+// dump is an ErrCorrupt, not an OOM.
+
+// Blackbox event kinds.  The values are part of the dump format; append
+// only.
+const (
+	EvSend          uint8 = 1 // routed message left a sender (A=src cluster, B=dst cluster)
+	EvAccept        uint8 = 2 // routed message consumed by ACCEPT (A=accepting cluster, B=sender cluster)
+	EvKill          uint8 = 3 // task killed by a quota sweep or recovery (A=cluster)
+	EvCreditStall   uint8 = 4 // sender blocked on wire flow control (A=peer node)
+	EvCheckpoint    uint8 = 5 // HA checkpoint sent or stored (A=origin node, B=epoch)
+	EvLimit         uint8 = 6 // resource quota violation (A=resource code, B=limit)
+	EvHeartbeatMiss uint8 = 7 // failure detector declared a peer dead (A=suspect node)
+)
+
+// EventKindName renders a dump event kind for pretty-printing; unknown kinds
+// (from a newer writer) render as kind<N> rather than failing the decode.
+func EventKindName(kind uint8) string {
+	switch kind {
+	case EvSend:
+		return "send"
+	case EvAccept:
+		return "accept"
+	case EvKill:
+		return "kill"
+	case EvCreditStall:
+		return "credit-stall"
+	case EvCheckpoint:
+		return "checkpoint"
+	case EvLimit:
+		return "limit"
+	case EvHeartbeatMiss:
+		return "heartbeat-miss"
+	default:
+		return fmt.Sprintf("kind<%d>", kind)
+	}
+}
+
+// BlackboxEvent is one fixed-size flight-recorder event.  Edge is the causal
+// edge id of the message the event concerns (0 when the event is not tied to
+// a message), which is what lets `pisces blackbox` merge dumps from several
+// nodes into one causal timeline.
+type BlackboxEvent struct {
+	// Seq is the recorder's global sequence number: events from one dump
+	// sort by Seq to reproduce emission order exactly.
+	Seq uint64
+	// TS is the event instant in nanoseconds (virtual under -sim).
+	TS int64
+	// Edge is the causal edge id (0 = not message-scoped).
+	Edge uint64
+	// Kind is one of the Ev* constants.
+	Kind uint8
+	// Node is the node id the event was recorded on.
+	Node uint8
+	// Shard is the recorder shard the event landed in.
+	Shard uint16
+	// A and B are kind-specific arguments (see the Ev* comments).
+	A, B int64
+}
+
+const (
+	// blackboxMagic identifies a blackbox dump container ("PiBb").
+	blackboxMagic = 0x50694262
+	// BlackboxVersion is bumped whenever the dump layout changes.
+	BlackboxVersion = 1
+	// blackboxEventBytes is the fixed wire size of one event.
+	blackboxEventBytes = 8 + 8 + 8 + 1 + 1 + 2 + 8 + 8
+	// MaxBlackboxEvents bounds the event count before it is used to size
+	// anything.  Recorder rings are a few thousand slots per shard, so the
+	// bound is generous but still keeps a forged count from sizing gigabytes.
+	MaxBlackboxEvents = 1 << 24
+)
+
+// EncodeBlackbox wraps a node's recorder events into one dump container.
+// dumpTS is the dump instant (virtual under -sim), so merged multi-node
+// views can order the dumps themselves.
+func EncodeBlackbox(nodeID int, dumpTS int64, events []BlackboxEvent) ([]byte, error) {
+	if len(events) > MaxBlackboxEvents {
+		return nil, fmt.Errorf("%w: blackbox dump with %d events exceeds maximum %d", ErrCorrupt, len(events), MaxBlackboxEvents)
+	}
+	out := make([]byte, 0, 4+2+4+8+4+len(events)*blackboxEventBytes)
+	out = binary.BigEndian.AppendUint32(out, blackboxMagic)
+	out = binary.BigEndian.AppendUint16(out, BlackboxVersion)
+	out = binary.BigEndian.AppendUint32(out, uint32(int32(nodeID)))
+	out = binary.BigEndian.AppendUint64(out, uint64(dumpTS))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(events)))
+	for _, e := range events {
+		out = binary.BigEndian.AppendUint64(out, e.Seq)
+		out = binary.BigEndian.AppendUint64(out, uint64(e.TS))
+		out = binary.BigEndian.AppendUint64(out, e.Edge)
+		out = append(out, e.Kind, e.Node)
+		out = binary.BigEndian.AppendUint16(out, e.Shard)
+		out = binary.BigEndian.AppendUint64(out, uint64(e.A))
+		out = binary.BigEndian.AppendUint64(out, uint64(e.B))
+	}
+	return out, nil
+}
+
+// DecodeBlackbox splits a dump container back into its header and events.
+// Truncated, oversized, or trailing-garbage containers are rejected with
+// ErrCorrupt; the event count is validated against the remaining bytes
+// before it sizes the result slice.
+func DecodeBlackbox(data []byte) (nodeID int, dumpTS int64, events []BlackboxEvent, err error) {
+	if len(data) < 22 {
+		return 0, 0, nil, fmt.Errorf("%w: blackbox header truncated (%d bytes)", ErrCorrupt, len(data))
+	}
+	if binary.BigEndian.Uint32(data) != blackboxMagic {
+		return 0, 0, nil, fmt.Errorf("%w: bad blackbox magic", ErrCorrupt)
+	}
+	if v := binary.BigEndian.Uint16(data[4:]); v != BlackboxVersion {
+		return 0, 0, nil, fmt.Errorf("%w: blackbox version %d, want %d", ErrCorrupt, v, BlackboxVersion)
+	}
+	nodeID = int(int32(binary.BigEndian.Uint32(data[6:])))
+	dumpTS = int64(binary.BigEndian.Uint64(data[10:]))
+	count := binary.BigEndian.Uint32(data[18:])
+	data = data[22:]
+	if count > MaxBlackboxEvents {
+		return 0, 0, nil, fmt.Errorf("%w: blackbox event count %d exceeds maximum %d", ErrCorrupt, count, MaxBlackboxEvents)
+	}
+	if int64(count)*blackboxEventBytes != int64(len(data)) {
+		return 0, 0, nil, fmt.Errorf("%w: blackbox event count %d does not match %d body bytes", ErrCorrupt, count, len(data))
+	}
+	events = make([]BlackboxEvent, count)
+	for i := range events {
+		b := data[i*blackboxEventBytes:]
+		events[i] = BlackboxEvent{
+			Seq:   binary.BigEndian.Uint64(b),
+			TS:    int64(binary.BigEndian.Uint64(b[8:])),
+			Edge:  binary.BigEndian.Uint64(b[16:]),
+			Kind:  b[24],
+			Node:  b[25],
+			Shard: binary.BigEndian.Uint16(b[26:]),
+			A:     int64(binary.BigEndian.Uint64(b[28:])),
+			B:     int64(binary.BigEndian.Uint64(b[36:])),
+		}
+	}
+	return nodeID, dumpTS, events, nil
+}

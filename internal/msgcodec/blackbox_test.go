@@ -1,0 +1,118 @@
+package msgcodec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleBlackboxEvents() []BlackboxEvent {
+	return []BlackboxEvent{
+		{Seq: 1, TS: 1000, Edge: 0x0001000000000001, Kind: EvSend, Node: 0, Shard: 1, A: 1, B: 2},
+		{Seq: 2, TS: 1500, Edge: 0x0001000000000001, Kind: EvAccept, Node: 1, Shard: 0, A: 2, B: 1},
+		{Seq: 3, TS: 2000, Edge: 0, Kind: EvCheckpoint, Node: 1, Shard: 0, A: 1, B: 7},
+		{Seq: 4, TS: -5, Edge: 0, Kind: EvLimit, Node: 0, Shard: 3, A: 2, B: 1 << 30},
+		{Seq: 5, TS: 2500, Edge: 0, Kind: 200, Node: 2, Shard: 0, A: -1, B: -2},
+	}
+}
+
+func TestBlackboxRoundTrip(t *testing.T) {
+	events := sampleBlackboxEvents()
+	blob, err := EncodeBlackbox(3, 123456789, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, ts, back, err := DecodeBlackbox(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node != 3 || ts != 123456789 {
+		t.Fatalf("header round trip: node=%d ts=%d", node, ts)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("event count %d -> %d", len(events), len(back))
+	}
+	for i := range events {
+		if events[i] != back[i] {
+			t.Fatalf("event %d changed: %+v -> %+v", i, events[i], back[i])
+		}
+	}
+}
+
+func TestBlackboxEmptyDump(t *testing.T) {
+	blob, err := EncodeBlackbox(0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, ts, events, err := DecodeBlackbox(blob)
+	if err != nil || node != 0 || ts != 0 || len(events) != 0 {
+		t.Fatalf("empty dump: node=%d ts=%d events=%d err=%v", node, ts, len(events), err)
+	}
+}
+
+func TestBlackboxRejectsCorrupt(t *testing.T) {
+	blob, err := EncodeBlackbox(1, 42, sampleBlackboxEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":          {},
+		"short header":   blob[:10],
+		"bad magic":      append([]byte{0, 0, 0, 0}, blob[4:]...),
+		"bad version":    append(append([]byte{}, blob[:4]...), append([]byte{0xFF, 0xFF}, blob[6:]...)...),
+		"truncated body": blob[:len(blob)-3],
+		"trailing bytes": append(append([]byte{}, blob...), 0),
+	}
+	// A forged huge count must be rejected before it sizes an allocation.
+	forged := append([]byte{}, blob...)
+	forged[18], forged[19], forged[20], forged[21] = 0xFF, 0xFF, 0xFF, 0xFF
+	cases["forged count"] = forged
+	for name, data := range cases {
+		if _, _, _, err := DecodeBlackbox(data); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+}
+
+func TestEventKindNames(t *testing.T) {
+	for kind, want := range map[uint8]string{
+		EvSend: "send", EvAccept: "accept", EvKill: "kill",
+		EvCreditStall: "credit-stall", EvCheckpoint: "checkpoint",
+		EvLimit: "limit", EvHeartbeatMiss: "heartbeat-miss",
+	} {
+		if got := EventKindName(kind); got != want {
+			t.Errorf("EventKindName(%d) = %q, want %q", kind, got, want)
+		}
+	}
+	if got := EventKindName(250); !strings.Contains(got, "250") {
+		t.Errorf("unknown kind rendered as %q", got)
+	}
+}
+
+// FuzzBlackbox is the dump-decode round-trip target: DecodeBlackbox must
+// never panic on arbitrary bytes, and any dump it accepts must re-encode to
+// the identical container (the format is canonical).
+func FuzzBlackbox(f *testing.F) {
+	if seed, err := EncodeBlackbox(2, 99, sampleBlackboxEvents()); err == nil {
+		f.Add(seed)
+	}
+	if seed, err := EncodeBlackbox(0, 0, nil); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x50, 0x69, 0x42, 0x62, 0, 1, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		node, ts, events, err := DecodeBlackbox(data)
+		if err != nil {
+			return // corrupt input rejected without panicking: fine
+		}
+		blob, err := EncodeBlackbox(node, ts, events)
+		if err != nil {
+			t.Fatalf("Encode of decoded dump failed: %v", err)
+		}
+		if !bytes.Equal(blob, data) {
+			t.Fatalf("decode+encode changed the dump: %d -> %d bytes", len(data), len(blob))
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/msgcodec"
 	"repro/internal/obs"
 )
 
@@ -102,6 +103,7 @@ func (n *Node) checkpointTick() {
 		fmt.Fprintf(n.opts.Log, "node %d: shipping checkpoint %d to node %d: %v\n", n.opts.NodeID, epoch, buddy, err)
 		return
 	}
+	n.rec.Record(0, msgcodec.EvCheckpoint, 0, int64(n.opts.NodeID), int64(epoch))
 	if n.reg.Has(obs.Metrics) {
 		n.haCkptTx.Inc()
 	}
@@ -113,6 +115,9 @@ func (n *Node) storeCheckpoint(from int, epoch uint64, blob []byte) {
 	n.ckptMu.Lock()
 	n.ckptFrom[from] = append(n.ckptFrom[from][:0], blob...)
 	n.ckptMu.Unlock()
+	// Record the stored epoch: a survivor's dump proves which checkpoint of a
+	// dead peer it held at the moment of failure.
+	n.rec.Record(0, msgcodec.EvCheckpoint, 0, int64(from), int64(epoch))
 	if n.reg.Has(obs.Metrics) {
 		n.haCkptRx.Inc()
 	}
@@ -161,6 +166,7 @@ func (n *Node) nextLive(after int) int {
 // (lowest live id) issues the verdict; everyone else waits for fRebalance so
 // the mesh processes one agreed membership change, not N racing ones.
 func (n *Node) handleDeath(dead int) {
+	n.rec.Record(0, msgcodec.EvHeartbeatMiss, 0, int64(dead), 0)
 	if n.reg.Has(obs.Metrics) {
 		n.haDeaths.Inc()
 	}
@@ -276,6 +282,9 @@ func (n *Node) finishRebalance(dead, buddy int) {
 	}
 	fmt.Fprintf(n.opts.Log, "node %d: rerouted node %d's clusters to node %d (%d retained frames replayed)\n",
 		n.opts.NodeID, dead, buddy, replayed)
+	// A rebalance IS a failure: leave the black box behind while the events
+	// leading up to the death are still in the ring.
+	n.dumpBlackbox(fmt.Sprintf("rebalance n%d->n%d", dead, buddy))
 }
 
 // Terminate tears the node down abruptly — no drain, no shutdown frames, no

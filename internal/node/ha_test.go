@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/msgcodec"
 	"repro/internal/node"
 	"repro/internal/obs"
 )
@@ -124,6 +125,36 @@ func TestHAKillNodeMatchesSingleProcess(t *testing.T) {
 	}
 	if !strings.Contains(logs[0].String(), "rerouted node 2's clusters to node 0") {
 		t.Errorf("node 0 never completed the rebalance; log:\n%s", logs[0].String())
+	}
+	// Failure forensics: the survivor's flight recorder must hold the dead
+	// node's story — the checkpoints it stored as node 2's buddy (proving
+	// which epoch the restore came from) and the death declaration itself.
+	dump, err := nodes[0].BlackboxDump()
+	if err != nil {
+		t.Fatalf("blackbox dump: %v", err)
+	}
+	_, _, events, err := msgcodec.DecodeBlackbox(dump)
+	if err != nil {
+		t.Fatalf("blackbox decode: %v", err)
+	}
+	lastEpoch, death := int64(-1), false
+	for _, ev := range events {
+		switch ev.Kind {
+		case msgcodec.EvCheckpoint:
+			if ev.A == 2 && ev.B > lastEpoch {
+				lastEpoch = ev.B
+			}
+		case msgcodec.EvHeartbeatMiss:
+			if ev.A == 2 {
+				death = true
+			}
+		}
+	}
+	if lastEpoch < 1 {
+		t.Errorf("survivor's dump holds no checkpoint of node 2 (last epoch %d, %d events)", lastEpoch, len(events))
+	}
+	if !death {
+		t.Errorf("survivor's dump holds no heartbeat-miss for node 2 (%d events)", len(events))
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -75,6 +76,11 @@ type Options struct {
 	// CheckpointInterval is the HA checkpoint period; zero means
 	// defaultCheckpointInterval.
 	CheckpointInterval time.Duration
+	// BlackboxDir, when set, is where the node writes flight-recorder dumps
+	// on failure paths (a peer death rebalance, a drain that never quiesces,
+	// a tenant limit kill).  The recorder itself is always on; the directory
+	// only controls whether failures leave a dump file behind.
+	BlackboxDir string
 }
 
 // Node is one running node process: a partial VM plus the TCP mesh.
@@ -98,10 +104,15 @@ type Node struct {
 	// histogram handles; snapMu guards the latest metric snapshot received
 	// from each follower (coordinator only).
 	reg          *obs.Registry
+	rec          *obs.Recorder  // always-on flight recorder (see BlackboxDump)
 	frameRead    *obs.Histogram // node.frame.read.ns: blocking ReadFrame time (inter-frame arrival gap + read)
 	frameDeliver *obs.Histogram // node.frame.deliver.ns: decode -> VM delivery
 	snapMu       sync.Mutex
 	followerSnap map[int]*obs.Snapshot
+	// followerTrace holds the latest span/flow trace blob received from each
+	// follower's drain ack (coordinator only, spans enabled), decoded; it is
+	// what WriteMeshTrace merges into per-node process tracks.
+	followerTrace map[int]obs.ProcessTrace
 
 	// Fault tolerance (HA mode only; nil/zero otherwise).  ckptMu guards the
 	// blobs this node stores as other peers' buddy plus the pre-cut receive
@@ -151,17 +162,20 @@ func Start(opts Options) (*Node, error) {
 		reg = obs.New()
 	}
 	n := &Node{
-		opts:         opts,
-		topo:         topo,
-		fp:           Fingerprint(opts.Config, topo, opts.Source),
-		tr:           newTransport(opts.NodeID, topo, reg, opts.Wire),
-		acks:         make(chan drainAck, 4*len(opts.Addrs)),
-		shutdownCh:   make(chan struct{}),
-		reg:          reg,
-		frameRead:    reg.Histogram("node.frame.read.ns", "ns"),
-		frameDeliver: reg.Histogram("node.frame.deliver.ns", "ns"),
-		followerSnap: make(map[int]*obs.Snapshot),
+		opts:          opts,
+		topo:          topo,
+		fp:            Fingerprint(opts.Config, topo, opts.Source),
+		tr:            newTransport(opts.NodeID, topo, reg, opts.Wire),
+		acks:          make(chan drainAck, 4*len(opts.Addrs)),
+		shutdownCh:    make(chan struct{}),
+		reg:           reg,
+		rec:           obs.NewRecorder(opts.NodeID, 0, 0),
+		frameRead:     reg.Histogram("node.frame.read.ns", "ns"),
+		frameDeliver:  reg.Histogram("node.frame.deliver.ns", "ns"),
+		followerSnap:  make(map[int]*obs.Snapshot),
+		followerTrace: make(map[int]obs.ProcessTrace),
 	}
+	reg.AttachRecorder(n.rec)
 	if opts.HA {
 		if n.opts.HeartbeatInterval <= 0 {
 			n.opts.HeartbeatInterval = defaultHeartbeatInterval
@@ -210,12 +224,15 @@ func Start(opts Options) (*Node, error) {
 	}
 
 	vm, err := core.NewVM(opts.Config, core.Options{
-		UserOutput:    opts.Out,
-		Hosted:        topo.Clusters(opts.NodeID),
-		Remote:        n.tr,
-		AcceptTimeout: opts.AcceptTimeout,
-		Metrics:       reg,
-		HA:            opts.HA,
+		UserOutput:     opts.Out,
+		Hosted:         topo.Clusters(opts.NodeID),
+		Remote:         n.tr,
+		AcceptTimeout:  opts.AcceptTimeout,
+		Metrics:        reg,
+		HA:             opts.HA,
+		NodeID:         opts.NodeID,
+		FlightRecorder: n.rec,
+		FailureSink:    func(reason string) { n.dumpBlackbox(reason) },
 	})
 	if err != nil {
 		_ = ln.Close()
@@ -456,6 +473,52 @@ func (n *Node) FollowerSnapshots() map[int]*obs.Snapshot {
 	return out
 }
 
+// Recorder returns the node's always-on flight recorder.
+func (n *Node) Recorder() *obs.Recorder { return n.rec }
+
+// BlackboxDump freezes the node's flight recorder into a msgcodec blackbox
+// container (decodable offline with `pisces blackbox`).
+func (n *Node) BlackboxDump() ([]byte, error) { return n.rec.Dump() }
+
+// dumpBlackbox writes a flight-recorder dump into Options.BlackboxDir (a
+// no-op when unset), logging the path so operators can find the artifact.
+// It is called on every node-level failure path: a limit kill, a peer death
+// rebalance, a drain that never quiesced.
+func (n *Node) dumpBlackbox(reason string) {
+	if n.opts.BlackboxDir == "" {
+		return
+	}
+	path, err := obs.WriteDump(n.opts.BlackboxDir, n.rec)
+	if err != nil {
+		fmt.Fprintf(n.opts.Log, "node %d: blackbox dump (%s) failed: %v\n", n.opts.NodeID, reason, err)
+		return
+	}
+	fmt.Fprintf(n.opts.Log, "node %d: blackbox dump (%s): %s\n", n.opts.NodeID, reason, path)
+}
+
+// WriteMeshTrace writes one merged Chrome trace covering every node: this
+// node's spans and flows on process track 1 ("node 0" — only the coordinator
+// merges), and each follower's latest drain-ack trace blob on track id+1.
+// Flow events that start on one node and end on another share their causal
+// edge id, so the viewer draws the arrow across process tracks.
+func (n *Node) WriteMeshTrace(w io.Writer) error {
+	procs := []obs.ProcessTrace{n.reg.Trace(n.opts.NodeID+1, fmt.Sprintf("node %d", n.opts.NodeID))}
+	n.snapMu.Lock()
+	ids := make([]int, 0, len(n.followerTrace))
+	for id := range n.followerTrace {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		p := n.followerTrace[id]
+		p.Pid = id + 1
+		p.Name = fmt.Sprintf("node %d", id)
+		procs = append(procs, p)
+	}
+	n.snapMu.Unlock()
+	return obs.WriteChromeTraceMulti(w, procs)
+}
+
 // Addr returns the listener's actual address (tests bind port 0).
 func (n *Node) Addr() string { return n.ln.Addr().String() }
 
@@ -534,7 +597,7 @@ func (n *Node) readLoop(from int, conn net.Conn) {
 func (n *Node) deliverLoop(from int, work <-chan []byte, free chan<- []byte) {
 	defer n.readers.Done()
 	rxLane := fmt.Sprintf("node/%d rx<-n%d", n.opts.NodeID, from)
-	pending := 0 // delivered-but-ungranted credited frames
+	pending := 0             // delivered-but-ungranted credited frames
 	var frame core.WireFrame // reused per frame; DeliverWire does not retain it
 	for payload := range work {
 		metrics := n.reg.Has(obs.Metrics)
@@ -592,6 +655,17 @@ func (n *Node) deliverLoop(from int, work <-chan []byte, free chan<- []byte) {
 					n.snapMu.Unlock()
 				} else {
 					fmt.Fprintf(n.opts.Log, "node %d: bad stats blob from node %d: %v\n", n.opts.NodeID, ack.from, err)
+				}
+			}
+			// Same piggyback pattern for span/flow traces: keep the latest
+			// blob per follower for the merged mesh trace.
+			if len(ack.trace) > 0 {
+				if tr, err := obs.DecodeTrace(ack.trace); err == nil {
+					n.snapMu.Lock()
+					n.followerTrace[ack.from] = tr
+					n.snapMu.Unlock()
+				} else {
+					fmt.Fprintf(n.opts.Log, "node %d: bad trace blob from node %d: %v\n", n.opts.NodeID, ack.from, err)
 				}
 			}
 			select {
@@ -706,6 +780,9 @@ func (n *Node) answerDrain(epoch uint32) {
 	if n.reg.Has(obs.Metrics) {
 		ack.stats = n.reg.Snapshot().Encode()
 	}
+	if n.reg.Has(obs.Spans) {
+		ack.trace = obs.EncodeTrace(n.reg.Trace(0, ""))
+	}
 	_ = n.tr.sendControl(0, encodeDrainAck(ack))
 }
 
@@ -809,6 +886,7 @@ func (n *Node) Close() error {
 			if err := n.drainQuiesce(30 * time.Second); err != nil {
 				fmt.Fprintf(n.opts.Log, "pisces: %v (shutting down anyway)\n", err)
 				n.closeErr = err
+				n.dumpBlackbox("drain timeout")
 			}
 			for id := range n.opts.Addrs {
 				if id == n.opts.NodeID {

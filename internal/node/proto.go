@@ -22,9 +22,13 @@ import (
 // and fBcast carry the sender's HA send sequence number (duplicate
 // suppression across a recovery replay breaks silently without it, so the
 // field is unconditional), and the 0x09–0x0e control frames implement
-// heartbeats, buddy checkpoint streaming, and partition rebalancing.  A v3
-// peer would mis-parse every data frame, so the handshake refuses the mix.
-const protoVersion = 4
+// heartbeats, buddy checkpoint streaming, and partition rebalancing.
+// Version 5 is the causal-tracing revision: fMsg and fBcast carry the
+// sender's 64-bit causal edge id, and drain acks piggyback the follower's
+// span/flow trace blob next to the metric snapshot so the coordinator can
+// merge a cross-node Chrome trace.  An older peer would mis-parse every data
+// frame, so the handshake refuses the mix.
+const protoVersion = 5
 
 // Frame type bytes.
 const (
@@ -158,6 +162,7 @@ func encodeWireFrame(buf []byte, f *core.WireFrame) []byte {
 		buf = appendTaskID(buf, f.Sender)
 		buf = appendU64(buf, f.Seq)
 		buf = appendU64(buf, f.SendSeq)
+		buf = appendU64(buf, f.Edge)
 	default:
 		buf = append(buf, fMsg)
 		buf = appendU32(buf, uint32(f.Src))
@@ -167,6 +172,7 @@ func encodeWireFrame(buf []byte, f *core.WireFrame) []byte {
 		buf = appendU64(buf, f.Seq)
 		buf = appendU64(buf, f.SendSeq)
 		buf = appendU64(buf, f.ReplyID)
+		buf = appendU64(buf, f.Edge)
 	}
 	buf = appendString(buf, f.Type)
 	return append(buf, f.Payload...)
@@ -222,6 +228,9 @@ func decodeWireFrameInto(f *core.WireFrame, kind byte, b []byte) error {
 			return err
 		}
 	}
+	if f.Edge, b, err = takeU64(b); err != nil {
+		return err
+	}
 	if f.Type, b, err = takeString(b); err != nil {
 		return err
 	}
@@ -268,7 +277,10 @@ func decodeCredit(b []byte) (uint32, error) {
 // drainAck is a follower's answer to one drain round.  When the follower has
 // metrics enabled it piggybacks its current metric snapshot (obs wire
 // encoding) so the coordinator can merge a cluster-wide view without an extra
-// protocol round; an empty blob means metrics are off.
+// protocol round; an empty blob means metrics are off.  Spans piggyback the
+// same way: trace carries the follower's span/flow blob (obs.EncodeTrace) so
+// the coordinator can write one merged Chrome trace with a process track per
+// node; empty means spans are off.
 type drainAck struct {
 	from  int
 	epoch uint32
@@ -276,6 +288,7 @@ type drainAck struct {
 	recv  uint64
 	idle  bool
 	stats []byte
+	trace []byte
 }
 
 func encodeDrain(epoch uint32) []byte { return appendU32([]byte{fDrain}, epoch) }
@@ -438,7 +451,9 @@ func encodeDrainAck(a drainAck) []byte {
 		b = append(b, 0)
 	}
 	b = appendU32(b, uint32(len(a.stats)))
-	return append(b, a.stats...)
+	b = append(b, a.stats...)
+	b = appendU32(b, uint32(len(a.trace)))
+	return append(b, a.trace...)
 }
 
 func decodeDrainAck(b []byte) (drainAck, error) {
@@ -466,11 +481,21 @@ func decodeDrainAck(b []byte) (drainAck, error) {
 	if v, b, err = takeU32(b); err != nil {
 		return a, err
 	}
+	if len(b) < int(v) {
+		return a, errProto
+	}
+	if v > 0 {
+		a.stats = append([]byte(nil), b[:v]...)
+	}
+	b = b[v:]
+	if v, b, err = takeU32(b); err != nil {
+		return a, err
+	}
 	if len(b) != int(v) {
 		return a, errProto
 	}
 	if v > 0 {
-		a.stats = append([]byte(nil), b...)
+		a.trace = append([]byte(nil), b...)
 	}
 	return a, nil
 }

@@ -129,12 +129,12 @@ type peer struct {
 	// dead flips the lane to retain-only (frames are kept, never written),
 	// and replayed marks that the retained backlog has been handed to the
 	// adopting buddy, after which new frames toward this lane are redundant.
-	dead        bool
-	deadDone    bool // markDead accounting ran (dead may be set first by a write error)
-	replayed    bool
-	sentIdx     uint64
-	ackIdx      uint64
-	retained    []*retFrame
+	dead     bool
+	deadDone bool // markDead accounting ran (dead may be set first by a write error)
+	replayed bool
+	sentIdx  uint64
+	ackIdx   uint64
+	retained []*retFrame
 
 	// Per-lane wire counters (node.tx.n<me>->n<id>.*), resolved at addPeer;
 	// bumped only when metrics are enabled.
@@ -154,6 +154,9 @@ func (p *peer) enqueue(tr *transport, credited, counted bool, replyID uint64, en
 	metrics := tr.reg.Has(obs.Metrics)
 	p.mu.Lock()
 	if credited && tr.cfg.CreditWindow > 0 && !p.dead && p.credits <= 0 {
+		// A stall is a flow-control anomaly worth forensics: record which
+		// peer's window ran dry before blocking.
+		tr.reg.Recorder().Record(p.id, msgcodec.EvCreditStall, 0, int64(p.id), 0)
 		var t0 time.Time
 		if metrics {
 			t0 = tr.reg.Now()

@@ -43,6 +43,7 @@ const (
 type Registry struct {
 	mask  atomic.Uint32
 	clock atomic.Pointer[func() time.Time]
+	rec   atomic.Pointer[Recorder]
 
 	mu       sync.Mutex
 	counters map[string]*Counter
@@ -112,6 +113,27 @@ func (r *Registry) SetClock(now func() time.Time) {
 	}
 	r.clock.Store(&now)
 	r.spans.setEpoch(now())
+	r.rec.Load().SetClock(now)
+}
+
+// AttachRecorder binds a flight recorder to this registry, so the layers a
+// registry travels through can reach the node's recorder, and so a later
+// SetClock rebinds the recorder's clock along with the registry's.  The
+// recorder inherits the registry's current clock immediately.
+func (r *Registry) AttachRecorder(rec *Recorder) {
+	if r == nil || rec == nil {
+		return
+	}
+	rec.SetClock(*r.clock.Load())
+	r.rec.Store(rec)
+}
+
+// Recorder returns the attached flight recorder, nil if none.  Nil-safe.
+func (r *Registry) Recorder() *Recorder {
+	if r == nil {
+		return nil
+	}
+	return r.rec.Load()
 }
 
 // Now reads the registry clock.

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Output-path helper shared by every artifact writer — `-trace-out` files,
+// flight-recorder dumps, the serving daemon's history journal — so two
+// sessions (or two nodes dumping into one directory) can't silently clobber
+// each other's files, and so generated filenames never smuggle path
+// separators or shell metacharacters out of an id or timestamp.
+
+// SanitizeFileName reduces s to a safe single path component: anything
+// outside [A-Za-z0-9._-] becomes '_', and an empty or dot-only result
+// becomes "out".
+func SanitizeFileName(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	out := sb.String()
+	if strings.Trim(out, ".") == "" {
+		return "out"
+	}
+	return out
+}
+
+// UniquePath returns path if nothing exists there, else the first
+// "path.N" (N = 1, 2, ...) that is free.  It is a best-effort rotation —
+// two processes racing for the same name can still collide — but it keeps
+// the common case (a second session reusing a -trace-out name, two dumps in
+// one directory) from overwriting the first artifact.
+func UniquePath(path string) string {
+	if _, err := os.Lstat(path); os.IsNotExist(err) {
+		return path
+	}
+	for n := 1; ; n++ {
+		p := fmt.Sprintf("%s.%d", path, n)
+		if _, err := os.Lstat(p); os.IsNotExist(err) {
+			return p
+		}
+	}
+}
+
+// DumpFileName builds a flight-recorder dump filename embedding the node id
+// and the dump instant (virtual under -sim, so deterministic runs produce
+// deterministic names): "blackbox-n<id>-<unix-nanos>.bin".
+func DumpFileName(nodeID int, ts time.Time) string {
+	return SanitizeFileName(fmt.Sprintf("blackbox-n%d-%d.bin", nodeID, ts.UnixNano()))
+}
+
+// WriteDump writes a recorder dump blob into dir (created if missing) under
+// a DumpFileName derived from the recorder's node id and clock, rotated via
+// UniquePath.  Returns the path written.
+func WriteDump(dir string, rec *Recorder) (string, error) {
+	blob, err := rec.Dump()
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	now := time.Now()
+	if rec != nil {
+		now = (*rec.clock.Load())()
+	}
+	path := UniquePath(filepath.Join(dir, DumpFileName(rec.NodeID(), now)))
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -23,11 +23,32 @@ type Span struct {
 	Dur   time.Duration
 }
 
+// Flow phases, mirroring the Chrome trace-event flow phases: a flow starts
+// inside one span, optionally steps through intermediate spans, and ends
+// inside the final one.  The viewer draws an arrow between consecutive
+// events sharing an id, which is how a routed message's causal path renders
+// across lanes (and, in a merged mesh trace, across node process tracks).
+const (
+	FlowStart byte = 's'
+	FlowStep  byte = 't'
+	FlowEnd   byte = 'f'
+)
+
+// Flow is one causal flow event: the message identified by Edge touched Lane
+// at TS.  TS is relative to the span epoch, like Span.Start.
+type Flow struct {
+	Edge  uint64 // causal edge id; the flow id in the exported trace
+	Lane  string // lane whose enclosing span the event binds to
+	Phase byte   // FlowStart, FlowStep or FlowEnd
+	TS    time.Duration
+}
+
 type spanBuf struct {
 	mu       sync.Mutex
 	epoch    time.Time
 	epochSet bool
 	spans    []Span
+	flows    []Flow
 	dropped  int64
 	limit    int
 }
@@ -85,6 +106,38 @@ func (r *Registry) SpanAt(lane, name string, start, end time.Time) {
 	r.spans.add(lane, name, start, end)
 }
 
+// Flow records one causal flow event for edge at instant at, bound to lane.
+// Call sites emit it alongside the span the event should visually attach to
+// (same lane, at inside the span), guarded by the same Has(Spans) check.
+func (r *Registry) Flow(edge uint64, lane string, phase byte, at time.Time) {
+	if edge == 0 || !r.Has(Spans) {
+		return
+	}
+	b := &r.spans
+	b.mu.Lock()
+	if !b.epochSet {
+		b.epoch = at
+		b.epochSet = true
+	}
+	if len(b.flows) < b.limit {
+		b.flows = append(b.flows, Flow{Edge: edge, Lane: lane, Phase: phase, TS: at.Sub(b.epoch)})
+	} else {
+		b.dropped++
+	}
+	b.mu.Unlock()
+}
+
+// Flows returns a copy of the captured flow events in capture order.
+func (r *Registry) Flows() []Flow {
+	if r == nil {
+		return nil
+	}
+	r.spans.mu.Lock()
+	flows := append([]Flow(nil), r.spans.flows...)
+	r.spans.mu.Unlock()
+	return flows
+}
+
 // Spans returns a copy of the captured spans in capture order, plus the
 // number dropped after the buffer filled.
 func (r *Registry) Spans() (spans []Span, dropped int64) {
@@ -98,6 +151,23 @@ func (r *Registry) Spans() (spans []Span, dropped int64) {
 	return spans, dropped
 }
 
+// ProcessTrace is one process's worth of trace data for a merged export:
+// the coordinator of a mesh run collects the followers' spans and flows and
+// writes them all as one trace, each node on its own process track.
+type ProcessTrace struct {
+	Pid     int    // trace process id (node id + 1 in mesh exports)
+	Name    string // process_name metadata ("" = no metadata row)
+	Spans   []Span
+	Flows   []Flow
+	Dropped int64
+}
+
+// Trace captures this registry's spans and flows as a single-process trace.
+func (r *Registry) Trace(pid int, name string) ProcessTrace {
+	spans, dropped := r.Spans()
+	return ProcessTrace{Pid: pid, Name: name, Spans: spans, Flows: r.Flows(), Dropped: dropped}
+}
+
 // WriteChromeTrace emits the captured spans as Chrome trace-event-format
 // JSON (the "traceEvents" array form) loadable in chrome://tracing and
 // Perfetto.  Each distinct lane becomes one thread row (tid), named via a
@@ -105,20 +175,19 @@ func (r *Registry) Spans() (spans []Span, dropped int64) {
 // microsecond timestamps.  Lanes are ordered by name and events by capture
 // order, so output for a deterministic run is byte-stable.
 func (r *Registry) WriteChromeTrace(w io.Writer) error {
-	spans, dropped := r.Spans()
-	lanes := make(map[string]int)
-	var laneNames []string
-	for _, s := range spans {
-		if _, ok := lanes[s.Lane]; !ok {
-			lanes[s.Lane] = 0
-			laneNames = append(laneNames, s.Lane)
-		}
-	}
-	sort.Strings(laneNames)
-	for i, name := range laneNames {
-		lanes[name] = i + 1
-	}
+	return WriteChromeTraceMulti(w, []ProcessTrace{r.Trace(1, "")})
+}
 
+// WriteChromeTraceMulti emits several processes' spans and flows as one
+// Chrome trace-event JSON document.  Each ProcessTrace renders under its own
+// pid (with a process_name metadata row when Name is set); lanes become
+// thread rows per process, sorted by name.  Flow events (ph "s"/"t"/"f",
+// keyed by the causal edge id) bind to the span enclosing their timestamp on
+// their lane, so a routed message draws as a connected arrow — across
+// process tracks when its endpoints live on different nodes.  Output is
+// byte-stable for deterministic runs: processes render in the given order,
+// lanes sorted, events in capture order.
+func WriteChromeTraceMulti(w io.Writer, procs []ProcessTrace) error {
 	var sb strings.Builder
 	sb.WriteString("{\"traceEvents\":[")
 	first := true
@@ -129,15 +198,53 @@ func (r *Registry) WriteChromeTrace(w io.Writer) error {
 		first = false
 		sb.WriteString(s)
 	}
-	for _, name := range laneNames {
-		item(fmt.Sprintf(`{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
-			lanes[name], quoteJSON(name)))
-		item(fmt.Sprintf(`{"ph":"M","pid":1,"tid":%d,"name":"thread_sort_index","args":{"sort_index":%d}}`,
-			lanes[name], lanes[name]))
-	}
-	for _, s := range spans {
-		item(fmt.Sprintf(`{"ph":"X","pid":1,"tid":%d,"name":%s,"cat":"pisces","ts":%s,"dur":%s}`,
-			lanes[s.Lane], quoteJSON(s.Name), micros(s.Start), micros(s.Dur)))
+	var dropped int64
+	for _, p := range procs {
+		lanes := make(map[string]int)
+		var laneNames []string
+		for _, s := range p.Spans {
+			if _, ok := lanes[s.Lane]; !ok {
+				lanes[s.Lane] = 0
+				laneNames = append(laneNames, s.Lane)
+			}
+		}
+		for _, f := range p.Flows {
+			if _, ok := lanes[f.Lane]; !ok {
+				lanes[f.Lane] = 0
+				laneNames = append(laneNames, f.Lane)
+			}
+		}
+		sort.Strings(laneNames)
+		for i, name := range laneNames {
+			lanes[name] = i + 1
+		}
+		if p.Name != "" {
+			item(fmt.Sprintf(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":%s}}`,
+				p.Pid, quoteJSON(p.Name)))
+			item(fmt.Sprintf(`{"ph":"M","pid":%d,"name":"process_sort_index","args":{"sort_index":%d}}`,
+				p.Pid, p.Pid))
+		}
+		for _, name := range laneNames {
+			item(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+				p.Pid, lanes[name], quoteJSON(name)))
+			item(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_sort_index","args":{"sort_index":%d}}`,
+				p.Pid, lanes[name], lanes[name]))
+		}
+		for _, s := range p.Spans {
+			item(fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"name":%s,"cat":"pisces","ts":%s,"dur":%s}`,
+				p.Pid, lanes[s.Lane], quoteJSON(s.Name), micros(s.Start), micros(s.Dur)))
+		}
+		for _, f := range p.Flows {
+			bp := ""
+			if f.Phase != FlowStart {
+				// Bind steps and ends to the enclosing slice, so the arrow
+				// lands on the deliver span rather than the next slice.
+				bp = `,"bp":"e"`
+			}
+			item(fmt.Sprintf(`{"ph":"%c","pid":%d,"tid":%d,"name":"msg","cat":"flow","id":"%#x","ts":%s%s}`,
+				f.Phase, p.Pid, lanes[f.Lane], f.Edge, micros(f.TS), bp))
+		}
+		dropped += p.Dropped
 	}
 	sb.WriteString("],\"displayTimeUnit\":\"ns\"")
 	if dropped > 0 {

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// Trace wire format: the blob a follower node attaches to its drain ack so
+// the coordinator can merge every node's spans and flows into one Chrome
+// trace with per-node process tracks.  Big-endian, versioned; span and flow
+// order is capture order, so the encoding of a deterministic run is
+// byte-stable.
+//
+//	u8  version (traceWireVersion)
+//	u32 nSpans { u16-len lane, u16-len name, i64 start, i64 dur }...
+//	u32 nFlows { u64 edge, u16-len lane, u8 phase, i64 ts }...
+//	i64 dropped
+
+const traceWireVersion = 1
+
+var errTraceWire = fmt.Errorf("obs: malformed trace blob")
+
+// EncodeTrace serialises a process trace's spans and flows (Pid and Name are
+// the receiver's to assign; they do not travel).
+func EncodeTrace(p ProcessTrace) []byte {
+	b := []byte{traceWireVersion}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(p.Spans)))
+	for _, s := range p.Spans {
+		b = appendName(b, s.Lane)
+		b = appendName(b, s.Name)
+		b = binary.BigEndian.AppendUint64(b, uint64(s.Start))
+		b = binary.BigEndian.AppendUint64(b, uint64(s.Dur))
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(p.Flows)))
+	for _, f := range p.Flows {
+		b = binary.BigEndian.AppendUint64(b, f.Edge)
+		b = appendName(b, f.Lane)
+		b = append(b, f.Phase)
+		b = binary.BigEndian.AppendUint64(b, uint64(f.TS))
+	}
+	b = binary.BigEndian.AppendUint64(b, uint64(p.Dropped))
+	return b
+}
+
+// DecodeTrace reverses EncodeTrace.
+func DecodeTrace(b []byte) (ProcessTrace, error) {
+	var p ProcessTrace
+	if len(b) < 1 || b[0] != traceWireVersion {
+		return p, errTraceWire
+	}
+	b = b[1:]
+	n, b, err := takeCount(b)
+	if err != nil {
+		return p, err
+	}
+	for i := 0; i < n; i++ {
+		var s Span
+		if s.Lane, b, err = takeName(b); err != nil {
+			return p, err
+		}
+		if s.Name, b, err = takeName(b); err != nil {
+			return p, err
+		}
+		var v int64
+		if v, b, err = takeI64(b); err != nil {
+			return p, err
+		}
+		s.Start = time.Duration(v)
+		if v, b, err = takeI64(b); err != nil {
+			return p, err
+		}
+		s.Dur = time.Duration(v)
+		p.Spans = append(p.Spans, s)
+	}
+	if n, b, err = takeCount(b); err != nil {
+		return p, err
+	}
+	for i := 0; i < n; i++ {
+		var f Flow
+		if len(b) < 8 {
+			return p, errTraceWire
+		}
+		f.Edge = binary.BigEndian.Uint64(b)
+		b = b[8:]
+		if f.Lane, b, err = takeName(b); err != nil {
+			return p, err
+		}
+		if len(b) < 1 {
+			return p, errTraceWire
+		}
+		f.Phase = b[0]
+		b = b[1:]
+		var v int64
+		if v, b, err = takeI64(b); err != nil {
+			return p, err
+		}
+		f.TS = time.Duration(v)
+		p.Flows = append(p.Flows, f)
+	}
+	var v int64
+	if v, b, err = takeI64(b); err != nil {
+		return p, err
+	}
+	p.Dropped = v
+	if len(b) != 0 {
+		return p, errTraceWire
+	}
+	return p, nil
+}

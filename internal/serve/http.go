@@ -3,10 +3,12 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/msgcodec"
 )
 
 // SubmitRequest is the POST /programs JSON body.
@@ -80,6 +82,7 @@ func statusOf(s *Session) StatusResponse {
 //	GET  /programs/{id}/status   one session's status JSON
 //	GET  /programs/{id}/output   the program's terminal output (text/plain);
 //	                             ?wait=1 blocks until the session finishes
+//	GET  /programs/{id}/events   the session's flight-recorder events (JSON)
 //
 // Admission failures map to 429 (queue full) and 503 (draining); unknown
 // ids to 404.  The daemon mounts this on the same mux as the obs debug
@@ -90,6 +93,7 @@ func (m *Manager) Handler() http.Handler {
 	mux.HandleFunc("GET /programs", m.handleList)
 	mux.HandleFunc("GET /programs/{id}/status", m.handleStatus)
 	mux.HandleFunc("GET /programs/{id}/output", m.handleOutput)
+	mux.HandleFunc("GET /programs/{id}/events", m.handleEvents)
 	return mux
 }
 
@@ -155,6 +159,42 @@ func (m *Manager) handleOutput(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	_, _ = w.Write(s.Output())
+}
+
+// EventResponse is one flight-recorder event in GET /programs/{id}/events.
+// The edge id renders in hex so it can be grepped against trace files and
+// blackbox listings.
+type EventResponse struct {
+	Seq  uint64 `json:"seq"`
+	TSNS int64  `json:"ts_ns"`
+	Kind string `json:"kind"`
+	Edge string `json:"edge,omitempty"`
+	A    int64  `json:"a"`
+	B    int64  `json:"b"`
+}
+
+func (m *Manager) handleEvents(w http.ResponseWriter, r *http.Request) {
+	s, ok := m.Session(r.PathValue("id"))
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	events := s.Events()
+	out := make([]EventResponse, 0, len(events))
+	for _, ev := range events {
+		e := EventResponse{
+			Seq:  ev.Seq,
+			TSNS: ev.TS,
+			Kind: msgcodec.EventKindName(ev.Kind),
+			A:    ev.A,
+			B:    ev.B,
+		}
+		if ev.Edge != 0 {
+			e.Edge = fmt.Sprintf("%#x", ev.Edge)
+		}
+		out = append(out, e)
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

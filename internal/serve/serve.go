@@ -16,6 +16,7 @@ package serve
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -25,6 +26,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/msgcodec"
 	"repro/internal/obs"
 	"repro/internal/pfi"
 )
@@ -95,6 +97,13 @@ type Config struct {
 	// MaxOutputBytes bounds each session's retained output buffer when the
 	// session's own OutputBytes limit is unlimited.  Zero selects 1 MiB.
 	MaxOutputBytes int64
+	// History receives one JSON line per finished session — the daemon's
+	// session journal (tenant, verdict, quota outcome, timings, cache
+	// outcome).  Nil disables the journal.  Writes are serialised.
+	History io.Writer
+	// Log receives structured JSON log lines for session lifecycle events
+	// (submitted, finished, panic, limit).  Nil disables.
+	Log io.Writer
 }
 
 // Request is one tenant's program submission.
@@ -131,6 +140,7 @@ type Session struct {
 
 	out  *boundedBuf
 	reg  *obs.Registry // per-tenant registry; nil unless TenantMetrics
+	rec  *obs.Recorder // per-session flight recorder; always on
 	snap *obs.Snapshot // final registry snapshot, set at reap
 	done chan struct{}
 }
@@ -154,6 +164,15 @@ func (s *Session) Done() <-chan struct{} { return s.done }
 
 // Output returns the program's user-terminal output so far.
 func (s *Session) Output() []byte { return s.out.bytes() }
+
+// Events returns the session's flight-recorder events so far (oldest first).
+// The recorder is always on, so a failed session's last sends, accepts, kills
+// and limit violations are inspectable after the fact.
+func (s *Session) Events() []msgcodec.BlackboxEvent { return s.rec.Events() }
+
+// BlackboxDump returns the session's flight recorder as an encoded blackbox
+// blob, decodable with "pisces blackbox".
+func (s *Session) BlackboxDump() ([]byte, error) { return s.rec.Dump() }
 
 // CacheHit reports whether the program compiled from the shared cache.
 func (s *Session) CacheHit() bool {
@@ -193,6 +212,8 @@ type Manager struct {
 	sessions map[string]*Session
 	order    []string // admission order, for deterministic listing and reaping
 	seq      int64
+
+	logMu sync.Mutex // serialises History and Log line writes
 
 	mSubmitted *obs.Counter
 	mRejected  *obs.Counter
@@ -301,6 +322,7 @@ func (m *Manager) Submit(req Request) (*Session, error) {
 		state:     StateQueued,
 		submitted: time.Now(),
 		out:       &boundedBuf{max: outCap},
+		rec:       obs.NewRecorder(0, 0, 0),
 		done:      make(chan struct{}),
 	}
 	if m.cfg.TenantMetrics {
@@ -328,6 +350,7 @@ func (m *Manager) Submit(req Request) (*Session, error) {
 	}
 	m.mSubmitted.Inc()
 	m.mQueued.Set(int64(len(m.queue)))
+	m.logJSON("submitted", map[string]any{"id": s.id, "tenant": s.tenant})
 	return s, nil
 }
 
@@ -449,17 +472,32 @@ func (m *Manager) runSession(s *Session) {
 		cfg = cfg.WithForces(m.cfg.ForceCluster, m.cfg.ForcePEs...)
 	}
 	vm, err := core.NewVM(cfg, core.Options{
-		UserOutput:    s.out,
-		AcceptTimeout: m.cfg.AcceptTimeout,
-		Limits:        s.limits,
-		Metrics:       s.reg,
+		UserOutput:     s.out,
+		AcceptTimeout:  m.cfg.AcceptTimeout,
+		Limits:         s.limits,
+		Metrics:        s.reg,
+		FlightRecorder: s.rec,
+		FailureSink: func(reason string) {
+			m.logJSON("failure", map[string]any{"id": s.id, "tenant": s.tenant, "reason": reason})
+		},
 	})
 	if err != nil {
 		m.finish(s, fmt.Errorf("boot: %w", err))
 		return
 	}
 	s.setState(StateRunning)
-	runErr := prog.Run(vm, pfi.Options{Main: s.main})
+	// A panicking session must not take the worker (and with it the daemon)
+	// down: recover, fail the session alone, and leave its flight recorder
+	// holding the events leading up to the panic.
+	runErr := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("serve: session panicked: %v", r)
+				m.logJSON("panic", map[string]any{"id": s.id, "tenant": s.tenant, "panic": fmt.Sprint(r)})
+			}
+		}()
+		return prog.Run(vm, pfi.Options{Main: s.main})
+	}()
 	violation := vm.LimitViolation()
 	vm.Shutdown()
 	if s.reg != nil {
@@ -502,7 +540,76 @@ func (m *Manager) finish(s *Session, err error) {
 	}
 	m.mRunNS.ObserveDuration(now.Sub(started))
 	m.mE2ENS.ObserveDuration(now.Sub(submitted))
+	m.journal(s, err, submitted, started, now)
 	close(s.done)
+}
+
+// historyRecord is one line of the daemon's session journal (-history-file):
+// everything an operator needs to reconstruct a tenant's run after the
+// session itself has been reaped.
+type historyRecord struct {
+	Time     string `json:"time"`
+	ID       string `json:"id"`
+	Tenant   string `json:"tenant,omitempty"`
+	Verdict  State  `json:"verdict"`
+	Error    string `json:"error,omitempty"`
+	Quota    string `json:"quota,omitempty"` // which limit, when the verdict is a quota kill
+	CacheHit bool   `json:"cache_hit"`
+	QueueMS  int64  `json:"queue_ms"`
+	RunMS    int64  `json:"run_ms"`
+}
+
+// journal appends the session's history line and mirrors it to the
+// structured log.
+func (m *Manager) journal(s *Session, err error, submitted, started, finished time.Time) {
+	rec := historyRecord{
+		Time:     finished.UTC().Format(time.RFC3339Nano),
+		ID:       s.id,
+		Tenant:   s.tenant,
+		Verdict:  StateDone,
+		CacheHit: s.CacheHit(),
+	}
+	if err != nil {
+		rec.Verdict = StateFailed
+		rec.Error = err.Error()
+		var le *core.LimitError
+		if errors.As(err, &le) {
+			rec.Quota = le.Resource
+		}
+	}
+	if !started.IsZero() {
+		rec.QueueMS = started.Sub(submitted).Milliseconds()
+		rec.RunMS = finished.Sub(started).Milliseconds()
+	}
+	if m.cfg.History != nil {
+		if line, jerr := json.Marshal(rec); jerr == nil {
+			m.logMu.Lock()
+			_, _ = m.cfg.History.Write(append(line, '\n'))
+			m.logMu.Unlock()
+		}
+	}
+	m.logJSON("finished", map[string]any{
+		"id": s.id, "tenant": s.tenant, "verdict": rec.Verdict,
+		"error": rec.Error, "quota": rec.Quota,
+		"queue_ms": rec.QueueMS, "run_ms": rec.RunMS, "cache_hit": rec.CacheHit,
+	})
+}
+
+// logJSON writes one structured log line ({"time":..., "event":..., fields})
+// to the configured Log writer.  Keys marshal sorted, so lines are stable.
+func (m *Manager) logJSON(event string, fields map[string]any) {
+	if m.cfg.Log == nil {
+		return
+	}
+	fields["time"] = time.Now().UTC().Format(time.RFC3339Nano)
+	fields["event"] = event
+	line, err := json.Marshal(fields)
+	if err != nil {
+		return
+	}
+	m.logMu.Lock()
+	_, _ = m.cfg.Log.Write(append(line, '\n'))
+	m.logMu.Unlock()
 }
 
 // Snapshot assembles the daemon-wide metrics view: the manager's own series,

@@ -320,6 +320,15 @@ const (
 // disabled, for Options.Metrics.
 func NewObsRegistry() *ObsRegistry { return obs.New() }
 
+// FlightRecorder is the always-on forensic event ring (Options.FlightRecorder):
+// a few atomic stores per routed send/accept/kill/limit event, dumpable as a
+// blackbox blob for `pisces blackbox` after a failure.
+type FlightRecorder = obs.Recorder
+
+// NewFlightRecorder returns a flight recorder with the default ring geometry
+// for the given node id (0 for single-process runs).
+func NewFlightRecorder(nodeID int) *FlightRecorder { return obs.NewRecorder(nodeID, 0, 0) }
+
 // FlexDefaultConfig returns the simulated FLEX/32 hardware description
 // (20 PEs, 1 MiB local memory each, 2.25 MiB shared memory).
 func FlexDefaultConfig() flex.Config { return flex.DefaultConfig() }
